@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3: the motivating blur shader's speed-ups per platform
+//! and the distribution of best-static speed-ups on ARM.
+fn main() {
+    let study = prism_bench::full_study();
+    print!("{}", prism_report::fig3_motivating(&study, prism_bench::BLUR_NAME));
+}

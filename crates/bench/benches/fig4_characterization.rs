@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4: corpus characterisation (lines of code, ARM static
+//! cycles, unique variants per shader).
+fn main() {
+    let study = prism_bench::full_study();
+    print!("{}", prism_report::fig4_characterization(&study));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5: average speed-up across all shaders for the
+//! per-shader-best, default-LunarGlass and best-static policies.
+fn main() {
+    let study = prism_bench::full_study();
+    print!("{}", prism_report::fig5_overall(&study));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6: mean speed-up of the 30 most-improved shaders per
+//! platform.
+fn main() {
+    let study = prism_bench::full_study();
+    print!("{}", prism_report::fig6_top30(&study, 30));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7: per-shader speed-up distributions (best / default /
+//! best-static) per platform.
+fn main() {
+    let study = prism_bench::full_study();
+    print!("{}", prism_report::fig7_per_shader(&study));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8: per-flag applicability and optimality counts.
+fn main() {
+    let study = prism_bench::full_study();
+    for vendor in study.platforms() {
+        print!("{}", prism_report::fig8_applicability(&study, &vendor));
+        println!();
+    }
+}

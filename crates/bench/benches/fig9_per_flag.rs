@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9: each flag in isolation versus the no-flag baseline,
+//! per platform.
+fn main() {
+    let study = prism_bench::full_study();
+    print!("{}", prism_report::fig9_per_flag(&study));
+}

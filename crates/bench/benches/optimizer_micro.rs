@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the offline optimizer itself (not a paper
+//! figure; engineering health of the reproduction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prism_core::{compile, OptFlags};
+use prism_corpus::Corpus;
+
+fn optimizer_benchmarks(c: &mut Criterion) {
+    let corpus = Corpus::gfxbench_like();
+    let blur = corpus.blur9().clone();
+    let big = corpus
+        .cases
+        .iter()
+        .max_by_key(|case| case.lines_of_code())
+        .expect("corpus is non-empty")
+        .clone();
+
+    c.bench_function("compile_blur_all_flags", |b| {
+        b.iter(|| compile(&blur.source, &blur.name, OptFlags::all()).unwrap())
+    });
+    c.bench_function("compile_blur_no_flags", |b| {
+        b.iter(|| compile(&blur.source, &blur.name, OptFlags::NONE).unwrap())
+    });
+    c.bench_function("compile_largest_shader_all_flags", |b| {
+        b.iter(|| compile(&big.source, &big.name, OptFlags::all()).unwrap())
+    });
+    c.bench_function("driver_compile_blur_nvidia", |b| {
+        let platform = prism_gpu::Platform::new(prism_gpu::Vendor::Nvidia);
+        let optimized = compile(&blur.source, &blur.name, OptFlags::all()).unwrap();
+        b.iter(|| platform.submit(&optimized.glsl, &blur.name).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = optimizer_benchmarks
+}
+criterion_main!(benches);

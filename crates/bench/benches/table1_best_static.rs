@@ -1,0 +1,5 @@
+//! Regenerates Table I: the best static flag set per platform.
+fn main() {
+    let study = prism_bench::full_study();
+    print!("{}", prism_report::table1_best_static(&study));
+}

@@ -1,0 +1,66 @@
+//! # prism-bench — the benchmark harness that regenerates the paper's tables
+//! and figures
+//!
+//! Each bench target (`cargo bench -p prism-bench --bench <name>`) runs the
+//! exhaustive 256-combination study over the GFXBench-like corpus on all five
+//! simulated platforms and prints the rows/series of one paper figure or
+//! table:
+//!
+//! | bench target | paper content |
+//! |---|---|
+//! | `fig3_motivating` | Fig. 3 — motivating blur speed-ups + ARM distribution |
+//! | `fig4_characterization` | Fig. 4 — LoC, ARM cycles, unique variants |
+//! | `fig5_overall` | Fig. 5 — average speed-ups per platform |
+//! | `fig6_top30` | Fig. 6 — 30 most-improved shaders |
+//! | `table1_best_static` | Table I — best static flags per platform |
+//! | `fig7_per_shader` | Fig. 7 — per-shader speed-up distributions |
+//! | `fig8_applicability` | Fig. 8 — flag applicability/optimality |
+//! | `fig9_per_flag` | Fig. 9 — per-flag isolated impact |
+//! | `optimizer_micro` | Criterion micro-benchmarks of the optimizer itself |
+
+use prism_corpus::Corpus;
+use prism_harness::MeasureConfig;
+use prism_search::{run_study, StudyConfig, StudyResults};
+use std::time::Instant;
+
+/// The measurement configuration used by the bench targets: lighter than the
+/// paper's 100 × 5 frames (the noise model converges quickly) so a full
+/// corpus × 256-combination sweep finishes in seconds per figure.
+pub fn bench_config() -> StudyConfig {
+    StudyConfig {
+        measure: MeasureConfig { frames: 25, repeats: 2, seed: 0xC0FFEE },
+        ..StudyConfig::default()
+    }
+}
+
+/// Runs the full study over the complete corpus, printing progress timing.
+pub fn full_study() -> StudyResults {
+    let corpus = Corpus::gfxbench_like();
+    eprintln!(
+        "prism-bench: sweeping {} shaders x 256 flag combinations x 5 platforms...",
+        corpus.len()
+    );
+    let start = Instant::now();
+    let study = run_study(&corpus, &bench_config());
+    eprintln!(
+        "prism-bench: sweep finished in {:.1}s ({} measurements)",
+        start.elapsed().as_secs_f64(),
+        study.measurements.len()
+    );
+    study
+}
+
+/// The corpus name of the motivating blur shader.
+pub const BLUR_NAME: &str = "flagship_blur9";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_lighter_than_the_paper() {
+        let c = bench_config();
+        assert!(c.measure.frames < 100);
+        assert_eq!(c.vendors.len(), 5);
+    }
+}

@@ -1,0 +1,25 @@
+//! # prism-core — the LunarGlass-style shader optimization framework
+//!
+//! This crate is the reproduction of the paper's primary software artifact:
+//! an offline, source-to-source shader optimizer driven by eight
+//! command-line-style flags (§III). It lowers GLSL to the prism IR, runs the
+//! always-on canonicalisation passes plus whichever flag-controlled passes are
+//! enabled, and emits GLSL again, ready to be handed to a (simulated) GPU
+//! driver.
+//!
+//! * [`flags`] — the 8 optimization flags and their 256 combinations.
+//! * [`lower`] — GLSL AST → IR lowering (matrix scalarisation, inlining).
+//! * [`passes`] — the optimization passes themselves.
+//! * [`pipeline`] — flag set → pass pipeline → optimized GLSL.
+//! * [`variant`] — exhaustive variant generation and deduplication (§V-C).
+
+pub mod flags;
+pub mod lower;
+pub mod passes;
+pub mod pipeline;
+pub mod variant;
+
+pub use flags::{Flag, OptFlags};
+pub use lower::{lower, LowerError};
+pub use pipeline::{compile, compile_ir, CompileError, CompiledShader};
+pub use variant::{unique_variants, VariantSet};

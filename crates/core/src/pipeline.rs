@@ -1,0 +1,315 @@
+//! Flag set → pass pipeline → optimized GLSL.
+//!
+//! Mirrors how the paper drives LunarGlass (§III-A): the always-on
+//! canonicalisation passes run for every configuration (they are also the
+//! baseline for the per-flag experiments of Fig. 9), then each enabled flag
+//! adds its pass in a fixed order, and a final cleanup round folds anything
+//! the flag passes exposed (e.g. constant-array indices after unrolling).
+
+use crate::flags::{Flag, OptFlags};
+use crate::lower::{lower, LowerError};
+use crate::passes::{
+    adce::Adce, coalesce::Coalesce, constfold::ConstFold, cse::Cse, dce::Dce,
+    div_to_mul::DivToMul, fp_reassociate::FpReassociate, gvn::Gvn, hoist::Hoist,
+    reassociate::Reassociate, rename::Rename, unroll::Unroll, Pass,
+};
+use prism_emit::emit_glsl;
+use prism_glsl::{GlslError, ShaderSource};
+use prism_ir::prelude::*;
+use prism_ir::verify::{verify, VerifyError};
+use std::fmt;
+
+/// An error from the compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The GLSL front-end rejected the shader.
+    Front(GlslError),
+    /// Lowering to IR failed (unsupported construct).
+    Lower(LowerError),
+    /// A pass produced structurally invalid IR (an internal bug).
+    Verify(VerifyError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Front(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+            CompileError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<GlslError> for CompileError {
+    fn from(e: GlslError) -> Self {
+        CompileError::Front(e)
+    }
+}
+
+impl From<LowerError> for CompileError {
+    fn from(e: LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+/// The result of compiling one shader with one flag combination.
+#[derive(Debug, Clone)]
+pub struct CompiledShader {
+    /// Shader name (corpus identifier).
+    pub name: String,
+    /// Flag combination used.
+    pub flags: OptFlags,
+    /// Optimized IR (what the GPU substrate consumes).
+    pub ir: Shader,
+    /// Re-emitted desktop GLSL (what a real driver would receive).
+    pub glsl: String,
+}
+
+/// Builds the pass list for a flag combination.
+///
+/// The always-on canonicalisation (constant folding, local CSE, trivial DCE)
+/// brackets the flag passes; the flag passes run in LunarGlass's fixed order.
+pub fn build_pipeline(flags: OptFlags) -> Vec<Box<dyn Pass>> {
+    let mut passes: Vec<Box<dyn Pass>> = vec![
+        Box::new(Rename),
+        Box::new(ConstFold),
+        Box::new(Cse),
+        Box::new(Dce),
+    ];
+    if flags.contains(Flag::Unroll) {
+        passes.push(Box::new(Unroll::default()));
+    }
+    // Unrolling exposes constant array indices and accumulator sums; renaming
+    // turns the unrolled accumulator chain into SSA form and folding then
+    // evaluates it. This mid-pipeline canonicalisation runs unconditionally so
+    // that enabling a flag whose pass finds nothing to do (e.g. Unroll on a
+    // loop-free shader) cannot perturb the generated code.
+    passes.push(Box::new(Rename));
+    passes.push(Box::new(ConstFold));
+    if flags.contains(Flag::Hoist) {
+        passes.push(Box::new(Hoist::default()));
+    }
+    if flags.contains(Flag::Coalesce) {
+        passes.push(Box::new(Coalesce));
+    }
+    if flags.contains(Flag::Gvn) {
+        passes.push(Box::new(Gvn));
+    }
+    if flags.contains(Flag::Reassociate) {
+        passes.push(Box::new(Reassociate));
+    }
+    if flags.contains(Flag::FpReassociate) {
+        passes.push(Box::new(FpReassociate));
+    }
+    if flags.contains(Flag::DivToMul) {
+        passes.push(Box::new(DivToMul));
+    }
+    if flags.contains(Flag::Adce) {
+        passes.push(Box::new(Adce));
+    }
+    // Final cleanup, run twice: the first round removes definitions the flag
+    // passes left dead, which lets the second round's copy propagation and
+    // CSE converge to the same canonical form regardless of which flag passes
+    // ran (this is what keeps ADCE a strict no-op on the output).
+    passes.push(Box::new(Rename));
+    for _ in 0..2 {
+        passes.push(Box::new(ConstFold));
+        passes.push(Box::new(Cse));
+        passes.push(Box::new(Dce));
+    }
+    passes
+}
+
+/// Lowers and optimizes a shader, returning the IR.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if lowering fails or (internal bug) a pass breaks
+/// IR invariants.
+pub fn compile_ir(
+    source: &ShaderSource,
+    name: &str,
+    flags: OptFlags,
+) -> Result<Shader, CompileError> {
+    let mut ir = lower(source, name)?;
+    verify(&ir).map_err(CompileError::Verify)?;
+    // The pass schedule is applied once, as LunarGlass applies its pass list
+    // once per compilation; the schedule is ordered so that later passes see
+    // the work earlier ones expose (unroll → fold → reassociate → div-to-mul).
+    let pipeline = build_pipeline(flags);
+    for pass in &pipeline {
+        pass.run(&mut ir);
+        debug_assert!(
+            verify(&ir).is_ok(),
+            "pass `{}` produced invalid IR for `{name}`",
+            pass.name()
+        );
+    }
+    verify(&ir).map_err(CompileError::Verify)?;
+    Ok(ir)
+}
+
+/// Compiles a shader with the given flags all the way to optimized GLSL.
+///
+/// # Errors
+///
+/// See [`compile_ir`].
+///
+/// # Examples
+///
+/// ```
+/// use prism_core::{compile, OptFlags};
+/// use prism_glsl::ShaderSource;
+///
+/// let src = ShaderSource::parse(
+///     "uniform vec4 tint; in vec2 uv; out vec4 c;\n\
+///      void main() { c = vec4(uv, 0.0, 1.0) * tint * 1.0; }",
+/// ).unwrap();
+/// let optimized = compile(&src, "doc", OptFlags::all()).unwrap();
+/// assert!(optimized.glsl.contains("out vec4 c;"));
+/// ```
+pub fn compile(
+    source: &ShaderSource,
+    name: &str,
+    flags: OptFlags,
+) -> Result<CompiledShader, CompileError> {
+    let ir = compile_ir(source, name, flags)?;
+    let glsl = emit_glsl(&ir);
+    Ok(CompiledShader {
+        name: name.to_string(),
+        flags,
+        ir,
+        glsl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_ir::interp::{results_approx_equal, run_fragment, FragmentContext};
+
+    const MOTIVATING: &str = r#"
+        out vec4 fragColor; in vec2 uv;
+        uniform sampler2D tex;
+        uniform vec4 ambient;
+        void main() {
+            const vec4[] weights = vec4[](
+                vec4(0.01), vec4(0.05), vec4(0.14), vec4(0.21), vec4(0.18),
+                vec4(0.21), vec4(0.14), vec4(0.05), vec4(0.01));
+            const vec2[] offsets = vec2[](
+                vec2(-0.0083), vec2(-0.0062), vec2(-0.0042), vec2(-0.0021), vec2(0.0),
+                vec2(0.0021), vec2(0.0042), vec2(0.0062), vec2(0.0083));
+            float weightTotal = 0.0;
+            fragColor = vec4(0.0);
+            for (int i = 0; i < 9; i++) {
+                weightTotal += weights[i][0];
+                fragColor += weights[i] * texture(tex, uv + offsets[i]) * 3.0 * ambient;
+            }
+            fragColor /= weightTotal;
+        }
+    "#;
+
+    fn motivating_source() -> ShaderSource {
+        ShaderSource::parse(MOTIVATING).unwrap()
+    }
+
+    #[test]
+    fn no_flags_still_canonicalises() {
+        let src = ShaderSource::parse(
+            "uniform vec4 u; out vec4 c; void main() { c = u * (2.0 * 3.0); }",
+        )
+        .unwrap();
+        let out = compile(&src, "canon", OptFlags::NONE).unwrap();
+        assert!(out.glsl.contains("6.0"), "{}", out.glsl);
+    }
+
+    #[test]
+    fn all_flag_combinations_compile_the_motivating_example() {
+        let src = motivating_source();
+        for flags in OptFlags::all_combinations() {
+            let result = compile(&src, "blur", flags);
+            assert!(result.is_ok(), "flags {flags} failed: {result:?}");
+        }
+    }
+
+    #[test]
+    fn unrolling_plus_folding_removes_the_loop_and_division() {
+        let src = motivating_source();
+        let baseline = compile(&src, "blur", OptFlags::NONE).unwrap();
+        assert_eq!(baseline.ir.loop_count(), 1);
+        let flags = OptFlags::from_flags(&[Flag::Unroll, Flag::FpReassociate, Flag::DivToMul]);
+        let optimized = compile(&src, "blur", flags).unwrap();
+        assert_eq!(optimized.ir.loop_count(), 0, "loop should be fully unrolled");
+        // weightTotal folds to a constant, so the final division becomes a
+        // multiplication by a constant (Listing 2 in the paper).
+        let mut divisions = 0;
+        prism_ir::stmt::walk_body(&optimized.ir.body, &mut |s| {
+            if let Stmt::Def { op: Op::Binary(BinaryOp::Div, ..), .. } = s {
+                divisions += 1;
+            }
+        });
+        assert_eq!(divisions, 0, "division by folded weightTotal should be gone");
+        // All nine texture samples survive.
+        assert_eq!(optimized.ir.texture_op_count(), 9);
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_for_every_flag_combination() {
+        let src = motivating_source();
+        let reference = compile(&src, "blur", OptFlags::NONE).unwrap();
+        let ctx = FragmentContext::with_defaults(&reference.ir, 0.37, 0.61);
+        let want = run_fragment(&reference.ir, &ctx).unwrap();
+        // A representative subset of combinations (the full 256 runs in the
+        // integration suite).
+        for flags in [
+            OptFlags::all(),
+            OptFlags::lunarglass_default(),
+            OptFlags::only(Flag::Unroll),
+            OptFlags::only(Flag::Hoist),
+            OptFlags::only(Flag::FpReassociate),
+            OptFlags::only(Flag::DivToMul),
+            OptFlags::from_flags(&[Flag::Unroll, Flag::FpReassociate, Flag::DivToMul, Flag::Coalesce]),
+        ] {
+            let optimized = compile(&src, "blur", flags).unwrap();
+            let ctx2 = FragmentContext::with_defaults(&optimized.ir, 0.37, 0.61);
+            let got = run_fragment(&optimized.ir, &ctx2).unwrap();
+            assert!(
+                results_approx_equal(&want, &got, 1e-4),
+                "flags {flags} changed the image: {want:?} vs {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interface_is_preserved_by_optimization() {
+        let src = motivating_source();
+        let optimized = compile(&src, "blur", OptFlags::all()).unwrap();
+        let reparsed =
+            prism_glsl::ShaderSource::preprocess_and_parse(&optimized.glsl, &Default::default())
+                .expect("optimized GLSL must re-parse");
+        assert!(src.interface.same_io(&reparsed.interface));
+    }
+
+    #[test]
+    fn adce_alone_never_changes_the_output() {
+        // Reproduces the paper's Fig. 8h observation at the pipeline level.
+        let src = motivating_source();
+        let without = compile(&src, "blur", OptFlags::NONE).unwrap();
+        let with = compile(&src, "blur", OptFlags::only(Flag::Adce)).unwrap();
+        assert_eq!(without.glsl, with.glsl);
+    }
+
+    #[test]
+    fn pipeline_structure_follows_flags() {
+        assert_eq!(build_pipeline(OptFlags::NONE).len(), 13);
+        assert!(build_pipeline(OptFlags::all()).len() > 13);
+        let names: Vec<&str> = build_pipeline(OptFlags::only(Flag::Unroll))
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert!(names.contains(&"unroll"));
+        assert!(!names.contains(&"hoist"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The assembled benchmark corpus.
+
+use crate::families::all_families;
+use crate::flagship;
+use prism_glsl::{GlslError, ShaderSource};
+use std::collections::HashMap;
+
+/// One benchmark fragment shader, ready for the optimizer and the harness.
+#[derive(Debug, Clone)]
+pub struct ShaderCase {
+    /// Unique corpus name (`family_NN` or `flagship_*`).
+    pub name: String,
+    /// The übershader family this instance was specialised from.
+    pub family: String,
+    /// The `#define` switches used to specialise it.
+    pub defines: Vec<(String, String)>,
+    /// The preprocessed, parsed and checked shader.
+    pub source: ShaderSource,
+}
+
+impl ShaderCase {
+    /// The paper's lines-of-code metric for this shader (post-preprocessing).
+    pub fn lines_of_code(&self) -> usize {
+        self.source.lines_of_code
+    }
+}
+
+/// The full benchmark corpus (the stand-in for GFXBench 4.0's fragment
+/// shaders — see DESIGN.md §1 for the substitution argument).
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// All shader cases, in deterministic order.
+    pub cases: Vec<ShaderCase>,
+}
+
+impl Corpus {
+    /// Builds the GFXBench-4.0-like corpus: three hand-written flagship
+    /// shaders plus every specialisation of every übershader family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any built-in corpus shader fails the front-end — that is a
+    /// bug in the corpus itself and is covered by tests.
+    pub fn gfxbench_like() -> Corpus {
+        Corpus::try_build().expect("built-in corpus shaders must pass the front-end")
+    }
+
+    /// Fallible corpus construction (exposed for error-path testing).
+    pub fn try_build() -> Result<Corpus, (String, GlslError)> {
+        let mut cases = Vec::new();
+        for (name, src) in flagship::all() {
+            let source = ShaderSource::preprocess_and_parse(src, &HashMap::new())
+                .map_err(|e| (name.to_string(), e))?;
+            cases.push(ShaderCase {
+                name: name.to_string(),
+                family: "flagship".to_string(),
+                defines: Vec::new(),
+                source,
+            });
+        }
+        for family in all_families() {
+            for (idx, spec) in family.specializations.iter().enumerate() {
+                let defines: HashMap<String, String> = spec
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect();
+                let name = format!("{}_{:02}", family.name, idx);
+                let source = ShaderSource::preprocess_and_parse(family.source, &defines)
+                    .map_err(|e| (name.clone(), e))?;
+                cases.push(ShaderCase {
+                    name,
+                    family: family.name.to_string(),
+                    defines: spec
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .collect(),
+                    source,
+                });
+            }
+        }
+        Ok(Corpus { cases })
+    }
+
+    /// Number of shaders in the corpus.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// `true` if the corpus is empty (never the case for the built-in one).
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Looks a case up by name.
+    pub fn case(&self, name: &str) -> Option<&ShaderCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// The motivating-example blur shader.
+    pub fn blur9(&self) -> &ShaderCase {
+        self.case(flagship::BLUR9_NAME)
+            .expect("flagship blur is always present")
+    }
+
+    /// Per-shader lines-of-code values (Fig. 4a input).
+    pub fn loc_distribution(&self) -> Vec<usize> {
+        self.cases.iter().map(ShaderCase::lines_of_code).collect()
+    }
+
+    /// Structural summary used to check the corpus against the paper's §V
+    /// characterisation.
+    pub fn stats(&self) -> CorpusStats {
+        let mut stats = CorpusStats::default();
+        stats.shader_count = self.cases.len();
+        for case in &self.cases {
+            let text = &case.source.text;
+            if text.contains("for (") || text.contains("for(") {
+                stats.with_loops += 1;
+            }
+            if text.contains("if (") || text.contains("if(") || text.contains(" ? ") {
+                stats.with_branches += 1;
+            }
+            if has_constant_division(text) {
+                stats.with_constant_division += 1;
+            }
+            if text.contains(".rgb =") || text.contains(".a =") || text.contains(".x =")
+                || text.contains(".xyz =")
+            {
+                stats.with_component_writes += 1;
+            }
+            let loc = case.lines_of_code();
+            stats.max_loc = stats.max_loc.max(loc);
+            if loc < 50 {
+                stats.under_50_loc += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Crude textual check for "divides by a literal constant somewhere".
+fn has_constant_division(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if *b == b'/' && i + 1 < bytes.len() {
+            let rest = text[i + 1..].trim_start();
+            if rest
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Structural statistics of the corpus (compared against the paper's §V).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Total number of shaders.
+    pub shader_count: usize,
+    /// Shaders containing at least one loop.
+    pub with_loops: usize,
+    /// Shaders containing a conditional or ternary.
+    pub with_branches: usize,
+    /// Shaders dividing by a literal constant.
+    pub with_constant_division: usize,
+    /// Shaders writing outputs/vectors component by component.
+    pub with_component_writes: usize,
+    /// Shaders with fewer than 50 lines of code.
+    pub under_50_loc: usize,
+    /// Largest lines-of-code value.
+    pub max_loc: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_builds_and_has_the_right_size() {
+        let corpus = Corpus::gfxbench_like();
+        assert!(corpus.len() >= 100, "corpus has {} shaders", corpus.len());
+        assert!(!corpus.is_empty());
+        assert!(corpus.case(crate::flagship::BLUR9_NAME).is_some());
+        assert_eq!(corpus.blur9().family, "flagship");
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let corpus = Corpus::gfxbench_like();
+        let mut names: Vec<&str> = corpus.cases.iter().map(|c| c.name.as_str()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn structure_matches_paper_characterisation() {
+        let corpus = Corpus::gfxbench_like();
+        let stats = corpus.stats();
+        let n = stats.shader_count as f64;
+        // Loops are uncommon (§V-A).
+        assert!((stats.with_loops as f64) < 0.25 * n, "{stats:?}");
+        // A majority of shaders are under 50 lines (Fig. 4a).
+        assert!((stats.under_50_loc as f64) > 0.5 * n, "{stats:?}");
+        // Even the longest shader stays in the low hundreds of lines.
+        assert!(stats.max_loc < 350, "{stats:?}");
+        assert!(stats.max_loc > 30, "{stats:?}");
+        // Constant division and component writes are widespread (Fig. 8a/8b).
+        assert!((stats.with_constant_division as f64) > 0.4 * n, "{stats:?}");
+        assert!((stats.with_component_writes as f64) > 0.6 * n, "{stats:?}");
+        // Branches show up in a meaningful minority.
+        assert!((stats.with_branches as f64) > 0.15 * n, "{stats:?}");
+    }
+
+    #[test]
+    fn loc_distribution_is_power_law_like() {
+        let corpus = Corpus::gfxbench_like();
+        let loc = corpus.loc_distribution();
+        let median = {
+            let mut sorted = loc.clone();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        };
+        let max = *loc.iter().max().unwrap();
+        assert!(
+            max > 3 * median,
+            "expected a long tail: median {median}, max {max}"
+        );
+    }
+
+    #[test]
+    fn every_case_lowers_and_compiles_unoptimized() {
+        // The whole corpus must survive the optimizer's front half; this is
+        // the corpus-side contract the search crate relies on.
+        let corpus = Corpus::gfxbench_like();
+        for case in &corpus.cases {
+            let result = prism_core::compile(&case.source, &case.name, prism_core::OptFlags::NONE);
+            assert!(result.is_ok(), "{} failed to compile: {result:?}", case.name);
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! Übershader family templates.
+//!
+//! GFXBench's shaders follow the übershader pattern the paper describes in
+//! §IV-A: one base source file per technique, specialised into many concrete
+//! shader instances through preprocessor `#define` switches. Each [`Family`]
+//! below is one such base source together with the list of specialisations
+//! the corpus instantiates. The families are chosen so the corpus matches the
+//! structural statistics the paper reports (§V): many small shaders, few
+//! loops, conditionals in roughly a quarter of shaders, constant divisions and
+//! per-component vector writes nearly everywhere.
+
+/// One übershader family: a base source and its specialisations.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Family name (used as the prefix of instance names).
+    pub name: &'static str,
+    /// Base GLSL source containing `#ifdef` specialisation points.
+    pub source: &'static str,
+    /// Each entry is one instance: a list of `(MACRO, value)` definitions.
+    pub specializations: Vec<Vec<(&'static str, &'static str)>>,
+}
+
+/// Simple UI / sprite blit shaders — the "long tail" of trivial shaders that
+/// dominates the corpus size distribution (Fig. 4a).
+const UI_BLIT: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D sprite;
+uniform vec4 tintColor;
+uniform float opacity;
+void main() {
+    vec4 base = texture(sprite, uv);
+#ifdef USE_TINT
+    base = base * tintColor;
+#endif
+#ifdef USE_GRAYSCALE
+    float luma = dot(base.rgb, vec3(0.299, 0.587, 0.114));
+    base.rgb = vec3(luma);
+#endif
+#ifdef USE_PREMULTIPLY
+    base.rgb = base.rgb * base.a;
+#endif
+#ifdef USE_HALF_INTENSITY
+    base.rgb = base.rgb / 2.0;
+#endif
+#ifdef USE_VIGNETTE
+    float d = distance(uv, vec2(0.5, 0.5));
+    base.rgb = base.rgb * clamp(1.0 - d * d / 0.55, 0.0, 1.0);
+#endif
+    fragColor.rgb = base.rgb;
+    fragColor.a = base.a * opacity / OPACITY_SCALE;
+}
+"#;
+
+/// Particle / additive effect shaders: tiny, often alpha-tested.
+const PARTICLE: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+in vec4 particleColor;
+uniform sampler2D particleTex;
+uniform float fadeScale;
+void main() {
+    vec4 tex = texture(particleTex, uv);
+    vec4 color = tex * particleColor;
+#ifdef USE_SOFT_FADE
+    color.a = color.a * clamp(fadeScale * FADE_RATE, 0.0, 1.0);
+#endif
+#ifdef USE_ALPHA_TEST
+    if (color.a < 0.0125) {
+        discard;
+    }
+#endif
+#ifdef USE_BOOST
+    color.rgb = color.rgb * BOOST_FACTOR;
+#endif
+    fragColor = color;
+}
+"#;
+
+/// Environment / skybox sampling.
+const SKYBOX: &str = r#"
+out vec4 fragColor;
+in vec3 viewDir;
+uniform samplerCube envMap;
+uniform float envIntensity;
+uniform float horizonFade;
+void main() {
+    vec3 dir = normalize(viewDir);
+    vec4 env = texture(envMap, dir);
+    vec3 color = env.rgb * envIntensity;
+#ifdef USE_HORIZON_FADE
+    float fade = clamp(dir.y * 4.0 + horizonFade, 0.0, 1.0);
+    color = color * fade;
+#endif
+#ifdef USE_EXPOSURE
+    color = color * EXPOSURE_VALUE;
+#endif
+    fragColor.rgb = color;
+    fragColor.a = 1.0;
+}
+"#;
+
+/// Terrain / decal multi-texture blends.
+const TEXTURE_COMBINE: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+in vec2 detailUv;
+uniform sampler2D baseMap;
+uniform sampler2D detailMap;
+uniform sampler2D blendMask;
+uniform vec4 blendTint;
+uniform float detailStrength;
+void main() {
+    vec4 base = texture(baseMap, uv);
+    vec4 detail = texture(detailMap, detailUv * DETAIL_SCALE);
+    float mask = texture(blendMask, uv).r;
+    vec3 blended = mix(base.rgb, detail.rgb, mask * detailStrength);
+#ifdef USE_TINT
+    blended = blended * blendTint.rgb;
+#endif
+#ifdef USE_CONTRAST
+    blended = (blended - vec3(0.5)) * CONTRAST_FACTOR + vec3(0.5);
+#endif
+#ifdef USE_DESATURATE
+    float luma = dot(blended, vec3(0.299, 0.587, 0.114));
+    blended = mix(blended, vec3(luma), 0.35);
+#endif
+    fragColor.rgb = blended;
+    fragColor.a = base.a;
+}
+"#;
+
+/// The big forward-lighting übershader: per-pixel lighting with many optional
+/// features, the largest family in the corpus (a few hundred lines when all
+/// features are enabled).
+const FORWARD_LIT: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+in vec3 worldNormal;
+in vec3 worldPos;
+in vec3 viewDir;
+uniform sampler2D albedoMap;
+uniform sampler2D normalMap;
+uniform sampler2D specularMap;
+uniform sampler2D emissiveMap;
+uniform samplerCube envMap;
+uniform vec4 lightDirIntensity;
+uniform vec4 lightColor;
+uniform vec4 ambientColor;
+uniform vec4 fogColorDensity;
+uniform vec4 materialParams;
+uniform float alphaCutoff;
+
+vec3 decodeNormal(vec2 coords) {
+    vec3 raw = texture(normalMap, coords).xyz;
+    return normalize(raw * 2.0 - vec3(1.0));
+}
+
+float specularTerm(vec3 normal, vec3 lightDir, vec3 eyeDir, float power) {
+    vec3 halfVec = normalize(lightDir + eyeDir);
+    float nh = max(dot(normal, halfVec), 0.0);
+    return pow(nh, power);
+}
+
+void main() {
+    vec4 albedo = texture(albedoMap, uv);
+#ifdef USE_ALPHA_TEST
+    if (albedo.a < alphaCutoff) {
+        discard;
+    }
+#endif
+    vec3 normal = normalize(worldNormal);
+#ifdef USE_NORMAL_MAP
+    vec3 mapped = decodeNormal(uv);
+    normal = normalize(normal + mapped * 0.8);
+#endif
+    vec3 lightDir = normalize(lightDirIntensity.xyz);
+    vec3 eyeDir = normalize(viewDir);
+    float ndotl = max(dot(normal, lightDir), 0.0);
+    vec3 diffuse = albedo.rgb * lightColor.rgb * ndotl * lightDirIntensity.w;
+    vec3 ambient = albedo.rgb * ambientColor.rgb * ambientColor.a;
+    vec3 color = diffuse + ambient;
+#ifdef USE_SPECULAR
+    float specMask = texture(specularMap, uv).r;
+    float spec = specularTerm(normal, lightDir, eyeDir, materialParams.x);
+    color = color + lightColor.rgb * spec * specMask * materialParams.y;
+#endif
+#ifdef USE_ENV_REFLECTION
+    vec3 reflected = reflect(-eyeDir, normal);
+    vec3 envSample = texture(envMap, reflected).rgb;
+    color = mix(color, envSample, materialParams.z * 0.5);
+#endif
+#ifdef USE_EMISSIVE
+    vec3 emissive = texture(emissiveMap, uv).rgb;
+    color = color + emissive * materialParams.w;
+#endif
+#ifdef USE_FOG
+    float fogDist = length(worldPos - viewDir);
+    float fogAmount = 1.0 - exp(-fogDist * fogColorDensity.w);
+    color = mix(color, fogColorDensity.rgb, clamp(fogAmount, 0.0, 1.0));
+#endif
+#ifdef USE_RIM_LIGHT
+    float rim = 1.0 - max(dot(normal, eyeDir), 0.0);
+    color = color + lightColor.rgb * rim * rim * 0.3;
+#endif
+#ifdef USE_GAMMA
+    color = pow(color, vec3(1.0 / 2.2));
+#endif
+    fragColor.rgb = color;
+    fragColor.a = albedo.a;
+}
+"#;
+
+/// Percentage-closer shadow filtering — one of the few loop-carrying families.
+const SHADOW_FILTER: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+in vec4 shadowCoord;
+uniform sampler2D shadowMap;
+uniform sampler2D sceneColor;
+uniform float shadowStrength;
+uniform float texelSize;
+void main() {
+    vec3 scene = texture(sceneColor, uv).rgb;
+    vec2 base = shadowCoord.xy / shadowCoord.w;
+    float reference = shadowCoord.z / shadowCoord.w - 0.0015;
+    float lit = 0.0;
+    for (int i = 0; i < TAP_COUNT; i++) {
+        const vec2[] taps = vec2[](
+            vec2(-0.94, -0.40), vec2(0.94, -0.77), vec2(-0.09, -0.93), vec2(0.34, 0.29),
+            vec2(-0.91, 0.45), vec2(-0.81, -0.87), vec2(-0.38, 0.27), vec2(0.97, 0.44),
+            vec2(0.45, -0.39), vec2(0.41, 0.92), vec2(-0.42, -0.46), vec2(-0.54, 0.76),
+            vec2(0.27, -0.63), vec2(-0.12, 0.72), vec2(0.74, 0.11), vec2(0.06, 0.24));
+        vec2 offset = taps[i] * texelSize * SPREAD;
+        float depth = texture(shadowMap, base + offset).r;
+        lit += depth > reference ? 1.0 : 0.0;
+    }
+    lit = lit / float(TAP_COUNT);
+#ifdef USE_SOFT_CONTACT
+    lit = smoothstep(0.1, 0.9, lit);
+#endif
+    float shadowed = mix(1.0 - shadowStrength, 1.0, lit);
+    fragColor.rgb = scene * shadowed;
+    fragColor.a = 1.0;
+}
+"#;
+
+/// Separable gaussian blur / bloom downsampling — the other loop family.
+const BLOOM_BLUR: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D inputImage;
+uniform vec2 blurDirection;
+uniform float bloomBoost;
+void main() {
+    const float[] kernel = float[](0.05, 0.09, 0.12, 0.15, 0.18, 0.15, 0.12, 0.09, 0.05);
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < RADIUS; i++) {
+        float offset = (float(i) - HALF_RADIUS) * 0.004;
+        vec2 sampleUv = uv + blurDirection * offset;
+        acc += texture(inputImage, sampleUv) * kernel[i];
+    }
+#ifdef USE_THRESHOLD
+    vec3 bright = max(acc.rgb - vec3(0.7), vec3(0.0));
+    acc.rgb = bright * bloomBoost;
+#endif
+#ifdef USE_BOOST
+    acc.rgb = acc.rgb * bloomBoost * 1.0;
+#endif
+    fragColor = acc / WEIGHT_SUM;
+}
+"#;
+
+/// Screen-space ambient occlusion estimation (loop + dot products).
+const SSAO: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D depthBuffer;
+uniform sampler2D normalBuffer;
+uniform float aoRadius;
+uniform float aoBias;
+void main() {
+    const vec2[] kernel = vec2[](
+        vec2(0.53, 0.21), vec2(-0.62, 0.17), vec2(0.12, -0.67), vec2(-0.25, -0.42),
+        vec2(0.31, 0.58), vec2(-0.48, 0.55), vec2(0.71, -0.23), vec2(-0.11, 0.36));
+    float centerDepth = texture(depthBuffer, uv).r;
+    vec3 normal = texture(normalBuffer, uv).xyz * 2.0 - vec3(1.0);
+    float occlusion = 0.0;
+    for (int i = 0; i < SAMPLE_COUNT; i++) {
+        vec2 offset = kernel[i] * aoRadius;
+        float sampleDepth = texture(depthBuffer, uv + offset).r;
+        float delta = centerDepth - sampleDepth - aoBias;
+        occlusion += clamp(delta * 40.0, 0.0, 1.0) * (1.0 - clamp(delta * 8.0, 0.0, 1.0));
+    }
+    float ao = 1.0 - occlusion / float(SAMPLE_COUNT);
+#ifdef USE_POWER_CURVE
+    ao = pow(ao, 1.6);
+#endif
+    fragColor.rgb = vec3(ao);
+    fragColor.a = 1.0;
+}
+"#;
+
+/// Animated water surface: transcendental-heavy with reflections.
+const WATER: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+in vec3 viewDir;
+uniform sampler2D normalMap;
+uniform samplerCube envMap;
+uniform vec4 waterTint;
+uniform float waveTime;
+uniform float waveScale;
+void main() {
+    vec2 wave1 = uv * 4.0 + vec2(waveTime * 0.03, waveTime * 0.017);
+    vec2 wave2 = uv * 7.0 - vec2(waveTime * 0.021, waveTime * 0.013);
+    vec3 n1 = texture(normalMap, wave1).xyz * 2.0 - vec3(1.0);
+    vec3 n2 = texture(normalMap, wave2).xyz * 2.0 - vec3(1.0);
+    vec3 normal = normalize(n1 + n2 * waveScale);
+    float ripple = sin(uv.x * 40.0 + waveTime) * cos(uv.y * 33.0 - waveTime) * 0.02;
+    normal.x = normal.x + ripple;
+    vec3 eye = normalize(viewDir);
+    vec3 reflected = reflect(-eye, normal);
+    vec3 env = texture(envMap, reflected).rgb;
+    float fresnel = pow(1.0 - max(dot(eye, normal), 0.0), 5.0);
+    vec3 color = mix(waterTint.rgb, env, clamp(fresnel * FRESNEL_SCALE, 0.0, 1.0));
+#ifdef USE_FOAM
+    float foam = smoothstep(0.6, 0.9, fresnel + ripple * 12.0);
+    color = color + vec3(foam * 0.35);
+#endif
+    fragColor.rgb = color;
+    fragColor.a = waterTint.a;
+}
+"#;
+
+/// Post-processing colour grading / tonemapping variants.
+const COLOR_GRADE: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D sceneColor;
+uniform float exposure;
+uniform vec4 liftGammaGain;
+void main() {
+    vec3 color = texture(sceneColor, uv).rgb * exposure;
+#ifdef USE_REINHARD
+    color = color / (color + vec3(1.0));
+#endif
+#ifdef USE_FILMIC
+    vec3 x = max(color - vec3(0.004), vec3(0.0));
+    color = (x * (6.2 * x + vec3(0.5))) / (x * (6.2 * x + vec3(1.7)) + vec3(0.06));
+#endif
+#ifdef USE_LIFT_GAIN
+    color = color * liftGammaGain.z + vec3(liftGammaGain.x * 0.1);
+#endif
+#ifdef USE_SATURATION
+    float luma = dot(color, vec3(0.2126, 0.7152, 0.0722));
+    color = mix(vec3(luma), color, SATURATION);
+#endif
+    color = pow(color, vec3(1.0 / GAMMA));
+    fragColor.rgb = color;
+    fragColor.a = 1.0;
+}
+"#;
+
+/// Depth-of-field style circle-of-confusion + small utility passes.
+const UTILITY: &str = r#"
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D inputA;
+uniform sampler2D inputB;
+uniform vec4 params;
+void main() {
+    vec4 a = texture(inputA, uv);
+#ifdef MODE_COPY
+    fragColor = a;
+#endif
+#ifdef MODE_SCALE_BIAS
+    fragColor = a * params.x + vec4(params.y);
+#endif
+#ifdef MODE_BLEND
+    vec4 b = texture(inputB, uv);
+    fragColor = mix(a, b, params.z);
+#endif
+#ifdef MODE_LUMA
+    float luma = dot(a.rgb, vec3(0.299, 0.587, 0.114));
+    fragColor = vec4(luma, luma, luma, 1.0);
+#endif
+#ifdef MODE_COC
+    float depth = a.r;
+    float coc = clamp(abs(depth - params.x) / params.y, 0.0, 1.0);
+    fragColor = vec4(coc, coc, coc, 1.0);
+#endif
+}
+"#;
+
+/// Builds the full family list with their specialisations.
+pub fn all_families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "ui_blit",
+            source: UI_BLIT,
+            specializations: cross(
+                &[
+                    &[],
+                    &[("USE_TINT", "")],
+                    &[("USE_GRAYSCALE", "")],
+                    &[("USE_TINT", ""), ("USE_PREMULTIPLY", "")],
+                    &[("USE_TINT", ""), ("USE_VIGNETTE", "")],
+                    &[("USE_HALF_INTENSITY", "")],
+                    &[("USE_TINT", ""), ("USE_GRAYSCALE", ""), ("USE_VIGNETTE", "")],
+                    &[("USE_PREMULTIPLY", ""), ("USE_HALF_INTENSITY", "")],
+                ],
+                &[("OPACITY_SCALE", "1.0"), ("OPACITY_SCALE", "2.0")],
+            ),
+        },
+        Family {
+            name: "particle",
+            source: PARTICLE,
+            specializations: cross(
+                &[
+                    &[],
+                    &[("USE_SOFT_FADE", ""), ("FADE_RATE", "1.5")],
+                    &[("USE_ALPHA_TEST", "")],
+                    &[("USE_BOOST", ""), ("BOOST_FACTOR", "2.5")],
+                    &[("USE_SOFT_FADE", ""), ("FADE_RATE", "0.75"), ("USE_ALPHA_TEST", "")],
+                    &[("USE_BOOST", ""), ("BOOST_FACTOR", "1.25"), ("USE_ALPHA_TEST", "")],
+                ],
+                &[("_PAD", "0")],
+            ),
+        },
+        Family {
+            name: "skybox",
+            source: SKYBOX,
+            specializations: vec![
+                vec![],
+                vec![("USE_HORIZON_FADE", "")],
+                vec![("USE_EXPOSURE", ""), ("EXPOSURE_VALUE", "1.4")],
+                vec![("USE_EXPOSURE", ""), ("EXPOSURE_VALUE", "0.8"), ("USE_HORIZON_FADE", "")],
+            ],
+        },
+        Family {
+            name: "texture_combine",
+            source: TEXTURE_COMBINE,
+            specializations: cross(
+                &[
+                    &[("DETAIL_SCALE", "4.0")],
+                    &[("DETAIL_SCALE", "8.0"), ("USE_TINT", "")],
+                    &[("DETAIL_SCALE", "4.0"), ("USE_CONTRAST", ""), ("CONTRAST_FACTOR", "1.3")],
+                    &[("DETAIL_SCALE", "16.0"), ("USE_DESATURATE", "")],
+                    &[("DETAIL_SCALE", "8.0"), ("USE_TINT", ""), ("USE_CONTRAST", ""), ("CONTRAST_FACTOR", "1.1")],
+                ],
+                &[("_PAD", "0"), ("_PAD", "1")],
+            ),
+        },
+        Family {
+            name: "forward_lit",
+            source: FORWARD_LIT,
+            specializations: forward_lit_specializations(),
+        },
+        Family {
+            name: "shadow_filter",
+            source: SHADOW_FILTER,
+            specializations: vec![
+                vec![("TAP_COUNT", "4"), ("SPREAD", "1.0")],
+                vec![("TAP_COUNT", "8"), ("SPREAD", "1.0")],
+                vec![("TAP_COUNT", "16"), ("SPREAD", "1.0")],
+                vec![("TAP_COUNT", "8"), ("SPREAD", "2.0"), ("USE_SOFT_CONTACT", "")],
+                vec![("TAP_COUNT", "16"), ("SPREAD", "1.5"), ("USE_SOFT_CONTACT", "")],
+                vec![("TAP_COUNT", "4"), ("SPREAD", "0.5"), ("USE_SOFT_CONTACT", "")],
+            ],
+        },
+        Family {
+            name: "bloom_blur",
+            source: BLOOM_BLUR,
+            specializations: vec![
+                vec![("RADIUS", "5"), ("HALF_RADIUS", "2.0"), ("WEIGHT_SUM", "0.59")],
+                vec![("RADIUS", "9"), ("HALF_RADIUS", "4.0"), ("WEIGHT_SUM", "1.0")],
+                vec![("RADIUS", "9"), ("HALF_RADIUS", "4.0"), ("WEIGHT_SUM", "1.0"), ("USE_THRESHOLD", "")],
+                vec![("RADIUS", "5"), ("HALF_RADIUS", "2.0"), ("WEIGHT_SUM", "0.59"), ("USE_BOOST", "")],
+                vec![("RADIUS", "7"), ("HALF_RADIUS", "3.0"), ("WEIGHT_SUM", "0.86"), ("USE_THRESHOLD", "")],
+                vec![("RADIUS", "7"), ("HALF_RADIUS", "3.0"), ("WEIGHT_SUM", "0.86"), ("USE_BOOST", "")],
+            ],
+        },
+        Family {
+            name: "ssao",
+            source: SSAO,
+            specializations: vec![
+                vec![("SAMPLE_COUNT", "4")],
+                vec![("SAMPLE_COUNT", "8")],
+                vec![("SAMPLE_COUNT", "8"), ("USE_POWER_CURVE", "")],
+                vec![("SAMPLE_COUNT", "4"), ("USE_POWER_CURVE", "")],
+            ],
+        },
+        Family {
+            name: "water",
+            source: WATER,
+            specializations: vec![
+                vec![("FRESNEL_SCALE", "1.0")],
+                vec![("FRESNEL_SCALE", "1.5")],
+                vec![("FRESNEL_SCALE", "1.0"), ("USE_FOAM", "")],
+                vec![("FRESNEL_SCALE", "2.0"), ("USE_FOAM", "")],
+            ],
+        },
+        Family {
+            name: "color_grade",
+            source: COLOR_GRADE,
+            specializations: vec![
+                vec![("GAMMA", "2.2")],
+                vec![("GAMMA", "2.2"), ("USE_REINHARD", "")],
+                vec![("GAMMA", "2.4"), ("USE_FILMIC", "")],
+                vec![("GAMMA", "2.2"), ("USE_REINHARD", ""), ("USE_SATURATION", ""), ("SATURATION", "1.2")],
+                vec![("GAMMA", "2.2"), ("USE_FILMIC", ""), ("USE_LIFT_GAIN", "")],
+                vec![("GAMMA", "1.8"), ("USE_LIFT_GAIN", ""), ("USE_SATURATION", ""), ("SATURATION", "0.8")],
+                vec![("GAMMA", "2.2"), ("USE_FILMIC", ""), ("USE_SATURATION", ""), ("SATURATION", "1.1")],
+                vec![("GAMMA", "2.4"), ("USE_REINHARD", ""), ("USE_LIFT_GAIN", "")],
+            ],
+        },
+        Family {
+            name: "utility",
+            source: UTILITY,
+            specializations: vec![
+                vec![("MODE_COPY", "")],
+                vec![("MODE_SCALE_BIAS", "")],
+                vec![("MODE_BLEND", "")],
+                vec![("MODE_LUMA", "")],
+                vec![("MODE_COC", "")],
+            ],
+        },
+    ]
+}
+
+/// The forward-lighting übershader gets the widest spread of specialisations,
+/// like GFXBench's families of near-identical lit shaders.
+fn forward_lit_specializations() -> Vec<Vec<(&'static str, &'static str)>> {
+    let feature_sets: Vec<Vec<(&'static str, &'static str)>> = vec![
+        vec![],
+        vec![("USE_NORMAL_MAP", "")],
+        vec![("USE_SPECULAR", "")],
+        vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", "")],
+        vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", ""), ("USE_ENV_REFLECTION", "")],
+        vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", ""), ("USE_EMISSIVE", "")],
+        vec![("USE_FOG", "")],
+        vec![("USE_NORMAL_MAP", ""), ("USE_FOG", "")],
+        vec![("USE_SPECULAR", ""), ("USE_FOG", ""), ("USE_RIM_LIGHT", "")],
+        vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", ""), ("USE_ENV_REFLECTION", ""), ("USE_EMISSIVE", ""), ("USE_FOG", "")],
+        vec![("USE_ALPHA_TEST", "")],
+        vec![("USE_ALPHA_TEST", ""), ("USE_NORMAL_MAP", "")],
+        vec![("USE_ALPHA_TEST", ""), ("USE_NORMAL_MAP", ""), ("USE_SPECULAR", "")],
+        vec![("USE_RIM_LIGHT", "")],
+        vec![("USE_EMISSIVE", "")],
+        vec![("USE_ENV_REFLECTION", "")],
+    ];
+    let mut out = Vec::new();
+    for set in &feature_sets {
+        // Non-gamma and gamma variants of each feature set.
+        out.push(set.clone());
+        let mut with_gamma = set.clone();
+        with_gamma.push(("USE_GAMMA", ""));
+        out.push(with_gamma);
+    }
+    out
+}
+
+/// Cartesian product helper: every base specialisation combined with every
+/// extra parameter assignment.
+fn cross(
+    bases: &[&[(&'static str, &'static str)]],
+    params: &[(&'static str, &'static str)],
+) -> Vec<Vec<(&'static str, &'static str)>> {
+    let mut out = Vec::new();
+    for base in bases {
+        for param in params {
+            let mut spec: Vec<(&'static str, &'static str)> = base.to_vec();
+            spec.push(*param);
+            out.push(spec);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_inventory_is_diverse() {
+        let families = all_families();
+        assert!(families.len() >= 10);
+        let total: usize = families.iter().map(|f| f.specializations.len()).sum();
+        assert!(total >= 100, "expected at least 100 instances, got {total}");
+        // Loop-carrying families are a minority, as in the paper.
+        let loopy: usize = families
+            .iter()
+            .filter(|f| f.source.contains("for ("))
+            .map(|f| f.specializations.len())
+            .sum();
+        assert!((loopy as f64) < 0.25 * total as f64);
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<&str> = all_families().iter().map(|f| f.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn cross_products_compose() {
+        let specs = cross(&[&[], &[("A", "")]], &[("P", "1"), ("P", "2")]);
+        assert_eq!(specs.len(), 4);
+        assert!(specs[3].contains(&("A", "")));
+        assert!(specs[3].contains(&("P", "2")));
+    }
+}

@@ -1,0 +1,30 @@
+//! # prism-emit — IR → GLSL back-end
+//!
+//! Regenerates GLSL source from prism IR, the way LunarGlass's GLSL back-end
+//! does for the paper's source-to-source pipeline. The emitted code exhibits
+//! the same artefact classes the paper documents (§III-C): matrices arrive
+//! already scalarised from the lowering, scalar×vector arithmetic is splatted,
+//! unrolled/flattened control flow becomes one long block of temporaries, and
+//! the mobile path re-emits with ES headers and renamed temporaries.
+//!
+//! ```
+//! use prism_ir::prelude::*;
+//! use prism_emit::emit_glsl;
+//!
+//! let mut s = Shader::new("doc");
+//! s.outputs.push(OutputVar { name: "color".into(), ty: IrType::fvec(4) });
+//! let r = s.new_reg(IrType::fvec(4));
+//! s.body = vec![
+//!     Stmt::Def { dst: r, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.5) } },
+//!     Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+//! ];
+//! let glsl = emit_glsl(&s);
+//! assert!(glsl.contains("out vec4 color;"));
+//! ```
+
+pub mod glsl_backend;
+pub mod mobile;
+pub mod names;
+
+pub use glsl_backend::{emit_glsl, emit_glsl_with, EmitOptions};
+pub use mobile::emit_gles;

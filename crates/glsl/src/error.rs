@@ -1,0 +1,92 @@
+//! Error types shared by the GLSL front-end stages.
+
+use crate::token::Span;
+use std::fmt;
+
+/// An error produced by the preprocessor, lexer, parser or type checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlslError {
+    /// Which stage of the front-end produced the error.
+    pub stage: Stage,
+    /// Human readable message.
+    pub message: String,
+    /// Location in the (post-preprocessing) source, when known.
+    pub span: Option<Span>,
+}
+
+/// Front-end stage identifiers used in error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// `#define` / `#ifdef` handling.
+    Preprocess,
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis / type checking.
+    TypeCheck,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Preprocess => write!(f, "preprocess"),
+            Stage::Lex => write!(f, "lex"),
+            Stage::Parse => write!(f, "parse"),
+            Stage::TypeCheck => write!(f, "typecheck"),
+        }
+    }
+}
+
+impl GlslError {
+    /// Creates an error without location information.
+    pub fn new(stage: Stage, message: impl Into<String>) -> Self {
+        GlslError {
+            stage,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Creates an error with a source location.
+    pub fn at(stage: Stage, span: Span, message: impl Into<String>) -> Self {
+        GlslError {
+            stage,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+}
+
+impl fmt::Display for GlslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} error at {}: {}", self.stage, span, self.message),
+            None => write!(f, "{} error: {}", self.stage, self.message),
+        }
+    }
+}
+
+impl std::error::Error for GlslError {}
+
+/// Convenience alias for front-end results.
+pub type Result<T> = std::result::Result<T, GlslError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_span() {
+        let e = GlslError::at(Stage::Parse, Span::new(4, 2), "unexpected token");
+        assert_eq!(e.to_string(), "parse error at 4:2: unexpected token");
+        let e = GlslError::new(Stage::Lex, "bad char");
+        assert_eq!(e.to_string(), "lex error: bad char");
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GlslError>();
+    }
+}

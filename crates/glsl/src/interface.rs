@@ -1,0 +1,168 @@
+//! Shader interface introspection.
+//!
+//! The paper's measurement harness (§IV-B) needs to know every uniform,
+//! sampler, stage input and stage output of a fragment shader so it can
+//! (a) generate a matching vertex shader and (b) default-initialise all
+//! uniform values and texture bindings before timing draw calls. This module
+//! extracts that interface from a checked translation unit.
+
+use crate::ast::{StorageQualifier, TranslationUnit};
+use crate::types::{SamplerKind, Type};
+
+/// One variable of the shader's external interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceVar {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional `layout(location=N)` binding.
+    pub location: Option<u32>,
+}
+
+/// The complete external interface of a fragment shader.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShaderInterface {
+    /// Stage inputs (`in` variables), i.e. what the vertex shader must write.
+    pub inputs: Vec<InterfaceVar>,
+    /// Stage outputs (`out` variables), i.e. the render-target colours.
+    pub outputs: Vec<InterfaceVar>,
+    /// Non-sampler uniforms.
+    pub uniforms: Vec<InterfaceVar>,
+    /// Sampler uniforms (texture bindings).
+    pub samplers: Vec<InterfaceVar>,
+}
+
+impl ShaderInterface {
+    /// Extracts the interface from a parsed translation unit.
+    pub fn of(tu: &TranslationUnit) -> ShaderInterface {
+        let mut iface = ShaderInterface::default();
+        for g in tu.globals() {
+            let var = InterfaceVar {
+                name: g.name.clone(),
+                ty: g.ty.clone(),
+                location: g.location,
+            };
+            match g.qualifier {
+                StorageQualifier::In => iface.inputs.push(var),
+                StorageQualifier::Out => iface.outputs.push(var),
+                StorageQualifier::Uniform => {
+                    if g.ty.is_sampler() || matches!(&g.ty, Type::Array(e, _) if e.is_sampler()) {
+                        iface.samplers.push(var);
+                    } else {
+                        iface.uniforms.push(var);
+                    }
+                }
+                StorageQualifier::Const | StorageQualifier::Global => {}
+            }
+        }
+        iface
+    }
+
+    /// Total number of scalar uniform components that must be initialised.
+    ///
+    /// Arrays count as `size × element components`; unsized arrays count one
+    /// element (they cannot legally appear as uniforms in this subset).
+    pub fn uniform_component_count(&self) -> usize {
+        self.uniforms
+            .iter()
+            .map(|u| type_scalar_count(&u.ty))
+            .sum()
+    }
+
+    /// Number of texture bindings required.
+    pub fn sampler_count(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Returns `true` when two interfaces describe the same set of inputs —
+    /// i.e. a vertex shader generated for `self` also matches `other`.
+    ///
+    /// The paper relies on this invariant: optimization must never change the
+    /// shader's external interface.
+    pub fn same_io(&self, other: &ShaderInterface) -> bool {
+        let key = |vars: &[InterfaceVar]| {
+            let mut v: Vec<(String, String)> = vars
+                .iter()
+                .map(|x| (x.name.clone(), x.ty.glsl_name()))
+                .collect();
+            v.sort();
+            v
+        };
+        key(&self.inputs) == key(&other.inputs)
+            && key(&self.outputs) == key(&other.outputs)
+            && key(&self.uniforms) == key(&other.uniforms)
+            && key(&self.samplers) == key(&other.samplers)
+    }
+}
+
+fn type_scalar_count(ty: &Type) -> usize {
+    match ty {
+        Type::Array(elem, Some(n)) => n * type_scalar_count(elem),
+        Type::Array(elem, None) => type_scalar_count(elem),
+        other => other.component_count().unwrap_or(0),
+    }
+}
+
+/// Default sampler kinds enumerated for harness texture setup.
+pub fn default_texture_size(kind: SamplerKind) -> (u32, u32) {
+    // The harness binds a "colourfully-patterned opaque power-of-two image"
+    // (paper §IV-B); cube and array textures get the same square faces.
+    match kind {
+        SamplerKind::Sampler2D | SamplerKind::Sampler2DShadow => (256, 256),
+        SamplerKind::Sampler3D => (64, 64),
+        SamplerKind::SamplerCube | SamplerKind::Sampler2DArray => (128, 128),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn extracts_full_interface() {
+        let tu = parse(
+            "uniform sampler2D tex; uniform vec4 ambient; uniform float exposure;\n\
+             in vec2 uv; in vec3 normal; out vec4 fragColor;\n\
+             void main() { fragColor = texture(tex, uv) * ambient * exposure; }",
+        )
+        .unwrap();
+        let iface = ShaderInterface::of(&tu);
+        assert_eq!(iface.inputs.len(), 2);
+        assert_eq!(iface.outputs.len(), 1);
+        assert_eq!(iface.uniforms.len(), 2);
+        assert_eq!(iface.samplers.len(), 1);
+        assert_eq!(iface.uniform_component_count(), 5);
+        assert_eq!(iface.sampler_count(), 1);
+    }
+
+    #[test]
+    fn const_globals_are_not_interface() {
+        let tu = parse("const float K = 2.0; out vec4 c; void main() { c = vec4(K); }").unwrap();
+        let iface = ShaderInterface::of(&tu);
+        assert!(iface.uniforms.is_empty());
+    }
+
+    #[test]
+    fn same_io_ignores_declaration_order() {
+        let a = parse("uniform float x; uniform float y; in vec2 uv; out vec4 c; void main() { c = vec4(x + y + uv.x); }").unwrap();
+        let b = parse("uniform float y; uniform float x; in vec2 uv; out vec4 c; void main() { c = vec4(uv.y); }").unwrap();
+        assert!(ShaderInterface::of(&a).same_io(&ShaderInterface::of(&b)));
+        let c = parse("uniform float x; in vec2 uv; out vec4 c; void main() { c = vec4(x); }").unwrap();
+        assert!(!ShaderInterface::of(&a).same_io(&ShaderInterface::of(&c)));
+    }
+
+    #[test]
+    fn array_uniforms_count_components() {
+        let tu = parse("uniform vec4 lights[4]; out vec4 c; void main() { c = lights[0]; }").unwrap();
+        let iface = ShaderInterface::of(&tu);
+        assert_eq!(iface.uniform_component_count(), 16);
+    }
+
+    #[test]
+    fn texture_defaults_are_power_of_two() {
+        let (w, h) = default_texture_size(SamplerKind::Sampler2D);
+        assert!(w.is_power_of_two() && h.is_power_of_two());
+    }
+}

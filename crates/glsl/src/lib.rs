@@ -1,0 +1,138 @@
+//! # prism-glsl — GLSL front-end for the prism shader-optimization study
+//!
+//! This crate implements the front half of the LunarGlass-style pipeline used
+//! in *"A Cross-platform Evaluation of Graphics Shader Compiler Optimization"*
+//! (Crawford & O'Boyle, ISPASS 2018): a preprocessor that resolves the
+//! übershader `#define` specialisation pattern, a lexer and recursive-descent
+//! parser for the fragment-shader subset of GLSL used by the GFXBench-style
+//! corpus, a type checker, shader interface introspection (used by the timing
+//! harness to synthesise vertex shaders and default uniform values), and the
+//! paper's lines-of-code complexity metric.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use prism_glsl::ShaderSource;
+//!
+//! let src = r#"
+//!     uniform sampler2D tex; uniform vec4 tint;
+//!     in vec2 uv; out vec4 fragColor;
+//!     void main() { fragColor = texture(tex, uv) * tint; }
+//! "#;
+//! let shader = ShaderSource::parse(src).unwrap();
+//! assert_eq!(shader.interface.samplers.len(), 1);
+//! assert!(shader.lines_of_code > 0);
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod interface;
+pub mod lexer;
+pub mod loc;
+pub mod parser;
+pub mod preprocessor;
+pub mod token;
+pub mod typecheck;
+pub mod types;
+
+use std::collections::HashMap;
+
+pub use ast::TranslationUnit;
+pub use error::{GlslError, Stage};
+pub use interface::ShaderInterface;
+pub use types::Type;
+
+/// A fully front-ended shader: preprocessed text, AST, symbols, interface and
+/// static metrics. This is the unit the optimizer, harness and corpus all
+/// exchange.
+#[derive(Debug, Clone)]
+pub struct ShaderSource {
+    /// Post-preprocessing GLSL text.
+    pub text: String,
+    /// Parsed AST.
+    pub ast: TranslationUnit,
+    /// Symbols gathered by the type checker.
+    pub symbols: typecheck::Symbols,
+    /// External interface (uniforms, samplers, ins, outs).
+    pub interface: ShaderInterface,
+    /// The paper's lines-of-code metric over `text`.
+    pub lines_of_code: usize,
+}
+
+impl ShaderSource {
+    /// Runs the full front-end (no preprocessing) on already-expanded GLSL.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexical, syntactic or semantic error.
+    pub fn parse(source: &str) -> error::Result<ShaderSource> {
+        let ast = parser::parse(source)?;
+        let checked = typecheck::check(&ast)?;
+        let interface = ShaderInterface::of(&ast);
+        Ok(ShaderSource {
+            text: source.to_string(),
+            lines_of_code: loc::lines_of_code(source),
+            ast,
+            symbols: checked.symbols,
+            interface,
+        })
+    }
+
+    /// Preprocesses `source` with the given übershader `#define` switches and
+    /// then runs the full front-end.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first preprocessing, lexical, syntactic or semantic error.
+    pub fn preprocess_and_parse(
+        source: &str,
+        defines: &HashMap<String, String>,
+    ) -> error::Result<ShaderSource> {
+        let pre = preprocessor::preprocess(source, defines)?;
+        ShaderSource::parse(&pre.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shader_source_end_to_end() {
+        let src = "uniform float exposure;\nin vec2 uv;\nout vec4 c;\nvoid main() {\n  c = vec4(uv, 0.0, 1.0) * exposure;\n}";
+        let s = ShaderSource::parse(src).unwrap();
+        assert_eq!(s.interface.inputs.len(), 1);
+        assert_eq!(s.interface.uniforms.len(), 1);
+        assert_eq!(s.lines_of_code, 2);
+        assert!(s.ast.main().is_some());
+    }
+
+    #[test]
+    fn preprocess_and_parse_specialises_ubershader() {
+        let src = r#"
+            uniform sampler2D albedo; in vec2 uv; out vec4 c;
+            void main() {
+                vec4 base = texture(albedo, uv);
+            #ifdef USE_TINT
+                base *= vec4(0.9, 0.8, 0.7, 1.0);
+            #endif
+                c = base;
+            }
+        "#;
+        let plain = ShaderSource::preprocess_and_parse(src, &HashMap::new()).unwrap();
+        let tinted = ShaderSource::preprocess_and_parse(
+            src,
+            &[("USE_TINT".to_string(), String::new())].into_iter().collect(),
+        )
+        .unwrap();
+        assert!(tinted.lines_of_code > plain.lines_of_code);
+        assert!(tinted.interface.same_io(&plain.interface));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(ShaderSource::parse("void main() { oops }").is_err());
+        assert!(ShaderSource::parse("out vec4 c; void main() { c = nothere; }").is_err());
+    }
+}

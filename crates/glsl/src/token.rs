@@ -1,0 +1,307 @@
+//! Lexical tokens for the GLSL subset understood by prism.
+//!
+//! The token set covers the fragment-shader subset of GLSL 4.50 / GLSL ES 3.1
+//! that the GFXBench-style corpus and the paper's motivating example use:
+//! scalar/vector/matrix types, samplers, control flow, preprocessor lines,
+//! swizzles and constructor calls.
+
+use std::fmt;
+
+/// Source location (1-based line and column) of a token.
+///
+/// Locations refer to the *post-preprocessing* text, which is also the text
+/// the paper's lines-of-code metric is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a new span at `line`:`col`.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (variable, function or type-constructor name).
+    Ident(String),
+    /// Floating point literal, e.g. `1.0`, `.5`, `2e-3`.
+    FloatLit(f64),
+    /// Integer literal, e.g. `9`, `0`.
+    IntLit(i64),
+    /// Boolean literal `true` / `false`.
+    BoolLit(bool),
+
+    // Keywords.
+    /// `const`
+    KwConst,
+    /// `uniform`
+    KwUniform,
+    /// `in`
+    KwIn,
+    /// `out`
+    KwOut,
+    /// `flat`
+    KwFlat,
+    /// `highp` / `mediump` / `lowp` precision qualifier (value retained).
+    KwPrecisionQualifier(String),
+    /// `precision` statement keyword.
+    KwPrecision,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `for`
+    KwFor,
+    /// `while`
+    KwWhile,
+    /// `return`
+    KwReturn,
+    /// `discard`
+    KwDiscard,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `void`
+    KwVoid,
+    /// `struct`
+    KwStruct,
+    /// `layout`
+    KwLayout,
+
+    // Punctuation / operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `ident`, if it is a reserved word.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "const" => TokenKind::KwConst,
+            "uniform" => TokenKind::KwUniform,
+            "in" | "varying" | "attribute" => TokenKind::KwIn,
+            "out" => TokenKind::KwOut,
+            "flat" => TokenKind::KwFlat,
+            "highp" | "mediump" | "lowp" => TokenKind::KwPrecisionQualifier(ident.to_string()),
+            "precision" => TokenKind::KwPrecision,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "return" => TokenKind::KwReturn,
+            "discard" => TokenKind::KwDiscard,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "void" => TokenKind::KwVoid,
+            "struct" => TokenKind::KwStruct,
+            "layout" => TokenKind::KwLayout,
+            "true" => TokenKind::BoolLit(true),
+            "false" => TokenKind::BoolLit(false),
+            _ => return None,
+        })
+    }
+
+    /// Returns `true` if the token is an assignment operator (`=`, `+=`, ...).
+    pub fn is_assign_op(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Assign
+                | TokenKind::PlusAssign
+                | TokenKind::MinusAssign
+                | TokenKind::StarAssign
+                | TokenKind::SlashAssign
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::FloatLit(v) => write!(f, "{v}"),
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::BoolLit(v) => write!(f, "{v}"),
+            TokenKind::KwConst => write!(f, "const"),
+            TokenKind::KwUniform => write!(f, "uniform"),
+            TokenKind::KwIn => write!(f, "in"),
+            TokenKind::KwOut => write!(f, "out"),
+            TokenKind::KwFlat => write!(f, "flat"),
+            TokenKind::KwPrecisionQualifier(s) => write!(f, "{s}"),
+            TokenKind::KwPrecision => write!(f, "precision"),
+            TokenKind::KwIf => write!(f, "if"),
+            TokenKind::KwElse => write!(f, "else"),
+            TokenKind::KwFor => write!(f, "for"),
+            TokenKind::KwWhile => write!(f, "while"),
+            TokenKind::KwReturn => write!(f, "return"),
+            TokenKind::KwDiscard => write!(f, "discard"),
+            TokenKind::KwBreak => write!(f, "break"),
+            TokenKind::KwContinue => write!(f, "continue"),
+            TokenKind::KwVoid => write!(f, "void"),
+            TokenKind::KwStruct => write!(f, "struct"),
+            TokenKind::KwLayout => write!(f, "layout"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::PlusAssign => write!(f, "+="),
+            TokenKind::MinusAssign => write!(f, "-="),
+            TokenKind::StarAssign => write!(f, "*="),
+            TokenKind::SlashAssign => write!(f, "/="),
+            TokenKind::Eq => write!(f, "=="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Question => write!(f, "?"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::PlusPlus => write!(f, "++"),
+            TokenKind::MinusMinus => write!(f, "--"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where the token starts in the post-preprocessing source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token from a kind and span.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_recognises_reserved_words() {
+        assert_eq!(TokenKind::keyword("uniform"), Some(TokenKind::KwUniform));
+        assert_eq!(TokenKind::keyword("for"), Some(TokenKind::KwFor));
+        assert_eq!(TokenKind::keyword("true"), Some(TokenKind::BoolLit(true)));
+        assert_eq!(TokenKind::keyword("vec4"), None);
+    }
+
+    #[test]
+    fn precision_qualifiers_are_keywords() {
+        assert_eq!(
+            TokenKind::keyword("highp"),
+            Some(TokenKind::KwPrecisionQualifier("highp".into()))
+        );
+    }
+
+    #[test]
+    fn assign_ops_classified() {
+        assert!(TokenKind::PlusAssign.is_assign_op());
+        assert!(TokenKind::Assign.is_assign_op());
+        assert!(!TokenKind::Eq.is_assign_op());
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::LParen.to_string(), "(");
+        assert_eq!(TokenKind::AndAnd.to_string(), "&&");
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+    }
+}

@@ -1,0 +1,34 @@
+//! # prism-gpu — the five-vendor GPU substrate
+//!
+//! The paper measures real GPUs; this crate provides the simulated substitute
+//! (see DESIGN.md §1): for each of the five platforms — Intel HD 530, AMD
+//! RX 480, NVIDIA GTX 1080, ARM Mali-T880 and Qualcomm Adreno 530 — a
+//! [`Platform`] bundles
+//!
+//! * a [`DriverModel`](driver::DriverModel): the vendor JIT compiler, which
+//!   re-parses incoming GLSL and applies the conformant optimizations that
+//!   driver is known to perform (this is what decides whether an *offline*
+//!   optimization still has an effect on that platform),
+//! * a [`DeviceSpec`](vendor::DeviceSpec): the architecture model (scalar vs.
+//!   vec4 ALUs, texture throughput, register budget, occupancy behaviour,
+//!   timer-query noise),
+//! * the [cost model](cost) and [timing model](timing) that convert compiled
+//!   IR into per-frame `GL_TIME_ELAPSED`-style samples,
+//! * an ARM-offline-compiler-style [static analyser](static_analysis) used
+//!   for the Fig. 4b shader characterisation.
+
+pub mod cost;
+pub mod driver;
+pub mod isa;
+pub mod platform;
+pub mod static_analysis;
+pub mod timing;
+pub mod vendor;
+
+pub use cost::FragmentCost;
+pub use driver::DriverModel;
+pub use isa::IsaStats;
+pub use platform::{Platform, ShaderCost};
+pub use static_analysis::{analyze, StaticCycles};
+pub use timing::{DrawConfig, TimeSample};
+pub use vendor::{AluStyle, DeviceSpec, Vendor};

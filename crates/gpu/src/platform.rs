@@ -1,0 +1,187 @@
+//! One measurable platform: device model + driver model.
+
+use crate::cost::FragmentCost;
+use crate::driver::DriverModel;
+use crate::isa::IsaStats;
+use crate::static_analysis::{analyze, StaticCycles};
+use crate::timing::{ideal_frame_time_ns, sample_frame_time_ns, DrawConfig, TimeSample};
+use crate::vendor::{DeviceSpec, Vendor};
+use prism_core::CompileError;
+use prism_ir::Shader;
+use rand::Rng;
+
+/// A GPU platform as the study sees it: the driver compiler that consumes
+/// GLSL plus the hardware model that executes the result.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Hardware/measurement parameters.
+    pub spec: DeviceSpec,
+    /// Driver (JIT compiler) model.
+    pub driver: DriverModel,
+    /// Draw configuration used for timing on this platform.
+    pub draw: DrawConfig,
+}
+
+/// Everything the platform derives from one shader submission.
+#[derive(Debug, Clone)]
+pub struct ShaderCost {
+    /// The driver-compiled IR (after the vendor's internal passes).
+    pub driver_ir: Shader,
+    /// Instruction statistics of the driver-compiled code.
+    pub stats: IsaStats,
+    /// The per-fragment cost model output.
+    pub cost: FragmentCost,
+    /// Noise-free time for one frame, in nanoseconds.
+    pub ideal_frame_ns: f64,
+}
+
+impl Platform {
+    /// The platform preset for a vendor.
+    pub fn new(vendor: Vendor) -> Platform {
+        let spec = DeviceSpec::preset(vendor);
+        let draw = DrawConfig::for_device(&spec);
+        Platform {
+            driver: DriverModel::preset(vendor),
+            spec,
+            draw,
+        }
+    }
+
+    /// All five platforms of the study.
+    pub fn all() -> Vec<Platform> {
+        Vendor::ALL.iter().map(|v| Platform::new(*v)).collect()
+    }
+
+    /// The vendor of this platform.
+    pub fn vendor(&self) -> Vendor {
+        self.spec.vendor
+    }
+
+    /// Submits GLSL to the driver and evaluates the hardware cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the driver front-end rejects the source.
+    pub fn submit(&self, glsl: &str, name: &str) -> Result<ShaderCost, CompileError> {
+        let driver_ir = self.driver.compile(glsl, name)?;
+        Ok(self.cost_of_ir(driver_ir))
+    }
+
+    /// Evaluates the hardware model on already driver-compiled IR.
+    pub fn cost_of_ir(&self, driver_ir: Shader) -> ShaderCost {
+        let stats = IsaStats::of(&driver_ir);
+        let cost = FragmentCost::evaluate(&stats, &self.spec);
+        let ideal_frame_ns = ideal_frame_time_ns(&cost, &self.spec, &self.draw);
+        ShaderCost {
+            driver_ir,
+            stats,
+            cost,
+            ideal_frame_ns,
+        }
+    }
+
+    /// Samples one noisy timer-query measurement of a frame of this shader.
+    pub fn sample_frame(&self, cost: &ShaderCost, rng: &mut impl Rng) -> TimeSample {
+        sample_frame_time_ns(&cost.cost, &self.spec, &self.draw, rng)
+    }
+
+    /// Runs the ARM-style static analyser on driver-compiled IR (used for the
+    /// Fig. 4b complexity characterisation; defined for every platform but
+    /// the paper reports it for the Mali toolchain).
+    pub fn static_cycles(&self, driver_ir: &Shader) -> StaticCycles {
+        analyze(driver_ir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const BLUR: &str = r#"
+        out vec4 fragColor; in vec2 uv;
+        uniform sampler2D tex;
+        uniform vec4 ambient;
+        void main() {
+            const vec4[] weights = vec4[](
+                vec4(0.01), vec4(0.05), vec4(0.14), vec4(0.21), vec4(0.18),
+                vec4(0.21), vec4(0.14), vec4(0.05), vec4(0.01));
+            const vec2[] offsets = vec2[](
+                vec2(-0.0083), vec2(-0.0062), vec2(-0.0042), vec2(-0.0021), vec2(0.0),
+                vec2(0.0021), vec2(0.0042), vec2(0.0062), vec2(0.0083));
+            float weightTotal = 0.0;
+            fragColor = vec4(0.0);
+            for (int i = 0; i < 9; i++) {
+                weightTotal += weights[i][0];
+                fragColor += weights[i] * texture(tex, uv + offsets[i]) * 3.0 * ambient;
+            }
+            fragColor /= weightTotal;
+        }
+    "#;
+
+    #[test]
+    fn five_platforms_exist() {
+        let all = Platform::all();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].vendor(), Vendor::Intel);
+        assert!(all.iter().filter(|p| p.vendor().is_mobile()).count() == 2);
+    }
+
+    #[test]
+    fn submit_compiles_and_costs_a_real_shader() {
+        for platform in Platform::all() {
+            let cost = platform.submit(BLUR, "blur").expect("blur compiles everywhere");
+            assert_eq!(cost.stats.texture_samples, 9.0, "{}", platform.vendor());
+            assert!(cost.cost.total_cycles > 0.0);
+            assert!(cost.ideal_frame_ns > 0.0);
+            let static_cycles = platform.static_cycles(&cost.driver_ir);
+            assert!(static_cycles.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn optimized_blur_is_faster_everywhere_and_more_so_on_mobile() {
+        use prism_core::{compile, Flag, OptFlags};
+        let src = prism_glsl::ShaderSource::parse(BLUR).unwrap();
+        let baseline = compile(&src, "blur", OptFlags::NONE).unwrap();
+        let optimized = compile(
+            &src,
+            "blur",
+            OptFlags::from_flags(&[Flag::Unroll, Flag::FpReassociate, Flag::DivToMul, Flag::Coalesce]),
+        )
+        .unwrap();
+        let mut desktop_gains = Vec::new();
+        let mut mobile_gains = Vec::new();
+        for platform in Platform::all() {
+            let before = platform.submit(&baseline.glsl, "blur").unwrap().ideal_frame_ns;
+            let after = platform.submit(&optimized.glsl, "blur").unwrap().ideal_frame_ns;
+            let gain = (before - after) / before;
+            assert!(
+                gain > 0.0,
+                "{}: optimization should not slow the blur down (gain {gain:.3})",
+                platform.vendor()
+            );
+            if platform.vendor().is_mobile() {
+                mobile_gains.push(gain);
+            } else {
+                desktop_gains.push(gain);
+            }
+        }
+        let desktop_avg = desktop_gains.iter().sum::<f64>() / desktop_gains.len() as f64;
+        let mobile_avg = mobile_gains.iter().sum::<f64>() / mobile_gains.len() as f64;
+        assert!(
+            mobile_avg > desktop_avg,
+            "mobile should gain more (desktop {desktop_avg:.3}, mobile {mobile_avg:.3})"
+        );
+    }
+
+    #[test]
+    fn sampling_is_reproducible_per_seed() {
+        let platform = Platform::new(Vendor::Arm);
+        let cost = platform.submit(BLUR, "blur").unwrap();
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(platform.sample_frame(&cost, &mut r1), platform.sample_frame(&cost, &mut r2));
+    }
+}

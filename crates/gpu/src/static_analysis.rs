@@ -1,0 +1,174 @@
+//! Static shader analysis in the style of ARM's offline Mali compiler.
+//!
+//! The paper uses ARM's static analyser to characterise shader complexity
+//! (Fig. 4b): the number of cycles spent on **arithmetic**, **load/store**
+//! and **texture** operations along the longest execution path. This module
+//! reproduces that tool against the prism IR: loops contribute their full
+//! trip count, conditionals contribute their more expensive side, and the
+//! three totals use Mali-Midgard-style per-class throughput.
+
+use prism_ir::prelude::*;
+
+/// Cycle totals reported by the static analyser.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StaticCycles {
+    /// Arithmetic-pipeline cycles on the longest path.
+    pub arithmetic: f64,
+    /// Load/store-pipeline cycles (uniform/varying/constant traffic).
+    pub load_store: f64,
+    /// Texture-pipeline cycles.
+    pub texture: f64,
+}
+
+impl StaticCycles {
+    /// Sum of the three pipelines — the "total cycles" number plotted in
+    /// Fig. 4b.
+    pub fn total(&self) -> f64 {
+        self.arithmetic + self.load_store + self.texture
+    }
+
+    /// The dominant pipeline (what the shader is bound by).
+    pub fn bound_by(&self) -> &'static str {
+        if self.texture >= self.arithmetic && self.texture >= self.load_store {
+            "texture"
+        } else if self.arithmetic >= self.load_store {
+            "arithmetic"
+        } else {
+            "load_store"
+        }
+    }
+}
+
+/// Analyses a shader, returning longest-path cycle estimates.
+pub fn analyze(shader: &Shader) -> StaticCycles {
+    let mut cycles = StaticCycles::default();
+    // Interface traffic: each input/uniform read costs load/store cycles once.
+    cycles.load_store += shader.inputs.len() as f64 * 0.5;
+    cycles.load_store += shader.uniforms.len() as f64 * 0.25;
+    analyze_body(shader, &shader.body, 1.0, &mut cycles);
+    cycles
+}
+
+fn analyze_body(shader: &Shader, body: &[Stmt], scale: f64, cycles: &mut StaticCycles) {
+    for stmt in body {
+        match stmt {
+            Stmt::Def { dst, op } => analyze_op(shader, *dst, op, scale, cycles),
+            Stmt::StoreOutput { .. } => cycles.load_store += scale * 0.5,
+            Stmt::Discard { .. } => cycles.arithmetic += scale * 0.25,
+            Stmt::If { then_body, else_body, .. } => {
+                cycles.arithmetic += scale * 0.5;
+                // Longest path: take the more expensive side entirely.
+                let mut then_c = StaticCycles::default();
+                analyze_body(shader, then_body, scale, &mut then_c);
+                let mut else_c = StaticCycles::default();
+                analyze_body(shader, else_body, scale, &mut else_c);
+                let chosen = if then_c.total() >= else_c.total() { then_c } else { else_c };
+                cycles.arithmetic += chosen.arithmetic;
+                cycles.load_store += chosen.load_store;
+                cycles.texture += chosen.texture;
+            }
+            Stmt::Loop { start, end, step, body: loop_body, .. } => {
+                let trips = if *step > 0 {
+                    ((end - start).max(0) as f64 / *step as f64).ceil()
+                } else if *step < 0 {
+                    ((start - end).max(0) as f64 / (-*step) as f64).ceil()
+                } else {
+                    0.0
+                };
+                cycles.arithmetic += scale * trips * 0.5;
+                analyze_body(shader, loop_body, scale * trips, cycles);
+            }
+        }
+    }
+}
+
+fn analyze_op(shader: &Shader, dst: Reg, op: &Op, scale: f64, cycles: &mut StaticCycles) {
+    // Midgard-style: the arithmetic pipe retires roughly one vec4 op per
+    // cycle; transcendentals take several; loads/stores and texture ops go to
+    // their own pipes.
+    let width = shader.reg_ty(dst).width as f64;
+    match op {
+        Op::Binary(BinaryOp::Div | BinaryOp::Mod, ..) => cycles.arithmetic += scale * 2.0,
+        Op::Binary(..) | Op::Unary(..) | Op::Select { .. } | Op::Convert { .. } => {
+            cycles.arithmetic += scale * 1.0
+        }
+        Op::Intrinsic(i, _) => {
+            cycles.arithmetic += if i.is_transcendental() { scale * 3.0 } else { scale * 1.5 }
+        }
+        Op::TextureSample { .. } => cycles.texture += scale * 2.0,
+        Op::ConstArrayLoad { .. } => cycles.load_store += scale * 1.0,
+        Op::Mov(Operand::Uniform(_)) | Op::Mov(Operand::Input(_)) => {
+            cycles.load_store += scale * 0.25
+        }
+        Op::Mov(_) | Op::Splat { .. } | Op::Construct { .. } | Op::Extract { .. }
+        | Op::Insert { .. } | Op::Swizzle { .. } => {
+            cycles.arithmetic += scale * 0.25 * (width / 4.0).max(0.25)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn texture_heavy_shader_is_texture_bound() {
+        let mut s = Shader::new("texbound");
+        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.samplers.push(SamplerVar { name: "t".into(), dim: TextureDim::Dim2D });
+        s.inputs.push(InputVar { name: "uv".into(), ty: IrType::fvec(2) });
+        let mut acc = s.new_reg(IrType::fvec(4));
+        let mut body = vec![Stmt::Def { dst: acc, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } }];
+        for _ in 0..8 {
+            let t = s.new_reg(IrType::fvec(4));
+            let sum = s.new_reg(IrType::fvec(4));
+            body.push(Stmt::Def { dst: t, op: Op::TextureSample { sampler: 0, coords: Operand::Input(0), lod: None, dim: TextureDim::Dim2D } });
+            body.push(Stmt::Def { dst: sum, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(t)) });
+            acc = sum;
+        }
+        body.push(Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(acc) });
+        s.body = body;
+        let c = analyze(&s);
+        assert_eq!(c.bound_by(), "texture");
+        assert!(c.total() > 8.0);
+    }
+
+    #[test]
+    fn loops_multiply_and_longest_branch_wins() {
+        let mut s = Shader::new("paths");
+        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        let i = s.new_reg(IrType::I32);
+        let a = s.new_reg(IrType::fvec(4));
+        let heavy: Vec<Stmt> = (0..6)
+            .map(|_| Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Add, Operand::fvec(vec![1.0; 4]), Operand::fvec(vec![1.0; 4])) })
+            .collect();
+        s.body = vec![
+            Stmt::Def { dst: a, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Loop {
+                var: i,
+                start: 0,
+                end: 4,
+                step: 1,
+                body: vec![Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::fvec(vec![1.0; 4])) }],
+            },
+            Stmt::If {
+                cond: Operand::boolean(false),
+                then_body: vec![Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Mul, Operand::Reg(a), Operand::fvec(vec![2.0; 4])) }],
+                else_body: heavy,
+            },
+            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+        ];
+        let c = analyze(&s);
+        // 4 loop iterations + 6 else-side ops + 1 then-side op: longest path
+        // uses the else side.
+        assert!(c.arithmetic >= 4.0 + 6.0);
+        assert_eq!(c.bound_by(), "arithmetic");
+    }
+
+    #[test]
+    fn totals_are_additive() {
+        let c = StaticCycles { arithmetic: 3.0, load_store: 1.0, texture: 2.0 };
+        assert_eq!(c.total(), 6.0);
+        assert_eq!(c.bound_by(), "arithmetic");
+    }
+}

@@ -1,0 +1,177 @@
+//! Draw-call timing and the `GL_TIME_ELAPSED` measurement noise model.
+//!
+//! The paper times full-screen draws with OpenGL timer queries, noting that
+//! the queries "can be noisy and introduce profiling overhead" (§IV-B), that
+//! Intel shows the least measurement noise (§VI-D7), and that symmetric
+//! near-zero result distributions are probably noise rather than signal.
+//! This module converts the per-fragment cycle estimate into a wall-clock
+//! draw time and adds platform-calibrated multiplicative noise from a seeded
+//! generator, so every experiment is reproducible.
+
+use crate::cost::FragmentCost;
+use crate::vendor::DeviceSpec;
+use rand::Rng;
+
+/// How the harness draws each frame (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrawConfig {
+    /// Render-target width in pixels.
+    pub width: u32,
+    /// Render-target height in pixels.
+    pub height: u32,
+    /// Number of full-screen triangles drawn front-to-back per frame
+    /// (1000 on desktop, 100 on mobile in the paper).
+    pub triangles_per_frame: u32,
+}
+
+impl DrawConfig {
+    /// The paper's desktop configuration: 500×500 quads, 1000 triangles.
+    pub fn desktop() -> DrawConfig {
+        DrawConfig { width: 500, height: 500, triangles_per_frame: 1000 }
+    }
+
+    /// The paper's mobile configuration: 500×500 quads, 100 triangles.
+    pub fn mobile() -> DrawConfig {
+        DrawConfig { width: 500, height: 500, triangles_per_frame: 100 }
+    }
+
+    /// The configuration the paper uses for a device.
+    pub fn for_device(spec: &DeviceSpec) -> DrawConfig {
+        if spec.vendor.is_mobile() {
+            DrawConfig::mobile()
+        } else {
+            DrawConfig::desktop()
+        }
+    }
+
+    /// Total fragment-shader invocations per frame.
+    ///
+    /// Triangles are drawn front-to-back, so early-Z rejects almost all
+    /// fragments after the first layer; a small per-triangle residue models
+    /// the rasteriser/early-Z cost of the occluded layers.
+    pub fn fragments_per_frame(&self) -> f64 {
+        let full_screen = (self.width * self.height) as f64;
+        let occluded_residue = 0.02 * full_screen * (self.triangles_per_frame.saturating_sub(1)) as f64;
+        full_screen + occluded_residue
+    }
+}
+
+/// One timed draw call (the unit the statistics aggregate over).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSample {
+    /// Measured (noisy) GPU time in nanoseconds.
+    pub nanoseconds: f64,
+    /// The noise-free model time in nanoseconds.
+    pub ideal_nanoseconds: f64,
+}
+
+/// Computes the noise-free draw time for one frame.
+pub fn ideal_frame_time_ns(cost: &FragmentCost, spec: &DeviceSpec, config: &DrawConfig) -> f64 {
+    let fragments = config.fragments_per_frame();
+    let cycles_total = cost.total_cycles * fragments / spec.parallel_fragments;
+    // Fixed per-draw overhead (state changes, query bracketing).
+    let per_draw_overhead_ns = 6_000.0;
+    let giga_hz = spec.clock_mhz / 1_000.0;
+    cycles_total / giga_hz + per_draw_overhead_ns * config.triangles_per_frame as f64 / 100.0
+}
+
+/// Samples one noisy timer-query measurement of a frame.
+pub fn sample_frame_time_ns(
+    cost: &FragmentCost,
+    spec: &DeviceSpec,
+    config: &DrawConfig,
+    rng: &mut impl Rng,
+) -> TimeSample {
+    let ideal = ideal_frame_time_ns(cost, spec, config);
+    let noise = gaussian(rng) * spec.timer_noise;
+    // Timer queries also add a small positive profiling overhead.
+    let overhead = rng.gen_range(0.0..0.002);
+    let measured = ideal * (1.0 + noise + overhead);
+    TimeSample { nanoseconds: measured.max(0.0), ideal_nanoseconds: ideal }
+}
+
+/// Approximately standard-normal variate (Irwin–Hall with 12 uniforms),
+/// avoiding an extra dependency on `rand_distr`.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+    sum - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::IsaStats;
+    use crate::vendor::Vendor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cost(vendor: Vendor) -> (FragmentCost, DeviceSpec) {
+        let spec = DeviceSpec::preset(vendor);
+        let stats = IsaStats {
+            scalar_alu: 120.0,
+            vector_ops: 30.0,
+            texture_samples: 4.0,
+            register_pressure: 20.0,
+            instruction_count: 40.0,
+            ..IsaStats::default()
+        };
+        (FragmentCost::evaluate(&stats, &spec), spec)
+    }
+
+    #[test]
+    fn draw_configs_match_paper() {
+        assert_eq!(DrawConfig::desktop().triangles_per_frame, 1000);
+        assert_eq!(DrawConfig::mobile().triangles_per_frame, 100);
+        assert_eq!(DrawConfig::desktop().width, 500);
+        let arm = DeviceSpec::preset(Vendor::Arm);
+        assert_eq!(DrawConfig::for_device(&arm), DrawConfig::mobile());
+    }
+
+    #[test]
+    fn ideal_time_scales_with_cost() {
+        let (c, spec) = cost(Vendor::Intel);
+        let config = DrawConfig::desktop();
+        let base = ideal_frame_time_ns(&c, &spec, &config);
+        let mut doubled = c.clone();
+        doubled.total_cycles *= 2.0;
+        let double_time = ideal_frame_time_ns(&doubled, &spec, &config);
+        assert!(double_time > base * 1.5);
+        assert!(base > 0.0);
+    }
+
+    #[test]
+    fn noise_is_seeded_and_platform_dependent() {
+        let config = DrawConfig::desktop();
+        let spread = |vendor: Vendor| {
+            let (c, spec) = cost(vendor);
+            let mut rng = StdRng::seed_from_u64(7);
+            let samples: Vec<f64> = (0..200)
+                .map(|_| sample_frame_time_ns(&c, &spec, &config, &mut rng).nanoseconds)
+                .collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+            var.sqrt() / mean
+        };
+        let intel = spread(Vendor::Intel);
+        let qualcomm = spread(Vendor::Qualcomm);
+        assert!(intel < qualcomm, "Intel should be the quietest: {intel} vs {qualcomm}");
+
+        // Reproducibility: same seed, same samples.
+        let (c, spec) = cost(Vendor::Amd);
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let a = sample_frame_time_ns(&c, &spec, &config, &mut r1);
+        let b = sample_frame_time_ns(&c, &spec, &config, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn front_to_back_drawing_limits_overdraw() {
+        let config = DrawConfig::desktop();
+        let fragments = config.fragments_per_frame();
+        let full = (config.width * config.height) as f64;
+        assert!(fragments >= full);
+        assert!(fragments < full * (config.triangles_per_frame as f64) * 0.5,
+            "early-Z should reject almost all occluded fragments");
+    }
+}

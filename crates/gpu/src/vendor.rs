@@ -1,0 +1,266 @@
+//! The five GPU platforms of the study and their architectural parameters.
+//!
+//! The paper measures three desktops (NVIDIA GTX 1080, AMD RX 480, Intel HD
+//! Graphics 530) and two phones (ARM Mali-T880 MP12, Qualcomm Adreno 530)
+//! (§IV-C). Since no GPU hardware is available here, each platform is
+//! described by a parametric architecture model; the parameters below encode
+//! the published differences that drive the paper's cross-platform results
+//! (scalar vs. vector ALUs, register-file size and occupancy behaviour,
+//! texture throughput, driver maturity, timer-query noise).
+
+use std::fmt;
+
+/// GPU vendor (also used as the platform label in every table and figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// Intel HD Graphics 530 (Skylake GT2), Mesa driver.
+    Intel,
+    /// AMD RX 480 (Polaris 10), Mesa/Gallium driver.
+    Amd,
+    /// NVIDIA GeForce GTX 1080, proprietary driver.
+    Nvidia,
+    /// ARM Mali-T880 MP12 (Exynos 8890), Android driver.
+    Arm,
+    /// Qualcomm Adreno 530 (Snapdragon 820), Android driver.
+    Qualcomm,
+}
+
+impl Vendor {
+    /// All five platforms in the paper's usual presentation order.
+    pub const ALL: [Vendor; 5] = [
+        Vendor::Intel,
+        Vendor::Amd,
+        Vendor::Nvidia,
+        Vendor::Arm,
+        Vendor::Qualcomm,
+    ];
+
+    /// The three desktop platforms.
+    pub const DESKTOP: [Vendor; 3] = [Vendor::Intel, Vendor::Amd, Vendor::Nvidia];
+
+    /// The two mobile platforms.
+    pub const MOBILE: [Vendor; 2] = [Vendor::Arm, Vendor::Qualcomm];
+
+    /// Human-readable platform name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Intel => "Intel",
+            Vendor::Amd => "AMD",
+            Vendor::Nvidia => "NVIDIA",
+            Vendor::Arm => "ARM",
+            Vendor::Qualcomm => "Qualcomm",
+        }
+    }
+
+    /// The GPU used in the paper for this vendor.
+    pub fn gpu_name(self) -> &'static str {
+        match self {
+            Vendor::Intel => "HD Graphics 530",
+            Vendor::Amd => "RX 480",
+            Vendor::Nvidia => "GeForce GTX 1080",
+            Vendor::Arm => "Mali-T880 MP12",
+            Vendor::Qualcomm => "Adreno 530",
+        }
+    }
+
+    /// `true` for the two phone platforms.
+    pub fn is_mobile(self) -> bool {
+        matches!(self, Vendor::Arm | Vendor::Qualcomm)
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// How the shader core issues arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluStyle {
+    /// Scalar SIMT lanes: a vec4 operation costs four scalar slots
+    /// (GCN, Pascal, Adreno 5xx, Gen9). Scalar work maps 1:1 onto the ALU,
+    /// so grouping scalars genuinely saves work.
+    Scalar,
+    /// Vector (vec4) ALU: a vector operation costs one slot regardless of
+    /// width, and scalar operations waste the remaining lanes
+    /// (Mali Midgard).
+    Vec4,
+}
+
+/// Architectural and measurement parameters of one platform.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Which vendor this is.
+    pub vendor: Vendor,
+    /// ALU issue style (see [`AluStyle`]).
+    pub alu_style: AluStyle,
+    /// Scalar ALU operations retired per core per cycle (throughput).
+    pub alu_per_cycle: f64,
+    /// Cycles of unhidden latency charged per texture sample at full
+    /// occupancy (post-cache average, bilinear).
+    pub texture_cost: f64,
+    /// Cost multiplier for transcendental operations (pow/exp/sin/…)
+    /// relative to a simple ALU op.
+    pub transcendental_factor: f64,
+    /// Cost multiplier for floating point division relative to multiply.
+    pub divide_factor: f64,
+    /// Per-fragment fixed pipeline overhead in cycles (varying interpolation,
+    /// output merge).
+    pub fragment_overhead: f64,
+    /// Scalar registers available per thread before occupancy starts to drop.
+    pub register_budget: f64,
+    /// How steeply performance degrades once the register budget is
+    /// exceeded (fraction of extra time per extra register).
+    pub pressure_penalty: f64,
+    /// Extra per-branch cost modelling divergence and scheduling bubbles.
+    pub branch_cost: f64,
+    /// Per-iteration loop overhead (compare + increment + branch).
+    pub loop_overhead: f64,
+    /// Shader-core clock in MHz (only affects absolute times, not ratios).
+    pub clock_mhz: f64,
+    /// Number of fragments shaded in parallel across the GPU (cores × lanes).
+    pub parallel_fragments: f64,
+    /// Relative standard deviation of `GL_TIME_ELAPSED` measurements on this
+    /// platform (Intel is the quietest in the paper, the phones the noisiest).
+    pub timer_noise: f64,
+}
+
+impl DeviceSpec {
+    /// The calibrated model for one of the paper's five platforms.
+    pub fn preset(vendor: Vendor) -> DeviceSpec {
+        match vendor {
+            Vendor::Intel => DeviceSpec {
+                vendor,
+                alu_style: AluStyle::Scalar,
+                alu_per_cycle: 5.0,
+                texture_cost: 38.0,
+                transcendental_factor: 4.0,
+                divide_factor: 8.0,
+                fragment_overhead: 18.0,
+                register_budget: 128.0,
+                pressure_penalty: 0.004,
+                branch_cost: 6.0,
+                loop_overhead: 4.0,
+                clock_mhz: 1150.0,
+                parallel_fragments: 192.0,
+                timer_noise: 0.003,
+            },
+            Vendor::Amd => DeviceSpec {
+                vendor,
+                alu_style: AluStyle::Scalar,
+                alu_per_cycle: 16.0,
+                texture_cost: 30.0,
+                transcendental_factor: 4.0,
+                divide_factor: 10.0,
+                fragment_overhead: 14.0,
+                register_budget: 256.0,
+                pressure_penalty: 0.002,
+                branch_cost: 10.0,
+                loop_overhead: 12.0,
+                clock_mhz: 1266.0,
+                parallel_fragments: 2304.0,
+                timer_noise: 0.012,
+            },
+            Vendor::Nvidia => DeviceSpec {
+                vendor,
+                alu_style: AluStyle::Scalar,
+                alu_per_cycle: 16.0,
+                texture_cost: 26.0,
+                transcendental_factor: 3.0,
+                divide_factor: 8.0,
+                fragment_overhead: 12.0,
+                register_budget: 255.0,
+                pressure_penalty: 0.002,
+                branch_cost: 6.0,
+                loop_overhead: 5.0,
+                clock_mhz: 1733.0,
+                parallel_fragments: 2560.0,
+                timer_noise: 0.008,
+            },
+            Vendor::Arm => DeviceSpec {
+                vendor,
+                alu_style: AluStyle::Vec4,
+                alu_per_cycle: 2.0,
+                texture_cost: 24.0,
+                transcendental_factor: 5.0,
+                divide_factor: 9.0,
+                fragment_overhead: 10.0,
+                register_budget: 32.0,
+                pressure_penalty: 0.030,
+                branch_cost: 9.0,
+                loop_overhead: 8.0,
+                clock_mhz: 650.0,
+                parallel_fragments: 128.0,
+                timer_noise: 0.022,
+            },
+            Vendor::Qualcomm => DeviceSpec {
+                vendor,
+                alu_style: AluStyle::Scalar,
+                alu_per_cycle: 4.0,
+                texture_cost: 28.0,
+                transcendental_factor: 4.5,
+                divide_factor: 12.0,
+                fragment_overhead: 10.0,
+                register_budget: 48.0,
+                pressure_penalty: 0.020,
+                branch_cost: 12.0,
+                loop_overhead: 7.0,
+                clock_mhz: 624.0,
+                parallel_fragments: 256.0,
+                timer_noise: 0.025,
+            },
+        }
+    }
+
+    /// Presets for every platform.
+    pub fn all_presets() -> Vec<DeviceSpec> {
+        Vendor::ALL.iter().map(|v| DeviceSpec::preset(*v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_platforms_three_desktop_two_mobile() {
+        assert_eq!(Vendor::ALL.len(), 5);
+        assert_eq!(Vendor::DESKTOP.len(), 3);
+        assert_eq!(Vendor::MOBILE.len(), 2);
+        assert!(Vendor::Arm.is_mobile());
+        assert!(!Vendor::Nvidia.is_mobile());
+        assert_eq!(Vendor::Amd.gpu_name(), "RX 480");
+    }
+
+    #[test]
+    fn presets_reflect_architecture_differences() {
+        let intel = DeviceSpec::preset(Vendor::Intel);
+        let amd = DeviceSpec::preset(Vendor::Amd);
+        let arm = DeviceSpec::preset(Vendor::Arm);
+        let adreno = DeviceSpec::preset(Vendor::Qualcomm);
+        // Mali is the only vec4 ALU.
+        assert_eq!(arm.alu_style, AluStyle::Vec4);
+        assert_eq!(adreno.alu_style, AluStyle::Scalar);
+        // Mobile register files are far smaller and pressure far more costly.
+        assert!(arm.register_budget < intel.register_budget);
+        assert!(arm.pressure_penalty > amd.pressure_penalty);
+        // Intel has the least measurement noise (paper §VI-D7).
+        for v in Vendor::ALL {
+            if v != Vendor::Intel {
+                assert!(DeviceSpec::preset(v).timer_noise > intel.timer_noise);
+            }
+        }
+        // Desktop parts shade far more fragments in parallel.
+        assert!(amd.parallel_fragments > 8.0 * arm.parallel_fragments);
+    }
+
+    #[test]
+    fn all_presets_cover_all_vendors() {
+        let presets = DeviceSpec::all_presets();
+        assert_eq!(presets.len(), 5);
+        for (v, p) in Vendor::ALL.iter().zip(&presets) {
+            assert_eq!(*v, p.vendor);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The draw-call timing loop.
+//!
+//! The paper times each shader variant by rendering 100 frames of front-to-
+//! back full-screen triangles, repeating the whole run 5 times, and reading
+//! `GL_TIME_ELAPSED` queries around every draw (§IV-B). This module performs
+//! the equivalent measurement against the simulated platforms: the shader is
+//! submitted to the platform's driver once, then the timing model is sampled
+//! frame by frame with seeded noise.
+
+use prism_gpu::{Platform, ShaderCost};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measurement-loop configuration (defaults follow the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureConfig {
+    /// Frames rendered per repeat (paper: 100).
+    pub frames: usize,
+    /// Number of repeats of the whole run (paper: 5).
+    pub repeats: usize,
+    /// Base RNG seed; each (shader, platform) measurement derives its own
+    /// stream from this so results are reproducible.
+    pub seed: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig { frames: 100, repeats: 5, seed: 0xC0FFEE }
+    }
+}
+
+impl MeasureConfig {
+    /// A light-weight configuration for unit tests and quick runs.
+    pub fn quick() -> MeasureConfig {
+        MeasureConfig { frames: 10, repeats: 2, seed: 0xC0FFEE }
+    }
+
+    /// Total number of timed frames.
+    pub fn total_frames(&self) -> usize {
+        self.frames * self.repeats
+    }
+}
+
+/// Aggregated timing for one shader variant on one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Mean measured frame time in nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation over all frames.
+    pub stddev_ns: f64,
+    /// Minimum observed frame time.
+    pub min_ns: f64,
+    /// Maximum observed frame time.
+    pub max_ns: f64,
+    /// Noise-free model time (for debugging / sanity checks).
+    pub ideal_ns: f64,
+    /// Number of frames aggregated.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Relative measurement error of the mean versus the noise-free model.
+    pub fn relative_error(&self) -> f64 {
+        (self.mean_ns - self.ideal_ns).abs() / self.ideal_ns.max(1.0)
+    }
+}
+
+/// Times one already-driver-compiled shader on a platform.
+pub fn measure_cost(
+    platform: &Platform,
+    cost: &ShaderCost,
+    config: &MeasureConfig,
+    stream: u64,
+) -> Measurement {
+    let mut samples = Vec::with_capacity(config.total_frames());
+    for repeat in 0..config.repeats {
+        // Each repeat gets its own RNG stream, like separate runs of the app.
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15) ^ (repeat as u64) << 32,
+        );
+        for _ in 0..config.frames {
+            samples.push(platform.sample_frame(cost, &mut rng).nanoseconds);
+        }
+    }
+    summarise(&samples, cost.ideal_frame_ns)
+}
+
+/// Submits GLSL to the platform's driver and times it.
+///
+/// # Errors
+///
+/// Returns the driver's compile error when the source is rejected.
+pub fn measure_glsl(
+    platform: &Platform,
+    glsl: &str,
+    name: &str,
+    config: &MeasureConfig,
+    stream: u64,
+) -> Result<Measurement, prism_core::CompileError> {
+    let cost = platform.submit(glsl, name)?;
+    Ok(measure_cost(platform, &cost, config, stream))
+}
+
+fn summarise(samples: &[f64], ideal_ns: f64) -> Measurement {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    Measurement {
+        mean_ns: mean,
+        stddev_ns: var.sqrt(),
+        min_ns: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ns: samples.iter().copied().fold(0.0, f64::max),
+        ideal_ns,
+        samples: samples.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_gpu::Vendor;
+
+    const SHADER: &str = "uniform sampler2D tex; uniform vec4 tint; in vec2 uv; out vec4 c;\n\
+        void main() { c = texture(tex, uv) * tint; }";
+
+    #[test]
+    fn measurement_aggregates_the_right_number_of_frames() {
+        let platform = Platform::new(Vendor::Intel);
+        let config = MeasureConfig { frames: 20, repeats: 3, seed: 1 };
+        let m = measure_glsl(&platform, SHADER, "simple", &config, 0).unwrap();
+        assert_eq!(m.samples, 60);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn averaging_many_frames_suppresses_noise() {
+        let platform = Platform::new(Vendor::Qualcomm);
+        let long = MeasureConfig { frames: 200, repeats: 5, seed: 7 };
+        let m = measure_glsl(&platform, SHADER, "simple", &long, 3).unwrap();
+        // With 1000 samples the mean should sit within a fraction of the
+        // per-sample noise of the ideal value.
+        assert!(
+            m.relative_error() < platform.spec.timer_noise,
+            "error {} vs noise {}",
+            m.relative_error(),
+            platform.spec.timer_noise
+        );
+    }
+
+    #[test]
+    fn measurements_are_reproducible() {
+        let platform = Platform::new(Vendor::Arm);
+        let config = MeasureConfig::quick();
+        let a = measure_glsl(&platform, SHADER, "simple", &config, 5).unwrap();
+        let b = measure_glsl(&platform, SHADER, "simple", &config, 5).unwrap();
+        assert_eq!(a, b);
+        // A different stream gives different noise but a similar mean.
+        let c = measure_glsl(&platform, SHADER, "simple", &config, 6).unwrap();
+        assert_ne!(a.mean_ns, c.mean_ns);
+        assert!((a.mean_ns - c.mean_ns).abs() / a.mean_ns < 0.05);
+    }
+
+    #[test]
+    fn paper_configuration_is_the_default() {
+        let c = MeasureConfig::default();
+        assert_eq!(c.frames, 100);
+        assert_eq!(c.repeats, 5);
+        assert_eq!(c.total_frames(), 500);
+    }
+
+    #[test]
+    fn bad_shader_source_is_rejected() {
+        let platform = Platform::new(Vendor::Amd);
+        assert!(measure_glsl(&platform, "void main() { broken", "bad", &MeasureConfig::quick(), 0).is_err());
+    }
+}

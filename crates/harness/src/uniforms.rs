@@ -1,0 +1,145 @@
+//! Default uniform and texture-binding initialisation.
+//!
+//! Some drivers refuse to run shaders with uninitialised uniforms or texture
+//! units, so the paper's harness uses shader introspection to discover every
+//! uniform and binds defaults: `0.5` for floats and a colourfully patterned
+//! opaque power-of-two texture for samplers (§IV-B). The paper notes this is
+//! not representative of real inputs and may skip data-dependent paths — a
+//! limitation this reproduction shares by construction.
+
+use prism_glsl::interface::default_texture_size;
+use prism_glsl::types::{SamplerKind, Type};
+use prism_glsl::ShaderInterface;
+
+/// A concrete value bound to one uniform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformBinding {
+    /// Uniform name.
+    pub name: String,
+    /// Scalar components, flattened (matrices are column-major).
+    pub values: Vec<f64>,
+}
+
+/// A texture bound to one sampler uniform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextureBinding {
+    /// Sampler name.
+    pub name: String,
+    /// Texture width in texels (power of two).
+    pub width: u32,
+    /// Texture height in texels (power of two).
+    pub height: u32,
+}
+
+/// The complete set of default bindings for a shader.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DefaultBindings {
+    /// Non-sampler uniform values.
+    pub uniforms: Vec<UniformBinding>,
+    /// Texture bindings.
+    pub textures: Vec<TextureBinding>,
+}
+
+/// The default scalar value the harness uses for float uniforms.
+pub const DEFAULT_FLOAT: f64 = 0.5;
+
+/// Builds the paper's default bindings for a fragment shader interface.
+pub fn default_bindings(interface: &ShaderInterface) -> DefaultBindings {
+    let mut bindings = DefaultBindings::default();
+    for u in &interface.uniforms {
+        bindings.uniforms.push(UniformBinding {
+            name: u.name.clone(),
+            values: default_value(&u.ty),
+        });
+    }
+    for s in &interface.samplers {
+        let kind = sampler_kind(&s.ty).unwrap_or(SamplerKind::Sampler2D);
+        let (width, height) = default_texture_size(kind);
+        bindings.textures.push(TextureBinding {
+            name: s.name.clone(),
+            width,
+            height,
+        });
+    }
+    bindings
+}
+
+fn sampler_kind(ty: &Type) -> Option<SamplerKind> {
+    match ty {
+        Type::Sampler(k) => Some(*k),
+        Type::Array(elem, _) => sampler_kind(elem),
+        _ => None,
+    }
+}
+
+/// Default scalar components for a uniform of the given type.
+///
+/// Matrices default to an identity-like matrix scaled by 0.5 off-diagonal-free
+/// form (so matrix transforms neither zero out nor explode values), arrays
+/// repeat their element default.
+pub fn default_value(ty: &Type) -> Vec<f64> {
+    match ty {
+        Type::Scalar(_) => vec![DEFAULT_FLOAT],
+        Type::Vector(_, n) => vec![DEFAULT_FLOAT; *n as usize],
+        Type::Matrix(n) => {
+            let n = *n as usize;
+            let mut v = vec![0.0; n * n];
+            for i in 0..n {
+                v[i * n + i] = 1.0;
+            }
+            v
+        }
+        Type::Array(elem, Some(len)) => {
+            let one = default_value(elem);
+            let mut out = Vec::with_capacity(one.len() * len);
+            for _ in 0..*len {
+                out.extend_from_slice(&one);
+            }
+            out
+        }
+        Type::Array(elem, None) => default_value(elem),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_glsl::ShaderSource;
+
+    #[test]
+    fn binds_every_uniform_and_sampler() {
+        let frag = ShaderSource::parse(
+            "uniform sampler2D albedo; uniform samplerCube env; uniform vec4 tint;\n\
+             uniform float exposure; uniform mat4 view; in vec2 uv; out vec4 c;\n\
+             void main() { c = texture(albedo, uv) * tint * exposure + texture(env, vec3(uv, 1.0)) * (view * vec4(uv, 0.0, 1.0)).x; }",
+        )
+        .unwrap();
+        let b = default_bindings(&frag.interface);
+        assert_eq!(b.uniforms.len(), 3);
+        assert_eq!(b.textures.len(), 2);
+        let tint = b.uniforms.iter().find(|u| u.name == "tint").unwrap();
+        assert_eq!(tint.values, vec![0.5; 4]);
+        let view = b.uniforms.iter().find(|u| u.name == "view").unwrap();
+        assert_eq!(view.values.len(), 16);
+        assert_eq!(view.values[0], 1.0);
+        assert_eq!(view.values[1], 0.0);
+        for t in &b.textures {
+            assert!(t.width.is_power_of_two());
+            assert!(t.height.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn array_uniforms_repeat_their_element_default() {
+        assert_eq!(
+            default_value(&Type::Array(Box::new(Type::vec(2)), Some(3))),
+            vec![0.5; 6]
+        );
+    }
+
+    #[test]
+    fn scalars_default_to_half() {
+        assert_eq!(default_value(&Type::FLOAT), vec![DEFAULT_FLOAT]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Vertex-shader synthesis.
+//!
+//! The paper's harness does not reuse GFXBench's vertex shaders: it generates
+//! a minimal vertex shader whose outputs match the fragment shader's inputs,
+//! drawing full-screen triangles whose depth can be adjusted through a
+//! uniform (§IV-B). This module reproduces that generator from the fragment
+//! shader's introspected interface.
+
+use prism_glsl::types::Type;
+use prism_glsl::ShaderInterface;
+
+/// Generates the matching vertex shader for a fragment-shader interface.
+///
+/// Every fragment input becomes a vertex output driven by a simple function
+/// of the full-screen triangle's position, so the interpolated values are
+/// deterministic and smooth — mirroring the paper's generated vertex shaders.
+pub fn generate_vertex_shader(interface: &ShaderInterface) -> String {
+    let mut out = String::from("#version 450\n");
+    out.push_str("layout(location = 0) in vec2 position;\n");
+    out.push_str("uniform float quadDepth;\n");
+    for var in &interface.inputs {
+        out.push_str(&format!("out {} {};\n", var.ty.glsl_name(), var.name));
+    }
+    out.push_str("void main()\n{\n");
+    out.push_str("    gl_Position = vec4(position, quadDepth, 1.0);\n");
+    for var in &interface.inputs {
+        let value = varying_expression(&var.ty);
+        out.push_str(&format!("    {} = {};\n", var.name, value));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The value written to a varying of the given type, derived from the
+/// full-screen position so every fragment sees smoothly varying data.
+fn varying_expression(ty: &Type) -> String {
+    match ty {
+        Type::Scalar(_) => "position.x * 0.5 + 0.5".to_string(),
+        Type::Vector(_, 2) => "position * 0.5 + vec2(0.5)".to_string(),
+        Type::Vector(_, 3) => "vec3(position * 0.5 + vec2(0.5), 0.5)".to_string(),
+        Type::Vector(_, 4) => "vec4(position * 0.5 + vec2(0.5), 0.5, 1.0)".to_string(),
+        other => format!("{}(0.5)", other.glsl_name()),
+    }
+}
+
+/// Counts how many vertex-shader invocations a frame needs.
+///
+/// The harness draws full-screen triangles (3 vertices each), so vertex work
+/// is negligible next to the 250 000 fragment invocations per 500×500 quad —
+/// the property the paper relies on to isolate fragment-shader cost.
+pub fn vertex_invocations(triangles: u32) -> u64 {
+    triangles as u64 * 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_glsl::ShaderSource;
+
+    #[test]
+    fn generates_matching_outputs_for_fragment_inputs() {
+        let frag = ShaderSource::parse(
+            "uniform sampler2D tex; in vec2 uv; in vec3 normal; in float fade; out vec4 c;\n\
+             void main() { c = texture(tex, uv) * vec4(normal, fade); }",
+        )
+        .unwrap();
+        let vs = generate_vertex_shader(&frag.interface);
+        assert!(vs.contains("out vec2 uv;"));
+        assert!(vs.contains("out vec3 normal;"));
+        assert!(vs.contains("out float fade;"));
+        assert!(vs.contains("gl_Position"));
+        assert!(vs.contains("uniform float quadDepth;"));
+        // One assignment per varying.
+        assert_eq!(vs.matches("    uv = ").count(), 1);
+    }
+
+    #[test]
+    fn no_inputs_means_minimal_shader() {
+        let frag = ShaderSource::parse("out vec4 c; void main() { c = vec4(1.0); }").unwrap();
+        let vs = generate_vertex_shader(&frag.interface);
+        assert!(!vs.contains("out vec2"));
+        assert!(vs.contains("gl_Position"));
+    }
+
+    #[test]
+    fn vertex_work_is_negligible() {
+        // 3 vertex invocations per triangle versus 250 000 fragments per quad.
+        assert_eq!(vertex_invocations(1000), 3000);
+        assert!(vertex_invocations(1000) < 500 * 500 / 10);
+    }
+}

@@ -1,0 +1,175 @@
+//! Lightweight dataflow analyses over the structured IR.
+//!
+//! The passes in `prism-core` only propagate information about registers that
+//! are *single-assignment* and whose definition structurally dominates the
+//! use. In a structured IR, a definition dominates a use when the definition
+//! appears earlier in the same statement list or in an enclosing list — this
+//! module computes the supporting facts (definition counts, use counts, and
+//! whether a register is defined inside a loop or conditional).
+
+use crate::shader::Shader;
+use crate::stmt::Stmt;
+use crate::value::{Operand, Reg};
+use std::collections::HashMap;
+
+/// Per-register facts used to decide which optimizations are safe.
+#[derive(Debug, Clone, Default)]
+pub struct RegFacts {
+    /// Number of `Def` statements targeting the register.
+    pub def_count: usize,
+    /// Number of operand uses of the register.
+    pub use_count: usize,
+    /// `true` if at least one definition is nested inside a loop body.
+    pub defined_in_loop: bool,
+    /// `true` if at least one definition is nested inside an `if` branch.
+    pub defined_in_branch: bool,
+}
+
+impl RegFacts {
+    /// A register is in SSA-like form when it has exactly one definition and
+    /// that definition is not nested inside a loop or conditional.
+    pub fn is_ssa(&self) -> bool {
+        self.def_count == 1 && !self.defined_in_loop && !self.defined_in_branch
+    }
+}
+
+/// Dataflow facts for a whole shader.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    facts: HashMap<Reg, RegFacts>,
+}
+
+impl Analysis {
+    /// Computes definition/use facts for every register in the shader.
+    pub fn of(shader: &Shader) -> Analysis {
+        let mut a = Analysis::default();
+        a.scan(&shader.body, false, false);
+        a
+    }
+
+    fn scan(&mut self, body: &[Stmt], in_loop: bool, in_branch: bool) {
+        for stmt in body {
+            for operand in stmt.operands() {
+                if let Operand::Reg(r) = operand {
+                    self.facts.entry(*r).or_default().use_count += 1;
+                }
+            }
+            match stmt {
+                Stmt::Def { dst, .. } => {
+                    let f = self.facts.entry(*dst).or_default();
+                    f.def_count += 1;
+                    f.defined_in_loop |= in_loop;
+                    f.defined_in_branch |= in_branch;
+                }
+                Stmt::If { then_body, else_body, .. } => {
+                    self.scan(then_body, in_loop, true);
+                    self.scan(else_body, in_loop, true);
+                }
+                Stmt::Loop { var, body, .. } => {
+                    // The induction variable counts as defined in the loop.
+                    let f = self.facts.entry(*var).or_default();
+                    f.def_count += 1;
+                    f.defined_in_loop = true;
+                    self.scan(body, true, in_branch);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Facts for one register (default-empty if never seen).
+    pub fn facts(&self, reg: Reg) -> RegFacts {
+        self.facts.get(&reg).cloned().unwrap_or_default()
+    }
+
+    /// `true` if the register has exactly one top-level definition (see
+    /// [`RegFacts::is_ssa`]).
+    pub fn is_ssa(&self, reg: Reg) -> bool {
+        self.facts(reg).is_ssa()
+    }
+
+    /// `true` if the register is never used as an operand.
+    pub fn is_unused(&self, reg: Reg) -> bool {
+        self.facts(reg).use_count == 0
+    }
+
+    /// Number of uses of the register.
+    pub fn use_count(&self, reg: Reg) -> usize {
+        self.facts(reg).use_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::types::IrType;
+    use crate::value::Operand;
+
+    fn def(dst: Reg, op: Op) -> Stmt {
+        Stmt::Def { dst, op }
+    }
+
+    #[test]
+    fn counts_defs_and_uses() {
+        let mut s = Shader::new("a");
+        let r0 = s.new_reg(IrType::F32);
+        let r1 = s.new_reg(IrType::F32);
+        s.body = vec![
+            def(r0, Op::Mov(Operand::float(1.0))),
+            def(r1, Op::Mov(Operand::Reg(r0))),
+            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r1) },
+        ];
+        let a = Analysis::of(&s);
+        assert!(a.is_ssa(r0));
+        assert!(a.is_ssa(r1));
+        assert_eq!(a.use_count(r0), 1);
+        assert_eq!(a.use_count(r1), 1);
+        assert!(!a.is_unused(r0));
+    }
+
+    #[test]
+    fn register_defined_in_branch_is_not_ssa() {
+        let mut s = Shader::new("b");
+        let r0 = s.new_reg(IrType::F32);
+        s.body = vec![Stmt::If {
+            cond: Operand::boolean(true),
+            then_body: vec![def(r0, Op::Mov(Operand::float(1.0)))],
+            else_body: vec![def(r0, Op::Mov(Operand::float(2.0)))],
+        }];
+        let a = Analysis::of(&s);
+        assert!(!a.is_ssa(r0));
+        assert_eq!(a.facts(r0).def_count, 2);
+        assert!(a.facts(r0).defined_in_branch);
+    }
+
+    #[test]
+    fn loop_induction_variable_is_loop_defined() {
+        let mut s = Shader::new("c");
+        let i = s.new_reg(IrType::I32);
+        let acc = s.new_reg(IrType::F32);
+        s.body = vec![
+            def(acc, Op::Mov(Operand::float(0.0))),
+            Stmt::Loop {
+                var: i,
+                start: 0,
+                end: 9,
+                step: 1,
+                body: vec![def(acc, Op::Mov(Operand::Reg(i)))],
+            },
+        ];
+        let a = Analysis::of(&s);
+        assert!(a.facts(i).defined_in_loop);
+        assert!(!a.is_ssa(acc));
+        assert_eq!(a.facts(acc).def_count, 2);
+    }
+
+    #[test]
+    fn unused_register_detected() {
+        let mut s = Shader::new("d");
+        let r = s.new_reg(IrType::F32);
+        s.body = vec![def(r, Op::Mov(Operand::float(1.0)))];
+        let a = Analysis::of(&s);
+        assert!(a.is_unused(r));
+    }
+}

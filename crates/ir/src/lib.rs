@@ -1,0 +1,54 @@
+//! # prism-ir — the shader intermediate representation
+//!
+//! A LunarGlass/LLVM-flavoured IR for fragment shaders, used by every other
+//! crate in the prism workspace:
+//!
+//! * only scalars and 2–4 wide vectors exist (matrices are scalarised at
+//!   lowering time and scalar×vector arithmetic is splatted — the paper's
+//!   §III-C source-to-source artefacts),
+//! * virtual registers with structured control flow (`if`, counted loops),
+//! * a [`verify`](crate::verify::verify) pass run after every transformation,
+//! * a reference [interpreter](crate::interp) used as the semantic oracle in
+//!   the test suite,
+//! * a textual [printer](crate::printer) used for debugging and variant
+//!   deduplication.
+//!
+//! ```
+//! use prism_ir::prelude::*;
+//!
+//! let mut shader = Shader::new("example");
+//! shader.outputs.push(OutputVar { name: "color".into(), ty: IrType::fvec(4) });
+//! let r = shader.new_reg(IrType::fvec(4));
+//! shader.body = vec![
+//!     Stmt::Def { dst: r, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
+//!     Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+//! ];
+//! prism_ir::verify::verify(&shader).unwrap();
+//! let ctx = FragmentContext::with_defaults(&shader, 0.5, 0.5);
+//! let result = prism_ir::interp::run_fragment(&shader, &ctx).unwrap();
+//! assert_eq!(result.outputs[0], vec![1.0; 4]);
+//! ```
+
+pub mod analysis;
+pub mod interp;
+pub mod op;
+pub mod printer;
+pub mod shader;
+pub mod stmt;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::interp::{run_fragment, FragmentContext, FragmentResult};
+    pub use crate::op::{BinaryOp, Intrinsic, Op, UnaryOp};
+    pub use crate::shader::{
+        ConstArray, InputVar, OutputVar, RegInfo, SamplerVar, Shader, UniformVar,
+    };
+    pub use crate::stmt::Stmt;
+    pub use crate::types::{IrType, Scalar, TextureDim};
+    pub use crate::value::{Constant, Operand, Reg};
+}
+
+pub use prelude::*;

@@ -1,0 +1,179 @@
+//! A human-readable textual form of the IR, used in debugging, test
+//! assertions and for the variant-deduplication hash in `prism-core`.
+
+use crate::op::Op;
+use crate::shader::Shader;
+use crate::stmt::Stmt;
+use std::fmt::Write;
+
+/// Renders the whole shader (interface + body) as text.
+pub fn print_shader(shader: &Shader) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "shader \"{}\" {{", shader.name);
+    for (i, v) in shader.inputs.iter().enumerate() {
+        let _ = writeln!(out, "  in[{i}] {} : {}", v.name, v.ty);
+    }
+    for (i, v) in shader.uniforms.iter().enumerate() {
+        let _ = writeln!(out, "  uniform[{i}] {} : {}", v.name, v.ty);
+    }
+    for (i, v) in shader.samplers.iter().enumerate() {
+        let _ = writeln!(out, "  sampler[{i}] {} : {:?}", v.name, v.dim);
+    }
+    for (i, v) in shader.outputs.iter().enumerate() {
+        let _ = writeln!(out, "  out[{i}] {} : {}", v.name, v.ty);
+    }
+    for (i, a) in shader.const_arrays.iter().enumerate() {
+        let _ = writeln!(out, "  const_array[{i}] {} : {}[{}]", a.name, a.elem_ty, a.len());
+    }
+    print_body(&mut out, &shader.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders only the body statements (no interface header).
+pub fn print_body_only(shader: &Shader) -> String {
+    let mut out = String::new();
+    print_body(&mut out, &shader.body, 0);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_body(out: &mut String, body: &[Stmt], depth: usize) {
+    for stmt in body {
+        print_stmt(out, stmt, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Def { dst, op } => {
+            let _ = writeln!(out, "{dst} = {}", print_op(op));
+        }
+        Stmt::StoreOutput { output, components, value } => {
+            let comps = components
+                .as_ref()
+                .map(|c| {
+                    let names: String = c.iter().map(|i| "xyzw".chars().nth(*i as usize).unwrap_or('?')).collect();
+                    format!(".{names}")
+                })
+                .unwrap_or_default();
+            let _ = writeln!(out, "store out[{output}]{comps} = {}", value.key());
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "if {} {{", cond.key());
+            print_body(out, then_body, depth + 1);
+            if !else_body.is_empty() {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                print_body(out, else_body, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Loop { var, start, end, step, body } => {
+            let _ = writeln!(out, "loop {var} in {start}..{end} step {step} {{");
+            print_body(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Discard { cond } => match cond {
+            Some(c) => {
+                let _ = writeln!(out, "discard if {}", c.key());
+            }
+            None => out.push_str("discard\n"),
+        },
+    }
+}
+
+fn print_op(op: &Op) -> String {
+    match op {
+        Op::Mov(a) => format!("mov {}", a.key()),
+        Op::Binary(b, x, y) => format!("{} {} {}", x.key(), b.symbol(), y.key()),
+        Op::Unary(u, x) => format!("{u:?} {}", x.key()),
+        Op::Intrinsic(i, args) => {
+            let parts: Vec<String> = args.iter().map(|a| a.key()).collect();
+            format!("{}({})", i.glsl_name(), parts.join(", "))
+        }
+        Op::TextureSample { sampler, coords, lod, dim } => match lod {
+            Some(l) => format!("texture[{sampler}]({}, lod={}) {:?}", coords.key(), l.key(), dim),
+            None => format!("texture[{sampler}]({}) {:?}", coords.key(), dim),
+        },
+        Op::Construct { ty, parts } => {
+            let p: Vec<String> = parts.iter().map(|a| a.key()).collect();
+            format!("{}({})", ty, p.join(", "))
+        }
+        Op::Splat { ty, value } => format!("splat {} {}", ty, value.key()),
+        Op::Extract { vector, index } => format!("extract {} [{index}]", vector.key()),
+        Op::Insert { vector, index, value } => {
+            format!("insert {} [{index}] = {}", vector.key(), value.key())
+        }
+        Op::Swizzle { vector, lanes } => format!("swizzle {} {:?}", vector.key(), lanes),
+        Op::Select { cond, if_true, if_false } => format!(
+            "select {} ? {} : {}",
+            cond.key(),
+            if_true.key(),
+            if_false.key()
+        ),
+        Op::ConstArrayLoad { array, index } => format!("const_array[{array}][{}]", index.key()),
+        Op::Convert { to, value } => format!("convert {} -> {}", value.key(), to),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinaryOp;
+    use crate::shader::OutputVar;
+    use crate::types::IrType;
+    use crate::value::Operand;
+
+    #[test]
+    fn prints_structured_body() {
+        let mut s = Shader::new("print-test");
+        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        let i = s.new_reg(IrType::I32);
+        let r = s.new_reg(IrType::F32);
+        s.body = vec![
+            Stmt::Loop {
+                var: i,
+                start: 0,
+                end: 3,
+                step: 1,
+                body: vec![Stmt::Def {
+                    dst: r,
+                    op: Op::Binary(BinaryOp::Mul, Operand::Reg(i), Operand::float(2.0)),
+                }],
+            },
+            Stmt::If {
+                cond: Operand::boolean(true),
+                then_body: vec![Stmt::Discard { cond: None }],
+                else_body: vec![Stmt::StoreOutput { output: 0, components: Some(vec![0, 1, 2]), value: Operand::Reg(r) }],
+            },
+        ];
+        let text = print_shader(&s);
+        assert!(text.contains("shader \"print-test\""));
+        assert!(text.contains("loop %0 in 0..3 step 1"));
+        assert!(text.contains("%1 = r0 * f:2"));
+        assert!(text.contains("discard"));
+        assert!(text.contains("store out[0].xyz"));
+        // Body-only form omits the interface.
+        let body = print_body_only(&s);
+        assert!(!body.contains("shader"));
+        assert!(body.contains("loop"));
+    }
+
+    #[test]
+    fn identical_shaders_print_identically() {
+        let mut a = Shader::new("same");
+        let r = a.new_reg(IrType::F32);
+        a.body = vec![Stmt::Def { dst: r, op: Op::Mov(Operand::float(1.0)) }];
+        let b = a.clone();
+        assert_eq!(print_shader(&a), print_shader(&b));
+    }
+}

@@ -1,0 +1,351 @@
+//! Text renderers that regenerate every table and figure of the paper's
+//! evaluation from a [`StudyResults`].
+//!
+//! Each function returns the rows/series the corresponding figure plots; the
+//! bench targets in `prism-bench` print them, and `EXPERIMENTS.md` records the
+//! paper-reported versus measured values.
+
+use crate::stats::{histogram, mean};
+use crate::violin::ViolinSummary;
+use prism_core::{Flag, OptFlags};
+use prism_search::{
+    flag_applicability, flag_impact, per_shader_speedups, platform_summaries, top_n_mean_best,
+    top_n_speedups, Policy, StudyResults,
+};
+use std::fmt::Write;
+
+/// Fig. 3: the motivating blur shader's best speed-up per platform, plus the
+/// distribution of best-static speed-ups across all shaders on ARM.
+pub fn fig3_motivating(study: &StudyResults, blur_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3 — motivating example ({blur_name})");
+    let _ = writeln!(out, "  best optimized variant vs. original shader:");
+    for vendor in study.platforms() {
+        if let Some(m) = study.measurement(blur_name, &vendor) {
+            let _ = writeln!(out, "    {vendor:<10} {:+6.2}%", m.best_speedup_vs_original());
+        }
+    }
+    // Right-hand side of Fig. 3: distribution of best-static speed-ups on ARM.
+    let records = study.for_platform("ARM");
+    if !records.is_empty() {
+        let (flags, _) = prism_search::minimal_best_static(&records);
+        let speedups = per_shader_speedups(&records, Policy::Static(flags));
+        let _ = writeln!(
+            out,
+            "  ARM best-static ({flags}) speed-up distribution across all shaders:"
+        );
+        let _ = writeln!(out, "    {}", ViolinSummary::of(&speedups));
+    }
+    out
+}
+
+/// Fig. 4: corpus characterisation — (a) lines of code, (b) ARM static
+/// cycles, (c) unique variants per shader.
+pub fn fig4_characterization(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let loc: Vec<f64> = study.shaders.iter().map(|s| s.loc as f64).collect();
+    let cycles: Vec<f64> = study.shaders.iter().map(|s| s.arm_static_cycles).collect();
+    let variants: Vec<f64> = study.shaders.iter().map(|s| s.unique_variants as f64).collect();
+    let _ = writeln!(out, "Figure 4 — corpus characterisation ({} shaders)", study.shaders.len());
+    let _ = writeln!(out, "  (a) lines of code:       {}", distribution_line(&loc));
+    let _ = writeln!(out, "  (b) ARM static cycles:   {}", distribution_line(&cycles));
+    let _ = writeln!(out, "  (c) unique variants/256: {}", distribution_line(&variants));
+    let under_50 = loc.iter().filter(|&&l| l < 50.0).count();
+    let _ = writeln!(
+        out,
+        "      shaders under 50 LoC: {under_50}/{} ({:.0}%)",
+        loc.len(),
+        100.0 * under_50 as f64 / loc.len().max(1) as f64
+    );
+    let (edges, counts) = histogram(&loc, 6);
+    for (edge, count) in edges.iter().zip(&counts) {
+        let _ = writeln!(out, "      LoC >= {edge:6.1}: {count}");
+    }
+    out
+}
+
+fn distribution_line(values: &[f64]) -> String {
+    let v = ViolinSummary::of(values);
+    format!(
+        "min {:.1}  median {:.1}  mean {:.1}  max {:.1}",
+        v.min, v.median, v.mean, v.max
+    )
+}
+
+/// Fig. 5: average speed-up across all shaders for the three policies, per
+/// platform.
+pub fn fig5_overall(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5 — average speed-up across all shaders (vs. original)");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>14} {:>18} {:>14}",
+        "platform", "per-shader best", "default LunarGlass", "best static"
+    );
+    for s in platform_summaries(study) {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>13.2}% {:>17.2}% {:>13.2}%",
+            s.vendor, s.mean_best, s.mean_default, s.mean_best_static
+        );
+    }
+    out
+}
+
+/// Fig. 6: average speed-up of the 30 most-improved shaders per platform.
+pub fn fig6_top30(study: &StudyResults, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6 — mean speed-up of the {n} most-improved shaders");
+    for vendor in study.platforms() {
+        let records = study.for_platform(&vendor);
+        let top = top_n_mean_best(&records, n);
+        let _ = writeln!(out, "  {vendor:<10} {top:+6.2}%");
+        for (name, speedup) in top_n_speedups(&records, 5) {
+            let _ = writeln!(out, "      {name:<28} {speedup:+6.2}%");
+        }
+    }
+    out
+}
+
+/// Table I: the best static flag set per platform.
+pub fn table1_best_static(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I — best static flags per platform");
+    let _ = write!(out, "  {:<10}", "platform");
+    for flag in Flag::ALL {
+        let _ = write!(out, " {:>14}", flag.name());
+    }
+    let _ = writeln!(out);
+    let summaries = platform_summaries(study);
+    for s in &summaries {
+        let _ = write!(out, "  {:<10}", s.vendor);
+        for flag in Flag::ALL {
+            let mark = if s.best_static.contains(flag) { "yes" } else { "-" };
+            let _ = write!(out, " {mark:>14}");
+        }
+        let _ = writeln!(out);
+    }
+    // The "All" row: best single set across every platform's records pooled.
+    let mut pooled: Vec<&prism_search::ShaderPlatformRecord> = Vec::new();
+    for vendor in study.platforms() {
+        pooled.extend(study.for_platform(&vendor));
+    }
+    if !pooled.is_empty() {
+        let (flags, _) = prism_search::minimal_best_static(&pooled);
+        let _ = write!(out, "  {:<10}", "All");
+        for flag in Flag::ALL {
+            let mark = if flags.contains(flag) { "yes" } else { "-" };
+            let _ = write!(out, " {mark:>14}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Fig. 7: per-shader speed-up distributions for the three policies, per
+/// platform.
+pub fn fig7_per_shader(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 7 — per-shader speed-up distributions (vs. original)");
+    for vendor in study.platforms() {
+        let records = study.for_platform(&vendor);
+        let (static_flags, _) = prism_search::minimal_best_static(&records);
+        let best = per_shader_speedups(&records, Policy::Best);
+        let default = per_shader_speedups(&records, Policy::DefaultLunarGlass);
+        let static_speedups = per_shader_speedups(&records, Policy::Static(static_flags));
+        let _ = writeln!(out, "  {vendor}");
+        let _ = writeln!(out, "    best (green):        {}", ViolinSummary::of(&best));
+        let _ = writeln!(out, "    default LG (red):    {}", ViolinSummary::of(&default));
+        let _ = writeln!(out, "    best static (blue):  {}", ViolinSummary::of(&static_speedups));
+        let near_zero = best.iter().filter(|s| s.abs() < 1.0).count();
+        let _ = writeln!(
+            out,
+            "    shaders within ±1% under best policy: {near_zero}/{}",
+            best.len()
+        );
+    }
+    out
+}
+
+/// Fig. 8: per-flag applicability and optimality fractions (platform given).
+pub fn fig8_applicability(study: &StudyResults, vendor: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 8 — flag applicability on {vendor}");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>8} {:>14} {:>18}",
+        "flag", "shaders", "changes code", "in optimal 10%"
+    );
+    for row in flag_applicability(study, vendor) {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8} {:>9} ({:>4.0}%) {:>12} ({:>4.0}%)",
+            row.flag.name(),
+            row.total_shaders,
+            row.changes_code,
+            row.applicability_rate() * 100.0,
+            row.in_optimal_set,
+            row.optimality_rate() * 100.0
+        );
+    }
+    out
+}
+
+/// Fig. 9: per-flag isolated speed-up distributions (vs. the no-flag
+/// LunarGlass baseline), per platform.
+pub fn fig9_per_flag(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 — per-flag speed-up vs. the no-flag baseline");
+    for vendor in study.platforms() {
+        let _ = writeln!(out, "  {vendor}");
+        for flag in Flag::ALL {
+            let impact = flag_impact(study, &vendor, flag);
+            let _ = writeln!(out, "    {:<16} {}", flag.name(), ViolinSummary::of(&impact.speedups));
+        }
+    }
+    out
+}
+
+/// A compact overall summary used by the quickstart example.
+pub fn summary(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "study: {} shaders x {} platforms, {} measurements",
+        study.shaders.len(),
+        study.platforms().len(),
+        study.measurements.len()
+    );
+    for s in platform_summaries(study) {
+        let _ = writeln!(
+            out,
+            "  {:<10} best {:+5.2}%  default {:+5.2}%  static {:+5.2}%  ({})",
+            s.vendor, s.mean_best, s.mean_default, s.mean_best_static, s.best_static
+        );
+    }
+    out
+}
+
+/// Convenience: the mean best-policy speed-up per platform (used in tests and
+/// EXPERIMENTS.md to compare against the paper's 1–4 % claim).
+pub fn mean_best_speedups(study: &StudyResults) -> Vec<(String, f64)> {
+    study
+        .platforms()
+        .into_iter()
+        .map(|vendor| {
+            let records = study.for_platform(&vendor);
+            let v = per_shader_speedups(&records, Policy::Best);
+            (vendor, mean(&v))
+        })
+        .collect()
+}
+
+/// Checks whether a flag appears in the reported best-static row for a
+/// platform (used when comparing against the paper's Table I).
+pub fn best_static_contains(study: &StudyResults, vendor: &str, flag: Flag) -> bool {
+    let records = study.for_platform(vendor);
+    if records.is_empty() {
+        return false;
+    }
+    let (flags, _) = prism_search::minimal_best_static(&records);
+    flags.contains(flag)
+}
+
+/// The full set of renderers in figure order, handy for "render everything".
+pub fn render_all(study: &StudyResults, blur_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&fig3_motivating(study, blur_name));
+    out.push('\n');
+    out.push_str(&fig4_characterization(study));
+    out.push('\n');
+    out.push_str(&fig5_overall(study));
+    out.push('\n');
+    out.push_str(&fig6_top30(study, 30));
+    out.push('\n');
+    out.push_str(&table1_best_static(study));
+    out.push('\n');
+    out.push_str(&fig7_per_shader(study));
+    out.push('\n');
+    for vendor in study.platforms() {
+        out.push_str(&fig8_applicability(study, &vendor));
+        out.push('\n');
+    }
+    out.push_str(&fig9_per_flag(study));
+    out
+}
+
+// Re-export OptFlags so downstream doc examples can name it via this module.
+#[allow(unused_imports)]
+use OptFlags as _OptFlagsForDocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_search::{ShaderPlatformRecord, ShaderRecord, VariantRecord};
+
+    fn tiny_study() -> StudyResults {
+        let mut flag_to_variant = vec![0usize; 256];
+        for bits in 0..=255u8 {
+            if OptFlags::from_bits(bits).contains(Flag::Unroll) {
+                flag_to_variant[bits as usize] = 1;
+            }
+        }
+        let record = |vendor: &str, fast: f64| ShaderPlatformRecord {
+            shader: "blur".into(),
+            vendor: vendor.into(),
+            original_ns: 1000.0,
+            variants: vec![
+                VariantRecord { index: 0, flag_bits: vec![0], mean_ns: 1005.0, stddev_ns: 2.0 },
+                VariantRecord { index: 1, flag_bits: vec![16], mean_ns: fast, stddev_ns: 2.0 },
+            ],
+            flag_to_variant: flag_to_variant.clone(),
+        };
+        StudyResults {
+            shaders: vec![ShaderRecord {
+                name: "blur".into(),
+                family: "flagship".into(),
+                loc: 14,
+                arm_static_cycles: 40.0,
+                unique_variants: 2,
+                flag_changes_code: {
+                    let mut v = vec![false; 8];
+                    v[Flag::Unroll.bit() as usize] = true;
+                    v
+                },
+            }],
+            measurements: vec![record("AMD", 750.0), record("ARM", 650.0)],
+        }
+    }
+
+    #[test]
+    fn every_figure_renders_nonempty_text() {
+        let study = tiny_study();
+        assert!(fig3_motivating(&study, "blur").contains("AMD"));
+        assert!(fig4_characterization(&study).contains("lines of code"));
+        assert!(fig5_overall(&study).contains("per-shader best"));
+        assert!(fig6_top30(&study, 30).contains("most-improved"));
+        assert!(table1_best_static(&study).contains("Unroll"));
+        assert!(fig7_per_shader(&study).contains("best static"));
+        assert!(fig8_applicability(&study, "AMD").contains("changes code"));
+        assert!(fig9_per_flag(&study).contains("Unroll"));
+        assert!(summary(&study).contains("shaders"));
+        let all = render_all(&study, "blur");
+        assert!(all.len() > 500);
+    }
+
+    #[test]
+    fn table1_reports_the_beneficial_flag() {
+        let study = tiny_study();
+        assert!(best_static_contains(&study, "AMD", Flag::Unroll));
+        assert!(!best_static_contains(&study, "AMD", Flag::Hoist));
+        assert!(!best_static_contains(&study, "Intel", Flag::Unroll));
+    }
+
+    #[test]
+    fn mean_best_speedups_are_positive_here() {
+        let study = tiny_study();
+        for (vendor, speedup) in mean_best_speedups(&study) {
+            assert!(speedup > 0.0, "{vendor}: {speedup}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Small statistics helpers shared by the figure renderers.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Linear-interpolated percentile (`p` in 0–100); 0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// Histogram with equal-width buckets over `[min, max]`.
+///
+/// Returns `(bucket_lower_edges, counts)`.
+pub fn histogram(values: &[f64], buckets: usize) -> (Vec<f64>, Vec<usize>) {
+    if values.is_empty() || buckets == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((hi - lo) / buckets as f64).max(1e-12);
+    let mut counts = vec![0usize; buckets];
+    for v in values {
+        let idx = (((v - lo) / width) as usize).min(buckets - 1);
+        counts[idx] += 1;
+    }
+    let edges = (0..buckets).map(|i| lo + i as f64 * width).collect();
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_stddev() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&v), 2.5);
+        assert_eq!(median(&v), 2.5);
+        assert!((stddev(&v) - 1.118).abs() < 1e-3);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 50.0);
+        assert_eq!(percentile(&v, 50.0), 30.0);
+        assert_eq!(percentile(&v, 25.0), 20.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_values() {
+        let v = [1.0, 2.0, 2.5, 3.0, 9.9];
+        let (edges, counts) = histogram(&v, 3);
+        assert_eq!(edges.len(), 3);
+        assert_eq!(counts.iter().sum::<usize>(), v.len());
+        assert!(histogram(&[], 3).1.is_empty());
+    }
+}

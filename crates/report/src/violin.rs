@@ -1,0 +1,84 @@
+//! Violin-plot style summaries of speed-up distributions (Figs. 7 and 9).
+
+use crate::stats::{mean, percentile};
+use std::fmt;
+
+/// The numbers a violin plot of a distribution conveys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolinSummary {
+    /// Smallest value (largest slow-down).
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest value (largest speed-up).
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl ViolinSummary {
+    /// Summarises a distribution; all-zero for an empty slice.
+    pub fn of(values: &[f64]) -> ViolinSummary {
+        if values.is_empty() {
+            return ViolinSummary {
+                min: 0.0,
+                p25: 0.0,
+                median: 0.0,
+                p75: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                count: 0,
+            };
+        }
+        ViolinSummary {
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            p25: percentile(values, 25.0),
+            median: percentile(values, 50.0),
+            p75: percentile(values, 75.0),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: mean(values),
+            count: values.len(),
+        }
+    }
+}
+
+impl fmt::Display for ViolinSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:+6.2}%  p25 {:+6.2}%  med {:+6.2}%  p75 {:+6.2}%  max {:+6.2}%  mean {:+6.2}%  (n={})",
+            self.min, self.p25, self.median, self.p75, self.max, self.mean, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarises_distributions() {
+        let v = ViolinSummary::of(&[-10.0, -1.0, 0.0, 0.0, 2.0, 25.0]);
+        assert_eq!(v.min, -10.0);
+        assert_eq!(v.max, 25.0);
+        assert_eq!(v.median, 0.0);
+        assert_eq!(v.count, 6);
+        assert!(v.mean > 0.0);
+        let text = v.to_string();
+        assert!(text.contains("max"));
+        assert!(text.contains("n=6"));
+    }
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let v = ViolinSummary::of(&[]);
+        assert_eq!(v.count, 0);
+        assert_eq!(v.max, 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # prism-search — exhaustive iterative compilation over flag combinations
+//!
+//! The experiment driver of the reproduction (§III-A, §VI of the paper):
+//! every corpus shader is compiled with all 256 optimization-flag
+//! combinations, duplicates are removed, and the original plus every distinct
+//! variant is timed on every simulated platform. The resulting
+//! [`StudyResults`] feed the analyses behind each figure:
+//!
+//! * [`policies`] — per-shader-best / default-LunarGlass / best-static
+//!   comparisons (Fig. 5, Fig. 6, Fig. 7, Table I),
+//! * [`applicability`] — which flags change code and which end up in optimal
+//!   sets (Fig. 8),
+//! * [`per_flag`] — each flag in isolation against the no-flag baseline
+//!   (Fig. 9).
+
+pub mod applicability;
+pub mod per_flag;
+pub mod policies;
+pub mod results;
+pub mod sweep;
+
+pub use applicability::{flag_applicability, FlagApplicability};
+pub use per_flag::{all_flag_impacts, flag_impact, FlagImpact};
+pub use policies::{
+    best_static_flags, mean_speedup, minimal_best_static, per_shader_speedups,
+    platform_summaries, top_n_mean_best, top_n_speedups, PlatformSummary, Policy,
+};
+pub use results::{percent_speedup, ShaderPlatformRecord, ShaderRecord, StudyResults, VariantRecord};
+pub use sweep::{run_study, StudyConfig};

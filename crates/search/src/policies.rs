@@ -1,0 +1,221 @@
+//! Flag-selection policies and their evaluation (Figs. 5–7, Table I).
+//!
+//! Three policies are compared throughout the paper's results section:
+//!
+//! * **per-shader best** (the oracle): for each shader, the fastest of its
+//!   256-flag variants;
+//! * **default LunarGlass**: the flags LunarGlass enables by default;
+//! * **best static**: the single flag combination that maximises the *mean*
+//!   speed-up across all shaders on that platform (Table I) — "the optimal
+//!   compilation settings to use if you cannot adapt on a per-shader basis".
+//!
+//! All speed-ups are measured against the original, untouched shader.
+
+use crate::results::{ShaderPlatformRecord, StudyResults};
+use prism_core::{Flag, OptFlags};
+
+/// A flag-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// The per-shader oracle (best of all 256 combinations).
+    Best,
+    /// LunarGlass's default flag set.
+    DefaultLunarGlass,
+    /// A fixed flag combination applied to every shader.
+    Static(OptFlags),
+}
+
+/// Per-shader percentage speed-ups of a policy on one platform, in the order
+/// the records appear.
+pub fn per_shader_speedups(records: &[&ShaderPlatformRecord], policy: Policy) -> Vec<f64> {
+    records
+        .iter()
+        .map(|r| match policy {
+            Policy::Best => r.best_speedup_vs_original(),
+            Policy::DefaultLunarGlass => r.speedup_vs_original(OptFlags::lunarglass_default()),
+            Policy::Static(flags) => r.speedup_vs_original(flags),
+        })
+        .collect()
+}
+
+/// Mean percentage speed-up of a policy across all shaders on one platform.
+pub fn mean_speedup(records: &[&ShaderPlatformRecord], policy: Policy) -> f64 {
+    let v = per_shader_speedups(records, policy);
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Finds the best static flag combination for a platform: the flag set with
+/// the highest mean speed-up across all shaders (Table I).
+pub fn best_static_flags(records: &[&ShaderPlatformRecord]) -> (OptFlags, f64) {
+    let mut best = (OptFlags::NONE, f64::NEG_INFINITY);
+    for bits in 0..=255u8 {
+        let flags = OptFlags::from_bits(bits);
+        let mean = mean_speedup(records, Policy::Static(flags));
+        // Prefer fewer flags when the mean is (exactly) tied, so flags that
+        // never change the code (e.g. ADCE) drop out of the reported set.
+        let better = mean > best.1 + 1e-12
+            || (mean > best.1 - 1e-12 && flags.len() < best.0.len());
+        if better {
+            best = (flags, mean);
+        }
+    }
+    best
+}
+
+/// Minimises the reported best-static set: drops any flag whose removal does
+/// not lower the mean speed-up (mirrors the paper's note that ADCE can be
+/// "safely omitted from the minimal optimal flag selection").
+pub fn minimal_best_static(records: &[&ShaderPlatformRecord]) -> (OptFlags, f64) {
+    let (mut flags, mut mean) = best_static_flags(records);
+    loop {
+        let mut improved = false;
+        for flag in Flag::ALL {
+            if !flags.contains(flag) {
+                continue;
+            }
+            let candidate = flags.without(flag);
+            let candidate_mean = mean_speedup(records, Policy::Static(candidate));
+            if candidate_mean >= mean - 1e-12 {
+                flags = candidate;
+                mean = candidate_mean;
+                improved = true;
+            }
+        }
+        if !improved {
+            return (flags, mean);
+        }
+    }
+}
+
+/// Summary of all three policies for one platform (one bar group of Fig. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSummary {
+    /// Platform name.
+    pub vendor: String,
+    /// Mean speed-up of the per-shader best variant.
+    pub mean_best: f64,
+    /// Mean speed-up of LunarGlass's default flags.
+    pub mean_default: f64,
+    /// Mean speed-up of the best static flag set.
+    pub mean_best_static: f64,
+    /// The (minimal) best static flag set itself (a row of Table I).
+    pub best_static: OptFlags,
+}
+
+/// Builds the Fig. 5 / Table I summary for every platform in a study.
+pub fn platform_summaries(study: &StudyResults) -> Vec<PlatformSummary> {
+    study
+        .platforms()
+        .into_iter()
+        .map(|vendor| {
+            let records = study.for_platform(&vendor);
+            let (best_static, mean_best_static) = minimal_best_static(&records);
+            PlatformSummary {
+                mean_best: mean_speedup(&records, Policy::Best),
+                mean_default: mean_speedup(&records, Policy::DefaultLunarGlass),
+                mean_best_static,
+                best_static,
+                vendor,
+            }
+        })
+        .collect()
+}
+
+/// Mean speed-up of the `n` most-improved shaders under the per-shader best
+/// policy (Fig. 6 uses n = 30).
+pub fn top_n_mean_best(records: &[&ShaderPlatformRecord], n: usize) -> f64 {
+    let mut speedups = per_shader_speedups(records, Policy::Best);
+    speedups.sort_by(|a, b| b.partial_cmp(a).expect("speedups are finite"));
+    let take = n.min(speedups.len());
+    if take == 0 {
+        return 0.0;
+    }
+    speedups[..take].iter().sum::<f64>() / take as f64
+}
+
+/// The per-shader speed-ups of the `n` most improved shaders (Fig. 6 detail).
+pub fn top_n_speedups(records: &[&ShaderPlatformRecord], n: usize) -> Vec<(String, f64)> {
+    let mut pairs: Vec<(String, f64)> = records
+        .iter()
+        .map(|r| (r.shader.clone(), r.best_speedup_vs_original()))
+        .collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("speedups are finite"));
+    pairs.truncate(n);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::VariantRecord;
+
+    /// Builds a synthetic record where `fast_flags` maps to a faster variant.
+    fn record(shader: &str, vendor: &str, original: f64, base: f64, fast: f64, fast_flag: Flag) -> ShaderPlatformRecord {
+        let mut flag_to_variant = vec![0usize; 256];
+        for bits in 0..=255u8 {
+            if OptFlags::from_bits(bits).contains(fast_flag) {
+                flag_to_variant[bits as usize] = 1;
+            }
+        }
+        ShaderPlatformRecord {
+            shader: shader.into(),
+            vendor: vendor.into(),
+            original_ns: original,
+            variants: vec![
+                VariantRecord { index: 0, flag_bits: vec![0], mean_ns: base, stddev_ns: 1.0 },
+                VariantRecord { index: 1, flag_bits: vec![], mean_ns: fast, stddev_ns: 1.0 },
+            ],
+            flag_to_variant,
+        }
+    }
+
+    #[test]
+    fn policies_rank_as_expected() {
+        let r1 = record("a", "AMD", 1000.0, 1000.0, 700.0, Flag::Unroll);
+        let r2 = record("b", "AMD", 1000.0, 1005.0, 990.0, Flag::Unroll);
+        let records: Vec<&ShaderPlatformRecord> = vec![&r1, &r2];
+        let best = mean_speedup(&records, Policy::Best);
+        let default = mean_speedup(&records, Policy::DefaultLunarGlass);
+        let static_unroll = mean_speedup(&records, Policy::Static(OptFlags::only(Flag::Unroll)));
+        // The oracle is at least as good as any static policy.
+        assert!(best >= static_unroll);
+        // LunarGlass defaults include Unroll here, so they match the static set.
+        assert!((default - static_unroll).abs() < 1e-9);
+        assert!(best > 0.0);
+    }
+
+    #[test]
+    fn best_static_finds_the_winning_flag_and_is_minimal() {
+        let r1 = record("a", "ARM", 1000.0, 1000.0, 800.0, Flag::Unroll);
+        let r2 = record("b", "ARM", 1000.0, 1000.0, 900.0, Flag::Unroll);
+        let records: Vec<&ShaderPlatformRecord> = vec![&r1, &r2];
+        let (flags, mean) = minimal_best_static(&records);
+        assert!(flags.contains(Flag::Unroll));
+        assert_eq!(flags.len(), 1, "minimal set should drop no-op flags: {flags}");
+        assert!((mean - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_n_selects_most_improved() {
+        let r1 = record("a", "Intel", 1000.0, 1000.0, 900.0, Flag::Unroll); // 10%
+        let r2 = record("b", "Intel", 1000.0, 1000.0, 990.0, Flag::Unroll); // 1%
+        let r3 = record("c", "Intel", 1000.0, 1000.0, 750.0, Flag::Unroll); // 25%
+        let records: Vec<&ShaderPlatformRecord> = vec![&r1, &r2, &r3];
+        let top2 = top_n_mean_best(&records, 2);
+        assert!((top2 - 17.5).abs() < 1e-9);
+        let named = top_n_speedups(&records, 2);
+        assert_eq!(named[0].0, "c");
+        assert_eq!(named[1].0, "a");
+    }
+
+    #[test]
+    fn empty_record_sets_are_safe() {
+        let records: Vec<&ShaderPlatformRecord> = vec![];
+        assert_eq!(mean_speedup(&records, Policy::Best), 0.0);
+        assert_eq!(top_n_mean_best(&records, 30), 0.0);
+    }
+}

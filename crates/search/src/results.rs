@@ -1,0 +1,236 @@
+//! Study result data structures.
+//!
+//! Everything the analyses (Figs. 5–9, Table I) need is captured in plain
+//! serialisable records, so a full exhaustive sweep can be saved to JSON and
+//! re-analysed without re-running the measurement.
+
+use prism_core::OptFlags;
+use serde::{Deserialize, Serialize};
+
+/// Timing of one distinct shader variant on one platform.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct VariantRecord {
+    /// Variant index within the shader's variant set.
+    pub index: usize,
+    /// All flag combinations (as raw 8-bit masks) that produce this variant.
+    pub flag_bits: Vec<u8>,
+    /// Mean measured frame time in nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation of the frame times.
+    pub stddev_ns: f64,
+}
+
+/// All measurements of one shader on one platform.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShaderPlatformRecord {
+    /// Corpus shader name.
+    pub shader: String,
+    /// Platform name (`Vendor::name()`).
+    pub vendor: String,
+    /// Frame time of the original, untouched shader (not passed through the
+    /// offline optimizer at all) — the baseline for Figs. 3, 5, 6 and 7.
+    pub original_ns: f64,
+    /// Distinct variant timings.
+    pub variants: Vec<VariantRecord>,
+    /// For each of the 256 flag masks, the index of the variant it produces.
+    pub flag_to_variant: Vec<usize>,
+}
+
+impl ShaderPlatformRecord {
+    /// Frame time of the variant a flag combination produces.
+    pub fn time_for(&self, flags: OptFlags) -> f64 {
+        let idx = self.flag_to_variant[flags.bits() as usize];
+        self.variants[idx].mean_ns
+    }
+
+    /// Frame time of the LunarGlass no-flags baseline (canonicalisation only).
+    pub fn baseline_ns(&self) -> f64 {
+        self.time_for(OptFlags::NONE)
+    }
+
+    /// The fastest variant's (flag set, time).
+    pub fn best(&self) -> (OptFlags, f64) {
+        let mut best_flags = OptFlags::NONE;
+        let mut best_time = f64::INFINITY;
+        for bits in 0..=255u8 {
+            let flags = OptFlags::from_bits(bits);
+            let t = self.time_for(flags);
+            if t < best_time {
+                best_time = t;
+                best_flags = flags;
+            }
+        }
+        (best_flags, best_time)
+    }
+
+    /// Percentage speed-up of `flags` relative to the original shader
+    /// (positive = faster than the untouched shader).
+    pub fn speedup_vs_original(&self, flags: OptFlags) -> f64 {
+        percent_speedup(self.original_ns, self.time_for(flags))
+    }
+
+    /// Percentage speed-up of the best variant relative to the original.
+    pub fn best_speedup_vs_original(&self) -> f64 {
+        percent_speedup(self.original_ns, self.best().1)
+    }
+
+    /// Percentage speed-up of `flags` relative to the no-flags LunarGlass
+    /// baseline (the comparison used for the per-flag violins of Fig. 9).
+    pub fn speedup_vs_baseline(&self, flags: OptFlags) -> f64 {
+        percent_speedup(self.baseline_ns(), self.time_for(flags))
+    }
+}
+
+/// Percentage speed-up of `new` versus `old` (positive = `new` is faster).
+pub fn percent_speedup(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        return 0.0;
+    }
+    (old - new) / old * 100.0
+}
+
+/// Static per-shader facts gathered once (platform independent).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShaderRecord {
+    /// Corpus shader name.
+    pub name: String,
+    /// Übershader family.
+    pub family: String,
+    /// Paper's lines-of-code metric (Fig. 4a).
+    pub loc: usize,
+    /// ARM-style static-analyser total cycles (Fig. 4b).
+    pub arm_static_cycles: f64,
+    /// Number of distinct variants out of the 256 flag combinations (Fig. 4c).
+    pub unique_variants: usize,
+    /// For each flag (in `Flag::ALL` order), whether enabling it ever changes
+    /// the generated code (the red bars of Fig. 8).
+    pub flag_changes_code: Vec<bool>,
+}
+
+/// A complete study: every shader × platform × variant measurement.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct StudyResults {
+    /// Static per-shader facts.
+    pub shaders: Vec<ShaderRecord>,
+    /// All timing records.
+    pub measurements: Vec<ShaderPlatformRecord>,
+}
+
+impl StudyResults {
+    /// All measurements for one platform, in shader order.
+    pub fn for_platform(&self, vendor: &str) -> Vec<&ShaderPlatformRecord> {
+        self.measurements
+            .iter()
+            .filter(|m| m.vendor == vendor)
+            .collect()
+    }
+
+    /// The static record of a shader.
+    pub fn shader(&self, name: &str) -> Option<&ShaderRecord> {
+        self.shaders.iter().find(|s| s.name == name)
+    }
+
+    /// The measurement of one shader on one platform.
+    pub fn measurement(&self, shader: &str, vendor: &str) -> Option<&ShaderPlatformRecord> {
+        self.measurements
+            .iter()
+            .find(|m| m.shader == shader && m.vendor == vendor)
+    }
+
+    /// The platforms present in the study, in first-appearance order.
+    pub fn platforms(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for m in &self.measurements {
+            if !seen.contains(&m.vendor) {
+                seen.push(m.vendor.clone());
+            }
+        }
+        seen
+    }
+
+    /// Serialises the study to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("study results serialise")
+    }
+
+    /// Restores a study from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error message on malformed input.
+    pub fn from_json(text: &str) -> Result<StudyResults, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_core::Flag;
+
+    fn record() -> ShaderPlatformRecord {
+        // Two variants: the baseline (slower) and an optimized one (faster);
+        // flag bit 4 (Unroll) switches to the optimized variant.
+        let mut flag_to_variant = vec![0usize; 256];
+        for bits in 0..=255u8 {
+            if OptFlags::from_bits(bits).contains(Flag::Unroll) {
+                flag_to_variant[bits as usize] = 1;
+            }
+        }
+        ShaderPlatformRecord {
+            shader: "s".into(),
+            vendor: "AMD".into(),
+            original_ns: 1000.0,
+            variants: vec![
+                VariantRecord { index: 0, flag_bits: vec![0], mean_ns: 1010.0, stddev_ns: 5.0 },
+                VariantRecord { index: 1, flag_bits: vec![16], mean_ns: 800.0, stddev_ns: 5.0 },
+            ],
+            flag_to_variant,
+        }
+    }
+
+    #[test]
+    fn lookup_and_speedups() {
+        let r = record();
+        assert_eq!(r.time_for(OptFlags::NONE), 1010.0);
+        assert_eq!(r.time_for(OptFlags::only(Flag::Unroll)), 800.0);
+        assert_eq!(r.baseline_ns(), 1010.0);
+        let (best_flags, best_time) = r.best();
+        assert!(best_flags.contains(Flag::Unroll));
+        assert_eq!(best_time, 800.0);
+        assert!((r.best_speedup_vs_original() - 20.0).abs() < 1e-9);
+        // The artefact effect: the no-flag variant is slower than the original.
+        assert!(r.speedup_vs_original(OptFlags::NONE) < 0.0);
+        assert!((r.speedup_vs_baseline(OptFlags::only(Flag::Unroll)) - 20.79).abs() < 0.1);
+    }
+
+    #[test]
+    fn percent_speedup_sign_convention() {
+        assert!(percent_speedup(100.0, 90.0) > 0.0);
+        assert!(percent_speedup(100.0, 110.0) < 0.0);
+        assert_eq!(percent_speedup(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn study_round_trips_through_json() {
+        let study = StudyResults {
+            shaders: vec![ShaderRecord {
+                name: "s".into(),
+                family: "f".into(),
+                loc: 12,
+                arm_static_cycles: 30.0,
+                unique_variants: 2,
+                flag_changes_code: vec![false; 8],
+            }],
+            measurements: vec![record()],
+        };
+        let json = study.to_json();
+        let restored = StudyResults::from_json(&json).unwrap();
+        assert_eq!(restored.shaders, study.shaders);
+        assert_eq!(restored.measurements, study.measurements);
+        assert_eq!(restored.platforms(), vec!["AMD".to_string()]);
+        assert!(restored.measurement("s", "AMD").is_some());
+        assert!(restored.measurement("s", "Intel").is_none());
+        assert!(StudyResults::from_json("{broken").is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! The exhaustive iterative-compilation sweep.
+//!
+//! For every corpus shader: generate the 256 flag-combination variants,
+//! deduplicate them (§V-C), submit the original shader and every distinct
+//! variant to every platform's driver, and time each with the harness.
+//! Shaders are processed in parallel worker threads (the offline tool and the
+//! simulated GPUs are pure functions, so this is safe and deterministic).
+
+use crate::results::{ShaderPlatformRecord, ShaderRecord, StudyResults, VariantRecord};
+use prism_core::{unique_variants, Flag};
+use prism_corpus::{Corpus, ShaderCase};
+use prism_gpu::{Platform, Vendor};
+use prism_harness::{measure_cost, MeasureConfig};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Harness timing configuration.
+    pub measure: MeasureConfig,
+    /// Platforms to measure on (defaults to all five).
+    pub vendors: Vec<Vendor>,
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            measure: MeasureConfig::default(),
+            vendors: Vendor::ALL.to_vec(),
+            threads: 8,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for unit tests and quick experiments.
+    pub fn quick() -> StudyConfig {
+        StudyConfig {
+            measure: MeasureConfig::quick(),
+            vendors: Vendor::ALL.to_vec(),
+            threads: 4,
+        }
+    }
+}
+
+/// Runs the full study over a corpus.
+///
+/// Shaders that fail to compile (none in the built-in corpus) are skipped, so
+/// a partially incompatible external corpus still yields results.
+pub fn run_study(corpus: &Corpus, config: &StudyConfig) -> StudyResults {
+    let platforms: Vec<Platform> = config.vendors.iter().map(|v| Platform::new(*v)).collect();
+    let threads = config.threads.max(1);
+    let mut per_shader: Vec<Option<(ShaderRecord, Vec<ShaderPlatformRecord>)>> =
+        Vec::with_capacity(corpus.cases.len());
+    per_shader.resize_with(corpus.cases.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let chunks: Vec<(usize, &[ShaderCase])> = corpus
+            .cases
+            .chunks(corpus.cases.len().div_ceil(threads).max(1))
+            .enumerate()
+            .collect();
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in chunks {
+            let platforms = &platforms;
+            let measure = &config.measure;
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::new();
+                for (offset, case) in chunk.iter().enumerate() {
+                    out.push((chunk_idx, offset, process_shader(case, platforms, measure)));
+                }
+                out
+            }));
+        }
+        let chunk_size = corpus.cases.len().div_ceil(threads).max(1);
+        for handle in handles {
+            for (chunk_idx, offset, result) in handle.join().expect("worker thread panicked") {
+                per_shader[chunk_idx * chunk_size + offset] = result;
+            }
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut study = StudyResults::default();
+    for entry in per_shader.into_iter().flatten() {
+        study.shaders.push(entry.0);
+        study.measurements.extend(entry.1);
+    }
+    study
+}
+
+/// Processes one shader: variants, per-platform measurements.
+fn process_shader(
+    case: &ShaderCase,
+    platforms: &[Platform],
+    measure: &MeasureConfig,
+) -> Option<(ShaderRecord, Vec<ShaderPlatformRecord>)> {
+    let variants = unique_variants(&case.source, &case.name).ok()?;
+
+    // Static facts (platform independent). The ARM static analyser runs on
+    // the ARM driver's compilation of the original shader, as in the paper.
+    let arm = platforms
+        .iter()
+        .find(|p| p.vendor() == Vendor::Arm)
+        .cloned()
+        .unwrap_or_else(|| Platform::new(Vendor::Arm));
+    let arm_static_cycles = arm
+        .submit(&case.source.text, &case.name)
+        .map(|c| arm.static_cycles(&c.driver_ir).total())
+        .unwrap_or(0.0);
+
+    let flag_changes_code = Flag::ALL
+        .iter()
+        .map(|f| variants.flag_changes_code(*f))
+        .collect();
+
+    let record = ShaderRecord {
+        name: case.name.clone(),
+        family: case.family.clone(),
+        loc: case.lines_of_code(),
+        arm_static_cycles,
+        unique_variants: variants.unique_count(),
+        flag_changes_code,
+    };
+
+    let mut measurements = Vec::new();
+    for (platform_idx, platform) in platforms.iter().enumerate() {
+        let stream_base = stream_id(&case.name, platform_idx);
+        // Original (untouched) shader.
+        let Ok(original_cost) = platform.submit(&case.source.text, &case.name) else {
+            continue;
+        };
+        let original = measure_cost(platform, &original_cost, measure, stream_base);
+
+        let mut variant_records = Vec::new();
+        for variant in &variants.variants {
+            let Ok(cost) = platform.submit(&variant.glsl, &case.name) else {
+                continue;
+            };
+            let m = measure_cost(
+                platform,
+                &cost,
+                measure,
+                stream_base.wrapping_add(1 + variant.index as u64),
+            );
+            variant_records.push(VariantRecord {
+                index: variant.index,
+                flag_bits: variant.flag_sets.iter().map(|f| f.bits()).collect(),
+                mean_ns: m.mean_ns,
+                stddev_ns: m.stddev_ns,
+            });
+        }
+        if variant_records.len() != variants.variants.len() {
+            // A variant failed driver compilation; skip this platform to keep
+            // the flag→variant table consistent.
+            continue;
+        }
+        let flag_to_variant = (0..=255u8)
+            .map(|bits| variants.by_flags[&prism_core::OptFlags::from_bits(bits)])
+            .collect();
+        measurements.push(ShaderPlatformRecord {
+            shader: case.name.clone(),
+            vendor: platform.vendor().name().to_string(),
+            original_ns: original.mean_ns,
+            variants: variant_records,
+            flag_to_variant,
+        });
+    }
+    Some((record, measurements))
+}
+
+/// Deterministic per-(shader, platform) noise stream id.
+fn stream_id(shader: &str, platform_idx: usize) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    shader.hash(&mut hasher);
+    hasher.finish().wrapping_add((platform_idx as u64) << 48)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_core::OptFlags;
+
+    /// A miniature corpus: the blur flagship plus a couple of family shaders.
+    fn mini_corpus() -> Corpus {
+        let full = Corpus::gfxbench_like();
+        let keep = ["flagship_blur9", "ui_blit_00", "ui_blit_02", "color_grade_01"];
+        Corpus {
+            cases: full
+                .cases
+                .into_iter()
+                .filter(|c| keep.contains(&c.name.as_str()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn study_covers_all_shaders_and_platforms() {
+        let corpus = mini_corpus();
+        let study = run_study(&corpus, &StudyConfig::quick());
+        assert_eq!(study.shaders.len(), corpus.len());
+        assert_eq!(study.measurements.len(), corpus.len() * Vendor::ALL.len());
+        assert_eq!(study.platforms().len(), 5);
+        for m in &study.measurements {
+            assert!(m.original_ns > 0.0);
+            assert!(!m.variants.is_empty());
+            assert_eq!(m.flag_to_variant.len(), 256);
+        }
+    }
+
+    #[test]
+    fn blur_best_variant_beats_original_on_every_platform() {
+        let corpus = Corpus {
+            cases: Corpus::gfxbench_like()
+                .cases
+                .into_iter()
+                .filter(|c| c.name == "flagship_blur9")
+                .collect(),
+        };
+        let study = run_study(&corpus, &StudyConfig::quick());
+        for m in &study.measurements {
+            let best = m.best_speedup_vs_original();
+            assert!(
+                best > 1.0,
+                "{}: expected a clear win on the blur, got {best:.2}%",
+                m.vendor
+            );
+        }
+        // Mobile gains exceed desktop gains (Fig. 3 of the paper).
+        let gain = |vendor: &str| {
+            study
+                .measurement("flagship_blur9", vendor)
+                .unwrap()
+                .best_speedup_vs_original()
+        };
+        let desktop_max = gain("Intel").max(gain("AMD")).max(gain("NVIDIA"));
+        let mobile_min = gain("ARM").min(gain("Qualcomm"));
+        assert!(
+            mobile_min > desktop_max * 0.8,
+            "mobile {mobile_min:.1}% should be at least comparable to desktop {desktop_max:.1}%"
+        );
+    }
+
+    #[test]
+    fn simple_shaders_have_mostly_identical_variants() {
+        let corpus = mini_corpus();
+        let study = run_study(&corpus, &StudyConfig::quick());
+        let ui = study.shader("ui_blit_00").unwrap();
+        assert!(ui.unique_variants <= 6, "got {}", ui.unique_variants);
+        let blur = study.shader("flagship_blur9").unwrap();
+        assert!(blur.unique_variants > ui.unique_variants);
+        assert!(blur.unique_variants <= 64);
+    }
+
+    #[test]
+    fn adce_never_changes_code_in_the_study() {
+        let corpus = mini_corpus();
+        let study = run_study(&corpus, &StudyConfig::quick());
+        for s in &study.shaders {
+            assert!(!s.flag_changes_code[Flag::Adce.bit() as usize], "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn near_identical_variants_time_nearly_identically() {
+        let corpus = mini_corpus();
+        let study = run_study(&corpus, &StudyConfig::quick());
+        // The no-flag and ADCE-only variants are the same code, so they map to
+        // the same variant record and thus identical times.
+        for m in &study.measurements {
+            let none = m.time_for(OptFlags::NONE);
+            let adce = m.time_for(OptFlags::only(Flag::Adce));
+            assert_eq!(none, adce);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Per-flag isolated impact (the paper's Fig. 9) on a corpus slice: each flag
+//! alone versus the all-flags-off LunarGlass baseline, per platform.
+//!
+//! ```text
+//! cargo run --release --example per_flag_analysis
+//! ```
+
+use prism::core::Flag;
+use prism::corpus::Corpus;
+use prism::report::ViolinSummary;
+use prism::search::{flag_impact, run_study, StudyConfig};
+
+fn main() {
+    let full = Corpus::gfxbench_like();
+    let corpus = Corpus {
+        cases: full
+            .cases
+            .into_iter()
+            .filter(|c| {
+                c.family == "flagship"
+                    || c.family == "shadow_filter"
+                    || c.family == "bloom_blur"
+                    || c.family == "forward_lit"
+            })
+            .take(16)
+            .collect(),
+    };
+    println!("measuring {} shaders...\n", corpus.len());
+    let study = run_study(&corpus, &StudyConfig::quick());
+
+    for vendor in study.platforms() {
+        println!("{vendor}");
+        for flag in Flag::ALL {
+            let impact = flag_impact(&study, &vendor, flag);
+            println!(
+                "  {:<16} {}  (changed {} shaders)",
+                flag.name(),
+                ViolinSummary::of(&impact.speedups),
+                impact.nonzero_count()
+            );
+        }
+        println!();
+    }
+}

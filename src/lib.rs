@@ -1,0 +1,76 @@
+//! # prism — a reproduction of *"A Cross-platform Evaluation of Graphics
+//! Shader Compiler Optimization"* (Crawford & O'Boyle, ISPASS 2018)
+//!
+//! The workspace rebuilds, from scratch and in Rust, every system the paper
+//! uses or depends on:
+//!
+//! | layer | crate | paper counterpart |
+//! |---|---|---|
+//! | GLSL front-end | [`glsl`] | LunarGlass GLSL front-end / glslang |
+//! | shader IR | [`ir`] | LLVM 3.4 IR inside LunarGlass |
+//! | offline optimizer (8 flags) | [`core`] | LunarGlass passes + the paper's custom unsafe FP passes |
+//! | GLSL back-end | [`emit`] | LunarGlass GLSL back-end (+ the mobile SPIRV-Cross path) |
+//! | GPU substrate | [`gpu`] | the five physical GPUs + their drivers |
+//! | benchmark corpus | [`corpus`] | GFXBench 4.0 fragment shaders |
+//! | timing harness | [`harness`] | the paper's isolated draw-call timing framework |
+//! | exhaustive search | [`search`] | the 256-combination iterative compilation study |
+//! | figures/tables | [`report`] | the evaluation section's figures and Table I |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use prism::core::{compile, Flag, OptFlags};
+//! use prism::glsl::ShaderSource;
+//! use prism::gpu::{Platform, Vendor};
+//!
+//! // The paper's motivating blur shader, optimized with the custom passes.
+//! let source = ShaderSource::parse(prism::corpus::flagship::BLUR9).unwrap();
+//! let flags = OptFlags::from_flags(&[Flag::Unroll, Flag::FpReassociate, Flag::DivToMul]);
+//! let optimized = compile(&source, "blur", flags).unwrap();
+//!
+//! // Submit both versions to a simulated GPU and compare frame times.
+//! let gpu = Platform::new(Vendor::Arm);
+//! let before = gpu.submit(&source.text, "blur").unwrap().ideal_frame_ns;
+//! let after = gpu.submit(&optimized.glsl, "blur").unwrap().ideal_frame_ns;
+//! assert!(after < before);
+//! ```
+
+/// The GLSL front-end (`prism-glsl`).
+pub use prism_glsl as glsl;
+
+/// The shader IR (`prism-ir`).
+pub use prism_ir as ir;
+
+/// The flag-driven offline optimizer (`prism-core`).
+pub use prism_core as core;
+
+/// The IR → GLSL back-end (`prism-emit`).
+pub use prism_emit as emit;
+
+/// The five-vendor GPU substrate (`prism-gpu`).
+pub use prism_gpu as gpu;
+
+/// The GFXBench-like shader corpus (`prism-corpus`).
+pub use prism_corpus as corpus;
+
+/// The isolated timing harness (`prism-harness`).
+pub use prism_harness as harness;
+
+/// The exhaustive iterative-compilation search (`prism-search`).
+pub use prism_search as search;
+
+/// Statistics and figure/table renderers (`prism-report`).
+pub use prism_report as report;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_re_exports_are_wired() {
+        // One symbol per layer, to catch broken re-exports early.
+        let _ = crate::core::OptFlags::all();
+        let _ = crate::gpu::Vendor::ALL;
+        let _ = crate::corpus::flagship::BLUR9;
+        let _ = crate::harness::MeasureConfig::quick();
+        let _ = crate::report::ViolinSummary::of(&[1.0]);
+    }
+}

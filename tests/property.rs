@@ -1,0 +1,113 @@
+//! Property-based tests over the optimizer's core invariants:
+//!
+//! * any generated arithmetic shader survives the front-end and every flag
+//!   combination of the optimizer without panicking,
+//! * optimization preserves the rendered result (within unsafe-FP tolerance),
+//! * emitted GLSL always re-parses and keeps the shader interface,
+//! * variant deduplication is consistent with textual equality.
+
+use prism::core::{compile, unique_variants, OptFlags};
+use prism::glsl::ShaderSource;
+use prism::ir::interp::{results_approx_equal, run_fragment, FragmentContext};
+use proptest::prelude::*;
+
+/// A small expression grammar over the shader's available values. Depth is
+/// bounded so generated shaders stay within realistic fragment-shader sizes.
+fn expr_strategy(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("uv.x".to_string()),
+        Just("uv.y".to_string()),
+        Just("tint.x".to_string()),
+        Just("tint.y * 0.5".to_string()),
+        Just("gain".to_string()),
+        (1i32..9).prop_map(|v| format!("{v}.0")),
+        (1i32..5).prop_map(|v| format!("{}.5", v)),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            // Division by a non-zero constant: the Div-to-Mul target pattern.
+            (inner.clone(), 2i32..9).prop_map(|(a, c)| format!("({a} / {c}.0)")),
+            inner.clone().prop_map(|a| format!("abs({a})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("min({a}, {b})")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("mix({a}, {b}, 0.25)")),
+        ]
+    })
+    .boxed()
+}
+
+/// Wraps generated expressions in a complete fragment shader that exercises
+/// scalar maths, vector construction and component writes.
+fn shader_strategy() -> BoxedStrategy<String> {
+    (expr_strategy(3), expr_strategy(3), 1usize..6)
+        .prop_map(|(a, b, reps)| {
+            let mut body = String::new();
+            body.push_str(&format!("    float acc = {a};\n"));
+            for i in 0..reps {
+                body.push_str(&format!("    acc += {b} * {}.0;\n", i + 1));
+            }
+            format!(
+                "uniform vec4 tint;\nuniform float gain;\nin vec2 uv;\nout vec4 fragColor;\n\
+                 void main() {{\n{body}    vec3 rgb = vec3(acc, acc * 0.5, {a});\n    fragColor.xyz = rgb;\n    fragColor.w = 1.0;\n}}\n"
+            )
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Every flag combination preserves the generated shader's output.
+    #[test]
+    fn optimization_preserves_generated_shader_semantics(src in shader_strategy()) {
+        let source = ShaderSource::parse(&src).expect("generated shader parses");
+        let reference = compile(&source, "gen", OptFlags::NONE).expect("baseline compiles");
+        let ctx = FragmentContext::with_defaults(&reference.ir, 0.3, 0.65);
+        let want = run_fragment(&reference.ir, &ctx).expect("baseline runs");
+
+        // A representative spread of combinations (the exhaustive version runs
+        // on the fixed corpus in the integration tests).
+        for bits in [0u8, 0xFF, 0b0101_0101, 0b1010_1010, 0b0011_0110, 0b1100_0001] {
+            let flags = OptFlags::from_bits(bits);
+            let optimized = compile(&source, "gen", flags).expect("optimized compiles");
+            let ctx2 = FragmentContext::with_defaults(&optimized.ir, 0.3, 0.65);
+            let got = run_fragment(&optimized.ir, &ctx2).expect("optimized runs");
+            prop_assert!(
+                results_approx_equal(&want, &got, 1e-3),
+                "flags {} changed output: {:?} vs {:?}", flags, want.outputs, got.outputs
+            );
+        }
+    }
+
+    /// Emitted GLSL for any flag set re-parses and keeps the interface.
+    #[test]
+    fn emitted_glsl_reparses_and_keeps_interface(src in shader_strategy(), bits in 0u8..=255) {
+        let source = ShaderSource::parse(&src).expect("generated shader parses");
+        let optimized = compile(&source, "gen", OptFlags::from_bits(bits)).expect("compiles");
+        let reparsed = ShaderSource::preprocess_and_parse(&optimized.glsl, &Default::default())
+            .expect("emitted GLSL re-parses");
+        prop_assert!(source.interface.same_io(&reparsed.interface));
+    }
+
+    /// Variant deduplication groups flag sets if and only if their emitted
+    /// text is identical.
+    #[test]
+    fn variant_dedup_is_consistent_with_text_equality(src in shader_strategy()) {
+        let source = ShaderSource::parse(&src).expect("generated shader parses");
+        let set = unique_variants(&source, "gen").expect("variants");
+        // Spot-check a handful of flag sets against their variant's text.
+        for bits in [0u8, 1, 16, 64, 255] {
+            let flags = OptFlags::from_bits(bits);
+            let direct = compile(&source, "gen", flags).expect("compiles").glsl;
+            prop_assert_eq!(&set.variant_for(flags).glsl, &direct);
+        }
+        // Distinct variants must have distinct text.
+        for (i, a) in set.variants.iter().enumerate() {
+            for b in &set.variants[i + 1..] {
+                prop_assert_ne!(&a.glsl, &b.glsl);
+            }
+        }
+    }
+}
