@@ -2,5 +2,8 @@
 //! and the distribution of best-static speed-ups on ARM.
 fn main() {
     let study = prism_bench::full_study();
-    print!("{}", prism_report::fig3_motivating(&study, prism_bench::BLUR_NAME));
+    print!(
+        "{}",
+        prism_report::fig3_motivating(&study, prism_bench::BLUR_NAME)
+    );
 }

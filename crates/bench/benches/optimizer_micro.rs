@@ -1,9 +1,38 @@
 //! Criterion micro-benchmarks of the offline optimizer itself (not a paper
 //! figure; engineering health of the reproduction).
+//!
+//! The headline comparison is 256-combination variant generation: the
+//! brute-force path (one full pipeline per combination, text-only dedup)
+//! versus the [`CompileSession`] path (lower once, share schedule-prefix
+//! snapshots, fingerprint-dedup before emission). The bench asserts the
+//! session is at least 5x faster on the motivating blur shader and prints the
+//! measured ratio.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use prism_core::{compile, OptFlags};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prism_core::{compile, CompileSession, OptFlags};
 use prism_corpus::Corpus;
+use std::time::Instant;
+
+/// Brute-force variant generation: the pre-session hot path, kept here as the
+/// benchmark baseline (one full compile per combination, dedup by text).
+fn brute_force_variants(source: &prism_glsl::ShaderSource, name: &str) -> usize {
+    let mut unique: Vec<String> = Vec::new();
+    for flags in OptFlags::all_combinations() {
+        let compiled = compile(source, name, flags).unwrap();
+        if !unique.contains(&compiled.glsl) {
+            unique.push(compiled.glsl);
+        }
+    }
+    unique.len()
+}
+
+fn session_variants(source: &prism_glsl::ShaderSource, name: &str) -> usize {
+    CompileSession::new(source, name)
+        .unwrap()
+        .variants()
+        .unwrap()
+        .unique_count()
+}
 
 fn optimizer_benchmarks(c: &mut Criterion) {
     let corpus = Corpus::gfxbench_like();
@@ -24,11 +53,54 @@ fn optimizer_benchmarks(c: &mut Criterion) {
     c.bench_function("compile_largest_shader_all_flags", |b| {
         b.iter(|| compile(&big.source, &big.name, OptFlags::all()).unwrap())
     });
+    c.bench_function("session_compile_blur_all_flags", |b| {
+        let session = CompileSession::new(&blur.source, &blur.name).unwrap();
+        b.iter(|| session.compile(OptFlags::all()).unwrap())
+    });
+    c.bench_function("variants_256_brute_force_blur", |b| {
+        b.iter(|| brute_force_variants(&blur.source, &blur.name))
+    });
+    c.bench_function("variants_256_session_blur", |b| {
+        b.iter(|| session_variants(&blur.source, &blur.name))
+    });
     c.bench_function("driver_compile_blur_nvidia", |b| {
         let platform = prism_gpu::Platform::new(prism_gpu::Vendor::Nvidia);
         let optimized = compile(&blur.source, &blur.name, OptFlags::all()).unwrap();
         b.iter(|| platform.submit(&optimized.glsl, &blur.name).unwrap())
     });
+
+    speedup_report(&blur);
+}
+
+/// Measures and prints the session-vs-brute-force ratio for full
+/// 256-combination variant generation, and enforces the >= 5x target.
+fn speedup_report(blur: &prism_corpus::ShaderCase) {
+    let time = |f: &dyn Fn() -> usize| {
+        // One warm-up, then the best of three timed runs (the metric is the
+        // achievable cost, not scheduler noise).
+        black_box(f());
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let brute = time(&|| brute_force_variants(&blur.source, &blur.name));
+    let session = time(&|| session_variants(&blur.source, &blur.name));
+    let ratio = brute / session;
+    println!(
+        "\nvariant generation (256 combinations, {}):\n  brute force {:>9.3} ms\n  session     {:>9.3} ms\n  speedup     {ratio:>9.1}x",
+        blur.name,
+        brute * 1e3,
+        session * 1e3,
+    );
+    assert!(
+        ratio >= 5.0,
+        "CompileSession must be >= 5x faster than brute force, measured {ratio:.1}x"
+    );
 }
 
 criterion_group! {

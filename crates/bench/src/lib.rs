@@ -28,7 +28,11 @@ use std::time::Instant;
 /// corpus × 256-combination sweep finishes in seconds per figure.
 pub fn bench_config() -> StudyConfig {
     StudyConfig {
-        measure: MeasureConfig { frames: 25, repeats: 2, seed: 0xC0FFEE },
+        measure: MeasureConfig {
+            frames: 25,
+            repeats: 2,
+            seed: 0xC0FFEE,
+        },
         ..StudyConfig::default()
     }
 }

@@ -144,7 +144,11 @@ impl OptFlags {
 
     /// The enabled flags in canonical order.
     pub fn flags(self) -> Vec<Flag> {
-        Flag::ALL.iter().copied().filter(|f| self.contains(*f)).collect()
+        Flag::ALL
+            .iter()
+            .copied()
+            .filter(|f| self.contains(*f))
+            .collect()
     }
 
     /// Number of enabled flags.

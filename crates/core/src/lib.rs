@@ -10,16 +10,21 @@
 //! * [`flags`] — the 8 optimization flags and their 256 combinations.
 //! * [`lower`] — GLSL AST → IR lowering (matrix scalarisation, inlining).
 //! * [`passes`] — the optimization passes themselves.
-//! * [`pipeline`] — flag set → pass pipeline → optimized GLSL.
+//! * [`pipeline`] — the staged pass schedule and single-shot compilation.
+//! * [`session`] — lower-once, prefix-shared variant compilation sessions.
 //! * [`variant`] — exhaustive variant generation and deduplication (§V-C).
 
 pub mod flags;
 pub mod lower;
 pub mod passes;
 pub mod pipeline;
+pub mod session;
 pub mod variant;
 
 pub use flags::{Flag, OptFlags};
 pub use lower::{lower, LowerError};
-pub use pipeline::{compile, compile_ir, CompileError, CompiledShader};
-pub use variant::{unique_variants, VariantSet};
+pub use pipeline::{
+    build_pipeline, build_schedule, compile, compile_ir, CompileError, CompiledShader, Stage,
+};
+pub use session::{CompileSession, SessionStats};
+pub use variant::{unique_variants, Variant, VariantSet};

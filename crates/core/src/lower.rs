@@ -12,7 +12,9 @@
 //! * **user functions are inlined** into `main`, so the optimizer sees one
 //!   straight-line body with structured `if`/`for` statements.
 
-use prism_glsl::ast::{self, AssignOp, BinOp, Decl, Expr, FunctionDef, LValue, Stmt as AstStmt, StorageQualifier, UnOp};
+use prism_glsl::ast::{
+    self, AssignOp, BinOp, Decl, Expr, FunctionDef, LValue, Stmt as AstStmt, StorageQualifier, UnOp,
+};
 use prism_glsl::builtins::{resolve_call, Builtin, CallKind};
 use prism_glsl::types::{SamplerKind, ScalarKind, Type};
 use prism_glsl::ShaderSource;
@@ -82,7 +84,11 @@ enum Binding {
     /// A mutable variable backed by a register.
     Var { reg: Reg, ty: IrType },
     /// A matrix variable: column operands (uniform slots or registers).
-    Matrix { cols: Vec<Operand>, dim: u8, mutable_regs: Option<Vec<Reg>> },
+    Matrix {
+        cols: Vec<Operand>,
+        dim: u8,
+        mutable_regs: Option<Vec<Reg>>,
+    },
     /// A constant array.
     ConstArray { index: usize, elem_ty: IrType },
     /// An array of uniform slots (constant indexing only).
@@ -193,16 +199,24 @@ impl<'a> Lowerer<'a> {
             let Decl::Global(g) = decl else { continue };
             match g.qualifier {
                 StorageQualifier::In => {
-                    let ty = value_type(&g.ty)
-                        .ok_or_else(|| LowerError { message: format!("unsupported input type {}", g.ty) })?;
+                    let ty = value_type(&g.ty).ok_or_else(|| LowerError {
+                        message: format!("unsupported input type {}", g.ty),
+                    })?;
                     let index = self.shader.inputs.len();
-                    self.shader.inputs.push(InputVar { name: g.name.clone(), ty });
+                    self.shader.inputs.push(InputVar {
+                        name: g.name.clone(),
+                        ty,
+                    });
                     self.bind(&g.name, Binding::Value(TV::new(Operand::Input(index), ty)));
                 }
                 StorageQualifier::Out => {
-                    let ty = value_type(&g.ty)
-                        .ok_or_else(|| LowerError { message: format!("unsupported output type {}", g.ty) })?;
-                    self.shader.outputs.push(OutputVar { name: g.name.clone(), ty });
+                    let ty = value_type(&g.ty).ok_or_else(|| LowerError {
+                        message: format!("unsupported output type {}", g.ty),
+                    })?;
+                    self.shader.outputs.push(OutputVar {
+                        name: g.name.clone(),
+                        ty,
+                    });
                     let reg = self.shader.new_named_reg(ty, &g.name);
                     // Initialise so every path has a defined value.
                     self.emit(Stmt::Def {
@@ -210,7 +224,10 @@ impl<'a> Lowerer<'a> {
                         op: if ty.is_scalar() {
                             Op::Mov(Operand::float(0.0))
                         } else {
-                            Op::Splat { ty, value: Operand::float(0.0) }
+                            Op::Splat {
+                                ty,
+                                value: Operand::float(0.0),
+                            }
                         },
                     });
                     self.output_regs.push(reg);
@@ -219,8 +236,9 @@ impl<'a> Lowerer<'a> {
                 StorageQualifier::Uniform => self.lower_uniform(&g.name, &g.ty)?,
                 StorageQualifier::Const => self.lower_const_global(g)?,
                 StorageQualifier::Global => {
-                    let ty = value_type(&g.ty)
-                        .ok_or_else(|| LowerError { message: format!("unsupported global type {}", g.ty) })?;
+                    let ty = value_type(&g.ty).ok_or_else(|| LowerError {
+                        message: format!("unsupported global type {}", g.ty),
+                    })?;
                     let init = match &g.init {
                         Some(e) => self.lower_expr(e)?,
                         None => TV::new(Operand::float(0.0), IrType::F32),
@@ -239,7 +257,10 @@ impl<'a> Lowerer<'a> {
             Type::Sampler(kind) => {
                 let index = self.shader.samplers.len();
                 let dim = sampler_dim(*kind);
-                self.shader.samplers.push(SamplerVar { name: name.to_string(), dim });
+                self.shader.samplers.push(SamplerVar {
+                    name: name.to_string(),
+                    dim,
+                });
                 self.bind(name, Binding::Sampler { index, dim });
             }
             Type::Matrix(n) => {
@@ -255,11 +276,19 @@ impl<'a> Lowerer<'a> {
                     });
                     cols.push(Operand::Uniform(slot));
                 }
-                self.bind(name, Binding::Matrix { cols, dim: *n, mutable_regs: None });
+                self.bind(
+                    name,
+                    Binding::Matrix {
+                        cols,
+                        dim: *n,
+                        mutable_regs: None,
+                    },
+                );
             }
             Type::Array(elem, Some(len)) => {
-                let elem_ir = value_type(elem)
-                    .ok_or_else(|| LowerError { message: format!("unsupported uniform array element {elem}") })?;
+                let elem_ir = value_type(elem).ok_or_else(|| LowerError {
+                    message: format!("unsupported uniform array element {elem}"),
+                })?;
                 let mut slots = Vec::new();
                 for i in 0..*len {
                     let slot = self.shader.uniforms.len();
@@ -271,11 +300,18 @@ impl<'a> Lowerer<'a> {
                     });
                     slots.push(slot);
                 }
-                self.bind(name, Binding::UniformArray { slots, elem_ty: elem_ir });
+                self.bind(
+                    name,
+                    Binding::UniformArray {
+                        slots,
+                        elem_ty: elem_ir,
+                    },
+                );
             }
             other => {
-                let ir_ty = value_type(other)
-                    .ok_or_else(|| LowerError { message: format!("unsupported uniform type {other}") })?;
+                let ir_ty = value_type(other).ok_or_else(|| LowerError {
+                    message: format!("unsupported uniform type {other}"),
+                })?;
                 let slot = self.shader.uniforms.len();
                 self.shader.uniforms.push(UniformVar {
                     name: name.to_string(),
@@ -296,8 +332,9 @@ impl<'a> Lowerer<'a> {
         if let Expr::ArrayInit { elem_ty, elems } = init {
             return self.lower_const_array(&g.name, elem_ty, elems);
         }
-        let ty = value_type(&g.ty)
-            .ok_or_else(|| LowerError { message: format!("unsupported const type {}", g.ty) })?;
+        let ty = value_type(&g.ty).ok_or_else(|| LowerError {
+            message: format!("unsupported const type {}", g.ty),
+        })?;
         let value = self.lower_expr(init)?;
         let value = self.coerce(value, ty);
         self.bind(&g.name, Binding::Value(value));
@@ -310,12 +347,14 @@ impl<'a> Lowerer<'a> {
         elem_ty: &Type,
         elems: &[Expr],
     ) -> Result<(), LowerError> {
-        let elem_ir = value_type(elem_ty)
-            .ok_or_else(|| LowerError { message: format!("unsupported array element type {elem_ty}") })?;
+        let elem_ir = value_type(elem_ty).ok_or_else(|| LowerError {
+            message: format!("unsupported array element type {elem_ty}"),
+        })?;
         let mut elements = Vec::with_capacity(elems.len());
         for e in elems {
-            let lanes = eval_const_expr(e, elem_ir.width)
-                .ok_or_else(|| LowerError { message: format!("array element of `{name}` is not a constant expression") })?;
+            let lanes = eval_const_expr(e, elem_ir.width).ok_or_else(|| LowerError {
+                message: format!("array element of `{name}` is not a constant expression"),
+            })?;
             elements.push(lanes);
         }
         let index = self.shader.const_arrays.len();
@@ -324,7 +363,13 @@ impl<'a> Lowerer<'a> {
             elem_ty: elem_ir,
             elements,
         });
-        self.bind(name, Binding::ConstArray { index, elem_ty: elem_ir });
+        self.bind(
+            name,
+            Binding::ConstArray {
+                index,
+                elem_ty: elem_ir,
+            },
+        );
         Ok(())
     }
 
@@ -340,8 +385,14 @@ impl<'a> Lowerer<'a> {
     fn lower_stmt(&mut self, stmt: &AstStmt) -> Result<(), LowerError> {
         match stmt {
             AstStmt::Decl { ty, name, init, .. } => self.lower_decl(ty, name, init.as_ref()),
-            AstStmt::Assign { target, op, value, .. } => self.lower_assign(target, *op, value),
-            AstStmt::If { cond, then_block, else_block } => {
+            AstStmt::Assign {
+                target, op, value, ..
+            } => self.lower_assign(target, *op, value),
+            AstStmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let cond = self.lower_expr(cond)?;
                 self.push_scope();
                 self.sinks.push(Vec::new());
@@ -355,19 +406,31 @@ impl<'a> Lowerer<'a> {
                 }
                 let else_body = self.sinks.pop().expect("else sink");
                 self.pop_scope();
-                self.emit(Stmt::If { cond: cond.op, then_body, else_body });
+                self.emit(Stmt::If {
+                    cond: cond.op,
+                    then_body,
+                    else_body,
+                });
                 Ok(())
             }
-            AstStmt::For { var, init, cond, step, body, .. } => {
-                self.lower_for(var, init, cond, step, &body.stmts)
-            }
+            AstStmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => self.lower_for(var, init, cond, step, &body.stmts),
             AstStmt::Return(value) => {
                 match self.return_slots.last().cloned().flatten() {
                     Some((reg, ty)) => {
                         if let Some(v) = value {
                             let tv = self.lower_expr(v)?;
                             let tv = self.coerce(tv, ty);
-                            self.emit(Stmt::Def { dst: reg, op: Op::Mov(tv.op) });
+                            self.emit(Stmt::Def {
+                                dst: reg,
+                                op: Op::Mov(tv.op),
+                            });
                         }
                         Ok(())
                     }
@@ -396,12 +459,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_decl(
-        &mut self,
-        ty: &Type,
-        name: &str,
-        init: Option<&Expr>,
-    ) -> Result<(), LowerError> {
+    fn lower_decl(&mut self, ty: &Type, name: &str, init: Option<&Expr>) -> Result<(), LowerError> {
         // Local constant arrays become shader-level constant arrays.
         if let Some(Expr::ArrayInit { elem_ty, elems }) = init {
             return self.lower_const_array(name, elem_ty, elems);
@@ -415,7 +473,9 @@ impl<'a> Lowerer<'a> {
                         Lowered::Matrix(_, dim) => {
                             return err(format!("matrix size mismatch: mat{n} vs mat{dim}"))
                         }
-                        Lowered::Value(_) => return err("cannot initialise a matrix from a vector"),
+                        Lowered::Value(_) => {
+                            return err("cannot initialise a matrix from a vector")
+                        }
                     },
                     None => (0..*n)
                         .map(|_| Operand::Const(Constant::FloatVec(vec![0.0; *n as usize])))
@@ -428,12 +488,20 @@ impl<'a> Lowerer<'a> {
                     regs.push(reg);
                     cols.push(Operand::Reg(reg));
                 }
-                self.bind(name, Binding::Matrix { cols, dim: *n, mutable_regs: Some(regs) });
+                self.bind(
+                    name,
+                    Binding::Matrix {
+                        cols,
+                        dim: *n,
+                        mutable_regs: Some(regs),
+                    },
+                );
                 Ok(())
             }
             _ => {
-                let ir_ty = value_type(ty)
-                    .ok_or_else(|| LowerError { message: format!("unsupported local type {ty}") })?;
+                let ir_ty = value_type(ty).ok_or_else(|| LowerError {
+                    message: format!("unsupported local type {ty}"),
+                })?;
                 let value = match init {
                     Some(e) => {
                         let tv = self.lower_expr(e)?;
@@ -456,8 +524,9 @@ impl<'a> Lowerer<'a> {
         step: &AstStmt,
         body: &[AstStmt],
     ) -> Result<(), LowerError> {
-        let start = const_int(init)
-            .ok_or_else(|| LowerError { message: "loop initial value must be a constant integer".into() })?;
+        let start = const_int(init).ok_or_else(|| LowerError {
+            message: "loop initial value must be a constant integer".into(),
+        })?;
         let (end, inclusive) = match cond {
             Expr::Binary(BinOp::Lt, lhs, rhs) if is_ident(lhs, var) => (const_int(rhs), false),
             Expr::Binary(BinOp::Le, lhs, rhs) if is_ident(lhs, var) => (const_int(rhs), true),
@@ -469,7 +538,9 @@ impl<'a> Lowerer<'a> {
             return err("loop bound must be a comparison of the loop variable with a constant");
         };
         let step_value = match step {
-            AstStmt::Assign { target, op, value, .. } if target.root() == var => match (op, const_int(value)) {
+            AstStmt::Assign {
+                target, op, value, ..
+            } if target.root() == var => match (op, const_int(value)) {
                 (AssignOp::Add, Some(v)) => v,
                 (AssignOp::Sub, Some(v)) => -v,
                 (AssignOp::Assign, _) => match value {
@@ -494,7 +565,13 @@ impl<'a> Lowerer<'a> {
 
         let var_reg = self.shader.new_named_reg(IrType::I32, var);
         self.push_scope();
-        self.bind(var, Binding::Var { reg: var_reg, ty: IrType::I32 });
+        self.bind(
+            var,
+            Binding::Var {
+                reg: var_reg,
+                ty: IrType::I32,
+            },
+        );
         self.sinks.push(Vec::new());
         self.lower_body(body)?;
         let loop_body = self.sinks.pop().expect("loop sink");
@@ -516,43 +593,53 @@ impl<'a> Lowerer<'a> {
         value: &Expr,
     ) -> Result<(), LowerError> {
         match target {
-            LValue::Var(name) => {
-                match self.lookup(name) {
-                    Some(Binding::Var { reg, ty }) => {
-                        let rhs = self.lower_any(value)?;
-                        let rhs = match rhs {
-                            Lowered::Value(tv) => tv,
-                            Lowered::Matrix(..) => return err("cannot assign a matrix to a vector variable"),
-                        };
-                        let combined = self.apply_compound(op, Operand::Reg(reg), ty, rhs)?;
-                        self.emit(Stmt::Def { dst: reg, op: combined });
-                        Ok(())
-                    }
-                    Some(Binding::Matrix { mutable_regs: Some(regs), dim, .. }) => {
-                        let rhs = self.lower_any(value)?;
-                        let Lowered::Matrix(cols, rdim) = rhs else {
-                            return err("cannot assign a non-matrix to a matrix variable");
-                        };
-                        if rdim != dim {
-                            return err("matrix dimension mismatch in assignment");
+            LValue::Var(name) => match self.lookup(name) {
+                Some(Binding::Var { reg, ty }) => {
+                    let rhs = self.lower_any(value)?;
+                    let rhs = match rhs {
+                        Lowered::Value(tv) => tv,
+                        Lowered::Matrix(..) => {
+                            return err("cannot assign a matrix to a vector variable")
                         }
-                        if op != AssignOp::Assign {
-                            return err("compound assignment to matrices is not supported");
-                        }
-                        let stmts: Vec<Stmt> = regs
-                            .iter()
-                            .zip(cols)
-                            .map(|(r, c)| Stmt::Def { dst: *r, op: Op::Mov(c) })
-                            .collect();
-                        for s in stmts {
-                            self.emit(s);
-                        }
-                        Ok(())
-                    }
-                    Some(_) => err(format!("`{name}` is not assignable")),
-                    None => err(format!("unknown variable `{name}`")),
+                    };
+                    let combined = self.apply_compound(op, Operand::Reg(reg), ty, rhs)?;
+                    self.emit(Stmt::Def {
+                        dst: reg,
+                        op: combined,
+                    });
+                    Ok(())
                 }
-            }
+                Some(Binding::Matrix {
+                    mutable_regs: Some(regs),
+                    dim,
+                    ..
+                }) => {
+                    let rhs = self.lower_any(value)?;
+                    let Lowered::Matrix(cols, rdim) = rhs else {
+                        return err("cannot assign a non-matrix to a matrix variable");
+                    };
+                    if rdim != dim {
+                        return err("matrix dimension mismatch in assignment");
+                    }
+                    if op != AssignOp::Assign {
+                        return err("compound assignment to matrices is not supported");
+                    }
+                    let stmts: Vec<Stmt> = regs
+                        .iter()
+                        .zip(cols)
+                        .map(|(r, c)| Stmt::Def {
+                            dst: *r,
+                            op: Op::Mov(c),
+                        })
+                        .collect();
+                    for s in stmts {
+                        self.emit(s);
+                    }
+                    Ok(())
+                }
+                Some(_) => err(format!("`{name}` is not assignable")),
+                None => err(format!("unknown variable `{name}`")),
+            },
             LValue::Field(base, field) => {
                 let LValue::Var(name) = base.as_ref() else {
                     return err("only single-level swizzle assignment is supported");
@@ -577,7 +664,10 @@ impl<'a> Lowerer<'a> {
                         TV::new(
                             Operand::Reg(self.define(
                                 ty.element(),
-                                Op::Extract { vector: Operand::Reg(reg), index: comps[0] },
+                                Op::Extract {
+                                    vector: Operand::Reg(reg),
+                                    index: comps[0],
+                                },
                                 None,
                             )),
                             ty.element(),
@@ -587,7 +677,10 @@ impl<'a> Lowerer<'a> {
                         TV::new(
                             Operand::Reg(self.define(
                                 sw_ty,
-                                Op::Swizzle { vector: Operand::Reg(reg), lanes: comps.clone() },
+                                Op::Swizzle {
+                                    vector: Operand::Reg(reg),
+                                    lanes: comps.clone(),
+                                },
                                 None,
                             )),
                             sw_ty,
@@ -603,7 +696,11 @@ impl<'a> Lowerer<'a> {
                     let scalar = self.coerce(rhs, ty.element());
                     self.emit(Stmt::Def {
                         dst: reg,
-                        op: Op::Insert { vector: Operand::Reg(reg), index: comps[0], value: scalar.op },
+                        op: Op::Insert {
+                            vector: Operand::Reg(reg),
+                            index: comps[0],
+                            value: scalar.op,
+                        },
                     });
                 } else {
                     // Extract every component first, then insert them one by
@@ -613,7 +710,10 @@ impl<'a> Lowerer<'a> {
                         .map(|lane| {
                             self.define(
                                 ty.element(),
-                                Op::Extract { vector: rhs.op.clone(), index: lane as u8 },
+                                Op::Extract {
+                                    vector: rhs.op.clone(),
+                                    index: lane as u8,
+                                },
                                 None,
                             )
                         })
@@ -644,21 +744,31 @@ impl<'a> Lowerer<'a> {
                         let rhs = self.coerce(rhs, ty.element());
                         self.emit(Stmt::Def {
                             dst: reg,
-                            op: Op::Insert { vector: Operand::Reg(reg), index: idx as u8, value: rhs.op },
+                            op: Op::Insert {
+                                vector: Operand::Reg(reg),
+                                index: idx as u8,
+                                value: rhs.op,
+                            },
                         });
                         Ok(())
                     }
-                    Some(Binding::Matrix { mutable_regs: Some(regs), dim, .. }) => {
+                    Some(Binding::Matrix {
+                        mutable_regs: Some(regs),
+                        dim,
+                        ..
+                    }) => {
                         let rhs = self.lower_expr(value)?;
                         let rhs = self.coerce(rhs, IrType::fvec(dim));
-                        let col = regs
-                            .get(idx as usize)
-                            .copied()
-                            .ok_or_else(|| LowerError { message: "matrix column index out of range".into() })?;
+                        let col = regs.get(idx as usize).copied().ok_or_else(|| LowerError {
+                            message: "matrix column index out of range".into(),
+                        })?;
                         if op != AssignOp::Assign {
                             return err("compound assignment to matrix columns is not supported");
                         }
-                        self.emit(Stmt::Def { dst: col, op: Op::Mov(rhs.op) });
+                        self.emit(Stmt::Def {
+                            dst: col,
+                            op: Op::Mov(rhs.op),
+                        });
                         Ok(())
                     }
                     _ => err(format!("`{name}` cannot be index-assigned")),
@@ -706,7 +816,9 @@ impl<'a> Lowerer<'a> {
             Expr::BoolLit(b) => Ok(Lowered::Value(TV::new(Operand::boolean(*b), IrType::BOOL))),
             Expr::Ident(name) => match self.lookup(name) {
                 Some(Binding::Value(tv)) => Ok(Lowered::Value(tv)),
-                Some(Binding::Var { reg, ty }) => Ok(Lowered::Value(TV::new(Operand::Reg(reg), ty))),
+                Some(Binding::Var { reg, ty }) => {
+                    Ok(Lowered::Value(TV::new(Operand::Reg(reg), ty)))
+                }
                 Some(Binding::Matrix { cols, dim, .. }) => Ok(Lowered::Matrix(cols, dim)),
                 Some(Binding::ConstArray { .. }) | Some(Binding::UniformArray { .. }) => {
                     err(format!("array `{name}` must be indexed"))
@@ -723,7 +835,9 @@ impl<'a> Lowerer<'a> {
                     let col_ty = IrType::fvec(dim);
                     let negated = cols
                         .into_iter()
-                        .map(|c| Operand::Reg(self.define(col_ty, Op::Unary(UnaryOp::Neg, c), None)))
+                        .map(|c| {
+                            Operand::Reg(self.define(col_ty, Op::Unary(UnaryOp::Neg, c), None))
+                        })
                         .collect();
                     Ok(Lowered::Matrix(negated, dim))
                 }
@@ -741,7 +855,11 @@ impl<'a> Lowerer<'a> {
                 let (t, e) = self.broadcast_pair(t, e);
                 let reg = self.define(
                     t.ty,
-                    Op::Select { cond: c.op, if_true: t.op, if_false: e.op },
+                    Op::Select {
+                        cond: c.op,
+                        if_true: t.op,
+                        if_false: e.op,
+                    },
                     None,
                 );
                 Ok(Lowered::Value(TV::new(Operand::Reg(reg), t.ty)))
@@ -767,11 +885,25 @@ impl<'a> Lowerer<'a> {
         }
         if lanes.len() == 1 {
             let ty = base_tv.ty.element();
-            let reg = self.define(ty, Op::Extract { vector: base_tv.op, index: lanes[0] }, None);
+            let reg = self.define(
+                ty,
+                Op::Extract {
+                    vector: base_tv.op,
+                    index: lanes[0],
+                },
+                None,
+            );
             Ok(Lowered::Value(TV::new(Operand::Reg(reg), ty)))
         } else {
             let ty = base_tv.ty.with_width(lanes.len() as u8);
-            let reg = self.define(ty, Op::Swizzle { vector: base_tv.op, lanes }, None);
+            let reg = self.define(
+                ty,
+                Op::Swizzle {
+                    vector: base_tv.op,
+                    lanes,
+                },
+                None,
+            );
             Ok(Lowered::Value(TV::new(Operand::Reg(reg), ty)))
         }
     }
@@ -780,29 +912,37 @@ impl<'a> Lowerer<'a> {
         // Indexing a named array or matrix.
         if let Expr::Ident(name) = base {
             match self.lookup(name) {
-                Some(Binding::ConstArray { index: array, elem_ty }) => {
+                Some(Binding::ConstArray {
+                    index: array,
+                    elem_ty,
+                }) => {
                     let idx = self.lower_expr(index)?;
-                    let reg = self.define(elem_ty, Op::ConstArrayLoad { array, index: idx.op }, None);
+                    let reg = self.define(
+                        elem_ty,
+                        Op::ConstArrayLoad {
+                            array,
+                            index: idx.op,
+                        },
+                        None,
+                    );
                     return Ok(Lowered::Value(TV::new(Operand::Reg(reg), elem_ty)));
                 }
                 Some(Binding::UniformArray { slots, elem_ty }) => {
                     let Some(i) = const_int(index) else {
                         return err(format!("uniform array `{name}` requires a constant index"));
                     };
-                    let slot = slots
-                        .get(i as usize)
-                        .copied()
-                        .ok_or_else(|| LowerError { message: format!("index {i} out of range for `{name}`") })?;
+                    let slot = slots.get(i as usize).copied().ok_or_else(|| LowerError {
+                        message: format!("index {i} out of range for `{name}`"),
+                    })?;
                     return Ok(Lowered::Value(TV::new(Operand::Uniform(slot), elem_ty)));
                 }
                 Some(Binding::Matrix { cols, dim, .. }) => {
                     let Some(i) = const_int(index) else {
                         return err(format!("matrix `{name}` requires a constant column index"));
                     };
-                    let col = cols
-                        .get(i as usize)
-                        .cloned()
-                        .ok_or_else(|| LowerError { message: format!("column {i} out of range for `{name}`") })?;
+                    let col = cols.get(i as usize).cloned().ok_or_else(|| LowerError {
+                        message: format!("column {i} out of range for `{name}`"),
+                    })?;
                     return Ok(Lowered::Value(TV::new(col, IrType::fvec(dim))));
                 }
                 _ => {}
@@ -815,7 +955,14 @@ impl<'a> Lowerer<'a> {
                 return err("dynamic indexing of vectors is not supported");
             };
             let ty = base_tv.ty.element();
-            let reg = self.define(ty, Op::Extract { vector: base_tv.op, index: i as u8 }, None);
+            let reg = self.define(
+                ty,
+                Op::Extract {
+                    vector: base_tv.op,
+                    index: i as u8,
+                },
+                None,
+            );
             return Ok(Lowered::Value(TV::new(Operand::Reg(reg), ty)));
         }
         err("unsupported indexing expression")
@@ -837,11 +984,15 @@ impl<'a> Lowerer<'a> {
                 Ok(Lowered::Value(TV::new(Operand::Reg(reg), a.ty)))
             }
             // Matrix * vector — scalarised into column multiply/adds.
-            (Lowered::Matrix(cols, dim), Lowered::Value(v)) if op == BinOp::Mul && v.ty.is_vector() => {
+            (Lowered::Matrix(cols, dim), Lowered::Value(v))
+                if op == BinOp::Mul && v.ty.is_vector() =>
+            {
                 Ok(Lowered::Value(self.matrix_vector_mul(&cols, dim, v)?))
             }
             // vector * Matrix — per-component dot products.
-            (Lowered::Value(v), Lowered::Matrix(cols, dim)) if op == BinOp::Mul && v.ty.is_vector() => {
+            (Lowered::Value(v), Lowered::Matrix(cols, dim))
+                if op == BinOp::Mul && v.ty.is_vector() =>
+            {
                 let col_ty = IrType::fvec(dim);
                 let mut comps = Vec::new();
                 for col in &cols {
@@ -852,7 +1003,14 @@ impl<'a> Lowerer<'a> {
                     );
                     comps.push(Operand::Reg(d));
                 }
-                let reg = self.define(col_ty, Op::Construct { ty: col_ty, parts: comps }, None);
+                let reg = self.define(
+                    col_ty,
+                    Op::Construct {
+                        ty: col_ty,
+                        parts: comps,
+                    },
+                    None,
+                );
                 Ok(Lowered::Value(TV::new(Operand::Reg(reg), col_ty)))
             }
             // Matrix * Matrix — column-by-column.
@@ -879,7 +1037,11 @@ impl<'a> Lowerer<'a> {
                     .iter()
                     .zip(&b_cols)
                     .map(|(a, b)| {
-                        Operand::Reg(self.define(col_ty, Op::Binary(bin, a.clone(), b.clone()), None))
+                        Operand::Reg(self.define(
+                            col_ty,
+                            Op::Binary(bin, a.clone(), b.clone()),
+                            None,
+                        ))
                     })
                     .collect();
                 Ok(Lowered::Matrix(cols, dim))
@@ -890,7 +1052,14 @@ impl<'a> Lowerer<'a> {
                 if s.ty.is_scalar() =>
             {
                 let col_ty = IrType::fvec(dim);
-                let splat = self.define(col_ty, Op::Splat { ty: col_ty, value: s.op }, None);
+                let splat = self.define(
+                    col_ty,
+                    Op::Splat {
+                        ty: col_ty,
+                        value: s.op,
+                    },
+                    None,
+                );
                 let bin = map_binop(op);
                 let scaled = cols
                     .iter()
@@ -904,22 +1073,34 @@ impl<'a> Lowerer<'a> {
                     .collect();
                 Ok(Lowered::Matrix(scaled, dim))
             }
-            _ => err(format!("unsupported operand combination for `{}`", op.symbol())),
+            _ => err(format!(
+                "unsupported operand combination for `{}`",
+                op.symbol()
+            )),
         }
     }
 
     /// `M * v` scalarised: `sum_j (col_j * splat(v[j]))`.
-    fn matrix_vector_mul(
-        &mut self,
-        cols: &[Operand],
-        dim: u8,
-        v: TV,
-    ) -> Result<TV, LowerError> {
+    fn matrix_vector_mul(&mut self, cols: &[Operand], dim: u8, v: TV) -> Result<TV, LowerError> {
         let col_ty = IrType::fvec(dim);
         let mut acc: Option<Operand> = None;
         for (j, col) in cols.iter().enumerate() {
-            let elem = self.define(IrType::F32, Op::Extract { vector: v.op.clone(), index: j as u8 }, None);
-            let splat = self.define(col_ty, Op::Splat { ty: col_ty, value: Operand::Reg(elem) }, None);
+            let elem = self.define(
+                IrType::F32,
+                Op::Extract {
+                    vector: v.op.clone(),
+                    index: j as u8,
+                },
+                None,
+            );
+            let splat = self.define(
+                col_ty,
+                Op::Splat {
+                    ty: col_ty,
+                    value: Operand::Reg(elem),
+                },
+                None,
+            );
             let prod = self.define(
                 col_ty,
                 Op::Binary(BinaryOp::Mul, col.clone(), Operand::Reg(splat)),
@@ -934,7 +1115,10 @@ impl<'a> Lowerer<'a> {
                 )),
             });
         }
-        Ok(TV::new(acc.expect("matrix has at least one column"), col_ty))
+        Ok(TV::new(
+            acc.expect("matrix has at least one column"),
+            col_ty,
+        ))
     }
 
     fn lower_call(&mut self, name: &str, args: &[Expr]) -> Result<Lowered, LowerError> {
@@ -953,7 +1137,14 @@ impl<'a> Lowerer<'a> {
                 if a.ty == target {
                     return Ok(Lowered::Value(a));
                 }
-                let reg = self.define(target, Op::Convert { to: target, value: a.op }, None);
+                let reg = self.define(
+                    target,
+                    Op::Convert {
+                        to: target,
+                        value: a.op,
+                    },
+                    None,
+                );
                 Ok(Lowered::Value(TV::new(Operand::Reg(reg), target)))
             }
             Type::Vector(_, n) => {
@@ -961,8 +1152,15 @@ impl<'a> Lowerer<'a> {
                 if args.len() == 1 {
                     let a = self.lower_expr(&args[0])?;
                     if a.ty.is_scalar() {
-                        let a = self.to_float(a);
-                        let reg = self.define(target, Op::Splat { ty: target, value: a.op }, None);
+                        let a = self.coerce_float(a);
+                        let reg = self.define(
+                            target,
+                            Op::Splat {
+                                ty: target,
+                                value: a.op,
+                            },
+                            None,
+                        );
                         return Ok(Lowered::Value(TV::new(Operand::Reg(reg), target)));
                     }
                     if a.ty.width == *n {
@@ -970,13 +1168,20 @@ impl<'a> Lowerer<'a> {
                     }
                     // Truncating construction from a wider vector.
                     let lanes: Vec<u8> = (0..*n).collect();
-                    let reg = self.define(target, Op::Swizzle { vector: a.op, lanes }, None);
+                    let reg = self.define(
+                        target,
+                        Op::Swizzle {
+                            vector: a.op,
+                            lanes,
+                        },
+                        None,
+                    );
                     return Ok(Lowered::Value(TV::new(Operand::Reg(reg), target)));
                 }
                 let mut parts = Vec::new();
                 for a in args {
                     let tv = self.lower_expr(a)?;
-                    let tv = self.to_float(tv);
+                    let tv = self.coerce_float(tv);
                     parts.push(tv.op);
                 }
                 let reg = self.define(target, Op::Construct { ty: target, parts }, None);
@@ -987,7 +1192,7 @@ impl<'a> Lowerer<'a> {
                 if args.len() == 1 {
                     // Diagonal matrix from a scalar.
                     let s = self.lower_expr(&args[0])?;
-                    let s = self.to_float(s);
+                    let s = self.coerce_float(s);
                     let mut cols = Vec::new();
                     for c in 0..*n {
                         let mut lanes = vec![0.0; *n as usize];
@@ -995,7 +1200,11 @@ impl<'a> Lowerer<'a> {
                         lanes[c as usize] = 1.0;
                         let reg = self.define(
                             col_ty,
-                            Op::Insert { vector: zero_vec, index: c, value: s.op.clone() },
+                            Op::Insert {
+                                vector: zero_vec,
+                                index: c,
+                                value: s.op.clone(),
+                            },
                             None,
                         );
                         cols.push(Operand::Reg(reg));
@@ -1017,7 +1226,12 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_builtin(&mut self, name: &str, b: Builtin, args: &[Expr]) -> Result<Lowered, LowerError> {
+    fn lower_builtin(
+        &mut self,
+        name: &str,
+        b: Builtin,
+        args: &[Expr],
+    ) -> Result<Lowered, LowerError> {
         if b.is_texture() {
             let Expr::Ident(sampler_name) = &args[0] else {
                 return err("texture sampler argument must be a sampler variable");
@@ -1034,7 +1248,12 @@ impl<'a> Lowerer<'a> {
             let result_ty = dim.sample_type();
             let reg = self.define(
                 result_ty,
-                Op::TextureSample { sampler: index, coords: coords.op, lod, dim },
+                Op::TextureSample {
+                    sampler: index,
+                    coords: coords.op,
+                    lod,
+                    dim,
+                },
                 None,
             );
             return Ok(Lowered::Value(TV::new(Operand::Reg(reg), result_ty)));
@@ -1067,8 +1286,9 @@ impl<'a> Lowerer<'a> {
         // Lower arguments in the caller scope.
         let mut lowered_args = Vec::new();
         for (param, arg) in func.params.iter().zip(args) {
-            let ty = value_type(&param.ty)
-                .ok_or_else(|| LowerError { message: format!("unsupported parameter type {}", param.ty) })?;
+            let ty = value_type(&param.ty).ok_or_else(|| LowerError {
+                message: format!("unsupported parameter type {}", param.ty),
+            })?;
             let tv = self.lower_expr(arg)?;
             let tv = self.coerce(tv, ty);
             lowered_args.push((param.name.clone(), tv, ty));
@@ -1083,8 +1303,9 @@ impl<'a> Lowerer<'a> {
         let ret = if func.return_type == Type::Void {
             None
         } else {
-            let ty = value_type(&func.return_type)
-                .ok_or_else(|| LowerError { message: format!("unsupported return type {}", func.return_type) })?;
+            let ty = value_type(&func.return_type).ok_or_else(|| LowerError {
+                message: format!("unsupported return type {}", func.return_type),
+            })?;
             let reg = self.define(ty, Op::Mov(zero_of(ty)), Some(&format!("{name}_ret")));
             Some((reg, ty))
         };
@@ -1110,9 +1331,9 @@ impl<'a> Lowerer<'a> {
         let mut b = b;
         // Promote int to float when mixed.
         if a.ty.is_float() && b.ty.is_int() {
-            b = self.to_float(b);
+            b = self.coerce_float(b);
         } else if b.ty.is_float() && a.ty.is_int() {
-            a = self.to_float(a);
+            a = self.coerce_float(a);
         }
         if a.ty.width == b.ty.width {
             return (a, b);
@@ -1130,14 +1351,17 @@ impl<'a> Lowerer<'a> {
     }
 
     /// Converts an integer scalar/vector value to float.
-    fn to_float(&mut self, tv: TV) -> TV {
+    fn coerce_float(&mut self, tv: TV) -> TV {
         if tv.ty.is_float() {
             return tv;
         }
         // Constant ints convert in place.
         if let Operand::Const(c) = &tv.op {
             if let Some(v) = c.as_f64() {
-                return TV::new(Operand::float(v), IrType::fvec(tv.ty.width).element().with_width(tv.ty.width));
+                return TV::new(
+                    Operand::float(v),
+                    IrType::fvec(tv.ty.width).element().with_width(tv.ty.width),
+                );
             }
         }
         let to = IrType::vec(prism_ir::types::Scalar::F32, tv.ty.width);
@@ -1151,7 +1375,7 @@ impl<'a> Lowerer<'a> {
             return tv;
         }
         let tv = if target.is_float() && tv.ty.is_int() {
-            self.to_float(tv)
+            self.coerce_float(tv)
         } else {
             tv
         };
@@ -1159,16 +1383,37 @@ impl<'a> Lowerer<'a> {
             return tv;
         }
         if tv.ty.is_scalar() && target.is_vector() {
-            let reg = self.define(target, Op::Splat { ty: target, value: tv.op }, None);
+            let reg = self.define(
+                target,
+                Op::Splat {
+                    ty: target,
+                    value: tv.op,
+                },
+                None,
+            );
             return TV::new(Operand::Reg(reg), target);
         }
         if tv.ty.is_vector() && target.is_vector() && tv.ty.width > target.width {
             let lanes: Vec<u8> = (0..target.width).collect();
-            let reg = self.define(target, Op::Swizzle { vector: tv.op, lanes }, None);
+            let reg = self.define(
+                target,
+                Op::Swizzle {
+                    vector: tv.op,
+                    lanes,
+                },
+                None,
+            );
             return TV::new(Operand::Reg(reg), target);
         }
         if tv.ty.scalar != target.scalar && tv.ty.width == target.width {
-            let reg = self.define(target, Op::Convert { to: target, value: tv.op }, None);
+            let reg = self.define(
+                target,
+                Op::Convert {
+                    to: target,
+                    value: tv.op,
+                },
+                None,
+            );
             return TV::new(Operand::Reg(reg), target);
         }
         tv
@@ -1284,7 +1529,7 @@ fn eval_const_expr(expr: &Expr, width: u8) -> Option<Vec<f64>> {
             // Constant vector constructors: vec2(0.1), vec4(a, b, c, d).
             let ty = Type::from_name(name)?;
             let n = ty.vector_width()?;
-            if n != width && !(args.len() == 1) {
+            if n != width && (args.len() != 1) {
                 return None;
             }
             if args.len() == 1 {
@@ -1351,22 +1596,29 @@ mod tests {
 
     #[test]
     fn matrix_uniform_is_scalarised() {
-        let s = lower_src(
-            "uniform mat4 m; in vec4 p; out vec4 c; void main() { c = m * p; }",
-        );
+        let s = lower_src("uniform mat4 m; in vec4 p; out vec4 c; void main() { c = m * p; }");
         // Four column slots for the matrix uniform.
         assert_eq!(s.uniforms.len(), 4);
         // Scalarised multiply: extracts, splats, multiplies and adds.
-        assert!(s.size() > 10, "expected scalarised matrix code, size {}", s.size());
+        assert!(
+            s.size() > 10,
+            "expected scalarised matrix code, size {}",
+            s.size()
+        );
     }
 
     #[test]
     fn scalar_vector_multiply_is_splatted() {
-        let s = lower_src("uniform float f; uniform vec4 v; out vec4 c; void main() { c = v * f; }");
+        let s =
+            lower_src("uniform float f; uniform vec4 v; out vec4 c; void main() { c = v * f; }");
         let has_splat = {
             let mut found = false;
             prism_ir::stmt::walk_body(&s.body, &mut |st| {
-                if let Stmt::Def { op: Op::Splat { .. }, .. } = st {
+                if let Stmt::Def {
+                    op: Op::Splat { .. },
+                    ..
+                } = st
+                {
                     found = true;
                 }
             });
@@ -1401,11 +1653,18 @@ mod tests {
         let s = lower_src("out vec4 c; uniform vec3 v; void main() { c.xyz = v; c.w = 1.0; }");
         let mut inserts = 0;
         prism_ir::stmt::walk_body(&s.body, &mut |st| {
-            if let Stmt::Def { op: Op::Insert { .. }, .. } = st {
+            if let Stmt::Def {
+                op: Op::Insert { .. },
+                ..
+            } = st
+            {
                 inserts += 1;
             }
         });
-        assert_eq!(inserts, 4, "3 components + alpha should be individual inserts");
+        assert_eq!(
+            inserts, 4,
+            "3 components + alpha should be individual inserts"
+        );
     }
 
     #[test]
@@ -1470,10 +1729,16 @@ mod tests {
 
     #[test]
     fn ternary_lowers_to_select() {
-        let s = lower_src("uniform float t; out vec4 c; void main() { c = t > 0.5 ? vec4(1.0) : vec4(0.0); }");
+        let s = lower_src(
+            "uniform float t; out vec4 c; void main() { c = t > 0.5 ? vec4(1.0) : vec4(0.0); }",
+        );
         let mut selects = 0;
         prism_ir::stmt::walk_body(&s.body, &mut |st| {
-            if let Stmt::Def { op: Op::Select { .. }, .. } = st {
+            if let Stmt::Def {
+                op: Op::Select { .. },
+                ..
+            } = st
+            {
                 selects += 1;
             }
         });

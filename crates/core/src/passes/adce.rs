@@ -71,14 +71,20 @@ fn collect(body: &[Stmt], reads: &mut HashMap<Reg, HashSet<Reg>>, roots: &mut Ha
                     roots.insert(*r);
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if let Operand::Reg(r) = cond {
                     roots.insert(*r);
                 }
                 collect(then_body, reads, roots);
                 collect(else_body, reads, roots);
             }
-            Stmt::Loop { body: loop_body, .. } => {
+            Stmt::Loop {
+                body: loop_body, ..
+            } => {
                 collect(loop_body, reads, roots);
             }
         }
@@ -89,13 +95,15 @@ fn sweep(body: &mut Vec<Stmt>, live: &HashSet<Reg>, changed: &mut bool) {
     let mut kept = Vec::with_capacity(body.len());
     for mut stmt in body.drain(..) {
         match &mut stmt {
-            Stmt::Def { dst, op } => {
-                if !live.contains(dst) && op.is_pure() {
-                    *changed = true;
-                    continue;
-                }
+            Stmt::Def { dst, op } if !live.contains(dst) && op.is_pure() => {
+                *changed = true;
+                continue;
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 sweep(then_body, live, changed);
                 sweep(else_body, live, changed);
                 if then_body.is_empty() && else_body.is_empty() {
@@ -103,7 +111,9 @@ fn sweep(body: &mut Vec<Stmt>, live: &HashSet<Reg>, changed: &mut bool) {
                     continue;
                 }
             }
-            Stmt::Loop { body: loop_body, .. } => {
+            Stmt::Loop {
+                body: loop_body, ..
+            } => {
                 sweep(loop_body, live, changed);
                 if loop_body.is_empty() {
                     *changed = true;
@@ -119,22 +129,41 @@ fn sweep(body: &mut Vec<Stmt>, live: &HashSet<Reg>, changed: &mut bool) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::dce::Dce;
+    use super::*;
     use prism_ir::verify::verify;
 
     #[test]
     fn removes_transitively_dead_chains() {
         let mut s = Shader::new("adce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let d0 = s.new_reg(IrType::F32);
         let d1 = s.new_reg(IrType::F32);
         let live = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: d0, op: Op::Mov(Operand::float(1.0)) },
-            Stmt::Def { dst: d1, op: Op::Binary(BinaryOp::Add, Operand::Reg(d0), Operand::float(1.0)) },
-            Stmt::Def { dst: live, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(live) },
+            Stmt::Def {
+                dst: d0,
+                op: Op::Mov(Operand::float(1.0)),
+            },
+            Stmt::Def {
+                dst: d1,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(d0), Operand::float(1.0)),
+            },
+            Stmt::Def {
+                dst: live,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(live),
+            },
         ];
         assert!(Adce.run(&mut s));
         verify(&s).unwrap();
@@ -145,31 +174,68 @@ mod tests {
     fn finds_nothing_after_trivial_dce_has_run() {
         // The paper's observation: after the always-on cleanup, ADCE is a no-op.
         let mut s = Shader::new("adce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let d0 = s.new_reg(IrType::F32);
         let d1 = s.new_reg(IrType::F32);
         let live = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: d0, op: Op::Mov(Operand::float(1.0)) },
-            Stmt::Def { dst: d1, op: Op::Binary(BinaryOp::Add, Operand::Reg(d0), Operand::float(1.0)) },
-            Stmt::Def { dst: live, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(live) },
+            Stmt::Def {
+                dst: d0,
+                op: Op::Mov(Operand::float(1.0)),
+            },
+            Stmt::Def {
+                dst: d1,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(d0), Operand::float(1.0)),
+            },
+            Stmt::Def {
+                dst: live,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(live),
+            },
         ];
         Dce.run(&mut s);
-        assert!(!Adce.run(&mut s), "ADCE should be a no-op after trivial DCE");
+        assert!(
+            !Adce.run(&mut s),
+            "ADCE should be a no-op after trivial DCE"
+        );
     }
 
     #[test]
     fn keeps_values_feeding_discard_conditions() {
         let mut s = Shader::new("adce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let cond = s.new_reg(IrType::BOOL);
         s.body = vec![
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Lt, Operand::Input(0), Operand::float(0.5)) },
-            Stmt::Discard { cond: Some(Operand::Reg(cond)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::fvec(vec![1.0; 4]) },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Lt, Operand::Input(0), Operand::float(0.5)),
+            },
+            Stmt::Discard {
+                cond: Some(Operand::Reg(cond)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::fvec(vec![1.0; 4]),
+            },
         ];
-        s.inputs.push(InputVar { name: "uv".into(), ty: IrType::F32 });
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::F32,
+        });
         assert!(!Adce.run(&mut s));
         assert_eq!(s.body.len(), 3);
     }

@@ -37,15 +37,26 @@ impl Pass for Coalesce {
     }
 }
 
-fn coalesce_body(body: &mut Vec<Stmt>, reg_tys: &[IrType], analysis: &Analysis, changed: &mut bool) {
+fn coalesce_body(
+    body: &mut Vec<Stmt>,
+    reg_tys: &[IrType],
+    analysis: &Analysis,
+    changed: &mut bool,
+) {
     // Recurse into nested bodies first.
     for stmt in body.iter_mut() {
         match stmt {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 coalesce_body(then_body, reg_tys, analysis, changed);
                 coalesce_body(else_body, reg_tys, analysis, changed);
             }
-            Stmt::Loop { body: loop_body, .. } => coalesce_body(loop_body, reg_tys, analysis, changed),
+            Stmt::Loop {
+                body: loop_body, ..
+            } => coalesce_body(loop_body, reg_tys, analysis, changed),
             _ => {}
         }
     }
@@ -61,7 +72,10 @@ fn coalesce_body(body: &mut Vec<Stmt>, reg_tys: &[IrType], analysis: &Analysis, 
                     run.lanes.into_iter().map(|l| l.expect("covered")).collect();
                 out.push(Stmt::Def {
                     dst: run.final_dst,
-                    op: Op::Construct { ty: reg_tys[run.final_dst.0 as usize], parts },
+                    op: Op::Construct {
+                        ty: reg_tys[run.final_dst.0 as usize],
+                        parts,
+                    },
                 });
                 idx += run.len;
                 *changed = true;
@@ -90,7 +104,15 @@ struct InsertRun {
 /// an SSA chain (`r1 = insert(r0, ..); r2 = insert(r1, ..)`) whose
 /// intermediate values have no other uses.
 fn insert_run(stmts: &[Stmt], reg_tys: &[IrType], analysis: &Analysis) -> Option<InsertRun> {
-    let Some(Stmt::Def { dst, op: Op::Insert { vector, index, value } }) = stmts.first() else {
+    let Some(Stmt::Def {
+        dst,
+        op: Op::Insert {
+            vector,
+            index,
+            value,
+        },
+    }) = stmts.first()
+    else {
         return None;
     };
     let width = reg_tys.get(dst.0 as usize)?.width as usize;
@@ -109,7 +131,16 @@ fn insert_run(stmts: &[Stmt], reg_tys: &[IrType], analysis: &Analysis) -> Option
     let mut current = *dst;
     let mut len = 1;
     for stmt in &stmts[1..] {
-        let Stmt::Def { dst, op: Op::Insert { vector, index, value } } = stmt else {
+        let Stmt::Def {
+            dst,
+            op:
+                Op::Insert {
+                    vector,
+                    index,
+                    value,
+                },
+        } = stmt
+        else {
             break;
         };
         // The next insert must extend the value built so far.
@@ -131,7 +162,11 @@ fn insert_run(stmts: &[Stmt], reg_tys: &[IrType], analysis: &Analysis) -> Option
         current = *dst;
         len += 1;
     }
-    Some(InsertRun { final_dst: current, len, lanes })
+    Some(InsertRun {
+        final_dst: current,
+        len,
+        lanes,
+    })
 }
 
 #[cfg(test)]
@@ -142,18 +177,67 @@ mod tests {
 
     fn insert_chain_shader() -> Shader {
         let mut s = Shader::new("coalesce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let v = s.new_reg(IrType::fvec(4));
         let a = s.new_reg(IrType::F32);
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(2.0)) },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 0, value: Operand::Reg(a) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 1, value: Operand::Uniform(0) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 2, value: Operand::float(0.5) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 3, value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(2.0)),
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 0,
+                    value: Operand::Reg(a),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 1,
+                    value: Operand::Uniform(0),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 2,
+                    value: Operand::float(0.5),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 3,
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         s
     }
@@ -170,8 +254,14 @@ mod tests {
         let mut inserts = 0;
         let mut constructs = 0;
         prism_ir::stmt::walk_body(&s.body, &mut |st| match st {
-            Stmt::Def { op: Op::Insert { .. }, .. } => inserts += 1,
-            Stmt::Def { op: Op::Construct { .. }, .. } => constructs += 1,
+            Stmt::Def {
+                op: Op::Insert { .. },
+                ..
+            } => inserts += 1,
+            Stmt::Def {
+                op: Op::Construct { .. },
+                ..
+            } => constructs += 1,
             _ => {}
         });
         assert_eq!(inserts, 0);
@@ -181,13 +271,40 @@ mod tests {
     #[test]
     fn partial_chains_are_left_alone() {
         let mut s = Shader::new("coalesce-partial");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 0, value: Operand::float(1.0) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 1, value: Operand::float(2.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 0,
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 1,
+                    value: Operand::float(2.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         // Only two of four lanes are written, so nothing changes.
         assert!(!Coalesce.run(&mut s));
@@ -196,14 +313,48 @@ mod tests {
     #[test]
     fn repeated_lane_writes_take_the_last_value() {
         let mut s = Shader::new("coalesce-repeat");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(2) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(2),
+        });
         let v = s.new_reg(IrType::fvec(2));
         s.body = vec![
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(2), value: Operand::float(0.0) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 0, value: Operand::float(1.0) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 1, value: Operand::float(2.0) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 0, value: Operand::float(9.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(2),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 0,
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 1,
+                    value: Operand::float(2.0),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(v),
+                    index: 0,
+                    value: Operand::float(9.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         let ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
         let before = run_fragment(&s, &ctx).unwrap();
@@ -217,19 +368,46 @@ mod tests {
     #[test]
     fn works_inside_conditionals() {
         let mut s = Shader::new("coalesce-if");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(2) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(2),
+        });
         let v = s.new_reg(IrType::fvec(2));
         s.body = vec![
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(2), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(2),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::If {
                 cond: Operand::boolean(true),
                 then_body: vec![
-                    Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 0, value: Operand::float(3.0) } },
-                    Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(v), index: 1, value: Operand::float(4.0) } },
+                    Stmt::Def {
+                        dst: v,
+                        op: Op::Insert {
+                            vector: Operand::Reg(v),
+                            index: 0,
+                            value: Operand::float(3.0),
+                        },
+                    },
+                    Stmt::Def {
+                        dst: v,
+                        op: Op::Insert {
+                            vector: Operand::Reg(v),
+                            index: 1,
+                            value: Operand::float(4.0),
+                        },
+                    },
                 ],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(Coalesce.run(&mut s));
         verify(&s).unwrap();

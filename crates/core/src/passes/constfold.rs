@@ -89,7 +89,11 @@ impl Folder {
                     }
                     out.push(Stmt::Def { dst, op });
                 }
-                Stmt::If { cond, mut then_body, mut else_body } => {
+                Stmt::If {
+                    cond,
+                    mut then_body,
+                    mut else_body,
+                } => {
                     if let Operand::Const(Constant::Bool(b)) = &cond {
                         // The branch is statically decided; splice the live side.
                         self.changed = true;
@@ -112,9 +116,19 @@ impl Folder {
                     for r in &defined {
                         env.remove(r);
                     }
-                    out.push(Stmt::If { cond, then_body, else_body });
+                    out.push(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    });
                 }
-                Stmt::Loop { var, start, end, step, mut body } => {
+                Stmt::Loop {
+                    var,
+                    start,
+                    end,
+                    step,
+                    mut body,
+                } => {
                     let mut defined = defined_regs(&body);
                     defined.insert(var);
                     for r in &defined {
@@ -125,7 +139,13 @@ impl Folder {
                     for r in &defined {
                         env.remove(r);
                     }
-                    out.push(Stmt::Loop { var, start, end, step, body });
+                    out.push(Stmt::Loop {
+                        var,
+                        start,
+                        end,
+                        step,
+                        body,
+                    });
                 }
                 other => out.push(other),
             }
@@ -202,20 +222,42 @@ mod tests {
     #[test]
     fn folds_constant_arithmetic_chain() {
         let mut s = Shader::new("cf");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let a = s.new_reg(IrType::F32);
         let b = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Add, Operand::float(1.0), Operand::float(2.0)) },
-            Stmt::Def { dst: b, op: Op::Binary(BinaryOp::Mul, Operand::Reg(a), Operand::float(4.0)) },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(b) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Add, Operand::float(1.0), Operand::float(2.0)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(a), Operand::float(4.0)),
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(b),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(run(&mut s));
         // b should now be a constant 12 and v a constant vec4(12).
         match &s.body[2] {
-            Stmt::Def { op: Op::Mov(Operand::Const(Constant::FloatVec(l))), .. } => {
+            Stmt::Def {
+                op: Op::Mov(Operand::Const(Constant::FloatVec(l))),
+                ..
+            } => {
                 assert_eq!(l, &vec![12.0; 4]);
             }
             other => panic!("expected folded splat, got {other:?}"),
@@ -225,7 +267,10 @@ mod tests {
     #[test]
     fn folds_const_array_load_with_constant_index() {
         let mut s = Shader::new("cf");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         s.const_arrays.push(ConstArray {
             name: "w".into(),
             elem_ty: IrType::fvec(4),
@@ -233,12 +278,25 @@ mod tests {
         });
         let r = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: r, op: Op::ConstArrayLoad { array: 0, index: Operand::int(1) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::Def {
+                dst: r,
+                op: Op::ConstArrayLoad {
+                    array: 0,
+                    index: Operand::int(1),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         assert!(run(&mut s));
         match &s.body[0] {
-            Stmt::Def { op: Op::Mov(Operand::Const(Constant::FloatVec(l))), .. } => {
+            Stmt::Def {
+                op: Op::Mov(Operand::Const(Constant::FloatVec(l))),
+                ..
+            } => {
                 assert_eq!(l, &vec![0.75; 4]);
             }
             other => panic!("expected folded array load, got {other:?}"),
@@ -248,21 +306,54 @@ mod tests {
     #[test]
     fn removes_statically_decided_branches() {
         let mut s = Shader::new("cf");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let cond = s.new_reg(IrType::BOOL);
         let r = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Lt, Operand::float(1.0), Operand::float(2.0)) },
-            Stmt::Def { dst: r, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Lt, Operand::float(1.0), Operand::float(2.0)),
+            },
+            Stmt::Def {
+                dst: r,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::If {
                 cond: Operand::Reg(cond),
-                then_body: vec![Stmt::Def { dst: r, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } }],
-                else_body: vec![Stmt::Def { dst: r, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(2.0) } }],
+                then_body: vec![Stmt::Def {
+                    dst: r,
+                    op: Op::Splat {
+                        ty: IrType::fvec(4),
+                        value: Operand::float(1.0),
+                    },
+                }],
+                else_body: vec![Stmt::Def {
+                    dst: r,
+                    op: Op::Splat {
+                        ty: IrType::fvec(4),
+                        value: Operand::float(2.0),
+                    },
+                }],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         assert!(run(&mut s));
-        assert_eq!(s.branch_count(), 0, "constant branch should be gone: {:#?}", s.body);
+        assert_eq!(
+            s.branch_count(),
+            0,
+            "constant branch should be gone: {:#?}",
+            s.body
+        );
         let ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
         let result = prism_ir::interp::run_fragment(&s, &ctx).unwrap();
         assert_eq!(result.outputs[0], vec![1.0; 4]);
@@ -271,12 +362,18 @@ mod tests {
     #[test]
     fn does_not_propagate_mutable_values_across_loops() {
         let mut s = Shader::new("cf");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let acc = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Mov(Operand::float(0.0)) },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Mov(Operand::float(0.0)),
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
@@ -287,8 +384,18 @@ mod tests {
                     op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::float(1.0)),
                 }],
             },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(acc) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(acc),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         run(&mut s);
         // The accumulator inside the loop must NOT have been folded to a
@@ -301,18 +408,39 @@ mod tests {
     #[test]
     fn propagates_uniform_copies() {
         let mut s = Shader::new("cf");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let a = s.new_reg(IrType::fvec(4));
         let b = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Mov(Operand::Uniform(0)) },
-            Stmt::Def { dst: b, op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(a)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(b) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Mov(Operand::Uniform(0)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(a)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(b),
+            },
         ];
         assert!(run(&mut s));
         match &s.body[1] {
-            Stmt::Def { op: Op::Binary(_, x, y), .. } => {
+            Stmt::Def {
+                op: Op::Binary(_, x, y),
+                ..
+            } => {
                 assert_eq!(x, &Operand::Uniform(0));
                 assert_eq!(y, &Operand::Uniform(0));
             }
@@ -323,11 +451,21 @@ mod tests {
     #[test]
     fn idempotent_on_already_folded_code() {
         let mut s = Shader::new("cf");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let r = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: r, op: Op::Mov(Operand::fvec(vec![1.0; 4])) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::Def {
+                dst: r,
+                op: Op::Mov(Operand::fvec(vec![1.0; 4])),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         let first = ConstFold.run(&mut s);
         let second = ConstFold.run(&mut s);

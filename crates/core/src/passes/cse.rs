@@ -34,12 +34,7 @@ impl Pass for Cse {
 /// Runs CSE over one statement list. When `inherit` is false each nested body
 /// starts from an empty table (local CSE); [`super::gvn`] reuses this walker
 /// with `inherit = true`.
-pub(crate) fn cse_body(
-    body: &mut [Stmt],
-    analysis: &Analysis,
-    changed: &mut bool,
-    inherit: bool,
-) {
+pub(crate) fn cse_body(body: &mut [Stmt], analysis: &Analysis, changed: &mut bool, inherit: bool) {
     let mut table: HashMap<String, Reg> = HashMap::new();
     cse_scoped(body, analysis, changed, inherit, &mut table);
 }
@@ -75,17 +70,35 @@ fn cse_scoped(
                     }
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
-                let mut then_table = if inherit { table.clone() } else { HashMap::new() };
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let mut then_table = if inherit {
+                    table.clone()
+                } else {
+                    HashMap::new()
+                };
                 cse_scoped(then_body, analysis, changed, inherit, &mut then_table);
-                let mut else_table = if inherit { table.clone() } else { HashMap::new() };
+                let mut else_table = if inherit {
+                    table.clone()
+                } else {
+                    HashMap::new()
+                };
                 cse_scoped(else_body, analysis, changed, inherit, &mut else_table);
             }
-            Stmt::Loop { body: loop_body, .. } => {
+            Stmt::Loop {
+                body: loop_body, ..
+            } => {
                 // Values defined before the loop remain available inside it
                 // when inheriting (their operands are immutable by
                 // construction), but nothing defined in the body is exported.
-                let mut loop_table = if inherit { table.clone() } else { HashMap::new() };
+                let mut loop_table = if inherit {
+                    table.clone()
+                } else {
+                    HashMap::new()
+                };
                 cse_scoped(loop_body, analysis, changed, inherit, &mut loop_table);
             }
             _ => {}
@@ -115,23 +128,53 @@ mod tests {
     #[test]
     fn deduplicates_identical_expressions() {
         let mut s = Shader::new("cse");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let a = s.new_reg(IrType::F32);
         let b = s.new_reg(IrType::F32);
         let sum = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(2.0)) },
-            Stmt::Def { dst: b, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(2.0)) },
-            Stmt::Def { dst: sum, op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(b)) },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(sum) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(2.0)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(2.0)),
+            },
+            Stmt::Def {
+                dst: sum,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(b)),
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(sum),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(Cse.run(&mut s));
         verify(&s).unwrap();
         match &s.body[1] {
-            Stmt::Def { op: Op::Mov(Operand::Reg(r)), .. } => assert_eq!(*r, a),
+            Stmt::Def {
+                op: Op::Mov(Operand::Reg(r)),
+                ..
+            } => assert_eq!(*r, a),
             other => panic!("expected b to become a copy of a, got {other:?}"),
         }
     }
@@ -139,19 +182,51 @@ mod tests {
     #[test]
     fn commutative_operands_match_in_either_order() {
         let mut s = Shader::new("cse");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
-        s.uniforms.push(UniformVar { name: "w".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "w".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let a = s.new_reg(IrType::F32);
         let b = s.new_reg(IrType::F32);
         let sum = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Add, Operand::Uniform(0), Operand::Uniform(1)) },
-            Stmt::Def { dst: b, op: Op::Binary(BinaryOp::Add, Operand::Uniform(1), Operand::Uniform(0)) },
-            Stmt::Def { dst: sum, op: Op::Binary(BinaryOp::Mul, Operand::Reg(a), Operand::Reg(b)) },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(sum) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Add, Operand::Uniform(0), Operand::Uniform(1)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Binary(BinaryOp::Add, Operand::Uniform(1), Operand::Uniform(0)),
+            },
+            Stmt::Def {
+                dst: sum,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(a), Operand::Reg(b)),
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(sum),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(Cse.run(&mut s));
     }
@@ -159,25 +234,49 @@ mod tests {
     #[test]
     fn mutable_operands_are_not_numbered() {
         let mut s = Shader::new("cse");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let m = s.new_reg(IrType::F32);
         let a = s.new_reg(IrType::F32);
         let b = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: m, op: Op::Mov(Operand::float(1.0)) },
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Mul, Operand::Reg(m), Operand::float(2.0)) },
+            Stmt::Def {
+                dst: m,
+                op: Op::Mov(Operand::float(1.0)),
+            },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(m), Operand::float(2.0)),
+            },
             // m changes between the two "identical" expressions.
-            Stmt::Def { dst: m, op: Op::Mov(Operand::float(5.0)) },
-            Stmt::Def { dst: b, op: Op::Binary(BinaryOp::Mul, Operand::Reg(m), Operand::float(2.0)) },
+            Stmt::Def {
+                dst: m,
+                op: Op::Mov(Operand::float(5.0)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(m), Operand::float(2.0)),
+            },
             Stmt::Def {
                 dst: v,
                 op: Op::Construct {
                     ty: IrType::fvec(4),
-                    parts: vec![Operand::Reg(a), Operand::Reg(b), Operand::Reg(a), Operand::Reg(b)],
+                    parts: vec![
+                        Operand::Reg(a),
+                        Operand::Reg(b),
+                        Operand::Reg(a),
+                        Operand::Reg(b),
+                    ],
                 },
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(!Cse.run(&mut s));
         let ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
@@ -188,8 +287,14 @@ mod tests {
     #[test]
     fn texture_samples_are_not_merged_by_local_cse() {
         let mut s = Shader::new("cse");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.samplers.push(SamplerVar { name: "tex".into(), dim: TextureDim::Dim2D });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
         let a = s.new_reg(IrType::fvec(4));
         let b = s.new_reg(IrType::fvec(4));
         let sum = s.new_reg(IrType::fvec(4));
@@ -205,8 +310,15 @@ mod tests {
         s.body = vec![
             sample(a),
             sample(b),
-            Stmt::Def { dst: sum, op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(b)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(sum) },
+            Stmt::Def {
+                dst: sum,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(b)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(sum),
+            },
         ];
         assert!(!Cse.run(&mut s));
         assert_eq!(s.texture_op_count(), 2);
@@ -215,23 +327,53 @@ mod tests {
     #[test]
     fn does_not_share_across_branches_without_gvn() {
         let mut s = Shader::new("cse");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let pre = s.new_reg(IrType::F32);
         let inner = s.new_reg(IrType::F32);
         let out = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: pre, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)) },
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(pre) } },
+            Stmt::Def {
+                dst: pre,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)),
+            },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(pre),
+                },
+            },
             Stmt::If {
                 cond: Operand::boolean(true),
                 then_body: vec![
-                    Stmt::Def { dst: inner, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)) },
-                    Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(inner) } },
+                    Stmt::Def {
+                        dst: inner,
+                        op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)),
+                    },
+                    Stmt::Def {
+                        dst: out,
+                        op: Op::Splat {
+                            ty: IrType::fvec(4),
+                            value: Operand::Reg(inner),
+                        },
+                    },
                 ],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         // Local CSE must not rewrite the branch body using the outer value.
         assert!(!Cse.run(&mut s));

@@ -54,7 +54,11 @@ fn remove_dead(body: &mut Vec<Stmt>, uses: &HashMap<Reg, usize>, changed: &mut b
                     continue;
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 remove_dead(then_body, uses, changed);
                 remove_dead(else_body, uses, changed);
                 if then_body.is_empty() && else_body.is_empty() {
@@ -62,7 +66,9 @@ fn remove_dead(body: &mut Vec<Stmt>, uses: &HashMap<Reg, usize>, changed: &mut b
                     continue;
                 }
             }
-            Stmt::Loop { body: loop_body, .. } => {
+            Stmt::Loop {
+                body: loop_body, ..
+            } => {
                 remove_dead(loop_body, uses, changed);
                 if loop_body.is_empty() {
                     *changed = true;
@@ -95,16 +101,35 @@ mod tests {
     #[test]
     fn removes_unused_pure_definitions() {
         let mut s = Shader::new("dce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let dead = s.new_reg(IrType::F32);
         let dead2 = s.new_reg(IrType::F32);
         let live = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: dead, op: Op::Binary(BinaryOp::Add, Operand::float(1.0), Operand::float(2.0)) },
+            Stmt::Def {
+                dst: dead,
+                op: Op::Binary(BinaryOp::Add, Operand::float(1.0), Operand::float(2.0)),
+            },
             // dead2 uses dead, but dead2 itself is unused → both go after iteration.
-            Stmt::Def { dst: dead2, op: Op::Binary(BinaryOp::Mul, Operand::Reg(dead), Operand::float(2.0)) },
-            Stmt::Def { dst: live, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(live) },
+            Stmt::Def {
+                dst: dead2,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(dead), Operand::float(2.0)),
+            },
+            Stmt::Def {
+                dst: live,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(live),
+            },
         ];
         assert!(Dce.run(&mut s));
         verify(&s).unwrap();
@@ -115,35 +140,66 @@ mod tests {
     #[test]
     fn keeps_values_used_inside_control_flow() {
         let mut s = Shader::new("dce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let x = s.new_reg(IrType::F32);
         let out = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: x, op: Op::Mov(Operand::float(0.25)) },
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: x,
+                op: Op::Mov(Operand::float(0.25)),
+            },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::If {
                 cond: Operand::boolean(true),
-                then_body: vec![Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(x) } }],
+                then_body: vec![Stmt::Def {
+                    dst: out,
+                    op: Op::Splat {
+                        ty: IrType::fvec(4),
+                        value: Operand::Reg(x),
+                    },
+                }],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         Dce.run(&mut s);
         verify(&s).unwrap();
-        assert!(all_defined(&s.body).contains(&x), "x is used in the branch and must stay");
+        assert!(
+            all_defined(&s.body).contains(&x),
+            "x is used in the branch and must stay"
+        );
     }
 
     #[test]
     fn removes_empty_conditionals_and_loops() {
         let mut s = Shader::new("dce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let unused = s.new_reg(IrType::F32);
         let i = s.new_reg(IrType::I32);
         let out = s.new_reg(IrType::fvec(4));
         s.body = vec![
             Stmt::If {
                 cond: Operand::boolean(true),
-                then_body: vec![Stmt::Def { dst: unused, op: Op::Mov(Operand::float(1.0)) }],
+                then_body: vec![Stmt::Def {
+                    dst: unused,
+                    op: Op::Mov(Operand::float(1.0)),
+                }],
                 else_body: vec![],
             },
             Stmt::Loop {
@@ -151,10 +207,23 @@ mod tests {
                 start: 0,
                 end: 4,
                 step: 1,
-                body: vec![Stmt::Def { dst: unused, op: Op::Mov(Operand::float(2.0)) }],
+                body: vec![Stmt::Def {
+                    dst: unused,
+                    op: Op::Mov(Operand::float(2.0)),
+                }],
             },
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         assert!(Dce.run(&mut s));
         verify(&s).unwrap();
@@ -166,10 +235,19 @@ mod tests {
     #[test]
     fn discard_and_stores_are_never_removed() {
         let mut s = Shader::new("dce");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         s.body = vec![
-            Stmt::Discard { cond: Some(Operand::boolean(false)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::fvec(vec![1.0; 4]) },
+            Stmt::Discard {
+                cond: Some(Operand::boolean(false)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::fvec(vec![1.0; 4]),
+            },
         ];
         assert!(!Dce.run(&mut s));
         assert_eq!(s.body.len(), 2);

@@ -34,17 +34,29 @@ fn rewrite(body: &mut [Stmt], defs: &DefMap, changed: &mut bool) {
     for stmt in body.iter_mut() {
         match stmt {
             Stmt::Def { op, .. } => {
-                let Op::Binary(BinaryOp::Div, a, b) = op else { continue };
-                let Some(divisor) = defs.const_of(b) else { continue };
-                let Some(inverse) = reciprocal(&divisor) else { continue };
+                let Op::Binary(BinaryOp::Div, a, b) = op else {
+                    continue;
+                };
+                let Some(divisor) = defs.const_of(b) else {
+                    continue;
+                };
+                let Some(inverse) = reciprocal(&divisor) else {
+                    continue;
+                };
                 *op = Op::Binary(BinaryOp::Mul, a.clone(), Operand::Const(inverse));
                 *changed = true;
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 rewrite(then_body, defs, changed);
                 rewrite(else_body, defs, changed);
             }
-            Stmt::Loop { body: loop_body, .. } => rewrite(loop_body, defs, changed),
+            Stmt::Loop {
+                body: loop_body, ..
+            } => rewrite(loop_body, defs, changed),
             _ => {}
         }
     }
@@ -62,7 +74,7 @@ fn reciprocal(c: &Constant) -> Option<Constant> {
             }
         }
         Constant::FloatVec(v) => {
-            if v.iter().any(|x| *x == 0.0) {
+            if v.contains(&0.0) {
                 None
             } else {
                 Some(Constant::FloatVec(v.iter().map(|x| 1.0 / x).collect()))
@@ -81,18 +93,40 @@ mod tests {
     #[test]
     fn rewrites_division_by_scalar_constant() {
         let mut s = Shader::new("div");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let a = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Div, Operand::Uniform(0), Operand::Const(Constant::FloatVec(vec![4.0; 4]))) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(
+                    BinaryOp::Div,
+                    Operand::Uniform(0),
+                    Operand::Const(Constant::FloatVec(vec![4.0; 4])),
+                ),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         let before = s.clone();
         assert!(DivToMul.run(&mut s));
         verify(&s).unwrap();
         match &s.body[0] {
-            Stmt::Def { op: Op::Binary(BinaryOp::Mul, _, Operand::Const(c)), .. } => {
+            Stmt::Def {
+                op: Op::Binary(BinaryOp::Mul, _, Operand::Const(c)),
+                ..
+            } => {
                 assert!(c.is_all(0.25));
             }
             other => panic!("expected multiplication by reciprocal, got {other:?}"),
@@ -106,18 +140,42 @@ mod tests {
     #[test]
     fn sees_through_splatted_constants() {
         let mut s = Shader::new("div-splat");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let denom = s.new_reg(IrType::fvec(4));
         let a = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: denom, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(8.0) } },
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Div, Operand::Uniform(0), Operand::Reg(denom)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::Def {
+                dst: denom,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(8.0),
+                },
+            },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Div, Operand::Uniform(0), Operand::Reg(denom)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         assert!(DivToMul.run(&mut s));
         match &s.body[1] {
-            Stmt::Def { op: Op::Binary(BinaryOp::Mul, _, Operand::Const(c)), .. } => {
+            Stmt::Def {
+                op: Op::Binary(BinaryOp::Mul, _, Operand::Const(c)),
+                ..
+            } => {
                 assert!(c.is_all(0.125));
             }
             other => panic!("expected reciprocal multiply, got {other:?}"),
@@ -127,15 +185,42 @@ mod tests {
     #[test]
     fn division_by_non_constant_or_zero_is_left_alone() {
         let mut s = Shader::new("div-skip");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
-        s.uniforms.push(UniformVar { name: "d".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "d".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let a = s.new_reg(IrType::fvec(4));
         let b = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Div, Operand::Uniform(0), Operand::Uniform(1)) },
-            Stmt::Def { dst: b, op: Op::Binary(BinaryOp::Div, Operand::Reg(a), Operand::Const(Constant::FloatVec(vec![2.0, 0.0, 2.0, 2.0]))) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(b) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Div, Operand::Uniform(0), Operand::Uniform(1)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Binary(
+                    BinaryOp::Div,
+                    Operand::Reg(a),
+                    Operand::Const(Constant::FloatVec(vec![2.0, 0.0, 2.0, 2.0])),
+                ),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(b),
+            },
         ];
         assert!(!DivToMul.run(&mut s));
     }
@@ -143,15 +228,37 @@ mod tests {
     #[test]
     fn integer_division_is_not_rewritten() {
         let mut s = Shader::new("div-int");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let f = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: i, op: Op::Binary(BinaryOp::Div, Operand::int(7), Operand::int(2)) },
-            Stmt::Def { dst: f, op: Op::Convert { to: IrType::F32, value: Operand::Reg(i) } },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(f) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: i,
+                op: Op::Binary(BinaryOp::Div, Operand::int(7), Operand::int(2)),
+            },
+            Stmt::Def {
+                dst: f,
+                op: Op::Convert {
+                    to: IrType::F32,
+                    value: Operand::Reg(i),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(f),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(!DivToMul.run(&mut s));
     }

@@ -94,12 +94,18 @@ impl Ctx {
         let mut out: Vec<Stmt> = Vec::with_capacity(body.len());
         for mut stmt in body.drain(..) {
             match &mut stmt {
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     self.rewrite_body(then_body, shader);
                     self.rewrite_body(else_body, shader);
                     out.push(stmt);
                 }
-                Stmt::Loop { body: loop_body, .. } => {
+                Stmt::Loop {
+                    body: loop_body, ..
+                } => {
                     self.rewrite_body(loop_body, shader);
                     out.push(stmt);
                 }
@@ -146,7 +152,9 @@ impl Ctx {
     // --- identities ----------------------------------------------------------
 
     fn identity(&self, op: &Op, dst_ty: IrType) -> Option<Op> {
-        let Op::Binary(bop, a, b) = op else { return None };
+        let Op::Binary(bop, a, b) = op else {
+            return None;
+        };
         let ca = self.defs.const_of(a);
         let cb = self.defs.const_of(b);
         let one = |c: &Option<Constant>| c.as_ref().is_some_and(|c| c.is_all(1.0));
@@ -195,7 +203,9 @@ impl Ctx {
     // --- (a + b) - a → b ------------------------------------------------------
 
     fn sub_of_add(&self, op: &Op) -> Option<Op> {
-        let Op::Binary(BinaryOp::Sub, a, b) = op else { return None };
+        let Op::Binary(BinaryOp::Sub, a, b) = op else {
+            return None;
+        };
         let Operand::Reg(r) = a else { return None };
         if !self.absorbable(*r) {
             return None;
@@ -250,12 +260,20 @@ impl Ctx {
 
     /// Groups constants and splatted scalars in a multiplication chain.
     fn group_mul_chain(&mut self, op: &Op, dst_ty: IrType, shader: &mut Shader) -> Option<Op> {
-        let Op::Binary(BinaryOp::Mul, a, b) = op else { return None };
+        let Op::Binary(BinaryOp::Mul, a, b) = op else {
+            return None;
+        };
         let mut factors = Vec::new();
         self.collect_mul_chain(a, &mut factors, 0);
         self.collect_mul_chain(b, &mut factors, 0);
-        let n_const = factors.iter().filter(|f| matches!(f, Factor::Const(_))).count();
-        let n_scalar = factors.iter().filter(|f| matches!(f, Factor::ScalarSplat(_))).count();
+        let n_const = factors
+            .iter()
+            .filter(|f| matches!(f, Factor::Const(_)))
+            .count();
+        let n_scalar = factors
+            .iter()
+            .filter(|f| matches!(f, Factor::ScalarSplat(_)))
+            .count();
         // Only worthwhile when at least two groupable factors can be merged.
         if n_const + n_scalar < 2 || factors.len() < 3 {
             return None;
@@ -328,7 +346,10 @@ impl Ctx {
                 let r = shader.new_reg(dst_ty);
                 self.new_regs.push(Stmt::Def {
                     dst: r,
-                    op: Op::Splat { ty: dst_ty, value: sv },
+                    op: Op::Splat {
+                        ty: dst_ty,
+                        value: sv,
+                    },
                 });
                 vector_factors.push(Operand::Reg(r));
             } else {
@@ -341,7 +362,10 @@ impl Ctx {
 
         // Chain the remaining factors.
         match vector_factors.len() {
-            0 => Op::Mov(Operand::Const(broadcast_const(&Constant::Float(1.0), dst_ty))),
+            0 => Op::Mov(Operand::Const(broadcast_const(
+                &Constant::Float(1.0),
+                dst_ty,
+            ))),
             1 => Op::Mov(vector_factors.pop_first()),
             _ => {
                 let mut iter = vector_factors.into_iter();
@@ -351,7 +375,10 @@ impl Ctx {
                     match last_pair.take() {
                         None => last_pair = Some((acc.clone(), f)),
                         Some((x, y)) => {
-                            let r = shader.new_reg(IrType::vec(prism_ir::types::Scalar::F32, width_of(&x, shader)));
+                            let r = shader.new_reg(IrType::vec(
+                                prism_ir::types::Scalar::F32,
+                                width_of(&x, shader),
+                            ));
                             self.new_regs.push(Stmt::Def {
                                 dst: r,
                                 op: Op::Binary(BinaryOp::Mul, x, y),
@@ -387,7 +414,9 @@ impl Ctx {
     /// Factors common multiplicative factors out of an addition chain:
     /// `a·x + a·y + a·z → a·(x + y + z)`.
     fn factor_add_chain(&mut self, op: &Op, dst_ty: IrType, shader: &mut Shader) -> Option<Op> {
-        let Op::Binary(BinaryOp::Add, a, b) = op else { return None };
+        let Op::Binary(BinaryOp::Add, a, b) = op else {
+            return None;
+        };
         let mut terms = Vec::new();
         self.collect_add_chain(a, &mut terms, 0);
         self.collect_add_chain(b, &mut terms, 0);
@@ -411,7 +440,10 @@ impl Ctx {
             if common.iter().any(|c| c.key() == key) {
                 continue;
             }
-            if term_factors.iter().all(|tf| tf.iter().any(|f| f.key() == key)) {
+            if term_factors
+                .iter()
+                .all(|tf| tf.iter().any(|f| f.key() == key))
+            {
                 common.push(candidate.clone());
             }
         }
@@ -443,7 +475,10 @@ impl Ctx {
         let mut rebuilt_terms: Vec<Operand> = Vec::new();
         for residue in residues {
             if residue.is_empty() {
-                rebuilt_terms.push(Operand::Const(broadcast_const(&Constant::Float(1.0), dst_ty)));
+                rebuilt_terms.push(Operand::Const(broadcast_const(
+                    &Constant::Float(1.0),
+                    dst_ty,
+                )));
                 continue;
             }
             let op = self.rebuild_product(&residue, dst_ty, shader);
@@ -470,7 +505,9 @@ impl Ctx {
     // --- canonical operand ordering -------------------------------------------
 
     fn canonical_order(&self, op: &Op) -> Option<Op> {
-        let Op::Binary(bop, a, b) = op else { return None };
+        let Op::Binary(bop, a, b) = op else {
+            return None;
+        };
         if !bop.is_commutative() || !bop.is_arithmetic() {
             return None;
         }
@@ -508,7 +545,11 @@ fn zero_operand(ty: IrType) -> Operand {
 
 fn mul_constants(a: &Constant, b: &Constant) -> Constant {
     eval_const_op(
-        &Op::Binary(BinaryOp::Mul, Operand::Const(a.clone()), Operand::Const(b.clone())),
+        &Op::Binary(
+            BinaryOp::Mul,
+            Operand::Const(a.clone()),
+            Operand::Const(b.clone()),
+        ),
         &|o| o.as_const().cloned(),
     )
     .unwrap_or_else(|| a.clone())
@@ -538,8 +579,8 @@ fn width_of(operand: &Operand, shader: &Shader) -> u8 {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::dce::Dce;
+    use super::*;
     use prism_ir::interp::{results_approx_equal, run_fragment, FragmentContext};
     use prism_ir::verify::verify;
 
@@ -559,40 +600,112 @@ mod tests {
     #[test]
     fn removes_multiply_by_one_and_add_zero() {
         let mut s = Shader::new("fp");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let a = s.new_reg(IrType::fvec(4));
         let b = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Const(Constant::FloatVec(vec![1.0; 4]))) },
-            Stmt::Def { dst: b, op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Const(Constant::FloatVec(vec![0.0; 4]))) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(b) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(
+                    BinaryOp::Mul,
+                    Operand::Uniform(0),
+                    Operand::Const(Constant::FloatVec(vec![1.0; 4])),
+                ),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Binary(
+                    BinaryOp::Add,
+                    Operand::Reg(a),
+                    Operand::Const(Constant::FloatVec(vec![0.0; 4])),
+                ),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(b),
+            },
         ];
         let before = s.clone();
         assert!(FpReassociate.run(&mut s));
         verify(&s).unwrap();
         check_semantics(&before, &s);
-        assert!(matches!(&s.body[0], Stmt::Def { op: Op::Mov(Operand::Uniform(0)), .. }));
+        assert!(matches!(
+            &s.body[0],
+            Stmt::Def {
+                op: Op::Mov(Operand::Uniform(0)),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn groups_scalars_out_of_vector_multiplies() {
         // v * splat(f1) * splat(f2)  →  v * splat(f1*f2)
         let mut s = Shader::new("fp-scalar");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "v".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
-        s.uniforms.push(UniformVar { name: "f1".into(), ty: IrType::F32, slot: 0, original: "float".into() });
-        s.uniforms.push(UniformVar { name: "f2".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "v".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "f1".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "f2".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let s1 = s.new_reg(IrType::fvec(4));
         let s2 = s.new_reg(IrType::fvec(4));
         let m1 = s.new_reg(IrType::fvec(4));
         let m2 = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: s1, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Uniform(1) } },
-            Stmt::Def { dst: m1, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Reg(s1)) },
-            Stmt::Def { dst: s2, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Uniform(2) } },
-            Stmt::Def { dst: m2, op: Op::Binary(BinaryOp::Mul, Operand::Reg(m1), Operand::Reg(s2)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(m2) },
+            Stmt::Def {
+                dst: s1,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Uniform(1),
+                },
+            },
+            Stmt::Def {
+                dst: m1,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Reg(s1)),
+            },
+            Stmt::Def {
+                dst: s2,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Uniform(2),
+                },
+            },
+            Stmt::Def {
+                dst: m2,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(m1), Operand::Reg(s2)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(m2),
+            },
         ];
         let before = s.clone();
         assert!(FpReassociate.run(&mut s));
@@ -603,7 +716,11 @@ mod tests {
         let mut scalar_muls = 0;
         let mut vector_muls = 0;
         prism_ir::stmt::walk_body(&s.body, &mut |st| {
-            if let Stmt::Def { dst, op: Op::Binary(BinaryOp::Mul, ..) } = st {
+            if let Stmt::Def {
+                dst,
+                op: Op::Binary(BinaryOp::Mul, ..),
+            } = st
+            {
                 if s.reg_ty(*dst).is_scalar() {
                     scalar_muls += 1;
                 } else {
@@ -619,16 +736,45 @@ mod tests {
     fn groups_constants_in_chains() {
         // (x * 2) * 4 → x * 8 (via constant grouping).
         let mut s = Shader::new("fp-const");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "x".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "x".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let m1 = s.new_reg(IrType::fvec(4));
         let m2 = s.new_reg(IrType::fvec(4));
         let m3 = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: m1, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Const(Constant::FloatVec(vec![2.0; 4]))) },
-            Stmt::Def { dst: m2, op: Op::Binary(BinaryOp::Mul, Operand::Reg(m1), Operand::Const(Constant::FloatVec(vec![4.0; 4]))) },
-            Stmt::Def { dst: m3, op: Op::Binary(BinaryOp::Mul, Operand::Reg(m2), Operand::Uniform(0)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(m3) },
+            Stmt::Def {
+                dst: m1,
+                op: Op::Binary(
+                    BinaryOp::Mul,
+                    Operand::Uniform(0),
+                    Operand::Const(Constant::FloatVec(vec![2.0; 4])),
+                ),
+            },
+            Stmt::Def {
+                dst: m2,
+                op: Op::Binary(
+                    BinaryOp::Mul,
+                    Operand::Reg(m1),
+                    Operand::Const(Constant::FloatVec(vec![4.0; 4])),
+                ),
+            },
+            Stmt::Def {
+                dst: m3,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(m2), Operand::Uniform(0)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(m3),
+            },
         ];
         let before = s.clone();
         assert!(FpReassociate.run(&mut s));
@@ -653,23 +799,65 @@ mod tests {
     fn factors_common_term_out_of_addition_chain() {
         // a*x + a*y + a*z → a*(x+y+z): 4 multiplies become 1 (plus the adds).
         let mut s = Shader::new("fp-factor");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "a".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
-        s.uniforms.push(UniformVar { name: "x".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
-        s.uniforms.push(UniformVar { name: "y".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
-        s.uniforms.push(UniformVar { name: "z".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "a".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "x".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "y".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "z".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let t1 = s.new_reg(IrType::fvec(4));
         let t2 = s.new_reg(IrType::fvec(4));
         let t3 = s.new_reg(IrType::fvec(4));
         let s1 = s.new_reg(IrType::fvec(4));
         let s2 = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: t1, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Uniform(1)) },
-            Stmt::Def { dst: t2, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Uniform(2)) },
-            Stmt::Def { dst: t3, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Uniform(3)) },
-            Stmt::Def { dst: s1, op: Op::Binary(BinaryOp::Add, Operand::Reg(t1), Operand::Reg(t2)) },
-            Stmt::Def { dst: s2, op: Op::Binary(BinaryOp::Add, Operand::Reg(s1), Operand::Reg(t3)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(s2) },
+            Stmt::Def {
+                dst: t1,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Uniform(1)),
+            },
+            Stmt::Def {
+                dst: t2,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Uniform(2)),
+            },
+            Stmt::Def {
+                dst: t3,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Uniform(3)),
+            },
+            Stmt::Def {
+                dst: s1,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(t1), Operand::Reg(t2)),
+            },
+            Stmt::Def {
+                dst: s2,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(s1), Operand::Reg(t3)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(s2),
+            },
         ];
         let before = s.clone();
         assert!(FpReassociate.run(&mut s));
@@ -678,26 +866,57 @@ mod tests {
         check_semantics(&before, &s);
         let mut muls = 0;
         prism_ir::stmt::walk_body(&s.body, &mut |st| {
-            if let Stmt::Def { op: Op::Binary(BinaryOp::Mul, ..), .. } = st {
+            if let Stmt::Def {
+                op: Op::Binary(BinaryOp::Mul, ..),
+                ..
+            } = st
+            {
                 muls += 1;
             }
         });
-        assert!(muls < 3, "expected fewer multiplies after factoring, got {muls}: {:#?}", s.body);
+        assert!(
+            muls < 3,
+            "expected fewer multiplies after factoring, got {muls}: {:#?}",
+            s.body
+        );
     }
 
     #[test]
     fn add_then_subtract_cancels() {
         // (a + b) - a → b
         let mut s = Shader::new("fp-cancel");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "a".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
-        s.uniforms.push(UniformVar { name: "b".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "a".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        s.uniforms.push(UniformVar {
+            name: "b".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let sum = s.new_reg(IrType::fvec(4));
         let diff = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: sum, op: Op::Binary(BinaryOp::Add, Operand::Uniform(0), Operand::Uniform(1)) },
-            Stmt::Def { dst: diff, op: Op::Binary(BinaryOp::Sub, Operand::Reg(sum), Operand::Uniform(0)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(diff) },
+            Stmt::Def {
+                dst: sum,
+                op: Op::Binary(BinaryOp::Add, Operand::Uniform(0), Operand::Uniform(1)),
+            },
+            Stmt::Def {
+                dst: diff,
+                op: Op::Binary(BinaryOp::Sub, Operand::Reg(sum), Operand::Uniform(0)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(diff),
+            },
         ];
         let before = s.clone();
         assert!(FpReassociate.run(&mut s));
@@ -706,23 +925,48 @@ mod tests {
         check_semantics(&before, &s);
         assert!(matches!(
             s.body.iter().find(|st| matches!(st, Stmt::Def { .. })),
-            Some(Stmt::Def { op: Op::Mov(Operand::Uniform(1)), .. })
+            Some(Stmt::Def {
+                op: Op::Mov(Operand::Uniform(1)),
+                ..
+            })
         ));
     }
 
     #[test]
     fn canonical_ordering_moves_constants_right() {
         let mut s = Shader::new("fp-order");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let a = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Mul, Operand::Const(Constant::FloatVec(vec![2.0; 4])), Operand::Uniform(0)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(
+                    BinaryOp::Mul,
+                    Operand::Const(Constant::FloatVec(vec![2.0; 4])),
+                    Operand::Uniform(0),
+                ),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         assert!(FpReassociate.run(&mut s));
         match &s.body[0] {
-            Stmt::Def { op: Op::Binary(BinaryOp::Mul, x, y), .. } => {
+            Stmt::Def {
+                op: Op::Binary(BinaryOp::Mul, x, y),
+                ..
+            } => {
                 assert_eq!(x, &Operand::Uniform(0));
                 assert!(y.is_const());
             }
@@ -733,15 +977,37 @@ mod tests {
     #[test]
     fn integer_code_is_untouched() {
         let mut s = Shader::new("fp-int");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let f = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: i, op: Op::Binary(BinaryOp::Mul, Operand::int(3), Operand::int(1)) },
-            Stmt::Def { dst: f, op: Op::Convert { to: IrType::F32, value: Operand::Reg(i) } },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(f) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: i,
+                op: Op::Binary(BinaryOp::Mul, Operand::int(3), Operand::int(1)),
+            },
+            Stmt::Def {
+                dst: f,
+                op: Op::Convert {
+                    to: IrType::F32,
+                    value: Operand::Reg(i),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(f),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(!FpReassociate.run(&mut s));
     }

@@ -73,13 +73,19 @@ fn merge_texture_loads(
                     }
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 let mut t = table.clone();
                 merge_texture_loads(then_body, analysis, &mut t, changed);
                 let mut e = table.clone();
                 merge_texture_loads(else_body, analysis, &mut e, changed);
             }
-            Stmt::Loop { body: loop_body, .. } => {
+            Stmt::Loop {
+                body: loop_body, ..
+            } => {
                 let mut t = table.clone();
                 merge_texture_loads(loop_body, analysis, &mut t, changed);
             }
@@ -90,33 +96,66 @@ fn merge_texture_loads(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::cse::Cse;
+    use super::*;
     use prism_ir::interp::{results_approx_equal, run_fragment, FragmentContext};
     use prism_ir::verify::verify;
 
     /// The same uniform expression computed before and inside a branch.
     fn cross_branch_shader() -> Shader {
         let mut s = Shader::new("gvn");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let pre = s.new_reg(IrType::F32);
         let cond = s.new_reg(IrType::BOOL);
         let inner = s.new_reg(IrType::F32);
         let out = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: pre, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)) },
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Gt, Operand::Uniform(0), Operand::float(0.25)) },
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(pre) } },
+            Stmt::Def {
+                dst: pre,
+                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)),
+            },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Gt, Operand::Uniform(0), Operand::float(0.25)),
+            },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(pre),
+                },
+            },
             Stmt::If {
                 cond: Operand::Reg(cond),
                 then_body: vec![
-                    Stmt::Def { dst: inner, op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)) },
-                    Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(inner) } },
+                    Stmt::Def {
+                        dst: inner,
+                        op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::float(3.0)),
+                    },
+                    Stmt::Def {
+                        dst: out,
+                        op: Op::Splat {
+                            ty: IrType::fvec(4),
+                            value: Operand::Reg(inner),
+                        },
+                    },
                 ],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         s
     }
@@ -136,7 +175,11 @@ mod tests {
         // The inner recomputation is now a copy.
         let mut copies_of_pre = 0;
         prism_ir::stmt::walk_body(&s.body, &mut |st| {
-            if let Stmt::Def { op: Op::Mov(Operand::Reg(r)), .. } = st {
+            if let Stmt::Def {
+                op: Op::Mov(Operand::Reg(r)),
+                ..
+            } = st
+            {
                 if r.0 == 0 {
                     copies_of_pre += 1;
                 }
@@ -148,21 +191,42 @@ mod tests {
     #[test]
     fn merges_identical_texture_samples() {
         let mut s = Shader::new("gvn-tex");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.samplers.push(SamplerVar { name: "tex".into(), dim: TextureDim::Dim2D });
-        s.inputs.push(InputVar { name: "uv".into(), ty: IrType::fvec(2) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::fvec(2),
+        });
         let a = s.new_reg(IrType::fvec(4));
         let b = s.new_reg(IrType::fvec(4));
         let sum = s.new_reg(IrType::fvec(4));
         let sample = |dst| Stmt::Def {
             dst,
-            op: Op::TextureSample { sampler: 0, coords: Operand::Input(0), lod: None, dim: TextureDim::Dim2D },
+            op: Op::TextureSample {
+                sampler: 0,
+                coords: Operand::Input(0),
+                lod: None,
+                dim: TextureDim::Dim2D,
+            },
         };
         s.body = vec![
             sample(a),
             sample(b),
-            Stmt::Def { dst: sum, op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(b)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(sum) },
+            Stmt::Def {
+                dst: sum,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::Reg(b)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(sum),
+            },
         ];
         let ctx = FragmentContext::with_defaults(&s, 0.3, 0.6);
         let before = run_fragment(&s, &ctx).unwrap();
@@ -176,12 +240,30 @@ mod tests {
     #[test]
     fn no_change_when_nothing_is_redundant() {
         let mut s = Shader::new("gvn-none");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let a = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Uniform(0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Uniform(0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         assert!(!Gvn.run(&mut s));
     }

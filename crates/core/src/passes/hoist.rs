@@ -23,7 +23,9 @@ pub struct Hoist {
 
 impl Default for Hoist {
     fn default() -> Self {
-        Hoist { max_branch_size: 64 }
+        Hoist {
+            max_branch_size: 64,
+        }
     }
 }
 
@@ -57,20 +59,30 @@ impl Hoist {
                     defined.insert(*dst);
                     out.push(stmt);
                 }
-                Stmt::Loop { var, body: loop_body, .. } => {
+                Stmt::Loop {
+                    var,
+                    body: loop_body,
+                    ..
+                } => {
                     defined.insert(*var);
                     let mut inner = defined.clone();
                     self.hoist_body(shader, loop_body, &mut inner, changed);
                     out.push(stmt);
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     // `if (c) { discard; }` → conditional discard.
                     if else_body.is_empty()
                         && then_body.len() == 1
                         && matches!(then_body[0], Stmt::Discard { cond: None })
                     {
                         *changed = true;
-                        out.push(Stmt::Discard { cond: Some(cond.clone()) });
+                        out.push(Stmt::Discard {
+                            cond: Some(cond.clone()),
+                        });
                         continue;
                     }
                     // Recurse first so nested conditionals can flatten bottom-up.
@@ -81,7 +93,8 @@ impl Hoist {
 
                     if self.can_flatten(then_body) && self.can_flatten(else_body) {
                         *changed = true;
-                        let flattened = flatten(shader, cond.clone(), then_body, else_body, defined);
+                        let flattened =
+                            flatten(shader, cond.clone(), then_body, else_body, defined);
                         for s in &flattened {
                             if let Stmt::Def { dst, .. } = s {
                                 defined.insert(*dst);
@@ -105,8 +118,7 @@ impl Hoist {
     /// A branch body can be flattened when it only defines values (no nested
     /// control flow, stores or discards) and is small enough.
     fn can_flatten(&self, body: &[Stmt]) -> bool {
-        body.len() <= self.max_branch_size
-            && body.iter().all(|s| matches!(s, Stmt::Def { .. }))
+        body.len() <= self.max_branch_size && body.iter().all(|s| matches!(s, Stmt::Def { .. }))
     }
 }
 
@@ -125,7 +137,11 @@ fn flatten(
     // Every register written by either branch gets a select merging the two
     // incoming values; a side that did not write the register keeps its value
     // from before the conditional.
-    let mut written: Vec<Reg> = then_final.keys().chain(else_final.keys()).copied().collect();
+    let mut written: Vec<Reg> = then_final
+        .keys()
+        .chain(else_final.keys())
+        .copied()
+        .collect();
     written.sort();
     written.dedup();
     for reg in written {
@@ -144,7 +160,11 @@ fn flatten(
         };
         out.push(Stmt::Def {
             dst: reg,
-            op: Op::Select { cond: cond.clone(), if_true, if_false },
+            op: Op::Select {
+                cond: cond.clone(),
+                if_true,
+                if_false,
+            },
         });
     }
     out
@@ -156,7 +176,9 @@ fn flatten(
 fn speculate(shader: &mut Shader, body: &[Stmt], out: &mut Vec<Stmt>) -> HashMap<Reg, Reg> {
     let mut rename: HashMap<Reg, Reg> = HashMap::new();
     for stmt in body {
-        let Stmt::Def { dst, op } = stmt else { continue };
+        let Stmt::Def { dst, op } = stmt else {
+            continue;
+        };
         let mut op = op.clone();
         for operand in op.operands_mut() {
             if let Operand::Reg(r) = operand {
@@ -181,27 +203,68 @@ mod tests {
     /// `out = base; if (u < 0.5) { out = base * 2; } else { out = base + 1 }`
     fn branchy_shader() -> Shader {
         let mut s = Shader::new("hoist");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let cond = s.new_reg(IrType::BOOL);
         let out = s.new_reg(IrType::fvec(4));
         let t0 = s.new_reg(IrType::fvec(4));
         let t1 = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Uniform(0) } },
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.5)) },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Uniform(0),
+                },
+            },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.5)),
+            },
             Stmt::If {
                 cond: Operand::Reg(cond),
                 then_body: vec![
-                    Stmt::Def { dst: t0, op: Op::Binary(BinaryOp::Mul, Operand::Reg(out), Operand::fvec(vec![2.0; 4])) },
-                    Stmt::Def { dst: out, op: Op::Mov(Operand::Reg(t0)) },
+                    Stmt::Def {
+                        dst: t0,
+                        op: Op::Binary(
+                            BinaryOp::Mul,
+                            Operand::Reg(out),
+                            Operand::fvec(vec![2.0; 4]),
+                        ),
+                    },
+                    Stmt::Def {
+                        dst: out,
+                        op: Op::Mov(Operand::Reg(t0)),
+                    },
                 ],
                 else_body: vec![
-                    Stmt::Def { dst: t1, op: Op::Binary(BinaryOp::Add, Operand::Reg(out), Operand::fvec(vec![1.0; 4])) },
-                    Stmt::Def { dst: out, op: Op::Mov(Operand::Reg(t1)) },
+                    Stmt::Def {
+                        dst: t1,
+                        op: Op::Binary(
+                            BinaryOp::Add,
+                            Operand::Reg(out),
+                            Operand::fvec(vec![1.0; 4]),
+                        ),
+                    },
+                    Stmt::Def {
+                        dst: out,
+                        op: Op::Mov(Operand::Reg(t1)),
+                    },
                 ],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         s
     }
@@ -226,7 +289,11 @@ mod tests {
         assert_eq!(s.branch_count(), 0);
         let mut selects = 0;
         prism_ir::stmt::walk_body(&s.body, &mut |st| {
-            if let Stmt::Def { op: Op::Select { .. }, .. } = st {
+            if let Stmt::Def {
+                op: Op::Select { .. },
+                ..
+            } = st
+            {
                 selects += 1;
             }
         });
@@ -240,19 +307,46 @@ mod tests {
     #[test]
     fn one_sided_branch_keeps_prior_value() {
         let mut s = Shader::new("hoist1");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let cond = s.new_reg(IrType::BOOL);
         let out = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.25) } },
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Gt, Operand::Uniform(0), Operand::float(0.5)) },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.25),
+                },
+            },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Gt, Operand::Uniform(0), Operand::float(0.5)),
+            },
             Stmt::If {
                 cond: Operand::Reg(cond),
-                then_body: vec![Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } }],
+                then_body: vec![Stmt::Def {
+                    dst: out,
+                    op: Op::Splat {
+                        ty: IrType::fvec(4),
+                        value: Operand::float(1.0),
+                    },
+                }],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         let mut ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
         ctx.uniforms[0] = vec![0.4];
@@ -267,17 +361,32 @@ mod tests {
     #[test]
     fn conditional_discard_is_rewritten_not_speculated() {
         let mut s = Shader::new("hoistd");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let cond = s.new_reg(IrType::BOOL);
         s.body = vec![
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.1)) },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.1)),
+            },
             Stmt::If {
                 cond: Operand::Reg(cond),
                 then_body: vec![Stmt::Discard { cond: None }],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::fvec(vec![1.0; 4]) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::fvec(vec![1.0; 4]),
+            },
         ];
         assert!(Hoist::default().run(&mut s));
         verify(&s).unwrap();
@@ -288,15 +397,30 @@ mod tests {
     #[test]
     fn branches_with_nested_control_flow_are_left_alone() {
         let mut s = Shader::new("hoistn");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let cond = s.new_reg(IrType::BOOL);
         let i = s.new_reg(IrType::I32);
         let acc = s.new_reg(IrType::F32);
         let out = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Mov(Operand::float(0.0)) },
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Lt, Operand::float(0.3), Operand::float(0.5)) },
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Mov(Operand::float(0.0)),
+            },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Lt, Operand::float(0.3), Operand::float(0.5)),
+            },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::If {
                 cond: Operand::Reg(cond),
                 then_body: vec![Stmt::Loop {
@@ -304,11 +428,18 @@ mod tests {
                     start: 0,
                     end: 4,
                     step: 1,
-                    body: vec![Stmt::Def { dst: acc, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::float(1.0)) }],
+                    body: vec![Stmt::Def {
+                        dst: acc,
+                        op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::float(1.0)),
+                    }],
                 }],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         assert!(!Hoist::default().run(&mut s));
         assert_eq!(s.branch_count(), 1);

@@ -70,7 +70,9 @@ impl DefMap {
     pub fn resolve<'a>(&'a self, operand: &'a Operand) -> &'a Operand {
         let mut current = operand;
         for _ in 0..16 {
-            let Operand::Reg(r) = current else { return current };
+            let Operand::Reg(r) = current else {
+                return current;
+            };
             match self.def(*r) {
                 Some(Op::Mov(inner)) => current = inner,
                 _ => return current,
@@ -150,7 +152,11 @@ pub fn eval_const_op(op: &Op, consts: &dyn Fn(&Operand) -> Option<Constant>) -> 
             let lanes = c.lanes(width_of(&c))?;
             lanes.get(*index as usize).map(|v| Constant::Float(*v))
         }
-        Op::Insert { vector, index, value } => {
+        Op::Insert {
+            vector,
+            index,
+            value,
+        } => {
             let c = consts(vector)?;
             let mut lanes = c.lanes(width_of(&c))?;
             let v = consts(value)?.as_f64()?;
@@ -162,7 +168,10 @@ pub fn eval_const_op(op: &Op, consts: &dyn Fn(&Operand) -> Option<Constant>) -> 
         Op::Swizzle { vector, lanes } => {
             let c = consts(vector)?;
             let src = c.lanes(width_of(&c))?;
-            let out: Option<Vec<f64>> = lanes.iter().map(|l| src.get(*l as usize).copied()).collect();
+            let out: Option<Vec<f64>> = lanes
+                .iter()
+                .map(|l| src.get(*l as usize).copied())
+                .collect();
             let out = out?;
             if out.len() == 1 {
                 Some(Constant::Float(out[0]))
@@ -170,7 +179,11 @@ pub fn eval_const_op(op: &Op, consts: &dyn Fn(&Operand) -> Option<Constant>) -> 
                 Some(Constant::FloatVec(out))
             }
         }
-        Op::Select { cond, if_true, if_false } => {
+        Op::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
             let c = consts(cond)?.as_bool()?;
             if c {
                 consts(if_true)
@@ -279,10 +292,7 @@ fn eval_const_binary(op: BinaryOp, a: &Constant, b: &Constant) -> Option<Constan
 
 fn eval_const_intrinsic(i: Intrinsic, args: &[Constant]) -> Option<Constant> {
     let w = args.iter().map(|c| c.ty().width).max()?;
-    let lanes: Vec<Vec<f64>> = args
-        .iter()
-        .map(|c| c.lanes(w))
-        .collect::<Option<_>>()?;
+    let lanes: Vec<Vec<f64>> = args.iter().map(|c| c.lanes(w)).collect::<Option<_>>()?;
     let unary = |f: fn(f64) -> f64| -> Option<Constant> {
         let out: Vec<f64> = lanes[0].iter().map(|x| f(*x)).collect();
         Some(pack(out))
@@ -297,15 +307,27 @@ fn eval_const_intrinsic(i: Intrinsic, args: &[Constant]) -> Option<Constant> {
         Intrinsic::Exp => unary(f64::exp),
         Intrinsic::Sin => unary(f64::sin),
         Intrinsic::Cos => unary(f64::cos),
-        Intrinsic::Min if args.len() == 2 => {
-            Some(pack(lanes[0].iter().zip(&lanes[1]).map(|(a, b)| a.min(*b)).collect()))
-        }
-        Intrinsic::Max if args.len() == 2 => {
-            Some(pack(lanes[0].iter().zip(&lanes[1]).map(|(a, b)| a.max(*b)).collect()))
-        }
-        Intrinsic::Pow if args.len() == 2 => {
-            Some(pack(lanes[0].iter().zip(&lanes[1]).map(|(a, b)| a.abs().powf(*b)).collect()))
-        }
+        Intrinsic::Min if args.len() == 2 => Some(pack(
+            lanes[0]
+                .iter()
+                .zip(&lanes[1])
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+        )),
+        Intrinsic::Max if args.len() == 2 => Some(pack(
+            lanes[0]
+                .iter()
+                .zip(&lanes[1])
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        )),
+        Intrinsic::Pow if args.len() == 2 => Some(pack(
+            lanes[0]
+                .iter()
+                .zip(&lanes[1])
+                .map(|(a, b)| a.abs().powf(*b))
+                .collect(),
+        )),
         Intrinsic::Dot if args.len() == 2 => Some(Constant::Float(
             lanes[0].iter().zip(&lanes[1]).map(|(a, b)| a * b).sum(),
         )),
@@ -336,8 +358,14 @@ mod tests {
         let a = s.new_reg(IrType::F32);
         let b = s.new_reg(IrType::F32);
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Mov(Operand::float(2.0)) },
-            Stmt::Def { dst: b, op: Op::Mov(Operand::Reg(a)) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Mov(Operand::float(2.0)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Mov(Operand::Reg(a)),
+            },
         ];
         let dm = DefMap::of(&s);
         assert_eq!(dm.resolve(&Operand::Reg(b)), &Operand::float(2.0));
@@ -350,7 +378,10 @@ mod tests {
         let a = s.new_reg(IrType::fvec(4));
         s.body = vec![Stmt::Def {
             dst: a,
-            op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(3.0) },
+            op: Op::Splat {
+                ty: IrType::fvec(4),
+                value: Operand::float(3.0),
+            },
         }];
         let dm = DefMap::of(&s);
         assert_eq!(
@@ -384,9 +415,15 @@ mod tests {
     #[test]
     fn const_structural_folding() {
         let consts = |o: &Operand| o.as_const().cloned();
-        let extract = Op::Extract { vector: Operand::fvec(vec![5.0, 6.0, 7.0]), index: 1 };
+        let extract = Op::Extract {
+            vector: Operand::fvec(vec![5.0, 6.0, 7.0]),
+            index: 1,
+        };
         assert_eq!(eval_const_op(&extract, &consts), Some(Constant::Float(6.0)));
-        let swz = Op::Swizzle { vector: Operand::fvec(vec![1.0, 2.0, 3.0]), lanes: vec![2, 0] };
+        let swz = Op::Swizzle {
+            vector: Operand::fvec(vec![1.0, 2.0, 3.0]),
+            lanes: vec![2, 0],
+        };
         assert_eq!(
             eval_const_op(&swz, &consts),
             Some(Constant::FloatVec(vec![3.0, 1.0]))

@@ -44,18 +44,26 @@ fn rewrite_body(body: &mut [Stmt], defs: &DefMap, reg_tys: &[IrType], changed: &
                     *changed = true;
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 rewrite_body(then_body, defs, reg_tys, changed);
                 rewrite_body(else_body, defs, reg_tys, changed);
             }
-            Stmt::Loop { body: loop_body, .. } => rewrite_body(loop_body, defs, reg_tys, changed),
+            Stmt::Loop {
+                body: loop_body, ..
+            } => rewrite_body(loop_body, defs, reg_tys, changed),
             _ => {}
         }
     }
 }
 
 fn simplify(op: &Op, defs: &DefMap, dst_ty: IrType) -> Option<Op> {
-    let Op::Binary(bop, a, b) = op else { return None };
+    let Op::Binary(bop, a, b) = op else {
+        return None;
+    };
     let ca = defs.const_of(a);
     let cb = defs.const_of(b);
 
@@ -131,8 +139,16 @@ mod tests {
 
     fn out_shader() -> Shader {
         let mut s = Shader::new("reassoc");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         s
     }
 
@@ -143,13 +159,27 @@ mod tests {
         s.body = vec![
             Stmt::Def {
                 dst: a,
-                op: Op::Binary(BinaryOp::Add, Operand::Uniform(0), Operand::Const(Constant::FloatVec(vec![0.0; 4]))),
+                op: Op::Binary(
+                    BinaryOp::Add,
+                    Operand::Uniform(0),
+                    Operand::Const(Constant::FloatVec(vec![0.0; 4])),
+                ),
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         assert!(Reassociate.run(&mut s));
         verify(&s).unwrap();
-        assert!(matches!(&s.body[0], Stmt::Def { op: Op::Mov(Operand::Uniform(0)), .. }));
+        assert!(matches!(
+            &s.body[0],
+            Stmt::Def {
+                op: Op::Mov(Operand::Uniform(0)),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -159,13 +189,24 @@ mod tests {
         s.body = vec![
             Stmt::Def {
                 dst: a,
-                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Const(Constant::FloatVec(vec![0.0; 4]))),
+                op: Op::Binary(
+                    BinaryOp::Mul,
+                    Operand::Uniform(0),
+                    Operand::Const(Constant::FloatVec(vec![0.0; 4])),
+                ),
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         assert!(Reassociate.run(&mut s));
         match &s.body[0] {
-            Stmt::Def { op: Op::Mov(Operand::Const(Constant::FloatVec(v))), .. } => {
+            Stmt::Def {
+                op: Op::Mov(Operand::Const(Constant::FloatVec(v))),
+                ..
+            } => {
                 assert_eq!(v, &vec![0.0; 4]);
             }
             other => panic!("expected zero constant, got {other:?}"),
@@ -181,18 +222,52 @@ mod tests {
         let f = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: i0, op: Op::Convert { to: IrType::I32, value: Operand::Input(0) } },
-            Stmt::Def { dst: i1, op: Op::Binary(BinaryOp::Add, Operand::Reg(i0), Operand::int(3)) },
-            Stmt::Def { dst: i2, op: Op::Binary(BinaryOp::Add, Operand::Reg(i1), Operand::int(4)) },
-            Stmt::Def { dst: f, op: Op::Convert { to: IrType::F32, value: Operand::Reg(i2) } },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(f) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: i0,
+                op: Op::Convert {
+                    to: IrType::I32,
+                    value: Operand::Input(0),
+                },
+            },
+            Stmt::Def {
+                dst: i1,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(i0), Operand::int(3)),
+            },
+            Stmt::Def {
+                dst: i2,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(i1), Operand::int(4)),
+            },
+            Stmt::Def {
+                dst: f,
+                op: Op::Convert {
+                    to: IrType::F32,
+                    value: Operand::Reg(i2),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(f),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
-        s.inputs.push(InputVar { name: "x".into(), ty: IrType::F32 });
+        s.inputs.push(InputVar {
+            name: "x".into(),
+            ty: IrType::F32,
+        });
         assert!(Reassociate.run(&mut s));
         verify(&s).unwrap();
         match &s.body[2] {
-            Stmt::Def { op: Op::Binary(BinaryOp::Add, x, y), .. } => {
+            Stmt::Def {
+                op: Op::Binary(BinaryOp::Add, x, y),
+                ..
+            } => {
                 assert_eq!(x, &Operand::Reg(i0));
                 assert_eq!(y, &Operand::int(7));
             }
@@ -207,9 +282,17 @@ mod tests {
         s.body = vec![
             Stmt::Def {
                 dst: a,
-                op: Op::Binary(BinaryOp::Mul, Operand::Uniform(0), Operand::Const(Constant::FloatVec(vec![1.0; 4]))),
+                op: Op::Binary(
+                    BinaryOp::Mul,
+                    Operand::Uniform(0),
+                    Operand::Const(Constant::FloatVec(vec![1.0; 4])),
+                ),
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         // Float x*1 is the FP-reassociation pass's job, not this one's.
         assert!(!Reassociate.run(&mut s));

@@ -59,27 +59,31 @@ fn rename_top_level(
         // Rewrite uses to the reaching definition first.
         rewrite_uses(stmt, current);
         match stmt {
-            Stmt::Def { dst, .. } => {
-                if candidates.contains(dst) {
-                    let fresh = shader.new_named_reg(
-                        shader.reg_ty(*dst),
-                        shader.regs[dst.0 as usize]
-                            .name_hint
-                            .clone()
-                            .unwrap_or_else(|| format!("v{}", dst.0)),
-                    );
-                    current.insert(*dst, fresh);
-                    *dst = fresh;
-                    *changed = true;
-                }
+            Stmt::Def { dst, .. } if candidates.contains(dst) => {
+                let fresh = shader.new_named_reg(
+                    shader.reg_ty(*dst),
+                    shader.regs[dst.0 as usize]
+                        .name_hint
+                        .clone()
+                        .unwrap_or_else(|| format!("v{}", dst.0)),
+                );
+                current.insert(*dst, fresh);
+                *dst = fresh;
+                *changed = true;
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 // Candidates have no definitions inside nested bodies, so only
                 // uses need rewriting there.
                 rewrite_uses_nested(then_body, current);
                 rewrite_uses_nested(else_body, current);
             }
-            Stmt::Loop { body: loop_body, .. } => {
+            Stmt::Loop {
+                body: loop_body, ..
+            } => {
                 rewrite_uses_nested(loop_body, current);
             }
             _ => {}
@@ -101,11 +105,17 @@ fn rewrite_uses_nested(body: &mut [Stmt], current: &HashMap<Reg, Reg>) {
     for stmt in body.iter_mut() {
         rewrite_uses(stmt, current);
         match stmt {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 rewrite_uses_nested(then_body, current);
                 rewrite_uses_nested(else_body, current);
             }
-            Stmt::Loop { body: loop_body, .. } => rewrite_uses_nested(loop_body, current),
+            Stmt::Loop {
+                body: loop_body, ..
+            } => rewrite_uses_nested(loop_body, current),
             _ => {}
         }
     }
@@ -120,14 +130,38 @@ mod tests {
     #[test]
     fn accumulator_chains_become_ssa() {
         let mut s = Shader::new("rename");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let acc = s.new_named_reg(IrType::fvec(4), "acc");
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
-            Stmt::Def { dst: acc, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Uniform(0)) },
-            Stmt::Def { dst: acc, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Uniform(0)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(acc) },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Uniform(0)),
+            },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Uniform(0)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(acc),
+            },
         ];
         let ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
         let before = run_fragment(&s, &ctx).unwrap();
@@ -147,23 +181,56 @@ mod tests {
     #[test]
     fn uses_inside_branches_see_the_reaching_definition() {
         let mut s = Shader::new("rename-branch");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::F32, slot: 0, original: "float".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
         let x = s.new_reg(IrType::fvec(4));
         let out = s.new_reg(IrType::fvec(4));
         let cond = s.new_reg(IrType::BOOL);
         s.body = vec![
-            Stmt::Def { dst: x, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
-            Stmt::Def { dst: x, op: Op::Binary(BinaryOp::Add, Operand::Reg(x), Operand::fvec(vec![1.0; 4])) },
-            Stmt::Def { dst: cond, op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.75)) },
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: x,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::Def {
+                dst: x,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(x), Operand::fvec(vec![1.0; 4])),
+            },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.75)),
+            },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::If {
                 cond: Operand::Reg(cond),
                 // Uses the latest value of x (2.0) inside the branch.
-                then_body: vec![Stmt::Def { dst: out, op: Op::Binary(BinaryOp::Mul, Operand::Reg(x), Operand::fvec(vec![3.0; 4])) }],
+                then_body: vec![Stmt::Def {
+                    dst: out,
+                    op: Op::Binary(BinaryOp::Mul, Operand::Reg(x), Operand::fvec(vec![3.0; 4])),
+                }],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         let ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
         let before = run_fragment(&s, &ctx).unwrap();
@@ -177,19 +244,39 @@ mod tests {
     #[test]
     fn registers_defined_in_control_flow_are_untouched() {
         let mut s = Shader::new("rename-skip");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let acc = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
                 end: 3,
                 step: 1,
-                body: vec![Stmt::Def { dst: acc, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::fvec(vec![1.0; 4])) }],
+                body: vec![Stmt::Def {
+                    dst: acc,
+                    op: Op::Binary(
+                        BinaryOp::Add,
+                        Operand::Reg(acc),
+                        Operand::fvec(vec![1.0; 4]),
+                    ),
+                }],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(acc) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(acc),
+            },
         ];
         // acc is defined inside the loop, so it is not a candidate.
         assert!(!Rename.run(&mut s));
@@ -198,11 +285,24 @@ mod tests {
     #[test]
     fn single_definition_registers_are_untouched() {
         let mut s = Shader::new("rename-noop");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let a = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         assert!(!Rename.run(&mut s));
     }

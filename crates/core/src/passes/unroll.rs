@@ -48,12 +48,22 @@ impl Unroll {
         let mut out: Vec<Stmt> = Vec::with_capacity(body.len());
         for mut stmt in body.drain(..) {
             match &mut stmt {
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     self.unroll_body(then_body, changed);
                     self.unroll_body(else_body, changed);
                     out.push(stmt);
                 }
-                Stmt::Loop { var, start, end, step, body: loop_body } => {
+                Stmt::Loop {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body: loop_body,
+                } => {
                     // Inner loops first so nested constant loops fully unroll.
                     self.unroll_body(loop_body, changed);
                     let trip_count = trip_count(*start, *end, *step);
@@ -113,25 +123,50 @@ mod tests {
 
     fn accumulating_loop(trips: i64) -> Shader {
         let mut s = Shader::new("unroll");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let acc = s.new_reg(IrType::F32);
         let fi = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Mov(Operand::float(0.0)) },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Mov(Operand::float(0.0)),
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
                 end: trips,
                 step: 1,
                 body: vec![
-                    Stmt::Def { dst: fi, op: Op::Convert { to: IrType::F32, value: Operand::Reg(i) } },
-                    Stmt::Def { dst: acc, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(fi)) },
+                    Stmt::Def {
+                        dst: fi,
+                        op: Op::Convert {
+                            to: IrType::F32,
+                            value: Operand::Reg(i),
+                        },
+                    },
+                    Stmt::Def {
+                        dst: acc,
+                        op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(fi)),
+                    },
                 ],
             },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(acc) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(acc),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         s
     }
@@ -162,7 +197,10 @@ mod tests {
     #[test]
     fn respects_trip_count_budget() {
         let mut s = accumulating_loop(500);
-        let pass = Unroll { max_trip_count: 64, max_expanded_size: 2048 };
+        let pass = Unroll {
+            max_trip_count: 64,
+            max_expanded_size: 2048,
+        };
         assert!(!pass.run(&mut s));
         assert_eq!(s.loop_count(), 1);
     }
@@ -170,13 +208,19 @@ mod tests {
     #[test]
     fn unrolls_nested_loops() {
         let mut s = Shader::new("nested");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let j = s.new_reg(IrType::I32);
         let acc = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Mov(Operand::float(0.0)) },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Mov(Operand::float(0.0)),
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
@@ -193,8 +237,18 @@ mod tests {
                     }],
                 }],
             },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(acc) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(acc),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(Unroll::default().run(&mut s));
         verify(&s).unwrap();
@@ -206,25 +260,50 @@ mod tests {
     #[test]
     fn negative_step_loops_unroll() {
         let mut s = Shader::new("down");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let acc = s.new_reg(IrType::F32);
         let fi = s.new_reg(IrType::F32);
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Mov(Operand::float(0.0)) },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Mov(Operand::float(0.0)),
+            },
             Stmt::Loop {
                 var: i,
                 start: 4,
                 end: 0,
                 step: -1,
                 body: vec![
-                    Stmt::Def { dst: fi, op: Op::Convert { to: IrType::F32, value: Operand::Reg(i) } },
-                    Stmt::Def { dst: acc, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(fi)) },
+                    Stmt::Def {
+                        dst: fi,
+                        op: Op::Convert {
+                            to: IrType::F32,
+                            value: Operand::Reg(i),
+                        },
+                    },
+                    Stmt::Def {
+                        dst: acc,
+                        op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(fi)),
+                    },
                 ],
             },
-            Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(acc) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: v,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(acc),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         assert!(Unroll::default().run(&mut s));
         verify(&s).unwrap();

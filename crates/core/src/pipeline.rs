@@ -9,9 +9,9 @@
 use crate::flags::{Flag, OptFlags};
 use crate::lower::{lower, LowerError};
 use crate::passes::{
-    adce::Adce, coalesce::Coalesce, constfold::ConstFold, cse::Cse, dce::Dce,
-    div_to_mul::DivToMul, fp_reassociate::FpReassociate, gvn::Gvn, hoist::Hoist,
-    reassociate::Reassociate, rename::Rename, unroll::Unroll, Pass,
+    adce::Adce, coalesce::Coalesce, constfold::ConstFold, cse::Cse, dce::Dce, div_to_mul::DivToMul,
+    fp_reassociate::FpReassociate, gvn::Gvn, hoist::Hoist, reassociate::Reassociate,
+    rename::Rename, unroll::Unroll, Pass,
 };
 use prism_emit::emit_glsl;
 use prism_glsl::{GlslError, ShaderSource};
@@ -67,59 +67,124 @@ pub struct CompiledShader {
     pub glsl: String,
 }
 
-/// Builds the pass list for a flag combination.
+/// One stage of the pass schedule: a group of passes that either always runs
+/// or is gated on a single flag.
+///
+/// The schedule used to be an opaque `Vec<Box<dyn Pass>>` assembled per flag
+/// combination; exposing it as stages lets [`crate::session::CompileSession`]
+/// snapshot the IR at every stage boundary and share the prefix of the
+/// schedule across all flag combinations that agree on it.
+pub struct Stage {
+    /// Human-readable stage label (used in debug output and session stats).
+    pub label: &'static str,
+    /// `None` for always-on canonicalisation stages; `Some(flag)` for stages
+    /// that only run when the flag is enabled.
+    pub flag: Option<Flag>,
+    /// The passes of this stage, in execution order.
+    pub passes: Vec<Box<dyn Pass>>,
+}
+
+impl Stage {
+    fn always(label: &'static str, passes: Vec<Box<dyn Pass>>) -> Stage {
+        Stage {
+            label,
+            flag: None,
+            passes,
+        }
+    }
+
+    fn flagged(flag: Flag, pass: Box<dyn Pass>) -> Stage {
+        Stage {
+            label: flag.name(),
+            flag: Some(flag),
+            passes: vec![pass],
+        }
+    }
+
+    /// `true` when this stage runs for the given flag combination.
+    pub fn enabled_for(&self, flags: OptFlags) -> bool {
+        self.flag.is_none_or(|f| flags.contains(f))
+    }
+
+    /// Runs every pass of this stage over the shader, in order.
+    pub fn run(&self, ir: &mut Shader) {
+        for pass in &self.passes {
+            pass.run(ir);
+            debug_assert!(
+                verify(ir).is_ok(),
+                "pass `{}` of stage `{}` produced invalid IR",
+                pass.name(),
+                self.label
+            );
+        }
+    }
+}
+
+/// Builds the full pass schedule as inspectable stages.
 ///
 /// The always-on canonicalisation (constant folding, local CSE, trivial DCE)
-/// brackets the flag passes; the flag passes run in LunarGlass's fixed order.
+/// brackets the flag passes; the flag passes appear in LunarGlass's fixed
+/// order, each in its own stage so a session can branch at exactly the points
+/// where flag combinations diverge.
+pub fn build_schedule() -> Vec<Stage> {
+    vec![
+        Stage::always(
+            "canonicalise",
+            vec![
+                Box::new(Rename),
+                Box::new(ConstFold),
+                Box::new(Cse),
+                Box::new(Dce),
+            ],
+        ),
+        Stage::flagged(Flag::Unroll, Box::new(Unroll::default())),
+        // Unrolling exposes constant array indices and accumulator sums;
+        // renaming turns the unrolled accumulator chain into SSA form and
+        // folding then evaluates it. This mid-pipeline canonicalisation runs
+        // unconditionally so that enabling a flag whose pass finds nothing to
+        // do (e.g. Unroll on a loop-free shader) cannot perturb the generated
+        // code.
+        Stage::always(
+            "mid-canonicalise",
+            vec![Box::new(Rename), Box::new(ConstFold)],
+        ),
+        Stage::flagged(Flag::Hoist, Box::new(Hoist::default())),
+        Stage::flagged(Flag::Coalesce, Box::new(Coalesce)),
+        Stage::flagged(Flag::Gvn, Box::new(Gvn)),
+        Stage::flagged(Flag::Reassociate, Box::new(Reassociate)),
+        Stage::flagged(Flag::FpReassociate, Box::new(FpReassociate)),
+        Stage::flagged(Flag::DivToMul, Box::new(DivToMul)),
+        Stage::flagged(Flag::Adce, Box::new(Adce)),
+        // Final cleanup, run twice: the first round removes definitions the
+        // flag passes left dead, which lets the second round's copy
+        // propagation and CSE converge to the same canonical form regardless
+        // of which flag passes ran (this is what keeps ADCE a strict no-op on
+        // the output).
+        Stage::always(
+            "final-cleanup",
+            vec![
+                Box::new(Rename),
+                Box::new(ConstFold),
+                Box::new(Cse),
+                Box::new(Dce),
+                Box::new(ConstFold),
+                Box::new(Cse),
+                Box::new(Dce),
+            ],
+        ),
+    ]
+}
+
+/// Builds the flat pass list for a flag combination.
+///
+/// This is the legacy view of [`build_schedule`]: the enabled stages'
+/// passes, concatenated in schedule order.
 pub fn build_pipeline(flags: OptFlags) -> Vec<Box<dyn Pass>> {
-    let mut passes: Vec<Box<dyn Pass>> = vec![
-        Box::new(Rename),
-        Box::new(ConstFold),
-        Box::new(Cse),
-        Box::new(Dce),
-    ];
-    if flags.contains(Flag::Unroll) {
-        passes.push(Box::new(Unroll::default()));
-    }
-    // Unrolling exposes constant array indices and accumulator sums; renaming
-    // turns the unrolled accumulator chain into SSA form and folding then
-    // evaluates it. This mid-pipeline canonicalisation runs unconditionally so
-    // that enabling a flag whose pass finds nothing to do (e.g. Unroll on a
-    // loop-free shader) cannot perturb the generated code.
-    passes.push(Box::new(Rename));
-    passes.push(Box::new(ConstFold));
-    if flags.contains(Flag::Hoist) {
-        passes.push(Box::new(Hoist::default()));
-    }
-    if flags.contains(Flag::Coalesce) {
-        passes.push(Box::new(Coalesce));
-    }
-    if flags.contains(Flag::Gvn) {
-        passes.push(Box::new(Gvn));
-    }
-    if flags.contains(Flag::Reassociate) {
-        passes.push(Box::new(Reassociate));
-    }
-    if flags.contains(Flag::FpReassociate) {
-        passes.push(Box::new(FpReassociate));
-    }
-    if flags.contains(Flag::DivToMul) {
-        passes.push(Box::new(DivToMul));
-    }
-    if flags.contains(Flag::Adce) {
-        passes.push(Box::new(Adce));
-    }
-    // Final cleanup, run twice: the first round removes definitions the flag
-    // passes left dead, which lets the second round's copy propagation and
-    // CSE converge to the same canonical form regardless of which flag passes
-    // ran (this is what keeps ADCE a strict no-op on the output).
-    passes.push(Box::new(Rename));
-    for _ in 0..2 {
-        passes.push(Box::new(ConstFold));
-        passes.push(Box::new(Cse));
-        passes.push(Box::new(Dce));
-    }
-    passes
+    build_schedule()
+        .into_iter()
+        .filter(|stage| stage.enabled_for(flags))
+        .flat_map(|stage| stage.passes)
+        .collect()
 }
 
 /// Lowers and optimizes a shader, returning the IR.
@@ -217,10 +282,9 @@ mod tests {
 
     #[test]
     fn no_flags_still_canonicalises() {
-        let src = ShaderSource::parse(
-            "uniform vec4 u; out vec4 c; void main() { c = u * (2.0 * 3.0); }",
-        )
-        .unwrap();
+        let src =
+            ShaderSource::parse("uniform vec4 u; out vec4 c; void main() { c = u * (2.0 * 3.0); }")
+                .unwrap();
         let out = compile(&src, "canon", OptFlags::NONE).unwrap();
         assert!(out.glsl.contains("6.0"), "{}", out.glsl);
     }
@@ -241,16 +305,27 @@ mod tests {
         assert_eq!(baseline.ir.loop_count(), 1);
         let flags = OptFlags::from_flags(&[Flag::Unroll, Flag::FpReassociate, Flag::DivToMul]);
         let optimized = compile(&src, "blur", flags).unwrap();
-        assert_eq!(optimized.ir.loop_count(), 0, "loop should be fully unrolled");
+        assert_eq!(
+            optimized.ir.loop_count(),
+            0,
+            "loop should be fully unrolled"
+        );
         // weightTotal folds to a constant, so the final division becomes a
         // multiplication by a constant (Listing 2 in the paper).
         let mut divisions = 0;
         prism_ir::stmt::walk_body(&optimized.ir.body, &mut |s| {
-            if let Stmt::Def { op: Op::Binary(BinaryOp::Div, ..), .. } = s {
+            if let Stmt::Def {
+                op: Op::Binary(BinaryOp::Div, ..),
+                ..
+            } = s
+            {
                 divisions += 1;
             }
         });
-        assert_eq!(divisions, 0, "division by folded weightTotal should be gone");
+        assert_eq!(
+            divisions, 0,
+            "division by folded weightTotal should be gone"
+        );
         // All nine texture samples survive.
         assert_eq!(optimized.ir.texture_op_count(), 9);
     }
@@ -270,7 +345,12 @@ mod tests {
             OptFlags::only(Flag::Hoist),
             OptFlags::only(Flag::FpReassociate),
             OptFlags::only(Flag::DivToMul),
-            OptFlags::from_flags(&[Flag::Unroll, Flag::FpReassociate, Flag::DivToMul, Flag::Coalesce]),
+            OptFlags::from_flags(&[
+                Flag::Unroll,
+                Flag::FpReassociate,
+                Flag::DivToMul,
+                Flag::Coalesce,
+            ]),
         ] {
             let optimized = compile(&src, "blur", flags).unwrap();
             let ctx2 = FragmentContext::with_defaults(&optimized.ir, 0.37, 0.61);

@@ -8,7 +8,8 @@
 //! flag sets produced each distinct variant.
 
 use crate::flags::{Flag, OptFlags};
-use crate::pipeline::{compile, CompileError, CompiledShader};
+use crate::pipeline::CompileError;
+use crate::session::CompileSession;
 use prism_glsl::ShaderSource;
 use prism_ir::Shader;
 use std::collections::HashMap;
@@ -78,46 +79,19 @@ impl VariantSet {
 /// Compiles all 256 flag combinations of a shader and deduplicates them by
 /// generated source text.
 ///
+/// This is a thin wrapper over [`CompileSession`]: the shader is lowered
+/// once, schedule-prefix snapshots are shared across combinations, and
+/// identical intermediate IR short-circuits before GLSL emission. The
+/// resulting [`VariantSet`] — variant order, flag grouping and text — is
+/// identical to brute-force compiling each combination independently.
+///
 /// # Errors
 ///
-/// Returns the first [`CompileError`] encountered (all combinations share the
-/// same front-end and lowering, so failures are not flag-dependent).
+/// Returns the first [`CompileError`] encountered: front-end and lowering
+/// failures (shared by all combinations), or a flag-dependent
+/// [`CompileError::Verify`] if a pass breaks IR invariants (an internal bug).
 pub fn unique_variants(source: &ShaderSource, name: &str) -> Result<VariantSet, CompileError> {
-    let mut variants: Vec<Variant> = Vec::new();
-    let mut by_text: HashMap<String, usize> = HashMap::new();
-    let mut by_flags: HashMap<OptFlags, usize> = HashMap::new();
-
-    // Compile the baseline first so it is always variant 0.
-    let mut ordered: Vec<OptFlags> = vec![OptFlags::NONE];
-    ordered.extend(OptFlags::all_combinations().filter(|f| !f.is_empty()));
-
-    for flags in ordered {
-        let CompiledShader { ir, glsl, .. } = compile(source, name, flags)?;
-        let index = match by_text.get(&glsl) {
-            Some(i) => {
-                variants[*i].flag_sets.push(flags);
-                *i
-            }
-            None => {
-                let index = variants.len();
-                by_text.insert(glsl.clone(), index);
-                variants.push(Variant {
-                    index,
-                    glsl,
-                    ir,
-                    flag_sets: vec![flags],
-                });
-                index
-            }
-        };
-        by_flags.insert(flags, index);
-    }
-
-    Ok(VariantSet {
-        shader_name: name.to_string(),
-        variants,
-        by_flags,
-    })
+    CompileSession::new(source, name)?.variants()
 }
 
 #[cfg(test)]
@@ -175,7 +149,11 @@ mod tests {
     #[test]
     fn variant_lookup_is_consistent() {
         let set = unique_variants(&loopy_source(), "loopy").unwrap();
-        for flags in [OptFlags::NONE, OptFlags::all(), OptFlags::lunarglass_default()] {
+        for flags in [
+            OptFlags::NONE,
+            OptFlags::all(),
+            OptFlags::lunarglass_default(),
+        ] {
             let v = set.variant_for(flags);
             assert!(v.flag_sets.contains(&flags));
         }

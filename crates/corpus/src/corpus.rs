@@ -110,8 +110,10 @@ impl Corpus {
     /// Structural summary used to check the corpus against the paper's §V
     /// characterisation.
     pub fn stats(&self) -> CorpusStats {
-        let mut stats = CorpusStats::default();
-        stats.shader_count = self.cases.len();
+        let mut stats = CorpusStats {
+            shader_count: self.cases.len(),
+            ..CorpusStats::default()
+        };
         for case in &self.cases {
             let text = &case.source.text;
             if text.contains("for (") || text.contains("for(") {
@@ -123,7 +125,9 @@ impl Corpus {
             if has_constant_division(text) {
                 stats.with_constant_division += 1;
             }
-            if text.contains(".rgb =") || text.contains(".a =") || text.contains(".x =")
+            if text.contains(".rgb =")
+                || text.contains(".a =")
+                || text.contains(".x =")
                 || text.contains(".xyz =")
             {
                 stats.with_component_writes += 1;
@@ -241,7 +245,11 @@ mod tests {
         let corpus = Corpus::gfxbench_like();
         for case in &corpus.cases {
             let result = prism_core::compile(&case.source, &case.name, prism_core::OptFlags::NONE);
-            assert!(result.is_ok(), "{} failed to compile: {result:?}", case.name);
+            assert!(
+                result.is_ok(),
+                "{} failed to compile: {result:?}",
+                case.name
+            );
         }
     }
 }

@@ -407,7 +407,11 @@ pub fn all_families() -> Vec<Family> {
                     &[("USE_TINT", ""), ("USE_PREMULTIPLY", "")],
                     &[("USE_TINT", ""), ("USE_VIGNETTE", "")],
                     &[("USE_HALF_INTENSITY", "")],
-                    &[("USE_TINT", ""), ("USE_GRAYSCALE", ""), ("USE_VIGNETTE", "")],
+                    &[
+                        ("USE_TINT", ""),
+                        ("USE_GRAYSCALE", ""),
+                        ("USE_VIGNETTE", ""),
+                    ],
                     &[("USE_PREMULTIPLY", ""), ("USE_HALF_INTENSITY", "")],
                 ],
                 &[("OPACITY_SCALE", "1.0"), ("OPACITY_SCALE", "2.0")],
@@ -422,8 +426,16 @@ pub fn all_families() -> Vec<Family> {
                     &[("USE_SOFT_FADE", ""), ("FADE_RATE", "1.5")],
                     &[("USE_ALPHA_TEST", "")],
                     &[("USE_BOOST", ""), ("BOOST_FACTOR", "2.5")],
-                    &[("USE_SOFT_FADE", ""), ("FADE_RATE", "0.75"), ("USE_ALPHA_TEST", "")],
-                    &[("USE_BOOST", ""), ("BOOST_FACTOR", "1.25"), ("USE_ALPHA_TEST", "")],
+                    &[
+                        ("USE_SOFT_FADE", ""),
+                        ("FADE_RATE", "0.75"),
+                        ("USE_ALPHA_TEST", ""),
+                    ],
+                    &[
+                        ("USE_BOOST", ""),
+                        ("BOOST_FACTOR", "1.25"),
+                        ("USE_ALPHA_TEST", ""),
+                    ],
                 ],
                 &[("_PAD", "0")],
             ),
@@ -435,7 +447,11 @@ pub fn all_families() -> Vec<Family> {
                 vec![],
                 vec![("USE_HORIZON_FADE", "")],
                 vec![("USE_EXPOSURE", ""), ("EXPOSURE_VALUE", "1.4")],
-                vec![("USE_EXPOSURE", ""), ("EXPOSURE_VALUE", "0.8"), ("USE_HORIZON_FADE", "")],
+                vec![
+                    ("USE_EXPOSURE", ""),
+                    ("EXPOSURE_VALUE", "0.8"),
+                    ("USE_HORIZON_FADE", ""),
+                ],
             ],
         },
         Family {
@@ -445,9 +461,18 @@ pub fn all_families() -> Vec<Family> {
                 &[
                     &[("DETAIL_SCALE", "4.0")],
                     &[("DETAIL_SCALE", "8.0"), ("USE_TINT", "")],
-                    &[("DETAIL_SCALE", "4.0"), ("USE_CONTRAST", ""), ("CONTRAST_FACTOR", "1.3")],
+                    &[
+                        ("DETAIL_SCALE", "4.0"),
+                        ("USE_CONTRAST", ""),
+                        ("CONTRAST_FACTOR", "1.3"),
+                    ],
                     &[("DETAIL_SCALE", "16.0"), ("USE_DESATURATE", "")],
-                    &[("DETAIL_SCALE", "8.0"), ("USE_TINT", ""), ("USE_CONTRAST", ""), ("CONTRAST_FACTOR", "1.1")],
+                    &[
+                        ("DETAIL_SCALE", "8.0"),
+                        ("USE_TINT", ""),
+                        ("USE_CONTRAST", ""),
+                        ("CONTRAST_FACTOR", "1.1"),
+                    ],
                 ],
                 &[("_PAD", "0"), ("_PAD", "1")],
             ),
@@ -464,21 +489,61 @@ pub fn all_families() -> Vec<Family> {
                 vec![("TAP_COUNT", "4"), ("SPREAD", "1.0")],
                 vec![("TAP_COUNT", "8"), ("SPREAD", "1.0")],
                 vec![("TAP_COUNT", "16"), ("SPREAD", "1.0")],
-                vec![("TAP_COUNT", "8"), ("SPREAD", "2.0"), ("USE_SOFT_CONTACT", "")],
-                vec![("TAP_COUNT", "16"), ("SPREAD", "1.5"), ("USE_SOFT_CONTACT", "")],
-                vec![("TAP_COUNT", "4"), ("SPREAD", "0.5"), ("USE_SOFT_CONTACT", "")],
+                vec![
+                    ("TAP_COUNT", "8"),
+                    ("SPREAD", "2.0"),
+                    ("USE_SOFT_CONTACT", ""),
+                ],
+                vec![
+                    ("TAP_COUNT", "16"),
+                    ("SPREAD", "1.5"),
+                    ("USE_SOFT_CONTACT", ""),
+                ],
+                vec![
+                    ("TAP_COUNT", "4"),
+                    ("SPREAD", "0.5"),
+                    ("USE_SOFT_CONTACT", ""),
+                ],
             ],
         },
         Family {
             name: "bloom_blur",
             source: BLOOM_BLUR,
             specializations: vec![
-                vec![("RADIUS", "5"), ("HALF_RADIUS", "2.0"), ("WEIGHT_SUM", "0.59")],
-                vec![("RADIUS", "9"), ("HALF_RADIUS", "4.0"), ("WEIGHT_SUM", "1.0")],
-                vec![("RADIUS", "9"), ("HALF_RADIUS", "4.0"), ("WEIGHT_SUM", "1.0"), ("USE_THRESHOLD", "")],
-                vec![("RADIUS", "5"), ("HALF_RADIUS", "2.0"), ("WEIGHT_SUM", "0.59"), ("USE_BOOST", "")],
-                vec![("RADIUS", "7"), ("HALF_RADIUS", "3.0"), ("WEIGHT_SUM", "0.86"), ("USE_THRESHOLD", "")],
-                vec![("RADIUS", "7"), ("HALF_RADIUS", "3.0"), ("WEIGHT_SUM", "0.86"), ("USE_BOOST", "")],
+                vec![
+                    ("RADIUS", "5"),
+                    ("HALF_RADIUS", "2.0"),
+                    ("WEIGHT_SUM", "0.59"),
+                ],
+                vec![
+                    ("RADIUS", "9"),
+                    ("HALF_RADIUS", "4.0"),
+                    ("WEIGHT_SUM", "1.0"),
+                ],
+                vec![
+                    ("RADIUS", "9"),
+                    ("HALF_RADIUS", "4.0"),
+                    ("WEIGHT_SUM", "1.0"),
+                    ("USE_THRESHOLD", ""),
+                ],
+                vec![
+                    ("RADIUS", "5"),
+                    ("HALF_RADIUS", "2.0"),
+                    ("WEIGHT_SUM", "0.59"),
+                    ("USE_BOOST", ""),
+                ],
+                vec![
+                    ("RADIUS", "7"),
+                    ("HALF_RADIUS", "3.0"),
+                    ("WEIGHT_SUM", "0.86"),
+                    ("USE_THRESHOLD", ""),
+                ],
+                vec![
+                    ("RADIUS", "7"),
+                    ("HALF_RADIUS", "3.0"),
+                    ("WEIGHT_SUM", "0.86"),
+                    ("USE_BOOST", ""),
+                ],
             ],
         },
         Family {
@@ -508,11 +573,30 @@ pub fn all_families() -> Vec<Family> {
                 vec![("GAMMA", "2.2")],
                 vec![("GAMMA", "2.2"), ("USE_REINHARD", "")],
                 vec![("GAMMA", "2.4"), ("USE_FILMIC", "")],
-                vec![("GAMMA", "2.2"), ("USE_REINHARD", ""), ("USE_SATURATION", ""), ("SATURATION", "1.2")],
+                vec![
+                    ("GAMMA", "2.2"),
+                    ("USE_REINHARD", ""),
+                    ("USE_SATURATION", ""),
+                    ("SATURATION", "1.2"),
+                ],
                 vec![("GAMMA", "2.2"), ("USE_FILMIC", ""), ("USE_LIFT_GAIN", "")],
-                vec![("GAMMA", "1.8"), ("USE_LIFT_GAIN", ""), ("USE_SATURATION", ""), ("SATURATION", "0.8")],
-                vec![("GAMMA", "2.2"), ("USE_FILMIC", ""), ("USE_SATURATION", ""), ("SATURATION", "1.1")],
-                vec![("GAMMA", "2.4"), ("USE_REINHARD", ""), ("USE_LIFT_GAIN", "")],
+                vec![
+                    ("GAMMA", "1.8"),
+                    ("USE_LIFT_GAIN", ""),
+                    ("USE_SATURATION", ""),
+                    ("SATURATION", "0.8"),
+                ],
+                vec![
+                    ("GAMMA", "2.2"),
+                    ("USE_FILMIC", ""),
+                    ("USE_SATURATION", ""),
+                    ("SATURATION", "1.1"),
+                ],
+                vec![
+                    ("GAMMA", "2.4"),
+                    ("USE_REINHARD", ""),
+                    ("USE_LIFT_GAIN", ""),
+                ],
             ],
         },
         Family {
@@ -537,15 +621,33 @@ fn forward_lit_specializations() -> Vec<Vec<(&'static str, &'static str)>> {
         vec![("USE_NORMAL_MAP", "")],
         vec![("USE_SPECULAR", "")],
         vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", "")],
-        vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", ""), ("USE_ENV_REFLECTION", "")],
-        vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", ""), ("USE_EMISSIVE", "")],
+        vec![
+            ("USE_NORMAL_MAP", ""),
+            ("USE_SPECULAR", ""),
+            ("USE_ENV_REFLECTION", ""),
+        ],
+        vec![
+            ("USE_NORMAL_MAP", ""),
+            ("USE_SPECULAR", ""),
+            ("USE_EMISSIVE", ""),
+        ],
         vec![("USE_FOG", "")],
         vec![("USE_NORMAL_MAP", ""), ("USE_FOG", "")],
         vec![("USE_SPECULAR", ""), ("USE_FOG", ""), ("USE_RIM_LIGHT", "")],
-        vec![("USE_NORMAL_MAP", ""), ("USE_SPECULAR", ""), ("USE_ENV_REFLECTION", ""), ("USE_EMISSIVE", ""), ("USE_FOG", "")],
+        vec![
+            ("USE_NORMAL_MAP", ""),
+            ("USE_SPECULAR", ""),
+            ("USE_ENV_REFLECTION", ""),
+            ("USE_EMISSIVE", ""),
+            ("USE_FOG", ""),
+        ],
         vec![("USE_ALPHA_TEST", "")],
         vec![("USE_ALPHA_TEST", ""), ("USE_NORMAL_MAP", "")],
-        vec![("USE_ALPHA_TEST", ""), ("USE_NORMAL_MAP", ""), ("USE_SPECULAR", "")],
+        vec![
+            ("USE_ALPHA_TEST", ""),
+            ("USE_NORMAL_MAP", ""),
+            ("USE_SPECULAR", ""),
+        ],
         vec![("USE_RIM_LIGHT", "")],
         vec![("USE_EMISSIVE", "")],
         vec![("USE_ENV_REFLECTION", "")],

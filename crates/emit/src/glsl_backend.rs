@@ -174,7 +174,11 @@ impl<'a> Emitter<'a> {
     fn emit_stmt(&mut self, stmt: &Stmt) {
         match stmt {
             Stmt::Def { dst, op } => self.emit_def(*dst, op),
-            Stmt::StoreOutput { output, components, value } => {
+            Stmt::StoreOutput {
+                output,
+                components,
+                value,
+            } => {
                 let out_name = self.shader.outputs[*output].name.clone();
                 let target = match components {
                     None => out_name,
@@ -183,7 +187,11 @@ impl<'a> Emitter<'a> {
                 let value = self.operand(value);
                 self.line(&format!("{target} = {value};"));
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let cond = self.operand(cond);
                 self.line(&format!("if ({cond}) {{"));
                 self.indent += 1;
@@ -199,7 +207,13 @@ impl<'a> Emitter<'a> {
                     self.line("}");
                 }
             }
-            Stmt::Loop { var, start, end, step, body } => {
+            Stmt::Loop {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 let name = self.namer.name(*var).to_string();
                 let step_text = match *step {
                     1 => format!("{name}++"),
@@ -232,7 +246,12 @@ impl<'a> Emitter<'a> {
 
         // Vector-component insertion emits as a component assignment rather
         // than an expression.
-        if let Op::Insert { vector, index, value } = op {
+        if let Op::Insert {
+            vector,
+            index,
+            value,
+        } = op
+        {
             let value_text = self.operand(value);
             let comp = swizzle_string(&[*index]);
             match vector {
@@ -272,7 +291,12 @@ impl<'a> Emitter<'a> {
                 let parts: Vec<String> = args.iter().map(|a| self.operand(a)).collect();
                 format!("{}({})", i.glsl_name(), parts.join(", "))
             }
-            Op::TextureSample { sampler, coords, lod, dim: _ } => {
+            Op::TextureSample {
+                sampler,
+                coords,
+                lod,
+                dim: _,
+            } => {
                 let s = &self.shader.samplers[*sampler].name;
                 match lod {
                     Some(l) => format!(
@@ -295,7 +319,11 @@ impl<'a> Emitter<'a> {
             Op::Swizzle { vector, lanes } => {
                 format!("{}.{}", self.operand(vector), swizzle_string(lanes))
             }
-            Op::Select { cond, if_true, if_false } => format!(
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => format!(
                 "({} ? {} : {})",
                 self.operand(cond),
                 self.operand(if_true),
@@ -360,9 +388,18 @@ mod tests {
 
     fn simple_shader() -> Shader {
         let mut s = Shader::new("emit-test");
-        s.inputs.push(InputVar { name: "uv".into(), ty: IrType::fvec(2) });
-        s.outputs.push(OutputVar { name: "fragColor".into(), ty: IrType::fvec(4) });
-        s.samplers.push(SamplerVar { name: "tex".into(), dim: TextureDim::Dim2D });
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::fvec(2),
+        });
+        s.outputs.push(OutputVar {
+            name: "fragColor".into(),
+            ty: IrType::fvec(4),
+        });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
         s.uniforms.push(UniformVar {
             name: "ambient".into(),
             ty: IrType::fvec(4),
@@ -385,7 +422,11 @@ mod tests {
                 dst: m,
                 op: Op::Binary(BinaryOp::Mul, Operand::Reg(t), Operand::Uniform(0)),
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(m) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(m),
+            },
         ];
         s
     }
@@ -412,7 +453,10 @@ mod tests {
     #[test]
     fn matrix_uniform_slots_reference_columns() {
         let mut s = Shader::new("mat");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         for col in 0..4 {
             s.uniforms.push(UniformVar {
                 name: "model".into(),
@@ -423,8 +467,15 @@ mod tests {
         }
         let r = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: r, op: Op::Mov(Operand::Uniform(2)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::Def {
+                dst: r,
+                op: Op::Mov(Operand::Uniform(2)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         let glsl = emit_glsl(&s);
         // One declaration, column references indexed.
@@ -435,12 +486,18 @@ mod tests {
     #[test]
     fn loops_conditionals_and_discard_emit() {
         let mut s = Shader::new("cf");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_named_reg(IrType::I32, "i");
         let acc = s.new_named_reg(IrType::F32, "acc");
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Mov(Operand::float(0.0)) },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Mov(Operand::float(0.0)),
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
@@ -454,10 +511,22 @@ mod tests {
             Stmt::If {
                 cond: Operand::boolean(false),
                 then_body: vec![Stmt::Discard { cond: None }],
-                else_body: vec![Stmt::Def { dst: v, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(acc) } }],
+                else_body: vec![Stmt::Def {
+                    dst: v,
+                    op: Op::Splat {
+                        ty: IrType::fvec(4),
+                        value: Operand::Reg(acc),
+                    },
+                }],
             },
-            Stmt::Discard { cond: Some(Operand::boolean(false)) },
-            Stmt::StoreOutput { output: 0, components: Some(vec![0]), value: Operand::Reg(acc) },
+            Stmt::Discard {
+                cond: Some(Operand::boolean(false)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: Some(vec![0]),
+                value: Operand::Reg(acc),
+            },
         ];
         let glsl = emit_glsl(&s);
         assert!(glsl.contains("for (int i = 0; i < 9; i++) {"));
@@ -466,13 +535,19 @@ mod tests {
         assert!(glsl.contains("c.x = acc;"));
         // acc is multiply-defined so it must be pre-declared exactly once.
         assert_eq!(glsl.matches("float acc").count(), 1);
-        assert!(prism_glsl::ShaderSource::preprocess_and_parse(&glsl, &Default::default()).is_ok(), "{glsl}");
+        assert!(
+            prism_glsl::ShaderSource::preprocess_and_parse(&glsl, &Default::default()).is_ok(),
+            "{glsl}"
+        );
     }
 
     #[test]
     fn const_arrays_and_insert_emit() {
         let mut s = Shader::new("arr");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         s.const_arrays.push(ConstArray {
             name: "weights".into(),
             elem_ty: IrType::fvec(4),
@@ -481,20 +556,43 @@ mod tests {
         let w = s.new_reg(IrType::fvec(4));
         let v = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: w, op: Op::ConstArrayLoad { array: 0, index: Operand::int(1) } },
-            Stmt::Def { dst: v, op: Op::Insert { vector: Operand::Reg(w), index: 3, value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(v) },
+            Stmt::Def {
+                dst: w,
+                op: Op::ConstArrayLoad {
+                    array: 0,
+                    index: Operand::int(1),
+                },
+            },
+            Stmt::Def {
+                dst: v,
+                op: Op::Insert {
+                    vector: Operand::Reg(w),
+                    index: 3,
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(v),
+            },
         ];
         let glsl = emit_glsl(&s);
         assert!(glsl.contains("const vec4 weights[2] = vec4[]("));
         assert!(glsl.contains("weights[1]"));
         assert!(glsl.contains(".w = 1.0;"));
-        assert!(prism_glsl::ShaderSource::preprocess_and_parse(&glsl, &Default::default()).is_ok(), "{glsl}");
+        assert!(
+            prism_glsl::ShaderSource::preprocess_and_parse(&glsl, &Default::default()).is_ok(),
+            "{glsl}"
+        );
     }
 
     #[test]
     fn precision_header_for_mobile_options() {
-        let opts = EmitOptions { version: "310 es".into(), emit_precision: true };
+        let opts = EmitOptions {
+            version: "310 es".into(),
+            emit_precision: true,
+        };
         let glsl = emit_glsl_with(&simple_shader(), &opts);
         assert!(glsl.starts_with("#version 310 es"));
         assert!(glsl.contains("precision highp float;"));

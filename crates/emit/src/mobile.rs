@@ -28,7 +28,11 @@ pub fn emit_gles(shader: &Shader) -> String {
 /// Quick structural check that a GLES shader converted from the same IR kept
 /// the same interface as its desktop counterpart (the harness relies on it).
 pub fn same_interface(desktop: &str, mobile: &str) -> bool {
-    let count = |src: &str, kw: &str| src.lines().filter(|l| l.trim_start().starts_with(kw)).count();
+    let count = |src: &str, kw: &str| {
+        src.lines()
+            .filter(|l| l.trim_start().starts_with(kw))
+            .count()
+    };
     count(desktop, "uniform") == count(mobile, "uniform")
         && count(desktop, "in ") == count(mobile, "in ")
         && count(desktop, "out ") == count(mobile, "out ")
@@ -41,8 +45,14 @@ mod tests {
 
     fn shader() -> Shader {
         let mut s = Shader::new("mobile-test");
-        s.inputs.push(InputVar { name: "uv".into(), ty: IrType::fvec(2) });
-        s.outputs.push(OutputVar { name: "fragColor".into(), ty: IrType::fvec(4) });
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::fvec(2),
+        });
+        s.outputs.push(OutputVar {
+            name: "fragColor".into(),
+            ty: IrType::fvec(4),
+        });
         let r = s.new_named_reg(IrType::fvec(4), "base");
         s.body = vec![
             Stmt::Def {
@@ -52,7 +62,11 @@ mod tests {
                     parts: vec![Operand::Input(0), Operand::float(0.0), Operand::float(1.0)],
                 },
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         s
     }
@@ -72,6 +86,9 @@ mod tests {
     #[test]
     fn gles_output_reparses() {
         let mobile = emit_gles(&shader());
-        assert!(prism_glsl::ShaderSource::preprocess_and_parse(&mobile, &Default::default()).is_ok(), "{mobile}");
+        assert!(
+            prism_glsl::ShaderSource::preprocess_and_parse(&mobile, &Default::default()).is_ok(),
+            "{mobile}"
+        );
     }
 }

@@ -262,10 +262,7 @@ pub fn constructor_arity_ok(target: &Type, args: &[Type]) -> bool {
         }
         return false;
     }
-    let supplied: usize = args
-        .iter()
-        .map(|a| a.component_count().unwrap_or(0))
-        .sum();
+    let supplied: usize = args.iter().map(|a| a.component_count().unwrap_or(0)).sum();
     supplied >= needed && args.iter().all(|a| a.component_count().is_some())
 }
 

@@ -64,10 +64,7 @@ impl ShaderInterface {
     /// Arrays count as `size × element components`; unsized arrays count one
     /// element (they cannot legally appear as uniforms in this subset).
     pub fn uniform_component_count(&self) -> usize {
-        self.uniforms
-            .iter()
-            .map(|u| type_scalar_count(&u.ty))
-            .sum()
+        self.uniforms.iter().map(|u| type_scalar_count(&u.ty)).sum()
     }
 
     /// Number of texture bindings required.
@@ -149,13 +146,15 @@ mod tests {
         let a = parse("uniform float x; uniform float y; in vec2 uv; out vec4 c; void main() { c = vec4(x + y + uv.x); }").unwrap();
         let b = parse("uniform float y; uniform float x; in vec2 uv; out vec4 c; void main() { c = vec4(uv.y); }").unwrap();
         assert!(ShaderInterface::of(&a).same_io(&ShaderInterface::of(&b)));
-        let c = parse("uniform float x; in vec2 uv; out vec4 c; void main() { c = vec4(x); }").unwrap();
+        let c =
+            parse("uniform float x; in vec2 uv; out vec4 c; void main() { c = vec4(x); }").unwrap();
         assert!(!ShaderInterface::of(&a).same_io(&ShaderInterface::of(&c)));
     }
 
     #[test]
     fn array_uniforms_count_components() {
-        let tu = parse("uniform vec4 lights[4]; out vec4 c; void main() { c = lights[0]; }").unwrap();
+        let tu =
+            parse("uniform vec4 lights[4]; out vec4 c; void main() { c = lights[0]; }").unwrap();
         let iface = ShaderInterface::of(&tu);
         assert_eq!(iface.uniform_component_count(), 16);
     }

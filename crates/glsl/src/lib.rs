@@ -123,7 +123,9 @@ mod tests {
         let plain = ShaderSource::preprocess_and_parse(src, &HashMap::new()).unwrap();
         let tinted = ShaderSource::preprocess_and_parse(
             src,
-            &[("USE_TINT".to_string(), String::new())].into_iter().collect(),
+            &[("USE_TINT".to_string(), String::new())]
+                .into_iter()
+                .collect(),
         )
         .unwrap();
         assert!(tinted.lines_of_code > plain.lines_of_code);

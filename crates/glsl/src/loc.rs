@@ -80,7 +80,10 @@ fn return_count_line(line: &str, brace_depth: i32, count: &mut usize) {
         return;
     }
     // Lines that are only punctuation.
-    if line.chars().all(|c| "{}();,".contains(c) || c.is_whitespace()) {
+    if line
+        .chars()
+        .all(|c| "{}();,".contains(c) || c.is_whitespace())
+    {
         return;
     }
     // Preprocessor leftovers (should not appear after preprocessing, but be safe).

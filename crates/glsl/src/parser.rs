@@ -55,7 +55,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -107,7 +109,9 @@ impl Parser {
         if self.eat(&TokenKind::KwPrecision) {
             let qualifier = match self.bump() {
                 TokenKind::KwPrecisionQualifier(q) => q,
-                other => return Err(self.error(format!("expected precision qualifier, found `{other}`"))),
+                other => {
+                    return Err(self.error(format!("expected precision qualifier, found `{other}`")))
+                }
             };
             let ty = self.parse_type()?;
             self.expect(&TokenKind::Semi)?;
@@ -515,10 +519,7 @@ impl Parser {
 
     fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let Some((op, prec)) = binop_for(self.peek()) else {
-                break;
-            };
+        while let Some((op, prec)) = binop_for(self.peek()) {
             if prec < min_prec {
                 break;
             }
@@ -621,7 +622,11 @@ impl Parser {
 fn make_step(name: String, negative: bool, span: Span) -> Stmt {
     Stmt::Assign {
         target: LValue::Var(name.clone()),
-        op: if negative { AssignOp::Sub } else { AssignOp::Add },
+        op: if negative {
+            AssignOp::Sub
+        } else {
+            AssignOp::Add
+        },
         value: Expr::IntLit(1),
         span,
     }
@@ -698,7 +703,9 @@ mod tests {
         match &main.body.stmts[0] {
             Stmt::Assign { target, value, .. } => {
                 assert_eq!(target.root(), "c");
-                assert!(matches!(value, Expr::Call(name, args) if name == "vec4" && args.len() == 4));
+                assert!(
+                    matches!(value, Expr::Call(name, args) if name == "vec4" && args.len() == 4)
+                );
             }
             other => panic!("expected assignment, got {other:?}"),
         }
@@ -710,7 +717,9 @@ mod tests {
         let tu = parse(src).unwrap();
         let main = tu.main().unwrap();
         match &main.body.stmts[1] {
-            Stmt::For { var, cond, body, .. } => {
+            Stmt::For {
+                var, cond, body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert!(matches!(cond, Expr::Binary(BinOp::Lt, _, _)));
                 assert_eq!(body.stmts.len(), 1);
@@ -732,7 +741,9 @@ mod tests {
         let tu = parse(src).unwrap();
         let main = tu.main().unwrap();
         match &main.body.stmts[0] {
-            Stmt::Decl { is_const, ty, init, .. } => {
+            Stmt::Decl {
+                is_const, ty, init, ..
+            } => {
                 assert!(is_const);
                 assert!(matches!(ty, Type::Array(_, None)));
                 assert!(matches!(init, Some(Expr::ArrayInit { elems, .. }) if elems.len() == 3));
@@ -748,7 +759,10 @@ mod tests {
         let main = tu.main().unwrap();
         assert!(matches!(main.body.stmts[0], Stmt::If { .. }));
         match &main.body.stmts[1] {
-            Stmt::Decl { init: Some(Expr::Ternary(..)), .. } => {}
+            Stmt::Decl {
+                init: Some(Expr::Ternary(..)),
+                ..
+            } => {}
             other => panic!("expected ternary init, got {other:?}"),
         }
     }
@@ -763,7 +777,8 @@ mod tests {
 
     #[test]
     fn parses_user_functions() {
-        let src = "float sq(float x) { return x * x; } out vec4 c; void main() { c = vec4(sq(2.0)); }";
+        let src =
+            "float sq(float x) { return x * x; } out vec4 c; void main() { c = vec4(sq(2.0)); }";
         let tu = parse(src).unwrap();
         assert!(tu.function("sq").is_some());
         assert_eq!(tu.function("sq").unwrap().params.len(), 1);
@@ -774,7 +789,10 @@ mod tests {
         let tu = parse("out float o; void main() { o = 1.0 + 2.0 * 3.0; }").unwrap();
         let main = tu.main().unwrap();
         match &main.body.stmts[0] {
-            Stmt::Assign { value: Expr::Binary(BinOp::Add, _, rhs), .. } => {
+            Stmt::Assign {
+                value: Expr::Binary(BinOp::Add, _, rhs),
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
             }
             other => panic!("expected a + (b*c), got {other:?}"),
@@ -805,7 +823,8 @@ mod tests {
 
     #[test]
     fn precision_statement_is_accepted() {
-        let tu = parse("precision mediump float; out vec4 c; void main() { c = vec4(1.0); }").unwrap();
+        let tu =
+            parse("precision mediump float; out vec4 c; void main() { c = vec4(1.0); }").unwrap();
         assert!(matches!(tu.decls[0], Decl::Precision { .. }));
     }
 
@@ -827,7 +846,8 @@ mod tests {
 
     #[test]
     fn int_vector_types_parse() {
-        let src = "uniform ivec2 size; out vec4 c; void main() { int w = size.x; c = vec4(float(w)); }";
+        let src =
+            "uniform ivec2 size; out vec4 c; void main() { int w = size.x; c = vec4(float(w)); }";
         let tu = parse(src).unwrap();
         let g = tu.globals().next().unwrap();
         assert_eq!(g.ty, Type::Vector(ScalarKind::Int, 2));

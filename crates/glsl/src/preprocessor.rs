@@ -199,11 +199,19 @@ fn eval_if_condition(cond: &str, defines: &HashMap<String, String>) -> bool {
         return true;
     }
     if let Some(rest) = cond.strip_prefix("!defined") {
-        let name = rest.trim().trim_start_matches('(').trim_end_matches(')').trim();
+        let name = rest
+            .trim()
+            .trim_start_matches('(')
+            .trim_end_matches(')')
+            .trim();
         return !defines.contains_key(name);
     }
     if let Some(rest) = cond.strip_prefix("defined") {
-        let name = rest.trim().trim_start_matches('(').trim_end_matches(')').trim();
+        let name = rest
+            .trim()
+            .trim_start_matches('(')
+            .trim_end_matches(')')
+            .trim();
         return defines.contains_key(name);
     }
     // Fall back to: a bare macro name is true when defined to a non-zero value.
@@ -297,7 +305,8 @@ mod tests {
 
     #[test]
     fn if_defined_form() {
-        let src = "#if defined(FOO)\nfloat f;\n#elif defined(BAR)\nfloat b;\n#else\nfloat e;\n#endif";
+        let src =
+            "#if defined(FOO)\nfloat f;\n#elif defined(BAR)\nfloat b;\n#else\nfloat e;\n#endif";
         assert!(pp_with(src, &[("FOO", "")]).text.contains("float f;"));
         assert!(pp_with(src, &[("BAR", "")]).text.contains("float b;"));
         assert!(pp(src).text.contains("float e;"));
@@ -325,7 +334,8 @@ mod tests {
 
     #[test]
     fn external_defines_drive_specialisation() {
-        let src = "#ifdef QUALITY_HIGH\nconst int SAMPLES = 16;\n#else\nconst int SAMPLES = 4;\n#endif";
+        let src =
+            "#ifdef QUALITY_HIGH\nconst int SAMPLES = 16;\n#else\nconst int SAMPLES = 4;\n#endif";
         let hi = pp_with(src, &[("QUALITY_HIGH", "1")]);
         assert!(hi.text.contains("SAMPLES = 16"));
         let lo = pp(src);

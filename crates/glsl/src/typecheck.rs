@@ -94,7 +94,10 @@ pub fn check(tu: &TranslationUnit) -> Result<CheckedShader> {
                 )));
             }
         } else if g.qualifier == StorageQualifier::Const {
-            return Err(err(format!("const global `{}` requires an initialiser", g.name)));
+            return Err(err(format!(
+                "const global `{}` requires an initialiser",
+                g.name
+            )));
         }
     }
 
@@ -206,10 +209,8 @@ impl<'a> Env<'a> {
                     .ok_or_else(|| err(format!("ternary branches have types {tt} and {et}")))
             }
             Expr::Call(name, args) => {
-                let arg_types: Vec<Type> = args
-                    .iter()
-                    .map(|a| self.infer(a))
-                    .collect::<Result<_>>()?;
+                let arg_types: Vec<Type> =
+                    args.iter().map(|a| self.infer(a)).collect::<Result<_>>()?;
                 match resolve_call(name) {
                     CallKind::Constructor(ty) => {
                         if constructor_arity_ok(&ty, &arg_types) {
@@ -259,7 +260,10 @@ impl<'a> Env<'a> {
             Expr::Index(base, index) => {
                 let bt = self.infer(base)?;
                 let it = self.infer(index)?;
-                if !matches!(it, Type::Scalar(ScalarKind::Int) | Type::Scalar(ScalarKind::Uint)) {
+                if !matches!(
+                    it,
+                    Type::Scalar(ScalarKind::Int) | Type::Scalar(ScalarKind::Uint)
+                ) {
                     return Err(err(format!("index must be an integer, found {it}")));
                 }
                 bt.index_result()
@@ -282,8 +286,11 @@ impl<'a> Env<'a> {
                 arg_types[0]
             )));
         }
-        b.result_type(arg_types)
-            .ok_or_else(|| err(format!("builtin `{name}` given incompatible argument types")))
+        b.result_type(arg_types).ok_or_else(|| {
+            err(format!(
+                "builtin `{name}` given incompatible argument types"
+            ))
+        })
     }
 
     /// Infers the type of an l-value.
@@ -295,7 +302,10 @@ impl<'a> Env<'a> {
             LValue::Index(base, index) => {
                 let bt = self.infer_lvalue(base)?;
                 let it = self.infer(index)?;
-                if !matches!(it, Type::Scalar(ScalarKind::Int) | Type::Scalar(ScalarKind::Uint)) {
+                if !matches!(
+                    it,
+                    Type::Scalar(ScalarKind::Int) | Type::Scalar(ScalarKind::Uint)
+                ) {
                     return Err(err(format!("index must be an integer, found {it}")));
                 }
                 bt.index_result()
@@ -345,7 +355,10 @@ pub fn assignable(to: &Type, from: &Type) -> bool {
     match (to, from) {
         (Type::Scalar(ScalarKind::Float), Type::Scalar(ScalarKind::Int | ScalarKind::Uint)) => true,
         (Type::Scalar(ScalarKind::Uint), Type::Scalar(ScalarKind::Int)) => true,
-        (Type::Vector(ScalarKind::Float, n), Type::Vector(ScalarKind::Int | ScalarKind::Uint, m)) => n == m,
+        (
+            Type::Vector(ScalarKind::Float, n),
+            Type::Vector(ScalarKind::Int | ScalarKind::Uint, m),
+        ) => n == m,
         (Type::Array(te, _), Type::Array(fe, _)) => assignable(te, fe),
         _ => false,
     }
@@ -371,7 +384,10 @@ pub fn binary_result(op: BinOp, lt: &Type, rt: &Type) -> Result<Type> {
         if *lt == Type::BOOL && *rt == Type::BOOL {
             return Ok(Type::BOOL);
         }
-        return Err(err(format!("`{}` requires bool operands, found {lt} and {rt}", op.symbol())));
+        return Err(err(format!(
+            "`{}` requires bool operands, found {lt} and {rt}",
+            op.symbol()
+        )));
     }
     if op.is_comparison() {
         if matches!(op, BinOp::Eq | BinOp::Ne) {
@@ -393,8 +409,12 @@ pub fn binary_result(op: BinOp, lt: &Type, rt: &Type) -> Result<Type> {
             op.symbol()
         )));
     }
-    arithmetic_result(op, lt, rt)
-        .ok_or_else(|| err(format!("incompatible operands {lt} and {rt} for `{}`", op.symbol())))
+    arithmetic_result(op, lt, rt).ok_or_else(|| {
+        err(format!(
+            "incompatible operands {lt} and {rt} for `{}`",
+            op.symbol()
+        ))
+    })
 }
 
 /// GLSL arithmetic result-type rules, including scalar↔vector broadcast and
@@ -453,20 +473,24 @@ fn check_stmt(env: &mut Env<'_>, stmt: &Stmt, ret_ty: &Type) -> Result<()> {
             env.declare(name, ty.clone());
             Ok(())
         }
-        Stmt::Assign { target, op, value, .. } => {
+        Stmt::Assign {
+            target, op, value, ..
+        } => {
             let tt = env.infer_lvalue(target)?;
             let vt = env.infer(value)?;
             let effective = match op {
                 AssignOp::Assign => vt.clone(),
                 // Compound assignment: the combined value must be assignable back.
-                AssignOp::Add | AssignOp::Sub => {
-                    arithmetic_result(BinOp::Add, &tt, &vt)
-                        .ok_or_else(|| err(format!("cannot apply compound assignment: {tt} vs {vt}")))?
-                }
-                AssignOp::Mul => arithmetic_result(BinOp::Mul, &tt, &vt)
-                    .ok_or_else(|| err(format!("cannot apply compound assignment: {tt} vs {vt}")))?,
-                AssignOp::Div => arithmetic_result(BinOp::Div, &tt, &vt)
-                    .ok_or_else(|| err(format!("cannot apply compound assignment: {tt} vs {vt}")))?,
+                AssignOp::Add | AssignOp::Sub => arithmetic_result(BinOp::Add, &tt, &vt)
+                    .ok_or_else(|| {
+                        err(format!("cannot apply compound assignment: {tt} vs {vt}"))
+                    })?,
+                AssignOp::Mul => arithmetic_result(BinOp::Mul, &tt, &vt).ok_or_else(|| {
+                    err(format!("cannot apply compound assignment: {tt} vs {vt}"))
+                })?,
+                AssignOp::Div => arithmetic_result(BinOp::Div, &tt, &vt).ok_or_else(|| {
+                    err(format!("cannot apply compound assignment: {tt} vs {vt}"))
+                })?,
             };
             if !assignable(&tt, &effective) {
                 return Err(err(format!(
@@ -475,7 +499,11 @@ fn check_stmt(env: &mut Env<'_>, stmt: &Stmt, ret_ty: &Type) -> Result<()> {
             }
             Ok(())
         }
-        Stmt::If { cond, then_block, else_block } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             let ct = env.infer(cond)?;
             if ct != Type::BOOL {
                 return Err(err(format!("if condition must be bool, found {ct}")));
@@ -486,7 +514,14 @@ fn check_stmt(env: &mut Env<'_>, stmt: &Stmt, ret_ty: &Type) -> Result<()> {
             }
             Ok(())
         }
-        Stmt::For { var, var_ty, init, cond, step, body } => {
+        Stmt::For {
+            var,
+            var_ty,
+            init,
+            cond,
+            step,
+            body,
+        } => {
             env.push_scope();
             let it = env.infer(init)?;
             if !assignable(var_ty, &it) {
@@ -606,7 +641,9 @@ mod tests {
     #[test]
     fn matrix_vector_multiplication() {
         ok("uniform mat4 m; uniform vec4 v; out vec4 c; void main() { c = m * v; }");
-        let e = fails("uniform mat4 m; uniform vec3 v; out vec4 c; void main() { c = vec4(m * v, 1.0); }");
+        let e = fails(
+            "uniform mat4 m; uniform vec3 v; out vec4 c; void main() { c = vec4(m * v, 1.0); }",
+        );
         assert!(e.message.contains("incompatible") || e.message.contains("operands"));
     }
 
@@ -631,13 +668,17 @@ mod tests {
 
     #[test]
     fn texture_requires_sampler() {
-        let e = fails("uniform vec4 notex; in vec2 uv; out vec4 c; void main() { c = texture(notex, uv); }");
+        let e = fails(
+            "uniform vec4 notex; in vec2 uv; out vec4 c; void main() { c = texture(notex, uv); }",
+        );
         assert!(e.message.contains("sampler"));
     }
 
     #[test]
     fn duplicate_symbols_rejected() {
-        assert!(check(&parse("uniform float a; uniform float a; void main() {}").unwrap()).is_err());
+        assert!(
+            check(&parse("uniform float a; uniform float a; void main() {}").unwrap()).is_err()
+        );
     }
 
     #[test]
@@ -649,7 +690,8 @@ mod tests {
     #[test]
     fn ternary_branch_types_must_unify() {
         ok("uniform float t; out vec4 c; void main() { c = t > 0.0 ? vec4(1.0) : vec4(0.0); }");
-        let e = fails("uniform float t; out vec4 c; void main() { c = t > 0.0 ? vec4(1.0) : 0.5; }");
+        let e =
+            fails("uniform float t; out vec4 c; void main() { c = t > 0.0 ? vec4(1.0) : 0.5; }");
         assert!(e.message.contains("branches"));
     }
 

@@ -116,8 +116,18 @@ mod tests {
     fn vec4_alu_does_not_reward_scalar_narrowing() {
         // Same vector slots, fewer scalar-equivalent ops: scalar ALUs benefit,
         // the Mali-style vec4 ALU does not.
-        let wide = IsaStats { scalar_alu: 160.0, vector_ops: 40.0, register_pressure: 16.0, ..IsaStats::default() };
-        let narrowed = IsaStats { scalar_alu: 80.0, vector_ops: 40.0, register_pressure: 16.0, ..IsaStats::default() };
+        let wide = IsaStats {
+            scalar_alu: 160.0,
+            vector_ops: 40.0,
+            register_pressure: 16.0,
+            ..IsaStats::default()
+        };
+        let narrowed = IsaStats {
+            scalar_alu: 80.0,
+            vector_ops: 40.0,
+            register_pressure: 16.0,
+            ..IsaStats::default()
+        };
         let adreno = DeviceSpec::preset(Vendor::Qualcomm);
         let mali = DeviceSpec::preset(Vendor::Arm);
         let adreno_gain = FragmentCost::evaluate(&wide, &adreno).total_cycles
@@ -125,26 +135,52 @@ mod tests {
         let mali_gain = FragmentCost::evaluate(&wide, &mali).total_cycles
             - FragmentCost::evaluate(&narrowed, &mali).total_cycles;
         assert!(adreno_gain > 0.0);
-        assert!(mali_gain.abs() < 1e-9, "vec4 ALU should see no gain, got {mali_gain}");
+        assert!(
+            mali_gain.abs() < 1e-9,
+            "vec4 ALU should see no gain, got {mali_gain}"
+        );
     }
 
     #[test]
     fn register_pressure_hurts_mobile_more() {
-        let tight = IsaStats { scalar_alu: 100.0, vector_ops: 25.0, register_pressure: 96.0, ..IsaStats::default() };
-        let loose = IsaStats { scalar_alu: 100.0, vector_ops: 25.0, register_pressure: 16.0, ..IsaStats::default() };
+        let tight = IsaStats {
+            scalar_alu: 100.0,
+            vector_ops: 25.0,
+            register_pressure: 96.0,
+            ..IsaStats::default()
+        };
+        let loose = IsaStats {
+            scalar_alu: 100.0,
+            vector_ops: 25.0,
+            register_pressure: 16.0,
+            ..IsaStats::default()
+        };
         let penalty = |vendor: Vendor| {
             let spec = DeviceSpec::preset(vendor);
             FragmentCost::evaluate(&tight, &spec).total_cycles
                 / FragmentCost::evaluate(&loose, &spec).total_cycles
         };
         assert!(penalty(Vendor::Arm) > 1.5, "Mali should fall off a cliff");
-        assert!(penalty(Vendor::Amd) < 1.05, "the RX 480 has registers to spare");
+        assert!(
+            penalty(Vendor::Amd) < 1.05,
+            "the RX 480 has registers to spare"
+        );
     }
 
     #[test]
     fn divisions_cost_more_than_multiplies() {
-        let with_div = IsaStats { divisions: 4.0, vector_ops: 1.0, register_pressure: 8.0, ..IsaStats::default() };
-        let with_mul = IsaStats { scalar_alu: 4.0, vector_ops: 1.0, register_pressure: 8.0, ..IsaStats::default() };
+        let with_div = IsaStats {
+            divisions: 4.0,
+            vector_ops: 1.0,
+            register_pressure: 8.0,
+            ..IsaStats::default()
+        };
+        let with_mul = IsaStats {
+            scalar_alu: 4.0,
+            vector_ops: 1.0,
+            register_pressure: 8.0,
+            ..IsaStats::default()
+        };
         for vendor in Vendor::ALL {
             let spec = DeviceSpec::preset(vendor);
             let div = FragmentCost::evaluate(&with_div, &spec).total_cycles;
@@ -155,8 +191,20 @@ mod tests {
 
     #[test]
     fn loop_overhead_is_charged_per_iteration() {
-        let rolled = IsaStats { scalar_alu: 90.0, vector_ops: 22.5, loop_iterations: 9.0, register_pressure: 12.0, ..IsaStats::default() };
-        let unrolled = IsaStats { scalar_alu: 90.0, vector_ops: 22.5, loop_iterations: 0.0, register_pressure: 12.0, ..IsaStats::default() };
+        let rolled = IsaStats {
+            scalar_alu: 90.0,
+            vector_ops: 22.5,
+            loop_iterations: 9.0,
+            register_pressure: 12.0,
+            ..IsaStats::default()
+        };
+        let unrolled = IsaStats {
+            scalar_alu: 90.0,
+            vector_ops: 22.5,
+            loop_iterations: 0.0,
+            register_pressure: 12.0,
+            ..IsaStats::default()
+        };
         let amd = DeviceSpec::preset(Vendor::Amd);
         let a = FragmentCost::evaluate(&rolled, &amd).total_cycles;
         let b = FragmentCost::evaluate(&unrolled, &amd).total_cycles;

@@ -117,7 +117,11 @@ impl DriverModel {
 
     /// Same as [`DriverModel::compile`] but starting from an already parsed
     /// shader.
-    pub fn compile_source(&self, source: &ShaderSource, name: &str) -> Result<Shader, CompileError> {
+    pub fn compile_source(
+        &self,
+        source: &ShaderSource,
+        name: &str,
+    ) -> Result<Shader, CompileError> {
         let mut ir = lower(source, name)?;
         let passes = self.internal_passes();
         for _ in 0..2 {
@@ -200,10 +204,18 @@ mod tests {
 
     #[test]
     fn nvidia_driver_unrolls_internally_but_amd_does_not() {
-        let nv = DriverModel::preset(Vendor::Nvidia).compile(LOOPY, "loopy").unwrap();
-        let amd = DriverModel::preset(Vendor::Amd).compile(LOOPY, "loopy").unwrap();
+        let nv = DriverModel::preset(Vendor::Nvidia)
+            .compile(LOOPY, "loopy")
+            .unwrap();
+        let amd = DriverModel::preset(Vendor::Amd)
+            .compile(LOOPY, "loopy")
+            .unwrap();
         assert_eq!(nv.loop_count(), 0, "NVIDIA's JIT unrolls the constant loop");
-        assert_eq!(amd.loop_count(), 1, "2017 Mesa/AMD leaves the loop in place");
+        assert_eq!(
+            amd.loop_count(),
+            1,
+            "2017 Mesa/AMD leaves the loop in place"
+        );
         // NVIDIA's unrolled code contains all three samples statically; AMD's
         // rolled loop keeps the single sample inside the loop body.
         assert_eq!(nv.texture_op_count(), 3);
@@ -215,7 +227,10 @@ mod tests {
         let d = DriverModel::preset(Vendor::Qualcomm);
         let a = d.compile(LOOPY, "loopy").unwrap();
         let b = d.compile(LOOPY, "loopy").unwrap();
-        assert_eq!(prism_ir::printer::print_shader(&a), prism_ir::printer::print_shader(&b));
+        assert_eq!(
+            prism_ir::printer::print_shader(&a),
+            prism_ir::printer::print_shader(&b)
+        );
     }
 
     #[test]

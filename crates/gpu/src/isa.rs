@@ -51,8 +51,16 @@ fn width_of(shader: &Shader, operand: &Operand) -> f64 {
     match operand {
         Operand::Reg(r) => shader.reg_ty(*r).width as f64,
         Operand::Const(c) => c.ty().width as f64,
-        Operand::Input(i) => shader.inputs.get(*i).map(|v| v.ty.width as f64).unwrap_or(1.0),
-        Operand::Uniform(u) => shader.uniforms.get(*u).map(|v| v.ty.width as f64).unwrap_or(1.0),
+        Operand::Input(i) => shader
+            .inputs
+            .get(*i)
+            .map(|v| v.ty.width as f64)
+            .unwrap_or(1.0),
+        Operand::Uniform(u) => shader
+            .uniforms
+            .get(*u)
+            .map(|v| v.ty.width as f64)
+            .unwrap_or(1.0),
     }
 }
 
@@ -69,7 +77,11 @@ fn count_body(shader: &Shader, body: &[Stmt], scale: f64, stats: &mut IsaStats) 
                 stats.scalar_alu += scale;
                 stats.vector_ops += scale;
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 stats.branches += scale;
                 stats.instruction_count += scale;
                 // Constant-uniform inputs make branches coherent, so a wave
@@ -81,7 +93,13 @@ fn count_body(shader: &Shader, body: &[Stmt], scale: f64, stats: &mut IsaStats) 
                 stats.add_scaled(&then_stats, 0.5);
                 stats.add_scaled(&else_stats, 0.5);
             }
-            Stmt::Loop { start, end, step, body: loop_body, .. } => {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body: loop_body,
+                ..
+            } => {
                 let trips = trip_count(*start, *end, *step) as f64;
                 stats.loop_iterations += scale * trips;
                 stats.instruction_count += scale * trips; // loop bookkeeping
@@ -141,10 +159,7 @@ fn count_op(shader: &Shader, dst: Reg, op: &Op, scale: f64, stats: &mut IsaStats
             stats.vector_ops += scale;
         }
         Op::Intrinsic(i, args) => {
-            let width = args
-                .iter()
-                .map(|a| width_of(shader, a))
-                .fold(1.0, f64::max);
+            let width = args.iter().map(|a| width_of(shader, a)).fold(1.0, f64::max);
             if i.is_transcendental() {
                 stats.transcendental += scale * width;
             } else {
@@ -262,11 +277,17 @@ fn linearise<'a>(body: &'a [Stmt], out: &mut Vec<&'a Stmt>) {
     for stmt in body {
         out.push(stmt);
         match stmt {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 linearise(then_body, out);
                 linearise(else_body, out);
             }
-            Stmt::Loop { body: loop_body, .. } => linearise(loop_body, out),
+            Stmt::Loop {
+                body: loop_body, ..
+            } => linearise(loop_body, out),
             _ => {}
         }
     }
@@ -278,16 +299,45 @@ mod tests {
 
     fn simple_shader() -> Shader {
         let mut s = Shader::new("isa");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.samplers.push(SamplerVar { name: "tex".into(), dim: TextureDim::Dim2D });
-        s.inputs.push(InputVar { name: "uv".into(), ty: IrType::fvec(2) });
-        s.uniforms.push(UniformVar { name: "tint".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::fvec(2),
+        });
+        s.uniforms.push(UniformVar {
+            name: "tint".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let t = s.new_reg(IrType::fvec(4));
         let m = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: t, op: Op::TextureSample { sampler: 0, coords: Operand::Input(0), lod: None, dim: TextureDim::Dim2D } },
-            Stmt::Def { dst: m, op: Op::Binary(BinaryOp::Mul, Operand::Reg(t), Operand::Uniform(0)) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(m) },
+            Stmt::Def {
+                dst: t,
+                op: Op::TextureSample {
+                    sampler: 0,
+                    coords: Operand::Input(0),
+                    lod: None,
+                    dim: TextureDim::Dim2D,
+                },
+            },
+            Stmt::Def {
+                dst: m,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(t), Operand::Uniform(0)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(m),
+            },
         ];
         s
     }
@@ -305,11 +355,20 @@ mod tests {
     #[test]
     fn loops_scale_their_bodies() {
         let mut s = Shader::new("loop");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let acc = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
@@ -317,10 +376,18 @@ mod tests {
                 step: 1,
                 body: vec![Stmt::Def {
                     dst: acc,
-                    op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::fvec(vec![0.1; 4])),
+                    op: Op::Binary(
+                        BinaryOp::Add,
+                        Operand::Reg(acc),
+                        Operand::fvec(vec![0.1; 4]),
+                    ),
                 }],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(acc) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(acc),
+            },
         ];
         let stats = IsaStats::of(&s);
         assert_eq!(stats.loop_iterations, 9.0);
@@ -332,18 +399,39 @@ mod tests {
     #[test]
     fn branches_charge_expected_cost() {
         let mut s = Shader::new("branch");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let out = s.new_reg(IrType::fvec(4));
         let heavy: Vec<Stmt> = (0..4)
             .map(|_| Stmt::Def {
                 dst: out,
-                op: Op::Binary(BinaryOp::Add, Operand::fvec(vec![1.0; 4]), Operand::fvec(vec![2.0; 4])),
+                op: Op::Binary(
+                    BinaryOp::Add,
+                    Operand::fvec(vec![1.0; 4]),
+                    Operand::fvec(vec![2.0; 4]),
+                ),
             })
             .collect();
         s.body = vec![
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
-            Stmt::If { cond: Operand::boolean(true), then_body: heavy, else_body: vec![] },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::If {
+                cond: Operand::boolean(true),
+                then_body: heavy,
+                else_body: vec![],
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         let stats = IsaStats::of(&s);
         assert_eq!(stats.branches, 1.0);
@@ -354,12 +442,31 @@ mod tests {
     #[test]
     fn division_is_counted_separately() {
         let mut s = Shader::new("div");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.uniforms.push(UniformVar { name: "u".into(), ty: IrType::fvec(4), slot: 0, original: "vec4".into() });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "u".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
         let d = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: d, op: Op::Binary(BinaryOp::Div, Operand::Uniform(0), Operand::fvec(vec![3.0; 4])) },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(d) },
+            Stmt::Def {
+                dst: d,
+                op: Op::Binary(
+                    BinaryOp::Div,
+                    Operand::Uniform(0),
+                    Operand::fvec(vec![3.0; 4]),
+                ),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(d),
+            },
         ];
         let stats = IsaStats::of(&s);
         assert_eq!(stats.divisions, 4.0);
@@ -370,14 +477,20 @@ mod tests {
     fn register_pressure_grows_with_live_values() {
         // Ten simultaneously live vec4 temporaries versus two.
         let mut big = Shader::new("big");
-        big.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        big.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let regs: Vec<Reg> = (0..10).map(|_| big.new_reg(IrType::fvec(4))).collect();
         let mut body: Vec<Stmt> = regs
             .iter()
             .enumerate()
             .map(|(i, r)| Stmt::Def {
                 dst: *r,
-                op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(i as f64) },
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(i as f64),
+                },
             })
             .collect();
         // Sum them all at the end so they are all live simultaneously.
@@ -390,15 +503,32 @@ mod tests {
             });
             acc = next;
         }
-        body.push(Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(acc) });
+        body.push(Stmt::StoreOutput {
+            output: 0,
+            components: None,
+            value: Operand::Reg(acc),
+        });
         big.body = body;
 
         let mut small = Shader::new("small");
-        small.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        small.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let a = small.new_reg(IrType::fvec(4));
         small.body = vec![
-            Stmt::Def { dst: a, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(1.0),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         assert!(register_pressure(&big) > register_pressure(&small) + 20.0);
     }

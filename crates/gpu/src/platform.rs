@@ -131,7 +131,9 @@ mod tests {
     #[test]
     fn submit_compiles_and_costs_a_real_shader() {
         for platform in Platform::all() {
-            let cost = platform.submit(BLUR, "blur").expect("blur compiles everywhere");
+            let cost = platform
+                .submit(BLUR, "blur")
+                .expect("blur compiles everywhere");
             assert_eq!(cost.stats.texture_samples, 9.0, "{}", platform.vendor());
             assert!(cost.cost.total_cycles > 0.0);
             assert!(cost.ideal_frame_ns > 0.0);
@@ -148,14 +150,25 @@ mod tests {
         let optimized = compile(
             &src,
             "blur",
-            OptFlags::from_flags(&[Flag::Unroll, Flag::FpReassociate, Flag::DivToMul, Flag::Coalesce]),
+            OptFlags::from_flags(&[
+                Flag::Unroll,
+                Flag::FpReassociate,
+                Flag::DivToMul,
+                Flag::Coalesce,
+            ]),
         )
         .unwrap();
         let mut desktop_gains = Vec::new();
         let mut mobile_gains = Vec::new();
         for platform in Platform::all() {
-            let before = platform.submit(&baseline.glsl, "blur").unwrap().ideal_frame_ns;
-            let after = platform.submit(&optimized.glsl, "blur").unwrap().ideal_frame_ns;
+            let before = platform
+                .submit(&baseline.glsl, "blur")
+                .unwrap()
+                .ideal_frame_ns;
+            let after = platform
+                .submit(&optimized.glsl, "blur")
+                .unwrap()
+                .ideal_frame_ns;
             let gain = (before - after) / before;
             assert!(
                 gain > 0.0,
@@ -182,6 +195,9 @@ mod tests {
         let cost = platform.submit(BLUR, "blur").unwrap();
         let mut r1 = StdRng::seed_from_u64(3);
         let mut r2 = StdRng::seed_from_u64(3);
-        assert_eq!(platform.sample_frame(&cost, &mut r1), platform.sample_frame(&cost, &mut r2));
+        assert_eq!(
+            platform.sample_frame(&cost, &mut r1),
+            platform.sample_frame(&cost, &mut r2)
+        );
     }
 }

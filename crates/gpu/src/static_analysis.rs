@@ -55,19 +55,33 @@ fn analyze_body(shader: &Shader, body: &[Stmt], scale: f64, cycles: &mut StaticC
             Stmt::Def { dst, op } => analyze_op(shader, *dst, op, scale, cycles),
             Stmt::StoreOutput { .. } => cycles.load_store += scale * 0.5,
             Stmt::Discard { .. } => cycles.arithmetic += scale * 0.25,
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 cycles.arithmetic += scale * 0.5;
                 // Longest path: take the more expensive side entirely.
                 let mut then_c = StaticCycles::default();
                 analyze_body(shader, then_body, scale, &mut then_c);
                 let mut else_c = StaticCycles::default();
                 analyze_body(shader, else_body, scale, &mut else_c);
-                let chosen = if then_c.total() >= else_c.total() { then_c } else { else_c };
+                let chosen = if then_c.total() >= else_c.total() {
+                    then_c
+                } else {
+                    else_c
+                };
                 cycles.arithmetic += chosen.arithmetic;
                 cycles.load_store += chosen.load_store;
                 cycles.texture += chosen.texture;
             }
-            Stmt::Loop { start, end, step, body: loop_body, .. } => {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body: loop_body,
+                ..
+            } => {
                 let trips = if *step > 0 {
                     ((end - start).max(0) as f64 / *step as f64).ceil()
                 } else if *step < 0 {
@@ -93,17 +107,23 @@ fn analyze_op(shader: &Shader, dst: Reg, op: &Op, scale: f64, cycles: &mut Stati
             cycles.arithmetic += scale * 1.0
         }
         Op::Intrinsic(i, _) => {
-            cycles.arithmetic += if i.is_transcendental() { scale * 3.0 } else { scale * 1.5 }
+            cycles.arithmetic += if i.is_transcendental() {
+                scale * 3.0
+            } else {
+                scale * 1.5
+            }
         }
         Op::TextureSample { .. } => cycles.texture += scale * 2.0,
         Op::ConstArrayLoad { .. } => cycles.load_store += scale * 1.0,
         Op::Mov(Operand::Uniform(_)) | Op::Mov(Operand::Input(_)) => {
             cycles.load_store += scale * 0.25
         }
-        Op::Mov(_) | Op::Splat { .. } | Op::Construct { .. } | Op::Extract { .. }
-        | Op::Insert { .. } | Op::Swizzle { .. } => {
-            cycles.arithmetic += scale * 0.25 * (width / 4.0).max(0.25)
-        }
+        Op::Mov(_)
+        | Op::Splat { .. }
+        | Op::Construct { .. }
+        | Op::Extract { .. }
+        | Op::Insert { .. }
+        | Op::Swizzle { .. } => cycles.arithmetic += scale * 0.25 * (width / 4.0).max(0.25),
     }
 }
 
@@ -114,19 +134,49 @@ mod tests {
     #[test]
     fn texture_heavy_shader_is_texture_bound() {
         let mut s = Shader::new("texbound");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
-        s.samplers.push(SamplerVar { name: "t".into(), dim: TextureDim::Dim2D });
-        s.inputs.push(InputVar { name: "uv".into(), ty: IrType::fvec(2) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.samplers.push(SamplerVar {
+            name: "t".into(),
+            dim: TextureDim::Dim2D,
+        });
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::fvec(2),
+        });
         let mut acc = s.new_reg(IrType::fvec(4));
-        let mut body = vec![Stmt::Def { dst: acc, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } }];
+        let mut body = vec![Stmt::Def {
+            dst: acc,
+            op: Op::Splat {
+                ty: IrType::fvec(4),
+                value: Operand::float(0.0),
+            },
+        }];
         for _ in 0..8 {
             let t = s.new_reg(IrType::fvec(4));
             let sum = s.new_reg(IrType::fvec(4));
-            body.push(Stmt::Def { dst: t, op: Op::TextureSample { sampler: 0, coords: Operand::Input(0), lod: None, dim: TextureDim::Dim2D } });
-            body.push(Stmt::Def { dst: sum, op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(t)) });
+            body.push(Stmt::Def {
+                dst: t,
+                op: Op::TextureSample {
+                    sampler: 0,
+                    coords: Operand::Input(0),
+                    lod: None,
+                    dim: TextureDim::Dim2D,
+                },
+            });
+            body.push(Stmt::Def {
+                dst: sum,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(t)),
+            });
             acc = sum;
         }
-        body.push(Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(acc) });
+        body.push(Stmt::StoreOutput {
+            output: 0,
+            components: None,
+            value: Operand::Reg(acc),
+        });
         s.body = body;
         let c = analyze(&s);
         assert_eq!(c.bound_by(), "texture");
@@ -136,27 +186,53 @@ mod tests {
     #[test]
     fn loops_multiply_and_longest_branch_wins() {
         let mut s = Shader::new("paths");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let a = s.new_reg(IrType::fvec(4));
         let heavy: Vec<Stmt> = (0..6)
-            .map(|_| Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Add, Operand::fvec(vec![1.0; 4]), Operand::fvec(vec![1.0; 4])) })
+            .map(|_| Stmt::Def {
+                dst: a,
+                op: Op::Binary(
+                    BinaryOp::Add,
+                    Operand::fvec(vec![1.0; 4]),
+                    Operand::fvec(vec![1.0; 4]),
+                ),
+            })
             .collect();
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(0.0) } },
+            Stmt::Def {
+                dst: a,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
                 end: 4,
                 step: 1,
-                body: vec![Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::fvec(vec![1.0; 4])) }],
+                body: vec![Stmt::Def {
+                    dst: a,
+                    op: Op::Binary(BinaryOp::Add, Operand::Reg(a), Operand::fvec(vec![1.0; 4])),
+                }],
             },
             Stmt::If {
                 cond: Operand::boolean(false),
-                then_body: vec![Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Mul, Operand::Reg(a), Operand::fvec(vec![2.0; 4])) }],
+                then_body: vec![Stmt::Def {
+                    dst: a,
+                    op: Op::Binary(BinaryOp::Mul, Operand::Reg(a), Operand::fvec(vec![2.0; 4])),
+                }],
                 else_body: heavy,
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(a) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
         ];
         let c = analyze(&s);
         // 4 loop iterations + 6 else-side ops + 1 then-side op: longest path
@@ -167,7 +243,11 @@ mod tests {
 
     #[test]
     fn totals_are_additive() {
-        let c = StaticCycles { arithmetic: 3.0, load_store: 1.0, texture: 2.0 };
+        let c = StaticCycles {
+            arithmetic: 3.0,
+            load_store: 1.0,
+            texture: 2.0,
+        };
         assert_eq!(c.total(), 6.0);
         assert_eq!(c.bound_by(), "arithmetic");
     }

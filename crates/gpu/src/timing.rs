@@ -27,12 +27,20 @@ pub struct DrawConfig {
 impl DrawConfig {
     /// The paper's desktop configuration: 500×500 quads, 1000 triangles.
     pub fn desktop() -> DrawConfig {
-        DrawConfig { width: 500, height: 500, triangles_per_frame: 1000 }
+        DrawConfig {
+            width: 500,
+            height: 500,
+            triangles_per_frame: 1000,
+        }
     }
 
     /// The paper's mobile configuration: 500×500 quads, 100 triangles.
     pub fn mobile() -> DrawConfig {
-        DrawConfig { width: 500, height: 500, triangles_per_frame: 100 }
+        DrawConfig {
+            width: 500,
+            height: 500,
+            triangles_per_frame: 100,
+        }
     }
 
     /// The configuration the paper uses for a device.
@@ -51,7 +59,8 @@ impl DrawConfig {
     /// the rasteriser/early-Z cost of the occluded layers.
     pub fn fragments_per_frame(&self) -> f64 {
         let full_screen = (self.width * self.height) as f64;
-        let occluded_residue = 0.02 * full_screen * (self.triangles_per_frame.saturating_sub(1)) as f64;
+        let occluded_residue =
+            0.02 * full_screen * (self.triangles_per_frame.saturating_sub(1)) as f64;
         full_screen + occluded_residue
     }
 }
@@ -87,7 +96,10 @@ pub fn sample_frame_time_ns(
     // Timer queries also add a small positive profiling overhead.
     let overhead = rng.gen_range(0.0..0.002);
     let measured = ideal * (1.0 + noise + overhead);
-    TimeSample { nanoseconds: measured.max(0.0), ideal_nanoseconds: ideal }
+    TimeSample {
+        nanoseconds: measured.max(0.0),
+        ideal_nanoseconds: ideal,
+    }
 }
 
 /// Approximately standard-normal variate (Irwin–Hall with 12 uniforms),
@@ -149,12 +161,16 @@ mod tests {
                 .map(|_| sample_frame_time_ns(&c, &spec, &config, &mut rng).nanoseconds)
                 .collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+            let var =
+                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
             var.sqrt() / mean
         };
         let intel = spread(Vendor::Intel);
         let qualcomm = spread(Vendor::Qualcomm);
-        assert!(intel < qualcomm, "Intel should be the quietest: {intel} vs {qualcomm}");
+        assert!(
+            intel < qualcomm,
+            "Intel should be the quietest: {intel} vs {qualcomm}"
+        );
 
         // Reproducibility: same seed, same samples.
         let (c, spec) = cost(Vendor::Amd);
@@ -171,7 +187,9 @@ mod tests {
         let fragments = config.fragments_per_frame();
         let full = (config.width * config.height) as f64;
         assert!(fragments >= full);
-        assert!(fragments < full * (config.triangles_per_frame as f64) * 0.5,
-            "early-Z should reject almost all occluded fragments");
+        assert!(
+            fragments < full * (config.triangles_per_frame as f64) * 0.5,
+            "early-Z should reject almost all occluded fragments"
+        );
     }
 }

@@ -25,14 +25,22 @@ pub struct MeasureConfig {
 
 impl Default for MeasureConfig {
     fn default() -> Self {
-        MeasureConfig { frames: 100, repeats: 5, seed: 0xC0FFEE }
+        MeasureConfig {
+            frames: 100,
+            repeats: 5,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
 impl MeasureConfig {
     /// A light-weight configuration for unit tests and quick runs.
     pub fn quick() -> MeasureConfig {
-        MeasureConfig { frames: 10, repeats: 2, seed: 0xC0FFEE }
+        MeasureConfig {
+            frames: 10,
+            repeats: 2,
+            seed: 0xC0FFEE,
+        }
     }
 
     /// Total number of timed frames.
@@ -126,7 +134,11 @@ mod tests {
     #[test]
     fn measurement_aggregates_the_right_number_of_frames() {
         let platform = Platform::new(Vendor::Intel);
-        let config = MeasureConfig { frames: 20, repeats: 3, seed: 1 };
+        let config = MeasureConfig {
+            frames: 20,
+            repeats: 3,
+            seed: 1,
+        };
         let m = measure_glsl(&platform, SHADER, "simple", &config, 0).unwrap();
         assert_eq!(m.samples, 60);
         assert!(m.mean_ns > 0.0);
@@ -136,7 +148,11 @@ mod tests {
     #[test]
     fn averaging_many_frames_suppresses_noise() {
         let platform = Platform::new(Vendor::Qualcomm);
-        let long = MeasureConfig { frames: 200, repeats: 5, seed: 7 };
+        let long = MeasureConfig {
+            frames: 200,
+            repeats: 5,
+            seed: 7,
+        };
         let m = measure_glsl(&platform, SHADER, "simple", &long, 3).unwrap();
         // With 1000 samples the mean should sit within a fraction of the
         // per-sample noise of the ideal value.
@@ -172,6 +188,13 @@ mod tests {
     #[test]
     fn bad_shader_source_is_rejected() {
         let platform = Platform::new(Vendor::Amd);
-        assert!(measure_glsl(&platform, "void main() { broken", "bad", &MeasureConfig::quick(), 0).is_err());
+        assert!(measure_glsl(
+            &platform,
+            "void main() { broken",
+            "bad",
+            &MeasureConfig::quick(),
+            0
+        )
+        .is_err());
     }
 }

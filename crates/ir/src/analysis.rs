@@ -61,7 +61,11 @@ impl Analysis {
                     f.defined_in_loop |= in_loop;
                     f.defined_in_branch |= in_branch;
                 }
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     self.scan(then_body, in_loop, true);
                     self.scan(else_body, in_loop, true);
                 }
@@ -118,7 +122,11 @@ mod tests {
         s.body = vec![
             def(r0, Op::Mov(Operand::float(1.0))),
             def(r1, Op::Mov(Operand::Reg(r0))),
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r1) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r1),
+            },
         ];
         let a = Analysis::of(&s);
         assert!(a.is_ssa(r0));

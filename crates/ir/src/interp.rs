@@ -122,6 +122,9 @@ impl FragmentContext {
     /// harness's "colourfully-patterned opaque power-of-two image"): each
     /// channel is a different phase-shifted sinusoid of the coordinates, and
     /// alpha is 1.
+    // The frequencies below are decorative pattern constants, not attempts
+    // at mathematical constants (6.2831 happens to sit near tau).
+    #[allow(clippy::approx_constant)]
     pub fn sample_texture(&self, sampler: usize, coords: &[f64], dim: TextureDim) -> Vec<f64> {
         let x = coords.first().copied().unwrap_or(0.0);
         let y = coords.get(1).copied().unwrap_or(0.0);
@@ -209,7 +212,11 @@ impl<'a> State<'a> {
                 self.regs.insert(*dst, v);
                 Ok(())
             }
-            Stmt::StoreOutput { output, components, value } => {
+            Stmt::StoreOutput {
+                output,
+                components,
+                value,
+            } => {
                 let v = self.eval(value)?.lanes();
                 let out = self
                     .outputs
@@ -231,14 +238,24 @@ impl<'a> State<'a> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if self.eval(cond)?.truthy() {
                     self.exec_body(then_body)
                 } else {
                     self.exec_body(else_body)
                 }
             }
-            Stmt::Loop { var, start, end, step, body } => {
+            Stmt::Loop {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 let mut i = *start;
                 let mut guard = 0usize;
                 while (*step > 0 && i < *end) || (*step < 0 && i > *end) {
@@ -315,7 +332,12 @@ impl<'a> State<'a> {
                     .collect::<Result<_, _>>()?;
                 eval_intrinsic(*i, &vals)
             }
-            Op::TextureSample { sampler, coords, lod: _, dim } => {
+            Op::TextureSample {
+                sampler,
+                coords,
+                lod: _,
+                dim,
+            } => {
                 let c = self.eval(coords)?.lanes();
                 Ok(Val::Num(self.ctx.sample_texture(*sampler, &c, *dim)))
             }
@@ -344,7 +366,11 @@ impl<'a> State<'a> {
                     .map(|x| Val::scalar(*x))
                     .ok_or_else(|| err("extract index out of range"))
             }
-            Op::Insert { vector, index, value } => {
+            Op::Insert {
+                vector,
+                index,
+                value,
+            } => {
                 let mut v = self.eval(vector)?.lanes();
                 let x = self.eval(value)?.lanes()[0];
                 if (*index as usize) < v.len() {
@@ -361,7 +387,11 @@ impl<'a> State<'a> {
                         .collect(),
                 ))
             }
-            Op::Select { cond, if_true, if_false } => {
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 if self.eval(cond)?.truthy() {
                     self.eval(if_true)
                 } else {
@@ -381,7 +411,9 @@ impl<'a> State<'a> {
             Op::Convert { to, value } => {
                 let v = self.eval(value)?;
                 match v {
-                    Val::Bool(b) => Ok(Val::Num(vec![if b { 1.0 } else { 0.0 }; to.width as usize])),
+                    Val::Bool(b) => {
+                        Ok(Val::Num(vec![if b { 1.0 } else { 0.0 }; to.width as usize]))
+                    }
                     Val::Num(lanes) => {
                         let converted: Vec<f64> = lanes
                             .iter()
@@ -489,7 +521,13 @@ fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
             Val::Num(
                 x.iter()
                     .zip(&y)
-                    .map(|(a, b)| if *b == 0.0 { 0.0 } else { a - b * (a / b).floor() })
+                    .map(|(a, b)| {
+                        if *b == 0.0 {
+                            0.0
+                        } else {
+                            a - b * (a / b).floor()
+                        }
+                    })
                     .collect(),
             )
         }
@@ -508,7 +546,10 @@ fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
             Val::Num(
                 x.iter()
                     .enumerate()
-                    .map(|(idx, v)| v.max(lo[idx.min(lo.len() - 1)]).min(hi[idx.min(hi.len() - 1)]))
+                    .map(|(idx, v)| {
+                        v.max(lo[idx.min(lo.len() - 1)])
+                            .min(hi[idx.min(hi.len() - 1)])
+                    })
                     .collect(),
             )
         }
@@ -587,12 +628,7 @@ fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
         Intrinsic::Reflect => {
             let (i_v, n) = broadcast(&lanes(0), &lanes(1));
             let d: f64 = i_v.iter().zip(&n).map(|(x, y)| x * y).sum();
-            Val::Num(
-                i_v.iter()
-                    .zip(&n)
-                    .map(|(x, y)| x - 2.0 * d * y)
-                    .collect(),
-            )
+            Val::Num(i_v.iter().zip(&n).map(|(x, y)| x - 2.0 * d * y).collect())
         }
         Intrinsic::Refract => {
             // Simplified refract: eta-scaled reflection fallback.
@@ -649,7 +685,10 @@ mod tests {
 
     fn shader_with_output() -> Shader {
         let mut s = Shader::new("interp");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         s
     }
 
@@ -659,9 +698,22 @@ mod tests {
         let a = s.new_reg(IrType::F32);
         let b = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: a, op: Op::Binary(BinaryOp::Add, Operand::float(1.5), Operand::float(2.5)) },
-            Stmt::Def { dst: b, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(a) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(b) },
+            Stmt::Def {
+                dst: a,
+                op: Op::Binary(BinaryOp::Add, Operand::float(1.5), Operand::float(2.5)),
+            },
+            Stmt::Def {
+                dst: b,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(a),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(b),
+            },
         ];
         let ctx = FragmentContext::with_defaults(&s, 0.25, 0.75);
         let r = run_fragment(&s, &ctx).unwrap();
@@ -676,7 +728,10 @@ mod tests {
         let acc = s.new_reg(IrType::F32);
         let out = s.new_reg(IrType::fvec(4));
         s.body = vec![
-            Stmt::Def { dst: acc, op: Op::Mov(Operand::float(0.0)) },
+            Stmt::Def {
+                dst: acc,
+                op: Op::Mov(Operand::float(0.0)),
+            },
             Stmt::Loop {
                 var: i,
                 start: 0,
@@ -687,8 +742,18 @@ mod tests {
                     op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(i)),
                 }],
             },
-            Stmt::Def { dst: out, op: Op::Splat { ty: IrType::fvec(4), value: Operand::Reg(acc) } },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(out) },
+            Stmt::Def {
+                dst: out,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::Reg(acc),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(out),
+            },
         ];
         let ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
         let r = run_fragment(&s, &ctx).unwrap();
@@ -706,11 +771,18 @@ mod tests {
         });
         let c = s.new_reg(IrType::BOOL);
         s.body = vec![
-            Stmt::Def { dst: c, op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.4)) },
+            Stmt::Def {
+                dst: c,
+                op: Op::Binary(BinaryOp::Lt, Operand::Uniform(0), Operand::float(0.4)),
+            },
             Stmt::If {
                 cond: Operand::Reg(c),
                 then_body: vec![Stmt::Discard { cond: None }],
-                else_body: vec![Stmt::StoreOutput { output: 0, components: None, value: Operand::fvec(vec![1.0, 0.0, 0.0, 1.0]) }],
+                else_body: vec![Stmt::StoreOutput {
+                    output: 0,
+                    components: None,
+                    value: Operand::fvec(vec![1.0, 0.0, 0.0, 1.0]),
+                }],
             },
         ];
         // Default uniform is 0.5, so no discard.
@@ -728,7 +800,10 @@ mod tests {
     #[test]
     fn texture_sampling_is_deterministic_and_in_range() {
         let mut s = shader_with_output();
-        s.samplers.push(SamplerVar { name: "tex".into(), dim: TextureDim::Dim2D });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
         let t = s.new_reg(IrType::fvec(4));
         s.body = vec![
             Stmt::Def {
@@ -740,7 +815,11 @@ mod tests {
                     dim: TextureDim::Dim2D,
                 },
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(t) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(t),
+            },
         ];
         let ctx = FragmentContext::with_defaults(&s, 0.0, 0.0);
         let a = run_fragment(&s, &ctx).unwrap();
@@ -753,18 +832,35 @@ mod tests {
     #[test]
     fn intrinsics_behave_reasonably() {
         assert_eq!(
-            eval_intrinsic(Intrinsic::Dot, &[Val::Num(vec![1.0, 2.0, 3.0]), Val::Num(vec![4.0, 5.0, 6.0])])
-                .unwrap(),
+            eval_intrinsic(
+                Intrinsic::Dot,
+                &[Val::Num(vec![1.0, 2.0, 3.0]), Val::Num(vec![4.0, 5.0, 6.0])]
+            )
+            .unwrap(),
             Val::scalar(32.0)
         );
         assert_eq!(
-            eval_intrinsic(Intrinsic::Mix, &[Val::Num(vec![0.0, 10.0]), Val::Num(vec![10.0, 20.0]), Val::scalar(0.5)])
-                .unwrap(),
+            eval_intrinsic(
+                Intrinsic::Mix,
+                &[
+                    Val::Num(vec![0.0, 10.0]),
+                    Val::Num(vec![10.0, 20.0]),
+                    Val::scalar(0.5)
+                ]
+            )
+            .unwrap(),
             Val::Num(vec![5.0, 15.0])
         );
         assert_eq!(
-            eval_intrinsic(Intrinsic::Clamp, &[Val::Num(vec![-1.0, 0.5, 2.0]), Val::scalar(0.0), Val::scalar(1.0)])
-                .unwrap(),
+            eval_intrinsic(
+                Intrinsic::Clamp,
+                &[
+                    Val::Num(vec![-1.0, 0.5, 2.0]),
+                    Val::scalar(0.0),
+                    Val::scalar(1.0)
+                ]
+            )
+            .unwrap(),
             Val::Num(vec![0.0, 0.5, 1.0])
         );
         let n = eval_intrinsic(Intrinsic::Normalize, &[Val::Num(vec![3.0, 0.0, 4.0])]).unwrap();
@@ -773,12 +869,24 @@ mod tests {
 
     #[test]
     fn approx_equality_tolerates_small_differences() {
-        let a = FragmentResult { outputs: vec![vec![1.0, 2.0]], discarded: false };
-        let b = FragmentResult { outputs: vec![vec![1.0 + 1e-7, 2.0 - 1e-7]], discarded: false };
-        let c = FragmentResult { outputs: vec![vec![1.5, 2.0]], discarded: false };
+        let a = FragmentResult {
+            outputs: vec![vec![1.0, 2.0]],
+            discarded: false,
+        };
+        let b = FragmentResult {
+            outputs: vec![vec![1.0 + 1e-7, 2.0 - 1e-7]],
+            discarded: false,
+        };
+        let c = FragmentResult {
+            outputs: vec![vec![1.5, 2.0]],
+            discarded: false,
+        };
         assert!(results_approx_equal(&a, &b, 1e-5));
         assert!(!results_approx_equal(&a, &c, 1e-5));
-        let d = FragmentResult { outputs: vec![vec![1.0, 2.0]], discarded: true };
+        let d = FragmentResult {
+            outputs: vec![vec![1.0, 2.0]],
+            discarded: true,
+        };
         assert!(!results_approx_equal(&a, &d, 1e-5));
     }
 

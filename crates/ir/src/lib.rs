@@ -11,7 +11,9 @@
 //! * a reference [interpreter](crate::interp) used as the semantic oracle in
 //!   the test suite,
 //! * a textual [printer](crate::printer) used for debugging and variant
-//!   deduplication.
+//!   deduplication,
+//! * a structural, commutative-aware [fingerprint](crate::fingerprint) used
+//!   by the compile session for early variant deduplication.
 //!
 //! ```
 //! use prism_ir::prelude::*;
@@ -30,6 +32,7 @@
 //! ```
 
 pub mod analysis;
+pub mod fingerprint;
 pub mod interp;
 pub mod op;
 pub mod printer;
@@ -41,6 +44,7 @@ pub mod verify;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::fingerprint::{fingerprint, Fingerprint};
     pub use crate::interp::{run_fragment, FragmentContext, FragmentResult};
     pub use crate::op::{BinaryOp, Intrinsic, Op, UnaryOp};
     pub use crate::shader::{

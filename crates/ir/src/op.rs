@@ -342,7 +342,10 @@ impl Op {
     /// All operands of this operation, in order.
     pub fn operands(&self) -> Vec<&Operand> {
         match self {
-            Op::Mov(a) | Op::Unary(_, a) | Op::Extract { vector: a, .. } | Op::Swizzle { vector: a, .. } => vec![a],
+            Op::Mov(a)
+            | Op::Unary(_, a)
+            | Op::Extract { vector: a, .. }
+            | Op::Swizzle { vector: a, .. } => vec![a],
             Op::Binary(_, a, b) => vec![a, b],
             Op::Intrinsic(_, args) => args.iter().collect(),
             Op::TextureSample { coords, lod, .. } => {
@@ -355,7 +358,11 @@ impl Op {
             Op::Construct { parts, .. } => parts.iter().collect(),
             Op::Splat { value, .. } => vec![value],
             Op::Insert { vector, value, .. } => vec![vector, value],
-            Op::Select { cond, if_true, if_false } => vec![cond, if_true, if_false],
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => vec![cond, if_true, if_false],
             Op::ConstArrayLoad { index, .. } => vec![index],
             Op::Convert { value, .. } => vec![value],
         }
@@ -364,7 +371,10 @@ impl Op {
     /// Mutable references to all operands of this operation.
     pub fn operands_mut(&mut self) -> Vec<&mut Operand> {
         match self {
-            Op::Mov(a) | Op::Unary(_, a) | Op::Extract { vector: a, .. } | Op::Swizzle { vector: a, .. } => vec![a],
+            Op::Mov(a)
+            | Op::Unary(_, a)
+            | Op::Extract { vector: a, .. }
+            | Op::Swizzle { vector: a, .. } => vec![a],
             Op::Binary(_, a, b) => vec![a, b],
             Op::Intrinsic(_, args) => args.iter_mut().collect(),
             Op::TextureSample { coords, lod, .. } => {
@@ -377,7 +387,11 @@ impl Op {
             Op::Construct { parts, .. } => parts.iter_mut().collect(),
             Op::Splat { value, .. } => vec![value],
             Op::Insert { vector, value, .. } => vec![vector, value],
-            Op::Select { cond, if_true, if_false } => vec![cond, if_true, if_false],
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => vec![cond, if_true, if_false],
             Op::ConstArrayLoad { index, .. } => vec![index],
             Op::Convert { value, .. } => vec![value],
         }
@@ -418,7 +432,12 @@ impl Op {
                 let keys: Vec<String> = args.iter().map(|a| a.key()).collect();
                 format!("call:{i:?}({})", keys.join(","))
             }
-            Op::TextureSample { sampler, coords, lod, dim } => format!(
+            Op::TextureSample {
+                sampler,
+                coords,
+                lod,
+                dim,
+            } => format!(
                 "tex:{sampler}:{:?}({},{})",
                 dim,
                 coords.key(),
@@ -430,16 +449,19 @@ impl Op {
             }
             Op::Splat { ty, value } => format!("splat:{ty}({})", value.key()),
             Op::Extract { vector, index } => format!("ext({},{index})", vector.key()),
-            Op::Insert { vector, index, value } => {
+            Op::Insert {
+                vector,
+                index,
+                value,
+            } => {
                 format!("ins({},{index},{})", vector.key(), value.key())
             }
             Op::Swizzle { vector, lanes } => format!("swz({},{lanes:?})", vector.key()),
-            Op::Select { cond, if_true, if_false } => format!(
-                "sel({},{},{})",
-                cond.key(),
-                if_true.key(),
-                if_false.key()
-            ),
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => format!("sel({},{},{})", cond.key(), if_true.key(), if_false.key()),
             Op::ConstArrayLoad { array, index } => format!("cal({array},{})", index.key()),
             Op::Convert { to, value } => format!("cvt:{to}({})", value.key()),
         }

@@ -23,7 +23,13 @@ pub fn print_shader(shader: &Shader) -> String {
         let _ = writeln!(out, "  out[{i}] {} : {}", v.name, v.ty);
     }
     for (i, a) in shader.const_arrays.iter().enumerate() {
-        let _ = writeln!(out, "  const_array[{i}] {} : {}[{}]", a.name, a.elem_ty, a.len());
+        let _ = writeln!(
+            out,
+            "  const_array[{i}] {} : {}[{}]",
+            a.name,
+            a.elem_ty,
+            a.len()
+        );
     }
     print_body(&mut out, &shader.body, 1);
     out.push_str("}\n");
@@ -55,17 +61,28 @@ fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
         Stmt::Def { dst, op } => {
             let _ = writeln!(out, "{dst} = {}", print_op(op));
         }
-        Stmt::StoreOutput { output, components, value } => {
+        Stmt::StoreOutput {
+            output,
+            components,
+            value,
+        } => {
             let comps = components
                 .as_ref()
                 .map(|c| {
-                    let names: String = c.iter().map(|i| "xyzw".chars().nth(*i as usize).unwrap_or('?')).collect();
+                    let names: String = c
+                        .iter()
+                        .map(|i| "xyzw".chars().nth(*i as usize).unwrap_or('?'))
+                        .collect();
                     format!(".{names}")
                 })
                 .unwrap_or_default();
             let _ = writeln!(out, "store out[{output}]{comps} = {}", value.key());
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "if {} {{", cond.key());
             print_body(out, then_body, depth + 1);
             if !else_body.is_empty() {
@@ -76,7 +93,13 @@ fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             indent(out, depth);
             out.push_str("}\n");
         }
-        Stmt::Loop { var, start, end, step, body } => {
+        Stmt::Loop {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
             let _ = writeln!(out, "loop {var} in {start}..{end} step {step} {{");
             print_body(out, body, depth + 1);
             indent(out, depth);
@@ -100,8 +123,18 @@ fn print_op(op: &Op) -> String {
             let parts: Vec<String> = args.iter().map(|a| a.key()).collect();
             format!("{}({})", i.glsl_name(), parts.join(", "))
         }
-        Op::TextureSample { sampler, coords, lod, dim } => match lod {
-            Some(l) => format!("texture[{sampler}]({}, lod={}) {:?}", coords.key(), l.key(), dim),
+        Op::TextureSample {
+            sampler,
+            coords,
+            lod,
+            dim,
+        } => match lod {
+            Some(l) => format!(
+                "texture[{sampler}]({}, lod={}) {:?}",
+                coords.key(),
+                l.key(),
+                dim
+            ),
             None => format!("texture[{sampler}]({}) {:?}", coords.key(), dim),
         },
         Op::Construct { ty, parts } => {
@@ -110,11 +143,19 @@ fn print_op(op: &Op) -> String {
         }
         Op::Splat { ty, value } => format!("splat {} {}", ty, value.key()),
         Op::Extract { vector, index } => format!("extract {} [{index}]", vector.key()),
-        Op::Insert { vector, index, value } => {
+        Op::Insert {
+            vector,
+            index,
+            value,
+        } => {
             format!("insert {} [{index}] = {}", vector.key(), value.key())
         }
         Op::Swizzle { vector, lanes } => format!("swizzle {} {:?}", vector.key(), lanes),
-        Op::Select { cond, if_true, if_false } => format!(
+        Op::Select {
+            cond,
+            if_true,
+            if_false,
+        } => format!(
             "select {} ? {} : {}",
             cond.key(),
             if_true.key(),
@@ -136,7 +177,10 @@ mod tests {
     #[test]
     fn prints_structured_body() {
         let mut s = Shader::new("print-test");
-        s.outputs.push(OutputVar { name: "c".into(), ty: IrType::fvec(4) });
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
         let i = s.new_reg(IrType::I32);
         let r = s.new_reg(IrType::F32);
         s.body = vec![
@@ -153,7 +197,11 @@ mod tests {
             Stmt::If {
                 cond: Operand::boolean(true),
                 then_body: vec![Stmt::Discard { cond: None }],
-                else_body: vec![Stmt::StoreOutput { output: 0, components: Some(vec![0, 1, 2]), value: Operand::Reg(r) }],
+                else_body: vec![Stmt::StoreOutput {
+                    output: 0,
+                    components: Some(vec![0, 1, 2]),
+                    value: Operand::Reg(r),
+                }],
             },
         ];
         let text = print_shader(&s);
@@ -172,7 +220,10 @@ mod tests {
     fn identical_shaders_print_identically() {
         let mut a = Shader::new("same");
         let r = a.new_reg(IrType::F32);
-        a.body = vec![Stmt::Def { dst: r, op: Op::Mov(Operand::float(1.0)) }];
+        a.body = vec![Stmt::Def {
+            dst: r,
+            op: Op::Mov(Operand::float(1.0)),
+        }];
         let b = a.clone();
         assert_eq!(print_shader(&a), print_shader(&b));
     }

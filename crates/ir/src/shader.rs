@@ -114,7 +114,10 @@ impl Shader {
 
     /// Allocates a fresh virtual register of type `ty`.
     pub fn new_reg(&mut self, ty: IrType) -> Reg {
-        self.regs.push(RegInfo { ty, name_hint: None });
+        self.regs.push(RegInfo {
+            ty,
+            name_hint: None,
+        });
         Reg((self.regs.len() - 1) as u32)
     }
 

@@ -63,9 +63,11 @@ impl Stmt {
     /// Number of statements in this statement including nested bodies.
     pub fn size(&self) -> usize {
         match self {
-            Stmt::If { then_body, else_body, .. } => {
-                1 + body_size(then_body) + body_size(else_body)
-            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + body_size(then_body) + body_size(else_body),
             Stmt::Loop { body, .. } => 1 + body_size(body),
             _ => 1,
         }
@@ -75,7 +77,11 @@ impl Stmt {
     pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Stmt)) {
         visit(self);
         match self {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for s in then_body {
                     s.walk(visit);
                 }
@@ -143,7 +149,11 @@ pub fn rewrite_operands(body: &mut [Stmt], rewrite: &mut impl FnMut(&mut Operand
             rewrite(op);
         }
         match stmt {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 rewrite_operands(then_body, rewrite);
                 rewrite_operands(else_body, rewrite);
             }
@@ -174,7 +184,10 @@ mod tests {
             ],
         };
         assert_eq!(s.size(), 4);
-        assert_eq!(body_size(&[s.clone(), def(3, Op::Mov(Operand::float(0.0)))]), 5);
+        assert_eq!(
+            body_size(&[s.clone(), def(3, Op::Mov(Operand::float(0.0)))]),
+            5
+        );
     }
 
     #[test]
@@ -195,7 +208,10 @@ mod tests {
     fn rewrite_operands_reaches_nested_bodies() {
         let mut body = vec![Stmt::If {
             cond: Operand::Reg(Reg(9)),
-            then_body: vec![def(1, Op::Binary(BinaryOp::Add, Operand::Reg(Reg(2)), Operand::Reg(Reg(3))))],
+            then_body: vec![def(
+                1,
+                Op::Binary(BinaryOp::Add, Operand::Reg(Reg(2)), Operand::Reg(Reg(3))),
+            )],
             else_body: vec![],
         }];
         let mut seen = 0;
@@ -208,10 +224,10 @@ mod tests {
 
     #[test]
     fn defined_reg_only_for_defs() {
-        assert_eq!(def(4, Op::Mov(Operand::float(1.0))).defined_reg(), Some(Reg(4)));
         assert_eq!(
-            Stmt::Discard { cond: None }.defined_reg(),
-            None
+            def(4, Op::Mov(Operand::float(1.0))).defined_reg(),
+            Some(Reg(4))
         );
+        assert_eq!(Stmt::Discard { cond: None }.defined_reg(), None);
     }
 }

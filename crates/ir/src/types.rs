@@ -43,13 +43,25 @@ pub struct IrType {
 
 impl IrType {
     /// 32-bit float scalar.
-    pub const F32: IrType = IrType { scalar: Scalar::F32, width: 1 };
+    pub const F32: IrType = IrType {
+        scalar: Scalar::F32,
+        width: 1,
+    };
     /// 32-bit signed int scalar.
-    pub const I32: IrType = IrType { scalar: Scalar::I32, width: 1 };
+    pub const I32: IrType = IrType {
+        scalar: Scalar::I32,
+        width: 1,
+    };
     /// 32-bit unsigned int scalar.
-    pub const U32: IrType = IrType { scalar: Scalar::U32, width: 1 };
+    pub const U32: IrType = IrType {
+        scalar: Scalar::U32,
+        width: 1,
+    };
     /// Boolean scalar.
-    pub const BOOL: IrType = IrType { scalar: Scalar::Bool, width: 1 };
+    pub const BOOL: IrType = IrType {
+        scalar: Scalar::Bool,
+        width: 1,
+    };
 
     /// Creates a vector type of the given element kind and width (1–4).
     ///
@@ -57,7 +69,10 @@ impl IrType {
     ///
     /// Panics if `width` is 0 or greater than 4.
     pub fn vec(scalar: Scalar, width: u8) -> IrType {
-        assert!((1..=4).contains(&width), "vector width must be 1..=4, got {width}");
+        assert!(
+            (1..=4).contains(&width),
+            "vector width must be 1..=4, got {width}"
+        );
         IrType { scalar, width }
     }
 
@@ -93,7 +108,10 @@ impl IrType {
 
     /// The scalar type with the same element kind.
     pub fn element(self) -> IrType {
-        IrType { scalar: self.scalar, width: 1 }
+        IrType {
+            scalar: self.scalar,
+            width: 1,
+        }
     }
 
     /// This type widened (or narrowed) to `width` components.

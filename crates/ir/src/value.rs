@@ -140,7 +140,12 @@ pub fn format_glsl_float(v: f64) -> String {
         return "(0.0 / 0.0)".to_string();
     }
     if v.is_infinite() {
-        return if v > 0.0 { "(1.0 / 0.0)" } else { "(-1.0 / 0.0)" }.to_string();
+        return if v > 0.0 {
+            "(1.0 / 0.0)"
+        } else {
+            "(-1.0 / 0.0)"
+        }
+        .to_string();
     }
     let s = format!("{v}");
     if s.contains('.') || s.contains('e') || s.contains('E') {

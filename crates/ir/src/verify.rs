@@ -78,7 +78,11 @@ fn verify_stmt(
             verify_op(shader, *dst, op, defined)?;
             defined.insert(*dst);
         }
-        Stmt::StoreOutput { output, components, value } => {
+        Stmt::StoreOutput {
+            output,
+            components,
+            value,
+        } => {
             let out = shader
                 .outputs
                 .get(*output)
@@ -107,7 +111,11 @@ fn verify_stmt(
                 }
             }
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let ct = operand_ty(shader, cond);
             if let Some(ct) = ct {
                 if !ct.is_bool() || !ct.is_scalar() {
@@ -124,7 +132,13 @@ fn verify_stmt(
                 defined.insert(*r);
             }
         }
-        Stmt::Loop { var, start, end, step, body } => {
+        Stmt::Loop {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
             if *step == 0 {
                 return Err(err("loop step must be non-zero"));
             }
@@ -274,9 +288,7 @@ fn verify_op(
                 .map(|p| operand_ty(shader, p).map(|t| t.width).unwrap_or(1))
                 .sum();
             if total != ty.width && parts.len() > 1 {
-                return Err(err(format!(
-                    "construct of {ty} given {total} components"
-                )));
+                return Err(err(format!("construct of {ty} given {total} components")));
             }
         }
         Op::Splat { ty, value } => {
@@ -312,7 +324,11 @@ fn verify_op(
                 )));
             }
         }
-        Op::Select { cond, if_true, if_false } => {
+        Op::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
             if let Some(ct) = operand_ty(shader, cond) {
                 if !ct.is_bool() {
                     return Err(err("select condition must be bool"));
@@ -400,7 +416,11 @@ mod tests {
                     Operand::float(3.0),
                 ),
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         let e = verify(&s).unwrap_err();
         assert!(e.message.contains("widths differ"));
@@ -415,11 +435,18 @@ mod tests {
                 cond: Operand::boolean(true),
                 then_body: vec![Stmt::Def {
                     dst: r,
-                    op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) },
+                    op: Op::Splat {
+                        ty: IrType::fvec(4),
+                        value: Operand::float(1.0),
+                    },
                 }],
                 else_body: vec![],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         assert!(verify(&s).is_err());
         // Defining it in both branches makes the use legal.
@@ -427,7 +454,10 @@ mod tests {
         let r2 = s2.new_reg(IrType::fvec(4));
         let mk = |v: f64| Stmt::Def {
             dst: r2,
-            op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(v) },
+            op: Op::Splat {
+                ty: IrType::fvec(4),
+                value: Operand::float(v),
+            },
         };
         s2.body = vec![
             Stmt::If {
@@ -435,7 +465,11 @@ mod tests {
                 then_body: vec![mk(1.0)],
                 else_body: vec![mk(0.0)],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r2) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r2),
+            },
         ];
         assert!(verify(&s2).is_ok());
     }
@@ -454,9 +488,16 @@ mod tests {
             },
         }];
         assert!(verify(&s).is_err());
-        s.samplers.push(SamplerVar { name: "tex".into(), dim: TextureDim::Dim2D });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
         assert!(verify(&s).is_ok());
-        s.body.push(Stmt::StoreOutput { output: 3, components: None, value: Operand::Reg(r) });
+        s.body.push(Stmt::StoreOutput {
+            output: 3,
+            components: None,
+            value: Operand::Reg(r),
+        });
         assert!(verify(&s).is_err());
     }
 
@@ -464,7 +505,13 @@ mod tests {
     fn rejects_zero_step_loop() {
         let mut s = base_shader();
         let i = s.new_reg(IrType::I32);
-        s.body = vec![Stmt::Loop { var: i, start: 0, end: 4, step: 0, body: vec![] }];
+        s.body = vec![Stmt::Loop {
+            var: i,
+            start: 0,
+            end: 4,
+            step: 0,
+            body: vec![],
+        }];
         assert!(verify(&s).unwrap_err().message.contains("non-zero"));
     }
 
@@ -481,10 +528,17 @@ mod tests {
                 step: 1,
                 body: vec![Stmt::Def {
                     dst: r,
-                    op: Op::Splat { ty: IrType::fvec(4), value: Operand::float(1.0) },
+                    op: Op::Splat {
+                        ty: IrType::fvec(4),
+                        value: Operand::float(1.0),
+                    },
                 }],
             },
-            Stmt::StoreOutput { output: 0, components: None, value: Operand::Reg(r) },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
         ];
         assert!(verify(&s).is_ok());
     }
@@ -497,11 +551,17 @@ mod tests {
         s.body = vec![
             Stmt::Def {
                 dst: v,
-                op: Op::Construct { ty: IrType::fvec(2), parts: vec![Operand::float(1.0), Operand::float(2.0)] },
+                op: Op::Construct {
+                    ty: IrType::fvec(2),
+                    parts: vec![Operand::float(1.0), Operand::float(2.0)],
+                },
             },
             Stmt::Def {
                 dst: w,
-                op: Op::Swizzle { vector: Operand::Reg(v), lanes: vec![0, 1, 2] },
+                op: Op::Swizzle {
+                    vector: Operand::Reg(v),
+                    lanes: vec![0, 1, 2],
+                },
             },
         ];
         assert!(verify(&s).unwrap_err().message.contains("out of range"));

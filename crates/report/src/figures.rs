@@ -22,7 +22,11 @@ pub fn fig3_motivating(study: &StudyResults, blur_name: &str) -> String {
     let _ = writeln!(out, "  best optimized variant vs. original shader:");
     for vendor in study.platforms() {
         if let Some(m) = study.measurement(blur_name, &vendor) {
-            let _ = writeln!(out, "    {vendor:<10} {:+6.2}%", m.best_speedup_vs_original());
+            let _ = writeln!(
+                out,
+                "    {vendor:<10} {:+6.2}%",
+                m.best_speedup_vs_original()
+            );
         }
     }
     // Right-hand side of Fig. 3: distribution of best-static speed-ups on ARM.
@@ -45,11 +49,31 @@ pub fn fig4_characterization(study: &StudyResults) -> String {
     let mut out = String::new();
     let loc: Vec<f64> = study.shaders.iter().map(|s| s.loc as f64).collect();
     let cycles: Vec<f64> = study.shaders.iter().map(|s| s.arm_static_cycles).collect();
-    let variants: Vec<f64> = study.shaders.iter().map(|s| s.unique_variants as f64).collect();
-    let _ = writeln!(out, "Figure 4 — corpus characterisation ({} shaders)", study.shaders.len());
-    let _ = writeln!(out, "  (a) lines of code:       {}", distribution_line(&loc));
-    let _ = writeln!(out, "  (b) ARM static cycles:   {}", distribution_line(&cycles));
-    let _ = writeln!(out, "  (c) unique variants/256: {}", distribution_line(&variants));
+    let variants: Vec<f64> = study
+        .shaders
+        .iter()
+        .map(|s| s.unique_variants as f64)
+        .collect();
+    let _ = writeln!(
+        out,
+        "Figure 4 — corpus characterisation ({} shaders)",
+        study.shaders.len()
+    );
+    let _ = writeln!(
+        out,
+        "  (a) lines of code:       {}",
+        distribution_line(&loc)
+    );
+    let _ = writeln!(
+        out,
+        "  (b) ARM static cycles:   {}",
+        distribution_line(&cycles)
+    );
+    let _ = writeln!(
+        out,
+        "  (c) unique variants/256: {}",
+        distribution_line(&variants)
+    );
     let under_50 = loc.iter().filter(|&&l| l < 50.0).count();
     let _ = writeln!(
         out,
@@ -76,7 +100,10 @@ fn distribution_line(values: &[f64]) -> String {
 /// platform.
 pub fn fig5_overall(study: &StudyResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 5 — average speed-up across all shaders (vs. original)");
+    let _ = writeln!(
+        out,
+        "Figure 5 — average speed-up across all shaders (vs. original)"
+    );
     let _ = writeln!(
         out,
         "  {:<10} {:>14} {:>18} {:>14}",
@@ -95,7 +122,10 @@ pub fn fig5_overall(study: &StudyResults) -> String {
 /// Fig. 6: average speed-up of the 30 most-improved shaders per platform.
 pub fn fig6_top30(study: &StudyResults, n: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 6 — mean speed-up of the {n} most-improved shaders");
+    let _ = writeln!(
+        out,
+        "Figure 6 — mean speed-up of the {n} most-improved shaders"
+    );
     for vendor in study.platforms() {
         let records = study.for_platform(&vendor);
         let top = top_n_mean_best(&records, n);
@@ -120,7 +150,11 @@ pub fn table1_best_static(study: &StudyResults) -> String {
     for s in &summaries {
         let _ = write!(out, "  {:<10}", s.vendor);
         for flag in Flag::ALL {
-            let mark = if s.best_static.contains(flag) { "yes" } else { "-" };
+            let mark = if s.best_static.contains(flag) {
+                "yes"
+            } else {
+                "-"
+            };
             let _ = write!(out, " {mark:>14}");
         }
         let _ = writeln!(out);
@@ -146,7 +180,10 @@ pub fn table1_best_static(study: &StudyResults) -> String {
 /// platform.
 pub fn fig7_per_shader(study: &StudyResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 7 — per-shader speed-up distributions (vs. original)");
+    let _ = writeln!(
+        out,
+        "Figure 7 — per-shader speed-up distributions (vs. original)"
+    );
     for vendor in study.platforms() {
         let records = study.for_platform(&vendor);
         let (static_flags, _) = prism_search::minimal_best_static(&records);
@@ -155,8 +192,16 @@ pub fn fig7_per_shader(study: &StudyResults) -> String {
         let static_speedups = per_shader_speedups(&records, Policy::Static(static_flags));
         let _ = writeln!(out, "  {vendor}");
         let _ = writeln!(out, "    best (green):        {}", ViolinSummary::of(&best));
-        let _ = writeln!(out, "    default LG (red):    {}", ViolinSummary::of(&default));
-        let _ = writeln!(out, "    best static (blue):  {}", ViolinSummary::of(&static_speedups));
+        let _ = writeln!(
+            out,
+            "    default LG (red):    {}",
+            ViolinSummary::of(&default)
+        );
+        let _ = writeln!(
+            out,
+            "    best static (blue):  {}",
+            ViolinSummary::of(&static_speedups)
+        );
         let near_zero = best.iter().filter(|s| s.abs() < 1.0).count();
         let _ = writeln!(
             out,
@@ -200,7 +245,12 @@ pub fn fig9_per_flag(study: &StudyResults) -> String {
         let _ = writeln!(out, "  {vendor}");
         for flag in Flag::ALL {
             let impact = flag_impact(study, &vendor, flag);
-            let _ = writeln!(out, "    {:<16} {}", flag.name(), ViolinSummary::of(&impact.speedups));
+            let _ = writeln!(
+                out,
+                "    {:<16} {}",
+                flag.name(),
+                ViolinSummary::of(&impact.speedups)
+            );
         }
     }
     out
@@ -295,8 +345,18 @@ mod tests {
             vendor: vendor.into(),
             original_ns: 1000.0,
             variants: vec![
-                VariantRecord { index: 0, flag_bits: vec![0], mean_ns: 1005.0, stddev_ns: 2.0 },
-                VariantRecord { index: 1, flag_bits: vec![16], mean_ns: fast, stddev_ns: 2.0 },
+                VariantRecord {
+                    index: 0,
+                    flag_bits: vec![0],
+                    mean_ns: 1005.0,
+                    stddev_ns: 2.0,
+                },
+                VariantRecord {
+                    index: 1,
+                    flag_bits: vec![16],
+                    mean_ns: fast,
+                    stddev_ns: 2.0,
+                },
             ],
             flag_to_variant: flag_to_variant.clone(),
         };
@@ -314,6 +374,7 @@ mod tests {
                 },
             }],
             measurements: vec![record("AMD", 750.0), record("ARM", 650.0)],
+            skipped: vec![],
         }
     }
 

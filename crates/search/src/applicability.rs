@@ -79,7 +79,10 @@ fn flag_in_optimal_tenth(record: &crate::results::ShaderPlatformRecord, flag: Fl
         .collect();
     ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
     let take = (ranked.len() / 10).max(1);
-    let with_flag = ranked[..take].iter().filter(|(_, f)| f.contains(flag)).count();
+    let with_flag = ranked[..take]
+        .iter()
+        .filter(|(_, f)| f.contains(flag))
+        .count();
     with_flag * 2 >= take
 }
 
@@ -111,11 +114,22 @@ mod tests {
                 vendor: "AMD".into(),
                 original_ns: 1000.0,
                 variants: vec![
-                    VariantRecord { index: 0, flag_bits: vec![0], mean_ns: 1000.0, stddev_ns: 1.0 },
-                    VariantRecord { index: 1, flag_bits: vec![], mean_ns: 800.0, stddev_ns: 1.0 },
+                    VariantRecord {
+                        index: 0,
+                        flag_bits: vec![0],
+                        mean_ns: 1000.0,
+                        stddev_ns: 1.0,
+                    },
+                    VariantRecord {
+                        index: 1,
+                        flag_bits: vec![],
+                        mean_ns: 800.0,
+                        stddev_ns: 1.0,
+                    },
                 ],
                 flag_to_variant,
             }],
+            skipped: vec![],
         }
     }
 

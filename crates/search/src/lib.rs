@@ -22,8 +22,10 @@ pub mod sweep;
 pub use applicability::{flag_applicability, FlagApplicability};
 pub use per_flag::{all_flag_impacts, flag_impact, FlagImpact};
 pub use policies::{
-    best_static_flags, mean_speedup, minimal_best_static, per_shader_speedups,
-    platform_summaries, top_n_mean_best, top_n_speedups, PlatformSummary, Policy,
+    best_static_flags, mean_speedup, minimal_best_static, per_shader_speedups, platform_summaries,
+    top_n_mean_best, top_n_speedups, PlatformSummary, Policy,
 };
-pub use results::{percent_speedup, ShaderPlatformRecord, ShaderRecord, StudyResults, VariantRecord};
+pub use results::{
+    percent_speedup, ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults, VariantRecord,
+};
 pub use sweep::{run_study, StudyConfig};

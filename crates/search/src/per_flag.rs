@@ -84,11 +84,12 @@ mod tests {
         let mut flag_to_variant = vec![0usize; 256];
         for bits in 0..=255u8 {
             let flags = OptFlags::from_bits(bits);
-            flag_to_variant[bits as usize] = match (flags.contains(Flag::Unroll), flags.contains(Flag::Hoist)) {
-                (true, _) => 1,
-                (false, true) => 2,
-                _ => 0,
-            };
+            flag_to_variant[bits as usize] =
+                match (flags.contains(Flag::Unroll), flags.contains(Flag::Hoist)) {
+                    (true, _) => 1,
+                    (false, true) => 2,
+                    _ => 0,
+                };
         }
         StudyResults {
             shaders: vec![ShaderRecord {
@@ -104,12 +105,28 @@ mod tests {
                 vendor: "ARM".into(),
                 original_ns: 980.0,
                 variants: vec![
-                    VariantRecord { index: 0, flag_bits: vec![0], mean_ns: 1000.0, stddev_ns: 1.0 },
-                    VariantRecord { index: 1, flag_bits: vec![], mean_ns: 800.0, stddev_ns: 1.0 },
-                    VariantRecord { index: 2, flag_bits: vec![], mean_ns: 1100.0, stddev_ns: 1.0 },
+                    VariantRecord {
+                        index: 0,
+                        flag_bits: vec![0],
+                        mean_ns: 1000.0,
+                        stddev_ns: 1.0,
+                    },
+                    VariantRecord {
+                        index: 1,
+                        flag_bits: vec![],
+                        mean_ns: 800.0,
+                        stddev_ns: 1.0,
+                    },
+                    VariantRecord {
+                        index: 2,
+                        flag_bits: vec![],
+                        mean_ns: 1100.0,
+                        stddev_ns: 1.0,
+                    },
                 ],
                 flag_to_variant,
             }],
+            skipped: vec![],
         }
     }
 

@@ -57,8 +57,7 @@ pub fn best_static_flags(records: &[&ShaderPlatformRecord]) -> (OptFlags, f64) {
         let mean = mean_speedup(records, Policy::Static(flags));
         // Prefer fewer flags when the mean is (exactly) tied, so flags that
         // never change the code (e.g. ADCE) drop out of the reported set.
-        let better = mean > best.1 + 1e-12
-            || (mean > best.1 - 1e-12 && flags.len() < best.0.len());
+        let better = mean > best.1 + 1e-12 || (mean > best.1 - 1e-12 && flags.len() < best.0.len());
         if better {
             best = (flags, mean);
         }
@@ -154,7 +153,14 @@ mod tests {
     use crate::results::VariantRecord;
 
     /// Builds a synthetic record where `fast_flags` maps to a faster variant.
-    fn record(shader: &str, vendor: &str, original: f64, base: f64, fast: f64, fast_flag: Flag) -> ShaderPlatformRecord {
+    fn record(
+        shader: &str,
+        vendor: &str,
+        original: f64,
+        base: f64,
+        fast: f64,
+        fast_flag: Flag,
+    ) -> ShaderPlatformRecord {
         let mut flag_to_variant = vec![0usize; 256];
         for bits in 0..=255u8 {
             if OptFlags::from_bits(bits).contains(fast_flag) {
@@ -166,8 +172,18 @@ mod tests {
             vendor: vendor.into(),
             original_ns: original,
             variants: vec![
-                VariantRecord { index: 0, flag_bits: vec![0], mean_ns: base, stddev_ns: 1.0 },
-                VariantRecord { index: 1, flag_bits: vec![], mean_ns: fast, stddev_ns: 1.0 },
+                VariantRecord {
+                    index: 0,
+                    flag_bits: vec![0],
+                    mean_ns: base,
+                    stddev_ns: 1.0,
+                },
+                VariantRecord {
+                    index: 1,
+                    flag_bits: vec![],
+                    mean_ns: fast,
+                    stddev_ns: 1.0,
+                },
             ],
             flag_to_variant,
         }
@@ -195,7 +211,11 @@ mod tests {
         let records: Vec<&ShaderPlatformRecord> = vec![&r1, &r2];
         let (flags, mean) = minimal_best_static(&records);
         assert!(flags.contains(Flag::Unroll));
-        assert_eq!(flags.len(), 1, "minimal set should drop no-op flags: {flags}");
+        assert_eq!(
+            flags.len(),
+            1,
+            "minimal set should drop no-op flags: {flags}"
+        );
         assert!((mean - 15.0).abs() < 1e-9);
     }
 

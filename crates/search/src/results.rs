@@ -5,10 +5,9 @@
 //! re-analysed without re-running the measurement.
 
 use prism_core::OptFlags;
-use serde::{Deserialize, Serialize};
 
 /// Timing of one distinct shader variant on one platform.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariantRecord {
     /// Variant index within the shader's variant set.
     pub index: usize,
@@ -20,8 +19,15 @@ pub struct VariantRecord {
     pub stddev_ns: f64,
 }
 
+serde::impl_serde_struct!(VariantRecord {
+    index,
+    flag_bits,
+    mean_ns,
+    stddev_ns
+});
+
 /// All measurements of one shader on one platform.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShaderPlatformRecord {
     /// Corpus shader name.
     pub shader: String,
@@ -35,6 +41,14 @@ pub struct ShaderPlatformRecord {
     /// For each of the 256 flag masks, the index of the variant it produces.
     pub flag_to_variant: Vec<usize>,
 }
+
+serde::impl_serde_struct!(ShaderPlatformRecord {
+    shader,
+    vendor,
+    original_ns,
+    variants,
+    flag_to_variant,
+});
 
 impl ShaderPlatformRecord {
     /// Frame time of the variant a flag combination produces.
@@ -90,7 +104,7 @@ pub fn percent_speedup(old: f64, new: f64) -> f64 {
 }
 
 /// Static per-shader facts gathered once (platform independent).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShaderRecord {
     /// Corpus shader name.
     pub name: String,
@@ -107,14 +121,49 @@ pub struct ShaderRecord {
     pub flag_changes_code: Vec<bool>,
 }
 
+serde::impl_serde_struct!(ShaderRecord {
+    name,
+    family,
+    loc,
+    arm_static_cycles,
+    unique_variants,
+    flag_changes_code,
+});
+
+/// A shader the sweep could not compile, with the reason — recorded instead
+/// of silently dropped, so partially incompatible corpora are diagnosable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedShader {
+    /// Corpus shader name.
+    pub name: String,
+    /// Übershader family.
+    pub family: String,
+    /// The compile error, rendered to text.
+    pub error: String,
+}
+
+serde::impl_serde_struct!(SkippedShader {
+    name,
+    family,
+    error
+});
+
 /// A complete study: every shader × platform × variant measurement.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StudyResults {
     /// Static per-shader facts.
     pub shaders: Vec<ShaderRecord>,
     /// All timing records.
     pub measurements: Vec<ShaderPlatformRecord>,
+    /// Shaders the offline optimizer rejected, with the error that caused it.
+    pub skipped: Vec<SkippedShader>,
 }
+
+serde::impl_serde_struct!(StudyResults {
+    shaders,
+    measurements,
+    skipped
+});
 
 impl StudyResults {
     /// All measurements for one platform, in shader order.
@@ -135,6 +184,11 @@ impl StudyResults {
         self.measurements
             .iter()
             .find(|m| m.shader == shader && m.vendor == vendor)
+    }
+
+    /// `true` when every corpus shader made it through the offline optimizer.
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
     }
 
     /// The platforms present in the study, in first-appearance order.
@@ -182,8 +236,18 @@ mod tests {
             vendor: "AMD".into(),
             original_ns: 1000.0,
             variants: vec![
-                VariantRecord { index: 0, flag_bits: vec![0], mean_ns: 1010.0, stddev_ns: 5.0 },
-                VariantRecord { index: 1, flag_bits: vec![16], mean_ns: 800.0, stddev_ns: 5.0 },
+                VariantRecord {
+                    index: 0,
+                    flag_bits: vec![0],
+                    mean_ns: 1010.0,
+                    stddev_ns: 5.0,
+                },
+                VariantRecord {
+                    index: 1,
+                    flag_bits: vec![16],
+                    mean_ns: 800.0,
+                    stddev_ns: 5.0,
+                },
             ],
             flag_to_variant,
         }
@@ -223,11 +287,18 @@ mod tests {
                 flag_changes_code: vec![false; 8],
             }],
             measurements: vec![record()],
+            skipped: vec![SkippedShader {
+                name: "broken".into(),
+                family: "f".into(),
+                error: "front-end: unexpected token".into(),
+            }],
         };
         let json = study.to_json();
         let restored = StudyResults::from_json(&json).unwrap();
         assert_eq!(restored.shaders, study.shaders);
         assert_eq!(restored.measurements, study.measurements);
+        assert_eq!(restored.skipped, study.skipped);
+        assert!(!restored.is_complete());
         assert_eq!(restored.platforms(), vec!["AMD".to_string()]);
         assert!(restored.measurement("s", "AMD").is_some());
         assert!(restored.measurement("s", "Intel").is_none());

@@ -32,7 +32,10 @@ fn main() {
             .map(|v| v.unique_count())
             .unwrap_or(0);
         variant_counts.push(variants);
-        println!("{:<28} {:>6} {:>14.1} {:>16}", case.name, loc, cycles, variants);
+        println!(
+            "{:<28} {:>6} {:>14.1} {:>16}",
+            case.name, loc, cycles, variants
+        );
     }
 
     println!();

@@ -24,11 +24,20 @@ fn main() {
     println!("--- optimized GLSL ({flags}) ---\n{}\n", optimized.glsl);
 
     // Submit both versions to each simulated GPU and compare.
-    println!("{:<10} {:>14} {:>14} {:>9}", "platform", "original (ns)", "optimized (ns)", "speed-up");
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "platform", "original (ns)", "optimized (ns)", "speed-up"
+    );
     for vendor in Vendor::ALL {
         let platform = Platform::new(vendor);
-        let before = platform.submit(&source.text, "blur9").expect("driver").ideal_frame_ns;
-        let after = platform.submit(&optimized.glsl, "blur9").expect("driver").ideal_frame_ns;
+        let before = platform
+            .submit(&source.text, "blur9")
+            .expect("driver")
+            .ideal_frame_ns;
+        let after = platform
+            .submit(&optimized.glsl, "blur9")
+            .expect("driver")
+            .ideal_frame_ns;
         println!(
             "{:<10} {:>14.0} {:>14.0} {:>+8.2}%",
             vendor.name(),

@@ -7,14 +7,25 @@
 //! | layer | crate | paper counterpart |
 //! |---|---|---|
 //! | GLSL front-end | [`glsl`] | LunarGlass GLSL front-end / glslang |
-//! | shader IR | [`ir`] | LLVM 3.4 IR inside LunarGlass |
+//! | shader IR + structural fingerprint | [`ir`] | LLVM 3.4 IR inside LunarGlass |
 //! | offline optimizer (8 flags) | [`core`] | LunarGlass passes + the paper's custom unsafe FP passes |
+//! | variant compile sessions | [`core`] (`session`) | — (engineering: lower-once, prefix-shared 256-way variant generation) |
 //! | GLSL back-end | [`emit`] | LunarGlass GLSL back-end (+ the mobile SPIRV-Cross path) |
 //! | GPU substrate | [`gpu`] | the five physical GPUs + their drivers |
 //! | benchmark corpus | [`corpus`] | GFXBench 4.0 fragment shaders |
 //! | timing harness | [`harness`] | the paper's isolated draw-call timing framework |
 //! | exhaustive search | [`search`] | the 256-combination iterative compilation study |
 //! | figures/tables | [`report`] | the evaluation section's figures and Table I |
+//!
+//! The hot path of the study — compiling every shader under all 256 flag
+//! combinations — runs through [`core::CompileSession`]: each shader is
+//! lowered to IR once, the pass schedule is replayed as inspectable stages
+//! whose IR snapshots are shared across combinations with a common schedule
+//! prefix, and a commutative-aware structural fingerprint
+//! ([`ir::fingerprint`]) short-circuits duplicate states before GLSL
+//! emission. The session output is byte-identical to brute force (the
+//! property suite proves it) at a fraction of the cost, and one session per
+//! shader serves all five platforms in [`search`].
 //!
 //! ## Quick start
 //!

@@ -48,9 +48,10 @@ fn optimized_glsl_reparses_with_identical_interface() {
         let case = corpus.case(name).expect("representative exists");
         let variants = unique_variants(&case.source, name).expect("variants");
         for variant in &variants.variants {
-            let reparsed =
-                ShaderSource::preprocess_and_parse(&variant.glsl, &Default::default())
-                    .unwrap_or_else(|e| panic!("{name} variant {} fails to re-parse: {e}", variant.index));
+            let reparsed = ShaderSource::preprocess_and_parse(&variant.glsl, &Default::default())
+                .unwrap_or_else(|e| {
+                    panic!("{name} variant {} fails to re-parse: {e}", variant.index)
+                });
             assert!(
                 case.source.interface.same_io(&reparsed.interface),
                 "{name} variant {} changed the shader interface",
@@ -69,16 +70,30 @@ fn blur_gains_follow_the_paper_shape() {
     let optimized = compile(
         &source,
         "blur",
-        OptFlags::from_flags(&[Flag::Unroll, Flag::Coalesce, Flag::FpReassociate, Flag::DivToMul]),
+        OptFlags::from_flags(&[
+            Flag::Unroll,
+            Flag::Coalesce,
+            Flag::FpReassociate,
+            Flag::DivToMul,
+        ]),
     )
     .unwrap();
     let mut gains = Vec::new();
     for vendor in Vendor::ALL {
         let platform = Platform::new(vendor);
-        let before = platform.submit(&source.text, "blur").unwrap().ideal_frame_ns;
-        let after = platform.submit(&optimized.glsl, "blur").unwrap().ideal_frame_ns;
+        let before = platform
+            .submit(&source.text, "blur")
+            .unwrap()
+            .ideal_frame_ns;
+        let after = platform
+            .submit(&optimized.glsl, "blur")
+            .unwrap()
+            .ideal_frame_ns;
         let gain = (before - after) / before * 100.0;
-        assert!(gain > 0.0, "{vendor}: blur must not regress, got {gain:.2}%");
+        assert!(
+            gain > 0.0,
+            "{vendor}: blur must not regress, got {gain:.2}%"
+        );
         gains.push((vendor, gain));
     }
     let desktop_avg = gains
@@ -100,7 +115,10 @@ fn blur_gains_follow_the_paper_shape() {
     // AMD benefits most among desktops (its 2017 driver does not unroll).
     let amd = gains.iter().find(|(v, _)| *v == Vendor::Amd).unwrap().1;
     let nvidia = gains.iter().find(|(v, _)| *v == Vendor::Nvidia).unwrap().1;
-    assert!(amd > nvidia, "AMD ({amd:.2}%) should out-gain NVIDIA ({nvidia:.2}%)");
+    assert!(
+        amd > nvidia,
+        "AMD ({amd:.2}%) should out-gain NVIDIA ({nvidia:.2}%)"
+    );
 }
 
 /// Unrolling alone is a no-op on platforms whose driver already unrolls
@@ -120,9 +138,18 @@ fn driver_maturity_decides_whether_offline_unrolling_matters() {
     let intel = gain(Vendor::Intel);
     let nvidia = gain(Vendor::Nvidia);
     let amd = gain(Vendor::Amd);
-    assert!(intel.abs() < 1.0, "Intel's driver unrolls internally: {intel:.2}%");
-    assert!(nvidia.abs() < 1.0, "NVIDIA's driver unrolls internally: {nvidia:.2}%");
-    assert!(amd > 3.0, "AMD's 2017 driver does not unroll, offline unrolling should win: {amd:.2}%");
+    assert!(
+        intel.abs() < 1.0,
+        "Intel's driver unrolls internally: {intel:.2}%"
+    );
+    assert!(
+        nvidia.abs() < 1.0,
+        "NVIDIA's driver unrolls internally: {nvidia:.2}%"
+    );
+    assert!(
+        amd > 3.0,
+        "AMD's 2017 driver does not unroll, offline unrolling should win: {amd:.2}%"
+    );
 }
 
 /// The ADCE flag does not change the generated code for representative
@@ -133,7 +160,14 @@ fn driver_maturity_decides_whether_offline_unrolling_matters() {
 #[test]
 fn adce_never_changes_generated_code() {
     let corpus = prism::corpus::Corpus::gfxbench_like();
-    for name in ["flagship_blur9", "flagship_tonemap", "ui_blit_00", "ssao_01", "water_00", "particle_02"] {
+    for name in [
+        "flagship_blur9",
+        "flagship_tonemap",
+        "ui_blit_00",
+        "ssao_01",
+        "water_00",
+        "particle_02",
+    ] {
         let case = corpus.case(name).expect("case exists");
         let variants = unique_variants(&case.source, name).expect("variants");
         assert!(
@@ -150,12 +184,17 @@ fn variant_counts_match_figure_4c_shape() {
     let corpus = prism::corpus::Corpus::gfxbench_like();
     let count = |name: &str| {
         let case = corpus.case(name).expect("case exists");
-        unique_variants(&case.source, name).expect("variants").unique_count()
+        unique_variants(&case.source, name)
+            .expect("variants")
+            .unique_count()
     };
     let simple = count("ui_blit_00");
     let blur = count("flagship_blur9");
     let lit = count("forward_lit_09");
-    assert!(simple <= 6, "trivial shader should have almost no variants: {simple}");
+    assert!(
+        simple <= 6,
+        "trivial shader should have almost no variants: {simple}"
+    );
     assert!(blur > simple);
     assert!(blur <= 64, "even the blur stays well under 256: {blur}");
     assert!(lit <= 64, "übershader variants stay bounded: {lit}");

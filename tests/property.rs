@@ -1,113 +1,253 @@
-//! Property-based tests over the optimizer's core invariants:
+//! Property-based tests over the optimizer's core invariants.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these
+//! properties run over a deterministic in-house generator: a seeded SplitMix64
+//! stream drives a small expression grammar, producing the same shader corpus
+//! on every run (failures are reproducible by seed).
+//!
+//! Properties:
 //!
 //! * any generated arithmetic shader survives the front-end and every flag
 //!   combination of the optimizer without panicking,
 //! * optimization preserves the rendered result (within unsafe-FP tolerance),
 //! * emitted GLSL always re-parses and keeps the shader interface,
-//! * variant deduplication is consistent with textual equality.
+//! * **session equivalence**: for generated shaders and a sample of corpus
+//!   shaders, session-based variants are text- and count-identical to
+//!   brute-force `compile`-per-combination, which also proves IR-fingerprint
+//!   dedup never merges shaders whose emitted GLSL differs.
 
-use prism::core::{compile, unique_variants, OptFlags};
+use prism::core::{compile, unique_variants, CompileSession, OptFlags};
 use prism::glsl::ShaderSource;
 use prism::ir::interp::{results_approx_equal, run_fragment, FragmentContext};
-use proptest::prelude::*;
 
-/// A small expression grammar over the shader's available values. Depth is
-/// bounded so generated shaders stay within realistic fragment-shader sizes.
-fn expr_strategy(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        Just("uv.x".to_string()),
-        Just("uv.y".to_string()),
-        Just("tint.x".to_string()),
-        Just("tint.y * 0.5".to_string()),
-        Just("gain".to_string()),
-        (1i32..9).prop_map(|v| format!("{v}.0")),
-        (1i32..5).prop_map(|v| format!("{}.5", v)),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
-            // Division by a non-zero constant: the Div-to-Mul target pattern.
-            (inner.clone(), 2i32..9).prop_map(|(a, c)| format!("({a} / {c}.0)")),
-            inner.clone().prop_map(|a| format!("abs({a})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("min({a}, {b})")),
-            (inner.clone(), inner).prop_map(|(a, b)| format!("mix({a}, {b}, 0.25)")),
-        ]
-    })
-    .boxed()
+/// Deterministic generator state (SplitMix64).
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A random expression over the shader's available values; depth-bounded so
+/// generated shaders stay within realistic fragment-shader sizes.
+fn gen_expr(g: &mut Gen, depth: u32) -> String {
+    if depth == 0 || g.below(3) == 0 {
+        return match g.below(7) {
+            0 => "uv.x".to_string(),
+            1 => "uv.y".to_string(),
+            2 => "tint.x".to_string(),
+            3 => "tint.y * 0.5".to_string(),
+            4 => "gain".to_string(),
+            5 => format!("{}.0", 1 + g.below(8)),
+            _ => format!("{}.5", 1 + g.below(4)),
+        };
+    }
+    match g.below(7) {
+        0 => format!("({} + {})", gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        1 => format!("({} * {})", gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        2 => format!("({} - {})", gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        // Division by a non-zero constant: the Div-to-Mul target pattern.
+        3 => format!("({} / {}.0)", gen_expr(g, depth - 1), 2 + g.below(7)),
+        4 => format!("abs({})", gen_expr(g, depth - 1)),
+        5 => format!(
+            "min({}, {})",
+            gen_expr(g, depth - 1),
+            gen_expr(g, depth - 1)
+        ),
+        _ => format!(
+            "mix({}, {}, 0.25)",
+            gen_expr(g, depth - 1),
+            gen_expr(g, depth - 1)
+        ),
+    }
 }
 
 /// Wraps generated expressions in a complete fragment shader that exercises
-/// scalar maths, vector construction and component writes.
-fn shader_strategy() -> BoxedStrategy<String> {
-    (expr_strategy(3), expr_strategy(3), 1usize..6)
-        .prop_map(|(a, b, reps)| {
-            let mut body = String::new();
-            body.push_str(&format!("    float acc = {a};\n"));
-            for i in 0..reps {
-                body.push_str(&format!("    acc += {b} * {}.0;\n", i + 1));
-            }
-            format!(
-                "uniform vec4 tint;\nuniform float gain;\nin vec2 uv;\nout vec4 fragColor;\n\
-                 void main() {{\n{body}    vec3 rgb = vec3(acc, acc * 0.5, {a});\n    fragColor.xyz = rgb;\n    fragColor.w = 1.0;\n}}\n"
-            )
-        })
-        .boxed()
+/// scalar maths, vector construction and component writes. Some shaders get a
+/// constant-bound accumulation loop so Unroll has something to do.
+fn gen_shader(g: &mut Gen) -> String {
+    let a = gen_expr(g, 3);
+    let b = gen_expr(g, 3);
+    let reps = 1 + g.below(5);
+    let mut body = format!("    float acc = {a};\n");
+    if g.below(2) == 0 {
+        body.push_str(&format!(
+            "    for (int i = 0; i < {reps}; i++) {{ acc += {b} * 0.125; }}\n"
+        ));
+    } else {
+        for i in 0..reps {
+            body.push_str(&format!("    acc += {b} * {}.0;\n", i + 1));
+        }
+    }
+    format!(
+        "uniform vec4 tint;\nuniform float gain;\nin vec2 uv;\nout vec4 fragColor;\n\
+         void main() {{\n{body}    vec3 rgb = vec3(acc, acc * 0.5, {a});\n    fragColor.xyz = rgb;\n    fragColor.w = 1.0;\n}}\n"
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+fn generated_sources(count: usize, seed: u64) -> Vec<ShaderSource> {
+    let mut g = Gen::new(seed);
+    (0..count)
+        .map(|i| {
+            let text = gen_shader(&mut g);
+            ShaderSource::parse(&text)
+                .unwrap_or_else(|e| panic!("generated shader {i} must parse: {e}\n{text}"))
+        })
+        .collect()
+}
 
-    /// Every flag combination preserves the generated shader's output.
-    #[test]
-    fn optimization_preserves_generated_shader_semantics(src in shader_strategy()) {
-        let source = ShaderSource::parse(&src).expect("generated shader parses");
-        let reference = compile(&source, "gen", OptFlags::NONE).expect("baseline compiles");
+/// Every flag combination preserves the generated shader's output.
+#[test]
+fn optimization_preserves_generated_shader_semantics() {
+    for (i, source) in generated_sources(24, 0xA11CE).iter().enumerate() {
+        let reference = compile(source, "gen", OptFlags::NONE).expect("baseline compiles");
         let ctx = FragmentContext::with_defaults(&reference.ir, 0.3, 0.65);
         let want = run_fragment(&reference.ir, &ctx).expect("baseline runs");
 
-        // A representative spread of combinations (the exhaustive version runs
-        // on the fixed corpus in the integration tests).
-        for bits in [0u8, 0xFF, 0b0101_0101, 0b1010_1010, 0b0011_0110, 0b1100_0001] {
+        // A representative spread of combinations (the exhaustive version
+        // runs on the fixed corpus in the integration tests).
+        for bits in [
+            0u8,
+            0xFF,
+            0b0101_0101,
+            0b1010_1010,
+            0b0011_0110,
+            0b1100_0001,
+        ] {
             let flags = OptFlags::from_bits(bits);
-            let optimized = compile(&source, "gen", flags).expect("optimized compiles");
+            let optimized = compile(source, "gen", flags).expect("optimized compiles");
             let ctx2 = FragmentContext::with_defaults(&optimized.ir, 0.3, 0.65);
             let got = run_fragment(&optimized.ir, &ctx2).expect("optimized runs");
-            prop_assert!(
+            assert!(
                 results_approx_equal(&want, &got, 1e-3),
-                "flags {} changed output: {:?} vs {:?}", flags, want.outputs, got.outputs
+                "shader {i}, flags {flags} changed output: {:?} vs {:?}",
+                want.outputs,
+                got.outputs
             );
         }
     }
+}
 
-    /// Emitted GLSL for any flag set re-parses and keeps the interface.
-    #[test]
-    fn emitted_glsl_reparses_and_keeps_interface(src in shader_strategy(), bits in 0u8..=255) {
-        let source = ShaderSource::parse(&src).expect("generated shader parses");
-        let optimized = compile(&source, "gen", OptFlags::from_bits(bits)).expect("compiles");
+/// Emitted GLSL for any flag set re-parses and keeps the interface.
+#[test]
+fn emitted_glsl_reparses_and_keeps_interface() {
+    let mut g = Gen::new(0xBEEF);
+    for source in generated_sources(16, 0xBEEF ^ 1) {
+        let flags = OptFlags::from_bits(g.below(256) as u8);
+        let optimized = compile(&source, "gen", flags).expect("compiles");
         let reparsed = ShaderSource::preprocess_and_parse(&optimized.glsl, &Default::default())
             .expect("emitted GLSL re-parses");
-        prop_assert!(source.interface.same_io(&reparsed.interface));
+        assert!(source.interface.same_io(&reparsed.interface));
     }
+}
 
-    /// Variant deduplication groups flag sets if and only if their emitted
-    /// text is identical.
-    #[test]
-    fn variant_dedup_is_consistent_with_text_equality(src in shader_strategy()) {
-        let source = ShaderSource::parse(&src).expect("generated shader parses");
+/// Variant deduplication groups flag sets if and only if their emitted text
+/// is identical.
+#[test]
+fn variant_dedup_is_consistent_with_text_equality() {
+    for source in generated_sources(8, 0xD00D) {
         let set = unique_variants(&source, "gen").expect("variants");
         // Spot-check a handful of flag sets against their variant's text.
         for bits in [0u8, 1, 16, 64, 255] {
             let flags = OptFlags::from_bits(bits);
             let direct = compile(&source, "gen", flags).expect("compiles").glsl;
-            prop_assert_eq!(&set.variant_for(flags).glsl, &direct);
+            assert_eq!(set.variant_for(flags).glsl, direct);
         }
         // Distinct variants must have distinct text.
         for (i, a) in set.variants.iter().enumerate() {
             for b in &set.variants[i + 1..] {
-                prop_assert_ne!(&a.glsl, &b.glsl);
+                assert_ne!(a.glsl, b.glsl);
             }
+        }
+    }
+}
+
+/// Session-based variant generation is byte-identical to brute force: for
+/// every one of the 256 combinations the session's text equals an independent
+/// `compile`, the variant count matches, and the flag→variant grouping is the
+/// same. Because the session deduplicates on IR fingerprints before emission,
+/// this equality also proves fingerprint dedup never merges flag sets whose
+/// emitted GLSL differs.
+#[test]
+fn session_variants_are_byte_identical_to_brute_force() {
+    let corpus = prism::corpus::Corpus::gfxbench_like();
+    let sampled = ["flagship_blur9", "ui_blit_00", "color_grade_01"];
+    let corpus_sources: Vec<(String, ShaderSource)> = corpus
+        .cases
+        .iter()
+        .filter(|c| sampled.contains(&c.name.as_str()))
+        .map(|c| (c.name.clone(), c.source.clone()))
+        .collect();
+    assert_eq!(
+        corpus_sources.len(),
+        sampled.len(),
+        "sampled corpus shaders exist"
+    );
+
+    let generated: Vec<(String, ShaderSource)> = generated_sources(6, 0x5E55)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (format!("gen_{i}"), s))
+        .collect();
+
+    for (name, source) in corpus_sources.into_iter().chain(generated) {
+        let session = CompileSession::new(&source, &name).expect("session constructs");
+        let set = session.variants().expect("session variants");
+
+        // Brute force: an independent full compile per combination.
+        let mut brute_unique: Vec<String> = Vec::new();
+        for flags in OptFlags::all_combinations() {
+            let direct = compile(&source, &name, flags).expect("brute force compiles");
+            assert_eq!(
+                set.variant_for(flags).glsl,
+                direct.glsl,
+                "{name}: flags {flags} diverge between session and brute force"
+            );
+            if !brute_unique.contains(&direct.glsl) {
+                brute_unique.push(direct.glsl);
+            }
+        }
+        assert_eq!(
+            set.unique_count(),
+            brute_unique.len(),
+            "{name}: variant count diverges"
+        );
+
+        // The session must actually have shared work, not just agreed.
+        let stats = session.stats();
+        assert!(
+            stats.stage_hits > stats.stage_runs,
+            "{name}: expected prefix sharing, got {stats:?}"
+        );
+    }
+}
+
+/// The per-combination session compile agrees with its own batch variants()
+/// view (the two code paths share the same caches).
+#[test]
+fn session_single_compiles_agree_with_batch_variants() {
+    for source in generated_sources(4, 0xCAFE) {
+        let session = CompileSession::new(&source, "gen").expect("session constructs");
+        let set = session.variants().expect("session variants");
+        for bits in [0u8, 3, 17, 128, 255] {
+            let flags = OptFlags::from_bits(bits);
+            let single = session.compile(flags).expect("session compile");
+            assert_eq!(single.glsl, set.variant_for(flags).glsl);
         }
     }
 }

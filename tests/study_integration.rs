@@ -69,8 +69,14 @@ fn qualitative_results_follow_the_paper() {
         let best = prism::search::mean_speedup(&records, Policy::Best);
         let (_, static_mean) = prism::search::minimal_best_static(&records);
         let default = prism::search::mean_speedup(&records, Policy::DefaultLunarGlass);
-        assert!(best >= static_mean - 1e-9, "{vendor}: best {best} < static {static_mean}");
-        assert!(static_mean >= default - 1e-9, "{vendor}: static {static_mean} < default {default}");
+        assert!(
+            best >= static_mean - 1e-9,
+            "{vendor}: best {best} < static {static_mean}"
+        );
+        assert!(
+            static_mean >= default - 1e-9,
+            "{vendor}: static {static_mean} < default {default}"
+        );
     }
 
     // The motivating blur is among the most-improved shaders everywhere.
@@ -101,7 +107,11 @@ fn qualitative_results_follow_the_paper() {
     // and is a wash on NVIDIA (whose driver does).
     let amd_unroll = flag_impact(&study, "AMD", Flag::Unroll);
     let nvidia_unroll = flag_impact(&study, "NVIDIA", Flag::Unroll);
-    assert!(amd_unroll.max() > 3.0, "AMD unroll peak {:.2}", amd_unroll.max());
+    assert!(
+        amd_unroll.max() > 3.0,
+        "AMD unroll peak {:.2}",
+        amd_unroll.max()
+    );
     assert!(
         nvidia_unroll.max() < amd_unroll.max(),
         "NVIDIA ({:.2}) should gain less than AMD ({:.2}) from offline unrolling",

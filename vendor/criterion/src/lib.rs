@@ -1,0 +1,216 @@
+//! A minimal, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`] with [`Bencher::iter`], `sample_size`,
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark is auto-calibrated to a per-sample target time, then
+//! `sample_size` samples are measured and a mean / median / min summary is
+//! printed — enough fidelity to compare implementations and catch large
+//! regressions, which is what the micro-benches exist for.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock time for one measured sample.
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            target_sample_time: self.target_sample_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(summary) => println!(
+                "{name:<44} mean {:>12}  median {:>12}  min {:>12}  ({} samples x {} iters)",
+                format_ns(summary.mean_ns),
+                format_ns(summary.median_ns),
+                format_ns(summary.min_ns),
+                summary.samples,
+                summary.iters_per_sample,
+            ),
+            None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+/// Summary statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    sample_size: usize,
+    target_sample_time: Duration,
+    result: Option<Summary>,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating the iteration count per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and calibrate: find an iteration count whose batch runtime
+        // reaches the per-sample target.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample_time || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                8
+            } else {
+                (self.target_sample_time.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        self.result = Some(Summary {
+            mean_ns: mean,
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            min_ns: per_iter_ns[0],
+            samples: per_iter_ns.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            target_sample_time: Duration::from_micros(200),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn calibration_produces_positive_times() {
+        let mut b = Bencher {
+            sample_size: 3,
+            target_sample_time: Duration::from_micros(100),
+            result: None,
+        };
+        b.iter(|| black_box((0..100).sum::<u64>()));
+        let s = b.result.expect("summary recorded");
+        assert!(s.mean_ns > 0.0);
+        assert!(s.min_ns <= s.mean_ns * 1.0001);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.5e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,286 @@
+//! A minimal, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides a small self-describing data model ([`Value`]) and the two traits
+//! the workspace needs. Instead of a proc-macro derive, structs opt in with
+//! the declarative [`impl_serde_struct!`] macro, which generates field-by-name
+//! `Serialize`/`Deserialize` impls compatible with `serde_json`'s JSON object
+//! encoding.
+
+use std::collections::HashMap;
+
+/// A self-describing value: the intermediate form between Rust data and JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, which covers every number the
+    /// workspace serialises: timings, counts and 8-bit flag masks).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object; insertion order is preserved for stable output.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the value has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! impl_num {
+    ($($ty:ty),+) => {
+        $(
+            impl Serialize for $ty {
+                fn to_value(&self) -> Value {
+                    Value::Num(*self as f64)
+                }
+            }
+            impl Deserialize for $ty {
+                fn from_value(v: &Value) -> Result<Self, String> {
+                    match v {
+                        Value::Num(n) => Ok(*n as $ty),
+                        other => Err(format!(
+                            "expected number for {}, got {other:?}",
+                            stringify!($ty)
+                        )),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a plain named-field
+/// struct, encoding it as a JSON object keyed by field name — the same shape
+/// `#[derive(Serialize, Deserialize)]` produces for such structs.
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: f64, y: f64 }
+/// serde::impl_serde_struct!(Point { x, y });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, String> {
+                let obj = match v {
+                    $crate::Value::Obj(fields) => fields,
+                    other => {
+                        return Err(format!(
+                            "expected object for {}, got {other:?}",
+                            stringify!($name)
+                        ))
+                    }
+                };
+                Ok($name {
+                    $($field: {
+                        let field_value = obj
+                            .iter()
+                            .find(|(k, _)| k == stringify!($field))
+                            .map(|(_, v)| v)
+                            .ok_or_else(|| format!(
+                                "missing field `{}` in {}",
+                                stringify!($field),
+                                stringify!($name)
+                            ))?;
+                        $crate::Deserialize::from_value(field_value)?
+                    },)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Sample {
+        id: usize,
+        label: String,
+        weights: Vec<f64>,
+        enabled: bool,
+    }
+    impl_serde_struct!(Sample {
+        id,
+        label,
+        weights,
+        enabled
+    });
+
+    #[test]
+    fn struct_round_trips_through_value() {
+        let s = Sample {
+            id: 7,
+            label: "blur".into(),
+            weights: vec![0.5, 1.5],
+            enabled: true,
+        };
+        let v = s.to_value();
+        assert_eq!(v.get("id"), Some(&Value::Num(7.0)));
+        let back = Sample::from_value(&v).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v = Value::Obj(vec![("id".into(), Value::Num(1.0))]);
+        let err = Sample::from_value(&v).unwrap_err();
+        assert!(err.contains("label"), "{err}");
+    }
+
+    #[test]
+    fn wrong_shape_is_an_error() {
+        assert!(Sample::from_value(&Value::Num(3.0)).is_err());
+        assert!(bool::from_value(&Value::Str("true".into())).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Bool(false)).is_err());
+    }
+
+    #[test]
+    fn option_maps_null() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Num(2.0)).unwrap(),
+            Some(2.0)
+        );
+        assert_eq!(Some(1.0f64).to_value(), Value::Num(1.0));
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+}
