@@ -1,0 +1,119 @@
+//! Criterion benchmark of the corpus-level study sweep hot path: one shared
+//! [`CorpusCache`](prism_core::CorpusCache) for every shader session versus
+//! the pre-corpus-cache behaviour (a private cache per session).
+//!
+//! Besides timing both configurations, the bench asserts the properties the
+//! shared cache must keep (cross-shader hits happen; results are
+//! byte-identical; the shared sweep performs strictly less compile work), so
+//! CI can run it as a smoke test and the hot path cannot silently regress.
+//! Set `PRISM_BENCH_SMOKE=1` for the reduced CI configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prism_corpus::Corpus;
+use prism_search::{run_study, StudyConfig, StudyResults};
+
+/// Whether the reduced CI smoke configuration is requested.
+fn smoke() -> bool {
+    std::env::var_os("PRISM_BENCH_SMOKE").is_some()
+}
+
+/// A corpus slice dominated by übershader family members that actually share
+/// IR, so the cross-shader path is exercised, plus an unrelated small shader.
+fn family_corpus() -> Corpus {
+    let keep: &[&str] = if smoke() {
+        &["texture_combine_00", "texture_combine_01", "ui_blit_00"]
+    } else {
+        &[
+            "texture_combine_00",
+            "texture_combine_01",
+            "texture_combine_02",
+            "texture_combine_03",
+            "ui_blit_00",
+            "color_grade_01",
+        ]
+    };
+    Corpus {
+        cases: Corpus::gfxbench_like()
+            .cases
+            .into_iter()
+            .filter(|c| keep.contains(&c.name.as_str()))
+            .collect(),
+    }
+}
+
+fn config(shared_cache: bool) -> StudyConfig {
+    StudyConfig {
+        shared_cache,
+        ..StudyConfig::quick()
+    }
+}
+
+fn sweep(corpus: &Corpus, shared_cache: bool) -> StudyResults {
+    run_study(corpus, &config(shared_cache))
+}
+
+fn corpus_sweep_benchmarks(c: &mut Criterion) {
+    let corpus = family_corpus();
+
+    c.bench_function("study_sweep_shared_corpus_cache", |b| {
+        b.iter(|| black_box(sweep(&corpus, true)))
+    });
+    c.bench_function("study_sweep_per_session_caches", |b| {
+        b.iter(|| black_box(sweep(&corpus, false)))
+    });
+
+    consistency_report(&corpus);
+}
+
+/// One checked comparison run: the shared cache must share across shaders,
+/// do strictly less compile work, and change nothing about the results.
+fn consistency_report(corpus: &Corpus) {
+    let shared = sweep(corpus, true);
+    let solo = sweep(corpus, false);
+
+    println!(
+        "\ncorpus sweep ({} shaders):\n  shared cache: {} stage runs, {} hits ({} cross-shader), {} emissions\n  per-session:  {} stage runs, {} hits, {} emissions",
+        corpus.len(),
+        shared.cache.stats.stage_runs,
+        shared.cache.stats.stage_hits,
+        shared.cache.stats.cross_shader_stage_hits,
+        shared.cache.stats.emissions,
+        solo.cache.stats.stage_runs,
+        solo.cache.stats.stage_hits,
+        solo.cache.stats.emissions,
+    );
+
+    assert!(
+        shared.cache.stats.cross_shader_stage_hits > 0,
+        "family sweep must share stage work across shaders: {:?}",
+        shared.cache
+    );
+    assert!(
+        shared.cache.stats.stage_runs < solo.cache.stats.stage_runs,
+        "shared cache must run strictly fewer stages ({} vs {})",
+        shared.cache.stats.stage_runs,
+        solo.cache.stats.stage_runs
+    );
+    assert!(
+        shared.cache.stats.emissions < solo.cache.stats.emissions,
+        "shared cache must emit strictly less ({} vs {})",
+        shared.cache.stats.emissions,
+        solo.cache.stats.emissions
+    );
+    assert_eq!(
+        shared.shaders, solo.shaders,
+        "shared cache must not change static records"
+    );
+    assert_eq!(
+        shared.measurements, solo.measurements,
+        "shared cache must not change a single measurement"
+    );
+    println!("  consistency: OK (results byte-identical, strictly less work)");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(if smoke() { 2 } else { 10 });
+    targets = corpus_sweep_benchmarks
+}
+criterion_main!(benches);

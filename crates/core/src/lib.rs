@@ -11,9 +11,13 @@
 //! * [`lower`] — GLSL AST → IR lowering (matrix scalarisation, inlining).
 //! * [`passes`] — the optimization passes themselves.
 //! * [`pipeline`] — the staged pass schedule and single-shot compilation.
-//! * [`session`] — lower-once, prefix-shared variant compilation sessions.
+//! * [`session`] — lower-once, prefix-shared variant compilation sessions
+//!   with per-backend (desktop GLSL / mobile GLES) emission memos.
+//! * [`cache`] — the session memo stores: private per-session, or one
+//!   thread-safe corpus-wide cache shared by a whole study sweep.
 //! * [`variant`] — exhaustive variant generation and deduplication (§V-C).
 
+pub mod cache;
 pub mod flags;
 pub mod lower;
 pub mod passes;
@@ -21,6 +25,7 @@ pub mod pipeline;
 pub mod session;
 pub mod variant;
 
+pub use cache::{CacheStats, CacheStore, CorpusCache, SessionCache};
 pub use flags::{Flag, OptFlags};
 pub use lower::{lower, LowerError};
 pub use pipeline::{

@@ -21,57 +21,49 @@
 //!    flagged stage leaves the IR structurally unchanged, its output
 //!    fingerprint equals its input fingerprint, every downstream lookup hits
 //!    the same cache entries, and the whole subtree of combinations collapses
-//!    — including GLSL emission, which is memoised on the structural
-//!    [`Fingerprint`] of the final IR.
+//!    — including emission, which is memoised on (structural
+//!    [`Fingerprint`], [`BackendKind`]) of the final IR, one entry per
+//!    emission target, so a single session serves desktop GLSL and mobile
+//!    GLES drivers alike.
 //!
-//! Fingerprint matches are only candidates: the session confirms every cache
+//! Both memos live behind a [`CacheStore`]: a standalone session owns a
+//! private [`SessionCache`](crate::cache::SessionCache), while the study
+//! sweep hands every session one shared, thread-safe
+//! [`CorpusCache`](crate::cache::CorpusCache) so übershader families share
+//! work *across* shaders too.
+//!
+//! Fingerprint matches are only candidates: the store confirms every cache
 //! hit with full structural equality before reusing a snapshot, so a hash
 //! collision can never silently merge different variants (a guarantee the
 //! property suite exercises).
 
+use crate::cache::{CacheStore, SessionCache, SessionId, Snapshot};
 use crate::flags::OptFlags;
 use crate::lower::lower;
 use crate::pipeline::{build_schedule, CompileError, CompiledShader, Stage};
 use crate::variant::{Variant, VariantSet};
-use prism_emit::emit_glsl;
+use prism_emit::BackendKind;
 use prism_glsl::ShaderSource;
-use prism_ir::fingerprint::{fingerprint, Fingerprint};
+use prism_ir::fingerprint::fingerprint;
 use prism_ir::verify::verify;
 use prism_ir::Shader;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
-
-/// An IR snapshot at a stage boundary: the shader state plus its structural
-/// fingerprint.
-#[derive(Clone)]
-struct Snapshot {
-    ir: Rc<Shader>,
-    fp: Fingerprint,
-}
-
-/// One memoised stage transition: `input` ran through a stage and produced
-/// `output`. The input exemplar is kept so a fingerprint match can be
-/// confirmed with structural equality before the cached output is reused.
-struct Transition {
-    input: Snapshot,
-    output: Snapshot,
-}
-
-/// Emission-cache bucket: (final-IR exemplar, its emitted GLSL).
-type EmittedEntry = (Rc<Shader>, Rc<String>);
+use std::sync::Arc;
 
 /// Counters describing how much work a session actually performed (and how
-/// much it shared). Useful for benchmarks and regression tests.
+/// much it shared). Useful for benchmarks and regression tests. These are the
+/// session's own counters; a shared store's corpus-wide view (including
+/// cross-shader sharing) lives in [`CacheStats`](crate::cache::CacheStats).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Stage executions that actually ran passes (cache misses).
     pub stage_runs: usize,
     /// Stage executions answered from the snapshot cache.
     pub stage_hits: usize,
-    /// GLSL emissions performed.
+    /// Emissions performed (across all backends).
     pub emissions: usize,
-    /// GLSL emissions answered from the fingerprint cache.
+    /// Emissions answered from the (fingerprint, backend) cache.
     pub emission_hits: usize,
 }
 
@@ -95,6 +87,7 @@ impl SessionStats {
 ///
 /// ```
 /// use prism_core::{CompileSession, OptFlags};
+/// use prism_emit::BackendKind;
 /// use prism_glsl::ShaderSource;
 ///
 /// let src = ShaderSource::parse(
@@ -106,42 +99,66 @@ impl SessionStats {
 /// assert_eq!(all.by_flags.len(), 256);
 /// let one = session.compile(OptFlags::all()).unwrap();
 /// assert_eq!(one.glsl, all.variant_for(OptFlags::all()).glsl);
+/// // The same session also emits the mobile (GLES) form of any combination.
+/// let gles = session.text_for(OptFlags::all(), BackendKind::Gles).unwrap();
+/// assert!(gles.starts_with("#version 310 es"));
 /// ```
 pub struct CompileSession {
     name: String,
     schedule: Vec<Stage>,
     base: Snapshot,
-    /// Memoised stage transitions, keyed by (stage index, input fingerprint).
-    /// Buckets hold every confirmed transition whose input hashes there.
-    transitions: RefCell<HashMap<(usize, Fingerprint), Vec<Transition>>>,
-    /// Memoised GLSL emission, keyed by final-IR fingerprint. As with
-    /// transitions, entries keep the IR exemplar for equality confirmation.
-    emitted: RefCell<HashMap<Fingerprint, Vec<EmittedEntry>>>,
+    /// Transition + emission memos; private by default, corpus-shared in the
+    /// study sweep.
+    cache: Arc<dyn CacheStore>,
+    /// This session's identity against the store (attribution of
+    /// cross-shader hits).
+    id: SessionId,
     stats: RefCell<SessionStats>,
 }
 
 impl CompileSession {
     /// Parses nothing and lowers once: the session owns the lowered base IR
-    /// for `source` and an instantiated pass schedule.
+    /// for `source`, an instantiated pass schedule and a private cache.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError`] when lowering fails or produces invalid IR;
     /// these failures are flag-independent, so a session that constructs
     /// successfully can compile every combination.
+    // The Arc is type-uniformity with shared stores, not thread-sharing: a
+    // `SessionCache` (RefCell, no locks) never leaves this session, and the
+    // session itself is !Send. Thread-crossing callers use `with_cache` and a
+    // Send + Sync `CorpusCache`.
+    #[allow(clippy::arc_with_non_send_sync)]
     pub fn new(source: &ShaderSource, name: &str) -> Result<CompileSession, CompileError> {
+        CompileSession::with_cache(source, name, Arc::new(SessionCache::new()))
+    }
+
+    /// Like [`CompileSession::new`], but memoising against `cache` — pass a
+    /// shared [`CorpusCache`](crate::cache::CorpusCache) to let übershader
+    /// family members reuse each other's stage transitions and emitted text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when lowering fails or produces invalid IR.
+    pub fn with_cache(
+        source: &ShaderSource,
+        name: &str,
+        cache: Arc<dyn CacheStore>,
+    ) -> Result<CompileSession, CompileError> {
         let ir = lower(source, name)?;
         verify(&ir).map_err(CompileError::Verify)?;
         let fp = fingerprint(&ir);
+        let id = cache.register_session();
         Ok(CompileSession {
             name: name.to_string(),
             schedule: build_schedule(),
             base: Snapshot {
-                ir: Rc::new(ir),
+                ir: Arc::new(ir),
                 fp,
             },
-            transitions: RefCell::new(HashMap::new()),
-            emitted: RefCell::new(HashMap::new()),
+            cache,
+            id,
             stats: RefCell::new(SessionStats::default()),
         })
     }
@@ -161,31 +178,75 @@ impl CompileSession {
         &self.schedule
     }
 
-    /// Work/sharing counters accumulated so far.
+    /// Work/sharing counters accumulated by this session so far.
     pub fn stats(&self) -> SessionStats {
         *self.stats.borrow()
     }
 
-    /// Compiles one flag combination, reusing every snapshot the session has
-    /// already computed.
+    /// Compiles one flag combination for the desktop backend, reusing every
+    /// snapshot the session (or its shared store) has already computed.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError::Verify`] if a pass breaks IR invariants (an
     /// internal bug), exactly as the per-combination [`crate::compile`] does.
     pub fn compile(&self, flags: OptFlags) -> Result<CompiledShader, CompileError> {
-        let (snapshot, glsl) = self.optimize(flags)?;
+        self.compile_for(flags, BackendKind::DesktopGlsl)
+    }
+
+    /// Compiles one flag combination and emits it through `backend` (desktop
+    /// GLSL or mobile GLES) — the optimization work is shared between
+    /// backends; only the final emission differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Verify`] if a pass breaks IR invariants.
+    pub fn compile_for(
+        &self,
+        flags: OptFlags,
+        backend: BackendKind,
+    ) -> Result<CompiledShader, CompileError> {
+        let state = self.optimize(flags)?;
+        let text = self.emit(&state, backend);
+        // Cached snapshots may have been produced by another session over a
+        // structurally identical family member; restamp this shader's name.
+        let mut ir = (*state.ir).clone();
+        ir.name = self.name.clone();
         Ok(CompiledShader {
             name: self.name.clone(),
             flags,
-            ir: (*snapshot.ir).clone(),
-            glsl: (*glsl).clone(),
+            ir,
+            glsl: (*text).clone(),
         })
     }
 
+    /// The emitted text of one flag combination for one backend, memoised on
+    /// (final-IR fingerprint, backend). This is what the study sweep calls —
+    /// once per (variant, platform API) — so mobile drivers receive GLES text
+    /// derived from the same optimized IR the desktop drivers measure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Verify`] if a pass breaks IR invariants.
+    pub fn text_for(
+        &self,
+        flags: OptFlags,
+        backend: BackendKind,
+    ) -> Result<Arc<String>, CompileError> {
+        let state = self.optimize(flags)?;
+        Ok(self.emit(&state, backend))
+    }
+
+    /// The `backend` emission of the *unoptimized* base lowering — the
+    /// conversion path the paper applies to original shaders before they can
+    /// run on a GLES platform at all (§III-C(d)).
+    pub fn base_text_for(&self, backend: BackendKind) -> Arc<String> {
+        self.emit(&self.base, backend)
+    }
+
     /// Compiles all 256 flag combinations and deduplicates them by generated
-    /// source text, sharing schedule-prefix snapshots across combinations and
-    /// short-circuiting emission through IR fingerprints.
+    /// desktop source text, sharing schedule-prefix snapshots across
+    /// combinations and short-circuiting emission through IR fingerprints.
     ///
     /// The result is identical — variant order, flag-set grouping and text —
     /// to brute-force compiling each combination independently, because every
@@ -198,13 +259,14 @@ impl CompileSession {
     /// any combination (an internal bug).
     pub fn variants(&self) -> Result<VariantSet, CompileError> {
         let mut variants: Vec<Variant> = Vec::new();
-        let mut by_text: HashMap<Rc<String>, usize> = HashMap::new();
+        let mut by_text: HashMap<Arc<String>, usize> = HashMap::new();
         let mut by_flags: HashMap<OptFlags, usize> = HashMap::new();
 
         // Walk combinations in mask order; OptFlags::NONE comes first, so the
         // baseline is always variant 0, matching the historical contract.
         for flags in OptFlags::all_combinations() {
-            let (snapshot, glsl) = self.optimize(flags)?;
+            let state = self.optimize(flags)?;
+            let glsl = self.emit(&state, BackendKind::DesktopGlsl);
             let index = match by_text.get(&glsl) {
                 Some(i) => {
                     variants[*i].flag_sets.push(flags);
@@ -212,11 +274,15 @@ impl CompileSession {
                 }
                 None => {
                     let index = variants.len();
-                    by_text.insert(Rc::clone(&glsl), index);
+                    by_text.insert(Arc::clone(&glsl), index);
+                    // Restamp the name: the snapshot may come from another
+                    // session's structurally identical family member.
+                    let mut ir = (*state.ir).clone();
+                    ir.name = self.name.clone();
                     variants.push(Variant {
                         index,
                         glsl: (*glsl).clone(),
-                        ir: (*snapshot.ir).clone(),
+                        ir,
                         flag_sets: vec![flags],
                     });
                     index
@@ -233,42 +299,28 @@ impl CompileSession {
     }
 
     /// Runs the enabled stages for `flags` over the base IR (sharing cached
-    /// snapshots) and returns the final state plus its emitted GLSL.
-    fn optimize(&self, flags: OptFlags) -> Result<(Snapshot, Rc<String>), CompileError> {
+    /// snapshots) and returns the final state.
+    fn optimize(&self, flags: OptFlags) -> Result<Snapshot, CompileError> {
         let mut state = self.base.clone();
         for (stage_idx, stage) in self.schedule.iter().enumerate() {
             if stage.enabled_for(flags) {
                 state = self.apply_stage(stage_idx, stage, state)?;
             }
         }
-        let glsl = self.emit(&state);
-        Ok((state, glsl))
+        Ok(state)
     }
 
     /// Applies one stage to a snapshot, memoised on (stage, fingerprint) with
-    /// structural-equality confirmation.
+    /// structural-equality confirmation by the store.
     fn apply_stage(
         &self,
         stage_idx: usize,
         stage: &Stage,
         input: Snapshot,
     ) -> Result<Snapshot, CompileError> {
-        let key = (stage_idx, input.fp);
-        {
-            let transitions = self.transitions.borrow();
-            if let Some(bucket) = transitions.get(&key) {
-                for transition in bucket {
-                    // Pointer equality is the fast path (shared prefixes hand
-                    // around the same Rc); full structural equality guards
-                    // against fingerprint collisions.
-                    if Rc::ptr_eq(&transition.input.ir, &input.ir)
-                        || transition.input.ir == input.ir
-                    {
-                        self.stats.borrow_mut().stage_hits += 1;
-                        return Ok(transition.output.clone());
-                    }
-                }
-            }
+        if let Some(output) = self.cache.transition(self.id, stage_idx, &input) {
+            self.stats.borrow_mut().stage_hits += 1;
+            return Ok(output);
         }
 
         let mut ir = (*input.ir).clone();
@@ -280,42 +332,26 @@ impl CompileSession {
         verify(&ir).map_err(CompileError::Verify)?;
         let output = Snapshot {
             fp: fingerprint(&ir),
-            ir: Rc::new(ir),
+            ir: Arc::new(ir),
         };
         self.stats.borrow_mut().stage_runs += 1;
-        self.transitions
-            .borrow_mut()
-            .entry(key)
-            .or_default()
-            .push(Transition {
-                input,
-                output: output.clone(),
-            });
+        self.cache
+            .record_transition(self.id, stage_idx, input, output.clone());
         Ok(output)
     }
 
-    /// Emits GLSL for a final snapshot, memoised on its fingerprint with
-    /// structural-equality confirmation.
-    fn emit(&self, state: &Snapshot) -> Rc<String> {
-        {
-            let emitted = self.emitted.borrow();
-            if let Some(bucket) = emitted.get(&state.fp) {
-                for (exemplar, text) in bucket {
-                    if Rc::ptr_eq(exemplar, &state.ir) || *exemplar == state.ir {
-                        self.stats.borrow_mut().emission_hits += 1;
-                        return Rc::clone(text);
-                    }
-                }
-            }
+    /// Emits text for a final snapshot through `backend`, memoised on
+    /// (fingerprint, backend) with structural-equality confirmation.
+    fn emit(&self, state: &Snapshot, backend: BackendKind) -> Arc<String> {
+        if let Some(text) = self.cache.emission(self.id, backend, state) {
+            self.stats.borrow_mut().emission_hits += 1;
+            return text;
         }
 
-        let text = Rc::new(emit_glsl(&state.ir));
+        let text = Arc::new(backend.backend().emit(&state.ir));
         self.stats.borrow_mut().emissions += 1;
-        self.emitted
-            .borrow_mut()
-            .entry(state.fp)
-            .or_default()
-            .push((Rc::clone(&state.ir), Rc::clone(&text)));
+        self.cache
+            .record_emission(self.id, backend, state, Arc::clone(&text));
         text
     }
 }
@@ -323,8 +359,10 @@ impl CompileSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CorpusCache;
     use crate::flags::Flag;
     use crate::pipeline::compile;
+    use prism_emit::emit_gles;
 
     const BLURRY: &str = r#"
         uniform sampler2D tex; uniform vec4 ambient; in vec2 uv; out vec4 c;
@@ -426,5 +464,63 @@ mod tests {
             "stats {:?}",
             session.stats()
         );
+    }
+
+    #[test]
+    fn gles_emission_matches_the_direct_backend_and_is_memoised() {
+        let session = CompileSession::new(&blurry(), "loopy").unwrap();
+        let flags = OptFlags::all();
+        let via_session = session.text_for(flags, BackendKind::Gles).unwrap();
+        let direct = compile(&blurry(), "loopy", flags).unwrap();
+        assert_eq!(*via_session, emit_gles(&direct.ir));
+        assert!(via_session.starts_with("#version 310 es"));
+        // Asking again is answered from the memo, not re-emitted.
+        let emissions_before = session.stats().emissions;
+        let again = session.text_for(flags, BackendKind::Gles).unwrap();
+        assert!(Arc::ptr_eq(&via_session, &again));
+        assert_eq!(session.stats().emissions, emissions_before);
+        // The desktop text of the same combination is a distinct memo entry.
+        let desktop = session.text_for(flags, BackendKind::DesktopGlsl).unwrap();
+        assert_ne!(*desktop, *via_session);
+        assert_eq!(*desktop, direct.glsl);
+    }
+
+    #[test]
+    fn base_text_is_the_conversion_of_the_unoptimized_lowering() {
+        let session = CompileSession::new(&blurry(), "loopy").unwrap();
+        let gles = session.base_text_for(BackendKind::Gles);
+        assert!(gles.starts_with("#version 310 es"));
+        assert_eq!(*gles, emit_gles(session.base_ir()));
+    }
+
+    #[test]
+    fn sessions_share_work_through_a_corpus_cache() {
+        let cache = Arc::new(CorpusCache::new());
+        let first = CompileSession::with_cache(&blurry(), "a", cache.clone()).unwrap();
+        first.variants().unwrap();
+        let after_first = cache.stats();
+        assert_eq!(after_first.cross_shader_stage_hits, 0);
+
+        // A second session over the same source: every stage run and every
+        // emission is answered by the first session's work.
+        let second = CompileSession::with_cache(&blurry(), "b", cache.clone()).unwrap();
+        let set = second.variants().unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(
+            stats.stage_runs, after_first.stage_runs,
+            "second session must not redo stage work"
+        );
+        assert_eq!(stats.emissions, after_first.emissions);
+        assert!(stats.cross_shader_stage_hits > 0);
+        assert!(stats.cross_shader_emission_hits > 0);
+
+        // And the shared-cache output is byte-identical to a cold session.
+        let cold = CompileSession::new(&blurry(), "cold").unwrap();
+        let cold_set = cold.variants().unwrap();
+        assert_eq!(set.unique_count(), cold_set.unique_count());
+        for (a, b) in set.variants.iter().zip(&cold_set.variants) {
+            assert_eq!(a.glsl, b.glsl);
+        }
     }
 }

@@ -1,0 +1,175 @@
+//! Emission backends: one IR, N source-text targets.
+//!
+//! The paper's study is inherently multi-platform: the same optimized IR must
+//! reach desktop drivers as `#version 450` GLSL and the two phones as
+//! `#version 310 es` GLES (converted through glslang + SPIRV-Cross in the
+//! paper, §III-C(d)). A [`Backend`] captures one such target. Emission works
+//! directly from IR in a single pass — the GLES backend renames temporaries
+//! *during* emission instead of cloning and rewriting the whole shader first.
+//!
+//! [`BackendKind`] is the cheap, hashable identity of a backend; it is what
+//! compile-session emission memos and platform declarations key on.
+
+use crate::glsl_backend::{emit_glsl_with, EmitOptions, TempNameStyle};
+use prism_ir::Shader;
+use std::fmt;
+
+/// Identity of an emission target. Used as a cache key by the compile
+/// session's per-backend emission memo and declared by every GPU platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// Desktop OpenGL GLSL (`#version 450`), the paper's three desktops.
+    DesktopGlsl,
+    /// OpenGL ES GLSL (`#version 310 es`), the paper's two phones.
+    Gles,
+}
+
+impl BackendKind {
+    /// Both backends, desktop first (the study's presentation order).
+    pub const ALL: [BackendKind; 2] = [BackendKind::DesktopGlsl, BackendKind::Gles];
+
+    /// Short lower-case label (used in records and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::DesktopGlsl => "desktop",
+            BackendKind::Gles => "gles",
+        }
+    }
+
+    /// The `#version` string this backend writes (and a driver front-end
+    /// therefore reads back).
+    pub fn version(self) -> &'static str {
+        match self {
+            BackendKind::DesktopGlsl => "450",
+            BackendKind::Gles => "310 es",
+        }
+    }
+
+    /// The backend implementation for this kind.
+    pub fn backend(self) -> &'static dyn Backend {
+        match self {
+            BackendKind::DesktopGlsl => &DesktopGlsl,
+            BackendKind::Gles => &Gles,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// An emission target: turns optimized IR into the source text one class of
+/// GPU driver consumes.
+///
+/// Implementations must be pure functions of the IR (the compile session
+/// memoises their output per (fingerprint, [`BackendKind`]) and replays it
+/// across shaders and threads).
+pub trait Backend: Send + Sync {
+    /// This backend's identity (cache key, platform declaration).
+    fn kind(&self) -> BackendKind;
+
+    /// Emits the complete shader text for `shader`.
+    fn emit(&self, shader: &Shader) -> String;
+}
+
+/// Desktop GLSL emission (`#version 450`, name-hint temporaries) — the
+/// LunarGlass-style output the paper feeds the three desktop drivers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesktopGlsl;
+
+impl Backend for DesktopGlsl {
+    fn kind(&self) -> BackendKind {
+        BackendKind::DesktopGlsl
+    }
+
+    fn emit(&self, shader: &Shader) -> String {
+        emit_glsl_with(shader, &EmitOptions::default())
+    }
+}
+
+/// OpenGL ES emission (`#version 310 es`, precision qualifiers, SPIRV-Cross
+/// style `_NNN` temporaries) — the conversion path the paper runs for the two
+/// phones. Renaming happens inside the emitter's namer, so no intermediate
+/// shader clone is built.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gles;
+
+impl Backend for Gles {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Gles
+    }
+
+    fn emit(&self, shader: &Shader) -> String {
+        emit_glsl_with(
+            shader,
+            &EmitOptions {
+                version: BackendKind::Gles.version().to_string(),
+                emit_precision: true,
+                temp_names: TempNameStyle::SpirvCross,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_ir::prelude::*;
+
+    fn shader() -> Shader {
+        let mut s = Shader::new("backend-test");
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        let r = s.new_named_reg(IrType::fvec(4), "base");
+        s.body = vec![
+            Stmt::Def {
+                dst: r,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.25),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn kinds_round_trip_to_backends() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.backend().kind(), kind);
+        }
+        assert_eq!(BackendKind::DesktopGlsl.name(), "desktop");
+        assert_eq!(BackendKind::Gles.version(), "310 es");
+        assert_eq!(format!("{}", BackendKind::Gles), "gles");
+    }
+
+    #[test]
+    fn desktop_and_gles_differ_in_header_and_temporaries() {
+        let s = shader();
+        let desktop = DesktopGlsl.emit(&s);
+        let gles = Gles.emit(&s);
+        assert!(desktop.starts_with("#version 450"));
+        assert!(desktop.contains("vec4 base"));
+        assert!(gles.starts_with("#version 310 es"));
+        assert!(gles.contains("precision highp float;"));
+        assert!(gles.contains("_100"), "{gles}");
+        assert!(!gles.contains("base"), "GLES renames temporaries: {gles}");
+    }
+
+    #[test]
+    fn backends_are_pure_functions_of_the_ir() {
+        let s = shader();
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.backend().emit(&s), kind.backend().emit(&s));
+        }
+    }
+}

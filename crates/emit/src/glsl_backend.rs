@@ -13,6 +13,18 @@ use prism_ir::value::format_glsl_float;
 use std::collections::HashSet;
 use std::fmt::Write;
 
+/// How the emitter names temporaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TempNameStyle {
+    /// Reuse source-name hints where unique, `t<N>` otherwise (LunarGlass
+    /// style, the desktop path).
+    #[default]
+    Hinted,
+    /// SPIRV-Cross style `_<id>` names by register index, mirroring the
+    /// paper's glslang → SPIRV-Cross mobile conversion round trip.
+    SpirvCross,
+}
+
 /// Options controlling emission.
 #[derive(Debug, Clone)]
 pub struct EmitOptions {
@@ -20,6 +32,8 @@ pub struct EmitOptions {
     pub version: String,
     /// Emit `precision highp float;` (needed for OpenGL ES).
     pub emit_precision: bool,
+    /// Temporary-naming scheme.
+    pub temp_names: TempNameStyle,
 }
 
 impl Default for EmitOptions {
@@ -27,6 +41,7 @@ impl Default for EmitOptions {
         EmitOptions {
             version: "450".to_string(),
             emit_precision: false,
+            temp_names: TempNameStyle::Hinted,
         }
     }
 }
@@ -53,10 +68,14 @@ struct Emitter<'a> {
 
 impl<'a> Emitter<'a> {
     fn new(shader: &'a Shader, options: &'a EmitOptions) -> Self {
+        let namer = match options.temp_names {
+            TempNameStyle::Hinted => RegNamer::new(shader),
+            TempNameStyle::SpirvCross => RegNamer::spirv_cross(shader),
+        };
         Emitter {
             shader,
             options,
-            namer: RegNamer::new(shader),
+            namer,
             analysis: Analysis::of(shader),
             declared: HashSet::new(),
             out: String::new(),
@@ -592,6 +611,7 @@ mod tests {
         let opts = EmitOptions {
             version: "310 es".into(),
             emit_precision: true,
+            ..Default::default()
         };
         let glsl = emit_glsl_with(&simple_shader(), &opts);
         assert!(glsl.starts_with("#version 310 es"));

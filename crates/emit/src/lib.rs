@@ -1,11 +1,27 @@
-//! # prism-emit — IR → GLSL back-end
+//! # prism-emit — IR → GLSL back-ends
 //!
-//! Regenerates GLSL source from prism IR, the way LunarGlass's GLSL back-end
-//! does for the paper's source-to-source pipeline. The emitted code exhibits
-//! the same artefact classes the paper documents (§III-C): matrices arrive
-//! already scalarised from the lowering, scalar×vector arithmetic is splatted,
-//! unrolled/flattened control flow becomes one long block of temporaries, and
-//! the mobile path re-emits with ES headers and renamed temporaries.
+//! Regenerates shader source from prism IR, the way LunarGlass's GLSL
+//! back-end does for the paper's source-to-source pipeline. The emitted code
+//! exhibits the same artefact classes the paper documents (§III-C): matrices
+//! arrive already scalarised from the lowering, scalar×vector arithmetic is
+//! splatted, and unrolled/flattened control flow becomes one long block of
+//! temporaries.
+//!
+//! Emission is organised around the [`Backend`](backend::Backend) trait — one
+//! IR, N source-text targets:
+//!
+//! * [`DesktopGlsl`](backend::DesktopGlsl) writes `#version 450` GLSL with
+//!   name-hint temporaries for the three desktop drivers;
+//! * [`Gles`](backend::Gles) writes `#version 310 es` GLES with precision
+//!   qualifiers and SPIRV-Cross style `_NNN` temporaries for the two phones,
+//!   reproducing the paper's glslang → SPIRV-Cross conversion artefacts
+//!   (§III-C(d)) in a single emission pass straight from the IR.
+//!
+//! [`BackendKind`](backend::BackendKind) is the hashable identity of a
+//! backend; compile sessions memoise emitted text per (IR fingerprint,
+//! backend) and GPU platforms declare the kind their driver consumes. The
+//! free functions [`emit_glsl`] and [`emit_gles`] remain as conveniences for
+//! the common fixed-target cases.
 //!
 //! ```
 //! use prism_ir::prelude::*;
@@ -22,9 +38,11 @@
 //! assert!(glsl.contains("out vec4 color;"));
 //! ```
 
+pub mod backend;
 pub mod glsl_backend;
 pub mod mobile;
 pub mod names;
 
-pub use glsl_backend::{emit_glsl, emit_glsl_with, EmitOptions};
-pub use mobile::emit_gles;
+pub use backend::{Backend, BackendKind, DesktopGlsl, Gles};
+pub use glsl_backend::{emit_glsl, emit_glsl_with, EmitOptions, TempNameStyle};
+pub use mobile::{emit_gles, same_interface};

@@ -23,22 +23,7 @@ impl RegNamer {
     /// Builds names for all registers in `shader`, avoiding collisions with
     /// interface variable names.
     pub fn new(shader: &Shader) -> RegNamer {
-        let mut taken: HashSet<String> = HashSet::new();
-        for v in &shader.inputs {
-            taken.insert(v.name.clone());
-        }
-        for v in &shader.uniforms {
-            taken.insert(v.name.clone());
-        }
-        for v in &shader.samplers {
-            taken.insert(v.name.clone());
-        }
-        for v in &shader.outputs {
-            taken.insert(v.name.clone());
-        }
-        for a in &shader.const_arrays {
-            taken.insert(a.name.clone());
-        }
+        let mut taken = interface_names(shader);
 
         // Registers in order of first appearance (definitions, loop variables
         // and uses), followed by any register never referenced in the body.
@@ -94,6 +79,27 @@ impl RegNamer {
         RegNamer { names }
     }
 
+    /// Builds SPIRV-Cross style names (`_<100 + index>`) for all registers,
+    /// mirroring the temporaries that tool produces on the paper's mobile
+    /// conversion path. Naming is by register index, so it needs no shader
+    /// rewrite — the GLES backend renames during emission.
+    pub fn spirv_cross(shader: &Shader) -> RegNamer {
+        let mut taken = interface_names(shader);
+        let mut names = HashMap::new();
+        for i in 0..shader.regs.len() {
+            let base = format!("_{}", 100 + i);
+            let mut candidate = base.clone();
+            let mut suffix = 0;
+            while taken.contains(&candidate) {
+                suffix += 1;
+                candidate = format!("{base}_{suffix}");
+            }
+            taken.insert(candidate.clone());
+            names.insert(Reg(i as u32), candidate);
+        }
+        RegNamer { names }
+    }
+
     /// The GLSL name of a register.
     ///
     /// # Panics
@@ -103,6 +109,28 @@ impl RegNamer {
     pub fn name(&self, reg: Reg) -> &str {
         &self.names[&reg]
     }
+}
+
+/// Every identifier of the shader's external interface (plus const arrays),
+/// which register names must not collide with.
+fn interface_names(shader: &Shader) -> HashSet<String> {
+    let mut taken: HashSet<String> = HashSet::new();
+    for v in &shader.inputs {
+        taken.insert(v.name.clone());
+    }
+    for v in &shader.uniforms {
+        taken.insert(v.name.clone());
+    }
+    for v in &shader.samplers {
+        taken.insert(v.name.clone());
+    }
+    for v in &shader.outputs {
+        taken.insert(v.name.clone());
+    }
+    for a in &shader.const_arrays {
+        taken.insert(a.name.clone());
+    }
+    taken
 }
 
 fn is_valid_ident(s: &str) -> bool {

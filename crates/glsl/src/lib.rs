@@ -58,6 +58,10 @@ pub struct ShaderSource {
     pub interface: ShaderInterface,
     /// The paper's lines-of-code metric over `text`.
     pub lines_of_code: usize,
+    /// The `#version` string the preprocessor saw (e.g. `"450"`, `"310 es"`),
+    /// if the source carried one. Lets a driver model report which API's text
+    /// actually reached it.
+    pub version: Option<String>,
 }
 
 impl ShaderSource {
@@ -76,6 +80,7 @@ impl ShaderSource {
             ast,
             symbols: checked.symbols,
             interface,
+            version: None,
         })
     }
 
@@ -90,7 +95,9 @@ impl ShaderSource {
         defines: &HashMap<String, String>,
     ) -> error::Result<ShaderSource> {
         let pre = preprocessor::preprocess(source, defines)?;
-        ShaderSource::parse(&pre.text)
+        let mut parsed = ShaderSource::parse(&pre.text)?;
+        parsed.version = pre.version;
+        Ok(parsed)
     }
 }
 
@@ -130,6 +137,24 @@ mod tests {
         .unwrap();
         assert!(tinted.lines_of_code > plain.lines_of_code);
         assert!(tinted.interface.same_io(&plain.interface));
+    }
+
+    #[test]
+    fn preprocess_records_the_version_directive() {
+        let plain = ShaderSource::parse("out vec4 c; void main() { c = vec4(1.0); }").unwrap();
+        assert_eq!(plain.version, None);
+        let es = ShaderSource::preprocess_and_parse(
+            "#version 310 es\nprecision highp float;\nout vec4 c; void main() { c = vec4(1.0); }",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(es.version.as_deref(), Some("310 es"));
+        let desktop = ShaderSource::preprocess_and_parse(
+            "#version 450\nout vec4 c; void main() { c = vec4(1.0); }",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(desktop.version.as_deref(), Some("450"));
     }
 
     #[test]

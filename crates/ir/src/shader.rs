@@ -112,6 +112,21 @@ impl Shader {
         }
     }
 
+    /// Structural equality modulo the corpus `name` — the relation the
+    /// [fingerprint](crate::fingerprint::fingerprint) hashes. Two übershader
+    /// family members whose lowered bodies coincide are `same_structure` even
+    /// though `==` (which includes the name) says otherwise; corpus-level
+    /// caches confirm fingerprint matches with exactly this check.
+    pub fn same_structure(&self, other: &Shader) -> bool {
+        self.inputs == other.inputs
+            && self.uniforms == other.uniforms
+            && self.samplers == other.samplers
+            && self.outputs == other.outputs
+            && self.const_arrays == other.const_arrays
+            && self.regs == other.regs
+            && self.body == other.body
+    }
+
     /// Allocates a fresh virtual register of type `ty`.
     pub fn new_reg(&mut self, ty: IrType) -> Reg {
         self.regs.push(RegInfo {

@@ -343,6 +343,8 @@ mod tests {
         let record = |vendor: &str, fast: f64| ShaderPlatformRecord {
             shader: "blur".into(),
             vendor: vendor.into(),
+            backend: "desktop".into(),
+            driver_glsl_version: "450".into(),
             original_ns: 1000.0,
             variants: vec![
                 VariantRecord {
@@ -375,6 +377,7 @@ mod tests {
             }],
             measurements: vec![record("AMD", 750.0), record("ARM", 650.0)],
             skipped: vec![],
+            cache: Default::default(),
         }
     }
 

@@ -112,6 +112,8 @@ mod tests {
             measurements: vec![ShaderPlatformRecord {
                 shader: "s".into(),
                 vendor: "AMD".into(),
+                backend: "desktop".into(),
+                driver_glsl_version: "450".into(),
                 original_ns: 1000.0,
                 variants: vec![
                     VariantRecord {
@@ -130,6 +132,7 @@ mod tests {
                 flag_to_variant,
             }],
             skipped: vec![],
+            cache: Default::default(),
         }
     }
 

@@ -103,6 +103,8 @@ mod tests {
             measurements: vec![ShaderPlatformRecord {
                 shader: "s".into(),
                 vendor: "ARM".into(),
+                backend: "gles".into(),
+                driver_glsl_version: "310 es".into(),
                 original_ns: 980.0,
                 variants: vec![
                     VariantRecord {
@@ -127,6 +129,7 @@ mod tests {
                 flag_to_variant,
             }],
             skipped: vec![],
+            cache: Default::default(),
         }
     }
 

@@ -170,6 +170,8 @@ mod tests {
         ShaderPlatformRecord {
             shader: shader.into(),
             vendor: vendor.into(),
+            backend: "desktop".into(),
+            driver_glsl_version: "450".into(),
             original_ns: original,
             variants: vec![
                 VariantRecord {

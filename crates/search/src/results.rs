@@ -4,7 +4,7 @@
 //! serialisable records, so a full exhaustive sweep can be saved to JSON and
 //! re-analysed without re-running the measurement.
 
-use prism_core::OptFlags;
+use prism_core::{CacheStats, OptFlags};
 
 /// Timing of one distinct shader variant on one platform.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +33,18 @@ pub struct ShaderPlatformRecord {
     pub shader: String,
     /// Platform name (`Vendor::name()`).
     pub vendor: String,
+    /// The emission backend whose text this platform's driver consumed for
+    /// every variant (`"desktop"` or `"gles"`, see
+    /// `prism_emit::BackendKind::name`).
+    pub backend: String,
+    /// The `#version` directive the driver front-end reported seeing in the
+    /// submitted variant text (e.g. `"450"`, `"310 es"`) — end-to-end
+    /// evidence the right backend reached the right platform.
+    pub driver_glsl_version: String,
     /// Frame time of the original, untouched shader (not passed through the
-    /// offline optimizer at all) — the baseline for Figs. 3, 5, 6 and 7.
+    /// offline optimizer at all) — the baseline for Figs. 3, 5, 6 and 7. On
+    /// the GLES platforms the original is measured through the paper's
+    /// conversion path (§III-C(d)), as desktop GLSL cannot run there.
     pub original_ns: f64,
     /// Distinct variant timings.
     pub variants: Vec<VariantRecord>,
@@ -45,6 +55,8 @@ pub struct ShaderPlatformRecord {
 serde::impl_serde_struct!(ShaderPlatformRecord {
     shader,
     vendor,
+    backend,
+    driver_glsl_version,
     original_ns,
     variants,
     flag_to_variant,
@@ -148,6 +160,76 @@ serde::impl_serde_struct!(SkippedShader {
     error
 });
 
+/// Corpus-level compile-cache statistics of one study run: how much
+/// optimization and emission work the sweep performed, and how much was
+/// shared — within a shader's 256 combinations and, with the shared
+/// [`CorpusCache`](prism_core::CorpusCache), *across* shaders (übershader
+/// family members reusing each other's stage transitions and emitted text).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheRecord {
+    /// Whether the sweep shared one corpus-wide cache across all sessions.
+    pub shared: bool,
+    /// The store's counters (see [`CacheStats`] for field meanings; the
+    /// `cross_shader_*` counters are always 0 without the shared cache).
+    pub stats: CacheStats,
+}
+
+// Serialised flat — `shared` next to the seven counters — so the JSON stays
+// a single small object. Hand-written because `CacheStats` lives in
+// prism-core, which stays serde-free.
+impl serde::Serialize for CacheRecord {
+    fn to_value(&self) -> serde::Value {
+        let num = |n: usize| serde::Value::Num(n as f64);
+        serde::Value::Obj(vec![
+            ("shared".to_string(), serde::Value::Bool(self.shared)),
+            ("sessions".to_string(), num(self.stats.sessions)),
+            ("stage_runs".to_string(), num(self.stats.stage_runs)),
+            ("stage_hits".to_string(), num(self.stats.stage_hits)),
+            (
+                "cross_shader_stage_hits".to_string(),
+                num(self.stats.cross_shader_stage_hits),
+            ),
+            ("emissions".to_string(), num(self.stats.emissions)),
+            ("emission_hits".to_string(), num(self.stats.emission_hits)),
+            (
+                "cross_shader_emission_hits".to_string(),
+                num(self.stats.cross_shader_emission_hits),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for CacheRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| format!("missing field `{name}` in CacheRecord"))
+        };
+        let count = |name: &str| -> Result<usize, String> {
+            match field(name)? {
+                serde::Value::Num(n) => Ok(*n as usize),
+                other => Err(format!("expected number for `{name}`, got {other:?}")),
+            }
+        };
+        let shared = match field("shared")? {
+            serde::Value::Bool(b) => *b,
+            other => return Err(format!("expected bool for `shared`, got {other:?}")),
+        };
+        Ok(CacheRecord {
+            shared,
+            stats: CacheStats {
+                sessions: count("sessions")?,
+                stage_runs: count("stage_runs")?,
+                stage_hits: count("stage_hits")?,
+                cross_shader_stage_hits: count("cross_shader_stage_hits")?,
+                emissions: count("emissions")?,
+                emission_hits: count("emission_hits")?,
+                cross_shader_emission_hits: count("cross_shader_emission_hits")?,
+            },
+        })
+    }
+}
+
 /// A complete study: every shader × platform × variant measurement.
 #[derive(Debug, Clone, Default)]
 pub struct StudyResults {
@@ -157,12 +239,15 @@ pub struct StudyResults {
     pub measurements: Vec<ShaderPlatformRecord>,
     /// Shaders the offline optimizer rejected, with the error that caused it.
     pub skipped: Vec<SkippedShader>,
+    /// Corpus-level compile-cache statistics of this run.
+    pub cache: CacheRecord,
 }
 
 serde::impl_serde_struct!(StudyResults {
     shaders,
     measurements,
-    skipped
+    skipped,
+    cache
 });
 
 impl StudyResults {
@@ -234,6 +319,8 @@ mod tests {
         ShaderPlatformRecord {
             shader: "s".into(),
             vendor: "AMD".into(),
+            backend: "desktop".into(),
+            driver_glsl_version: "450".into(),
             original_ns: 1000.0,
             variants: vec![
                 VariantRecord {
@@ -292,12 +379,26 @@ mod tests {
                 family: "f".into(),
                 error: "front-end: unexpected token".into(),
             }],
+            cache: CacheRecord {
+                shared: true,
+                stats: CacheStats {
+                    sessions: 1,
+                    stage_runs: 7,
+                    stage_hits: 21,
+                    cross_shader_stage_hits: 3,
+                    emissions: 4,
+                    emission_hits: 8,
+                    cross_shader_emission_hits: 2,
+                },
+            },
         };
         let json = study.to_json();
         let restored = StudyResults::from_json(&json).unwrap();
         assert_eq!(restored.shaders, study.shaders);
         assert_eq!(restored.measurements, study.measurements);
         assert_eq!(restored.skipped, study.skipped);
+        assert_eq!(restored.cache, study.cache);
+        assert!((restored.cache.stats.stage_hit_rate() - 0.75).abs() < 1e-9);
         assert!(!restored.is_complete());
         assert_eq!(restored.platforms(), vec!["AMD".to_string()]);
         assert!(restored.measurement("s", "AMD").is_some());

@@ -5,7 +5,17 @@
 //! session's shared schedule snapshots, deduplicate them (§V-C), submit the
 //! original shader and every distinct variant to every platform's driver, and
 //! time each with the harness. The same session serves all five platforms —
-//! variant generation happens once per shader for the whole study.
+//! variant generation happens once per shader for the whole study, and each
+//! platform's driver receives the text of the emission backend matching its
+//! API: the desktops get `#version 450` GLSL, the phones get `#version
+//! 310 es` GLES produced straight from the same optimized IR (the paper's
+//! glslang → SPIRV-Cross conversion path, §III-C(d)).
+//!
+//! All sessions memoise against one shared, thread-safe
+//! [`CorpusCache`](prism_core::CorpusCache): übershader family members share
+//! most of their IR, so one family member's stage transitions and emitted
+//! text routinely answer another's lookups. The corpus-level counters land in
+//! [`StudyResults::cache`].
 //!
 //! Shaders are processed on a work-stealing worker pool (the offline tool and
 //! the simulated GPUs are pure functions, so this is safe and deterministic):
@@ -13,15 +23,17 @@
 //! flagship shader no longer idles the rest of a pre-assigned chunk.
 
 use crate::results::{
-    ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults, VariantRecord,
+    CacheRecord, ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults, VariantRecord,
 };
-use prism_core::{CompileSession, Flag};
+use prism_core::{CacheStats, CacheStore, CompileSession, CorpusCache, Flag, SessionStats};
 use prism_corpus::{Corpus, ShaderCase};
+use prism_emit::BackendKind;
 use prism_gpu::{Platform, Vendor};
 use prism_harness::{measure_cost, MeasureConfig};
 use rayon::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Configuration of a full study run.
 #[derive(Debug, Clone)]
@@ -32,6 +44,11 @@ pub struct StudyConfig {
     pub vendors: Vec<Vendor>,
     /// Number of worker threads.
     pub threads: usize,
+    /// Share one corpus-wide compile cache across all shader sessions
+    /// (default). Disable to give every shader a private cache — the
+    /// pre-corpus-cache behaviour, kept for benchmarking the difference;
+    /// results are byte-identical either way.
+    pub shared_cache: bool,
 }
 
 impl Default for StudyConfig {
@@ -40,6 +57,7 @@ impl Default for StudyConfig {
             measure: MeasureConfig::default(),
             vendors: Vendor::ALL.to_vec(),
             threads: 8,
+            shared_cache: true,
         }
     }
 }
@@ -51,6 +69,7 @@ impl StudyConfig {
             measure: MeasureConfig::quick(),
             vendors: Vendor::ALL.to_vec(),
             threads: 4,
+            shared_cache: true,
         }
     }
 }
@@ -64,20 +83,37 @@ impl StudyConfig {
 /// results *and* stays diagnosable.
 pub fn run_study(corpus: &Corpus, config: &StudyConfig) -> StudyResults {
     let platforms: Vec<Platform> = config.vendors.iter().map(|v| Platform::new(*v)).collect();
+    let corpus_cache: Option<Arc<CorpusCache>> =
+        config.shared_cache.then(|| Arc::new(CorpusCache::new()));
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(config.threads.max(1))
         .build()
         .expect("worker pool");
-    let per_shader: Vec<Result<ProcessedShader, SkippedShader>> = pool.install(|| {
-        corpus
-            .cases
-            .par_iter()
-            .map(|case| process_shader(case, &platforms, &config.measure))
-            .collect()
-    });
+    let per_shader: Vec<(Result<ProcessedShader, SkippedShader>, Option<SessionStats>)> = pool
+        .install(|| {
+            corpus
+                .cases
+                .par_iter()
+                .map(|case| {
+                    process_shader(case, &platforms, &config.measure, corpus_cache.as_ref())
+                })
+                .collect()
+        });
 
     let mut study = StudyResults::default();
-    for entry in per_shader {
+    // Aggregated per-session counters; `sessions` counts every session that
+    // *constructed* (lowered) whether or not variant generation then
+    // succeeded — the same moment the shared CorpusCache counts them, so the
+    // two configurations report comparable records.
+    let mut solo_stats = CacheStats::default();
+    for (entry, session_stats) in per_shader {
+        if let Some(stats) = session_stats {
+            solo_stats.sessions += 1;
+            solo_stats.stage_runs += stats.stage_runs;
+            solo_stats.stage_hits += stats.stage_hits;
+            solo_stats.emissions += stats.emissions;
+            solo_stats.emission_hits += stats.emission_hits;
+        }
         match entry {
             Ok(processed) => {
                 study.shaders.push(processed.record);
@@ -87,6 +123,16 @@ pub fn run_study(corpus: &Corpus, config: &StudyConfig) -> StudyResults {
             Err(skipped) => study.skipped.push(skipped),
         }
     }
+    study.cache = match &corpus_cache {
+        Some(cache) => CacheRecord {
+            shared: true,
+            stats: cache.stats(),
+        },
+        None => CacheRecord {
+            shared: false,
+            stats: solo_stats,
+        },
+    };
     study
 }
 
@@ -99,30 +145,49 @@ struct ProcessedShader {
     platform_failures: Vec<SkippedShader>,
 }
 
-/// Processes one shader: one compile session, variants, per-platform
-/// measurements.
+/// Processes one shader: one compile session (against the shared corpus
+/// cache when one is given), variants, per-platform measurements through the
+/// platform's declared emission backend. The second tuple element carries the
+/// session's own work counters whenever a session was constructed (even if
+/// variant generation failed afterwards), for the study's cache record.
 fn process_shader(
     case: &ShaderCase,
     platforms: &[Platform],
     measure: &MeasureConfig,
-) -> Result<ProcessedShader, SkippedShader> {
+    corpus_cache: Option<&Arc<CorpusCache>>,
+) -> (Result<ProcessedShader, SkippedShader>, Option<SessionStats>) {
     let skip = |error: String| SkippedShader {
         name: case.name.clone(),
         family: case.family.clone(),
         error,
     };
-    let session = CompileSession::new(&case.source, &case.name).map_err(|e| skip(e.to_string()))?;
-    let variants = session.variants().map_err(|e| skip(e.to_string()))?;
+    let session = match corpus_cache {
+        Some(cache) => CompileSession::with_cache(
+            &case.source,
+            &case.name,
+            Arc::clone(cache) as Arc<dyn CacheStore>,
+        ),
+        None => CompileSession::new(&case.source, &case.name),
+    };
+    let session = match session {
+        Ok(session) => session,
+        Err(e) => return (Err(skip(e.to_string())), None),
+    };
+    let variants = match session.variants() {
+        Ok(variants) => variants,
+        Err(e) => return (Err(skip(e.to_string())), Some(session.stats())),
+    };
 
     // Static facts (platform independent). The ARM static analyser runs on
-    // the ARM driver's compilation of the original shader, as in the paper.
+    // the ARM driver's compilation of the original shader, as in the paper —
+    // which on the Mali toolchain means the GLES conversion of the original.
     let arm = platforms
         .iter()
         .find(|p| p.vendor() == Vendor::Arm)
         .cloned()
         .unwrap_or_else(|| Platform::new(Vendor::Arm));
     let arm_static_cycles = arm
-        .submit(&case.source.text, &case.name)
+        .submit(&session.base_text_for(BackendKind::Gles), &case.name)
         .map(|c| arm.static_cycles(&c.driver_ir).total())
         .unwrap_or(0.0);
 
@@ -144,9 +209,21 @@ fn process_shader(
     let mut platform_failures = Vec::new();
     for (platform_idx, platform) in platforms.iter().enumerate() {
         let vendor = platform.vendor().name();
+        let backend = platform.backend();
         let stream_base = stream_id(&case.name, platform_idx);
-        // Original (untouched) shader.
-        let original_cost = match platform.submit(&case.source.text, &case.name) {
+        // Original (untouched) shader. Desktop drivers take the corpus text
+        // as-is; a GLES driver cannot consume desktop GLSL, so the phones
+        // measure the original through the conversion path — the unoptimized
+        // lowering emitted by the GLES backend (§III-C(d)).
+        let original_gles;
+        let original_text: &str = match backend {
+            BackendKind::DesktopGlsl => &case.source.text,
+            BackendKind::Gles => {
+                original_gles = session.base_text_for(backend);
+                &original_gles
+            }
+        };
+        let original_cost = match platform.submit(original_text, &case.name) {
             Ok(cost) => cost,
             Err(e) => {
                 platform_failures.push(skip(format!("driver({vendor}): original shader: {e}")));
@@ -157,8 +234,32 @@ fn process_shader(
 
         let mut variant_records = Vec::new();
         let mut variant_failure = None;
+        let mut driver_glsl_version = String::new();
         for variant in &variants.variants {
-            let cost = match platform.submit(&variant.glsl, &case.name) {
+            // The platform's backend decides which text of this variant the
+            // driver sees. The desktop text is the variant's own (dedup key)
+            // string; GLES text comes from the session's per-backend emission
+            // memo over the same optimized IR.
+            let gles_text;
+            let text: &str = match backend {
+                BackendKind::DesktopGlsl => &variant.glsl,
+                BackendKind::Gles => {
+                    match session.text_for(variant.representative_flags(), backend) {
+                        Ok(text) => {
+                            gles_text = text;
+                            &gles_text
+                        }
+                        Err(e) => {
+                            variant_failure = Some(skip(format!(
+                                "emit({vendor}/{backend}): variant {}: {e}",
+                                variant.index
+                            )));
+                            break;
+                        }
+                    }
+                }
+            };
+            let cost = match platform.submit(text, &case.name) {
                 Ok(cost) => cost,
                 Err(e) => {
                     variant_failure = Some(skip(format!(
@@ -168,6 +269,9 @@ fn process_shader(
                     break;
                 }
             };
+            if driver_glsl_version.is_empty() {
+                driver_glsl_version = cost.source_version.clone();
+            }
             let m = measure_cost(
                 platform,
                 &cost,
@@ -193,16 +297,21 @@ fn process_shader(
         measurements.push(ShaderPlatformRecord {
             shader: case.name.clone(),
             vendor: vendor.to_string(),
+            backend: backend.name().to_string(),
+            driver_glsl_version,
             original_ns: original.mean_ns,
             variants: variant_records,
             flag_to_variant,
         });
     }
-    Ok(ProcessedShader {
-        record,
-        measurements,
-        platform_failures,
-    })
+    (
+        Ok(ProcessedShader {
+            record,
+            measurements,
+            platform_failures,
+        }),
+        Some(session.stats()),
+    )
 }
 
 /// Deterministic per-(shader, platform) noise stream id.

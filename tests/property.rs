@@ -14,11 +14,17 @@
 //! * **session equivalence**: for generated shaders and a sample of corpus
 //!   shaders, session-based variants are text- and count-identical to
 //!   brute-force `compile`-per-combination, which also proves IR-fingerprint
-//!   dedup never merges shaders whose emitted GLSL differs.
+//!   dedup never merges shaders whose emitted GLSL differs,
+//! * **corpus-cache transparency**: übershader-family sessions sharing one
+//!   [`CorpusCache`] show nonzero cross-shader stage hits while every cached
+//!   result stays byte-identical to cold per-session compilation, for both
+//!   the desktop and GLES emission backends.
 
-use prism::core::{compile, unique_variants, CompileSession, OptFlags};
+use prism::core::{compile, unique_variants, CacheStore, CompileSession, CorpusCache, OptFlags};
+use prism::emit::BackendKind;
 use prism::glsl::ShaderSource;
 use prism::ir::interp::{results_approx_equal, run_fragment, FragmentContext};
+use std::sync::Arc;
 
 /// Deterministic generator state (SplitMix64).
 struct Gen {
@@ -143,7 +149,9 @@ fn optimization_preserves_generated_shader_semantics() {
     }
 }
 
-/// Emitted GLSL for any flag set re-parses and keeps the interface.
+/// Emitted GLSL for any flag set re-parses and keeps the interface — and the
+/// GLES emission of the same compilation keeps it too (one generated vertex
+/// shader and one uniform setup must serve both measurement paths).
 #[test]
 fn emitted_glsl_reparses_and_keeps_interface() {
     let mut g = Gen::new(0xBEEF);
@@ -153,6 +161,11 @@ fn emitted_glsl_reparses_and_keeps_interface() {
         let reparsed = ShaderSource::preprocess_and_parse(&optimized.glsl, &Default::default())
             .expect("emitted GLSL re-parses");
         assert!(source.interface.same_io(&reparsed.interface));
+        let gles = prism::emit::emit_gles(&optimized.ir);
+        assert!(
+            prism::emit::same_interface(&optimized.glsl, &gles),
+            "desktop and GLES emissions must expose one interface:\n{gles}"
+        );
     }
 }
 
@@ -235,6 +248,75 @@ fn session_variants_are_byte_identical_to_brute_force() {
             "{name}: expected prefix sharing, got {stats:?}"
         );
     }
+}
+
+/// Übershader-family sessions sharing one `CorpusCache` must (a) actually
+/// share — nonzero *cross-shader* stage hits — and (b) stay transparent:
+/// every emitted text, for both the desktop and GLES backends, is
+/// byte-identical to a cold session compiling alone with a private cache.
+#[test]
+fn corpus_cache_shares_across_family_sessions_and_stays_byte_identical() {
+    let corpus = prism::corpus::Corpus::gfxbench_like();
+    // Two texture_combine übershader instances whose specialisations lower
+    // to structurally identical IR — the family-sharing case the corpus
+    // cache exists for.
+    let family: Vec<_> = corpus
+        .cases
+        .iter()
+        .filter(|c| c.name == "texture_combine_00" || c.name == "texture_combine_01")
+        .collect();
+    assert_eq!(family.len(), 2, "family members exist in the corpus");
+
+    let cache = Arc::new(CorpusCache::new());
+    let sample_bits = [0u8, 3, 16, 97, 170, 255];
+    for (i, case) in family.iter().enumerate() {
+        let shared = CompileSession::with_cache(&case.source, &case.name, cache.clone()).unwrap();
+        let shared_set = shared.variants().unwrap();
+        let cold = CompileSession::new(&case.source, &case.name).unwrap();
+        let cold_set = cold.variants().unwrap();
+
+        // The full variant sets agree variant-for-variant.
+        assert_eq!(
+            shared_set.unique_count(),
+            cold_set.unique_count(),
+            "{}",
+            case.name
+        );
+        for (a, b) in shared_set.variants.iter().zip(&cold_set.variants) {
+            assert_eq!(a.glsl, b.glsl, "{}", case.name);
+            assert_eq!(a.flag_sets, b.flag_sets, "{}", case.name);
+        }
+
+        // Per-backend texts agree for a spread of combinations.
+        for bits in sample_bits {
+            let flags = OptFlags::from_bits(bits);
+            for backend in BackendKind::ALL {
+                assert_eq!(
+                    shared.text_for(flags, backend).unwrap(),
+                    cold.text_for(flags, backend).unwrap(),
+                    "{}: flags {flags}, backend {backend}",
+                    case.name
+                );
+            }
+        }
+
+        if i == 0 {
+            // Nothing to share yet: the first session seeds the cache.
+            assert_eq!(cache.stats().cross_shader_stage_hits, 0);
+        }
+    }
+
+    // The second family member was answered by the first one's work.
+    let stats = cache.stats();
+    assert_eq!(stats.sessions, 2);
+    assert!(
+        stats.cross_shader_stage_hits > 0,
+        "expected cross-shader stage sharing, got {stats:?}"
+    );
+    assert!(
+        stats.cross_shader_emission_hits > 0,
+        "expected cross-shader emission sharing, got {stats:?}"
+    );
 }
 
 /// The per-combination session compile agrees with its own batch variants()

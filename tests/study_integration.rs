@@ -4,6 +4,7 @@
 
 use prism::core::Flag;
 use prism::corpus::Corpus;
+use prism::gpu::Vendor;
 use prism::report;
 use prism::search::{flag_impact, run_study, Policy, StudyConfig, StudyResults};
 
@@ -128,6 +129,86 @@ fn qualitative_results_follow_the_paper() {
         adreno_fp.max(),
         mali_fp.max()
     );
+}
+
+/// Backend routing, end to end: every mobile-platform row must have been
+/// compiled by its driver from GLES text (`#version 310 es` actually reached
+/// the driver front-end — the submission records the version it parsed), and
+/// every desktop row from desktop GLSL.
+#[test]
+fn mobile_rows_are_compiled_from_gles_text_and_desktop_rows_from_desktop_text() {
+    let study = run_mini_study();
+    assert_eq!(study.measurements.len(), 12 * 5);
+    for m in &study.measurements {
+        let vendor = Vendor::ALL
+            .iter()
+            .find(|v| v.name() == m.vendor)
+            .expect("known vendor");
+        if vendor.is_mobile() {
+            assert_eq!(m.backend, "gles", "{} on {}", m.shader, m.vendor);
+            assert_eq!(
+                m.driver_glsl_version, "310 es",
+                "{} on {}: GLES text must reach the mobile driver",
+                m.shader, m.vendor
+            );
+        } else {
+            assert_eq!(m.backend, "desktop", "{} on {}", m.shader, m.vendor);
+            assert_eq!(
+                m.driver_glsl_version, "450",
+                "{} on {}: desktop text must reach the desktop driver",
+                m.shader, m.vendor
+            );
+        }
+    }
+}
+
+/// The shared corpus cache changes how fast the sweep runs, never what it
+/// computes: a family corpus slice shows cross-shader sharing in the study's
+/// cache record while producing measurements byte-identical to a
+/// private-cache-per-session run.
+#[test]
+fn shared_corpus_cache_shares_across_shaders_without_changing_results() {
+    let full = Corpus::gfxbench_like();
+    let keep = [
+        "texture_combine_00",
+        "texture_combine_01",
+        "texture_combine_02",
+        "ui_blit_00",
+    ];
+    let corpus = Corpus {
+        cases: full
+            .cases
+            .into_iter()
+            .filter(|c| keep.contains(&c.name.as_str()))
+            .collect(),
+    };
+
+    let shared = run_study(&corpus, &StudyConfig::quick());
+    assert!(shared.cache.shared);
+    assert_eq!(shared.cache.stats.sessions, corpus.len());
+    assert!(
+        shared.cache.stats.cross_shader_stage_hits > 0,
+        "übershader family members must share stage work: {:?}",
+        shared.cache
+    );
+    assert!(shared.cache.stats.stage_hit_rate() > 0.9);
+
+    let solo = run_study(
+        &corpus,
+        &StudyConfig {
+            shared_cache: false,
+            ..StudyConfig::quick()
+        },
+    );
+    assert!(!solo.cache.shared);
+    assert_eq!(solo.cache.stats.cross_shader_stage_hits, 0);
+    // The shared cache did strictly less optimization and emission work...
+    assert!(shared.cache.stats.stage_runs < solo.cache.stats.stage_runs);
+    assert!(shared.cache.stats.emissions < solo.cache.stats.emissions);
+    // ...while every record — static facts and every timing on every
+    // platform, both backends — is identical.
+    assert_eq!(shared.shaders, solo.shaders);
+    assert_eq!(shared.measurements, solo.measurements);
 }
 
 #[test]
