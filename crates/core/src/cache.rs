@@ -18,14 +18,25 @@
 //! collision can never silently merge different variants. Pointer equality
 //! ([`Arc::ptr_eq`]) is the fast path — shared schedule prefixes hand around
 //! the same allocation.
+//!
+//! A [`CorpusCache`] can additionally be **bounded**
+//! ([`CorpusCache::bounded`]): entries carry a last-use generation stamp and
+//! the least-recently-used entry is evicted whenever a shard exceeds its
+//! budget, so a production-scale corpus sweep runs in fixed memory. Because
+//! the store is a pure cache (an evicted entry is simply recomputed on the
+//! next miss), a bounded cache produces byte-identical results to an
+//! unbounded one — only the work counters differ. Sessions registered with a
+//! family label ([`CacheStore::register_session_in`]) additionally feed
+//! per-übershader-family hit-rate telemetry ([`CorpusCache::family_stats`]).
 
 use prism_emit::BackendKind;
 use prism_ir::fingerprint::Fingerprint;
 use prism_ir::Shader;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// An IR snapshot at a stage boundary: the shader state plus its structural
 /// fingerprint.
@@ -80,6 +91,9 @@ pub struct CacheStats {
     pub emission_hits: usize,
     /// Subset of `emission_hits` answered by another session's entry.
     pub cross_shader_emission_hits: usize,
+    /// Entries dropped by a bounded store's LRU policy (always 0 for
+    /// unbounded stores and for [`SessionCache`]).
+    pub evictions: usize,
 }
 
 impl CacheStats {
@@ -104,6 +118,14 @@ pub trait CacheStore {
     /// Registers a new session and returns its id (used to attribute
     /// cross-shader sharing).
     fn register_session(&self) -> SessionId;
+
+    /// Like [`CacheStore::register_session`], but attributing the session to
+    /// an übershader family for per-family hit-rate telemetry. Stores without
+    /// family telemetry (the default) ignore the label.
+    fn register_session_in(&self, family: &str) -> SessionId {
+        let _ = family;
+        self.register_session()
+    }
 
     /// Looks up the output of running stage `stage` over `input`.
     fn transition(&self, session: SessionId, stage: usize, input: &Snapshot) -> Option<Snapshot>;
@@ -263,12 +285,181 @@ impl CacheStore for SessionCache {
 /// the same lock.
 const SHARDS: usize = 16;
 
+/// Family label given to sessions registered without one.
+const UNATTRIBUTED: &str = "(unattributed)";
+
+/// Per-übershader-family cache telemetry of one [`CorpusCache`]: how much
+/// work that family's sessions performed and how much was answered from the
+/// warm cache. This is the serving-layer signal the ROADMAP asks for — which
+/// families amortise their compilation and which run cold.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FamilyCacheStats {
+    /// The family label sessions registered under.
+    pub family: String,
+    /// Sessions registered under this family.
+    pub sessions: usize,
+    /// Stage executions this family's sessions actually ran.
+    pub stage_runs: usize,
+    /// Stage executions answered from the transition cache.
+    pub stage_hits: usize,
+    /// Emissions this family's sessions performed.
+    pub emissions: usize,
+    /// Emissions answered from the emission memo.
+    pub emission_hits: usize,
+}
+
+impl FamilyCacheStats {
+    /// Fraction of this family's stage executions served from cache
+    /// (0 when nothing ran).
+    pub fn stage_hit_rate(&self) -> f64 {
+        let total = self.stage_runs + self.stage_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.stage_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Lock-free per-family counters: hot-path bumps are atomic increments on an
+/// `Arc` resolved once per session under a read lock, so the multi-threaded
+/// sweep never serializes on telemetry.
+#[derive(Default)]
+struct FamilyCounters {
+    sessions: AtomicUsize,
+    stage_runs: AtomicUsize,
+    stage_hits: AtomicUsize,
+    emissions: AtomicUsize,
+    emission_hits: AtomicUsize,
+}
+
+/// Session → family attribution. Registration takes the write lock (rare:
+/// once per session); counter bumps take only a read lock to find the
+/// session's `Arc<FamilyCounters>` and then increment atomically.
+#[derive(Default)]
+struct FamilyTable {
+    by_session: HashMap<SessionId, Arc<FamilyCounters>>,
+    index: HashMap<String, usize>,
+    families: Vec<(String, Arc<FamilyCounters>)>,
+}
+
+impl FamilyTable {
+    fn register(&mut self, session: SessionId, family: &str) {
+        let idx = match self.index.get(family) {
+            Some(idx) => *idx,
+            None => {
+                let idx = self.families.len();
+                self.index.insert(family.to_string(), idx);
+                self.families
+                    .push((family.to_string(), Arc::new(FamilyCounters::default())));
+                idx
+            }
+        };
+        let counters = Arc::clone(&self.families[idx].1);
+        counters.sessions.fetch_add(1, Ordering::Relaxed);
+        self.by_session.insert(session, counters);
+    }
+
+    fn snapshot(&self) -> Vec<FamilyCacheStats> {
+        self.families
+            .iter()
+            .map(|(family, c)| FamilyCacheStats {
+                family: family.clone(),
+                sessions: c.sessions.load(Ordering::Relaxed),
+                stage_runs: c.stage_runs.load(Ordering::Relaxed),
+                stage_hits: c.stage_hits.load(Ordering::Relaxed),
+                emissions: c.emissions.load(Ordering::Relaxed),
+                emission_hits: c.emission_hits.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// One shard of a bounded memo: buckets of entries stamped with their
+/// last-use generation, plus a running entry count so the LRU bound is
+/// enforced without rescanning.
+struct BoundedMap<K, V> {
+    map: HashMap<K, Vec<(u64, V)>>,
+    entries: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
+    fn new() -> BoundedMap<K, V> {
+        BoundedMap {
+            map: HashMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// The bucket for `key`, with every candidate's generation refreshed to
+    /// `now` — the LRU touch. (Confirmation happens outside the shard lock,
+    /// so all fingerprint-equal candidates are treated as used; buckets are
+    /// collision lists and in practice hold one entry.)
+    fn touch(&mut self, key: &K, now: u64) -> Option<&Vec<(u64, V)>> {
+        let bucket = self.map.get_mut(key)?;
+        for (generation, _) in bucket.iter_mut() {
+            *generation = now;
+        }
+        Some(bucket)
+    }
+
+    /// Inserts an entry stamped `now` and evicts least-recently-used entries
+    /// until this shard is back within `budget`. Returns how many entries
+    /// were evicted.
+    fn insert(&mut self, key: K, value: V, now: u64, budget: Option<usize>) -> usize {
+        self.map.entry(key).or_default().push((now, value));
+        self.entries += 1;
+        let mut evicted = 0;
+        if let Some(budget) = budget {
+            while self.entries > budget.max(1) && self.evict_oldest() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Removes the entry with the oldest generation stamp. A bounded shard
+    /// stays small, so the linear scan is cheap and keeps eviction free of
+    /// auxiliary index structures that would need their own locking.
+    fn evict_oldest(&mut self) -> bool {
+        let mut oldest: Option<(K, usize, u64)> = None;
+        for (key, bucket) in &self.map {
+            for (idx, (generation, _)) in bucket.iter().enumerate() {
+                if oldest
+                    .as_ref()
+                    .is_none_or(|(_, _, best)| *generation < *best)
+                {
+                    oldest = Some((key.clone(), idx, *generation));
+                }
+            }
+        }
+        let Some((key, idx, _)) = oldest else {
+            return false;
+        };
+        let bucket = self.map.get_mut(&key).expect("oldest key present");
+        bucket.remove(idx);
+        if bucket.is_empty() {
+            self.map.remove(&key);
+        }
+        self.entries -= 1;
+        true
+    }
+}
+
 /// A thread-safe, corpus-wide cache store shared by many sessions.
 ///
 /// The study sweep builds every shader's session against one `CorpusCache`,
 /// so übershader family members reuse each other's stage transitions and
 /// emitted text across worker threads. Both maps are sharded by fingerprint
 /// to keep lock contention off the hot path; counters are atomics.
+///
+/// A cache built with [`CorpusCache::bounded`] additionally enforces an
+/// entry budget with per-shard LRU eviction (entries are generation-stamped
+/// on every lookup), so incremental search over an arbitrarily large corpus
+/// runs in fixed memory; because eviction only ever forces recomputation,
+/// results stay byte-identical to an unbounded cache. Sessions registered
+/// through [`CacheStore::register_session_in`] feed the per-family hit-rate
+/// telemetry reported by [`CorpusCache::family_stats`].
 ///
 /// # Examples
 ///
@@ -290,60 +481,152 @@ const SHARDS: usize = 16;
 /// ```
 pub struct CorpusCache {
     sessions: AtomicU64,
-    transitions: Vec<Mutex<TransitionMap>>,
-    emissions: Vec<Mutex<EmissionMap>>,
+    /// Total entry budget across both memos, or `None` for unbounded growth.
+    budget: Option<usize>,
+    /// The per-shard-map slice of `budget` (there are `2 * SHARDS` maps).
+    shard_budget: Option<usize>,
+    /// Monotonic generation clock for LRU stamping.
+    clock: AtomicU64,
+    transitions: Vec<Mutex<BoundedMap<(usize, Fingerprint), Transition>>>,
+    emissions: Vec<Mutex<BoundedMap<(Fingerprint, BackendKind), Emitted>>>,
+    families: RwLock<FamilyTable>,
     stage_runs: AtomicUsize,
     stage_hits: AtomicUsize,
     cross_shader_stage_hits: AtomicUsize,
     emissions_done: AtomicUsize,
     emission_hits: AtomicUsize,
     cross_shader_emission_hits: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl Default for CorpusCache {
     fn default() -> Self {
+        CorpusCache::with_budget(None)
+    }
+}
+
+impl CorpusCache {
+    /// An empty, unbounded corpus-wide store (the cache grows monotonically
+    /// with the corpus).
+    pub fn new() -> CorpusCache {
+        CorpusCache::default()
+    }
+
+    /// An empty store bounded to at most `max_entries` cached entries across
+    /// both memos, enforced with per-shard LRU eviction.
+    ///
+    /// To enforce the bound without a global lock, the budget is split
+    /// evenly across the `2 * SHARDS` (32) shard maps, quantizing the
+    /// *effective* capacity **down** to a multiple of 32 (e.g. `bounded(63)`
+    /// caches at most 32 entries) — so for budgets of at least 32 the
+    /// ceiling is hard and never exceeded, and callers wanting full use of a
+    /// budget should pass a multiple of 32. Budgets *below* 32 are raised to
+    /// the one-entry-per-shard-map minimum: `entry_count()` can then reach
+    /// 32 regardless of the smaller request.
+    pub fn bounded(max_entries: usize) -> CorpusCache {
+        CorpusCache::with_budget(Some(max_entries))
+    }
+
+    fn with_budget(budget: Option<usize>) -> CorpusCache {
         CorpusCache {
             sessions: AtomicU64::new(0),
-            transitions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            emissions: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            budget,
+            shard_budget: budget.map(|b| (b / (2 * SHARDS)).max(1)),
+            clock: AtomicU64::new(0),
+            transitions: (0..SHARDS).map(|_| Mutex::new(BoundedMap::new())).collect(),
+            emissions: (0..SHARDS).map(|_| Mutex::new(BoundedMap::new())).collect(),
+            families: RwLock::new(FamilyTable::default()),
             stage_runs: AtomicUsize::new(0),
             stage_hits: AtomicUsize::new(0),
             cross_shader_stage_hits: AtomicUsize::new(0),
             emissions_done: AtomicUsize::new(0),
             emission_hits: AtomicUsize::new(0),
             cross_shader_emission_hits: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
-}
 
-impl CorpusCache {
-    /// An empty corpus-wide store.
-    pub fn new() -> CorpusCache {
-        CorpusCache::default()
+    /// The configured entry budget, if this store is bounded.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Entries currently cached across both memos and every shard. A bounded
+    /// store keeps this at or below [`CorpusCache::budget`] (for budgets of
+    /// at least `2 * SHARDS = 32`).
+    pub fn entry_count(&self) -> usize {
+        let transitions: usize = self
+            .transitions
+            .iter()
+            .map(|s| s.lock().expect("corpus cache poisoned").entries)
+            .sum();
+        let emissions: usize = self
+            .emissions
+            .iter()
+            .map(|s| s.lock().expect("corpus cache poisoned").entries)
+            .sum();
+        transitions + emissions
+    }
+
+    /// Per-übershader-family hit-rate telemetry, in family registration
+    /// order. Sessions registered without a family land under
+    /// `"(unattributed)"`.
+    pub fn family_stats(&self) -> Vec<FamilyCacheStats> {
+        self.families
+            .read()
+            .expect("corpus cache poisoned")
+            .snapshot()
     }
 
     fn shard(fp: Fingerprint) -> usize {
         (fp.0 as usize) % SHARDS
     }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn bump_family(&self, session: SessionId, update: impl FnOnce(&FamilyCounters)) {
+        if let Some(counters) = self
+            .families
+            .read()
+            .expect("corpus cache poisoned")
+            .by_session
+            .get(&session)
+        {
+            update(counters);
+        }
+    }
 }
 
 impl CacheStore for CorpusCache {
     fn register_session(&self) -> SessionId {
-        self.sessions.fetch_add(1, Ordering::Relaxed)
+        self.register_session_in(UNATTRIBUTED)
+    }
+
+    fn register_session_in(&self, family: &str) -> SessionId {
+        let id = self.sessions.fetch_add(1, Ordering::Relaxed);
+        self.families
+            .write()
+            .expect("corpus cache poisoned")
+            .register(id, family);
+        id
     }
 
     fn transition(&self, session: SessionId, stage: usize, input: &Snapshot) -> Option<Snapshot> {
         // Clone the bucket's candidates (cheap Arc bumps) under the lock and
         // confirm structural equality *after* dropping it: deep IR compares
-        // must not serialize other workers on this shard.
+        // must not serialize other workers on this shard. The lookup itself
+        // refreshes the candidates' LRU stamps.
+        let now = self.now();
         let candidates: Vec<(SessionId, Snapshot, Snapshot)> = {
-            let shard = self.transitions[Self::shard(input.fp)]
+            let mut shard = self.transitions[Self::shard(input.fp)]
                 .lock()
                 .expect("corpus cache poisoned");
-            match shard.get(&(stage, input.fp)) {
+            match shard.touch(&(stage, input.fp), now) {
                 Some(bucket) => bucket
                     .iter()
-                    .map(|t| (t.owner, t.input.clone(), t.output.clone()))
+                    .map(|(_, t)| (t.owner, t.input.clone(), t.output.clone()))
                     .collect(),
                 None => return None,
             }
@@ -356,6 +639,9 @@ impl CacheStore for CorpusCache {
         if owner != session {
             self.cross_shader_stage_hits.fetch_add(1, Ordering::Relaxed);
         }
+        self.bump_family(session, |f| {
+            f.stage_hits.fetch_add(1, Ordering::Relaxed);
+        });
         Some(output)
     }
 
@@ -367,16 +653,24 @@ impl CacheStore for CorpusCache {
         output: Snapshot,
     ) {
         self.stage_runs.fetch_add(1, Ordering::Relaxed);
-        self.transitions[Self::shard(input.fp)]
+        self.bump_family(session, |f| {
+            f.stage_runs.fetch_add(1, Ordering::Relaxed);
+        });
+        let now = self.now();
+        let evicted = self.transitions[Self::shard(input.fp)]
             .lock()
             .expect("corpus cache poisoned")
-            .entry((stage, input.fp))
-            .or_default()
-            .push(Transition {
-                owner: session,
-                input,
-                output,
-            });
+            .insert(
+                (stage, input.fp),
+                Transition {
+                    owner: session,
+                    input,
+                    output,
+                },
+                now,
+                self.shard_budget,
+            );
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     fn emission(
@@ -387,14 +681,15 @@ impl CacheStore for CorpusCache {
     ) -> Option<Arc<String>> {
         // As with transitions: snapshot the candidates, then confirm deep
         // equality outside the shard lock.
+        let now = self.now();
         let candidates: Vec<(SessionId, Arc<Shader>, Arc<String>)> = {
-            let shard = self.emissions[Self::shard(state.fp)]
+            let mut shard = self.emissions[Self::shard(state.fp)]
                 .lock()
                 .expect("corpus cache poisoned");
-            match shard.get(&(state.fp, backend)) {
+            match shard.touch(&(state.fp, backend), now) {
                 Some(bucket) => bucket
                     .iter()
-                    .map(|e| (e.owner, Arc::clone(&e.ir), Arc::clone(&e.text)))
+                    .map(|(_, e)| (e.owner, Arc::clone(&e.ir), Arc::clone(&e.text)))
                     .collect(),
                 None => return None,
             }
@@ -407,6 +702,9 @@ impl CacheStore for CorpusCache {
             self.cross_shader_emission_hits
                 .fetch_add(1, Ordering::Relaxed);
         }
+        self.bump_family(session, |f| {
+            f.emission_hits.fetch_add(1, Ordering::Relaxed);
+        });
         Some(text)
     }
 
@@ -418,16 +716,24 @@ impl CacheStore for CorpusCache {
         text: Arc<String>,
     ) {
         self.emissions_done.fetch_add(1, Ordering::Relaxed);
-        self.emissions[Self::shard(state.fp)]
+        self.bump_family(session, |f| {
+            f.emissions.fetch_add(1, Ordering::Relaxed);
+        });
+        let now = self.now();
+        let evicted = self.emissions[Self::shard(state.fp)]
             .lock()
             .expect("corpus cache poisoned")
-            .entry((state.fp, backend))
-            .or_default()
-            .push(Emitted {
-                owner: session,
-                ir: Arc::clone(&state.ir),
-                text,
-            });
+            .insert(
+                (state.fp, backend),
+                Emitted {
+                    owner: session,
+                    ir: Arc::clone(&state.ir),
+                    text,
+                },
+                now,
+                self.shard_budget,
+            );
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     fn stats(&self) -> CacheStats {
@@ -439,6 +745,7 @@ impl CacheStore for CorpusCache {
             emissions: self.emissions_done.load(Ordering::Relaxed),
             emission_hits: self.emission_hits.load(Ordering::Relaxed),
             cross_shader_emission_hits: self.cross_shader_emission_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -519,6 +826,7 @@ mod tests {
         assert_eq!(stats.emissions, 1);
         assert_eq!(stats.emission_hits, 1);
         assert_eq!(stats.cross_shader_emission_hits, 1);
+        assert_eq!(stats.evictions, 0);
         assert!(stats.stage_hit_rate() > 0.6);
     }
 
@@ -530,6 +838,85 @@ mod tests {
     #[test]
     fn corpus_cache_stores_and_confirms() {
         exercise(&CorpusCache::new());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_stays_within_budget() {
+        // The smallest enforceable budget: one entry per shard map.
+        let cache = CorpusCache::bounded(32);
+        assert_eq!(cache.budget(), Some(32));
+        let id = cache.register_session();
+
+        // Far more distinct transitions than the budget allows.
+        for seed in 0..200u32 {
+            let input = snapshot(seed);
+            let output = snapshot(seed + 1000);
+            if cache.transition(id, 0, &input).is_none() {
+                cache.record_transition(id, 0, input, output);
+            }
+            assert!(
+                cache.entry_count() <= 32,
+                "entry count {} exceeded budget after seed {seed}",
+                cache.entry_count()
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "expected evictions, got {stats:?}");
+        assert_eq!(stats.stage_runs, 200);
+
+        // Eviction is transparent: an evicted key simply misses and can be
+        // recomputed; a key just recorded (most recently used) still hits.
+        let fresh = snapshot(5000);
+        cache.record_transition(id, 0, fresh.clone(), snapshot(5001));
+        assert!(cache.transition(id, 0, &fresh).is_some());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = CorpusCache::new();
+        assert_eq!(cache.budget(), None);
+        let id = cache.register_session();
+        for seed in 0..100u32 {
+            cache.record_transition(id, 0, snapshot(seed), snapshot(seed + 1000));
+        }
+        assert_eq!(cache.entry_count(), 100);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn family_telemetry_attributes_work_per_family() {
+        let cache = CorpusCache::new();
+        let blur = cache.register_session_in("blur");
+        let blur2 = cache.register_session_in("blur");
+        let ui = cache.register_session_in("ui");
+        let anon = cache.register_session();
+
+        let input = snapshot(1);
+        cache.record_transition(blur, 0, input.clone(), snapshot(2));
+        assert!(cache.transition(blur2, 0, &input).is_some());
+        assert!(cache.transition(ui, 0, &input).is_some());
+        assert!(cache.transition(anon, 0, &input).is_some());
+        cache.record_emission(ui, BackendKind::Gles, &input, Arc::new("x".into()));
+
+        let families = cache.family_stats();
+        let get = |name: &str| {
+            families
+                .iter()
+                .find(|f| f.family == name)
+                .unwrap_or_else(|| panic!("family {name} missing"))
+                .clone()
+        };
+        let blur_stats = get("blur");
+        assert_eq!(blur_stats.sessions, 2);
+        assert_eq!(blur_stats.stage_runs, 1);
+        assert_eq!(blur_stats.stage_hits, 1);
+        assert!(blur_stats.stage_hit_rate() > 0.49);
+        let ui_stats = get("ui");
+        assert_eq!(ui_stats.stage_hits, 1);
+        assert_eq!(ui_stats.emissions, 1);
+        let anon_stats = get("(unattributed)");
+        assert_eq!(anon_stats.sessions, 1);
+        assert_eq!(anon_stats.stage_hits, 1);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! * [`session`] — lower-once, prefix-shared variant compilation sessions
 //!   with per-backend (desktop GLSL / mobile GLES) emission memos.
 //! * [`cache`] — the session memo stores: private per-session, or one
-//!   thread-safe corpus-wide cache shared by a whole study sweep.
+//!   thread-safe corpus-wide cache shared by a whole study sweep, optionally
+//!   bounded with LRU eviction and per-family hit-rate telemetry.
 //! * [`variant`] — exhaustive variant generation and deduplication (§V-C).
 
 pub mod cache;
@@ -25,7 +26,7 @@ pub mod pipeline;
 pub mod session;
 pub mod variant;
 
-pub use cache::{CacheStats, CacheStore, CorpusCache, SessionCache};
+pub use cache::{CacheStats, CacheStore, CorpusCache, FamilyCacheStats, SessionCache};
 pub use flags::{Flag, OptFlags};
 pub use lower::{lower, LowerError};
 pub use pipeline::{

@@ -146,10 +146,40 @@ impl CompileSession {
         name: &str,
         cache: Arc<dyn CacheStore>,
     ) -> Result<CompileSession, CompileError> {
+        CompileSession::construct(source, name, None, cache)
+    }
+
+    /// Like [`CompileSession::with_cache`], but registering the session under
+    /// an übershader `family` label so a family-aware store (the
+    /// [`CorpusCache`](crate::cache::CorpusCache)) can report per-family
+    /// hit-rate telemetry. The label is attribution only — it never changes
+    /// what the session compiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when lowering fails or produces invalid IR.
+    pub fn with_cache_in_family(
+        source: &ShaderSource,
+        name: &str,
+        family: &str,
+        cache: Arc<dyn CacheStore>,
+    ) -> Result<CompileSession, CompileError> {
+        CompileSession::construct(source, name, Some(family), cache)
+    }
+
+    fn construct(
+        source: &ShaderSource,
+        name: &str,
+        family: Option<&str>,
+        cache: Arc<dyn CacheStore>,
+    ) -> Result<CompileSession, CompileError> {
         let ir = lower(source, name)?;
         verify(&ir).map_err(CompileError::Verify)?;
         let fp = fingerprint(&ir);
-        let id = cache.register_session();
+        let id = match family {
+            Some(family) => cache.register_session_in(family),
+            None => cache.register_session(),
+        };
         Ok(CompileSession {
             name: name.to_string(),
             schedule: build_schedule(),

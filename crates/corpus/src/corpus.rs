@@ -81,6 +81,49 @@ impl Corpus {
         Ok(Corpus { cases })
     }
 
+    /// The canonical small slice for smoke benches, CI gates and quick
+    /// studies: the blur flagship (real optimization headroom), two
+    /// texture_combine übershader family members (cross-shader cache
+    /// sharing) and two simple shaders. One definition so the perf gate,
+    /// benches and tests all exercise the same corpus.
+    pub const FAMILY_MIX: [&'static str; 5] = [
+        "flagship_blur9",
+        "texture_combine_00",
+        "texture_combine_01",
+        "ui_blit_00",
+        "color_grade_01",
+    ];
+
+    /// The [`Corpus::FAMILY_MIX`] sub-corpus.
+    pub fn family_mix() -> Corpus {
+        Corpus::gfxbench_like().subset(&Corpus::FAMILY_MIX)
+    }
+
+    /// The sub-corpus containing only the named shaders (in corpus order).
+    /// The one constructor behind every test/bench/CI corpus slice, so the
+    /// slices cannot drift apart when the corpus is renamed or regrown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested name is absent — a misspelt slice must fail
+    /// loudly, not silently shrink a benchmark.
+    pub fn subset(&self, names: &[&str]) -> Corpus {
+        for name in names {
+            assert!(
+                self.case(name).is_some(),
+                "corpus subset requests unknown shader `{name}`"
+            );
+        }
+        Corpus {
+            cases: self
+                .cases
+                .iter()
+                .filter(|c| names.contains(&c.name.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Number of shaders in the corpus.
     pub fn len(&self) -> usize {
         self.cases.len()

@@ -36,6 +36,12 @@ impl BackendKind {
         }
     }
 
+    /// The inverse of [`BackendKind::name`]: resolves a recorded backend
+    /// label (e.g. from a serialised study) back to its identity.
+    pub fn from_name(name: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|b| b.name() == name)
+    }
+
     /// The `#version` string this backend writes (and a driver front-end
     /// therefore reads back).
     pub fn version(self) -> &'static str {
@@ -150,6 +156,14 @@ mod tests {
         assert_eq!(BackendKind::DesktopGlsl.name(), "desktop");
         assert_eq!(BackendKind::Gles.version(), "310 es");
         assert_eq!(format!("{}", BackendKind::Gles), "gles");
+    }
+
+    #[test]
+    fn names_resolve_back_to_kinds() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_name("spirv"), None);
     }
 
     #[test]

@@ -256,6 +256,47 @@ pub fn fig9_per_flag(study: &StudyResults) -> String {
     out
 }
 
+/// Fig. 10 (beyond the paper): incremental flag-search strategies versus
+/// the exhaustive oracle — mean speed-up achieved and fraction of the 256
+/// combinations compiled, per platform.
+pub fn fig10_incremental(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 10 — incremental flag search vs the exhaustive oracle"
+    );
+    if study.search.is_empty() {
+        let _ = writeln!(out, "  (study ran without incremental search)");
+        return out;
+    }
+    for vendor in study.platforms() {
+        let rows: Vec<_> = study.search.iter().filter(|r| r.vendor == vendor).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  {vendor}");
+        let _ = writeln!(
+            out,
+            "    {:<16} {:>10} {:>10} {:>11} {:>12} {:>9}",
+            "strategy", "speedup", "oracle", "% of oracle", "compiles/256", "budget"
+        );
+        for row in rows {
+            let _ = writeln!(
+                out,
+                "    {:<16} {:>9.2}% {:>9.2}% {:>10.0}% {:>7.1} ({:>2.0}%) {:>8}",
+                row.strategy,
+                row.mean_speedup,
+                row.oracle_mean_speedup,
+                row.oracle_fraction() * 100.0,
+                row.mean_compiles,
+                row.compile_fraction() * 100.0,
+                row.budget
+            );
+        }
+    }
+    out
+}
+
 /// A compact overall summary used by the quickstart example.
 pub fn summary(study: &StudyResults) -> String {
     let mut out = String::new();
@@ -321,6 +362,10 @@ pub fn render_all(study: &StudyResults, blur_name: &str) -> String {
         out.push('\n');
     }
     out.push_str(&fig9_per_flag(study));
+    if !study.search.is_empty() {
+        out.push('\n');
+        out.push_str(&fig10_incremental(study));
+    }
     out
 }
 
@@ -378,6 +423,7 @@ mod tests {
             measurements: vec![record("AMD", 750.0), record("ARM", 650.0)],
             skipped: vec![],
             cache: Default::default(),
+            search: vec![],
         }
     }
 
@@ -395,6 +441,36 @@ mod tests {
         assert!(summary(&study).contains("shaders"));
         let all = render_all(&study, "blur");
         assert!(all.len() > 500);
+        // Without search rows, Fig. 10 is omitted from the full render but
+        // still renders standalone with a note.
+        assert!(!all.contains("Figure 10"));
+        assert!(fig10_incremental(&study).contains("without incremental search"));
+    }
+
+    #[test]
+    fn fig10_lists_every_strategy_per_platform() {
+        let mut study = tiny_study();
+        for vendor in ["AMD", "ARM"] {
+            for strategy in ["greedy_forward", "ablation"] {
+                study.search.push(prism_search::SearchRecord {
+                    vendor: vendor.into(),
+                    strategy: strategy.into(),
+                    shaders: 1,
+                    budget: 63,
+                    mean_compiles: 12.0,
+                    max_compiles: 12,
+                    mean_speedup: 20.0,
+                    oracle_mean_speedup: 25.0,
+                    default_mean_speedup: 15.0,
+                });
+            }
+        }
+        let text = fig10_incremental(&study);
+        assert!(text.contains("greedy_forward"));
+        assert!(text.contains("ablation"));
+        assert!(text.contains("AMD"));
+        assert!(text.contains("ARM"));
+        assert!(render_all(&study, "blur").contains("Figure 10"));
     }
 
     #[test]

@@ -133,6 +133,7 @@ mod tests {
             }],
             skipped: vec![],
             cache: Default::default(),
+            search: vec![],
         }
     }
 

@@ -12,20 +12,35 @@
 //!   sets (Fig. 8),
 //! * [`per_flag`] — each flag in isolation against the no-flag baseline
 //!   (Fig. 9).
+//!
+//! The exhaustive sweep is no longer the only driver: [`driver`] adds
+//! **incremental flag search** — pluggable [`SearchStrategy`] policies
+//! (greedy forward-add, greedy backward-drop, per-flag ablation,
+//! random-restart hill climbing) that explore flag *subsets* against a live
+//! [`CompileSession`](prism_core::CompileSession) under a hard compile
+//! budget, and a comparison harness reporting how close each strategy gets
+//! to the exhaustive oracle at what fraction of the compile cost
+//! ([`StudyResults::search`]).
 
 pub mod applicability;
+pub mod driver;
 pub mod per_flag;
 pub mod policies;
 pub mod results;
 pub mod sweep;
 
 pub use applicability::{flag_applicability, FlagApplicability};
+pub use driver::{
+    incremental_search_records, standard_strategies, Ablation, GreedyBackward, GreedyForward,
+    RandomRestartHillClimb, SearchConfig, SearchDriver, SearchOutcome, SearchStrategy,
+};
 pub use per_flag::{all_flag_impacts, flag_impact, FlagImpact};
 pub use policies::{
     best_static_flags, mean_speedup, minimal_best_static, per_shader_speedups, platform_summaries,
     top_n_mean_best, top_n_speedups, PlatformSummary, Policy,
 };
 pub use results::{
-    percent_speedup, ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults, VariantRecord,
+    percent_speedup, SearchRecord, ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults,
+    VariantRecord,
 };
 pub use sweep::{run_study, StudyConfig};

@@ -130,6 +130,7 @@ mod tests {
             }],
             skipped: vec![],
             cache: Default::default(),
+            search: vec![],
         }
     }
 

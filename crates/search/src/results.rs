@@ -160,6 +160,70 @@ serde::impl_serde_struct!(SkippedShader {
     error
 });
 
+/// Aggregated result of one incremental-search strategy on one platform:
+/// how close the strategy's found flag sets get to the exhaustive oracle,
+/// and at what fraction of the exhaustive compile cost (one row of the
+/// incremental-search table; see `prism_search::driver`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRecord {
+    /// Platform name (`Vendor::name()`).
+    pub vendor: String,
+    /// Strategy name (`SearchStrategy::name()`).
+    pub strategy: String,
+    /// Shaders the strategy searched on this platform.
+    pub shaders: usize,
+    /// The per-shader compile budget the driver enforced.
+    pub budget: usize,
+    /// Mean distinct flag combinations compiled per shader (the exhaustive
+    /// study compiles all 256).
+    pub mean_compiles: f64,
+    /// The largest per-shader compile count observed (must be ≤ `budget`).
+    pub max_compiles: usize,
+    /// Mean percentage speed-up (vs the original shader) of the best
+    /// combination the strategy found.
+    pub mean_speedup: f64,
+    /// Mean speed-up of the exhaustive per-shader oracle (the ceiling).
+    pub oracle_mean_speedup: f64,
+    /// Mean speed-up of the LunarGlass default flags (the floor a useful
+    /// strategy must clear).
+    pub default_mean_speedup: f64,
+}
+
+serde::impl_serde_struct!(SearchRecord {
+    vendor,
+    strategy,
+    shaders,
+    budget,
+    mean_compiles,
+    max_compiles,
+    mean_speedup,
+    oracle_mean_speedup,
+    default_mean_speedup,
+});
+
+impl SearchRecord {
+    /// Mean fraction of the exhaustive 256 combinations compiled.
+    pub fn compile_fraction(&self) -> f64 {
+        self.mean_compiles / 256.0
+    }
+
+    /// Fraction of the oracle's mean speed-up the strategy achieved. When
+    /// the oracle itself gains nothing (≤ 0), a strategy that matched it
+    /// scores 1.0 and one that fell short scores 0.0 — the ratio would
+    /// otherwise flip sign and overstate the worst performers.
+    pub fn oracle_fraction(&self) -> f64 {
+        if self.oracle_mean_speedup <= 0.0 {
+            if self.mean_speedup >= self.oracle_mean_speedup - 1e-12 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.mean_speedup / self.oracle_mean_speedup
+        }
+    }
+}
+
 /// Corpus-level compile-cache statistics of one study run: how much
 /// optimization and emission work the sweep performed, and how much was
 /// shared — within a shader's 256 combinations and, with the shared
@@ -195,6 +259,7 @@ impl serde::Serialize for CacheRecord {
                 "cross_shader_emission_hits".to_string(),
                 num(self.stats.cross_shader_emission_hits),
             ),
+            ("evictions".to_string(), num(self.stats.evictions)),
         ])
     }
 }
@@ -225,6 +290,7 @@ impl serde::Deserialize for CacheRecord {
                 emissions: count("emissions")?,
                 emission_hits: count("emission_hits")?,
                 cross_shader_emission_hits: count("cross_shader_emission_hits")?,
+                evictions: count("evictions")?,
             },
         })
     }
@@ -241,13 +307,17 @@ pub struct StudyResults {
     pub skipped: Vec<SkippedShader>,
     /// Corpus-level compile-cache statistics of this run.
     pub cache: CacheRecord,
+    /// Incremental-search strategy comparison rows (empty unless the study
+    /// ran with `StudyConfig::search` enabled).
+    pub search: Vec<SearchRecord>,
 }
 
 serde::impl_serde_struct!(StudyResults {
     shaders,
     measurements,
     skipped,
-    cache
+    cache,
+    search
 });
 
 impl StudyResults {
@@ -389,8 +459,20 @@ mod tests {
                     emissions: 4,
                     emission_hits: 8,
                     cross_shader_emission_hits: 2,
+                    evictions: 5,
                 },
             },
+            search: vec![SearchRecord {
+                vendor: "AMD".into(),
+                strategy: "greedy_forward".into(),
+                shaders: 1,
+                budget: 63,
+                mean_compiles: 19.0,
+                max_compiles: 19,
+                mean_speedup: 18.5,
+                oracle_mean_speedup: 20.0,
+                default_mean_speedup: 12.0,
+            }],
         };
         let json = study.to_json();
         let restored = StudyResults::from_json(&json).unwrap();
@@ -398,6 +480,11 @@ mod tests {
         assert_eq!(restored.measurements, study.measurements);
         assert_eq!(restored.skipped, study.skipped);
         assert_eq!(restored.cache, study.cache);
+        assert_eq!(restored.search, study.search);
+        assert_eq!(restored.cache.stats.evictions, 5);
+        let search = &restored.search[0];
+        assert!((search.compile_fraction() - 19.0 / 256.0).abs() < 1e-12);
+        assert!((search.oracle_fraction() - 0.925).abs() < 1e-12);
         assert!((restored.cache.stats.stage_hit_rate() - 0.75).abs() < 1e-9);
         assert!(!restored.is_complete());
         assert_eq!(restored.platforms(), vec!["AMD".to_string()]);

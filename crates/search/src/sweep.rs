@@ -22,6 +22,7 @@
 //! workers pull the next shader from a shared queue, so one expensive
 //! flagship shader no longer idles the rest of a pre-assigned chunk.
 
+use crate::driver::{incremental_search_records, SearchConfig};
 use crate::results::{
     CacheRecord, ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults, VariantRecord,
 };
@@ -49,6 +50,14 @@ pub struct StudyConfig {
     /// pre-corpus-cache behaviour, kept for benchmarking the difference;
     /// results are byte-identical either way.
     pub shared_cache: bool,
+    /// Bound the shared corpus cache to at most this many entries
+    /// (LRU-evicted). `None` (default) grows monotonically. Results are
+    /// byte-identical either way — only the work counters differ.
+    pub cache_budget: Option<usize>,
+    /// Run the incremental flag-search comparison after the exhaustive
+    /// sweep, filling [`StudyResults::search`] with per-(platform, strategy)
+    /// rows. `None` (default) skips it.
+    pub search: Option<SearchConfig>,
 }
 
 impl Default for StudyConfig {
@@ -58,6 +67,8 @@ impl Default for StudyConfig {
             vendors: Vendor::ALL.to_vec(),
             threads: 8,
             shared_cache: true,
+            cache_budget: None,
+            search: None,
         }
     }
 }
@@ -70,6 +81,19 @@ impl StudyConfig {
             vendors: Vendor::ALL.to_vec(),
             threads: 4,
             shared_cache: true,
+            cache_budget: None,
+            search: None,
+        }
+    }
+
+    /// A fresh corpus cache honouring this config's `cache_budget` — the one
+    /// constructor behind both the exhaustive sweep's shared cache and the
+    /// incremental search phase's, so the two can never be bounded
+    /// differently.
+    pub fn new_corpus_cache(&self) -> CorpusCache {
+        match self.cache_budget {
+            Some(budget) => CorpusCache::bounded(budget),
+            None => CorpusCache::new(),
         }
     }
 }
@@ -83,8 +107,9 @@ impl StudyConfig {
 /// results *and* stays diagnosable.
 pub fn run_study(corpus: &Corpus, config: &StudyConfig) -> StudyResults {
     let platforms: Vec<Platform> = config.vendors.iter().map(|v| Platform::new(*v)).collect();
-    let corpus_cache: Option<Arc<CorpusCache>> =
-        config.shared_cache.then(|| Arc::new(CorpusCache::new()));
+    let corpus_cache: Option<Arc<CorpusCache>> = config
+        .shared_cache
+        .then(|| Arc::new(config.new_corpus_cache()));
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(config.threads.max(1))
         .build()
@@ -133,6 +158,9 @@ pub fn run_study(corpus: &Corpus, config: &StudyConfig) -> StudyResults {
             stats: solo_stats,
         },
     };
+    if let Some(search) = &config.search {
+        study.search = incremental_search_records(corpus, &study, config, search);
+    }
     study
 }
 
@@ -162,9 +190,10 @@ fn process_shader(
         error,
     };
     let session = match corpus_cache {
-        Some(cache) => CompileSession::with_cache(
+        Some(cache) => CompileSession::with_cache_in_family(
             &case.source,
             &case.name,
+            &case.family,
             Arc::clone(cache) as Arc<dyn CacheStore>,
         ),
         None => CompileSession::new(&case.source, &case.name),

@@ -1,0 +1,332 @@
+//! CI perf-regression gate over deterministic compile-work counters.
+//!
+//! Wall-clock benchmarks are useless as CI gates (shared runners, thermal
+//! noise); the quantities that actually protect the hot path are the
+//! *deterministic* work counters the caching subsystems maintain: stage runs
+//! avoided, cache hits, emission dedup, and the incremental search's compile
+//! counts. This binary runs the smoke-sized study (single-threaded, fixed
+//! seeds, so every counter is exactly reproducible), writes them as a
+//! `BENCH_perf_gate.json` baseline, and — with `--check <baseline>` —
+//! fails (exit 1) if any counter regresses beyond a threshold against the
+//! committed baseline.
+//!
+//! ```text
+//! cargo run --release --bin perf_gate -- --out BENCH_perf_gate.json \
+//!     --check ci/bench-baseline.json
+//! # regenerate the committed baseline after an intentional change:
+//! cargo run --release --bin perf_gate -- --out ci/bench-baseline.json
+//! ```
+//!
+//! The relative tolerance defaults to 10% (plus an absolute grace of 2 for
+//! tiny counters) and can be overridden with `PRISM_GATE_TOLERANCE=0.05`.
+
+use prism::corpus::Corpus;
+use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig};
+use std::process::ExitCode;
+
+/// One gated counter: a deterministic measurement plus the direction in
+/// which it is allowed to move freely.
+#[derive(Debug, Clone, PartialEq)]
+struct Counter {
+    name: String,
+    value: f64,
+    higher_is_better: bool,
+}
+
+serde::impl_serde_struct!(Counter {
+    name,
+    value,
+    higher_is_better
+});
+
+/// The on-disk `BENCH_*.json` shape.
+#[derive(Debug, Clone, PartialEq)]
+struct GateReport {
+    schema: usize,
+    counters: Vec<Counter>,
+}
+
+serde::impl_serde_struct!(GateReport { schema, counters });
+
+/// The smoke corpus: übershader family members (cache sharing), the blur
+/// flagship (optimization headroom), and simple shaders.
+fn gate_corpus() -> Corpus {
+    Corpus::family_mix()
+}
+
+/// Runs the deterministic smoke study and extracts the gated counters.
+fn measure() -> GateReport {
+    // Single worker thread: the shared-cache counters depend on which
+    // session reaches a memo first, so determinism requires a sequential
+    // sweep. Timings are seeded per (shader, platform) and deterministic
+    // regardless.
+    let config = StudyConfig {
+        threads: 1,
+        search: Some(SearchConfig::default()),
+        ..StudyConfig::quick()
+    };
+    let corpus = gate_corpus();
+    let study = run_study(&corpus, &config);
+
+    let stats = &study.cache.stats;
+    let exhaustive_combinations = (study.shaders.len() * 256) as f64;
+    let unique_variants: usize = study.shaders.iter().map(|s| s.unique_variants).sum();
+    let mut counters = vec![
+        Counter {
+            name: "stage_runs".into(),
+            value: stats.stage_runs as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "stage_hits".into(),
+            value: stats.stage_hits as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "cross_shader_stage_hits".into(),
+            value: stats.cross_shader_stage_hits as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "emissions".into(),
+            value: stats.emissions as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "emission_hits".into(),
+            value: stats.emission_hits as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "variant_dedup_ratio".into(),
+            value: exhaustive_combinations / unique_variants.max(1) as f64,
+            higher_is_better: true,
+        },
+    ];
+
+    // Incremental search: distinct combinations compiled per strategy,
+    // summed over shaders and platforms. Names come from the strategy set
+    // itself, so a renamed or added strategy changes the emitted counters
+    // (and the stale baseline name then fails the gate) instead of silently
+    // gating nothing. (The complementary "compiles avoided" number is just
+    // `256 * shaders - spent`, so gating it too would double-report every
+    // regression.)
+    for strategy in standard_strategies(&SearchConfig::default()) {
+        let name = strategy.name();
+        let spent: f64 = study
+            .search
+            .iter()
+            .filter(|r| r.strategy == name)
+            .map(|r| r.mean_compiles * r.shaders as f64)
+            .sum();
+        counters.push(Counter {
+            name: format!("search_compiles_{name}"),
+            value: spent,
+            higher_is_better: false,
+        });
+    }
+
+    GateReport {
+        schema: 1,
+        counters,
+    }
+}
+
+/// Compares `current` against `baseline`; returns the regression messages.
+/// Name mismatches fail in both directions: a counter that disappeared AND a
+/// counter the baseline has never seen (e.g. a newly added strategy) both
+/// demand a deliberate baseline regeneration, otherwise the new counter
+/// would sit un-gated.
+fn regressions(current: &GateReport, baseline: &GateReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for now in &current.counters {
+        if !baseline.counters.iter().any(|b| b.name == now.name) {
+            failures.push(format!(
+                "counter `{}` is not in the baseline — regenerate it to start gating the counter",
+                now.name
+            ));
+        }
+    }
+    for base in &baseline.counters {
+        let Some(now) = current.counters.iter().find(|c| c.name == base.name) else {
+            failures.push(format!(
+                "counter `{}` present in the baseline but no longer measured",
+                base.name
+            ));
+            continue;
+        };
+        // Relative tolerance with a small absolute grace so near-zero
+        // counters do not gate on ±1 jitter-free-but-intentional changes.
+        let slack = (base.value.abs() * tolerance).max(2.0);
+        let (regressed, direction) = if base.higher_is_better {
+            (now.value < base.value - slack, "fell")
+        } else {
+            (now.value > base.value + slack, "rose")
+        };
+        if regressed {
+            failures.push(format!(
+                "counter `{}` {} from {} to {} (allowed slack {:.1})",
+                base.name, direction, base.value, now.value, slack
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_perf_gate.json");
+    let mut check_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out_path = iter.next().expect("--out needs a path").clone(),
+            "--check" => check_path = Some(iter.next().expect("--check needs a path").clone()),
+            other => {
+                eprintln!("unknown argument `{other}` (expected --out/--check)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let tolerance: f64 = std::env::var("PRISM_GATE_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0.10);
+
+    let report = measure();
+    let json = serde_json::to_string(&report).expect("gate report serialises");
+    std::fs::write(&out_path, &json).expect("write gate report");
+    println!(
+        "perf gate: wrote {} counters to {out_path}",
+        report.counters.len()
+    );
+    for c in &report.counters {
+        println!(
+            "  {:<36} {:>10.1}  ({})",
+            c.name,
+            c.value,
+            if c.higher_is_better {
+                "higher is better"
+            } else {
+                "lower is better"
+            }
+        );
+    }
+
+    let Some(check_path) = check_path else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline_text = match std::fs::read_to_string(&check_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("perf gate: cannot read baseline {check_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: GateReport = match serde_json::from_str(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf gate: malformed baseline {check_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = regressions(&report, &baseline, tolerance);
+    if failures.is_empty() {
+        println!(
+            "perf gate: OK — no counter regressed beyond {:.0}% vs {check_path}",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate: FAILED vs {check_path}");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "(intentional change? regenerate with: cargo run --release --bin perf_gate -- --out {check_path})"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, value: f64, higher: bool) -> Counter {
+        Counter {
+            name: name.into(),
+            value,
+            higher_is_better: higher,
+        }
+    }
+
+    fn report(counters: Vec<Counter>) -> GateReport {
+        GateReport {
+            schema: 1,
+            counters,
+        }
+    }
+
+    #[test]
+    fn regression_detection_respects_direction_and_tolerance() {
+        let baseline = report(vec![
+            counter("hits", 100.0, true),
+            counter("runs", 100.0, false),
+        ]);
+        // Within tolerance: fine in both directions.
+        let ok = report(vec![
+            counter("hits", 95.0, true),
+            counter("runs", 105.0, false),
+        ]);
+        assert!(regressions(&ok, &baseline, 0.10).is_empty());
+        // Beyond tolerance in the bad direction: flagged.
+        let bad = report(vec![
+            counter("hits", 80.0, true),
+            counter("runs", 100.0, false),
+        ]);
+        let failures = regressions(&bad, &baseline, 0.10);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("hits"));
+        // Beyond tolerance in the good direction: never flagged.
+        let better = report(vec![
+            counter("hits", 200.0, true),
+            counter("runs", 10.0, false),
+        ]);
+        assert!(regressions(&better, &baseline, 0.10).is_empty());
+    }
+
+    #[test]
+    fn name_mismatches_fail_the_gate_in_both_directions() {
+        let baseline = report(vec![counter("hits", 100.0, true)]);
+        let current = report(vec![counter("other", 1.0, true)]);
+        let failures = regressions(&current, &baseline, 0.10);
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().any(|f| f.contains("not in the baseline")));
+        assert!(failures.iter().any(|f| f.contains("no longer measured")));
+    }
+
+    #[test]
+    fn small_counters_get_absolute_grace() {
+        let baseline = report(vec![counter("tiny", 3.0, true)]);
+        let current = report(vec![counter("tiny", 1.0, true)]);
+        assert!(regressions(&current, &baseline, 0.10).is_empty());
+        let gone = report(vec![counter("tiny", 0.0, true)]);
+        assert_eq!(regressions(&gone, &baseline, 0.10).len(), 1);
+    }
+
+    #[test]
+    fn gate_report_round_trips_json() {
+        let r = report(vec![counter("hits", 12.5, true)]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: GateReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn measured_counters_are_deterministic_across_runs() {
+        let a = measure();
+        let b = measure();
+        assert_eq!(a, b, "gate counters must be exactly reproducible");
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the incremental flag-search subsystem: strategies
+//! running against live sessions reach the quality bar (≥ the LunarGlass
+//! default policy) at a fraction of the exhaustive compile cost, budgets are
+//! hard, bounded caches change nothing about the measurements, and the new
+//! records survive the JSON round trip.
+
+use prism::corpus::Corpus;
+use prism::report;
+use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig, StudyResults};
+
+/// The strategy names the shipped set exposes, derived from the set itself
+/// so a renamed strategy fails here rather than silently testing nothing.
+fn strategy_names() -> Vec<&'static str> {
+    standard_strategies(&SearchConfig::default())
+        .iter()
+        .map(|s| s.name())
+        .collect()
+}
+
+/// A corpus slice mixing the blur flagship (real optimization headroom) with
+/// übershader family members (cache sharing) and simple shaders.
+fn mini_corpus() -> Corpus {
+    Corpus::family_mix()
+}
+
+fn search_config() -> StudyConfig {
+    StudyConfig {
+        search: Some(SearchConfig::default()),
+        ..StudyConfig::quick()
+    }
+}
+
+#[test]
+fn strategies_meet_the_default_policy_below_a_quarter_of_the_compile_cost() {
+    let study = run_study(&mini_corpus(), &search_config());
+    assert_eq!(study.platforms().len(), 5);
+
+    // 5 platforms x 4 strategies.
+    assert_eq!(study.search.len(), 5 * strategy_names().len());
+    for vendor in study.platforms() {
+        for strategy in strategy_names() {
+            let row = study
+                .search
+                .iter()
+                .find(|r| r.vendor == vendor && r.strategy == strategy)
+                .unwrap_or_else(|| panic!("missing search row {vendor}/{strategy}"));
+            assert_eq!(row.shaders, 5);
+
+            // Hard budget, and strictly fewer compilations than the
+            // exhaustive 256 — in fact under a quarter of them.
+            assert!(
+                row.max_compiles <= row.budget,
+                "{vendor}/{strategy} exceeded its budget: {row:?}"
+            );
+            assert!(
+                row.mean_compiles < 64.0,
+                "{vendor}/{strategy} should compile < 25% of 256: {row:?}"
+            );
+
+            // Never better than the oracle (sanity of the comparison).
+            assert!(
+                row.mean_speedup <= row.oracle_mean_speedup + 1e-9,
+                "{vendor}/{strategy} beat the exhaustive oracle: {row:?}"
+            );
+
+            // The paper-grade quality bar: greedy and ablation searches must
+            // match or beat the default LunarGlass policy everywhere.
+            if strategy != "hill_climb" {
+                assert!(
+                    row.mean_speedup >= row.default_mean_speedup - 1e-9,
+                    "{vendor}/{strategy} lost to the default flags: {row:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn search_results_are_deterministic_across_runs() {
+    let a = run_study(&mini_corpus(), &search_config());
+    let b = run_study(&mini_corpus(), &search_config());
+    assert_eq!(a.search, b.search);
+}
+
+#[test]
+fn bounded_cache_reproduces_unbounded_study_results_byte_for_byte() {
+    let corpus = mini_corpus();
+    let unbounded = run_study(&corpus, &search_config());
+    let bounded = run_study(
+        &corpus,
+        &StudyConfig {
+            cache_budget: Some(64),
+            ..search_config()
+        },
+    );
+    // Eviction only ever forces recomputation, so every measured number —
+    // and therefore every search row — is identical.
+    assert_eq!(bounded.shaders, unbounded.shaders);
+    assert_eq!(bounded.measurements, unbounded.measurements);
+    assert_eq!(bounded.skipped, unbounded.skipped);
+    assert_eq!(bounded.search, unbounded.search);
+}
+
+#[test]
+fn search_rows_round_trip_json_and_render() {
+    let study = run_study(&mini_corpus(), &search_config());
+    let restored = StudyResults::from_json(&study.to_json()).unwrap();
+    assert_eq!(restored.search, study.search);
+
+    let fig10 = report::fig10_incremental(&restored);
+    for strategy in strategy_names() {
+        assert!(
+            fig10.contains(strategy),
+            "fig10 missing {strategy}:\n{fig10}"
+        );
+    }
+    assert!(report::render_all(&restored, "flagship_blur9").contains("Figure 10"));
+}

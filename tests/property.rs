@@ -319,6 +319,66 @@ fn corpus_cache_shares_across_family_sessions_and_stays_byte_identical() {
     );
 }
 
+/// **Eviction property**: a budget-bounded `CorpusCache` must (a) never hold
+/// more entries than its budget at any point of a multi-family sweep, (b)
+/// actually evict (the sweep overflows the budget many times over), and (c)
+/// stay fully transparent — every session's variant set is byte-identical to
+/// a cold, unbounded compile, because an evicted entry is only ever
+/// recomputed, never lost.
+#[test]
+fn bounded_corpus_cache_respects_its_budget_and_stays_transparent() {
+    let corpus = prism::corpus::Corpus::family_mix();
+    let cases = &corpus.cases;
+
+    let budget = 48;
+    let cache = Arc::new(CorpusCache::bounded(budget));
+    for case in cases {
+        let bounded = CompileSession::with_cache_in_family(
+            &case.source,
+            &case.name,
+            &case.family,
+            cache.clone(),
+        )
+        .unwrap();
+        let bounded_set = bounded.variants().unwrap();
+        assert!(
+            cache.entry_count() <= budget,
+            "{}: cache grew to {} entries (budget {budget})",
+            case.name,
+            cache.entry_count()
+        );
+
+        let cold = CompileSession::new(&case.source, &case.name).unwrap();
+        let cold_set = cold.variants().unwrap();
+        assert_eq!(bounded_set.unique_count(), cold_set.unique_count());
+        for (a, b) in bounded_set.variants.iter().zip(&cold_set.variants) {
+            assert_eq!(a.glsl, b.glsl, "{}", case.name);
+            assert_eq!(a.flag_sets, b.flag_sets, "{}", case.name);
+        }
+    }
+
+    let stats = cache.stats();
+    assert!(
+        stats.evictions > 0,
+        "a 5-shader sweep must overflow a {budget}-entry budget: {stats:?}"
+    );
+
+    // Per-family telemetry saw every family, with the übershader family
+    // registering both members.
+    let families = cache.family_stats();
+    let tc_family = &cases
+        .iter()
+        .find(|c| c.name == "texture_combine_00")
+        .unwrap()
+        .family;
+    let tc = families
+        .iter()
+        .find(|f| &f.family == tc_family)
+        .expect("texture_combine family tracked");
+    assert_eq!(tc.sessions, 2);
+    assert!(tc.stage_runs + tc.stage_hits > 0);
+}
+
 /// The per-combination session compile agrees with its own batch variants()
 /// view (the two code paths share the same caches).
 #[test]
