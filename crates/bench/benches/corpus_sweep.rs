@@ -109,6 +109,85 @@ fn consistency_report(corpus: &Corpus) {
         "shared cache must not change a single measurement"
     );
     println!("  consistency: OK (results byte-identical, strictly less work)");
+
+    warm_start_report(corpus, &shared);
+}
+
+/// Warm-start smoke check, driven by `PRISM_WARM_DIR`: the sweep re-runs
+/// against a persistent snapshot directory kept across bench invocations.
+/// The first invocation finds the directory empty and populates it; every
+/// later invocation must warm-start from it — reporting warm hits > 0 and
+/// strictly fewer stage runs/emissions than the cold sweep, with
+/// byte-identical results. `PRISM_REQUIRE_WARM=1` (set on CI's second
+/// invocation) turns "the directory was already populated" into a hard
+/// requirement, so a silently-cold second run fails the build.
+fn warm_start_report(corpus: &Corpus, cold: &StudyResults) {
+    let Some(dir) = std::env::var_os("PRISM_WARM_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    // Specifically shard files — leftover `.shard-NN.tmp` from a crashed
+    // writer or stray junk must not masquerade as a populated snapshot.
+    let pre_populated = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries.flatten().any(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.starts_with("shard-") && name.ends_with(".json")
+            })
+        })
+        .unwrap_or(false);
+    let warm = run_study(
+        corpus,
+        &StudyConfig {
+            warm_start_dir: Some(dir.clone()),
+            ..config(true)
+        },
+    );
+    let stats = &warm.cache.stats;
+    println!(
+        "  warm start ({}): {} entries from {} shards ({} skipped), {} warm stage hits, {} warm emission hits, {} stage runs",
+        if pre_populated { "pre-populated" } else { "cold, populating" },
+        stats.warm_entries_loaded,
+        stats.warm_shards_loaded,
+        stats.warm_shards_skipped,
+        stats.warm_stage_hits,
+        stats.warm_emission_hits,
+        stats.stage_runs,
+    );
+    assert!(
+        warm.warnings.is_empty(),
+        "snapshot save failed: {:?}",
+        warm.warnings
+    );
+    assert_eq!(
+        warm.measurements, cold.measurements,
+        "warm start must not change a single measurement"
+    );
+    if std::env::var_os("PRISM_REQUIRE_WARM").is_some() {
+        assert!(
+            pre_populated,
+            "PRISM_REQUIRE_WARM set but {} held no snapshot",
+            dir.display()
+        );
+    }
+    if pre_populated {
+        assert!(
+            stats.warm_stage_hits > 0 && stats.warm_emission_hits > 0,
+            "second run must report warm hits: {stats:?}"
+        );
+        assert!(
+            stats.stage_runs < cold.cache.stats.stage_runs,
+            "warm sweep must re-run strictly fewer stages ({} vs {})",
+            stats.stage_runs,
+            cold.cache.stats.stage_runs
+        );
+        assert!(
+            stats.emissions < cold.cache.stats.emissions,
+            "warm sweep must emit strictly less ({} vs {})",
+            stats.emissions,
+            cold.cache.stats.emissions
+        );
+    }
 }
 
 criterion_group! {

@@ -22,12 +22,25 @@
 //! A [`CorpusCache`] can additionally be **bounded**
 //! ([`CorpusCache::bounded`]): entries carry a last-use generation stamp and
 //! the least-recently-used entry is evicted whenever a shard exceeds its
-//! budget, so a production-scale corpus sweep runs in fixed memory. Because
-//! the store is a pure cache (an evicted entry is simply recomputed on the
-//! next miss), a bounded cache produces byte-identical results to an
-//! unbounded one — only the work counters differ. Sessions registered with a
-//! family label ([`CacheStore::register_session_in`]) additionally feed
+//! budget, so a production-scale corpus sweep runs in fixed memory. The LRU
+//! touch refreshes exactly the entry a lookup structurally confirmed — never
+//! its fingerprint-colliding bucket neighbours, which would otherwise be
+//! kept alive forever by hits they never answered. Because the store is a
+//! pure cache (an evicted entry is simply recomputed on the next miss), a
+//! bounded cache produces byte-identical results to an unbounded one — only
+//! the work counters differ. Sessions registered with a family label
+//! ([`CacheStore::register_session_in`]) additionally feed
 //! per-übershader-family hit-rate telemetry ([`CorpusCache::family_stats`]).
+//!
+//! Finally, a [`CorpusCache`] can be **persisted** (the [`persist`] module):
+//! [`CorpusCache::save`] writes both memos as one versioned, checksummed file
+//! per fingerprint-range shard, and [`CorpusCache::load`] warm-starts a fresh
+//! process from such a snapshot — stale, torn or corrupt shards are skipped
+//! (and counted in [`CacheStats`]), never trusted. Warm entries answer
+//! lookups through the exact same structural-confirmation path as live ones,
+//! so a warm-started sweep produces byte-identical results while performing
+//! strictly less work; hits answered from disk are reported separately
+//! (`warm_*` counters) from hits produced by this process's own sessions.
 
 use prism_emit::BackendKind;
 use prism_ir::fingerprint::Fingerprint;
@@ -37,6 +50,8 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+pub mod persist;
 
 /// An IR snapshot at a stage boundary: the shader state plus its structural
 /// fingerprint.
@@ -94,6 +109,20 @@ pub struct CacheStats {
     /// Entries dropped by a bounded store's LRU policy (always 0 for
     /// unbounded stores and for [`SessionCache`]).
     pub evictions: usize,
+    /// Subset of `stage_hits` answered by an entry loaded from a warm-start
+    /// snapshot ([`CorpusCache::load`]) rather than computed by any session
+    /// of this process.
+    pub warm_stage_hits: usize,
+    /// Subset of `emission_hits` answered by a warm-start entry.
+    pub warm_emission_hits: usize,
+    /// Entries restored by [`CorpusCache::load`].
+    pub warm_entries_loaded: usize,
+    /// Snapshot shards accepted by [`CorpusCache::load`].
+    pub warm_shards_loaded: usize,
+    /// Snapshot shards rejected by [`CorpusCache::load`] (wrong version or
+    /// pass-schedule hash, checksum mismatch, torn or malformed file) — each
+    /// degrades to a cold shard instead of being trusted.
+    pub warm_shards_skipped: usize,
 }
 
 impl CacheStats {
@@ -288,6 +317,12 @@ const SHARDS: usize = 16;
 /// Family label given to sessions registered without one.
 const UNATTRIBUTED: &str = "(unattributed)";
 
+/// Pseudo-owner of entries restored from a warm-start snapshot
+/// ([`CorpusCache::load`]). Real session ids count up from 0 and can never
+/// reach this value, so a hit on a warm entry is attributable as
+/// answered-from-disk rather than answered-by-another-session.
+const WARM_OWNER: SessionId = SessionId::MAX;
+
 /// Per-übershader-family cache telemetry of one [`CorpusCache`]: how much
 /// work that family's sessions performed and how much was answered from the
 /// warm cache. This is the serving-layer signal the ROADMAP asks for — which
@@ -391,16 +426,28 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
         }
     }
 
-    /// The bucket for `key`, with every candidate's generation refreshed to
-    /// `now` — the LRU touch. (Confirmation happens outside the shard lock,
-    /// so all fingerprint-equal candidates are treated as used; buckets are
-    /// collision lists and in practice hold one entry.)
-    fn touch(&mut self, key: &K, now: u64) -> Option<&Vec<(u64, V)>> {
-        let bucket = self.map.get_mut(key)?;
-        for (generation, _) in bucket.iter_mut() {
-            *generation = now;
+    /// The bucket for `key`, *without* refreshing any generation stamp.
+    /// Structural confirmation happens outside the shard lock, so the LRU
+    /// touch is deferred to [`BoundedMap::refresh`] once the true hit is
+    /// known — refreshing the whole bucket here would keep
+    /// fingerprint-colliding neighbours alive on hits they never answered,
+    /// making them unevictable.
+    fn peek(&self, key: &K) -> Option<&Vec<(u64, V)>> {
+        self.map.get(key)
+    }
+
+    /// Refreshes the generation stamp of exactly the entries `hit` matches —
+    /// the LRU touch of a confirmed lookup. A no-op if the entry was evicted
+    /// between the lookup's two lock acquisitions (the caller already holds a
+    /// clone of the answer, so nothing is lost).
+    fn refresh(&mut self, key: &K, now: u64, hit: impl Fn(&V) -> bool) {
+        if let Some(bucket) = self.map.get_mut(key) {
+            for (generation, value) in bucket.iter_mut() {
+                if hit(value) {
+                    *generation = now;
+                }
+            }
         }
-        Some(bucket)
     }
 
     /// Inserts an entry stamped `now` and evicts least-recently-used entries
@@ -497,6 +544,11 @@ pub struct CorpusCache {
     emission_hits: AtomicUsize,
     cross_shader_emission_hits: AtomicUsize,
     evictions: AtomicUsize,
+    warm_stage_hits: AtomicUsize,
+    warm_emission_hits: AtomicUsize,
+    warm_entries_loaded: AtomicUsize,
+    warm_shards_loaded: AtomicUsize,
+    warm_shards_skipped: AtomicUsize,
 }
 
 impl Default for CorpusCache {
@@ -543,6 +595,11 @@ impl CorpusCache {
             emission_hits: AtomicUsize::new(0),
             cross_shader_emission_hits: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            warm_stage_hits: AtomicUsize::new(0),
+            warm_emission_hits: AtomicUsize::new(0),
+            warm_entries_loaded: AtomicUsize::new(0),
+            warm_shards_loaded: AtomicUsize::new(0),
+            warm_shards_skipped: AtomicUsize::new(0),
         }
     }
 
@@ -616,27 +673,41 @@ impl CacheStore for CorpusCache {
     fn transition(&self, session: SessionId, stage: usize, input: &Snapshot) -> Option<Snapshot> {
         // Clone the bucket's candidates (cheap Arc bumps) under the lock and
         // confirm structural equality *after* dropping it: deep IR compares
-        // must not serialize other workers on this shard. The lookup itself
-        // refreshes the candidates' LRU stamps.
-        let now = self.now();
-        let candidates: Vec<(SessionId, Snapshot, Snapshot)> = {
-            let mut shard = self.transitions[Self::shard(input.fp)]
+        // must not serialize other workers on this shard.
+        let key = (stage, input.fp);
+        let candidates: Vec<(SessionId, Arc<Shader>, Snapshot)> = {
+            let shard = self.transitions[Self::shard(input.fp)]
                 .lock()
                 .expect("corpus cache poisoned");
-            match shard.touch(&(stage, input.fp), now) {
+            match shard.peek(&key) {
                 Some(bucket) => bucket
                     .iter()
-                    .map(|(_, t)| (t.owner, t.input.clone(), t.output.clone()))
+                    .map(|(_, t)| (t.owner, Arc::clone(&t.input.ir), t.output.clone()))
                     .collect(),
                 None => return None,
             }
         };
-        let (owner, output) = candidates.into_iter().find_map(|(owner, cand, output)| {
-            (Arc::ptr_eq(&cand.ir, &input.ir) || cand.ir.same_structure(&input.ir))
-                .then_some((owner, output))
-        })?;
+        let (owner, hit_ir, output) =
+            candidates
+                .into_iter()
+                .find_map(|(owner, cand_ir, output)| {
+                    (Arc::ptr_eq(&cand_ir, &input.ir) || cand_ir.same_structure(&input.ir))
+                        .then_some((owner, cand_ir, output))
+                })?;
+        // LRU touch of exactly the confirmed entry — unconfirmed bucket
+        // neighbours keep their stamps and stay evictable. An unbounded
+        // store never evicts, so it skips the second lock acquisition.
+        if self.shard_budget.is_some() {
+            let now = self.now();
+            self.transitions[Self::shard(input.fp)]
+                .lock()
+                .expect("corpus cache poisoned")
+                .refresh(&key, now, |t| Arc::ptr_eq(&t.input.ir, &hit_ir));
+        }
         self.stage_hits.fetch_add(1, Ordering::Relaxed);
-        if owner != session {
+        if owner == WARM_OWNER {
+            self.warm_stage_hits.fetch_add(1, Ordering::Relaxed);
+        } else if owner != session {
             self.cross_shader_stage_hits.fetch_add(1, Ordering::Relaxed);
         }
         self.bump_family(session, |f| {
@@ -679,14 +750,14 @@ impl CacheStore for CorpusCache {
         backend: BackendKind,
         state: &Snapshot,
     ) -> Option<Arc<String>> {
-        // As with transitions: snapshot the candidates, then confirm deep
-        // equality outside the shard lock.
-        let now = self.now();
+        // As with transitions: snapshot the candidates, confirm deep equality
+        // outside the shard lock, then refresh only the confirmed entry.
+        let key = (state.fp, backend);
         let candidates: Vec<(SessionId, Arc<Shader>, Arc<String>)> = {
-            let mut shard = self.emissions[Self::shard(state.fp)]
+            let shard = self.emissions[Self::shard(state.fp)]
                 .lock()
                 .expect("corpus cache poisoned");
-            match shard.touch(&(state.fp, backend), now) {
+            match shard.peek(&key) {
                 Some(bucket) => bucket
                     .iter()
                     .map(|(_, e)| (e.owner, Arc::clone(&e.ir), Arc::clone(&e.text)))
@@ -694,11 +765,21 @@ impl CacheStore for CorpusCache {
                 None => return None,
             }
         };
-        let (owner, text) = candidates.into_iter().find_map(|(owner, ir, text)| {
-            (Arc::ptr_eq(&ir, &state.ir) || ir.same_structure(&state.ir)).then_some((owner, text))
+        let (owner, hit_ir, text) = candidates.into_iter().find_map(|(owner, ir, text)| {
+            (Arc::ptr_eq(&ir, &state.ir) || ir.same_structure(&state.ir))
+                .then_some((owner, ir, text))
         })?;
+        if self.shard_budget.is_some() {
+            let now = self.now();
+            self.emissions[Self::shard(state.fp)]
+                .lock()
+                .expect("corpus cache poisoned")
+                .refresh(&key, now, |e| Arc::ptr_eq(&e.ir, &hit_ir));
+        }
         self.emission_hits.fetch_add(1, Ordering::Relaxed);
-        if owner != session {
+        if owner == WARM_OWNER {
+            self.warm_emission_hits.fetch_add(1, Ordering::Relaxed);
+        } else if owner != session {
             self.cross_shader_emission_hits
                 .fetch_add(1, Ordering::Relaxed);
         }
@@ -746,6 +827,11 @@ impl CacheStore for CorpusCache {
             emission_hits: self.emission_hits.load(Ordering::Relaxed),
             cross_shader_emission_hits: self.cross_shader_emission_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            warm_stage_hits: self.warm_stage_hits.load(Ordering::Relaxed),
+            warm_emission_hits: self.warm_emission_hits.load(Ordering::Relaxed),
+            warm_entries_loaded: self.warm_entries_loaded.load(Ordering::Relaxed),
+            warm_shards_loaded: self.warm_shards_loaded.load(Ordering::Relaxed),
+            warm_shards_skipped: self.warm_shards_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -753,7 +839,7 @@ impl CacheStore for CorpusCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prism_ir::fingerprint::fingerprint;
+    use prism_ir::fingerprint::{fingerprint, Fingerprint};
     use prism_ir::prelude::*;
 
     fn snapshot(seed: u32) -> Snapshot {
@@ -869,6 +955,50 @@ mod tests {
         let fresh = snapshot(5000);
         cache.record_transition(id, 0, fresh.clone(), snapshot(5001));
         assert!(cache.transition(id, 0, &fresh).is_some());
+    }
+
+    #[test]
+    fn lru_touch_refreshes_only_the_structurally_confirmed_entry() {
+        // Two entries per shard map (64 / (2 * SHARDS)).
+        let cache = CorpusCache::bounded(64);
+        let id = cache.register_session();
+
+        // Two structurally different inputs forced into one bucket by
+        // stamping the same fingerprint — collisions are legal (fingerprints
+        // are candidates, not proofs), and before the fix a hit on either
+        // entry refreshed the whole bucket, making colliding neighbours
+        // unevictable.
+        let a = snapshot(1);
+        let neighbour = Snapshot {
+            ir: snapshot(2).ir,
+            fp: a.fp,
+        };
+        cache.record_transition(id, 0, a.clone(), snapshot(100));
+        cache.record_transition(id, 0, neighbour.clone(), snapshot(101));
+
+        // Repeated hits on `a` must not refresh the unconfirmed neighbour.
+        for _ in 0..4 {
+            assert!(cache.transition(id, 0, &a).is_some());
+        }
+
+        // A third entry in the same shard map exceeds the two-entry budget:
+        // the untouched neighbour is now the least-recently-used entry and
+        // must be the one evicted, not the hot `a` or the fresh entry.
+        let crowd = Snapshot {
+            ir: snapshot(3).ir,
+            fp: Fingerprint(a.fp.0.wrapping_add(SHARDS as u128)),
+        };
+        cache.record_transition(id, 0, crowd.clone(), snapshot(102));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            cache.transition(id, 0, &a).is_some(),
+            "the repeatedly-confirmed entry must survive eviction"
+        );
+        assert!(
+            cache.transition(id, 0, &neighbour).is_none(),
+            "the never-confirmed colliding neighbour must have been evicted"
+        );
+        assert!(cache.transition(id, 0, &crowd).is_some());
     }
 
     #[test]

@@ -1,0 +1,704 @@
+//! Persistent warm-start snapshots of a [`CorpusCache`].
+//!
+//! The study sweep amortises compilation *within* a process through the
+//! shared corpus cache; this module amortises it *across* processes: after a
+//! sweep, [`CorpusCache::save`] writes both memos — stage transitions keyed
+//! `(stage, fingerprint)` and emitted text keyed `(fingerprint, backend)` —
+//! to disk, and a later run's [`CorpusCache::load`] warm-starts from them so
+//! the second sweep of the same corpus performs strictly fewer stage runs and
+//! emissions while producing byte-identical results.
+//!
+//! # On-disk format
+//!
+//! One file per fingerprint-range shard (`shard-NN.json`, reusing the
+//! cache's 16-way shard split, so a future serving layer can distribute the
+//! shard files across processes without re-keying anything). Each file holds
+//! exactly two lines:
+//!
+//! 1. a header object carrying the [`FORMAT_VERSION`], the FNV-64 hash of
+//!    the current pass schedule ([`schedule_hash`]), the shard index, the
+//!    entry count and an FNV-64 checksum of the payload line;
+//! 2. the payload: all of the shard's entries, with every IR exemplar
+//!    serialised bit-exactly (`prism_ir::serde_impls`).
+//!
+//! # Trust policy
+//!
+//! A shard is loaded whole or not at all, and **skipped — never trusted —**
+//! whenever anything disagrees: unreadable or torn file, header/payload
+//! parse error, version or pass-schedule-hash mismatch, checksum mismatch,
+//! entry count mismatch, an entry whose recomputed fingerprint lands in the
+//! wrong shard, or an unknown backend/stage. Skips are counted
+//! (`CacheStats::warm_shards_skipped`) so a degraded warm start is visible,
+//! and fingerprints are always *recomputed* from the deserialised IR rather
+//! than read from the file, so a corrupted-but-parseable exemplar can never
+//! poison a bucket under a wrong key. Loaded entries answer lookups through
+//! the same structural-equality confirmation as live ones; on top of that,
+//! save→load→save is idempotent and the shard files are byte-deterministic
+//! (entries are sorted before writing).
+
+use super::{CorpusCache, Emitted, Snapshot, Transition, SHARDS, WARM_OWNER};
+use crate::pipeline::build_schedule;
+use prism_emit::BackendKind;
+use prism_ir::fingerprint::fingerprint;
+use prism_ir::Shader;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Version stamp of the on-disk shard format. Bump on any encoding change;
+/// old snapshots are then skipped (cold start), never misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — deterministic across processes and platforms (unlike
+/// `DefaultHasher`, whose algorithm is explicitly unspecified), used for both
+/// the pass-schedule hash and the per-shard payload checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A canary fragment shader pushed through the whole compiler to fingerprint
+/// its *behaviour* (see [`schedule_hash`]). It deliberately gives every pass
+/// something to chew on: a constant-bound loop with a constant-array
+/// accumulator (unroll, const-fold, rename), a division by a foldable total
+/// (div-to-mul, fp-reassociate), a conditional (hoist), per-component vector
+/// assembly (coalesce), and repeated subexpressions (cse, gvn, dce/adce).
+const CANARY: &str = r#"
+    uniform sampler2D tex; uniform vec4 ambient; in vec2 uv; out vec4 c;
+    void main() {
+        const vec2[] offs = vec2[](vec2(-0.01), vec2(0.0), vec2(0.01));
+        c = vec4(0.0);
+        float total = 0.0;
+        for (int i = 0; i < 3; i++) {
+            total += 0.25;
+            c += texture(tex, uv + offs[i]) * 2.0 * ambient;
+        }
+        c /= total;
+        c = (uv.x > 0.5) ? c : c * 0.5;
+        c.x = c.x + uv.y * 3.0 + uv.y * 3.0;
+    }
+"#;
+
+/// A stable fingerprint of the compiler that produced a snapshot: the pass
+/// schedule's *structure* (stage order, labels, gating flags, per-stage pass
+/// lists) combined with its observable *behaviour* — the [`CANARY`] shader is
+/// lowered and pushed through every stage (flagged or not), hashing the IR
+/// fingerprint after each stage and the emitted text of every backend.
+/// Cached transitions are only meaningful for the exact compiler that
+/// produced them, and renames are not the only way compilers change: a
+/// reworked pass or emitter with untouched names shifts the canary trace and
+/// reads old snapshots as stale, where hashing names alone would silently
+/// trust outputs of the old implementation.
+///
+/// Deterministic within a build, so the canary compilation runs once per
+/// process (memoised) rather than once per save/load.
+pub fn schedule_hash() -> u64 {
+    static HASH: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *HASH.get_or_init(compute_schedule_hash)
+}
+
+fn compute_schedule_hash() -> u64 {
+    use std::fmt::Write as _;
+    let mut description = String::new();
+    let schedule = build_schedule();
+    for (idx, stage) in schedule.iter().enumerate() {
+        let _ = write!(
+            description,
+            "{idx}:{}:{}:",
+            stage.label,
+            stage.flag.map(|f| f.name()).unwrap_or("-"),
+        );
+        for pass in &stage.passes {
+            description.push_str(pass.name());
+            description.push(',');
+        }
+        description.push(';');
+    }
+    let source = prism_glsl::ShaderSource::parse(CANARY).expect("canary shader parses");
+    let mut ir = crate::lower::lower(&source, "schedule-canary").expect("canary shader lowers");
+    for stage in &schedule {
+        stage.run(&mut ir);
+        let _ = write!(description, "{}={};", stage.label, fingerprint(&ir));
+    }
+    for backend in BackendKind::ALL {
+        description.push_str(&backend.backend().emit(&ir));
+    }
+    fnv64(description.as_bytes())
+}
+
+/// Outcome of a [`CorpusCache::load`]: how much of the snapshot was usable.
+/// The same numbers are mirrored into the cache's
+/// [`CacheStats`](super::CacheStats) (`warm_*` counters) so study results
+/// carry them without extra plumbing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Shard files accepted and restored in full.
+    pub shards_loaded: usize,
+    /// Shard files present but rejected (see the module's trust policy);
+    /// each degrades to a cold shard.
+    pub shards_skipped: usize,
+    /// Entries restored across both memos.
+    pub entries_loaded: usize,
+}
+
+/// Outcome of a [`CorpusCache::save`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Shard files written (always [`SHARDS`](super::SHARDS) on success).
+    pub shards_written: usize,
+    /// Entries written across both memos.
+    pub entries_written: usize,
+}
+
+/// Shard-file header: the first line of every `shard-NN.json`.
+struct ShardHeader {
+    version: usize,
+    schedule_hash: String,
+    shard: usize,
+    entries: usize,
+    checksum: String,
+}
+
+serde::impl_serde_struct!(ShardHeader {
+    version,
+    schedule_hash,
+    shard,
+    entries,
+    checksum
+});
+
+/// One persisted stage transition: the input exemplar (for structural
+/// confirmation on lookup) and the output it produced. Fingerprints are
+/// recomputed on load, not stored.
+struct PersistedTransition {
+    stage: usize,
+    input: Arc<Shader>,
+    output: Arc<Shader>,
+}
+
+serde::impl_serde_struct!(PersistedTransition {
+    stage,
+    input,
+    output
+});
+
+/// One persisted emission: final-IR exemplar, backend name, emitted text.
+struct PersistedEmission {
+    backend: String,
+    ir: Arc<Shader>,
+    text: Arc<String>,
+}
+
+serde::impl_serde_struct!(PersistedEmission { backend, ir, text });
+
+/// The second line of a shard file: every entry of that shard.
+struct ShardPayload {
+    transitions: Vec<PersistedTransition>,
+    emissions: Vec<PersistedEmission>,
+}
+
+serde::impl_serde_struct!(ShardPayload {
+    transitions,
+    emissions
+});
+
+/// The snapshot file for one shard index.
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:02}.json"))
+}
+
+impl CorpusCache {
+    /// Writes this cache's memos to `dir` as one versioned, checksummed file
+    /// per fingerprint-range shard (see the [module docs](self) for the
+    /// format and trust policy). Existing shard files are replaced via a
+    /// temp-file rename, so a crashed writer never leaves a half-written
+    /// shard under the real name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the directory cannot be created or a shard file
+    /// cannot be serialised or written.
+    pub fn save(&self, dir: &Path) -> Result<SaveReport, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("warm-start dir {}: {e}", dir.display()))?;
+        let hash = format!("{:016x}", schedule_hash());
+        let mut report = SaveReport::default();
+        for shard in 0..SHARDS {
+            let payload = self.shard_payload(shard);
+            let entries = payload.transitions.len() + payload.emissions.len();
+            let payload_json = serde_json::to_string(&payload)
+                .map_err(|e| format!("shard {shard} payload: {e}"))?;
+            let header = ShardHeader {
+                version: FORMAT_VERSION as usize,
+                schedule_hash: hash.clone(),
+                shard,
+                entries,
+                checksum: format!("{:016x}", fnv64(payload_json.as_bytes())),
+            };
+            let header_json =
+                serde_json::to_string(&header).map_err(|e| format!("shard {shard} header: {e}"))?;
+            let path = shard_path(dir, shard);
+            let tmp = dir.join(format!(".shard-{shard:02}.tmp"));
+            std::fs::write(&tmp, format!("{header_json}\n{payload_json}\n"))
+                .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+            report.shards_written += 1;
+            report.entries_written += entries;
+        }
+        Ok(report)
+    }
+
+    /// Restores a snapshot written by [`CorpusCache::save`] into this cache,
+    /// marking every restored entry as warm (hits on them are reported as
+    /// `warm_*` in [`CacheStats`](super::CacheStats)). Corruption-tolerant
+    /// and infallible: a missing directory or missing shard files simply
+    /// leave those shards cold, and any shard that fails validation is
+    /// skipped and counted — see the [module docs](self).
+    pub fn load(&self, dir: &Path) -> LoadReport {
+        let mut report = LoadReport::default();
+        let hash = format!("{:016x}", schedule_hash());
+        let stage_count = build_schedule().len();
+        for shard in 0..SHARDS {
+            let text = match std::fs::read_to_string(shard_path(dir, shard)) {
+                Ok(text) => text,
+                // Absent shard file: cold, but not corrupt — not a skip.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                // Present but unreadable (I/O error, permissions, invalid
+                // UTF-8 from a binary-torn write): data was lost — count it.
+                Err(_) => {
+                    report.shards_skipped += 1;
+                    continue;
+                }
+            };
+            match self.load_shard(shard, &text, &hash, stage_count) {
+                Ok(entries) => {
+                    report.shards_loaded += 1;
+                    report.entries_loaded += entries;
+                }
+                Err(_reason) => report.shards_skipped += 1,
+            }
+        }
+        self.warm_entries_loaded
+            .fetch_add(report.entries_loaded, Ordering::Relaxed);
+        self.warm_shards_loaded
+            .fetch_add(report.shards_loaded, Ordering::Relaxed);
+        self.warm_shards_skipped
+            .fetch_add(report.shards_skipped, Ordering::Relaxed);
+        report
+    }
+
+    /// All entries of one shard, sorted for byte-deterministic output.
+    fn shard_payload(&self, shard: usize) -> ShardPayload {
+        let mut transitions: Vec<(usize, u128, u64, PersistedTransition)> = {
+            let map = self.transitions[shard]
+                .lock()
+                .expect("corpus cache poisoned");
+            map.map
+                .iter()
+                .flat_map(|((stage, fp), bucket)| {
+                    bucket.iter().map(move |(generation, t)| {
+                        (
+                            *stage,
+                            fp.0,
+                            *generation,
+                            PersistedTransition {
+                                stage: *stage,
+                                input: Arc::clone(&t.input.ir),
+                                output: Arc::clone(&t.output.ir),
+                            },
+                        )
+                    })
+                })
+                .collect()
+        };
+        transitions.sort_by_key(|(stage, fp, generation, _)| (*stage, *fp, *generation));
+        let mut emissions: Vec<(u128, &'static str, u64, PersistedEmission)> = {
+            let map = self.emissions[shard].lock().expect("corpus cache poisoned");
+            map.map
+                .iter()
+                .flat_map(|((fp, backend), bucket)| {
+                    bucket.iter().map(move |(generation, e)| {
+                        (
+                            fp.0,
+                            backend.name(),
+                            *generation,
+                            PersistedEmission {
+                                backend: backend.name().to_string(),
+                                ir: Arc::clone(&e.ir),
+                                text: Arc::clone(&e.text),
+                            },
+                        )
+                    })
+                })
+                .collect()
+        };
+        emissions.sort_by_key(|(fp, backend, generation, _)| (*fp, *backend, *generation));
+        ShardPayload {
+            transitions: transitions.into_iter().map(|(_, _, _, t)| t).collect(),
+            emissions: emissions.into_iter().map(|(_, _, _, e)| e).collect(),
+        }
+    }
+
+    /// Validates and restores one shard file. Everything is checked *before*
+    /// any entry touches the cache, so a shard is loaded whole or not at all.
+    fn load_shard(
+        &self,
+        shard: usize,
+        text: &str,
+        expected_hash: &str,
+        stage_count: usize,
+    ) -> Result<usize, String> {
+        let (header_line, payload_text) = text
+            .split_once('\n')
+            .ok_or_else(|| "missing payload line".to_string())?;
+        let header: ShardHeader =
+            serde_json::from_str(header_line).map_err(|e| format!("header: {e}"))?;
+        if header.version != FORMAT_VERSION as usize {
+            return Err(format!(
+                "format version {} (expected {FORMAT_VERSION})",
+                header.version
+            ));
+        }
+        if header.schedule_hash != expected_hash {
+            return Err("pass-schedule hash mismatch (stale snapshot)".to_string());
+        }
+        if header.shard != shard {
+            return Err(format!("shard index {} under file {shard}", header.shard));
+        }
+        let payload_text = payload_text.strip_suffix('\n').unwrap_or(payload_text);
+        if format!("{:016x}", fnv64(payload_text.as_bytes())) != header.checksum {
+            return Err("payload checksum mismatch (torn or corrupt)".to_string());
+        }
+        let payload: ShardPayload =
+            serde_json::from_str(payload_text).map_err(|e| format!("payload: {e}"))?;
+        if payload.transitions.len() + payload.emissions.len() != header.entries {
+            return Err("entry count mismatch".to_string());
+        }
+
+        let mut staged_transitions = Vec::with_capacity(payload.transitions.len());
+        for t in payload.transitions {
+            if t.stage >= stage_count {
+                return Err(format!("stage index {} out of schedule", t.stage));
+            }
+            let input = Snapshot {
+                fp: fingerprint(&t.input),
+                ir: t.input,
+            };
+            if Self::shard(input.fp) != shard {
+                return Err("transition entry in wrong shard".to_string());
+            }
+            let output = Snapshot {
+                fp: fingerprint(&t.output),
+                ir: t.output,
+            };
+            staged_transitions.push((t.stage, input, output));
+        }
+        let mut staged_emissions = Vec::with_capacity(payload.emissions.len());
+        for e in payload.emissions {
+            let backend = BackendKind::from_name(&e.backend)
+                .ok_or_else(|| format!("unknown backend `{}`", e.backend))?;
+            let state = Snapshot {
+                fp: fingerprint(&e.ir),
+                ir: e.ir,
+            };
+            if Self::shard(state.fp) != shard {
+                return Err("emission entry in wrong shard".to_string());
+            }
+            staged_emissions.push((backend, state, e.text));
+        }
+
+        let mut loaded = 0;
+        for (stage, input, output) in staged_transitions {
+            if self.insert_warm_transition(stage, input, output) {
+                loaded += 1;
+            }
+        }
+        for (backend, state, text) in staged_emissions {
+            if self.insert_warm_emission(backend, state, text) {
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Inserts one restored transition under [`WARM_OWNER`], deduplicating
+    /// against structurally identical entries already present (loading into
+    /// an already-warm cache is a no-op). Does not bump `stage_runs`: no
+    /// optimization work happened.
+    fn insert_warm_transition(&self, stage: usize, input: Snapshot, output: Snapshot) -> bool {
+        let key = (stage, input.fp);
+        let evicted = {
+            let mut map = self.transitions[Self::shard(input.fp)]
+                .lock()
+                .expect("corpus cache poisoned");
+            if let Some(bucket) = map.peek(&key) {
+                if bucket
+                    .iter()
+                    .any(|(_, t)| t.input.ir.same_structure(&input.ir))
+                {
+                    return false;
+                }
+            }
+            let now = self.clock.fetch_add(1, Ordering::Relaxed);
+            map.insert(
+                key,
+                Transition {
+                    owner: WARM_OWNER,
+                    input,
+                    output,
+                },
+                now,
+                self.shard_budget,
+            )
+        };
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        true
+    }
+
+    /// Inserts one restored emission under [`WARM_OWNER`] (see
+    /// [`CorpusCache::insert_warm_transition`]).
+    fn insert_warm_emission(
+        &self,
+        backend: BackendKind,
+        state: Snapshot,
+        text: Arc<String>,
+    ) -> bool {
+        let key = (state.fp, backend);
+        let evicted = {
+            let mut map = self.emissions[Self::shard(state.fp)]
+                .lock()
+                .expect("corpus cache poisoned");
+            if let Some(bucket) = map.peek(&key) {
+                if bucket.iter().any(|(_, e)| e.ir.same_structure(&state.ir)) {
+                    return false;
+                }
+            }
+            let now = self.clock.fetch_add(1, Ordering::Relaxed);
+            map.insert(
+                key,
+                Emitted {
+                    owner: WARM_OWNER,
+                    ir: state.ir,
+                    text,
+                },
+                now,
+                self.shard_budget,
+            )
+        };
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStore;
+    use prism_ir::prelude::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A fresh scratch directory per test (removed on drop).
+    struct ScratchDir(PathBuf);
+
+    impl ScratchDir {
+        fn new(label: &str) -> ScratchDir {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "prism-persist-{label}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            ScratchDir(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn snapshot(seed: u32) -> Snapshot {
+        let mut s = Shader::new("persist-test");
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        let r = s.new_reg(IrType::fvec(4));
+        s.body = vec![
+            Stmt::Def {
+                dst: r,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(seed as f64),
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(r),
+            },
+        ];
+        Snapshot {
+            fp: fingerprint(&s),
+            ir: Arc::new(s),
+        }
+    }
+
+    /// A cache with a handful of transitions and emissions across shards.
+    fn populated_cache() -> CorpusCache {
+        let cache = CorpusCache::new();
+        let id = cache.register_session();
+        for seed in 0..20u32 {
+            cache.record_transition(id, seed as usize % 3, snapshot(seed), snapshot(seed + 500));
+        }
+        for seed in 0..10u32 {
+            cache.record_emission(
+                id,
+                if seed % 2 == 0 {
+                    BackendKind::DesktopGlsl
+                } else {
+                    BackendKind::Gles
+                },
+                &snapshot(seed),
+                Arc::new(format!("void main() {{ /* {seed} */ }}")),
+            );
+        }
+        cache
+    }
+
+    #[test]
+    fn save_load_round_trips_every_entry() {
+        let dir = ScratchDir::new("roundtrip");
+        let cache = populated_cache();
+        let saved = cache.save(&dir.0).unwrap();
+        assert_eq!(saved.shards_written, SHARDS);
+        assert_eq!(saved.entries_written, 30);
+
+        let warm = CorpusCache::new();
+        let report = warm.load(&dir.0);
+        assert_eq!(report.shards_skipped, 0);
+        assert_eq!(report.entries_loaded, 30);
+        assert_eq!(warm.entry_count(), cache.entry_count());
+        let stats = warm.stats();
+        assert_eq!(stats.warm_entries_loaded, 30);
+        assert_eq!(stats.warm_shards_skipped, 0);
+
+        // Every persisted transition and emission answers a lookup, and the
+        // hits are attributed to the warm snapshot, not to any session.
+        let id = warm.register_session();
+        for seed in 0..20u32 {
+            let hit = warm
+                .transition(id, seed as usize % 3, &snapshot(seed))
+                .unwrap_or_else(|| panic!("transition {seed} must warm-hit"));
+            assert!(hit.ir.same_structure(&snapshot(seed + 500).ir));
+        }
+        for seed in 0..10u32 {
+            let backend = if seed % 2 == 0 {
+                BackendKind::DesktopGlsl
+            } else {
+                BackendKind::Gles
+            };
+            let text = warm
+                .emission(id, backend, &snapshot(seed))
+                .unwrap_or_else(|| panic!("emission {seed} must warm-hit"));
+            assert_eq!(*text, format!("void main() {{ /* {seed} */ }}"));
+        }
+        let stats = warm.stats();
+        assert_eq!(stats.warm_stage_hits, 20);
+        assert_eq!(stats.warm_emission_hits, 10);
+        assert_eq!(stats.cross_shader_stage_hits, 0);
+        assert_eq!(stats.stage_runs, 0, "warm hits must not count as runs");
+    }
+
+    #[test]
+    fn save_is_byte_deterministic_and_idempotent_under_reload() {
+        let dir_a = ScratchDir::new("determinism-a");
+        let dir_b = ScratchDir::new("determinism-b");
+        let cache = populated_cache();
+        cache.save(&dir_a.0).unwrap();
+
+        let warm = CorpusCache::new();
+        warm.load(&dir_a.0);
+        warm.save(&dir_b.0).unwrap();
+        for shard in 0..SHARDS {
+            let a = std::fs::read_to_string(shard_path(&dir_a.0, shard)).unwrap();
+            let b = std::fs::read_to_string(shard_path(&dir_b.0, shard)).unwrap();
+            assert_eq!(a, b, "shard {shard} drifted across save→load→save");
+        }
+        // Loading the same snapshot twice adds nothing (dedup by structure).
+        let before = warm.entry_count();
+        let report = warm.load(&dir_a.0);
+        assert_eq!(report.entries_loaded, 0);
+        assert_eq!(warm.entry_count(), before);
+    }
+
+    #[test]
+    fn corrupt_or_stale_shards_degrade_to_cold_without_panicking() {
+        let dir = ScratchDir::new("corrupt");
+        let cache = populated_cache();
+        cache.save(&dir.0).unwrap();
+
+        // Shard 0: truncated mid-payload (torn write).
+        let path0 = shard_path(&dir.0, 0);
+        let text = std::fs::read_to_string(&path0).unwrap();
+        std::fs::write(&path0, &text[..text.len() / 2]).unwrap();
+        // Shard 1: not JSON at all.
+        std::fs::write(shard_path(&dir.0, 1), "definitely { not json").unwrap();
+        // Shard 2: valid JSON, wrong format version.
+        let path2 = shard_path(&dir.0, 2);
+        let text2 = std::fs::read_to_string(&path2).unwrap();
+        std::fs::write(&path2, text2.replace("\"version\":1", "\"version\":999")).unwrap();
+        // Shard 3: header claims a different pass schedule.
+        let path3 = shard_path(&dir.0, 3);
+        let text3 = std::fs::read_to_string(&path3).unwrap();
+        let hash = format!("{:016x}", schedule_hash());
+        std::fs::write(&path3, text3.replace(&hash, "0000000000000000")).unwrap();
+        // Shard 4: torn through a binary buffer — invalid UTF-8. Present but
+        // unreadable is data loss and must be counted, unlike a missing file.
+        std::fs::write(shard_path(&dir.0, 4), [0x7bu8, 0x22, 0xff, 0xfe, 0x00]).unwrap();
+
+        let warm = CorpusCache::new();
+        let report = warm.load(&dir.0);
+        assert_eq!(report.shards_skipped, 5);
+        assert_eq!(report.shards_loaded, SHARDS - 5);
+        assert!(report.entries_loaded <= 30);
+        let stats = warm.stats();
+        assert_eq!(stats.warm_shards_skipped, 5);
+        assert_eq!(stats.warm_shards_loaded, SHARDS - 5);
+    }
+
+    #[test]
+    fn missing_directory_is_a_cold_start_not_an_error() {
+        let dir = ScratchDir::new("missing");
+        let cache = CorpusCache::new();
+        let report = cache.load(&dir.0);
+        assert_eq!(report, LoadReport::default());
+        assert_eq!(cache.stats().warm_shards_skipped, 0);
+    }
+
+    #[test]
+    fn loading_respects_a_bounded_cache_budget() {
+        let dir = ScratchDir::new("bounded");
+        populated_cache().save(&dir.0).unwrap();
+        let bounded = CorpusCache::bounded(32);
+        bounded.load(&dir.0);
+        assert!(
+            bounded.entry_count() <= 32,
+            "load must not overflow the budget: {} entries",
+            bounded.entry_count()
+        );
+    }
+
+    #[test]
+    fn schedule_hash_is_stable_within_a_build() {
+        assert_eq!(schedule_hash(), schedule_hash());
+        assert_ne!(schedule_hash(), 0);
+    }
+}

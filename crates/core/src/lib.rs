@@ -26,6 +26,7 @@ pub mod pipeline;
 pub mod session;
 pub mod variant;
 
+pub use cache::persist::{LoadReport, SaveReport};
 pub use cache::{CacheStats, CacheStore, CorpusCache, FamilyCacheStats, SessionCache};
 pub use flags::{Flag, OptFlags};
 pub use lower::{lower, LowerError};

@@ -1,6 +1,6 @@
 //! The assembled benchmark corpus.
 
-use crate::families::all_families;
+use crate::families::{all_families, Family};
 use crate::flagship;
 use prism_glsl::{GlslError, ShaderSource};
 use std::collections::HashMap;
@@ -59,25 +59,23 @@ impl Corpus {
             });
         }
         for family in all_families() {
-            for (idx, spec) in family.specializations.iter().enumerate() {
-                let defines: HashMap<String, String> = spec
-                    .iter()
-                    .map(|(k, v)| (k.to_string(), v.to_string()))
-                    .collect();
-                let name = format!("{}_{:02}", family.name, idx);
-                let source = ShaderSource::preprocess_and_parse(family.source, &defines)
-                    .map_err(|e| (name.clone(), e))?;
-                cases.push(ShaderCase {
-                    name,
-                    family: family.name.to_string(),
-                    defines: spec
-                        .iter()
-                        .map(|(k, v)| (k.to_string(), v.to_string()))
-                        .collect(),
-                    source,
-                });
-            }
+            instantiate_family(&family, &mut cases)?;
         }
+        Ok(Corpus { cases })
+    }
+
+    /// Instantiates every specialisation of a single übershader family as
+    /// its own corpus (no flagships). A family with zero specialisations
+    /// yields an empty corpus — a legal, if degenerate, input every corpus
+    /// statistic must tolerate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing instance name and front-end error if a
+    /// specialisation does not parse.
+    pub fn from_family(family: &Family) -> Result<Corpus, (String, GlslError)> {
+        let mut cases = Vec::new();
+        instantiate_family(family, &mut cases)?;
         Ok(Corpus { cases })
     }
 
@@ -150,6 +148,20 @@ impl Corpus {
         self.cases.iter().map(ShaderCase::lines_of_code).collect()
     }
 
+    /// Median and maximum of the lines-of-code distribution, or `None` for
+    /// an empty corpus. Callers used to take `loc.iter().max().unwrap()`
+    /// themselves, which panicked the moment a zero-member übershader
+    /// family (or an over-filtered subset) produced an empty corpus.
+    pub fn loc_summary(&self) -> Option<LocSummary> {
+        let mut sorted = self.loc_distribution();
+        sorted.sort_unstable();
+        let max = *sorted.last()?;
+        Some(LocSummary {
+            median: sorted[sorted.len() / 2],
+            max,
+        })
+    }
+
     /// Structural summary used to check the corpus against the paper's §V
     /// characterisation.
     pub fn stats(&self) -> CorpusStats {
@@ -183,6 +195,43 @@ impl Corpus {
         }
         stats
     }
+}
+
+/// Instantiates one family's specialisations into `cases` (shared by the
+/// full corpus builder and [`Corpus::from_family`]).
+fn instantiate_family(
+    family: &Family,
+    cases: &mut Vec<ShaderCase>,
+) -> Result<(), (String, GlslError)> {
+    for (idx, spec) in family.specializations.iter().enumerate() {
+        let defines: HashMap<String, String> = spec
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let name = format!("{}_{:02}", family.name, idx);
+        let source = ShaderSource::preprocess_and_parse(family.source, &defines)
+            .map_err(|e| (name.clone(), e))?;
+        cases.push(ShaderCase {
+            name,
+            family: family.name.to_string(),
+            defines: spec
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            source,
+        });
+    }
+    Ok(())
+}
+
+/// Median and maximum lines of code of a corpus (see
+/// [`Corpus::loc_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocSummary {
+    /// Median per-shader lines of code.
+    pub median: usize,
+    /// Largest per-shader lines of code.
+    pub max: usize,
 }
 
 /// Crude textual check for "divides by a literal constant somewhere".
@@ -268,17 +317,43 @@ mod tests {
     #[test]
     fn loc_distribution_is_power_law_like() {
         let corpus = Corpus::gfxbench_like();
-        let loc = corpus.loc_distribution();
-        let median = {
-            let mut sorted = loc.clone();
-            sorted.sort_unstable();
-            sorted[sorted.len() / 2]
-        };
-        let max = *loc.iter().max().unwrap();
+        let LocSummary { median, max } = corpus.loc_summary().expect("non-empty corpus");
         assert!(
             max > 3 * median,
             "expected a long tail: median {median}, max {max}"
         );
+    }
+
+    #[test]
+    fn zero_member_family_yields_a_harmless_empty_corpus() {
+        // A family with no specialisations is legal corpus input: every
+        // statistic must degrade gracefully instead of panicking (the old
+        // `loc.iter().max().unwrap()` pattern died here).
+        let barren = Family {
+            name: "barren",
+            source: "out vec4 c; void main() { c = vec4(1.0); }",
+            specializations: vec![],
+        };
+        let corpus = Corpus::from_family(&barren).expect("empty family builds");
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.len(), 0);
+        assert_eq!(corpus.loc_summary(), None);
+        assert_eq!(corpus.loc_distribution(), Vec::<usize>::new());
+        assert_eq!(corpus.stats().shader_count, 0);
+        assert_eq!(corpus.stats().max_loc, 0);
+        assert!(corpus.case("barren_00").is_none());
+    }
+
+    #[test]
+    fn single_family_corpus_instantiates_every_specialisation() {
+        let family = all_families()
+            .into_iter()
+            .find(|f| f.name == "ui_blit")
+            .expect("ui_blit family exists");
+        let corpus = Corpus::from_family(&family).unwrap();
+        assert_eq!(corpus.len(), family.specializations.len());
+        assert!(corpus.cases.iter().all(|c| c.family == "ui_blit"));
+        assert!(corpus.loc_summary().is_some());
     }
 
     #[test]

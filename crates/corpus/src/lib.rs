@@ -20,5 +20,5 @@ pub mod corpus;
 pub mod families;
 pub mod flagship;
 
-pub use corpus::{Corpus, CorpusStats, ShaderCase};
+pub use corpus::{Corpus, CorpusStats, LocSummary, ShaderCase};
 pub use families::{all_families, Family};

@@ -13,7 +13,9 @@
 //! * a textual [printer](crate::printer) used for debugging and variant
 //!   deduplication,
 //! * a structural, commutative-aware [fingerprint](crate::fingerprint) used
-//!   by the compile session for early variant deduplication.
+//!   by the compile session for early variant deduplication,
+//! * bit-exact [serialisation](crate::serde_impls) through the vendored
+//!   `serde` data model, used by the warm-start cache persistence layer.
 //!
 //! ```
 //! use prism_ir::prelude::*;
@@ -36,6 +38,7 @@ pub mod fingerprint;
 pub mod interp;
 pub mod op;
 pub mod printer;
+pub mod serde_impls;
 pub mod shader;
 pub mod stmt;
 pub mod types;

@@ -297,6 +297,56 @@ pub fn fig10_incremental(study: &StudyResults) -> String {
     out
 }
 
+/// Corpus-cache work/sharing report of one study run: how much optimization
+/// and emission work the sweep performed, how much was answered warm —
+/// split into hits produced by this run's own sessions (cross-shader
+/// sharing) and hits answered from a persistent warm-start snapshot — and
+/// how healthy the snapshot itself was (shards loaded vs skipped).
+pub fn fig_cache(study: &StudyResults) -> String {
+    let stats = &study.cache.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Corpus cache — {} sessions, {}",
+        stats.sessions,
+        if study.cache.shared {
+            "one shared corpus-wide store"
+        } else {
+            "private per-session stores"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  stages:    {:>6} runs  {:>6} hits ({:>5.1}% hit rate, {} cross-shader, {} warm-start)",
+        stats.stage_runs,
+        stats.stage_hits,
+        stats.stage_hit_rate() * 100.0,
+        stats.cross_shader_stage_hits,
+        stats.warm_stage_hits,
+    );
+    let _ = writeln!(
+        out,
+        "  emissions: {:>6} done  {:>6} hits ({} cross-shader, {} warm-start)",
+        stats.emissions,
+        stats.emission_hits,
+        stats.cross_shader_emission_hits,
+        stats.warm_emission_hits,
+    );
+    if stats.evictions > 0 {
+        let _ = writeln!(out, "  evictions: {:>6} (bounded store)", stats.evictions);
+    }
+    if stats.warm_shards_loaded + stats.warm_shards_skipped > 0 {
+        let _ = writeln!(
+            out,
+            "  warm start: {} entries from {} shards ({} shard(s) skipped as stale/corrupt)",
+            stats.warm_entries_loaded, stats.warm_shards_loaded, stats.warm_shards_skipped,
+        );
+    } else {
+        let _ = writeln!(out, "  warm start: none (cold run)");
+    }
+    out
+}
+
 /// A compact overall summary used by the quickstart example.
 pub fn summary(study: &StudyResults) -> String {
     let mut out = String::new();
@@ -366,6 +416,8 @@ pub fn render_all(study: &StudyResults, blur_name: &str) -> String {
         out.push('\n');
         out.push_str(&fig10_incremental(study));
     }
+    out.push('\n');
+    out.push_str(&fig_cache(study));
     out
 }
 
@@ -424,6 +476,7 @@ mod tests {
             skipped: vec![],
             cache: Default::default(),
             search: vec![],
+            warnings: vec![],
         }
     }
 
@@ -487,5 +540,27 @@ mod tests {
         for (vendor, speedup) in mean_best_speedups(&study) {
             assert!(speedup > 0.0, "{vendor}: {speedup}");
         }
+    }
+
+    #[test]
+    fn fig_cache_reports_warm_and_cold_runs() {
+        let mut study = tiny_study();
+        let cold = fig_cache(&study);
+        assert!(cold.contains("cold run"), "{cold}");
+        assert!(render_all(&study, "blur").contains("Corpus cache"));
+
+        study.cache.shared = true;
+        study.cache.stats.stage_runs = 10;
+        study.cache.stats.stage_hits = 30;
+        study.cache.stats.warm_stage_hits = 25;
+        study.cache.stats.warm_emission_hits = 4;
+        study.cache.stats.warm_entries_loaded = 40;
+        study.cache.stats.warm_shards_loaded = 15;
+        study.cache.stats.warm_shards_skipped = 1;
+        let warm = fig_cache(&study);
+        assert!(warm.contains("one shared corpus-wide store"), "{warm}");
+        assert!(warm.contains("40 entries from 15 shards"), "{warm}");
+        assert!(warm.contains("1 shard(s) skipped"), "{warm}");
+        assert!(warm.contains("25 warm-start"), "{warm}");
     }
 }

@@ -134,6 +134,7 @@ mod tests {
             skipped: vec![],
             cache: Default::default(),
             search: vec![],
+            warnings: vec![],
         }
     }
 

@@ -131,6 +131,7 @@ mod tests {
             skipped: vec![],
             cache: Default::default(),
             search: vec![],
+            warnings: vec![],
         }
     }
 

@@ -238,9 +238,10 @@ pub struct CacheRecord {
     pub stats: CacheStats,
 }
 
-// Serialised flat — `shared` next to the seven counters — so the JSON stays
-// a single small object. Hand-written because `CacheStats` lives in
-// prism-core, which stays serde-free.
+// Serialised flat — `shared` next to the counters — so the JSON stays a
+// single small object. Hand-written because the counter struct
+// (`CacheStats`) lives in prism-core and is not tied to this crate's record
+// shape.
 impl serde::Serialize for CacheRecord {
     fn to_value(&self) -> serde::Value {
         let num = |n: usize| serde::Value::Num(n as f64);
@@ -260,6 +261,26 @@ impl serde::Serialize for CacheRecord {
                 num(self.stats.cross_shader_emission_hits),
             ),
             ("evictions".to_string(), num(self.stats.evictions)),
+            (
+                "warm_stage_hits".to_string(),
+                num(self.stats.warm_stage_hits),
+            ),
+            (
+                "warm_emission_hits".to_string(),
+                num(self.stats.warm_emission_hits),
+            ),
+            (
+                "warm_entries_loaded".to_string(),
+                num(self.stats.warm_entries_loaded),
+            ),
+            (
+                "warm_shards_loaded".to_string(),
+                num(self.stats.warm_shards_loaded),
+            ),
+            (
+                "warm_shards_skipped".to_string(),
+                num(self.stats.warm_shards_skipped),
+            ),
         ])
     }
 }
@@ -274,6 +295,16 @@ impl serde::Deserialize for CacheRecord {
             match field(name)? {
                 serde::Value::Num(n) => Ok(*n as usize),
                 other => Err(format!("expected number for `{name}`, got {other:?}")),
+            }
+        };
+        // The warm-start counters postdate the first study-report.json
+        // artifacts; an absent key means a pre-warm-start report, which is
+        // still perfectly usable with the counters at 0.
+        let warm_count = |name: &str| -> Result<usize, String> {
+            match v.get(name) {
+                None => Ok(0),
+                Some(serde::Value::Num(n)) => Ok(*n as usize),
+                Some(other) => Err(format!("expected number for `{name}`, got {other:?}")),
             }
         };
         let shared = match field("shared")? {
@@ -291,6 +322,11 @@ impl serde::Deserialize for CacheRecord {
                 emission_hits: count("emission_hits")?,
                 cross_shader_emission_hits: count("cross_shader_emission_hits")?,
                 evictions: count("evictions")?,
+                warm_stage_hits: warm_count("warm_stage_hits")?,
+                warm_emission_hits: warm_count("warm_emission_hits")?,
+                warm_entries_loaded: warm_count("warm_entries_loaded")?,
+                warm_shards_loaded: warm_count("warm_shards_loaded")?,
+                warm_shards_skipped: warm_count("warm_shards_skipped")?,
             },
         })
     }
@@ -310,6 +346,10 @@ pub struct StudyResults {
     /// Incremental-search strategy comparison rows (empty unless the study
     /// ran with `StudyConfig::search` enabled).
     pub search: Vec<SearchRecord>,
+    /// Non-fatal problems of this run (e.g. a warm-start snapshot that could
+    /// not be written) — the measurements are still valid, but the operator
+    /// should know.
+    pub warnings: Vec<String>,
 }
 
 serde::impl_serde_struct!(StudyResults {
@@ -317,7 +357,8 @@ serde::impl_serde_struct!(StudyResults {
     measurements,
     skipped,
     cache,
-    search
+    search,
+    warnings
 });
 
 impl StudyResults {
@@ -358,8 +399,15 @@ impl StudyResults {
     }
 
     /// Serialises the study to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("study results serialise")
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error message when the study
+    /// contains a value JSON cannot represent (a non-finite timing) — a
+    /// malformed measurement must surface to the report path as an error,
+    /// not abort the whole study run with a panic.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
     }
 
     /// Restores a study from JSON.
@@ -460,6 +508,11 @@ mod tests {
                     emission_hits: 8,
                     cross_shader_emission_hits: 2,
                     evictions: 5,
+                    warm_stage_hits: 6,
+                    warm_emission_hits: 1,
+                    warm_entries_loaded: 40,
+                    warm_shards_loaded: 15,
+                    warm_shards_skipped: 1,
                 },
             },
             search: vec![SearchRecord {
@@ -473,15 +526,19 @@ mod tests {
                 oracle_mean_speedup: 20.0,
                 default_mean_speedup: 12.0,
             }],
+            warnings: vec!["warm-start dir was read-only".into()],
         };
-        let json = study.to_json();
+        let json = study.to_json().unwrap();
         let restored = StudyResults::from_json(&json).unwrap();
         assert_eq!(restored.shaders, study.shaders);
         assert_eq!(restored.measurements, study.measurements);
         assert_eq!(restored.skipped, study.skipped);
         assert_eq!(restored.cache, study.cache);
         assert_eq!(restored.search, study.search);
+        assert_eq!(restored.warnings, study.warnings);
         assert_eq!(restored.cache.stats.evictions, 5);
+        assert_eq!(restored.cache.stats.warm_stage_hits, 6);
+        assert_eq!(restored.cache.stats.warm_shards_skipped, 1);
         let search = &restored.search[0];
         assert!((search.compile_fraction() - 19.0 / 256.0).abs() < 1e-12);
         assert!((search.oracle_fraction() - 0.925).abs() < 1e-12);
@@ -491,5 +548,30 @@ mod tests {
         assert!(restored.measurement("s", "AMD").is_some());
         assert!(restored.measurement("s", "Intel").is_none());
         assert!(StudyResults::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn pre_warm_start_cache_records_still_deserialize() {
+        // study-report.json artifacts written before the warm-start counters
+        // existed must stay readable, with the counters defaulted to 0.
+        let old = r#"{"shared":true,"sessions":1,"stage_runs":7,"stage_hits":21,"cross_shader_stage_hits":3,"emissions":4,"emission_hits":8,"cross_shader_emission_hits":2,"evictions":5}"#;
+        let record: CacheRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(record.stats.stage_runs, 7);
+        assert_eq!(record.stats.warm_stage_hits, 0);
+        assert_eq!(record.stats.warm_shards_skipped, 0);
+    }
+
+    #[test]
+    fn non_finite_measurements_serialise_to_an_error_not_a_panic() {
+        // JSON cannot represent NaN; `to_json` must surface that as a
+        // Result (it used to panic via `.expect`).
+        let mut bad = record();
+        bad.original_ns = f64::NAN;
+        let study = StudyResults {
+            measurements: vec![bad],
+            ..StudyResults::default()
+        };
+        let err = study.to_json().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
     }
 }

@@ -58,6 +58,14 @@ pub struct StudyConfig {
     /// sweep, filling [`StudyResults::search`] with per-(platform, strategy)
     /// rows. `None` (default) skips it.
     pub search: Option<SearchConfig>,
+    /// Persistent warm-start directory for the shared corpus cache. When
+    /// set (and `shared_cache` is on), the sweep loads any snapshot found
+    /// there before compiling — stale or corrupt shards are skipped, never
+    /// trusted — and saves the warmed cache back afterwards, so the next
+    /// `run_study` over the same corpus performs strictly fewer stage runs
+    /// and emissions with byte-identical results. Warm-vs-cold hit counts
+    /// land in [`StudyResults::cache`]. `None` (default) starts cold.
+    pub warm_start_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -69,6 +77,7 @@ impl Default for StudyConfig {
             shared_cache: true,
             cache_budget: None,
             search: None,
+            warm_start_dir: None,
         }
     }
 }
@@ -83,6 +92,7 @@ impl StudyConfig {
             shared_cache: true,
             cache_budget: None,
             search: None,
+            warm_start_dir: None,
         }
     }
 
@@ -110,6 +120,17 @@ pub fn run_study(corpus: &Corpus, config: &StudyConfig) -> StudyResults {
     let corpus_cache: Option<Arc<CorpusCache>> = config
         .shared_cache
         .then(|| Arc::new(config.new_corpus_cache()));
+    // Warm-start the shared cache before any session opens. Loading is
+    // corruption-tolerant (a bad shard is skipped and counted, never
+    // trusted), so nothing can fail here; the skip counts surface in
+    // `StudyResults::cache`.
+    if let (Some(cache), Some(dir)) = (&corpus_cache, &config.warm_start_dir) {
+        cache.load(dir);
+    }
+    // Persistence lives in the shared corpus cache; with private per-session
+    // caches there is nothing to load into or save from. Configuring both is
+    // a contradiction the operator should hear about, not a silent no-op.
+    let warm_start_ignored = config.warm_start_dir.is_some() && !config.shared_cache;
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(config.threads.max(1))
         .build()
@@ -158,6 +179,23 @@ pub fn run_study(corpus: &Corpus, config: &StudyConfig) -> StudyResults {
             stats: solo_stats,
         },
     };
+    // Persist the warmed cache for the next run. A save failure (full or
+    // read-only disk) must not invalidate the measurements already taken —
+    // record it and carry on.
+    if let (Some(cache), Some(dir)) = (&corpus_cache, &config.warm_start_dir) {
+        if let Err(e) = cache.save(dir) {
+            study
+                .warnings
+                .push(format!("warm-start snapshot not saved: {e}"));
+        }
+    }
+    if warm_start_ignored {
+        study.warnings.push(
+            "warm_start_dir ignored: persistence requires the shared corpus cache \
+             (shared_cache: false)"
+                .to_string(),
+        );
+    }
     if let Some(search) = &config.search {
         study.search = incremental_search_records(corpus, &study, config, search);
     }
@@ -477,6 +515,68 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn warm_start_makes_the_second_sweep_strictly_cheaper_and_identical() {
+        let corpus = mini_corpus();
+        let dir = std::env::temp_dir().join(format!(
+            "prism-sweep-warm-{}-{:p}",
+            std::process::id(),
+            &corpus
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StudyConfig {
+            warm_start_dir: Some(dir.clone()),
+            ..StudyConfig::quick()
+        };
+
+        let cold = run_study(&corpus, &config);
+        let warm = run_study(&corpus, &config);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(cold.cache.stats.warm_entries_loaded, 0);
+        assert!(cold.warnings.is_empty(), "{:?}", cold.warnings);
+        assert!(warm.cache.stats.warm_entries_loaded > 0);
+        assert!(warm.cache.stats.warm_stage_hits > 0);
+        assert!(warm.cache.stats.warm_emission_hits > 0);
+        assert_eq!(warm.cache.stats.warm_shards_skipped, 0);
+        // The warm run re-did strictly less work than the cold run...
+        assert!(warm.cache.stats.stage_runs < cold.cache.stats.stage_runs);
+        assert!(warm.cache.stats.emissions < cold.cache.stats.emissions);
+        // ...and changed nothing about what was measured.
+        assert_eq!(warm.shaders, cold.shaders);
+        assert_eq!(warm.measurements, cold.measurements);
+        assert_eq!(warm.skipped, cold.skipped);
+    }
+
+    #[test]
+    fn warm_start_dir_without_shared_cache_warns_and_writes_nothing() {
+        let mut corpus = mini_corpus();
+        corpus.cases.truncate(1);
+        let dir = std::env::temp_dir().join(format!(
+            "prism-sweep-warm-unshared-{}-{:p}",
+            std::process::id(),
+            &corpus
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let study = run_study(
+            &corpus,
+            &StudyConfig {
+                shared_cache: false,
+                warm_start_dir: Some(dir.clone()),
+                ..StudyConfig::quick()
+            },
+        );
+        assert!(
+            study
+                .warnings
+                .iter()
+                .any(|w| w.contains("warm_start_dir ignored")),
+            "operator must hear about the contradictory config: {:?}",
+            study.warnings
+        );
+        assert!(!dir.exists(), "nothing must be written without persistence");
     }
 
     #[test]

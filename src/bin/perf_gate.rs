@@ -3,12 +3,15 @@
 //! Wall-clock benchmarks are useless as CI gates (shared runners, thermal
 //! noise); the quantities that actually protect the hot path are the
 //! *deterministic* work counters the caching subsystems maintain: stage runs
-//! avoided, cache hits, emission dedup, and the incremental search's compile
-//! counts. This binary runs the smoke-sized study (single-threaded, fixed
-//! seeds, so every counter is exactly reproducible), writes them as a
-//! `BENCH_perf_gate.json` baseline, and — with `--check <baseline>` —
-//! fails (exit 1) if any counter regresses beyond a threshold against the
-//! committed baseline.
+//! avoided, cache hits, emission dedup, the incremental search's compile
+//! counts, and the warm-start persistence layer's disk-hit counters (the
+//! smoke sweep is run twice against one snapshot directory; the second run
+//! must do strictly less work with byte-identical results — hard-asserted
+//! here, not just baselined). This binary runs the smoke-sized study
+//! (single-threaded, fixed seeds, so every counter is exactly
+//! reproducible), writes them as a `BENCH_perf_gate.json` baseline, and —
+//! with `--check <baseline>` — fails (exit 1) if any counter regresses
+//! beyond a threshold against the committed baseline.
 //!
 //! ```text
 //! cargo run --release --bin perf_gate -- --out BENCH_perf_gate.json \
@@ -67,6 +70,7 @@ fn measure() -> GateReport {
     };
     let corpus = gate_corpus();
     let study = run_study(&corpus, &config);
+    let warm = measure_warm_start(&corpus);
 
     let stats = &study.cache.stats;
     let exhaustive_combinations = (study.shaders.len() * 256) as f64;
@@ -125,11 +129,87 @@ fn measure() -> GateReport {
             higher_is_better: false,
         });
     }
+    counters.extend(warm);
 
     GateReport {
         schema: 1,
         counters,
     }
+}
+
+/// The warm-start phase: the same smoke sweep run twice against one
+/// persistent snapshot directory — the first run populates it, the second
+/// must warm-start from it. Besides emitting the gated counters, this
+/// *hard-asserts* the persistence contract (strictly fewer stage runs and
+/// emissions, byte-identical measurements, no skipped shards), so a
+/// regression fails the gate even before any baseline comparison.
+fn measure_warm_start(corpus: &Corpus) -> Vec<Counter> {
+    let dir = std::env::temp_dir().join(format!("prism-perf-gate-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StudyConfig {
+        threads: 1,
+        warm_start_dir: Some(dir.clone()),
+        ..StudyConfig::quick()
+    };
+    let cold = run_study(corpus, &config);
+    let warm = run_study(corpus, &config);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        cold.warnings.is_empty() && warm.warnings.is_empty(),
+        "warm-start snapshot round trip must be clean: {:?} / {:?}",
+        cold.warnings,
+        warm.warnings
+    );
+    assert_eq!(
+        warm.cache.stats.warm_shards_skipped, 0,
+        "a snapshot this process just wrote must load in full"
+    );
+    assert!(
+        warm.cache.stats.stage_runs < cold.cache.stats.stage_runs,
+        "warm run must re-run strictly fewer stages ({} vs {})",
+        warm.cache.stats.stage_runs,
+        cold.cache.stats.stage_runs
+    );
+    assert!(
+        warm.cache.stats.emissions < cold.cache.stats.emissions,
+        "warm run must emit strictly less ({} vs {})",
+        warm.cache.stats.emissions,
+        cold.cache.stats.emissions
+    );
+    assert_eq!(
+        warm.measurements, cold.measurements,
+        "warm start must not change a single measurement"
+    );
+
+    let stats = &warm.cache.stats;
+    vec![
+        Counter {
+            name: "warm_stage_runs".into(),
+            value: stats.stage_runs as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "warm_stage_hits".into(),
+            value: stats.warm_stage_hits as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "warm_emissions".into(),
+            value: stats.emissions as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "warm_emission_hits".into(),
+            value: stats.warm_emission_hits as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "warm_entries_loaded".into(),
+            value: stats.warm_entries_loaded as f64,
+            higher_is_better: true,
+        },
+    ]
 }
 
 /// Compares `current` against `baseline`; returns the regression messages.
@@ -328,5 +408,18 @@ mod tests {
         let a = measure();
         let b = measure();
         assert_eq!(a, b, "gate counters must be exactly reproducible");
+        // The warm-start phase feeds the gate too.
+        for name in [
+            "warm_stage_runs",
+            "warm_stage_hits",
+            "warm_emissions",
+            "warm_emission_hits",
+            "warm_entries_loaded",
+        ] {
+            assert!(
+                a.counters.iter().any(|c| c.name == name),
+                "counter `{name}` missing from the gate report"
+            );
+        }
     }
 }

@@ -104,7 +104,7 @@ fn bounded_cache_reproduces_unbounded_study_results_byte_for_byte() {
 #[test]
 fn search_rows_round_trip_json_and_render() {
     let study = run_study(&mini_corpus(), &search_config());
-    let restored = StudyResults::from_json(&study.to_json()).unwrap();
+    let restored = StudyResults::from_json(&study.to_json().unwrap()).unwrap();
     assert_eq!(restored.search, study.search);
 
     let fig10 = report::fig10_incremental(&restored);

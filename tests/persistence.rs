@@ -1,0 +1,205 @@
+//! Warm-start persistence, end to end: a study sweep saved to disk must make
+//! the next sweep strictly cheaper and byte-identical, and a damaged
+//! snapshot must degrade to a cold start — never a panic, never a changed
+//! measurement.
+
+use prism::core::{CacheStore, CompileSession, CorpusCache};
+use prism::corpus::Corpus;
+use prism::search::{run_study, StudyConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A fresh scratch directory per test (removed on drop, even on panic).
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> ScratchDir {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "prism-persistence-{label}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Übershader family members plus the blur flagship: enough IR sharing to
+/// exercise both memos, small enough for a quick exhaustive sweep.
+fn corpus() -> Corpus {
+    Corpus::gfxbench_like().subset(&[
+        "flagship_blur9",
+        "texture_combine_00",
+        "texture_combine_01",
+        "ui_blit_00",
+    ])
+}
+
+fn warm_config(dir: &ScratchDir) -> StudyConfig {
+    StudyConfig {
+        warm_start_dir: Some(dir.0.clone()),
+        ..StudyConfig::quick()
+    }
+}
+
+/// The acceptance property: a second `run_study` pointed at the first run's
+/// `warm_start_dir` performs strictly fewer compiles (stage runs) and
+/// emissions than the cold run, with byte-identical `StudyResults`
+/// measurements.
+#[test]
+fn warm_started_study_is_strictly_cheaper_and_byte_identical() {
+    let dir = ScratchDir::new("acceptance");
+    let corpus = corpus();
+    let config = warm_config(&dir);
+
+    let cold = run_study(&corpus, &config);
+    assert!(cold.warnings.is_empty(), "{:?}", cold.warnings);
+    assert_eq!(cold.cache.stats.warm_entries_loaded, 0);
+    assert!(cold.cache.stats.stage_runs > 0);
+    assert!(cold.cache.stats.emissions > 0);
+
+    let warm = run_study(&corpus, &config);
+    assert!(warm.warnings.is_empty(), "{:?}", warm.warnings);
+
+    // Strictly fewer compiles and emissions...
+    assert!(
+        warm.cache.stats.stage_runs < cold.cache.stats.stage_runs,
+        "stage runs: warm {} vs cold {}",
+        warm.cache.stats.stage_runs,
+        cold.cache.stats.stage_runs
+    );
+    assert!(
+        warm.cache.stats.emissions < cold.cache.stats.emissions,
+        "emissions: warm {} vs cold {}",
+        warm.cache.stats.emissions,
+        cold.cache.stats.emissions
+    );
+    // ...attributed to the snapshot, with every shard accepted...
+    assert!(warm.cache.stats.warm_entries_loaded > 0);
+    assert!(warm.cache.stats.warm_stage_hits > 0);
+    assert!(warm.cache.stats.warm_emission_hits > 0);
+    assert_eq!(warm.cache.stats.warm_shards_skipped, 0);
+    // ...and with measurements byte-identical to the cold run.
+    assert_eq!(warm.shaders, cold.shaders);
+    assert_eq!(warm.measurements, cold.measurements);
+    assert_eq!(warm.skipped, cold.skipped);
+}
+
+/// Property: save → load → full variant generation is byte-identical to a
+/// cold session, at the session level (below the study harness), for every
+/// backend text.
+#[test]
+fn warm_session_variants_are_byte_identical_to_cold() {
+    use prism::emit::BackendKind;
+    use prism::glsl::ShaderSource;
+
+    let dir = ScratchDir::new("session-property");
+    let case = corpus().blur9().clone();
+    let source: &ShaderSource = &case.source;
+
+    // Cold reference, private cache.
+    let cold = CompileSession::new(source, &case.name).unwrap();
+    let cold_set = cold.variants().unwrap();
+
+    // First corpus-cached run populates the snapshot.
+    let cache = Arc::new(CorpusCache::new());
+    let first =
+        CompileSession::with_cache(source, &case.name, cache.clone() as Arc<dyn CacheStore>)
+            .unwrap();
+    first.variants().unwrap();
+    cache.save(&dir.0).unwrap();
+
+    // A fresh process (fresh cache) warm-starts from disk.
+    let warm_cache = Arc::new(CorpusCache::new());
+    let report = warm_cache.load(&dir.0);
+    assert!(report.entries_loaded > 0);
+    assert_eq!(report.shards_skipped, 0);
+    let warm = CompileSession::with_cache(
+        source,
+        &case.name,
+        warm_cache.clone() as Arc<dyn CacheStore>,
+    )
+    .unwrap();
+    let warm_set = warm.variants().unwrap();
+
+    // Byte-identical variants in both backends, with zero stage work done.
+    assert_eq!(warm_set.unique_count(), cold_set.unique_count());
+    for (w, c) in warm_set.variants.iter().zip(&cold_set.variants) {
+        assert_eq!(w.glsl, c.glsl);
+        assert_eq!(w.flag_sets, c.flag_sets);
+    }
+    let warm_gles = warm
+        .text_for(prism::core::OptFlags::all(), BackendKind::Gles)
+        .unwrap();
+    let cold_gles = cold
+        .text_for(prism::core::OptFlags::all(), BackendKind::Gles)
+        .unwrap();
+    assert_eq!(*warm_gles, *cold_gles);
+    let stats = warm_cache.stats();
+    assert_eq!(stats.stage_runs, 0, "everything must come from disk");
+    assert!(stats.warm_stage_hits > 0);
+}
+
+/// A truncated or garbage shard file degrades to a cold shard: the load
+/// records the skip, nothing panics, and the sweep still produces results
+/// byte-identical to a cold run (the damaged shard's work is simply redone).
+#[test]
+fn corrupt_snapshot_degrades_to_cold_without_changing_results() {
+    let dir = ScratchDir::new("corrupt");
+    let corpus = corpus();
+    let config = warm_config(&dir);
+
+    let cold = run_study(&corpus, &config);
+
+    // Damage two shards: one torn mid-file, one replaced with garbage.
+    let torn = dir.0.join("shard-04.json");
+    let text = std::fs::read_to_string(&torn).unwrap();
+    std::fs::write(&torn, &text[..text.len() / 3]).unwrap();
+    std::fs::write(dir.0.join("shard-09.json"), "{]} not json at all").unwrap();
+
+    let warm = run_study(&corpus, &config);
+    assert_eq!(
+        warm.cache.stats.warm_shards_skipped, 2,
+        "both damaged shards must be recorded as skipped: {:?}",
+        warm.cache
+    );
+    assert!(warm.cache.stats.warm_shards_loaded > 0);
+    // Still strictly cheaper than fully cold (the intact shards helped)...
+    assert!(warm.cache.stats.stage_runs <= cold.cache.stats.stage_runs);
+    // ...and still byte-identical.
+    assert_eq!(warm.shaders, cold.shaders);
+    assert_eq!(warm.measurements, cold.measurements);
+
+    // The save at the end of the damaged run healed the snapshot: a third
+    // run loads every shard again.
+    let healed = run_study(&corpus, &config);
+    assert_eq!(healed.cache.stats.warm_shards_skipped, 0);
+    assert_eq!(healed.measurements, cold.measurements);
+}
+
+/// An unwritable warm-start directory is reported as a warning, not a panic,
+/// and does not disturb the measurements.
+#[test]
+fn unwritable_snapshot_dir_is_a_warning_not_a_failure() {
+    let dir = ScratchDir::new("unwritable");
+    // Occupy the path with a *file* so create_dir_all must fail.
+    std::fs::write(&dir.0, "not a directory").unwrap();
+    let corpus = corpus();
+    let config = warm_config(&dir);
+
+    let study = run_study(&corpus, &config);
+    assert_eq!(study.warnings.len(), 1, "{:?}", study.warnings);
+    assert!(study.warnings[0].contains("warm-start snapshot not saved"));
+
+    let reference = run_study(&corpus, &StudyConfig::quick());
+    assert_eq!(study.measurements, reference.measurements);
+    let _ = std::fs::remove_file(&dir.0);
+}

@@ -55,7 +55,7 @@ fn full_pipeline_study_produces_all_figures() {
     assert!(everything.contains("Figure 9"));
 
     // The study serialises and round-trips (for offline re-analysis).
-    let restored = StudyResults::from_json(&study.to_json()).unwrap();
+    let restored = StudyResults::from_json(&study.to_json().unwrap()).unwrap();
     assert_eq!(restored.measurements.len(), study.measurements.len());
 }
 

@@ -176,6 +176,18 @@ impl<T: Serialize> Serialize for &T {
     }
 }
 
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
 /// Implements [`Serialize`] and [`Deserialize`] for a plain named-field
 /// struct, encoding it as a JSON object keyed by field name — the same shape
 /// `#[derive(Serialize, Deserialize)]` produces for such structs.
@@ -271,6 +283,14 @@ mod tests {
         assert!(Sample::from_value(&Value::Num(3.0)).is_err());
         assert!(bool::from_value(&Value::Str("true".into())).is_err());
         assert!(Vec::<f64>::from_value(&Value::Bool(false)).is_err());
+    }
+
+    #[test]
+    fn arc_is_transparent() {
+        let v = std::sync::Arc::new("shared".to_string());
+        assert_eq!(v.to_value(), Value::Str("shared".into()));
+        let back: std::sync::Arc<String> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(*back, *v);
     }
 
     #[test]
