@@ -2,9 +2,9 @@
 //! and figures
 //!
 //! Each bench target (`cargo bench -p prism-bench --bench <name>`) runs the
-//! exhaustive 256-combination study over the GFXBench-like corpus on all five
-//! simulated platforms and prints the rows/series of one paper figure or
-//! table:
+//! exhaustive 256-combination study over the GFXBench-like corpus on all
+//! seven simulated platforms and prints the rows/series of one paper figure
+//! or table:
 //!
 //! | bench target | paper content |
 //! |---|---|
@@ -41,7 +41,7 @@ pub fn bench_config() -> StudyConfig {
 pub fn full_study() -> StudyResults {
     let corpus = Corpus::gfxbench_like();
     eprintln!(
-        "prism-bench: sweeping {} shaders x 256 flag combinations x 5 platforms...",
+        "prism-bench: sweeping {} shaders x 256 flag combinations x 7 platforms...",
         corpus.len()
     );
     let start = Instant::now();
@@ -65,6 +65,6 @@ mod tests {
     fn bench_config_is_lighter_than_the_paper() {
         let c = bench_config();
         assert!(c.measure.frames < 100);
-        assert_eq!(c.vendors.len(), 5);
+        assert_eq!(c.vendors.len(), 7);
     }
 }

@@ -100,8 +100,13 @@ pub struct CacheStats {
     pub stage_hits: usize,
     /// Subset of `stage_hits` answered by another session's entry.
     pub cross_shader_stage_hits: usize,
-    /// Emissions performed (per backend).
+    /// Emissions performed (across all backends).
     pub emissions: usize,
+    /// Emissions performed, split by backend (indexed by
+    /// [`BackendKind::index`]; sums to `emissions`). The per-target view the
+    /// perf gate watches — a backend that silently stops sharing its memo
+    /// shows up here even when the total still looks healthy.
+    pub emissions_by_backend: [usize; BackendKind::COUNT],
     /// Emissions answered from the (fingerprint, backend) memo.
     pub emission_hits: usize,
     /// Subset of `emission_hits` answered by another session's entry.
@@ -123,6 +128,11 @@ pub struct CacheStats {
     /// pass-schedule hash, checksum mismatch, torn or malformed file) — each
     /// degrades to a cold shard instead of being trusted.
     pub warm_shards_skipped: usize,
+    /// Individual entries rejected inside otherwise-valid shards (an
+    /// emission recorded under a [`BackendKind`] this build does not know —
+    /// a snapshot written by a *newer* build). Unlike a shard-level problem,
+    /// an unknown entry costs only itself: the rest of the shard loads.
+    pub warm_entries_skipped: usize,
 }
 
 impl CacheStats {
@@ -292,7 +302,11 @@ impl CacheStore for SessionCache {
         state: &Snapshot,
         text: Arc<String>,
     ) {
-        self.stats.borrow_mut().emissions += 1;
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.emissions += 1;
+            stats.emissions_by_backend[backend.index()] += 1;
+        }
         self.emissions
             .borrow_mut()
             .entry((state.fp, backend))
@@ -541,6 +555,7 @@ pub struct CorpusCache {
     stage_hits: AtomicUsize,
     cross_shader_stage_hits: AtomicUsize,
     emissions_done: AtomicUsize,
+    emissions_by_backend: [AtomicUsize; BackendKind::COUNT],
     emission_hits: AtomicUsize,
     cross_shader_emission_hits: AtomicUsize,
     evictions: AtomicUsize,
@@ -549,6 +564,7 @@ pub struct CorpusCache {
     warm_entries_loaded: AtomicUsize,
     warm_shards_loaded: AtomicUsize,
     warm_shards_skipped: AtomicUsize,
+    pub(crate) warm_entries_skipped: AtomicUsize,
 }
 
 impl Default for CorpusCache {
@@ -592,6 +608,7 @@ impl CorpusCache {
             stage_hits: AtomicUsize::new(0),
             cross_shader_stage_hits: AtomicUsize::new(0),
             emissions_done: AtomicUsize::new(0),
+            emissions_by_backend: std::array::from_fn(|_| AtomicUsize::new(0)),
             emission_hits: AtomicUsize::new(0),
             cross_shader_emission_hits: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
@@ -600,6 +617,7 @@ impl CorpusCache {
             warm_entries_loaded: AtomicUsize::new(0),
             warm_shards_loaded: AtomicUsize::new(0),
             warm_shards_skipped: AtomicUsize::new(0),
+            warm_entries_skipped: AtomicUsize::new(0),
         }
     }
 
@@ -797,6 +815,7 @@ impl CacheStore for CorpusCache {
         text: Arc<String>,
     ) {
         self.emissions_done.fetch_add(1, Ordering::Relaxed);
+        self.emissions_by_backend[backend.index()].fetch_add(1, Ordering::Relaxed);
         self.bump_family(session, |f| {
             f.emissions.fetch_add(1, Ordering::Relaxed);
         });
@@ -824,6 +843,9 @@ impl CacheStore for CorpusCache {
             stage_hits: self.stage_hits.load(Ordering::Relaxed),
             cross_shader_stage_hits: self.cross_shader_stage_hits.load(Ordering::Relaxed),
             emissions: self.emissions_done.load(Ordering::Relaxed),
+            emissions_by_backend: std::array::from_fn(|i| {
+                self.emissions_by_backend[i].load(Ordering::Relaxed)
+            }),
             emission_hits: self.emission_hits.load(Ordering::Relaxed),
             cross_shader_emission_hits: self.cross_shader_emission_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -832,6 +854,7 @@ impl CacheStore for CorpusCache {
             warm_entries_loaded: self.warm_entries_loaded.load(Ordering::Relaxed),
             warm_shards_loaded: self.warm_shards_loaded.load(Ordering::Relaxed),
             warm_shards_skipped: self.warm_shards_skipped.load(Ordering::Relaxed),
+            warm_entries_skipped: self.warm_entries_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -910,6 +933,15 @@ mod tests {
         assert_eq!(stats.stage_hits, 2);
         assert_eq!(stats.cross_shader_stage_hits, 1);
         assert_eq!(stats.emissions, 1);
+        assert_eq!(
+            stats.emissions_by_backend[BackendKind::Gles.index()],
+            1,
+            "the one emission was a GLES one"
+        );
+        assert_eq!(
+            stats.emissions_by_backend.iter().sum::<usize>(),
+            stats.emissions
+        );
         assert_eq!(stats.emission_hits, 1);
         assert_eq!(stats.cross_shader_emission_hits, 1);
         assert_eq!(stats.evictions, 0);

@@ -27,7 +27,13 @@
 //! whenever anything disagrees: unreadable or torn file, header/payload
 //! parse error, version or pass-schedule-hash mismatch, checksum mismatch,
 //! entry count mismatch, an entry whose recomputed fingerprint lands in the
-//! wrong shard, or an unknown backend/stage. Skips are counted
+//! wrong shard, or an unknown stage. One exception is entry-local and
+//! *forward-compatible*: an emission recorded under a backend name this
+//! build does not know (a snapshot written by a newer build with more
+//! backends) skips just that entry — counted in
+//! `CacheStats::warm_entries_skipped` — because an unknown label is not
+//! corruption, and rejecting the whole shard would punish every old reader
+//! for every new backend. Shard skips are counted
 //! (`CacheStats::warm_shards_skipped`) so a degraded warm start is visible,
 //! and fingerprints are always *recomputed* from the deserialised IR rather
 //! than read from the file, so a corrupted-but-parseable exemplar can never
@@ -143,6 +149,10 @@ pub struct LoadReport {
     pub shards_skipped: usize,
     /// Entries restored across both memos.
     pub entries_loaded: usize,
+    /// Entries inside accepted shards that were individually skipped
+    /// because their backend name is unknown to this build (a snapshot from
+    /// a newer build — forward compatibility, not corruption).
+    pub entries_skipped: usize,
 }
 
 /// Outcome of a [`CorpusCache::save`].
@@ -276,9 +286,10 @@ impl CorpusCache {
                 }
             };
             match self.load_shard(shard, &text, &hash, stage_count) {
-                Ok(entries) => {
+                Ok((entries, skipped_entries)) => {
                     report.shards_loaded += 1;
                     report.entries_loaded += entries;
+                    report.entries_skipped += skipped_entries;
                 }
                 Err(_reason) => report.shards_skipped += 1,
             }
@@ -289,6 +300,8 @@ impl CorpusCache {
             .fetch_add(report.shards_loaded, Ordering::Relaxed);
         self.warm_shards_skipped
             .fetch_add(report.shards_skipped, Ordering::Relaxed);
+        self.warm_entries_skipped
+            .fetch_add(report.entries_skipped, Ordering::Relaxed);
         report
     }
 
@@ -345,14 +358,17 @@ impl CorpusCache {
     }
 
     /// Validates and restores one shard file. Everything is checked *before*
-    /// any entry touches the cache, so a shard is loaded whole or not at all.
+    /// any entry touches the cache, so a shard is loaded whole or not at all
+    /// — except emissions under a backend unknown to this build, which are
+    /// individually skipped and counted (see the module's trust policy).
+    /// Returns (entries loaded, unknown entries skipped).
     fn load_shard(
         &self,
         shard: usize,
         text: &str,
         expected_hash: &str,
         stage_count: usize,
-    ) -> Result<usize, String> {
+    ) -> Result<(usize, usize), String> {
         let (header_line, payload_text) = text
             .split_once('\n')
             .ok_or_else(|| "missing payload line".to_string())?;
@@ -399,9 +415,16 @@ impl CorpusCache {
             staged_transitions.push((t.stage, input, output));
         }
         let mut staged_emissions = Vec::with_capacity(payload.emissions.len());
+        let mut skipped_entries = 0usize;
         for e in payload.emissions {
-            let backend = BackendKind::from_name(&e.backend)
-                .ok_or_else(|| format!("unknown backend `{}`", e.backend))?;
+            // Forward compatibility: a backend this build has never heard of
+            // means a *newer* writer, not corruption — the entry can never
+            // answer a lookup here, so it is dropped alone and counted,
+            // leaving the rest of the shard useful.
+            let Some(backend) = BackendKind::from_name(&e.backend) else {
+                skipped_entries += 1;
+                continue;
+            };
             let state = Snapshot {
                 fp: fingerprint(&e.ir),
                 ir: e.ir,
@@ -423,7 +446,7 @@ impl CorpusCache {
                 loaded += 1;
             }
         }
-        Ok(loaded)
+        Ok((loaded, skipped_entries))
     }
 
     /// Inserts one restored transition under [`WARM_OWNER`], deduplicating
@@ -672,6 +695,66 @@ mod tests {
         let stats = warm.stats();
         assert_eq!(stats.warm_shards_skipped, 5);
         assert_eq!(stats.warm_shards_loaded, SHARDS - 5);
+    }
+
+    #[test]
+    fn unknown_future_backend_entry_is_skipped_not_the_shard() {
+        // A snapshot written by a *newer* build can tag emissions with a
+        // backend this build has never heard of. That is not corruption:
+        // exactly the unknown entry is dropped (and counted), the rest of
+        // the shard stays warm.
+        let dir = ScratchDir::new("future-backend");
+        let cache = populated_cache();
+        cache.save(&dir.0).unwrap();
+
+        let mut patched_shard = None;
+        for shard in 0..SHARDS {
+            let path = shard_path(&dir.0, shard);
+            let text = std::fs::read_to_string(&path).unwrap();
+            let (header_line, payload) = text.split_once('\n').unwrap();
+            if !payload.contains("\"backend\":\"gles\"") {
+                continue;
+            }
+            let payload = payload.trim_end();
+            let patched = payload.replacen("\"backend\":\"gles\"", "\"backend\":\"webgpu\"", 1);
+            // Keep the shard otherwise pristine: same entry count, a
+            // checksum that matches the patched payload.
+            let mut header: ShardHeader = serde_json::from_str(header_line).unwrap();
+            header.checksum = format!("{:016x}", fnv64(patched.as_bytes()));
+            let header_json = serde_json::to_string(&header).unwrap();
+            std::fs::write(&path, format!("{header_json}\n{patched}\n")).unwrap();
+            patched_shard = Some(shard);
+            break;
+        }
+        patched_shard.expect("populated cache has at least one GLES emission");
+
+        let warm = CorpusCache::new();
+        let report = warm.load(&dir.0);
+        assert_eq!(
+            report.shards_skipped, 0,
+            "an unknown entry must not reject its shard"
+        );
+        assert_eq!(report.entries_skipped, 1);
+        assert_eq!(report.entries_loaded, 29);
+        let stats = warm.stats();
+        assert_eq!(stats.warm_entries_skipped, 1);
+        assert_eq!(stats.warm_entries_loaded, 29);
+        assert_eq!(stats.warm_shards_skipped, 0);
+
+        // Every entry other than the retagged one still answers.
+        let id = warm.register_session();
+        let mut gles_hits = 0;
+        for seed in 0..10u32 {
+            let backend = if seed % 2 == 0 {
+                BackendKind::DesktopGlsl
+            } else {
+                BackendKind::Gles
+            };
+            if warm.emission(id, backend, &snapshot(seed)).is_some() {
+                gles_hits += 1;
+            }
+        }
+        assert_eq!(gles_hits, 9, "exactly the retagged emission is cold");
     }
 
     #[test]

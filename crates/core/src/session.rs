@@ -224,9 +224,10 @@ impl CompileSession {
         self.compile_for(flags, BackendKind::DesktopGlsl)
     }
 
-    /// Compiles one flag combination and emits it through `backend` (desktop
-    /// GLSL or mobile GLES) — the optimization work is shared between
-    /// backends; only the final emission differs.
+    /// Compiles one flag combination and emits it through `backend` (any
+    /// [`BackendKind`]: desktop GLSL, mobile GLES, SPIR-V assembly, MSL) —
+    /// the optimization work is shared between backends; only the final
+    /// emission differs.
     ///
     /// # Errors
     ///
@@ -269,9 +270,26 @@ impl CompileSession {
 
     /// The `backend` emission of the *unoptimized* base lowering — the
     /// conversion path the paper applies to original shaders before they can
-    /// run on a GLES platform at all (§III-C(d)).
+    /// run on a GLES platform at all (§III-C(d)); the SPIR-V and MSL
+    /// platforms consume their originals through the same path.
     pub fn base_text_for(&self, backend: BackendKind) -> Arc<String> {
         self.emit(&self.base, backend)
+    }
+
+    /// The structural fingerprint of the optimized IR `flags` produces —
+    /// the key every backend's emission of this combination is memoised
+    /// under. The differential suite asserts independent sessions (cold,
+    /// shared, warm-started) agree on it for every backend, which is what
+    /// makes the per-(fingerprint, backend) emission memo sound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Verify`] if a pass breaks IR invariants.
+    pub fn optimized_fingerprint(
+        &self,
+        flags: OptFlags,
+    ) -> Result<prism_ir::fingerprint::Fingerprint, CompileError> {
+        Ok(self.optimize(flags)?.fp)
     }
 
     /// Compiles all 256 flag combinations and deduplicates them by generated
@@ -392,7 +410,11 @@ mod tests {
     use crate::cache::CorpusCache;
     use crate::flags::Flag;
     use crate::pipeline::compile;
-    use prism_emit::emit_gles;
+    use prism_emit::{Backend, Gles};
+
+    fn emit_gles(shader: &prism_ir::Shader) -> String {
+        Gles.emit(shader)
+    }
 
     const BLURRY: &str = r#"
         uniform sampler2D tex; uniform vec4 ambient; in vec2 uv; out vec4 c;

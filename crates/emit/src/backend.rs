@@ -22,17 +22,45 @@ pub enum BackendKind {
     DesktopGlsl,
     /// OpenGL ES GLSL (`#version 310 es`), the paper's two phones.
     Gles,
+    /// SPIR-V-like textual assembly (structured, `%NNN` SSA ids) — what a
+    /// Vulkan driver consumes.
+    SpirvAsm,
+    /// Metal-Shading-Language-like text (`[[stage_in]]` structs, `fragment`
+    /// entry point) — what a Metal driver consumes.
+    Msl,
 }
 
 impl BackendKind {
-    /// Both backends, desktop first (the study's presentation order).
-    pub const ALL: [BackendKind; 2] = [BackendKind::DesktopGlsl, BackendKind::Gles];
+    /// Every backend, GLSL targets first (the study's presentation order).
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::DesktopGlsl,
+        BackendKind::Gles,
+        BackendKind::SpirvAsm,
+        BackendKind::Msl,
+    ];
+
+    /// Number of backends (the per-backend counter arrays in cache
+    /// statistics are this long).
+    pub const COUNT: usize = BackendKind::ALL.len();
+
+    /// This backend's position in [`BackendKind::ALL`] (per-backend counter
+    /// index).
+    pub fn index(self) -> usize {
+        match self {
+            BackendKind::DesktopGlsl => 0,
+            BackendKind::Gles => 1,
+            BackendKind::SpirvAsm => 2,
+            BackendKind::Msl => 3,
+        }
+    }
 
     /// Short lower-case label (used in records and reports).
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::DesktopGlsl => "desktop",
             BackendKind::Gles => "gles",
+            BackendKind::SpirvAsm => "spirv",
+            BackendKind::Msl => "msl",
         }
     }
 
@@ -42,12 +70,16 @@ impl BackendKind {
         BackendKind::ALL.into_iter().find(|b| b.name() == name)
     }
 
-    /// The `#version` string this backend writes (and a driver front-end
-    /// therefore reads back).
+    /// The source-form version token this backend stamps in its output and
+    /// the matching driver front-end therefore reads back: the `#version`
+    /// payload for the GLSL targets, the `; Version:` header for SPIR-V
+    /// assembly, the `metal_stdlib` signature for MSL.
     pub fn version(self) -> &'static str {
         match self {
             BackendKind::DesktopGlsl => "450",
             BackendKind::Gles => "310 es",
+            BackendKind::SpirvAsm => crate::spirv::SPIRV_VERSION,
+            BackendKind::Msl => crate::msl::MSL_VERSION,
         }
     }
 
@@ -56,6 +88,8 @@ impl BackendKind {
         match self {
             BackendKind::DesktopGlsl => &DesktopGlsl,
             BackendKind::Gles => &Gles,
+            BackendKind::SpirvAsm => &SpirvAsm,
+            BackendKind::Msl => &Msl,
         }
     }
 }
@@ -114,8 +148,43 @@ impl Backend for Gles {
                 version: BackendKind::Gles.version().to_string(),
                 emit_precision: true,
                 temp_names: TempNameStyle::SpirvCross,
+                ..EmitOptions::default()
             },
         )
+    }
+}
+
+/// SPIR-V-like textual assembly emission (structured `Op*` lines, SSA `%NNN`
+/// result ids by register index) — what the Vulkan-desktop platform's driver
+/// consumes. See [`crate::spirv`] for the grammar and the matching
+/// front-end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpirvAsm;
+
+impl Backend for SpirvAsm {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SpirvAsm
+    }
+
+    fn emit(&self, shader: &Shader) -> String {
+        crate::spirv::emit_spirv_asm(shader)
+    }
+}
+
+/// Metal-Shading-Language-like emission (`#include <metal_stdlib>`,
+/// `[[stage_in]]` interface struct, `fragment` entry point) — what the
+/// Apple-mobile platform's driver consumes. See [`crate::msl`] for the
+/// shape and the matching front-end transform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Msl;
+
+impl Backend for Msl {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Msl
+    }
+
+    fn emit(&self, shader: &Shader) -> String {
+        crate::msl::emit_msl(shader)
     }
 }
 
@@ -150,11 +219,15 @@ mod tests {
 
     #[test]
     fn kinds_round_trip_to_backends() {
-        for kind in BackendKind::ALL {
+        for (i, kind) in BackendKind::ALL.into_iter().enumerate() {
             assert_eq!(kind.backend().kind(), kind);
+            assert_eq!(kind.index(), i);
         }
+        assert_eq!(BackendKind::COUNT, 4);
         assert_eq!(BackendKind::DesktopGlsl.name(), "desktop");
         assert_eq!(BackendKind::Gles.version(), "310 es");
+        assert_eq!(BackendKind::SpirvAsm.version(), "spirv-1.0");
+        assert_eq!(BackendKind::Msl.version(), "metal");
         assert_eq!(format!("{}", BackendKind::Gles), "gles");
     }
 
@@ -163,7 +236,23 @@ mod tests {
         for kind in BackendKind::ALL {
             assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
         }
-        assert_eq!(BackendKind::from_name("spirv"), None);
+        assert_eq!(BackendKind::from_name("webgpu"), None);
+    }
+
+    #[test]
+    fn all_four_backends_emit_distinct_text_from_one_ir() {
+        let s = shader();
+        let texts: Vec<String> = BackendKind::ALL
+            .iter()
+            .map(|k| k.backend().emit(&s))
+            .collect();
+        for (i, a) in texts.iter().enumerate() {
+            for b in &texts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(texts[2].starts_with("; SPIR-V"));
+        assert!(texts[3].starts_with("#include <metal_stdlib>"));
     }
 
     #[test]

@@ -23,17 +23,39 @@ pub enum TempNameStyle {
     /// SPIRV-Cross style `_<id>` names by register index, mirroring the
     /// paper's glslang → SPIRV-Cross mobile conversion round trip.
     SpirvCross,
+    /// SPIR-V style SSA result ids (`%<id>`) by register index — the id
+    /// space of the [`SpirvAsm`](crate::backend::SpirvAsm) textual-assembly
+    /// backend, which has its own emitter. The C-like emitter here rejects
+    /// this style (`%101` is not a C identifier): passing it to
+    /// [`emit_glsl_with`] panics.
+    SpirvId,
+}
+
+/// The surface syntax the C-like emitter writes. GLSL and Metal Shading
+/// Language share statement and expression structure; they differ in type
+/// names, interface declarations, texture-sampling calls and a handful of
+/// intrinsic spellings — exactly the points this switch selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Syntax {
+    /// OpenGL (ES) Shading Language.
+    #[default]
+    Glsl,
+    /// Metal Shading Language (SPIRV-Cross flavoured: `main0`,
+    /// `[[stage_in]]` interface structs, `<name>Smplr` sampler arguments).
+    Msl,
 }
 
 /// Options controlling emission.
 #[derive(Debug, Clone)]
 pub struct EmitOptions {
-    /// `#version` line to emit.
+    /// `#version` line to emit (ignored by the MSL syntax, which has none).
     pub version: String,
     /// Emit `precision highp float;` (needed for OpenGL ES).
     pub emit_precision: bool,
     /// Temporary-naming scheme.
     pub temp_names: TempNameStyle,
+    /// Target surface syntax.
+    pub syntax: Syntax,
 }
 
 impl Default for EmitOptions {
@@ -42,16 +64,55 @@ impl Default for EmitOptions {
             version: "450".to_string(),
             emit_precision: false,
             temp_names: TempNameStyle::Hinted,
+            syntax: Syntax::Glsl,
         }
     }
 }
+
+/// Identifiers the MSL emission reserves beyond the shader's own interface:
+/// the interface struct instances and the MSL spellings a register name must
+/// not shadow.
+const MSL_RESERVED: &[&str] = &[
+    "in",
+    "out",
+    "main0",
+    "constant",
+    "device",
+    "sampler",
+    "fragment",
+    "metal",
+    "float2",
+    "float3",
+    "float4",
+    "float4x4",
+    "int2",
+    "int3",
+    "int4",
+    "uint2",
+    "uint3",
+    "uint4",
+    "bool2",
+    "bool3",
+    "bool4",
+    "fmod",
+    "rsqrt",
+    "dfdx",
+    "dfdy",
+    "discard_fragment",
+    "level",
+];
 
 /// Emits a complete GLSL fragment shader for `shader`.
 pub fn emit_glsl(shader: &Shader) -> String {
     emit_glsl_with(shader, &EmitOptions::default())
 }
 
-/// Emits GLSL with explicit [`EmitOptions`].
+/// Emits GLSL (or MSL, per [`EmitOptions::syntax`]) with explicit options.
+///
+/// # Panics
+///
+/// Panics on [`TempNameStyle::SpirvId`]: SPIR-V result ids are not C
+/// identifiers — that style belongs to the `SpirvAsm` backend's own emitter.
 pub fn emit_glsl_with(shader: &Shader, options: &EmitOptions) -> String {
     Emitter::new(shader, options).run()
 }
@@ -68,9 +129,13 @@ struct Emitter<'a> {
 
 impl<'a> Emitter<'a> {
     fn new(shader: &'a Shader, options: &'a EmitOptions) -> Self {
-        let namer = match options.temp_names {
-            TempNameStyle::Hinted => RegNamer::new(shader),
-            TempNameStyle::SpirvCross => RegNamer::spirv_cross(shader),
+        let namer = match (options.temp_names, options.syntax) {
+            (TempNameStyle::Hinted, Syntax::Glsl) => RegNamer::new(shader),
+            (TempNameStyle::Hinted, Syntax::Msl) => RegNamer::with_reserved(shader, MSL_RESERVED),
+            (TempNameStyle::SpirvCross, _) => RegNamer::spirv_cross(shader),
+            (TempNameStyle::SpirvId, _) => {
+                panic!("SPIR-V ids are not C identifiers; use the SpirvAsm backend")
+            }
         };
         Emitter {
             shader,
@@ -83,7 +148,14 @@ impl<'a> Emitter<'a> {
         }
     }
 
-    fn run(mut self) -> String {
+    fn run(self) -> String {
+        match self.options.syntax {
+            Syntax::Glsl => self.run_glsl(),
+            Syntax::Msl => self.run_msl(),
+        }
+    }
+
+    fn run_glsl(mut self) -> String {
         let _ = writeln!(self.out, "#version {}", self.options.version);
         if self.options.emit_precision {
             self.out.push_str("precision highp float;\n");
@@ -99,6 +171,36 @@ impl<'a> Emitter<'a> {
         self.indent = 0;
         self.out.push_str("}\n");
         self.out
+    }
+
+    fn run_msl(mut self) -> String {
+        self.out.push_str("#include <metal_stdlib>\n");
+        self.out.push_str("using namespace metal;\n\n");
+        self.emit_msl_interface_structs();
+        self.emit_const_arrays();
+        let params = self.msl_entry_params();
+        let _ = writeln!(
+            self.out,
+            "fragment main0_out main0({})\n{{",
+            params.join(", ")
+        );
+        self.indent = 1;
+        self.line("main0_out out = {};");
+        self.emit_predeclarations();
+        let body = self.shader.body.clone();
+        self.emit_body(&body);
+        self.line("return out;");
+        self.indent = 0;
+        self.out.push_str("}\n");
+        self.out
+    }
+
+    /// The target-syntax spelling of an IR value type.
+    fn ty_name(&self, ty: IrType) -> String {
+        match self.options.syntax {
+            Syntax::Glsl => ty.glsl_name(),
+            Syntax::Msl => msl_type_name(ty),
+        }
     }
 
     fn emit_interface(&mut self) {
@@ -117,20 +219,64 @@ impl<'a> Emitter<'a> {
             }
         }
         for s in &self.shader.samplers {
-            let ty = match s.dim {
-                TextureDim::Dim2D => "sampler2D",
-                TextureDim::Dim3D => "sampler3D",
-                TextureDim::Cube => "samplerCube",
-                TextureDim::Shadow2D => "sampler2DShadow",
-                TextureDim::Array2D => "sampler2DArray",
-            };
-            let _ = writeln!(self.out, "uniform {ty} {};", s.name);
+            let _ = writeln!(self.out, "uniform {} {};", glsl_sampler_name(s.dim), s.name);
         }
+    }
+
+    /// The `[[stage_in]]` / `[[color(n)]]` interface structs of the MSL form
+    /// (SPIRV-Cross's `main0_in` / `main0_out` shape).
+    fn emit_msl_interface_structs(&mut self) {
+        self.out.push_str("struct main0_in\n{\n");
+        for (i, v) in self.shader.inputs.iter().enumerate() {
+            let _ = writeln!(
+                self.out,
+                "    {} {} [[user(locn{i})]];",
+                msl_type_name(v.ty),
+                v.name
+            );
+        }
+        self.out.push_str("};\n\nstruct main0_out\n{\n");
+        for (i, v) in self.shader.outputs.iter().enumerate() {
+            let _ = writeln!(
+                self.out,
+                "    {} {} [[color({i})]];",
+                msl_type_name(v.ty),
+                v.name
+            );
+        }
+        self.out.push_str("};\n\n");
+    }
+
+    /// The entry-point parameter list of the MSL form: stage-in struct,
+    /// one `constant` argument per uniform declaration, one texture + one
+    /// `<name>Smplr` sampler per sampler binding.
+    fn msl_entry_params(&self) -> Vec<String> {
+        let mut params = vec!["main0_in in [[stage_in]]".to_string()];
+        let mut seen = HashSet::new();
+        let mut buffer = 0usize;
+        for u in &self.shader.uniforms {
+            if seen.insert(u.name.clone()) {
+                params.push(format!(
+                    "constant {} [[buffer({buffer})]]",
+                    msl_uniform_decl(&u.original, &u.name)
+                ));
+                buffer += 1;
+            }
+        }
+        for (i, s) in self.shader.samplers.iter().enumerate() {
+            params.push(format!(
+                "{}<float> {} [[texture({i})]]",
+                msl_texture_name(s.dim),
+                s.name
+            ));
+            params.push(format!("sampler {}Smplr [[sampler({i})]]", s.name));
+        }
+        params
     }
 
     fn emit_const_arrays(&mut self) {
         for arr in &self.shader.const_arrays {
-            let elem = arr.elem_ty.glsl_name();
+            let elem = self.ty_name(arr.elem_ty);
             let elems: Vec<String> = arr
                 .elements
                 .iter()
@@ -144,13 +290,28 @@ impl<'a> Emitter<'a> {
                     }
                 })
                 .collect();
-            let _ = writeln!(
-                self.out,
-                "const {elem} {}[{}] = {elem}[](\n    {}\n);",
-                arr.name,
-                arr.len(),
-                elems.join(",\n    ")
-            );
+            match self.options.syntax {
+                Syntax::Glsl => {
+                    let _ = writeln!(
+                        self.out,
+                        "const {elem} {}[{}] = {elem}[](\n    {}\n);",
+                        arr.name,
+                        arr.len(),
+                        elems.join(",\n    ")
+                    );
+                }
+                // One line so the MSL → GLSL front-end transform stays a
+                // line-local rewrite.
+                Syntax::Msl => {
+                    let _ = writeln!(
+                        self.out,
+                        "constant {elem} {}[{}] = {{ {} }};",
+                        arr.name,
+                        arr.len(),
+                        elems.join(", ")
+                    );
+                }
+            }
         }
     }
 
@@ -168,7 +329,7 @@ impl<'a> Emitter<'a> {
             if needs_predecl {
                 self.line(&format!(
                     "{} {};",
-                    info.ty.glsl_name(),
+                    self.ty_name(info.ty),
                     self.namer.name(reg)
                 ));
                 self.declared.insert(reg);
@@ -198,7 +359,11 @@ impl<'a> Emitter<'a> {
                 components,
                 value,
             } => {
-                let out_name = self.shader.outputs[*output].name.clone();
+                let name = &self.shader.outputs[*output].name;
+                let out_name = match self.options.syntax {
+                    Syntax::Glsl => name.clone(),
+                    Syntax::Msl => format!("out.{name}"),
+                };
                 let target = match components {
                     None => out_name,
                     Some(comps) => format!("{out_name}.{}", swizzle_string(comps)),
@@ -249,19 +414,25 @@ impl<'a> Emitter<'a> {
                 self.indent -= 1;
                 self.line("}");
             }
-            Stmt::Discard { cond } => match cond {
-                None => self.line("discard;"),
-                Some(c) => {
-                    let c = self.operand(c);
-                    self.line(&format!("if ({c}) {{ discard; }}"));
+            Stmt::Discard { cond } => {
+                let kill = match self.options.syntax {
+                    Syntax::Glsl => "discard;",
+                    Syntax::Msl => "discard_fragment();",
+                };
+                match cond {
+                    None => self.line(kill),
+                    Some(c) => {
+                        let c = self.operand(c);
+                        self.line(&format!("if ({c}) {{ {kill} }}"));
+                    }
                 }
-            },
+            }
         }
     }
 
     fn emit_def(&mut self, dst: Reg, op: &Op) {
         let name = self.namer.name(dst).to_string();
-        let ty = self.shader.reg_ty(dst).glsl_name();
+        let ty = self.ty_name(self.shader.reg_ty(dst));
 
         // Vector-component insertion emits as a component assignment rather
         // than an expression.
@@ -308,29 +479,53 @@ impl<'a> Emitter<'a> {
             Op::Unary(UnaryOp::Not, a) => format!("(!{})", self.operand(a)),
             Op::Intrinsic(i, args) => {
                 let parts: Vec<String> = args.iter().map(|a| self.operand(a)).collect();
-                format!("{}({})", i.glsl_name(), parts.join(", "))
+                let name = match self.options.syntax {
+                    Syntax::Glsl => i.glsl_name(),
+                    Syntax::Msl => msl_intrinsic_name(*i),
+                };
+                format!("{name}({})", parts.join(", "))
             }
             Op::TextureSample {
                 sampler,
                 coords,
                 lod,
-                dim: _,
+                dim,
             } => {
                 let s = &self.shader.samplers[*sampler].name;
-                match lod {
-                    Some(l) => format!(
-                        "textureLod({s}, {}, {})",
-                        self.operand(coords),
-                        self.operand(l)
-                    ),
-                    None => format!("texture({s}, {})", self.operand(coords)),
+                match self.options.syntax {
+                    Syntax::Glsl => match lod {
+                        Some(l) => format!(
+                            "textureLod({s}, {}, {})",
+                            self.operand(coords),
+                            self.operand(l)
+                        ),
+                        None => format!("texture({s}, {})", self.operand(coords)),
+                    },
+                    Syntax::Msl => {
+                        // Shadow textures compare rather than sample; the
+                        // (whole-coordinate) form keeps the transform back to
+                        // GLSL `texture(...)` a call-level rewrite.
+                        let method = if *dim == TextureDim::Shadow2D {
+                            "sample_compare"
+                        } else {
+                            "sample"
+                        };
+                        match lod {
+                            Some(l) => format!(
+                                "{s}.{method}({s}Smplr, {}, level({}))",
+                                self.operand(coords),
+                                self.operand(l)
+                            ),
+                            None => format!("{s}.{method}({s}Smplr, {})", self.operand(coords)),
+                        }
+                    }
                 }
             }
             Op::Construct { ty, parts } => {
                 let p: Vec<String> = parts.iter().map(|a| self.operand(a)).collect();
-                format!("{}({})", ty.glsl_name(), p.join(", "))
+                format!("{}({})", self.ty_name(*ty), p.join(", "))
             }
-            Op::Splat { ty, value } => format!("{}({})", ty.glsl_name(), self.operand(value)),
+            Op::Splat { ty, value } => format!("{}({})", self.ty_name(*ty), self.operand(value)),
             Op::Extract { vector, index } => {
                 format!("{}.{}", self.operand(vector), swizzle_string(&[*index]))
             }
@@ -353,7 +548,7 @@ impl<'a> Emitter<'a> {
                 format!("{}[{}]", arr.name, self.operand(index))
             }
             Op::Convert { to, value } => {
-                format!("{}({})", to.glsl_name(), self.operand(value))
+                format!("{}({})", self.ty_name(*to), self.operand(value))
             }
         }
     }
@@ -361,8 +556,17 @@ impl<'a> Emitter<'a> {
     fn operand(&self, operand: &Operand) -> String {
         match operand {
             Operand::Reg(r) => self.namer.name(*r).to_string(),
-            Operand::Const(c) => constant_text(c),
-            Operand::Input(i) => self.shader.inputs[*i].name.clone(),
+            Operand::Const(c) => match self.options.syntax {
+                Syntax::Glsl => constant_text(c),
+                Syntax::Msl => msl_constant_text(c),
+            },
+            Operand::Input(i) => {
+                let name = &self.shader.inputs[*i].name;
+                match self.options.syntax {
+                    Syntax::Glsl => name.clone(),
+                    Syntax::Msl => format!("in.{name}"),
+                }
+            }
             Operand::Uniform(u) => {
                 let u = &self.shader.uniforms[*u];
                 if uniform_needs_index(&u.original) {
@@ -391,6 +595,102 @@ fn constant_text(c: &Constant) -> String {
             let parts: Vec<String> = v.iter().map(|x| format_glsl_float(*x)).collect();
             format!("vec{}({})", v.len(), parts.join(", "))
         }
+    }
+}
+
+/// The GLSL sampler spelling of a texture dimensionality.
+pub(crate) fn glsl_sampler_name(dim: TextureDim) -> &'static str {
+    match dim {
+        TextureDim::Dim2D => "sampler2D",
+        TextureDim::Dim3D => "sampler3D",
+        TextureDim::Cube => "samplerCube",
+        TextureDim::Shadow2D => "sampler2DShadow",
+        TextureDim::Array2D => "sampler2DArray",
+    }
+}
+
+/// The MSL spelling of an IR value type (`vec4` → `float4`, …).
+pub(crate) fn msl_type_name(ty: IrType) -> String {
+    if ty.width == 1 {
+        ty.glsl_name()
+    } else {
+        let prefix = match ty.scalar {
+            prism_ir::types::Scalar::F32 => "float",
+            prism_ir::types::Scalar::I32 => "int",
+            prism_ir::types::Scalar::U32 => "uint",
+            prism_ir::types::Scalar::Bool => "bool",
+        };
+        format!("{prefix}{}", ty.width)
+    }
+}
+
+/// The MSL texture type of a sampler binding.
+pub(crate) fn msl_texture_name(dim: TextureDim) -> &'static str {
+    match dim {
+        TextureDim::Dim2D => "texture2d",
+        TextureDim::Dim3D => "texture3d",
+        TextureDim::Cube => "texturecube",
+        TextureDim::Shadow2D => "depth2d",
+        TextureDim::Array2D => "texture2d_array",
+    }
+}
+
+/// The MSL entry-point declaration of one uniform: matrices become
+/// `float4x4&` references, arrays stay arrays (prism's MSL-like subset), and
+/// plain scalars/vectors become references — all reversible to the original
+/// GLSL `uniform` declaration.
+fn msl_uniform_decl(original: &str, name: &str) -> String {
+    if let Some(bracket) = original.find('[') {
+        let (elem, dims) = original.split_at(bracket);
+        format!("{} {name}{dims}", msl_decl_type(elem))
+    } else {
+        format!("{}& {name}", msl_decl_type(original))
+    }
+}
+
+/// Maps a GLSL declaration type to its MSL spelling.
+fn msl_decl_type(glsl: &str) -> String {
+    match glsl {
+        "float" | "int" | "uint" | "bool" => glsl.to_string(),
+        "vec2" => "float2".into(),
+        "vec3" => "float3".into(),
+        "vec4" => "float4".into(),
+        "ivec2" => "int2".into(),
+        "ivec3" => "int3".into(),
+        "ivec4" => "int4".into(),
+        "uvec2" => "uint2".into(),
+        "uvec3" => "uint3".into(),
+        "uvec4" => "uint4".into(),
+        "bvec2" => "bool2".into(),
+        "bvec3" => "bool3".into(),
+        "bvec4" => "bool4".into(),
+        "mat2" => "float2x2".into(),
+        "mat3" => "float3x3".into(),
+        "mat4" => "float4x4".into(),
+        other => other.to_string(),
+    }
+}
+
+/// MSL spellings of the handful of intrinsics GLSL names differently.
+pub(crate) fn msl_intrinsic_name(i: prism_ir::op::Intrinsic) -> &'static str {
+    use prism_ir::op::Intrinsic;
+    match i {
+        Intrinsic::InverseSqrt => "rsqrt",
+        Intrinsic::Mod => "fmod",
+        Intrinsic::DFdx => "dfdx",
+        Intrinsic::DFdy => "dfdy",
+        other => other.glsl_name(),
+    }
+}
+
+/// MSL constant literals: identical to GLSL except vector constructors.
+fn msl_constant_text(c: &Constant) -> String {
+    match c {
+        Constant::FloatVec(v) => {
+            let parts: Vec<String> = v.iter().map(|x| format_glsl_float(*x)).collect();
+            format!("float{}({})", v.len(), parts.join(", "))
+        }
+        other => constant_text(other),
     }
 }
 

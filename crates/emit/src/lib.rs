@@ -8,24 +8,34 @@
 //! temporaries.
 //!
 //! Emission is organised around the [`Backend`](backend::Backend) trait — one
-//! IR, N source-text targets:
+//! IR, N source-text targets, all emitting straight from the IR with no
+//! intermediate shader clone:
 //!
 //! * [`DesktopGlsl`](backend::DesktopGlsl) writes `#version 450` GLSL with
-//!   name-hint temporaries for the three desktop drivers;
+//!   name-hint temporaries for the three desktop OpenGL drivers;
 //! * [`Gles`](backend::Gles) writes `#version 310 es` GLES with precision
 //!   qualifiers and SPIRV-Cross style `_NNN` temporaries for the two phones,
 //!   reproducing the paper's glslang → SPIRV-Cross conversion artefacts
-//!   (§III-C(d)) in a single emission pass straight from the IR.
+//!   (§III-C(d)) in a single emission pass;
+//! * [`SpirvAsm`](backend::SpirvAsm) writes structured SPIR-V-like textual
+//!   assembly (`OpEntryPoint` / `OpLoad` / `OpStore` lines, SSA `%NNN`
+//!   result ids, explicit result types) for the Vulkan-desktop platform —
+//!   [`spirv`] also hosts the matching front-end a driver parses it with;
+//! * [`Msl`](backend::Msl) writes Metal-Shading-Language-like text
+//!   (`#include <metal_stdlib>`, `[[stage_in]]` interface struct, `fragment`
+//!   entry point) for the Apple-mobile platform — [`msl`] hosts the
+//!   desugaring front-end transform.
 //!
 //! [`BackendKind`](backend::BackendKind) is the hashable identity of a
 //! backend; compile sessions memoise emitted text per (IR fingerprint,
-//! backend) and GPU platforms declare the kind their driver consumes. The
-//! free functions [`emit_glsl`] and [`emit_gles`] remain as conveniences for
-//! the common fixed-target cases.
+//! backend) and GPU platforms declare the kind their driver consumes.
+//! [`interface::source_interface`] runs any backend's consuming front-end
+//! over emitted text and extracts a normalised [`SourceInterface`] — the
+//! cross-backend generalisation of the old GLSL-only [`same_interface`].
 //!
 //! ```
 //! use prism_ir::prelude::*;
-//! use prism_emit::emit_glsl;
+//! use prism_emit::{emit_glsl, Backend, BackendKind};
 //!
 //! let mut s = Shader::new("doc");
 //! s.outputs.push(OutputVar { name: "color".into(), ty: IrType::fvec(4) });
@@ -36,13 +46,27 @@
 //! ];
 //! let glsl = emit_glsl(&s);
 //! assert!(glsl.contains("out vec4 color;"));
+//! // The same IR fans out to every target:
+//! let spirv = BackendKind::SpirvAsm.backend().emit(&s);
+//! assert!(spirv.starts_with("; SPIR-V"));
+//! let msl = BackendKind::Msl.backend().emit(&s);
+//! assert!(msl.starts_with("#include <metal_stdlib>"));
 //! ```
 
 pub mod backend;
 pub mod glsl_backend;
+pub mod interface;
 pub mod mobile;
+pub mod msl;
 pub mod names;
+pub mod spirv;
 
-pub use backend::{Backend, BackendKind, DesktopGlsl, Gles};
-pub use glsl_backend::{emit_glsl, emit_glsl_with, EmitOptions, TempNameStyle};
-pub use mobile::{emit_gles, same_interface};
+pub use backend::{Backend, BackendKind, DesktopGlsl, Gles, Msl, SpirvAsm};
+pub use glsl_backend::{emit_glsl, emit_glsl_with, EmitOptions, Syntax, TempNameStyle};
+pub use interface::{source_interface, SourceInterface};
+pub use mobile::same_interface;
+pub use msl::{emit_msl, msl_to_glsl};
+pub use spirv::{emit_spirv_asm, parse_spirv_asm, ParsedSpirv};
+
+#[allow(deprecated)]
+pub use mobile::emit_gles;

@@ -1,0 +1,461 @@
+//! Metal-Shading-Language-like emission and the matching front-end.
+//!
+//! The Apple platform consumes MSL the way SPIRV-Cross writes it: a
+//! `#include <metal_stdlib>` prelude, `main0_in` / `main0_out` interface
+//! structs carrying `[[stage_in]]` / `[[color(n)]]` attributes, a `fragment`
+//! entry point taking one `constant` argument per uniform and a
+//! texture + `<name>Smplr` sampler pair per binding. Statement and
+//! expression structure is shared with the GLSL emitter
+//! ([`Syntax::Msl`](crate::glsl_backend::Syntax)), so the MSL text is
+//! derived straight from the optimized IR with no shader clone — only the
+//! surface syntax differs.
+//!
+//! [`msl_to_glsl`] is the consuming front-end's first stage: because the
+//! emitted subset is GLSL with different spellings, the simulated Metal
+//! driver desugars the text back to GLSL (type names, `in.` / `out.`
+//! member accesses, `tex.sample(texSmplr, …)` calls, `discard_fragment()`)
+//! and runs the ordinary GLSL front-end + lowering over the result — so the
+//! Apple rows cost exactly the code their driver parsed, and interface
+//! checks run on a real parse rather than text heuristics.
+
+use crate::glsl_backend::{emit_glsl_with, EmitOptions, Syntax};
+use prism_ir::Shader;
+
+/// The source-form token the MSL front-end reports (MSL text carries no
+/// version directive; the `metal_stdlib` include is its signature).
+pub const MSL_VERSION: &str = "metal";
+
+/// Emits the complete MSL-like shader text.
+pub fn emit_msl(shader: &Shader) -> String {
+    emit_glsl_with(
+        shader,
+        &EmitOptions {
+            syntax: Syntax::Msl,
+            ..EmitOptions::default()
+        },
+    )
+}
+
+/// Desugars prism's MSL-like text back to the GLSL the rest of the driver
+/// pipeline consumes. Accepts exactly the shape [`emit_msl`] writes.
+///
+/// # Errors
+///
+/// Returns a message naming the offending construct when the text is not
+/// prism's MSL subset.
+pub fn msl_to_glsl(text: &str) -> Result<String, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("#include <metal_stdlib>") {
+        return Err("not MSL (missing `#include <metal_stdlib>`)".into());
+    }
+
+    let mut decls: Vec<String> = Vec::new();
+    let mut body: Vec<String> = Vec::new();
+    let mut in_struct: Option<&'static str> = None;
+    let mut in_body = false;
+    for line in lines {
+        let trimmed = line.trim();
+        if !in_body {
+            match trimmed {
+                "" | "using namespace metal;" | "{" => continue,
+                "struct main0_in" => {
+                    in_struct = Some("in");
+                    continue;
+                }
+                "struct main0_out" => {
+                    in_struct = Some("out");
+                    continue;
+                }
+                "};" => {
+                    in_struct = None;
+                    continue;
+                }
+                _ => {}
+            }
+            if let Some(storage) = in_struct {
+                decls.push(struct_member_to_decl(storage, trimmed)?);
+                continue;
+            }
+            if trimmed.starts_with("constant ") {
+                decls.push(const_array_to_glsl(trimmed)?);
+                continue;
+            }
+            if let Some(params) = trimmed
+                .strip_prefix("fragment main0_out main0(")
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                for param in split_top_level(params) {
+                    if let Some(decl) = param_to_decl(param.trim())? {
+                        decls.push(decl);
+                    }
+                }
+                in_body = true;
+                continue;
+            }
+            return Err(format!("unexpected MSL declaration `{trimmed}`"));
+        }
+        // Nested block closers are indented; only the column-0 brace closes
+        // the entry point.
+        if line == "}" {
+            break;
+        }
+        match trimmed {
+            "{" | "main0_out out = {};" | "return out;" => continue,
+            _ => {}
+        }
+        let indent = &line[..line.len() - line.trim_start().len()];
+        let rewritten = rewrite_tokens(&rewrite_sample_calls(line.trim_end())?);
+        body.push(format!("{indent}{}", rewritten.trim_start()));
+    }
+    if !in_body {
+        return Err("missing fragment entry point".into());
+    }
+
+    let mut glsl = String::new();
+    for decl in decls {
+        glsl.push_str(&decl);
+        glsl.push('\n');
+    }
+    glsl.push_str("void main()\n{\n");
+    for line in body {
+        glsl.push_str(&line);
+        glsl.push('\n');
+    }
+    glsl.push_str("}\n");
+    Ok(glsl)
+}
+
+/// `float2 uv [[user(locn0)]];` → `in vec2 uv;`
+fn struct_member_to_decl(storage: &str, member: &str) -> Result<String, String> {
+    let mut tokens = member.split_whitespace();
+    let ty = tokens
+        .next()
+        .ok_or_else(|| format!("empty struct member `{member}`"))?;
+    let name = tokens
+        .next()
+        .ok_or_else(|| format!("unnamed struct member `{member}`"))?
+        .trim_end_matches(';');
+    Ok(format!("{storage} {} {name};", rewrite_tokens(ty)))
+}
+
+/// One fragment-function parameter → the matching GLSL `uniform` declaration
+/// (or `None` for the stage-in struct and `Smplr` sampler arguments).
+fn param_to_decl(param: &str) -> Result<Option<String>, String> {
+    if param.starts_with("main0_in ") || param.starts_with("sampler ") {
+        return Ok(None);
+    }
+    let without_attr = match param.find("[[") {
+        Some(i) => param[..i].trim_end(),
+        None => param,
+    };
+    if let Some(rest) = without_attr.strip_prefix("constant ") {
+        // `float4& ambient` or `float4 lights[4]`.
+        let decl = rest.replace('&', "");
+        let mut tokens = decl.split_whitespace();
+        let ty = tokens
+            .next()
+            .ok_or_else(|| format!("missing uniform type in `{param}`"))?;
+        let name = tokens
+            .next()
+            .ok_or_else(|| format!("missing uniform name in `{param}`"))?;
+        return Ok(Some(format!("uniform {} {name};", rewrite_tokens(ty))));
+    }
+    if let Some(tex) = without_attr.split('<').next() {
+        let sampler = match tex {
+            "texture2d" => "sampler2D",
+            "texture3d" => "sampler3D",
+            "texturecube" => "samplerCube",
+            "depth2d" => "sampler2DShadow",
+            "texture2d_array" => "sampler2DArray",
+            _ => return Err(format!("unknown MSL parameter `{param}`")),
+        };
+        let name = without_attr
+            .split_whitespace()
+            .nth(1)
+            .ok_or_else(|| format!("missing texture name in `{param}`"))?;
+        return Ok(Some(format!("uniform {sampler} {name};")));
+    }
+    Err(format!("unknown MSL parameter `{param}`"))
+}
+
+/// `constant float4 weights[2] = { float4(…), … };` →
+/// `const vec4 weights[2] = vec4[](vec4(…), …);`
+fn const_array_to_glsl(line: &str) -> Result<String, String> {
+    let rest = line
+        .strip_prefix("constant ")
+        .ok_or_else(|| format!("not a constant array: `{line}`"))?;
+    let (head, init) = rest
+        .split_once("= {")
+        .ok_or_else(|| format!("constant without initialiser: `{line}`"))?;
+    let elems = init
+        .trim_end()
+        .strip_suffix("};")
+        .ok_or_else(|| format!("unterminated initialiser: `{line}`"))?
+        .trim();
+    let elem_ty = head
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| format!("missing element type: `{line}`"))?;
+    let glsl_ty = rewrite_tokens(elem_ty);
+    Ok(format!(
+        "const {glsl_ty} {}= {glsl_ty}[]({});",
+        rewrite_tokens(head.trim_start_matches(elem_ty).trim_start()),
+        rewrite_tokens(elems)
+    ))
+}
+
+/// Splits a parameter/argument list on top-level commas only. Angle
+/// brackets are deliberately not tracked: `<` is also the less-than
+/// operator inside (always-parenthesised) expressions, and no comma ever
+/// appears inside a `texture2d<float>` type argument.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Rewrites every `recv.sample(recvSmplr, …)` / `recv.sample_compare(…)`
+/// call back into GLSL `texture(recv, …)` / `textureLod(recv, …, lod)`.
+fn rewrite_sample_calls(line: &str) -> Result<String, String> {
+    let mut out = line.to_string();
+    loop {
+        let Some(found) = find_sample_call(&out) else {
+            return Ok(out);
+        };
+        let (recv_start, args_start, args_end) = found;
+        let recv = out[recv_start..]
+            .split('.')
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        let args_text = out[args_start..args_end].to_string();
+        let args = split_top_level(&args_text);
+        if args.first().map(|a| a.trim()) != Some(format!("{recv}Smplr").as_str()) {
+            return Err(format!("sample call without its sampler pair: `{line}`"));
+        }
+        let rest: Vec<&str> = args[1..].iter().map(|a| a.trim()).collect();
+        let call = match rest.as_slice() {
+            [coords] => format!("texture({recv}, {coords})"),
+            [coords, lod] if lod.starts_with("level(") && lod.ends_with(')') => {
+                format!(
+                    "textureLod({recv}, {coords}, {})",
+                    &lod["level(".len()..lod.len() - 1]
+                )
+            }
+            _ => return Err(format!("unsupported sample call shape: `{line}`")),
+        };
+        out.replace_range(recv_start..args_end + 1, &call);
+    }
+}
+
+/// Locates the next `.sample(` / `.sample_compare(` call: returns the
+/// receiver start, the argument-list start (after `(`) and the index of the
+/// matching close paren.
+fn find_sample_call(text: &str) -> Option<(usize, usize, usize)> {
+    for pattern in [".sample(", ".sample_compare("] {
+        if let Some(dot) = text.find(pattern) {
+            // Receiver identifier just before the dot.
+            let bytes = text.as_bytes();
+            let mut recv_start = dot;
+            while recv_start > 0
+                && (bytes[recv_start - 1].is_ascii_alphanumeric() || bytes[recv_start - 1] == b'_')
+            {
+                recv_start -= 1;
+            }
+            let args_start = dot + pattern.len();
+            let mut depth = 1usize;
+            for (offset, c) in text[args_start..].char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((recv_start, args_start, args_start + offset));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Token-level MSL → GLSL spelling map: type names, the differently-named
+/// intrinsics, `discard_fragment()` and `in.` / `out.` member accesses.
+fn rewrite_tokens(text: &str) -> String {
+    let text = text.replace("discard_fragment()", "discard");
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let ident = &text[start..i];
+            // `in.x` / `out.x` → bare interface variable reference.
+            if (ident == "in" || ident == "out") && bytes.get(i) == Some(&b'.') {
+                i += 1;
+                continue;
+            }
+            out.push_str(glsl_spelling(ident));
+            continue;
+        }
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+fn glsl_spelling(ident: &str) -> &str {
+    match ident {
+        "float2" => "vec2",
+        "float3" => "vec3",
+        "float4" => "vec4",
+        "float2x2" => "mat2",
+        "float3x3" => "mat3",
+        "float4x4" => "mat4",
+        "int2" => "ivec2",
+        "int3" => "ivec3",
+        "int4" => "ivec4",
+        "uint2" => "uvec2",
+        "uint3" => "uvec3",
+        "uint4" => "uvec4",
+        "bool2" => "bvec2",
+        "bool3" => "bvec3",
+        "bool4" => "bvec4",
+        "rsqrt" => "inversesqrt",
+        "fmod" => "mod",
+        "dfdx" => "dFdx",
+        "dfdy" => "dFdy",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_ir::prelude::*;
+
+    fn shader() -> Shader {
+        let mut s = Shader::new("msl-test");
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::fvec(2),
+        });
+        s.outputs.push(OutputVar {
+            name: "fragColor".into(),
+            ty: IrType::fvec(4),
+        });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
+        s.uniforms.push(UniformVar {
+            name: "ambient".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        let t = s.new_named_reg(IrType::fvec(4), "base");
+        let m = s.new_reg(IrType::fvec(4));
+        s.body = vec![
+            Stmt::Def {
+                dst: t,
+                op: Op::TextureSample {
+                    sampler: 0,
+                    coords: Operand::Input(0),
+                    lod: None,
+                    dim: TextureDim::Dim2D,
+                },
+            },
+            Stmt::Def {
+                dst: m,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(t), Operand::Uniform(0)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(m),
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn emission_is_msl_shaped() {
+        let msl = emit_msl(&shader());
+        assert!(msl.starts_with("#include <metal_stdlib>\nusing namespace metal;\n"));
+        assert!(msl.contains("struct main0_in"));
+        assert!(msl.contains("float2 uv [[user(locn0)]];"));
+        assert!(msl.contains("float4 fragColor [[color(0)]];"));
+        assert!(msl.contains("fragment main0_out main0(main0_in in [[stage_in]]"));
+        assert!(msl.contains("constant float4& ambient [[buffer(0)]]"));
+        assert!(msl.contains("texture2d<float> tex [[texture(0)]]"));
+        assert!(msl.contains("sampler texSmplr [[sampler(0)]]"));
+        assert!(msl.contains("float4 base = tex.sample(texSmplr, in.uv);"));
+        assert!(msl.contains("out.fragColor = "));
+        assert!(msl.contains("return out;"));
+    }
+
+    #[test]
+    fn desugared_msl_reparses_with_the_glsl_front_end() {
+        let msl = emit_msl(&shader());
+        let glsl = msl_to_glsl(&msl).expect("own emission desugars");
+        assert!(glsl.contains("in vec2 uv;"));
+        assert!(glsl.contains("uniform vec4 ambient;"));
+        assert!(glsl.contains("uniform sampler2D tex;"));
+        assert!(glsl.contains("vec4 base = texture(tex, uv);"));
+        let reparsed = prism_glsl::ShaderSource::preprocess_and_parse(&glsl, &Default::default());
+        assert!(reparsed.is_ok(), "desugared MSL failed to parse:\n{glsl}");
+    }
+
+    #[test]
+    fn member_access_rewrite_respects_identifier_boundaries() {
+        // `margin.x` must not lose its `in.`-lookalike infix.
+        assert_eq!(rewrite_tokens("margin.x + in.uv.x"), "margin.x + uv.x");
+        assert_eq!(
+            rewrite_tokens("out.fragColor.x = fmod(a, b);"),
+            "fragColor.x = mod(a, b);"
+        );
+        assert_eq!(rewrite_tokens("float4(rsqrt(x))"), "vec4(inversesqrt(x))");
+    }
+
+    #[test]
+    fn lod_and_nested_sample_calls_rewrite() {
+        let line = "float4 a = tex.sample(texSmplr, uv, level(0.0));";
+        assert_eq!(
+            rewrite_sample_calls(line).unwrap(),
+            "float4 a = textureLod(tex, uv, 0.0);"
+        );
+        let nested = "float4 b = tex.sample(texSmplr, tex.sample(texSmplr, uv).xy);";
+        assert_eq!(
+            rewrite_sample_calls(nested).unwrap(),
+            "float4 b = texture(tex, texture(tex, uv).xy);"
+        );
+    }
+
+    #[test]
+    fn non_msl_text_is_rejected() {
+        assert!(msl_to_glsl("#version 450\nvoid main() {}").is_err());
+    }
+}

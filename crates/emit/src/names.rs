@@ -23,7 +23,15 @@ impl RegNamer {
     /// Builds names for all registers in `shader`, avoiding collisions with
     /// interface variable names.
     pub fn new(shader: &Shader) -> RegNamer {
+        RegNamer::with_reserved(shader, &[])
+    }
+
+    /// Like [`RegNamer::new`], but additionally avoiding `reserved`
+    /// identifiers — target-language keywords the emitting dialect cannot use
+    /// as locals (e.g. `in`/`out`, the MSL interface struct instances).
+    pub fn with_reserved(shader: &Shader, reserved: &[&str]) -> RegNamer {
         let mut taken = interface_names(shader);
+        taken.extend(reserved.iter().map(|r| r.to_string()));
 
         // Registers in order of first appearance (definitions, loop variables
         // and uses), followed by any register never referenced in the body.
@@ -97,6 +105,18 @@ impl RegNamer {
             taken.insert(candidate.clone());
             names.insert(Reg(i as u32), candidate);
         }
+        RegNamer { names }
+    }
+
+    /// Builds SPIR-V style SSA result ids (`%<100 + index>`) for all
+    /// registers, by register index like [`RegNamer::spirv_cross`] — the id
+    /// space the [`SpirvAsm`](crate::backend::SpirvAsm) backend writes.
+    /// Interface globals use named ids (`%uv`), which can never collide with
+    /// the numeric register ids, so no avoidance set is needed.
+    pub fn spirv_ids(shader: &Shader) -> RegNamer {
+        let names = (0..shader.regs.len())
+            .map(|i| (Reg(i as u32), format!("%{}", 100 + i)))
+            .collect();
         RegNamer { names }
     }
 

@@ -1,0 +1,1485 @@
+//! SPIR-V-like textual assembly: emission and the matching front-end.
+//!
+//! The paper's desktop pipeline feeds drivers GLSL, but the modern form of
+//! the same experiment hands a Vulkan driver SPIR-V produced from the very
+//! same optimized IR. [`emit_spirv_asm`] writes a *textual, structured*
+//! SPIR-V-like assembly — `OpEntryPoint` / `OpLoad` / `OpStore`-style lines,
+//! SSA `%NNN` result ids by register index (the [`TempNameStyle::SpirvId`]
+//! id space), explicit result types on every instruction — in the layout
+//! `spirv-dis` prints. It is deliberately **not** a binary SPIR-V module
+//! (see ROADMAP: real binary encoding is the recorded follow-on): structured
+//! control flow keeps prism's counted loops as a `OpLoopMerge` +
+//! `OpLoopCounter` pair instead of φ-nodes, and interface declarations carry
+//! the original GLSL uniform spelling as a `;` comment so the external
+//! interface survives the round trip exactly.
+//!
+//! [`parse_spirv_asm`] is the consuming front-end (what the simulated Vulkan
+//! driver runs): it rebuilds a full [`Shader`] — interface, constants and
+//! structured body — from the text, so driver models cost the code the
+//! driver actually parsed, exactly as the GLSL platforms do.
+//!
+//! [`TempNameStyle::SpirvId`]: crate::glsl_backend::TempNameStyle
+
+use crate::names::RegNamer;
+use prism_ir::prelude::*;
+use prism_ir::types::Scalar;
+use prism_ir::value::format_glsl_float;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write;
+
+/// The version token the assembly header carries (and the parser reports as
+/// the source-form version the driver saw).
+pub const SPIRV_VERSION: &str = "spirv-1.0";
+
+/// Emits the complete SPIR-V-like assembly of a shader.
+pub fn emit_spirv_asm(shader: &Shader) -> String {
+    SpirvEmitter::new(shader).run()
+}
+
+struct SpirvEmitter<'a> {
+    shader: &'a Shader,
+    namer: RegNamer,
+    used_ids: HashSet<String>,
+    /// Interface / const-array ids, in declaration order.
+    input_ids: Vec<String>,
+    output_ids: Vec<String>,
+    /// One id per uniform *name* (grouped slots), plus each slot's flat base.
+    uniform_ids: Vec<(String, usize, usize)>,
+    sampler_ids: Vec<String>,
+    array_ids: Vec<String>,
+    /// Ids of the per-input / per-uniform-slot `OpLoad` results.
+    input_loads: Vec<String>,
+    uniform_loads: Vec<String>,
+    /// Constant lines in first-use order and their dedup map.
+    const_lines: Vec<String>,
+    const_ids: HashMap<String, String>,
+    label: usize,
+}
+
+impl<'a> SpirvEmitter<'a> {
+    fn new(shader: &'a Shader) -> Self {
+        let namer = RegNamer::spirv_ids(shader);
+        let mut used_ids: HashSet<String> = (0..shader.regs.len())
+            .map(|i| format!("%{}", 100 + i))
+            .collect();
+        used_ids.insert("%main".to_string());
+        used_ids.insert("%entry".to_string());
+        SpirvEmitter {
+            shader,
+            namer,
+            used_ids,
+            input_ids: Vec::new(),
+            output_ids: Vec::new(),
+            uniform_ids: Vec::new(),
+            sampler_ids: Vec::new(),
+            array_ids: Vec::new(),
+            input_loads: Vec::new(),
+            uniform_loads: Vec::new(),
+            const_lines: Vec::new(),
+            const_ids: HashMap::new(),
+            label: 0,
+        }
+    }
+
+    /// Allocates a not-yet-used id, suffixing on collision.
+    fn fresh(&mut self, base: &str) -> String {
+        let mut candidate = format!("%{base}");
+        let mut n = 0;
+        while self.used_ids.contains(&candidate) {
+            n += 1;
+            candidate = format!("%{base}_{n}");
+        }
+        self.used_ids.insert(candidate.clone());
+        candidate
+    }
+
+    fn run(mut self) -> String {
+        self.allocate_interface_ids();
+
+        // Body first (into a side buffer): it discovers the constants the
+        // global section above it must declare.
+        let mut body = String::new();
+        self.emit_loads(&mut body);
+        let stmts = self.shader.body.clone();
+        self.emit_body(&stmts, &mut body);
+
+        let mut out = String::new();
+        out.push_str("; SPIR-V\n; Version: 1.0\n; Generator: prism; 0\n; Schema: 0\n");
+        out.push_str("OpCapability Shader\n");
+        out.push_str("OpMemoryModel Logical GLSL450\n");
+        let mut entry_interface = String::new();
+        for id in self.input_ids.iter().chain(&self.output_ids) {
+            let _ = write!(entry_interface, " {id}");
+        }
+        let _ = writeln!(out, "OpEntryPoint Fragment %main \"main\"{entry_interface}");
+        out.push_str("OpExecutionMode %main OriginUpperLeft\n");
+        out.push_str("OpSource GLSL 450\n");
+        out.push_str("OpName %main \"main\"\n");
+        for (i, id) in self.input_ids.iter().enumerate() {
+            let _ = writeln!(out, "OpDecorate {id} Location {i}");
+        }
+        for (i, id) in self.output_ids.iter().enumerate() {
+            let _ = writeln!(out, "OpDecorate {id} Location {i}");
+        }
+        for (i, (id, _, _)) in self.uniform_ids.iter().enumerate() {
+            let _ = writeln!(out, "OpDecorate {id} Binding {i}");
+        }
+        for (i, id) in self.sampler_ids.iter().enumerate() {
+            let _ = writeln!(out, "OpDecorate {id} Binding {i}");
+        }
+        for (i, v) in self.shader.inputs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{} = OpVariable Input {}",
+                self.input_ids[i],
+                type_token(v.ty)
+            );
+        }
+        for (i, v) in self.shader.outputs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{} = OpVariable Output {}",
+                self.output_ids[i],
+                type_token(v.ty)
+            );
+        }
+        for (id, base, slots) in &self.uniform_ids {
+            let u = &self.shader.uniforms[*base];
+            let _ = writeln!(
+                out,
+                "{id} = OpVariable Uniform {} x{slots} ; {}",
+                type_token(u.ty),
+                u.original
+            );
+        }
+        for (i, s) in self.shader.samplers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{} = OpVariable UniformConstant {}",
+                self.sampler_ids[i],
+                crate::glsl_backend::glsl_sampler_name(s.dim)
+            );
+        }
+        for (i, arr) in self.shader.const_arrays.iter().enumerate() {
+            let elems: Vec<String> = arr
+                .elements
+                .iter()
+                .map(|lanes| {
+                    let parts: Vec<String> = lanes.iter().map(|v| format_glsl_float(*v)).collect();
+                    format!("({})", parts.join(" "))
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{} = OpConstantComposite {}[{}] {}",
+                self.array_ids[i],
+                type_token(arr.elem_ty),
+                arr.len(),
+                elems.join(" ")
+            );
+        }
+        for line in &self.const_lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("%main = OpFunction void None\n%entry = OpLabel\n");
+        out.push_str(&body);
+        out.push_str("OpReturn\nOpFunctionEnd\n");
+        out
+    }
+
+    fn allocate_interface_ids(&mut self) {
+        for i in 0..self.shader.inputs.len() {
+            let name = self.shader.inputs[i].name.clone();
+            let id = self.fresh(&name);
+            self.input_ids.push(id);
+        }
+        for i in 0..self.shader.outputs.len() {
+            let name = self.shader.outputs[i].name.clone();
+            let id = self.fresh(&name);
+            self.output_ids.push(id);
+        }
+        // Group uniform slots under one id per declaration, like the GLSL
+        // interface emission does.
+        let mut idx = 0;
+        while idx < self.shader.uniforms.len() {
+            let name = self.shader.uniforms[idx].name.clone();
+            let slots = self.shader.uniforms[idx..]
+                .iter()
+                .take_while(|u| u.name == name)
+                .count();
+            let id = self.fresh(&name);
+            self.uniform_ids.push((id, idx, slots));
+            idx += slots;
+        }
+        for i in 0..self.shader.samplers.len() {
+            let name = self.shader.samplers[i].name.clone();
+            let id = self.fresh(&name);
+            self.sampler_ids.push(id);
+        }
+        for i in 0..self.shader.const_arrays.len() {
+            let name = self.shader.const_arrays[i].name.clone();
+            let id = self.fresh(&name);
+            self.array_ids.push(id);
+        }
+    }
+
+    /// Every input and uniform slot is loaded once at function entry (the
+    /// assembly's stand-in for per-use access chains).
+    fn emit_loads(&mut self, buf: &mut String) {
+        for i in 0..self.shader.inputs.len() {
+            let id = self.fresh(&format!("in{i}"));
+            let _ = writeln!(
+                buf,
+                "{id} = OpLoad {} {}",
+                type_token(self.shader.inputs[i].ty),
+                self.input_ids[i]
+            );
+            self.input_loads.push(id);
+        }
+        let groups = self.uniform_ids.clone();
+        for (gid, base, slots) in &groups {
+            for slot in 0..*slots {
+                let flat = base + slot;
+                let id = self.fresh(&format!("u{flat}"));
+                let _ = writeln!(
+                    buf,
+                    "{id} = OpLoad {} {gid} {slot}",
+                    type_token(self.shader.uniforms[flat].ty)
+                );
+                self.uniform_loads.push(id);
+            }
+        }
+    }
+
+    fn operand(&mut self, operand: &Operand) -> String {
+        match operand {
+            Operand::Reg(r) => self.namer.name(*r).to_string(),
+            Operand::Input(i) => self.input_loads[*i].clone(),
+            Operand::Uniform(u) => self.uniform_loads[*u].clone(),
+            Operand::Const(c) => self.const_id(c),
+        }
+    }
+
+    fn const_id(&mut self, c: &Constant) -> String {
+        let key = c.key();
+        if let Some(id) = self.const_ids.get(&key) {
+            return id.clone();
+        }
+        let (base, line_tail) = match c {
+            Constant::Float(v) => (
+                format!("float_{}", mangle_number(&format_glsl_float(*v))),
+                format!("OpConstant float {}", format_glsl_float(*v)),
+            ),
+            Constant::Int(v) => (
+                format!("int_{}", mangle_number(&v.to_string())),
+                format!("OpConstant int {v}"),
+            ),
+            Constant::Uint(v) => (format!("uint_{v}"), format!("OpConstant uint {v}")),
+            Constant::Bool(true) => ("true".to_string(), "OpConstantTrue bool".to_string()),
+            Constant::Bool(false) => ("false".to_string(), "OpConstantFalse bool".to_string()),
+            Constant::FloatVec(v) => {
+                let parts: Vec<String> = v.iter().map(|x| format_glsl_float(*x)).collect();
+                (
+                    format!("cv{}", self.const_ids.len()),
+                    format!("OpConstantComposite v{}float {}", v.len(), parts.join(" ")),
+                )
+            }
+        };
+        let id = self.fresh(&base);
+        self.const_lines.push(format!("{id} = {line_tail}"));
+        self.const_ids.insert(key, id.clone());
+        id
+    }
+
+    /// The IR type of an operand (used to pick float/int/bool opcode forms).
+    fn operand_ty(&self, operand: &Operand) -> IrType {
+        match operand {
+            Operand::Reg(r) => self.shader.reg_ty(*r),
+            Operand::Const(c) => c.ty(),
+            Operand::Input(i) => self.shader.inputs[*i].ty,
+            Operand::Uniform(u) => self.shader.uniforms[*u].ty,
+        }
+    }
+
+    fn emit_body(&mut self, body: &[Stmt], buf: &mut String) {
+        for stmt in body {
+            self.emit_stmt(stmt, buf);
+        }
+    }
+
+    fn emit_stmt(&mut self, stmt: &Stmt, buf: &mut String) {
+        match stmt {
+            Stmt::Def { dst, op } => self.emit_def(*dst, op, buf),
+            Stmt::StoreOutput {
+                output,
+                components,
+                value,
+            } => {
+                let value = self.operand(value);
+                let target = self.output_ids[*output].clone();
+                match components {
+                    None => {
+                        let _ = writeln!(buf, "OpStore {target} {value}");
+                    }
+                    Some(comps) => {
+                        let _ = writeln!(buf, "OpStore {target} {value} {}", swizzle(comps));
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let n = self.label;
+                self.label += 1;
+                let cond = self.operand(cond);
+                let merge = format!("%merge{n}");
+                let then = format!("%then{n}");
+                let false_target = if else_body.is_empty() {
+                    merge.clone()
+                } else {
+                    format!("%else{n}")
+                };
+                let _ = writeln!(buf, "OpSelectionMerge {merge} None");
+                let _ = writeln!(buf, "OpBranchConditional {cond} {then} {false_target}");
+                let _ = writeln!(buf, "{then} = OpLabel");
+                self.emit_body(then_body, buf);
+                let _ = writeln!(buf, "OpBranch {merge}");
+                if !else_body.is_empty() {
+                    let _ = writeln!(buf, "{false_target} = OpLabel");
+                    self.emit_body(else_body, buf);
+                    let _ = writeln!(buf, "OpBranch {merge}");
+                }
+                let _ = writeln!(buf, "{merge} = OpLabel");
+            }
+            Stmt::Loop {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let n = self.label;
+                self.label += 1;
+                let header = format!("%header{n}");
+                let merge = format!("%merge{n}");
+                let cont = format!("%continue{n}");
+                let var_id = self.namer.name(*var).to_string();
+                let _ = writeln!(buf, "OpBranch {header}");
+                let _ = writeln!(buf, "{header} = OpLabel");
+                let _ = writeln!(buf, "OpLoopMerge {merge} {cont} None");
+                let _ = writeln!(buf, "{var_id} = OpLoopCounter int {start} {end} {step}");
+                self.emit_body(body, buf);
+                let _ = writeln!(buf, "{cont} = OpLabel");
+                let _ = writeln!(buf, "OpBranch {header}");
+                let _ = writeln!(buf, "{merge} = OpLabel");
+            }
+            Stmt::Discard { cond } => match cond {
+                None => buf.push_str("OpKill\n"),
+                Some(c) => {
+                    let n = self.label;
+                    self.label += 1;
+                    let cond = self.operand(c);
+                    let merge = format!("%merge{n}");
+                    let then = format!("%then{n}");
+                    let _ = writeln!(buf, "OpSelectionMerge {merge} None");
+                    let _ = writeln!(buf, "OpBranchConditional {cond} {then} {merge}");
+                    let _ = writeln!(buf, "{then} = OpLabel");
+                    buf.push_str("OpKill\nOpBranch ");
+                    buf.push_str(&merge);
+                    buf.push('\n');
+                    let _ = writeln!(buf, "{merge} = OpLabel");
+                }
+            },
+        }
+    }
+
+    fn emit_def(&mut self, dst: Reg, op: &Op, buf: &mut String) {
+        let id = self.namer.name(dst).to_string();
+        let ty = type_token(self.shader.reg_ty(dst));
+        let line = match op {
+            Op::Mov(a) => format!("OpCopyObject {ty} {}", self.operand(a)),
+            Op::Binary(b, x, y) => {
+                let kind = self.operand_ty(x).scalar;
+                format!(
+                    "{} {ty} {} {}",
+                    binary_opcode(*b, kind),
+                    self.operand(x),
+                    self.operand(y)
+                )
+            }
+            Op::Unary(UnaryOp::Neg, a) => {
+                let opcode = if self.operand_ty(a).is_float() {
+                    "OpFNegate"
+                } else {
+                    "OpSNegate"
+                };
+                format!("{opcode} {ty} {}", self.operand(a))
+            }
+            Op::Unary(UnaryOp::Not, a) => format!("OpLogicalNot {ty} {}", self.operand(a)),
+            Op::Intrinsic(i, args) => {
+                let parts: Vec<String> = args.iter().map(|a| self.operand(a)).collect();
+                match core_intrinsic_opcode(*i) {
+                    Some(core) => format!("{core} {ty} {}", parts.join(" ")),
+                    None => format!(
+                        "OpExtInst {ty} GLSL.std.450 {} {}",
+                        ext_inst_name(*i),
+                        parts.join(" ")
+                    ),
+                }
+            }
+            Op::TextureSample {
+                sampler,
+                coords,
+                lod,
+                dim: _,
+            } => {
+                let s = self.sampler_ids[*sampler].clone();
+                match lod {
+                    None => format!("OpImageSampleImplicitLod {ty} {s} {}", self.operand(coords)),
+                    Some(l) => format!(
+                        "OpImageSampleExplicitLod {ty} {s} {} Lod {}",
+                        self.operand(coords),
+                        self.operand(l)
+                    ),
+                }
+            }
+            Op::Construct { ty: _, parts } => {
+                let p: Vec<String> = parts.iter().map(|a| self.operand(a)).collect();
+                format!("OpCompositeConstruct {ty} {}", p.join(" "))
+            }
+            Op::Splat {
+                ty: splat_ty,
+                value,
+            } => {
+                let v = self.operand(value);
+                let parts = vec![v; splat_ty.width as usize];
+                format!("OpCompositeConstruct {ty} {}", parts.join(" "))
+            }
+            Op::Extract { vector, index } => {
+                format!("OpCompositeExtract {ty} {} {index}", self.operand(vector))
+            }
+            Op::Insert {
+                vector,
+                index,
+                value,
+            } => format!(
+                "OpCompositeInsert {ty} {} {} {index}",
+                self.operand(value),
+                self.operand(vector)
+            ),
+            Op::Swizzle { vector, lanes } => {
+                let v = self.operand(vector);
+                let lanes: Vec<String> = lanes.iter().map(|l| l.to_string()).collect();
+                format!("OpVectorShuffle {ty} {v} {v} {}", lanes.join(" "))
+            }
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => format!(
+                "OpSelect {ty} {} {} {}",
+                self.operand(cond),
+                self.operand(if_true),
+                self.operand(if_false)
+            ),
+            Op::ConstArrayLoad { array, index } => {
+                let index = self.operand(index);
+                format!("OpAccessChain {ty} {} {index}", self.array_ids[*array])
+            }
+            Op::Convert { to, value } => {
+                let from = self.operand_ty(value).scalar;
+                format!(
+                    "{} {ty} {}",
+                    convert_opcode(from, to.scalar),
+                    self.operand(value)
+                )
+            }
+        };
+        let _ = writeln!(buf, "{id} = {line}");
+    }
+}
+
+/// The assembly spelling of an IR type (`v4float`, `float`, `int`, …).
+fn type_token(ty: IrType) -> String {
+    let scalar = match ty.scalar {
+        Scalar::F32 => "float",
+        Scalar::I32 => "int",
+        Scalar::U32 => "uint",
+        Scalar::Bool => "bool",
+    };
+    if ty.width == 1 {
+        scalar.to_string()
+    } else {
+        format!("v{}{scalar}", ty.width)
+    }
+}
+
+fn parse_type_token(token: &str) -> Option<IrType> {
+    let (width, scalar) = if let Some(rest) = token.strip_prefix('v') {
+        let mut chars = rest.chars();
+        let width = chars.next()?.to_digit(10)? as u8;
+        (width, chars.as_str())
+    } else {
+        (1, token)
+    };
+    let scalar = match scalar {
+        "float" => Scalar::F32,
+        "int" => Scalar::I32,
+        "uint" => Scalar::U32,
+        "bool" => Scalar::Bool,
+        _ => return None,
+    };
+    if (1..=4).contains(&width) {
+        Some(IrType { scalar, width })
+    } else {
+        None
+    }
+}
+
+/// Turns a numeric literal into an id-safe fragment (`0.25` → `0_25`,
+/// `-3` → `n3`).
+fn mangle_number(text: &str) -> String {
+    text.chars()
+        .map(|c| match c {
+            '.' => '_',
+            '-' => 'n',
+            '+' => 'p',
+            other => other,
+        })
+        .collect()
+}
+
+fn binary_opcode(op: BinaryOp, kind: Scalar) -> &'static str {
+    use BinaryOp::*;
+    match (op, kind) {
+        (Add, Scalar::F32) => "OpFAdd",
+        (Add, _) => "OpIAdd",
+        (Sub, Scalar::F32) => "OpFSub",
+        (Sub, _) => "OpISub",
+        (Mul, Scalar::F32) => "OpFMul",
+        (Mul, _) => "OpIMul",
+        (Div, Scalar::F32) => "OpFDiv",
+        (Div, Scalar::U32) => "OpUDiv",
+        (Div, _) => "OpSDiv",
+        (Mod, Scalar::F32) => "OpFMod",
+        (Mod, Scalar::U32) => "OpUMod",
+        (Mod, _) => "OpSMod",
+        (Eq, Scalar::F32) => "OpFOrdEqual",
+        (Eq, Scalar::Bool) => "OpLogicalEqual",
+        (Eq, _) => "OpIEqual",
+        (Ne, Scalar::F32) => "OpFOrdNotEqual",
+        (Ne, Scalar::Bool) => "OpLogicalNotEqual",
+        (Ne, _) => "OpINotEqual",
+        (Lt, Scalar::F32) => "OpFOrdLessThan",
+        (Lt, Scalar::U32) => "OpULessThan",
+        (Lt, _) => "OpSLessThan",
+        (Le, Scalar::F32) => "OpFOrdLessThanEqual",
+        (Le, Scalar::U32) => "OpULessThanEqual",
+        (Le, _) => "OpSLessThanEqual",
+        (Gt, Scalar::F32) => "OpFOrdGreaterThan",
+        (Gt, Scalar::U32) => "OpUGreaterThan",
+        (Gt, _) => "OpSGreaterThan",
+        (Ge, Scalar::F32) => "OpFOrdGreaterThanEqual",
+        (Ge, Scalar::U32) => "OpUGreaterThanEqual",
+        (Ge, _) => "OpSGreaterThanEqual",
+        (And, _) => "OpLogicalAnd",
+        (Or, _) => "OpLogicalOr",
+    }
+}
+
+fn parse_binary_opcode(opcode: &str) -> Option<BinaryOp> {
+    Some(match opcode {
+        "OpFAdd" | "OpIAdd" => BinaryOp::Add,
+        "OpFSub" | "OpISub" => BinaryOp::Sub,
+        "OpFMul" | "OpIMul" => BinaryOp::Mul,
+        "OpFDiv" | "OpSDiv" | "OpUDiv" => BinaryOp::Div,
+        "OpFMod" | "OpSMod" | "OpUMod" => BinaryOp::Mod,
+        "OpFOrdEqual" | "OpIEqual" | "OpLogicalEqual" => BinaryOp::Eq,
+        "OpFOrdNotEqual" | "OpINotEqual" | "OpLogicalNotEqual" => BinaryOp::Ne,
+        "OpFOrdLessThan" | "OpSLessThan" | "OpULessThan" => BinaryOp::Lt,
+        "OpFOrdLessThanEqual" | "OpSLessThanEqual" | "OpULessThanEqual" => BinaryOp::Le,
+        "OpFOrdGreaterThan" | "OpSGreaterThan" | "OpUGreaterThan" => BinaryOp::Gt,
+        "OpFOrdGreaterThanEqual" | "OpSGreaterThanEqual" | "OpUGreaterThanEqual" => BinaryOp::Ge,
+        "OpLogicalAnd" => BinaryOp::And,
+        "OpLogicalOr" => BinaryOp::Or,
+        _ => return None,
+    })
+}
+
+/// Intrinsics that are core SPIR-V instructions rather than
+/// `GLSL.std.450` extended ones.
+fn core_intrinsic_opcode(i: Intrinsic) -> Option<&'static str> {
+    Some(match i {
+        Intrinsic::Dot => "OpDot",
+        Intrinsic::DFdx => "OpDPdx",
+        Intrinsic::DFdy => "OpDPdy",
+        Intrinsic::Fwidth => "OpFwidth",
+        _ => return None,
+    })
+}
+
+fn parse_core_intrinsic(opcode: &str) -> Option<Intrinsic> {
+    Some(match opcode {
+        "OpDot" => Intrinsic::Dot,
+        "OpDPdx" => Intrinsic::DFdx,
+        "OpDPdy" => Intrinsic::DFdy,
+        "OpFwidth" => Intrinsic::Fwidth,
+        _ => return None,
+    })
+}
+
+/// `GLSL.std.450` spellings of the extended-instruction intrinsics.
+fn ext_inst_name(i: Intrinsic) -> &'static str {
+    use Intrinsic::*;
+    match i {
+        Pow => "Pow",
+        Exp => "Exp",
+        Log => "Log",
+        Sqrt => "Sqrt",
+        InverseSqrt => "InverseSqrt",
+        Sin => "Sin",
+        Cos => "Cos",
+        Abs => "FAbs",
+        Sign => "FSign",
+        Floor => "Floor",
+        Fract => "Fract",
+        Mod => "FMod",
+        Min => "FMin",
+        Max => "FMax",
+        Clamp => "FClamp",
+        Mix => "FMix",
+        Step => "Step",
+        Smoothstep => "SmoothStep",
+        Length => "Length",
+        Distance => "Distance",
+        Dot | DFdx | DFdy | Fwidth => unreachable!("core instructions"),
+        Cross => "Cross",
+        Normalize => "Normalize",
+        Reflect => "Reflect",
+        Refract => "Refract",
+    }
+}
+
+fn parse_ext_inst_name(name: &str) -> Option<Intrinsic> {
+    use Intrinsic::*;
+    Some(match name {
+        "Pow" => Pow,
+        "Exp" => Exp,
+        "Log" => Log,
+        "Sqrt" => Sqrt,
+        "InverseSqrt" => InverseSqrt,
+        "Sin" => Sin,
+        "Cos" => Cos,
+        "FAbs" => Abs,
+        "FSign" => Sign,
+        "Floor" => Floor,
+        "Fract" => Fract,
+        "FMod" => Mod,
+        "FMin" => Min,
+        "FMax" => Max,
+        "FClamp" => Clamp,
+        "FMix" => Mix,
+        "Step" => Step,
+        "SmoothStep" => Smoothstep,
+        "Length" => Length,
+        "Distance" => Distance,
+        "Cross" => Cross,
+        "Normalize" => Normalize,
+        "Reflect" => Reflect,
+        "Refract" => Refract,
+        _ => return None,
+    })
+}
+
+fn convert_opcode(from: Scalar, to: Scalar) -> &'static str {
+    match (from, to) {
+        (Scalar::F32, Scalar::I32) => "OpConvertFToS",
+        (Scalar::F32, Scalar::U32) => "OpConvertFToU",
+        (Scalar::I32, Scalar::F32) => "OpConvertSToF",
+        (Scalar::U32, Scalar::F32) => "OpConvertUToF",
+        _ => "OpBitcast",
+    }
+}
+
+fn swizzle(comps: &[u8]) -> String {
+    comps
+        .iter()
+        .map(|c| "xyzw".chars().nth(*c as usize).unwrap_or('x'))
+        .collect()
+}
+
+fn parse_swizzle(text: &str) -> Result<Vec<u8>, String> {
+    text.chars()
+        .map(|c| match c {
+            'x' => Ok(0u8),
+            'y' => Ok(1),
+            'z' => Ok(2),
+            'w' => Ok(3),
+            other => Err(format!("invalid swizzle component `{other}`")),
+        })
+        .collect()
+}
+
+/// The result of parsing SPIR-V-like assembly: the reconstructed shader plus
+/// the source-form version token the header declared.
+#[derive(Debug, Clone)]
+pub struct ParsedSpirv {
+    /// The reconstructed IR (interface + structured body).
+    pub shader: Shader,
+    /// The version the front-end saw (e.g. `"spirv-1.0"`).
+    pub version: String,
+}
+
+/// Parses prism's SPIR-V-like assembly back into a [`Shader`].
+///
+/// This is the front-end the simulated Vulkan driver runs over submitted
+/// text. It accepts exactly the grammar [`emit_spirv_asm`] writes and
+/// reports anything else as an error — a driver never guesses.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when the text is not valid
+/// prism SPIR-V-like assembly.
+pub fn parse_spirv_asm(text: &str) -> Result<ParsedSpirv, String> {
+    Parser::new(text).run()
+}
+
+#[derive(Default)]
+struct Parser<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+    shader: Shader,
+    version: String,
+    /// id → operand (constants, loads, instruction results).
+    operands: HashMap<String, Operand>,
+    /// id → interface tables.
+    outputs: HashMap<String, usize>,
+    inputs: HashMap<String, usize>,
+    /// uniform group id → (flat base slot, slot count).
+    uniforms: HashMap<String, (usize, usize)>,
+    samplers: HashMap<String, usize>,
+    arrays: HashMap<String, usize>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            lines: text.lines().map(str::trim).collect(),
+            shader: Shader::new("spirv-asm"),
+            ..Parser::default()
+        }
+    }
+
+    fn run(mut self) -> Result<ParsedSpirv, String> {
+        if self.lines.first() != Some(&"; SPIR-V") {
+            return Err("not prism SPIR-V-like assembly (missing `; SPIR-V` header)".into());
+        }
+        self.parse_globals()?;
+        let body = self.parse_block(&[])?;
+        self.shader.body = body;
+        self.expect("OpFunctionEnd")?;
+        Ok(ParsedSpirv {
+            shader: self.shader,
+            version: self.version,
+        })
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let line = self.peek()?;
+        self.pos += 1;
+        Some(line)
+    }
+
+    fn expect(&mut self, what: &str) -> Result<(), String> {
+        match self.next() {
+            Some(line) if line == what => Ok(()),
+            other => Err(format!("expected `{what}`, got {other:?}")),
+        }
+    }
+
+    /// Everything up to and including `%entry = OpLabel` plus the prelude
+    /// loads: header comments, interface variables, constants.
+    fn parse_globals(&mut self) -> Result<(), String> {
+        while let Some(line) = self.next() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(version) = line.strip_prefix("; Version: ") {
+                self.version = format!("spirv-{}", version.trim());
+                continue;
+            }
+            if line.starts_with(';') {
+                continue;
+            }
+            // Directive lines without a result id are ignored metadata here.
+            if !line.starts_with('%') {
+                continue;
+            }
+            let (id, rest) = split_def(line)?;
+            let mut tokens = rest.split_whitespace();
+            let opcode = tokens.next().ok_or_else(|| format!("empty def: {line}"))?;
+            match opcode {
+                "OpVariable" => self.parse_variable(id, rest)?,
+                "OpConstant" => {
+                    let ty = self.type_arg(tokens.next(), line)?;
+                    let literal = tokens
+                        .next()
+                        .ok_or_else(|| format!("missing literal: {line}"))?;
+                    let constant = match ty.scalar {
+                        Scalar::F32 => {
+                            Constant::Float(literal.parse().map_err(|e| format!("{line}: {e}"))?)
+                        }
+                        Scalar::I32 => {
+                            Constant::Int(literal.parse().map_err(|e| format!("{line}: {e}"))?)
+                        }
+                        Scalar::U32 => {
+                            Constant::Uint(literal.parse().map_err(|e| format!("{line}: {e}"))?)
+                        }
+                        Scalar::Bool => return Err(format!("bool OpConstant: {line}")),
+                    };
+                    self.operands
+                        .insert(id.to_string(), Operand::Const(constant));
+                }
+                "OpConstantTrue" => {
+                    self.operands.insert(id.to_string(), Operand::boolean(true));
+                }
+                "OpConstantFalse" => {
+                    self.operands
+                        .insert(id.to_string(), Operand::boolean(false));
+                }
+                "OpConstantComposite" => {
+                    let ty_token = tokens
+                        .next()
+                        .ok_or_else(|| format!("missing type: {line}"))?;
+                    if let Some(bracket) = ty_token.find('[') {
+                        // A constant array: `v4float[9] (..) (..) ...`.
+                        self.parse_const_array(id, &ty_token[..bracket], rest)?;
+                    } else {
+                        let lanes: Result<Vec<f64>, String> = tokens
+                            .map(|t| t.parse().map_err(|e| format!("{line}: {e}")))
+                            .collect();
+                        self.operands.insert(id.to_string(), Operand::fvec(lanes?));
+                    }
+                }
+                "OpFunction" => {
+                    self.expect("%entry = OpLabel")?;
+                    self.parse_loads()?;
+                    return Ok(());
+                }
+                other => return Err(format!("unexpected global opcode `{other}`: {line}")),
+            }
+        }
+        Err("missing OpFunction".into())
+    }
+
+    fn parse_variable(&mut self, id: &str, rest: &str) -> Result<(), String> {
+        // `OpVariable <Storage> <type> [x<slots>] [; original]`
+        let (decl, comment) = match rest.split_once(" ; ") {
+            Some((decl, comment)) => (decl, Some(comment.trim())),
+            None => (rest, None),
+        };
+        let mut tokens = decl.split_whitespace();
+        tokens.next(); // OpVariable
+        let storage = tokens
+            .next()
+            .ok_or_else(|| format!("missing storage class: {rest}"))?;
+        let ty_token = tokens
+            .next()
+            .ok_or_else(|| format!("missing type: {rest}"))?;
+        let name = id.trim_start_matches('%').to_string();
+        match storage {
+            "Input" => {
+                let ty = self.type_arg(Some(ty_token), rest)?;
+                self.inputs.insert(id.to_string(), self.shader.inputs.len());
+                self.shader.inputs.push(InputVar { name, ty });
+            }
+            "Output" => {
+                let ty = self.type_arg(Some(ty_token), rest)?;
+                self.outputs
+                    .insert(id.to_string(), self.shader.outputs.len());
+                self.shader.outputs.push(OutputVar { name, ty });
+            }
+            "Uniform" => {
+                let ty = self.type_arg(Some(ty_token), rest)?;
+                let slots: usize = match tokens.next() {
+                    Some(x) if x.starts_with('x') => {
+                        x[1..].parse().map_err(|e| format!("{rest}: {e}"))?
+                    }
+                    _ => 1,
+                };
+                let original = comment
+                    .ok_or_else(|| format!("uniform without original declaration: {rest}"))?
+                    .to_string();
+                let base = self.shader.uniforms.len();
+                self.uniforms.insert(id.to_string(), (base, slots));
+                for slot in 0..slots {
+                    self.shader.uniforms.push(UniformVar {
+                        name: name.clone(),
+                        ty,
+                        slot,
+                        original: original.clone(),
+                    });
+                }
+            }
+            "UniformConstant" => {
+                let dim = match ty_token {
+                    "sampler2D" => TextureDim::Dim2D,
+                    "sampler3D" => TextureDim::Dim3D,
+                    "samplerCube" => TextureDim::Cube,
+                    "sampler2DShadow" => TextureDim::Shadow2D,
+                    "sampler2DArray" => TextureDim::Array2D,
+                    other => return Err(format!("unknown sampler type `{other}`")),
+                };
+                self.samplers
+                    .insert(id.to_string(), self.shader.samplers.len());
+                self.shader.samplers.push(SamplerVar { name, dim });
+            }
+            other => return Err(format!("unknown storage class `{other}`: {rest}")),
+        }
+        Ok(())
+    }
+
+    fn parse_const_array(&mut self, id: &str, elem_token: &str, rest: &str) -> Result<(), String> {
+        let elem_ty =
+            parse_type_token(elem_token).ok_or_else(|| format!("bad element type: {rest}"))?;
+        let mut elements = Vec::new();
+        let mut cursor = rest;
+        while let Some(open) = cursor.find('(') {
+            let close = cursor[open..]
+                .find(')')
+                .ok_or_else(|| format!("unclosed element: {rest}"))?
+                + open;
+            let lanes: Result<Vec<f64>, String> = cursor[open + 1..close]
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|e| format!("{rest}: {e}")))
+                .collect();
+            elements.push(lanes?);
+            cursor = &cursor[close + 1..];
+        }
+        self.arrays
+            .insert(id.to_string(), self.shader.const_arrays.len());
+        self.shader.const_arrays.push(ConstArray {
+            name: id.trim_start_matches('%').to_string(),
+            elem_ty,
+            elements,
+        });
+        Ok(())
+    }
+
+    /// The function-entry loads mapping interface ids to operand ids.
+    fn parse_loads(&mut self) -> Result<(), String> {
+        while let Some(line) = self.peek() {
+            if !(line.starts_with('%') && line.contains("= OpLoad ")) {
+                return Ok(());
+            }
+            self.next();
+            let (id, rest) = split_def(line)?;
+            let mut tokens = rest.split_whitespace();
+            tokens.next(); // OpLoad
+            tokens.next(); // result type (implied by the variable)
+            let source = tokens
+                .next()
+                .ok_or_else(|| format!("missing source: {line}"))?;
+            let operand = if let Some(input) = self.inputs.get(source) {
+                Operand::Input(*input)
+            } else if let Some((base, slots)) = self.uniforms.get(source) {
+                let slot: usize = match tokens.next() {
+                    Some(t) => t.parse().map_err(|e| format!("{line}: {e}"))?,
+                    None => 0,
+                };
+                if slot >= *slots {
+                    return Err(format!("uniform slot out of range: {line}"));
+                }
+                Operand::Uniform(base + slot)
+            } else {
+                return Err(format!("OpLoad of unknown variable `{source}`"));
+            };
+            self.operands.insert(id.to_string(), operand);
+        }
+        Ok(())
+    }
+
+    fn operand(&self, token: &str, line: &str) -> Result<Operand, String> {
+        self.operands
+            .get(token)
+            .cloned()
+            .ok_or_else(|| format!("unknown id `{token}` in `{line}`"))
+    }
+
+    fn type_arg(&self, token: Option<&str>, line: &str) -> Result<IrType, String> {
+        token
+            .and_then(parse_type_token)
+            .ok_or_else(|| format!("bad type token in `{line}`"))
+    }
+
+    /// Parses statements until a label in `stop` (which is consumed) or
+    /// a function terminator (`OpReturn`, left unconsumed for the caller).
+    fn parse_block(&mut self, stop: &[&str]) -> Result<Vec<Stmt>, String> {
+        let mut body = Vec::new();
+        loop {
+            let Some(line) = self.peek() else {
+                return Err("unterminated block".into());
+            };
+            if line == "OpReturn" {
+                if stop.is_empty() {
+                    self.next();
+                    return Ok(body);
+                }
+                return Err("OpReturn inside structured block".into());
+            }
+            if let Some((label, rest)) = line.split_once(" = ") {
+                if rest == "OpLabel" && stop.contains(&label) {
+                    self.next();
+                    return Ok(body);
+                }
+            }
+            self.next();
+            if line.starts_with("OpBranch ") {
+                // Block terminators inside structured constructs; the
+                // structure itself is driven by the labels.
+                continue;
+            }
+            if line == "OpKill" {
+                body.push(Stmt::Discard { cond: None });
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("OpStore ") {
+                let mut tokens = rest.split_whitespace();
+                let target = tokens
+                    .next()
+                    .ok_or_else(|| format!("missing store target: {line}"))?;
+                let value = tokens
+                    .next()
+                    .ok_or_else(|| format!("missing store value: {line}"))?;
+                let output = *self
+                    .outputs
+                    .get(target)
+                    .ok_or_else(|| format!("store to unknown output `{target}`"))?;
+                let components = match tokens.next() {
+                    None => None,
+                    Some(swz) => Some(parse_swizzle(swz)?),
+                };
+                body.push(Stmt::StoreOutput {
+                    output,
+                    components,
+                    value: self.operand(value, line)?,
+                });
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("OpSelectionMerge ") {
+                let merge = rest
+                    .split_whitespace()
+                    .next()
+                    .ok_or_else(|| format!("missing merge label: {line}"))?;
+                body.push(self.parse_selection(merge)?);
+                continue;
+            }
+            if line.starts_with("OpLoopMerge ") {
+                body.push(self.parse_loop(line)?);
+                continue;
+            }
+            if line.contains(" = ") {
+                if line.ends_with("= OpLabel") {
+                    // Loop headers arrive via OpBranch; their label line is
+                    // consumed here and the next line is OpLoopMerge.
+                    continue;
+                }
+                let stmt = self.parse_def(line)?;
+                body.push(stmt);
+                continue;
+            }
+            return Err(format!("unexpected instruction `{line}`"));
+        }
+    }
+
+    fn parse_selection(&mut self, merge: &str) -> Result<Stmt, String> {
+        let branch = self
+            .next()
+            .ok_or_else(|| "missing OpBranchConditional".to_string())?;
+        let rest = branch
+            .strip_prefix("OpBranchConditional ")
+            .ok_or_else(|| format!("expected OpBranchConditional, got `{branch}`"))?;
+        let mut tokens = rest.split_whitespace();
+        let cond = tokens
+            .next()
+            .ok_or_else(|| format!("missing condition: {branch}"))?;
+        let then_label = tokens
+            .next()
+            .ok_or_else(|| format!("missing true label: {branch}"))?;
+        let false_label = tokens
+            .next()
+            .ok_or_else(|| format!("missing false label: {branch}"))?;
+        let cond = self.operand(cond, branch)?;
+        self.expect(&format!("{then_label} = OpLabel"))?;
+        let has_else = false_label != merge;
+        let then_body = if has_else {
+            self.parse_block(&[false_label])?
+        } else {
+            self.parse_block(&[merge])?
+        };
+        let else_body = if has_else {
+            self.parse_block(&[merge])?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn parse_loop(&mut self, merge_line: &str) -> Result<Stmt, String> {
+        // `OpLoopMerge %merge %continue None`, then the counter definition.
+        let mut tokens = merge_line.split_whitespace();
+        tokens.next(); // OpLoopMerge
+        let merge = tokens
+            .next()
+            .ok_or_else(|| format!("missing merge label: {merge_line}"))?;
+        let cont = tokens
+            .next()
+            .ok_or_else(|| format!("missing continue label: {merge_line}"))?;
+        let counter = self
+            .next()
+            .ok_or_else(|| "missing OpLoopCounter".to_string())?;
+        let (id, rest) = split_def(counter)?;
+        let mut tokens = rest.split_whitespace();
+        if tokens.next() != Some("OpLoopCounter") {
+            return Err(format!("expected OpLoopCounter, got `{counter}`"));
+        }
+        let ty = self.type_arg(tokens.next(), counter)?;
+        let parse_int = |t: Option<&str>| -> Result<i64, String> {
+            t.ok_or_else(|| format!("missing bound: {counter}"))?
+                .parse()
+                .map_err(|e| format!("{counter}: {e}"))
+        };
+        let start = parse_int(tokens.next())?;
+        let end = parse_int(tokens.next())?;
+        let step = parse_int(tokens.next())?;
+        let var = self.reg_for(id, ty);
+        let body = self.parse_block(&[cont])?;
+        // The header label shares the continue label's sequence number
+        // (`%continueN` ↔ `%headerN`); anything else is not our grammar.
+        let sequence = cont
+            .strip_prefix("%continue")
+            .ok_or_else(|| format!("malformed continue label `{cont}`"))?;
+        self.expect(&format!("OpBranch %header{sequence}"))?;
+        self.expect(&format!("{merge} = OpLabel"))?;
+        Ok(Stmt::Loop {
+            var,
+            start,
+            end,
+            step,
+            body,
+        })
+    }
+
+    fn parse_def(&mut self, line: &str) -> Result<Stmt, String> {
+        let (id, rest) = split_def(line)?;
+        let mut tokens = rest.split_whitespace();
+        let opcode = tokens
+            .next()
+            .ok_or_else(|| format!("empty instruction: {line}"))?;
+        let ty = self.type_arg(tokens.next(), line)?;
+        let args: Vec<&str> = tokens.collect();
+        let arg = |i: usize| -> Result<&str, String> {
+            args.get(i)
+                .copied()
+                .ok_or_else(|| format!("missing operand {i}: {line}"))
+        };
+        let op = match opcode {
+            "OpCopyObject" => Op::Mov(self.operand(arg(0)?, line)?),
+            "OpFNegate" | "OpSNegate" => Op::Unary(UnaryOp::Neg, self.operand(arg(0)?, line)?),
+            "OpLogicalNot" => Op::Unary(UnaryOp::Not, self.operand(arg(0)?, line)?),
+            "OpSelect" => Op::Select {
+                cond: self.operand(arg(0)?, line)?,
+                if_true: self.operand(arg(1)?, line)?,
+                if_false: self.operand(arg(2)?, line)?,
+            },
+            "OpCompositeExtract" => Op::Extract {
+                vector: self.operand(arg(0)?, line)?,
+                index: arg(1)?.parse().map_err(|e| format!("{line}: {e}"))?,
+            },
+            "OpCompositeInsert" => Op::Insert {
+                value: self.operand(arg(0)?, line)?,
+                vector: self.operand(arg(1)?, line)?,
+                index: arg(2)?.parse().map_err(|e| format!("{line}: {e}"))?,
+            },
+            "OpVectorShuffle" => {
+                let vector = self.operand(arg(0)?, line)?;
+                let second = self.operand(arg(1)?, line)?;
+                if vector != second {
+                    return Err(format!("two-source shuffle unsupported: {line}"));
+                }
+                let lanes: Result<Vec<u8>, String> = args[2..]
+                    .iter()
+                    .map(|t| t.parse().map_err(|e| format!("{line}: {e}")))
+                    .collect();
+                Op::Swizzle {
+                    vector,
+                    lanes: lanes?,
+                }
+            }
+            "OpCompositeConstruct" => {
+                let parts: Result<Vec<Operand>, String> =
+                    args.iter().map(|t| self.operand(t, line)).collect();
+                let parts = parts?;
+                let splat = ty.width > 1
+                    && parts.len() == ty.width as usize
+                    && parts.windows(2).all(|w| w[0] == w[1]);
+                if splat {
+                    Op::Splat {
+                        ty,
+                        value: parts[0].clone(),
+                    }
+                } else {
+                    Op::Construct { ty, parts }
+                }
+            }
+            "OpAccessChain" => {
+                let array = *self
+                    .arrays
+                    .get(arg(0)?)
+                    .ok_or_else(|| format!("unknown constant array: {line}"))?;
+                Op::ConstArrayLoad {
+                    array,
+                    index: self.operand(arg(1)?, line)?,
+                }
+            }
+            "OpImageSampleImplicitLod" | "OpImageSampleExplicitLod" => {
+                let sampler = *self
+                    .samplers
+                    .get(arg(0)?)
+                    .ok_or_else(|| format!("unknown sampler: {line}"))?;
+                let coords = self.operand(arg(1)?, line)?;
+                let lod = if opcode == "OpImageSampleExplicitLod" {
+                    if arg(2)? != "Lod" {
+                        return Err(format!("expected Lod operand: {line}"));
+                    }
+                    Some(self.operand(arg(3)?, line)?)
+                } else {
+                    None
+                };
+                Op::TextureSample {
+                    sampler,
+                    coords,
+                    lod,
+                    dim: self.shader.samplers[sampler].dim,
+                }
+            }
+            "OpExtInst" => {
+                if arg(0)? != "GLSL.std.450" {
+                    return Err(format!("unknown extended instruction set: {line}"));
+                }
+                let intrinsic = parse_ext_inst_name(arg(1)?)
+                    .ok_or_else(|| format!("unknown extended instruction: {line}"))?;
+                let operands: Result<Vec<Operand>, String> =
+                    args[2..].iter().map(|t| self.operand(t, line)).collect();
+                Op::Intrinsic(intrinsic, operands?)
+            }
+            "OpConvertFToS" | "OpConvertFToU" | "OpConvertSToF" | "OpConvertUToF" | "OpBitcast" => {
+                Op::Convert {
+                    to: ty,
+                    value: self.operand(arg(0)?, line)?,
+                }
+            }
+            other => {
+                if let Some(intrinsic) = parse_core_intrinsic(other) {
+                    let operands: Result<Vec<Operand>, String> =
+                        args.iter().map(|t| self.operand(t, line)).collect();
+                    Op::Intrinsic(intrinsic, operands?)
+                } else if let Some(binary) = parse_binary_opcode(other) {
+                    Op::Binary(
+                        binary,
+                        self.operand(arg(0)?, line)?,
+                        self.operand(arg(1)?, line)?,
+                    )
+                } else {
+                    return Err(format!("unknown opcode `{other}`: {line}"));
+                }
+            }
+        };
+        let dst = self.reg_for(id, ty);
+        Ok(Stmt::Def { dst, op })
+    }
+
+    /// The register behind a result id. Emitted ids are per *register*, not
+    /// per definition — the IR is not strictly SSA (accumulators redefine
+    /// their register inside loops) — so a repeated id must resolve to the
+    /// one register it always named.
+    fn reg_for(&mut self, id: &str, ty: IrType) -> Reg {
+        if let Some(Operand::Reg(r)) = self.operands.get(id) {
+            return *r;
+        }
+        let reg = self.shader.new_reg(ty);
+        self.operands.insert(id.to_string(), Operand::Reg(reg));
+        reg
+    }
+}
+
+/// Splits `%id = <rest>`, rejecting lines without a result id.
+fn split_def(line: &str) -> Result<(&str, &str), String> {
+    let (id, rest) = line
+        .split_once(" = ")
+        .ok_or_else(|| format!("expected `<id> = <instruction>`: {line}"))?;
+    if !id.starts_with('%') {
+        return Err(format!("result id must start with `%`: {line}"));
+    }
+    Ok((id, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_ir::verify::verify;
+
+    fn shader() -> Shader {
+        let mut s = Shader::new("spirv-test");
+        s.inputs.push(InputVar {
+            name: "uv".into(),
+            ty: IrType::fvec(2),
+        });
+        s.outputs.push(OutputVar {
+            name: "fragColor".into(),
+            ty: IrType::fvec(4),
+        });
+        s.samplers.push(SamplerVar {
+            name: "tex".into(),
+            dim: TextureDim::Dim2D,
+        });
+        s.uniforms.push(UniformVar {
+            name: "ambient".into(),
+            ty: IrType::fvec(4),
+            slot: 0,
+            original: "vec4".into(),
+        });
+        s.const_arrays.push(ConstArray {
+            name: "weights".into(),
+            elem_ty: IrType::fvec(4),
+            elements: vec![vec![0.1, 0.1, 0.1, 0.1], vec![0.2, 0.2, 0.2, 0.2]],
+        });
+        let i = s.new_named_reg(IrType::I32, "i");
+        let acc = s.new_reg(IrType::fvec(4));
+        let w = s.new_reg(IrType::fvec(4));
+        let t = s.new_reg(IrType::fvec(4));
+        let sum = s.new_reg(IrType::fvec(4));
+        s.body = vec![
+            Stmt::Def {
+                dst: acc,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::Loop {
+                var: i,
+                start: 0,
+                end: 2,
+                step: 1,
+                body: vec![
+                    Stmt::Def {
+                        dst: w,
+                        op: Op::ConstArrayLoad {
+                            array: 0,
+                            index: Operand::Reg(i),
+                        },
+                    },
+                    Stmt::Def {
+                        dst: t,
+                        op: Op::TextureSample {
+                            sampler: 0,
+                            coords: Operand::Input(0),
+                            lod: None,
+                            dim: TextureDim::Dim2D,
+                        },
+                    },
+                    Stmt::Def {
+                        dst: acc,
+                        op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(t)),
+                    },
+                ],
+            },
+            Stmt::If {
+                cond: Operand::boolean(false),
+                then_body: vec![Stmt::Discard { cond: None }],
+                else_body: vec![],
+            },
+            Stmt::Def {
+                dst: sum,
+                op: Op::Binary(BinaryOp::Mul, Operand::Reg(acc), Operand::Uniform(0)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(sum),
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn emission_is_spirv_shaped() {
+        let asm = emit_spirv_asm(&shader());
+        assert!(asm.starts_with("; SPIR-V\n; Version: 1.0\n"));
+        assert!(asm.contains("OpEntryPoint Fragment %main \"main\" %uv %fragColor"));
+        assert!(asm.contains("%uv = OpVariable Input v2float"));
+        assert!(asm.contains("%ambient = OpVariable Uniform v4float x1 ; vec4"));
+        assert!(asm.contains("%tex = OpVariable UniformConstant sampler2D"));
+        assert!(asm.contains("OpImageSampleImplicitLod v4float %tex"));
+        assert!(asm.contains("OpLoopMerge %merge0 %continue0 None"));
+        assert!(asm.contains("OpStore %fragColor"));
+        assert!(asm.contains("%100 ="), "SSA ids by register index:\n{asm}");
+        assert!(asm.trim_end().ends_with("OpFunctionEnd"));
+    }
+
+    #[test]
+    fn parse_reconstructs_interface_and_structure() {
+        let s = shader();
+        let asm = emit_spirv_asm(&s);
+        let parsed = parse_spirv_asm(&asm).expect("own emission parses");
+        assert_eq!(parsed.version, SPIRV_VERSION);
+        let p = &parsed.shader;
+        assert_eq!(p.inputs, s.inputs);
+        assert_eq!(p.outputs, s.outputs);
+        assert_eq!(p.uniforms, s.uniforms);
+        assert_eq!(p.samplers, s.samplers);
+        assert_eq!(p.const_arrays, s.const_arrays);
+        assert_eq!(p.loop_count(), 1);
+        assert_eq!(p.branch_count(), 1);
+        assert_eq!(p.texture_op_count(), 1);
+        verify(p).expect("parsed IR verifies");
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let s = shader();
+        assert_eq!(emit_spirv_asm(&s), emit_spirv_asm(&s));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_a_reason() {
+        assert!(parse_spirv_asm("void main() {}").is_err());
+        let asm = emit_spirv_asm(&shader());
+        let truncated = &asm[..asm.len() / 2];
+        assert!(parse_spirv_asm(truncated).is_err());
+    }
+
+    #[test]
+    fn foreign_loop_labels_error_instead_of_panicking() {
+        // Hand-written (non-prism) assembly may use arbitrary merge /
+        // continue labels; a label shorter than `%continue` used to slice
+        // out of bounds. A driver must report, never crash.
+        let asm = emit_spirv_asm(&shader())
+            .replace("%continue0", "%x")
+            .replace("%header0", "%h");
+        let err = parse_spirv_asm(&asm).expect_err("foreign labels rejected");
+        assert!(err.contains("continue label"), "{err}");
+    }
+}

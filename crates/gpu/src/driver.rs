@@ -57,6 +57,12 @@ impl DriverModel {
     ///   division folding only.
     /// * **Qualcomm** (Adreno) — canonicalisation and small-branch
     ///   if-conversion; no internal unrolling, keeps division as issued.
+    /// * **RADV** (Mesa Vulkan, 2017) — young NIR stack: value-numbers and
+    ///   if-converts, but no loop unrolling yet and keeps division as
+    ///   issued (same silicon as AMD-GL, different compiler personality).
+    /// * **Apple** (Metal, 2016) — LLVM-based: solid scalar optimization
+    ///   (GVN, if-conversion, constant-division folding) but no
+    ///   source-level loop restructuring at AIR build time.
     pub fn preset(vendor: Vendor) -> DriverModel {
         match vendor {
             Vendor::Nvidia => DriverModel {
@@ -99,6 +105,22 @@ impl DriverModel {
                 div_to_mul: false,
                 coalesce: false,
             },
+            Vendor::Radv => DriverModel {
+                vendor,
+                unroll_trip_limit: 0,
+                gvn: true,
+                hoist_limit: 3,
+                div_to_mul: false,
+                coalesce: true,
+            },
+            Vendor::Apple => DriverModel {
+                vendor,
+                unroll_trip_limit: 0,
+                gvn: true,
+                hoist_limit: 2,
+                div_to_mul: true,
+                coalesce: true,
+            },
         }
     }
 
@@ -122,7 +144,22 @@ impl DriverModel {
         source: &ShaderSource,
         name: &str,
     ) -> Result<Shader, CompileError> {
-        let mut ir = lower(source, name)?;
+        let ir = lower(source, name)?;
+        self.compile_ir(ir, name)
+    }
+
+    /// The back half of driver compilation: the vendor's internal passes
+    /// over IR that has already been produced by a front-end. The GLSL
+    /// platforms arrive here through [`lower`]; the SPIR-V platform's
+    /// front-end ([`prism_emit::parse_spirv_asm`]) produces IR directly and
+    /// enters here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Verify`] if the IR is (or a pass makes it)
+    /// structurally invalid.
+    pub fn compile_ir(&self, mut ir: Shader, name: &str) -> Result<Shader, CompileError> {
+        ir.name = name.to_string();
         let passes = self.internal_passes();
         for _ in 0..2 {
             let mut changed = false;

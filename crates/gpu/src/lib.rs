@@ -1,14 +1,18 @@
-//! # prism-gpu — the five-vendor GPU substrate
+//! # prism-gpu — the seven-vendor GPU substrate
 //!
 //! The paper measures real GPUs; this crate provides the simulated substitute
-//! (see DESIGN.md §1): for each of the five platforms — Intel HD 530, AMD
-//! RX 480, NVIDIA GTX 1080, ARM Mali-T880 and Qualcomm Adreno 530 — a
-//! [`Platform`] bundles
+//! (see DESIGN.md §1): for each of the seven platforms — the paper's five
+//! (Intel HD 530, AMD RX 480, NVIDIA GTX 1080, ARM Mali-T880, Qualcomm
+//! Adreno 530) plus the RX 480 again behind Mesa's Vulkan driver (RADV,
+//! consuming SPIR-V assembly) and an Apple A9 behind Metal (consuming MSL) —
+//! a [`Platform`] bundles
 //!
 //! * a [`DriverModel`](driver::DriverModel): the vendor JIT compiler, which
-//!   re-parses incoming GLSL and applies the conformant optimizations that
-//!   driver is known to perform (this is what decides whether an *offline*
-//!   optimization still has an effect on that platform),
+//!   re-parses incoming source text with the front-end matching the
+//!   platform's declared emission backend (GLSL, SPIR-V assembly or MSL) and
+//!   applies the conformant optimizations that driver is known to perform
+//!   (this is what decides whether an *offline* optimization still has an
+//!   effect on that platform),
 //! * a [`DeviceSpec`](vendor::DeviceSpec): the architecture model (scalar vs.
 //!   vec4 ALUs, texture throughput, register budget, occupancy behaviour,
 //!   timer-query noise),

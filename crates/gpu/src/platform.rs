@@ -35,9 +35,13 @@ pub struct ShaderCost {
     pub cost: FragmentCost,
     /// Noise-free time for one frame, in nanoseconds.
     pub ideal_frame_ns: f64,
-    /// The `#version` directive the driver front-end actually saw in the
-    /// submitted text (empty when the source carried none) — end-to-end
-    /// evidence of which emission backend's output reached this platform.
+    /// The source-form version token the driver front-end actually saw in
+    /// the submitted text (empty when the source carried none): the
+    /// `#version` payload for GLSL drivers (`"450"`, `"310 es"`), the
+    /// `; Version:` header for the SPIR-V driver (`"spirv-1.0"`), the
+    /// `metal_stdlib` signature for the Metal driver (`"metal"`) —
+    /// end-to-end evidence of which emission backend's output reached this
+    /// platform.
     pub source_version: String,
 }
 
@@ -64,25 +68,54 @@ impl Platform {
     }
 
     /// The emission backend whose text this platform's driver consumes
-    /// (GLES for the phones, desktop GLSL otherwise).
+    /// (GLES for the GLES phones, SPIR-V assembly for the Vulkan desktop,
+    /// MSL for the Metal phone, desktop GLSL otherwise).
     pub fn backend(&self) -> BackendKind {
         self.vendor().backend()
     }
 
     /// Submits shader text to the driver and evaluates the hardware cost
-    /// model. The returned cost records the `#version` the driver saw, so
+    /// model. The text is parsed by the front-end matching this platform's
+    /// declared [backend](Platform::backend) — a GLSL parse, the SPIR-V
+    /// assembly parser, or the MSL desugaring + GLSL parse — and the
+    /// returned cost records the source-form version the driver saw, so
     /// callers can verify the right backend's text reached this platform.
     ///
     /// # Errors
     ///
-    /// Returns a [`CompileError`] if the driver front-end rejects the source.
-    pub fn submit(&self, glsl: &str, name: &str) -> Result<ShaderCost, CompileError> {
-        let source = ShaderSource::preprocess_and_parse(glsl, &Default::default())
-            .map_err(CompileError::Front)?;
-        let driver_ir = self.driver.compile_source(&source, name)?;
-        let mut cost = self.cost_of_ir(driver_ir);
-        cost.source_version = source.version.unwrap_or_default();
-        Ok(cost)
+    /// Returns a [`CompileError`] if the driver front-end rejects the
+    /// source — including text in the wrong source form for this platform
+    /// (a Vulkan driver does not guess at GLSL).
+    pub fn submit(&self, text: &str, name: &str) -> Result<ShaderCost, CompileError> {
+        let foreign = |e: String| {
+            CompileError::Front(prism_glsl::GlslError::new(prism_glsl::Stage::Parse, e))
+        };
+        match self.backend() {
+            BackendKind::DesktopGlsl | BackendKind::Gles => {
+                let source = ShaderSource::preprocess_and_parse(text, &Default::default())
+                    .map_err(CompileError::Front)?;
+                let driver_ir = self.driver.compile_source(&source, name)?;
+                let mut cost = self.cost_of_ir(driver_ir);
+                cost.source_version = source.version.unwrap_or_default();
+                Ok(cost)
+            }
+            BackendKind::SpirvAsm => {
+                let parsed = prism_emit::parse_spirv_asm(text).map_err(foreign)?;
+                let driver_ir = self.driver.compile_ir(parsed.shader, name)?;
+                let mut cost = self.cost_of_ir(driver_ir);
+                cost.source_version = parsed.version;
+                Ok(cost)
+            }
+            BackendKind::Msl => {
+                let glsl = prism_emit::msl_to_glsl(text).map_err(foreign)?;
+                let source = ShaderSource::preprocess_and_parse(&glsl, &Default::default())
+                    .map_err(CompileError::Front)?;
+                let driver_ir = self.driver.compile_source(&source, name)?;
+                let mut cost = self.cost_of_ir(driver_ir);
+                cost.source_version = BackendKind::Msl.version().to_string();
+                Ok(cost)
+            }
+        }
     }
 
     /// Evaluates the hardware model on already driver-compiled IR.
@@ -139,21 +172,37 @@ mod tests {
         }
     "#;
 
+    /// The blur session most platform tests draw per-backend texts from.
+    fn blur_session() -> prism_core::CompileSession {
+        let source = prism_glsl::ShaderSource::parse(BLUR).unwrap();
+        prism_core::CompileSession::new(&source, "blur").unwrap()
+    }
+
+    /// The text a platform's driver consumes for one flag combination.
+    fn text_for(
+        session: &prism_core::CompileSession,
+        platform: &Platform,
+        flags: prism_core::OptFlags,
+    ) -> String {
+        (*session.text_for(flags, platform.backend()).unwrap()).clone()
+    }
+
     #[test]
-    fn five_platforms_exist() {
+    fn seven_platforms_exist() {
         let all = Platform::all();
-        assert_eq!(all.len(), 5);
+        assert_eq!(all.len(), 7);
         assert_eq!(all[0].vendor(), Vendor::Intel);
-        assert!(all.iter().filter(|p| p.vendor().is_mobile()).count() == 2);
+        assert_eq!(all.iter().filter(|p| p.vendor().is_mobile()).count(), 3);
     }
 
     #[test]
     fn platforms_declare_the_backend_their_driver_consumes() {
         for platform in Platform::all() {
-            let expected = if platform.vendor().is_mobile() {
-                BackendKind::Gles
-            } else {
-                BackendKind::DesktopGlsl
+            let expected = match platform.vendor() {
+                Vendor::Arm | Vendor::Qualcomm => BackendKind::Gles,
+                Vendor::Radv => BackendKind::SpirvAsm,
+                Vendor::Apple => BackendKind::Msl,
+                _ => BackendKind::DesktopGlsl,
             };
             assert_eq!(platform.backend(), expected, "{}", platform.vendor());
         }
@@ -169,14 +218,45 @@ mod tests {
         assert_eq!(es.source_version, "310 es");
         // The version header changes nothing about the modelled cost.
         assert_eq!(es.ideal_frame_ns, bare.ideal_frame_ns);
+
+        // The non-GLSL front-ends report their own source forms.
+        let session = blur_session();
+        let radv = Platform::new(Vendor::Radv);
+        let spirv = radv
+            .submit(&session.base_text_for(BackendKind::SpirvAsm), "blur")
+            .unwrap();
+        assert_eq!(spirv.source_version, "spirv-1.0");
+        let apple = Platform::new(Vendor::Apple);
+        let msl = apple
+            .submit(&session.base_text_for(BackendKind::Msl), "blur")
+            .unwrap();
+        assert_eq!(msl.source_version, "metal");
+    }
+
+    #[test]
+    fn drivers_reject_text_in_the_wrong_source_form() {
+        // A Vulkan driver does not guess at GLSL, and vice versa.
+        assert!(Platform::new(Vendor::Radv).submit(BLUR, "blur").is_err());
+        assert!(Platform::new(Vendor::Apple).submit(BLUR, "blur").is_err());
+        let session = blur_session();
+        let spirv = session.base_text_for(BackendKind::SpirvAsm);
+        assert!(Platform::new(Vendor::Intel).submit(&spirv, "blur").is_err());
     }
 
     #[test]
     fn submit_compiles_and_costs_a_real_shader() {
+        let session = blur_session();
         for platform in Platform::all() {
-            let cost = platform
-                .submit(BLUR, "blur")
-                .expect("blur compiles everywhere");
+            // Each platform receives the source form its driver consumes;
+            // the desktops take the corpus text as-is.
+            let base_text;
+            let text: &str = if platform.backend() == BackendKind::DesktopGlsl {
+                BLUR
+            } else {
+                base_text = session.base_text_for(platform.backend());
+                &base_text
+            };
+            let cost = platform.submit(text, "blur").expect("blur compiles");
             assert_eq!(cost.stats.texture_samples, 9.0, "{}", platform.vendor());
             assert!(cost.cost.total_cycles > 0.0);
             assert!(cost.ideal_frame_ns > 0.0);
@@ -187,29 +267,23 @@ mod tests {
 
     #[test]
     fn optimized_blur_is_faster_everywhere_and_more_so_on_mobile() {
-        use prism_core::{compile, Flag, OptFlags};
-        let src = prism_glsl::ShaderSource::parse(BLUR).unwrap();
-        let baseline = compile(&src, "blur", OptFlags::NONE).unwrap();
-        let optimized = compile(
-            &src,
-            "blur",
-            OptFlags::from_flags(&[
-                Flag::Unroll,
-                Flag::FpReassociate,
-                Flag::DivToMul,
-                Flag::Coalesce,
-            ]),
-        )
-        .unwrap();
+        use prism_core::{Flag, OptFlags};
+        let session = blur_session();
+        let flags = OptFlags::from_flags(&[
+            Flag::Unroll,
+            Flag::FpReassociate,
+            Flag::DivToMul,
+            Flag::Coalesce,
+        ]);
         let mut desktop_gains = Vec::new();
         let mut mobile_gains = Vec::new();
         for platform in Platform::all() {
             let before = platform
-                .submit(&baseline.glsl, "blur")
+                .submit(&text_for(&session, &platform, OptFlags::NONE), "blur")
                 .unwrap()
                 .ideal_frame_ns;
             let after = platform
-                .submit(&optimized.glsl, "blur")
+                .submit(&text_for(&session, &platform, flags), "blur")
                 .unwrap()
                 .ideal_frame_ns;
             let gain = (before - after) / before;
@@ -238,20 +312,37 @@ mod tests {
         // speedup on the motivating blur must sit clearly above each desktop
         // platform's timer noise, or Fig. 3's desktop wins would be
         // indistinguishable from measurement error (NVIDIA used to sit at
-        // 0.85% against a 0.8% floor).
-        use prism_core::CompileSession;
-        let source = prism_glsl::ShaderSource::parse(BLUR).unwrap();
-        let session = CompileSession::new(&source, "blur").unwrap();
+        // 0.85% against a 0.8% floor). The Vulkan desktop is held to the
+        // same bar through its own source form.
+        let session = blur_session();
         let variants = session.variants().unwrap();
         for platform in Platform::all() {
             if platform.vendor().is_mobile() {
                 continue;
             }
-            let original = platform.submit(BLUR, "blur").unwrap().ideal_frame_ns;
+            let original_text;
+            let original_src: &str = if platform.backend() == BackendKind::DesktopGlsl {
+                BLUR
+            } else {
+                original_text = session.base_text_for(platform.backend());
+                &original_text
+            };
+            let original = platform
+                .submit(original_src, "blur")
+                .unwrap()
+                .ideal_frame_ns;
             let best = variants
                 .variants
                 .iter()
-                .map(|v| platform.submit(&v.glsl, "blur").unwrap().ideal_frame_ns)
+                .map(|v| {
+                    platform
+                        .submit(
+                            &text_for(&session, &platform, v.representative_flags()),
+                            "blur",
+                        )
+                        .unwrap()
+                        .ideal_frame_ns
+                })
                 .fold(f64::INFINITY, f64::min);
             let speedup = (original - best) / original;
             assert!(

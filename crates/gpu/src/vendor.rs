@@ -1,12 +1,18 @@
-//! The five GPU platforms of the study and their architectural parameters.
+//! The GPU platforms of the study and their architectural parameters.
 //!
 //! The paper measures three desktops (NVIDIA GTX 1080, AMD RX 480, Intel HD
 //! Graphics 530) and two phones (ARM Mali-T880 MP12, Qualcomm Adreno 530)
-//! (§IV-C). Since no GPU hardware is available here, each platform is
-//! described by a parametric architecture model; the parameters below encode
-//! the published differences that drive the paper's cross-platform results
-//! (scalar vs. vector ALUs, register-file size and occupancy behaviour,
-//! texture throughput, driver maturity, timer-query noise).
+//! (§IV-C). The reproduction extends the sweep along the paper's
+//! source-form axis with two more platforms consuming non-GLSL text derived
+//! from the same optimized IR: the RX 480 again behind Mesa's Vulkan driver
+//! (RADV, consuming SPIR-V assembly — same silicon, different compiler, the
+//! purest driver-vs-driver comparison the paper gestures at) and an Apple A9
+//! phone behind Metal (consuming MSL). Since no GPU hardware is available
+//! here, each platform is described by a parametric architecture model; the
+//! parameters below encode the published differences that drive the paper's
+//! cross-platform results (scalar vs. vector ALUs, register-file size and
+//! occupancy behaviour, texture throughput, driver maturity, timer-query
+//! noise).
 
 use prism_emit::BackendKind;
 use std::fmt;
@@ -24,11 +30,31 @@ pub enum Vendor {
     Arm,
     /// Qualcomm Adreno 530 (Snapdragon 820), Android driver.
     Qualcomm,
+    /// AMD RX 480 again, behind Mesa's Vulkan driver (RADV) — consumes
+    /// SPIR-V assembly instead of GLSL. Same hardware model as
+    /// [`Vendor::Amd`]; only the driver (and the source form) differs.
+    Radv,
+    /// Apple A9 (iPhone 6s, PowerVR GT7600-class GPU), Metal driver —
+    /// consumes MSL.
+    Apple,
 }
 
 impl Vendor {
-    /// All five platforms in the paper's usual presentation order.
-    pub const ALL: [Vendor; 5] = [
+    /// All seven platforms: the paper's five first (their presentation
+    /// order — and their per-platform noise streams — are unchanged by the
+    /// extension), then the SPIR-V and MSL consumers.
+    pub const ALL: [Vendor; 7] = [
+        Vendor::Intel,
+        Vendor::Amd,
+        Vendor::Nvidia,
+        Vendor::Arm,
+        Vendor::Qualcomm,
+        Vendor::Radv,
+        Vendor::Apple,
+    ];
+
+    /// The five platforms the paper itself measures.
+    pub const PAPER: [Vendor; 5] = [
         Vendor::Intel,
         Vendor::Amd,
         Vendor::Nvidia,
@@ -36,11 +62,11 @@ impl Vendor {
         Vendor::Qualcomm,
     ];
 
-    /// The three desktop platforms.
-    pub const DESKTOP: [Vendor; 3] = [Vendor::Intel, Vendor::Amd, Vendor::Nvidia];
+    /// The desktop platforms.
+    pub const DESKTOP: [Vendor; 4] = [Vendor::Intel, Vendor::Amd, Vendor::Nvidia, Vendor::Radv];
 
-    /// The two mobile platforms.
-    pub const MOBILE: [Vendor; 2] = [Vendor::Arm, Vendor::Qualcomm];
+    /// The mobile platforms.
+    pub const MOBILE: [Vendor; 3] = [Vendor::Arm, Vendor::Qualcomm, Vendor::Apple];
 
     /// Human-readable platform name.
     pub fn name(self) -> &'static str {
@@ -50,10 +76,12 @@ impl Vendor {
             Vendor::Nvidia => "NVIDIA",
             Vendor::Arm => "ARM",
             Vendor::Qualcomm => "Qualcomm",
+            Vendor::Radv => "RADV",
+            Vendor::Apple => "Apple",
         }
     }
 
-    /// The GPU used in the paper for this vendor.
+    /// The GPU behind this platform.
     pub fn gpu_name(self) -> &'static str {
         match self {
             Vendor::Intel => "HD Graphics 530",
@@ -61,22 +89,27 @@ impl Vendor {
             Vendor::Nvidia => "GeForce GTX 1080",
             Vendor::Arm => "Mali-T880 MP12",
             Vendor::Qualcomm => "Adreno 530",
+            Vendor::Radv => "RX 480 (Vulkan)",
+            Vendor::Apple => "A9 (PowerVR GT7600)",
         }
     }
 
-    /// `true` for the two phone platforms.
+    /// `true` for the phone platforms.
     pub fn is_mobile(self) -> bool {
-        matches!(self, Vendor::Arm | Vendor::Qualcomm)
+        matches!(self, Vendor::Arm | Vendor::Qualcomm | Vendor::Apple)
     }
 
     /// The emission backend whose text this vendor's driver consumes: the
-    /// desktops take `#version 450` GLSL, the phones take `#version 310 es`
-    /// GLES produced by the paper's conversion path (§III-C(d)).
+    /// OpenGL desktops take `#version 450` GLSL, the GLES phones take
+    /// `#version 310 es` text from the paper's conversion path (§III-C(d)),
+    /// RADV takes SPIR-V assembly and Apple takes MSL — all derived from
+    /// the same optimized IR.
     pub fn backend(self) -> BackendKind {
-        if self.is_mobile() {
-            BackendKind::Gles
-        } else {
-            BackendKind::DesktopGlsl
+        match self {
+            Vendor::Arm | Vendor::Qualcomm => BackendKind::Gles,
+            Vendor::Radv => BackendKind::SpirvAsm,
+            Vendor::Apple => BackendKind::Msl,
+            Vendor::Intel | Vendor::Amd | Vendor::Nvidia => BackendKind::DesktopGlsl,
         }
     }
 }
@@ -231,6 +264,48 @@ impl DeviceSpec {
                 parallel_fragments: 256.0,
                 timer_noise: 0.025,
             },
+            // The same Polaris 10 silicon as `Amd`, behind the Vulkan
+            // driver: hardware numbers are copied verbatim (the comparison
+            // is driver-vs-driver), only the measurement path differs —
+            // Vulkan timestamp queries on Mesa are steadier than GL
+            // `GL_TIME_ELAPSED`, and the thinner driver shaves some
+            // per-fragment fixed overhead.
+            Vendor::Radv => DeviceSpec {
+                vendor,
+                alu_style: AluStyle::Scalar,
+                alu_per_cycle: 16.0,
+                texture_cost: 30.0,
+                transcendental_factor: 4.0,
+                divide_factor: 10.0,
+                fragment_overhead: 12.0,
+                register_budget: 256.0,
+                pressure_penalty: 0.002,
+                branch_cost: 10.0,
+                loop_overhead: 12.0,
+                clock_mhz: 1266.0,
+                parallel_fragments: 2304.0,
+                timer_noise: 0.006,
+            },
+            // Apple A9 (PowerVR GT7600-class): scalar Rogue ALUs, a tiler
+            // with cheap per-fragment overhead and strong texture caching,
+            // a mid-sized register file. Metal timestamp sampling sits
+            // between the Android phones and the desktops for noise.
+            Vendor::Apple => DeviceSpec {
+                vendor,
+                alu_style: AluStyle::Scalar,
+                alu_per_cycle: 4.0,
+                texture_cost: 22.0,
+                transcendental_factor: 4.0,
+                divide_factor: 10.0,
+                fragment_overhead: 8.0,
+                register_budget: 64.0,
+                pressure_penalty: 0.012,
+                branch_cost: 8.0,
+                loop_overhead: 6.0,
+                clock_mhz: 650.0,
+                parallel_fragments: 192.0,
+                timer_noise: 0.018,
+            },
         }
     }
 
@@ -245,13 +320,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn five_platforms_three_desktop_two_mobile() {
-        assert_eq!(Vendor::ALL.len(), 5);
-        assert_eq!(Vendor::DESKTOP.len(), 3);
-        assert_eq!(Vendor::MOBILE.len(), 2);
+    fn seven_platforms_four_desktop_three_mobile() {
+        assert_eq!(Vendor::ALL.len(), 7);
+        assert_eq!(Vendor::PAPER.len(), 5);
+        assert_eq!(Vendor::DESKTOP.len(), 4);
+        assert_eq!(Vendor::MOBILE.len(), 3);
+        // The paper's five keep their historic positions (noise streams are
+        // keyed by platform index).
+        assert_eq!(&Vendor::ALL[..5], &Vendor::PAPER);
         assert!(Vendor::Arm.is_mobile());
+        assert!(Vendor::Apple.is_mobile());
         assert!(!Vendor::Nvidia.is_mobile());
+        assert!(!Vendor::Radv.is_mobile());
         assert_eq!(Vendor::Amd.gpu_name(), "RX 480");
+        assert_eq!(Vendor::Radv.gpu_name(), "RX 480 (Vulkan)");
+    }
+
+    #[test]
+    fn every_backend_has_a_consuming_platform() {
+        use std::collections::HashSet;
+        let consumed: HashSet<BackendKind> = Vendor::ALL.iter().map(|v| v.backend()).collect();
+        assert_eq!(consumed.len(), BackendKind::COUNT);
+        assert_eq!(Vendor::Radv.backend(), BackendKind::SpirvAsm);
+        assert_eq!(Vendor::Apple.backend(), BackendKind::Msl);
+    }
+
+    #[test]
+    fn radv_models_the_same_silicon_as_amd() {
+        let gl = DeviceSpec::preset(Vendor::Amd);
+        let vk = DeviceSpec::preset(Vendor::Radv);
+        assert_eq!(gl.alu_per_cycle, vk.alu_per_cycle);
+        assert_eq!(gl.texture_cost, vk.texture_cost);
+        assert_eq!(gl.clock_mhz, vk.clock_mhz);
+        assert_eq!(gl.parallel_fragments, vk.parallel_fragments);
+        // Only the measurement/driver side differs.
+        assert!(vk.timer_noise < gl.timer_noise);
+        assert!(vk.fragment_overhead < gl.fragment_overhead);
     }
 
     #[test]
@@ -279,7 +383,7 @@ mod tests {
     #[test]
     fn all_presets_cover_all_vendors() {
         let presets = DeviceSpec::all_presets();
-        assert_eq!(presets.len(), 5);
+        assert_eq!(presets.len(), 7);
         for (v, p) in Vendor::ALL.iter().zip(&presets) {
             assert_eq!(*v, p.vendor);
         }

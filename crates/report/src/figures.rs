@@ -347,6 +347,39 @@ pub fn fig_cache(study: &StudyResults) -> String {
     out
 }
 
+/// Source-form routing report (beyond the paper): which emission backend
+/// each platform's driver consumed and which source-form version token the
+/// driver front-end reported parsing — the end-to-end evidence that one
+/// optimized IR reached N drivers through four different source forms.
+pub fn fig_backends(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Source forms — one IR, per-platform driver input");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>8} {:>14} {:>8}",
+        "platform", "backend", "driver parsed", "shaders"
+    );
+    for vendor in study.platforms() {
+        let records = study.for_platform(&vendor);
+        let Some(first) = records.first() else {
+            continue;
+        };
+        debug_assert!(
+            records.iter().all(|r| r.backend == first.backend
+                && r.driver_source_version == first.driver_source_version),
+            "{vendor}: mixed source forms on one platform"
+        );
+        let _ = writeln!(
+            out,
+            "  {vendor:<10} {:>8} {:>14} {:>8}",
+            first.backend,
+            first.driver_source_version,
+            records.len()
+        );
+    }
+    out
+}
+
 /// A compact overall summary used by the quickstart example.
 pub fn summary(study: &StudyResults) -> String {
     let mut out = String::new();
@@ -417,6 +450,8 @@ pub fn render_all(study: &StudyResults, blur_name: &str) -> String {
         out.push_str(&fig10_incremental(study));
     }
     out.push('\n');
+    out.push_str(&fig_backends(study));
+    out.push('\n');
     out.push_str(&fig_cache(study));
     out
 }
@@ -441,7 +476,7 @@ mod tests {
             shader: "blur".into(),
             vendor: vendor.into(),
             backend: "desktop".into(),
-            driver_glsl_version: "450".into(),
+            driver_source_version: "450".into(),
             original_ns: 1000.0,
             variants: vec![
                 VariantRecord {
@@ -491,6 +526,9 @@ mod tests {
         assert!(fig7_per_shader(&study).contains("best static"));
         assert!(fig8_applicability(&study, "AMD").contains("changes code"));
         assert!(fig9_per_flag(&study).contains("Unroll"));
+        let backends = fig_backends(&study);
+        assert!(backends.contains("desktop"), "{backends}");
+        assert!(backends.contains("450"), "{backends}");
         assert!(summary(&study).contains("shaders"));
         let all = render_all(&study, "blur");
         assert!(all.len() > 500);

@@ -113,7 +113,7 @@ mod tests {
                 shader: "s".into(),
                 vendor: "AMD".into(),
                 backend: "desktop".into(),
-                driver_glsl_version: "450".into(),
+                driver_source_version: "450".into(),
                 original_ns: 1000.0,
                 variants: vec![
                     VariantRecord {

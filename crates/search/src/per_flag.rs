@@ -104,7 +104,7 @@ mod tests {
                 shader: "s".into(),
                 vendor: "ARM".into(),
                 backend: "gles".into(),
-                driver_glsl_version: "310 es".into(),
+                driver_source_version: "310 es".into(),
                 original_ns: 980.0,
                 variants: vec![
                     VariantRecord {

@@ -171,7 +171,7 @@ mod tests {
             shader: shader.into(),
             vendor: vendor.into(),
             backend: "desktop".into(),
-            driver_glsl_version: "450".into(),
+            driver_source_version: "450".into(),
             original_ns: original,
             variants: vec![
                 VariantRecord {

@@ -34,17 +34,19 @@ pub struct ShaderPlatformRecord {
     /// Platform name (`Vendor::name()`).
     pub vendor: String,
     /// The emission backend whose text this platform's driver consumed for
-    /// every variant (`"desktop"` or `"gles"`, see
+    /// every variant (`"desktop"`, `"gles"`, `"spirv"` or `"msl"`, see
     /// `prism_emit::BackendKind::name`).
     pub backend: String,
-    /// The `#version` directive the driver front-end reported seeing in the
-    /// submitted variant text (e.g. `"450"`, `"310 es"`) — end-to-end
-    /// evidence the right backend reached the right platform.
-    pub driver_glsl_version: String,
+    /// The source-form version token the driver front-end reported seeing
+    /// in the submitted variant text (e.g. `"450"`, `"310 es"`,
+    /// `"spirv-1.0"`, `"metal"`) — end-to-end evidence the right backend's
+    /// form reached the right platform.
+    pub driver_source_version: String,
     /// Frame time of the original, untouched shader (not passed through the
     /// offline optimizer at all) — the baseline for Figs. 3, 5, 6 and 7. On
-    /// the GLES platforms the original is measured through the paper's
-    /// conversion path (§III-C(d)), as desktop GLSL cannot run there.
+    /// every non-desktop-GLSL platform the original is measured through the
+    /// conversion path (§III-C(d) for GLES; likewise SPIR-V and MSL), as
+    /// desktop GLSL cannot run there.
     pub original_ns: f64,
     /// Distinct variant timings.
     pub variants: Vec<VariantRecord>,
@@ -52,15 +54,52 @@ pub struct ShaderPlatformRecord {
     pub flag_to_variant: Vec<usize>,
 }
 
-serde::impl_serde_struct!(ShaderPlatformRecord {
-    shader,
-    vendor,
-    backend,
-    driver_glsl_version,
-    original_ns,
-    variants,
-    flag_to_variant,
-});
+// Hand-written (not `impl_serde_struct!`) because the version field was
+// renamed when the study outgrew GLSL-only drivers: new reports serialise
+// `driver_source_version`, old `study-report.json` artifacts carrying
+// `driver_glsl_version` still deserialize.
+impl serde::Serialize for ShaderPlatformRecord {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("shader".to_string(), self.shader.to_value()),
+            ("vendor".to_string(), self.vendor.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
+            (
+                "driver_source_version".to_string(),
+                self.driver_source_version.to_value(),
+            ),
+            ("original_ns".to_string(), self.original_ns.to_value()),
+            ("variants".to_string(), self.variants.to_value()),
+            (
+                "flag_to_variant".to_string(),
+                self.flag_to_variant.to_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for ShaderPlatformRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| format!("missing field `{name}` in ShaderPlatformRecord"))
+        };
+        let version = match v.get("driver_source_version") {
+            Some(value) => value,
+            // Pre-rename reports (GLSL-only study runs).
+            None => field("driver_glsl_version")?,
+        };
+        Ok(ShaderPlatformRecord {
+            shader: serde::Deserialize::from_value(field("shader")?)?,
+            vendor: serde::Deserialize::from_value(field("vendor")?)?,
+            backend: serde::Deserialize::from_value(field("backend")?)?,
+            driver_source_version: serde::Deserialize::from_value(version)?,
+            original_ns: serde::Deserialize::from_value(field("original_ns")?)?,
+            variants: serde::Deserialize::from_value(field("variants")?)?,
+            flag_to_variant: serde::Deserialize::from_value(field("flag_to_variant")?)?,
+        })
+    }
+}
 
 impl ShaderPlatformRecord {
     /// Frame time of the variant a flag combination produces.
@@ -245,7 +284,7 @@ pub struct CacheRecord {
 impl serde::Serialize for CacheRecord {
     fn to_value(&self) -> serde::Value {
         let num = |n: usize| serde::Value::Num(n as f64);
-        serde::Value::Obj(vec![
+        let mut fields = vec![
             ("shared".to_string(), serde::Value::Bool(self.shared)),
             ("sessions".to_string(), num(self.stats.sessions)),
             ("stage_runs".to_string(), num(self.stats.stage_runs)),
@@ -255,6 +294,14 @@ impl serde::Serialize for CacheRecord {
                 num(self.stats.cross_shader_stage_hits),
             ),
             ("emissions".to_string(), num(self.stats.emissions)),
+        ];
+        for backend in prism_emit::BackendKind::ALL {
+            fields.push((
+                format!("emissions_{}", backend.name()),
+                num(self.stats.emissions_by_backend[backend.index()]),
+            ));
+        }
+        fields.extend(vec![
             ("emission_hits".to_string(), num(self.stats.emission_hits)),
             (
                 "cross_shader_emission_hits".to_string(),
@@ -281,7 +328,12 @@ impl serde::Serialize for CacheRecord {
                 "warm_shards_skipped".to_string(),
                 num(self.stats.warm_shards_skipped),
             ),
-        ])
+            (
+                "warm_entries_skipped".to_string(),
+                num(self.stats.warm_entries_skipped),
+            ),
+        ]);
+        serde::Value::Obj(fields)
     }
 }
 
@@ -311,6 +363,13 @@ impl serde::Deserialize for CacheRecord {
             serde::Value::Bool(b) => *b,
             other => return Err(format!("expected bool for `shared`, got {other:?}")),
         };
+        // Like the warm counters, the per-backend split postdates the first
+        // artifacts; absent keys stay 0.
+        let mut emissions_by_backend = [0usize; prism_emit::BackendKind::COUNT];
+        for backend in prism_emit::BackendKind::ALL {
+            emissions_by_backend[backend.index()] =
+                warm_count(&format!("emissions_{}", backend.name()))?;
+        }
         Ok(CacheRecord {
             shared,
             stats: CacheStats {
@@ -319,6 +378,7 @@ impl serde::Deserialize for CacheRecord {
                 stage_hits: count("stage_hits")?,
                 cross_shader_stage_hits: count("cross_shader_stage_hits")?,
                 emissions: count("emissions")?,
+                emissions_by_backend,
                 emission_hits: count("emission_hits")?,
                 cross_shader_emission_hits: count("cross_shader_emission_hits")?,
                 evictions: count("evictions")?,
@@ -327,6 +387,7 @@ impl serde::Deserialize for CacheRecord {
                 warm_entries_loaded: warm_count("warm_entries_loaded")?,
                 warm_shards_loaded: warm_count("warm_shards_loaded")?,
                 warm_shards_skipped: warm_count("warm_shards_skipped")?,
+                warm_entries_skipped: warm_count("warm_entries_skipped")?,
             },
         })
     }
@@ -438,7 +499,7 @@ mod tests {
             shader: "s".into(),
             vendor: "AMD".into(),
             backend: "desktop".into(),
-            driver_glsl_version: "450".into(),
+            driver_source_version: "450".into(),
             original_ns: 1000.0,
             variants: vec![
                 VariantRecord {
@@ -505,6 +566,7 @@ mod tests {
                     stage_hits: 21,
                     cross_shader_stage_hits: 3,
                     emissions: 4,
+                    emissions_by_backend: [1, 1, 1, 1],
                     emission_hits: 8,
                     cross_shader_emission_hits: 2,
                     evictions: 5,
@@ -513,6 +575,7 @@ mod tests {
                     warm_entries_loaded: 40,
                     warm_shards_loaded: 15,
                     warm_shards_skipped: 1,
+                    warm_entries_skipped: 2,
                 },
             },
             search: vec![SearchRecord {
@@ -548,6 +611,19 @@ mod tests {
         assert!(restored.measurement("s", "AMD").is_some());
         assert!(restored.measurement("s", "Intel").is_none());
         assert!(StudyResults::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn legacy_glsl_version_key_still_deserializes() {
+        // Reports written before the study spoke SPIR-V/MSL used
+        // `driver_glsl_version`; they must keep loading under the renamed
+        // field, and new reports must serialise the new key.
+        let json = serde_json::to_string(&record()).unwrap();
+        assert!(json.contains("\"driver_source_version\":\"450\""));
+        assert!(!json.contains("driver_glsl_version"));
+        let legacy = json.replace("driver_source_version", "driver_glsl_version");
+        let restored: ShaderPlatformRecord = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(restored, record());
     }
 
     #[test]

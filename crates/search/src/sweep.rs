@@ -4,12 +4,13 @@
 //! to IR exactly once), derive the 256 flag-combination variants through the
 //! session's shared schedule snapshots, deduplicate them (§V-C), submit the
 //! original shader and every distinct variant to every platform's driver, and
-//! time each with the harness. The same session serves all five platforms —
+//! time each with the harness. The same session serves all seven platforms —
 //! variant generation happens once per shader for the whole study, and each
 //! platform's driver receives the text of the emission backend matching its
-//! API: the desktops get `#version 450` GLSL, the phones get `#version
-//! 310 es` GLES produced straight from the same optimized IR (the paper's
-//! glslang → SPIRV-Cross conversion path, §III-C(d)).
+//! API: the OpenGL desktops get `#version 450` GLSL, the GLES phones get
+//! `#version 310 es` text (the paper's glslang → SPIRV-Cross conversion
+//! path, §III-C(d)), the Vulkan desktop gets SPIR-V assembly and the Metal
+//! phone gets MSL — four source forms derived from the same optimized IR.
 //!
 //! All sessions memoise against one shared, thread-safe
 //! [`CorpusCache`](prism_core::CorpusCache): übershader family members share
@@ -41,7 +42,7 @@ use std::sync::Arc;
 pub struct StudyConfig {
     /// Harness timing configuration.
     pub measure: MeasureConfig,
-    /// Platforms to measure on (defaults to all five).
+    /// Platforms to measure on (defaults to all seven).
     pub vendors: Vec<Vendor>,
     /// Number of worker threads.
     pub threads: usize,
@@ -278,16 +279,17 @@ fn process_shader(
         let vendor = platform.vendor().name();
         let backend = platform.backend();
         let stream_base = stream_id(&case.name, platform_idx);
-        // Original (untouched) shader. Desktop drivers take the corpus text
-        // as-is; a GLES driver cannot consume desktop GLSL, so the phones
-        // measure the original through the conversion path — the unoptimized
-        // lowering emitted by the GLES backend (§III-C(d)).
-        let original_gles;
+        // Original (untouched) shader. Desktop OpenGL drivers take the
+        // corpus text as-is; no other driver can consume desktop GLSL, so
+        // those platforms measure the original through the conversion path —
+        // the unoptimized lowering emitted by their backend (§III-C(d) for
+        // GLES; the SPIR-V and MSL consumers enter the same way).
+        let original_converted;
         let original_text: &str = match backend {
             BackendKind::DesktopGlsl => &case.source.text,
-            BackendKind::Gles => {
-                original_gles = session.base_text_for(backend);
-                &original_gles
+            _ => {
+                original_converted = session.base_text_for(backend);
+                &original_converted
             }
         };
         let original_cost = match platform.submit(original_text, &case.name) {
@@ -301,30 +303,28 @@ fn process_shader(
 
         let mut variant_records = Vec::new();
         let mut variant_failure = None;
-        let mut driver_glsl_version = String::new();
+        let mut driver_source_version = String::new();
         for variant in &variants.variants {
             // The platform's backend decides which text of this variant the
             // driver sees. The desktop text is the variant's own (dedup key)
-            // string; GLES text comes from the session's per-backend emission
-            // memo over the same optimized IR.
-            let gles_text;
+            // string; every other form comes from the session's per-backend
+            // emission memo over the same optimized IR.
+            let emitted_text;
             let text: &str = match backend {
                 BackendKind::DesktopGlsl => &variant.glsl,
-                BackendKind::Gles => {
-                    match session.text_for(variant.representative_flags(), backend) {
-                        Ok(text) => {
-                            gles_text = text;
-                            &gles_text
-                        }
-                        Err(e) => {
-                            variant_failure = Some(skip(format!(
-                                "emit({vendor}/{backend}): variant {}: {e}",
-                                variant.index
-                            )));
-                            break;
-                        }
+                _ => match session.text_for(variant.representative_flags(), backend) {
+                    Ok(text) => {
+                        emitted_text = text;
+                        &emitted_text
                     }
-                }
+                    Err(e) => {
+                        variant_failure = Some(skip(format!(
+                            "emit({vendor}/{backend}): variant {}: {e}",
+                            variant.index
+                        )));
+                        break;
+                    }
+                },
             };
             let cost = match platform.submit(text, &case.name) {
                 Ok(cost) => cost,
@@ -336,8 +336,8 @@ fn process_shader(
                     break;
                 }
             };
-            if driver_glsl_version.is_empty() {
-                driver_glsl_version = cost.source_version.clone();
+            if driver_source_version.is_empty() {
+                driver_source_version = cost.source_version.clone();
             }
             let m = measure_cost(
                 platform,
@@ -365,7 +365,7 @@ fn process_shader(
             shader: case.name.clone(),
             vendor: vendor.to_string(),
             backend: backend.name().to_string(),
-            driver_glsl_version,
+            driver_source_version,
             original_ns: original.mean_ns,
             variants: variant_records,
             flag_to_variant,
@@ -450,11 +450,30 @@ mod tests {
         let study = run_study(&corpus, &StudyConfig::quick());
         assert_eq!(study.shaders.len(), corpus.len());
         assert_eq!(study.measurements.len(), corpus.len() * Vendor::ALL.len());
-        assert_eq!(study.platforms().len(), 5);
+        assert_eq!(study.platforms().len(), 7);
         for m in &study.measurements {
             assert!(m.original_ns > 0.0);
             assert!(!m.variants.is_empty());
             assert_eq!(m.flag_to_variant.len(), 256);
+        }
+        // All four source forms are exercised, and every row records which
+        // form its driver parsed.
+        use std::collections::HashSet;
+        let backends: HashSet<&str> = study
+            .measurements
+            .iter()
+            .map(|m| m.backend.as_str())
+            .collect();
+        assert_eq!(backends.len(), 4, "{backends:?}");
+        for m in &study.measurements {
+            let expected = prism_emit::BackendKind::from_name(&m.backend)
+                .expect("recorded backend resolves")
+                .version();
+            assert_eq!(
+                m.driver_source_version, expected,
+                "{}/{}",
+                m.shader, m.vendor
+            );
         }
     }
 

@@ -108,6 +108,18 @@ fn measure() -> GateReport {
         },
     ];
 
+    // Per-backend emission counters: the per-target split of `emissions`.
+    // Names come from the backend set itself, so adding a fifth backend
+    // emits an un-baselined counter and fails the gate until the baseline is
+    // deliberately regenerated — exactly like a new search strategy.
+    for backend in prism::emit::BackendKind::ALL {
+        counters.push(Counter {
+            name: format!("emissions_{}", backend.name()),
+            value: stats.emissions_by_backend[backend.index()] as f64,
+            higher_is_better: false,
+        });
+    }
+
     // Incremental search: distinct combinations compiled per strategy,
     // summed over shaders and platforms. Names come from the strategy set
     // itself, so a renamed or added strategy changes the emitted counters
@@ -421,5 +433,23 @@ mod tests {
                 "counter `{name}` missing from the gate report"
             );
         }
+        // Each backend's emission count is gated individually, and the
+        // split is consistent with the total.
+        let mut split = 0.0;
+        for backend in prism::emit::BackendKind::ALL {
+            let name = format!("emissions_{}", backend.name());
+            let counter = a
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("counter `{name}` missing from the gate report"));
+            assert!(
+                counter.value > 0.0,
+                "{name}: 7-platform sweep emits all forms"
+            );
+            split += counter.value;
+        }
+        let total = a.counters.iter().find(|c| c.name == "emissions").unwrap();
+        assert_eq!(split, total.value);
     }
 }

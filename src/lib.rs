@@ -10,8 +10,8 @@
 //! | shader IR + structural fingerprint | [`ir`] | LLVM 3.4 IR inside LunarGlass |
 //! | offline optimizer (8 flags) | [`core`] | LunarGlass passes + the paper's custom unsafe FP passes |
 //! | variant compile sessions | [`core`] (`session`) | — (engineering: lower-once, prefix-shared 256-way variant generation) |
-//! | GLSL back-end | [`emit`] | LunarGlass GLSL back-end (+ the mobile SPIRV-Cross path) |
-//! | GPU substrate | [`gpu`] | the five physical GPUs + their drivers |
+//! | multi-target back-end | [`emit`] | LunarGlass GLSL back-end + the mobile SPIRV-Cross path, extended to SPIR-V assembly and MSL |
+//! | GPU substrate | [`gpu`] | the five physical GPUs + their drivers, extended with a Vulkan desktop and a Metal phone |
 //! | benchmark corpus | [`corpus`] | GFXBench 4.0 fragment shaders |
 //! | timing harness | [`harness`] | the paper's isolated draw-call timing framework |
 //! | exhaustive search | [`search`] | the 256-combination iterative compilation study |
@@ -25,7 +25,8 @@
 //! ([`ir::fingerprint`]) short-circuits duplicate states before GLSL
 //! emission. The session output is byte-identical to brute force (the
 //! property suite proves it) at a fraction of the cost, and one session per
-//! shader serves all five platforms in [`search`].
+//! shader serves all seven platforms in [`search`] through four emission
+//! backends (desktop GLSL, GLES, SPIR-V assembly, MSL).
 //!
 //! ## Quick start
 //!
@@ -55,10 +56,10 @@ pub use prism_ir as ir;
 /// The flag-driven offline optimizer (`prism-core`).
 pub use prism_core as core;
 
-/// The IR → GLSL back-end (`prism-emit`).
+/// The IR → source-text back-ends (`prism-emit`).
 pub use prism_emit as emit;
 
-/// The five-vendor GPU substrate (`prism-gpu`).
+/// The seven-vendor GPU substrate (`prism-gpu`).
 pub use prism_gpu as gpu;
 
 /// The GFXBench-like shader corpus (`prism-corpus`).

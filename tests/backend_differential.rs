@@ -1,0 +1,199 @@
+//! Cross-backend differential suite: one optimized IR, four source forms.
+//!
+//! The PR 2 property suite proved desktop/GLES emission transparency for
+//! shared caches; this suite generalises it to all four backends. For every
+//! corpus shader and a deterministic sample of flag combinations it asserts
+//! that the four emitted texts
+//!
+//! (a) parse — with each backend's own *consuming front-end* — to the same
+//!     external interface,
+//! (b) were emitted from the same optimized-IR fingerprint, whether the
+//!     session is cold or shares the corpus-wide cache, and
+//! (c) are byte-identical between a cold private-cache session and a session
+//!     behind one shared warm [`CorpusCache`].
+//!
+//! It also pins the acceptance property of the warm-start path with the new
+//! backends in play (a second `run_study` performs 0 stage runs and 0
+//! emissions, for every backend), and the retirement contract of the legacy
+//! `mobile::emit_gles` entry point (byte-identical to the `Gles` backend on
+//! the whole corpus).
+
+use prism::core::{CacheStore, CompileSession, CorpusCache, OptFlags};
+use prism::corpus::Corpus;
+use prism::emit::{source_interface, Backend, BackendKind};
+use std::sync::Arc;
+
+/// FNV-1a 64-bit — the deterministic per-shader seed for flag sampling.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A deterministic sample of flag combinations for one shader: the no-flag
+/// baseline, everything-on, and two shader-dependent masks — stable across
+/// runs, different across shaders, so the corpus as a whole covers the
+/// combination space without 256× work per shader.
+fn sampled_flags(name: &str) -> Vec<OptFlags> {
+    let seed = fnv64(name.as_bytes());
+    let mut flags = vec![
+        OptFlags::NONE,
+        OptFlags::all(),
+        OptFlags::from_bits((seed & 0xFF) as u8),
+        OptFlags::from_bits(((seed >> 8) & 0xFF) as u8),
+    ];
+    flags.dedup();
+    flags
+}
+
+/// Satellite (a) + (b) + (c) over the whole corpus.
+#[test]
+fn all_four_backends_agree_for_every_corpus_shader() {
+    let corpus = Corpus::gfxbench_like();
+    let shared_cache = Arc::new(CorpusCache::new());
+    for case in &corpus.cases {
+        let cold = CompileSession::new(&case.source, &case.name).expect("cold session");
+        let shared = CompileSession::with_cache_in_family(
+            &case.source,
+            &case.name,
+            &case.family,
+            shared_cache.clone() as Arc<dyn CacheStore>,
+        )
+        .expect("shared session");
+
+        for flags in sampled_flags(&case.name) {
+            // (b) Both sessions agree which optimized IR this combination
+            // produces — the key all four emissions are memoised under.
+            let fp_cold = cold.optimized_fingerprint(flags).unwrap();
+            let fp_shared = shared.optimized_fingerprint(flags).unwrap();
+            assert_eq!(
+                fp_cold, fp_shared,
+                "{}: flags {flags} fingerprint diverges cold vs shared",
+                case.name
+            );
+
+            let mut interfaces = Vec::new();
+            for backend in BackendKind::ALL {
+                // (c) Byte-identity between the cold session and the shared
+                // warm cache, per backend.
+                let cold_text = cold.text_for(flags, backend).unwrap();
+                let shared_text = shared.text_for(flags, backend).unwrap();
+                assert_eq!(
+                    *cold_text, *shared_text,
+                    "{}: flags {flags}, backend {backend}: shared cache changed the text",
+                    case.name
+                );
+
+                // (a) Each backend's own consuming front-end sees the same
+                // external interface.
+                let iface = source_interface(backend, &cold_text).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: flags {flags}, backend {backend} text does not parse: {e}",
+                        case.name
+                    )
+                });
+                interfaces.push((backend, iface));
+            }
+            let (_, reference) = &interfaces[0];
+            for (backend, iface) in &interfaces[1..] {
+                assert!(
+                    iface.same_io(reference),
+                    "{}: flags {flags}: {backend} interface diverges:\n{iface:?}\nvs\n{reference:?}",
+                    case.name
+                );
+            }
+        }
+    }
+
+    // The shared sessions must actually have shared: übershader families
+    // answer each other's lookups.
+    let stats = shared_cache.stats();
+    assert!(stats.cross_shader_stage_hits > 0, "{stats:?}");
+    assert_eq!(
+        stats.emissions_by_backend.iter().sum::<usize>(),
+        stats.emissions,
+        "per-backend emission counters must sum to the total"
+    );
+    for backend in BackendKind::ALL {
+        assert!(
+            stats.emissions_by_backend[backend.index()] > 0,
+            "{backend}: no emissions counted in {stats:?}"
+        );
+    }
+}
+
+/// Acceptance: a warm-started second study performs **zero** stage runs and
+/// **zero** emissions — including the SPIR-V and MSL backends, whose texts
+/// persist in the same per-backend emission memo.
+#[test]
+fn warm_start_second_study_does_no_compile_work_for_any_backend() {
+    use prism::search::{run_study, StudyConfig};
+    let corpus = Corpus::gfxbench_like().subset(&["flagship_blur9", "ui_blit_00"]);
+    let dir = std::env::temp_dir().join(format!(
+        "prism-differential-warm-{}-{:p}",
+        std::process::id(),
+        &corpus
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StudyConfig {
+        warm_start_dir: Some(dir.clone()),
+        ..StudyConfig::quick()
+    };
+    let cold = run_study(&corpus, &config);
+    let warm = run_study(&corpus, &config);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(cold.cache.stats.emissions > 0);
+    for backend in BackendKind::ALL {
+        assert!(
+            cold.cache.stats.emissions_by_backend[backend.index()] > 0,
+            "{backend}: the cold 7-platform sweep must emit this form: {:?}",
+            cold.cache.stats
+        );
+    }
+    assert_eq!(
+        warm.cache.stats.stage_runs, 0,
+        "warm sweep re-ran stages: {:?}",
+        warm.cache.stats
+    );
+    assert_eq!(
+        warm.cache.stats.emissions, 0,
+        "warm sweep re-emitted: {:?}",
+        warm.cache.stats
+    );
+    assert_eq!(
+        warm.cache.stats.emissions_by_backend,
+        [0; BackendKind::COUNT]
+    );
+    assert_eq!(warm.measurements, cold.measurements);
+}
+
+/// Retirement contract of the legacy mobile conversion entry point: the
+/// deprecated `emit_gles` free function is byte-identical to the `Gles`
+/// backend over the entire corpus (base lowering and an optimized
+/// combination), so callers can migrate mechanically.
+#[test]
+#[allow(deprecated)]
+fn legacy_emit_gles_matches_the_gles_backend_on_the_whole_corpus() {
+    let corpus = Corpus::gfxbench_like();
+    for case in &corpus.cases {
+        let session = CompileSession::new(&case.source, &case.name).expect("session");
+        let base = session.base_ir();
+        assert_eq!(
+            prism::emit::emit_gles(base),
+            prism::emit::Gles.emit(base),
+            "{}: base lowering",
+            case.name
+        );
+        let optimized = session.compile(OptFlags::all()).unwrap();
+        assert_eq!(
+            prism::emit::emit_gles(&optimized.ir),
+            prism::emit::Gles.emit(&optimized.ir),
+            "{}: optimized",
+            case.name
+        );
+    }
+}

@@ -1,0 +1,84 @@
+#version 450
+in vec2 uv;
+out vec4 fragColor;
+uniform vec4 ambient;
+uniform sampler2D tex;
+const vec4 weights[9] = vec4[](
+    vec4(0.01, 0.01, 0.01, 0.01),
+    vec4(0.03, 0.03, 0.03, 0.03),
+    vec4(0.15, 0.15, 0.15, 0.15),
+    vec4(0.42, 0.42, 0.42, 0.42),
+    vec4(0.63, 0.63, 0.63, 0.63),
+    vec4(0.42, 0.42, 0.42, 0.42),
+    vec4(0.15, 0.15, 0.15, 0.15),
+    vec4(0.03, 0.03, 0.03, 0.03),
+    vec4(0.01, 0.01, 0.01, 0.01)
+);
+const vec2 offsets[9] = vec2[](
+    vec2(-0.0083, -0.0083),
+    vec2(-0.0062, -0.0062),
+    vec2(-0.0042, -0.0042),
+    vec2(-0.0021, -0.0021),
+    vec2(0.0, 0.0),
+    vec2(0.0021, 0.0021),
+    vec2(0.0042, 0.0042),
+    vec2(0.0062, 0.0062),
+    vec2(0.0083, 0.0083)
+);
+void main()
+{
+    vec2 v8 = (uv + vec2(-0.0083, -0.0083));
+    vec4 v9 = texture(tex, v8);
+    vec4 v10 = (vec4(0.01, 0.01, 0.01, 0.01) * v9);
+    vec4 v12 = (v10 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13 = (v12 * ambient);
+    vec2 v8_1 = (uv + vec2(-0.0062, -0.0062));
+    vec4 v9_1 = texture(tex, v8_1);
+    vec4 v10_1 = (vec4(0.03, 0.03, 0.03, 0.03) * v9_1);
+    vec4 v12_1 = (v10_1 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_1 = (v12_1 * ambient);
+    vec4 fragColor_1 = (v13 + v13_1);
+    vec2 v8_2 = (uv + vec2(-0.0042, -0.0042));
+    vec4 v9_2 = texture(tex, v8_2);
+    vec4 v10_2 = (vec4(0.15, 0.15, 0.15, 0.15) * v9_2);
+    vec4 v12_2 = (v10_2 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_2 = (v12_2 * ambient);
+    vec4 fragColor_2 = (fragColor_1 + v13_2);
+    vec2 v8_3 = (uv + vec2(-0.0021, -0.0021));
+    vec4 v9_3 = texture(tex, v8_3);
+    vec4 v10_3 = (vec4(0.42, 0.42, 0.42, 0.42) * v9_3);
+    vec4 v12_3 = (v10_3 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_3 = (v12_3 * ambient);
+    vec4 fragColor_3 = (fragColor_2 + v13_3);
+    vec4 v9_4 = texture(tex, uv);
+    vec4 v10_4 = (vec4(0.63, 0.63, 0.63, 0.63) * v9_4);
+    vec4 v12_4 = (v10_4 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_4 = (v12_4 * ambient);
+    vec4 fragColor_4 = (fragColor_3 + v13_4);
+    vec2 v8_4 = (uv + vec2(0.0021, 0.0021));
+    vec4 v9_5 = texture(tex, v8_4);
+    vec4 v10_5 = (vec4(0.42, 0.42, 0.42, 0.42) * v9_5);
+    vec4 v12_5 = (v10_5 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_5 = (v12_5 * ambient);
+    vec4 fragColor_5 = (fragColor_4 + v13_5);
+    vec2 v8_5 = (uv + vec2(0.0042, 0.0042));
+    vec4 v9_6 = texture(tex, v8_5);
+    vec4 v10_6 = (vec4(0.15, 0.15, 0.15, 0.15) * v9_6);
+    vec4 v12_6 = (v10_6 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_6 = (v12_6 * ambient);
+    vec4 fragColor_6 = (fragColor_5 + v13_6);
+    vec2 v8_6 = (uv + vec2(0.0062, 0.0062));
+    vec4 v9_7 = texture(tex, v8_6);
+    vec4 v10_7 = (vec4(0.03, 0.03, 0.03, 0.03) * v9_7);
+    vec4 v12_7 = (v10_7 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_7 = (v12_7 * ambient);
+    vec4 fragColor_7 = (fragColor_6 + v13_7);
+    vec2 v8_7 = (uv + vec2(0.0083, 0.0083));
+    vec4 v9_8 = texture(tex, v8_7);
+    vec4 v10_8 = (vec4(0.01, 0.01, 0.01, 0.01) * v9_8);
+    vec4 v12_8 = (v10_8 * vec4(3.0, 3.0, 3.0, 3.0));
+    vec4 v13_8 = (v12_8 * ambient);
+    vec4 fragColor_8 = (fragColor_7 + v13_8);
+    vec4 fragColor_9 = (fragColor_8 / vec4(1.8499999999999999, 1.8499999999999999, 1.8499999999999999, 1.8499999999999999));
+    fragColor = fragColor_9;
+}

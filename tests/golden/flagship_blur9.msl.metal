@@ -1,0 +1,74 @@
+#include <metal_stdlib>
+using namespace metal;
+
+struct main0_in
+{
+    float2 uv [[user(locn0)]];
+};
+
+struct main0_out
+{
+    float4 fragColor [[color(0)]];
+};
+
+constant float4 weights[9] = { float4(0.01, 0.01, 0.01, 0.01), float4(0.03, 0.03, 0.03, 0.03), float4(0.15, 0.15, 0.15, 0.15), float4(0.42, 0.42, 0.42, 0.42), float4(0.63, 0.63, 0.63, 0.63), float4(0.42, 0.42, 0.42, 0.42), float4(0.15, 0.15, 0.15, 0.15), float4(0.03, 0.03, 0.03, 0.03), float4(0.01, 0.01, 0.01, 0.01) };
+constant float2 offsets[9] = { float2(-0.0083, -0.0083), float2(-0.0062, -0.0062), float2(-0.0042, -0.0042), float2(-0.0021, -0.0021), float2(0.0, 0.0), float2(0.0021, 0.0021), float2(0.0042, 0.0042), float2(0.0062, 0.0062), float2(0.0083, 0.0083) };
+fragment main0_out main0(main0_in in [[stage_in]], constant float4& ambient [[buffer(0)]], texture2d<float> tex [[texture(0)]], sampler texSmplr [[sampler(0)]])
+{
+    main0_out out = {};
+    float2 v8 = (in.uv + float2(-0.0083, -0.0083));
+    float4 v9 = tex.sample(texSmplr, v8);
+    float4 v10 = (float4(0.01, 0.01, 0.01, 0.01) * v9);
+    float4 v12 = (v10 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13 = (v12 * ambient);
+    float2 v8_1 = (in.uv + float2(-0.0062, -0.0062));
+    float4 v9_1 = tex.sample(texSmplr, v8_1);
+    float4 v10_1 = (float4(0.03, 0.03, 0.03, 0.03) * v9_1);
+    float4 v12_1 = (v10_1 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_1 = (v12_1 * ambient);
+    float4 fragColor_1 = (v13 + v13_1);
+    float2 v8_2 = (in.uv + float2(-0.0042, -0.0042));
+    float4 v9_2 = tex.sample(texSmplr, v8_2);
+    float4 v10_2 = (float4(0.15, 0.15, 0.15, 0.15) * v9_2);
+    float4 v12_2 = (v10_2 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_2 = (v12_2 * ambient);
+    float4 fragColor_2 = (fragColor_1 + v13_2);
+    float2 v8_3 = (in.uv + float2(-0.0021, -0.0021));
+    float4 v9_3 = tex.sample(texSmplr, v8_3);
+    float4 v10_3 = (float4(0.42, 0.42, 0.42, 0.42) * v9_3);
+    float4 v12_3 = (v10_3 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_3 = (v12_3 * ambient);
+    float4 fragColor_3 = (fragColor_2 + v13_3);
+    float4 v9_4 = tex.sample(texSmplr, in.uv);
+    float4 v10_4 = (float4(0.63, 0.63, 0.63, 0.63) * v9_4);
+    float4 v12_4 = (v10_4 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_4 = (v12_4 * ambient);
+    float4 fragColor_4 = (fragColor_3 + v13_4);
+    float2 v8_4 = (in.uv + float2(0.0021, 0.0021));
+    float4 v9_5 = tex.sample(texSmplr, v8_4);
+    float4 v10_5 = (float4(0.42, 0.42, 0.42, 0.42) * v9_5);
+    float4 v12_5 = (v10_5 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_5 = (v12_5 * ambient);
+    float4 fragColor_5 = (fragColor_4 + v13_5);
+    float2 v8_5 = (in.uv + float2(0.0042, 0.0042));
+    float4 v9_6 = tex.sample(texSmplr, v8_5);
+    float4 v10_6 = (float4(0.15, 0.15, 0.15, 0.15) * v9_6);
+    float4 v12_6 = (v10_6 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_6 = (v12_6 * ambient);
+    float4 fragColor_6 = (fragColor_5 + v13_6);
+    float2 v8_6 = (in.uv + float2(0.0062, 0.0062));
+    float4 v9_7 = tex.sample(texSmplr, v8_6);
+    float4 v10_7 = (float4(0.03, 0.03, 0.03, 0.03) * v9_7);
+    float4 v12_7 = (v10_7 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_7 = (v12_7 * ambient);
+    float4 fragColor_7 = (fragColor_6 + v13_7);
+    float2 v8_7 = (in.uv + float2(0.0083, 0.0083));
+    float4 v9_8 = tex.sample(texSmplr, v8_7);
+    float4 v10_8 = (float4(0.01, 0.01, 0.01, 0.01) * v9_8);
+    float4 v12_8 = (v10_8 * float4(3.0, 3.0, 3.0, 3.0));
+    float4 v13_8 = (v12_8 * ambient);
+    float4 fragColor_8 = (fragColor_7 + v13_8);
+    float4 fragColor_9 = (fragColor_8 / float4(1.8499999999999999, 1.8499999999999999, 1.8499999999999999, 1.8499999999999999));
+    out.fragColor = fragColor_9;
+    return out;
+}

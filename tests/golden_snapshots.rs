@@ -1,0 +1,102 @@
+//! Golden-snapshot tests for the flagship (blur) shader: one committed
+//! expected-output file per emission backend under `tests/golden/`.
+//!
+//! Emitter drift — a renamed temporary, a reordered declaration, a changed
+//! SPIR-V opcode spelling — surfaces here as a readable line diff instead of
+//! an unexplained downstream study change. After an *intentional* emitter
+//! change, regenerate the snapshots:
+//!
+//! ```text
+//! PRISM_BLESS=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! and commit the updated files under `tests/golden/`.
+
+use prism::core::{CompileSession, OptFlags};
+use prism::corpus::Corpus;
+use prism::emit::BackendKind;
+use std::path::PathBuf;
+
+/// The flag combination the snapshots pin: the LunarGlass default policy,
+/// the study's most-reported configuration.
+fn snapshot_flags() -> OptFlags {
+    OptFlags::lunarglass_default()
+}
+
+/// `tests/golden/flagship_blur9.<backend>.<ext>`.
+fn golden_path(backend: BackendKind) -> PathBuf {
+    let ext = match backend {
+        BackendKind::DesktopGlsl | BackendKind::Gles => "glsl",
+        BackendKind::SpirvAsm => "spvasm",
+        BackendKind::Msl => "metal",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("flagship_blur9.{}.{ext}", backend.name()))
+}
+
+/// First differing line of two texts, for a readable failure message.
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("line {}:\n  expected: {e}\n  actual:   {a}", i + 1);
+        }
+    }
+    format!(
+        "line count differs: expected {} lines, actual {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn blur_emission_matches_the_committed_goldens_for_every_backend() {
+    let corpus = Corpus::gfxbench_like();
+    let case = corpus.blur9();
+    let session = CompileSession::new(&case.source, &case.name).expect("blur session");
+    let bless = std::env::var_os("PRISM_BLESS").is_some();
+    for backend in BackendKind::ALL {
+        let text = session.text_for(snapshot_flags(), backend).unwrap();
+        let path = golden_path(backend);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, text.as_bytes()).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}) — regenerate with PRISM_BLESS=1 cargo test --test golden_snapshots",
+                path.display()
+            )
+        });
+        assert_eq!(
+            expected,
+            *text,
+            "{backend} emission drifted from {} — first diff at {}\n\
+             (intentional? regenerate with PRISM_BLESS=1 cargo test --test golden_snapshots)",
+            path.display(),
+            first_diff(&expected, &text)
+        );
+    }
+}
+
+/// The goldens themselves stay honest: each committed file must still parse
+/// with its backend's consuming front-end and expose the blur's interface.
+#[test]
+fn committed_goldens_parse_with_their_front_ends() {
+    if std::env::var_os("PRISM_BLESS").is_some() {
+        return;
+    }
+    let mut interfaces = Vec::new();
+    for backend in BackendKind::ALL {
+        let path = golden_path(backend);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        let iface = prism::emit::source_interface(backend, &text)
+            .unwrap_or_else(|e| panic!("golden {} does not parse: {e}", path.display()));
+        interfaces.push(iface);
+    }
+    for iface in &interfaces[1..] {
+        assert!(iface.same_io(&interfaces[0]));
+    }
+}

@@ -33,10 +33,10 @@ fn search_config() -> StudyConfig {
 #[test]
 fn strategies_meet_the_default_policy_below_a_quarter_of_the_compile_cost() {
     let study = run_study(&mini_corpus(), &search_config());
-    assert_eq!(study.platforms().len(), 5);
+    assert_eq!(study.platforms().len(), 7);
 
-    // 5 platforms x 4 strategies.
-    assert_eq!(study.search.len(), 5 * strategy_names().len());
+    // 7 platforms x 4 strategies.
+    assert_eq!(study.search.len(), 7 * strategy_names().len());
     for vendor in study.platforms() {
         for strategy in strategy_names() {
             let row = study

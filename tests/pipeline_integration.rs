@@ -2,6 +2,7 @@
 //! cost model, exercised together the way the study uses them.
 
 use prism::core::{compile, unique_variants, Flag, OptFlags};
+use prism::emit::Backend;
 use prism::glsl::ShaderSource;
 use prism::gpu::{Platform, Vendor};
 use prism::ir::interp::{results_approx_equal, run_fragment, FragmentContext};
@@ -66,29 +67,30 @@ fn optimized_glsl_reparses_with_identical_interface() {
 /// (the paper's Fig. 3 shape).
 #[test]
 fn blur_gains_follow_the_paper_shape() {
+    use prism::emit::BackendKind;
     let source = blur_source();
-    let optimized = compile(
-        &source,
-        "blur",
-        OptFlags::from_flags(&[
-            Flag::Unroll,
-            Flag::Coalesce,
-            Flag::FpReassociate,
-            Flag::DivToMul,
-        ]),
-    )
-    .unwrap();
+    let session = prism::core::CompileSession::new(&source, "blur").expect("session");
+    let flags = OptFlags::from_flags(&[
+        Flag::Unroll,
+        Flag::Coalesce,
+        Flag::FpReassociate,
+        Flag::DivToMul,
+    ]);
     let mut gains = Vec::new();
     for vendor in Vendor::ALL {
         let platform = Platform::new(vendor);
-        let before = platform
-            .submit(&source.text, "blur")
-            .unwrap()
-            .ideal_frame_ns;
-        let after = platform
-            .submit(&optimized.glsl, "blur")
-            .unwrap()
-            .ideal_frame_ns;
+        // Each driver receives its own source form: the desktops the corpus
+        // text, everyone else the conversion of the (un)optimized lowering.
+        let original_converted;
+        let original: &str = if platform.backend() == BackendKind::DesktopGlsl {
+            &source.text
+        } else {
+            original_converted = session.base_text_for(platform.backend());
+            &original_converted
+        };
+        let optimized = session.text_for(flags, platform.backend()).unwrap();
+        let before = platform.submit(original, "blur").unwrap().ideal_frame_ns;
+        let after = platform.submit(&optimized, "blur").unwrap().ideal_frame_ns;
         let gain = (before - after) / before * 100.0;
         assert!(
             gain > 0.0,
@@ -101,13 +103,13 @@ fn blur_gains_follow_the_paper_shape() {
         .filter(|(v, _)| !v.is_mobile())
         .map(|(_, g)| *g)
         .sum::<f64>()
-        / 3.0;
+        / Vendor::DESKTOP.len() as f64;
     let mobile_avg = gains
         .iter()
         .filter(|(v, _)| v.is_mobile())
         .map(|(_, g)| *g)
         .sum::<f64>()
-        / 2.0;
+        / Vendor::MOBILE.len() as f64;
     assert!(
         mobile_avg > desktop_avg,
         "mobile ({mobile_avg:.2}%) should gain more than desktop ({desktop_avg:.2}%): {gains:?}"
@@ -207,7 +209,7 @@ fn mobile_conversion_differs_but_keeps_interface() {
     let source = blur_source();
     let compiled = compile(&source, "blur", OptFlags::lunarglass_default()).unwrap();
     let desktop = prism::emit::emit_glsl(&compiled.ir);
-    let mobile = prism::emit::emit_gles(&compiled.ir);
+    let mobile = prism::emit::Gles.emit(&compiled.ir);
     assert_ne!(desktop, mobile);
     let reparsed = ShaderSource::preprocess_and_parse(&mobile, &Default::default()).unwrap();
     assert!(source.interface.same_io(&reparsed.interface));

@@ -21,7 +21,7 @@
 //!   the desktop and GLES emission backends.
 
 use prism::core::{compile, unique_variants, CacheStore, CompileSession, CorpusCache, OptFlags};
-use prism::emit::BackendKind;
+use prism::emit::{Backend, BackendKind};
 use prism::glsl::ShaderSource;
 use prism::ir::interp::{results_approx_equal, run_fragment, FragmentContext};
 use std::sync::Arc;
@@ -161,7 +161,7 @@ fn emitted_glsl_reparses_and_keeps_interface() {
         let reparsed = ShaderSource::preprocess_and_parse(&optimized.glsl, &Default::default())
             .expect("emitted GLSL re-parses");
         assert!(source.interface.same_io(&reparsed.interface));
-        let gles = prism::emit::emit_gles(&optimized.ir);
+        let gles = prism::emit::Gles.emit(&optimized.ir);
         assert!(
             prism::emit::same_interface(&optimized.glsl, &gles),
             "desktop and GLES emissions must expose one interface:\n{gles}"

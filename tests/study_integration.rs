@@ -40,7 +40,7 @@ fn run_mini_study() -> StudyResults {
 #[test]
 fn full_pipeline_study_produces_all_figures() {
     let study = run_mini_study();
-    assert_eq!(study.platforms().len(), 5);
+    assert_eq!(study.platforms().len(), 7);
     assert_eq!(study.shaders.len(), 12);
 
     // Every renderer produces non-trivial output for this study.
@@ -131,35 +131,37 @@ fn qualitative_results_follow_the_paper() {
     );
 }
 
-/// Backend routing, end to end: every mobile-platform row must have been
-/// compiled by its driver from GLES text (`#version 310 es` actually reached
-/// the driver front-end — the submission records the version it parsed), and
-/// every desktop row from desktop GLSL.
+/// Backend routing, end to end: every row must have been compiled by its
+/// driver from the source form the platform declares — the submission
+/// records the version token the driver front-end actually parsed — across
+/// all four backends (GLES conversion for the Android phones, SPIR-V
+/// assembly for the Vulkan desktop, MSL for Apple, desktop GLSL elsewhere).
 #[test]
-fn mobile_rows_are_compiled_from_gles_text_and_desktop_rows_from_desktop_text() {
+fn every_row_is_compiled_from_its_platforms_declared_source_form() {
     let study = run_mini_study();
-    assert_eq!(study.measurements.len(), 12 * 5);
+    assert_eq!(study.measurements.len(), 12 * 7);
     for m in &study.measurements {
         let vendor = Vendor::ALL
             .iter()
             .find(|v| v.name() == m.vendor)
             .expect("known vendor");
-        if vendor.is_mobile() {
-            assert_eq!(m.backend, "gles", "{} on {}", m.shader, m.vendor);
-            assert_eq!(
-                m.driver_glsl_version, "310 es",
-                "{} on {}: GLES text must reach the mobile driver",
-                m.shader, m.vendor
-            );
-        } else {
-            assert_eq!(m.backend, "desktop", "{} on {}", m.shader, m.vendor);
-            assert_eq!(
-                m.driver_glsl_version, "450",
-                "{} on {}: desktop text must reach the desktop driver",
-                m.shader, m.vendor
-            );
-        }
+        let expected = vendor.backend();
+        assert_eq!(m.backend, expected.name(), "{} on {}", m.shader, m.vendor);
+        assert_eq!(
+            m.driver_source_version,
+            expected.version(),
+            "{} on {}: the declared source form must reach the driver",
+            m.shader,
+            m.vendor
+        );
     }
+    // All four source forms actually appear in the sweep.
+    let forms: std::collections::HashSet<&str> = study
+        .measurements
+        .iter()
+        .map(|m| m.backend.as_str())
+        .collect();
+    assert_eq!(forms.len(), 4, "{forms:?}");
 }
 
 /// The shared corpus cache changes how fast the sweep runs, never what it
