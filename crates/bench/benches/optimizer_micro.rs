@@ -16,7 +16,7 @@ use std::time::Instant;
 /// Brute-force variant generation: the pre-session hot path, kept here as the
 /// benchmark baseline (one full compile per combination, dedup by text).
 fn brute_force_variants(source: &prism_glsl::ShaderSource, name: &str) -> usize {
-    let mut unique: Vec<String> = Vec::new();
+    let mut unique: Vec<std::sync::Arc<str>> = Vec::new();
     for flags in OptFlags::all_combinations() {
         let compiled = compile(source, name, flags).unwrap();
         if !unique.contains(&compiled.glsl) {

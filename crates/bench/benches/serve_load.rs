@@ -1,0 +1,196 @@
+//! Criterion benchmark + smoke contract for the sharded compile service.
+//!
+//! Drives seeded Zipf-skewed request streams (corpus shaders × flag sets ×
+//! 4 backends) through a [`CompileService`] and reports deterministic
+//! work-counter latencies. Three contract phases run even in smoke mode
+//! (`PRISM_BENCH_SMOKE=1`):
+//!
+//! 1. **steady state** — after warm-up, coalesced + memo-served requests
+//!    are ≥ 90% of the stream and the p50 request costs zero work;
+//! 2. **warm boot** — a service booted from the previous service's snapshot
+//!    replays the same stream with **zero** stage runs and byte-identical
+//!    responses;
+//! 3. **hammer** — a worker-pool service under concurrent identical clients
+//!    coalesces (`coalesced_requests > 0`) and stays byte-identical.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prism_core::OptFlags;
+use prism_corpus::Corpus;
+use prism_emit::BackendKind;
+use prism_serve::{
+    request_stream, run_stream, CompileRequest, CompileService, ServeConfig, StreamSpec,
+};
+use std::sync::{Arc, Barrier};
+
+/// Whether the reduced CI smoke configuration is requested.
+fn smoke() -> bool {
+    std::env::var_os("PRISM_BENCH_SMOKE").is_some()
+}
+
+fn serve_corpus() -> Corpus {
+    if smoke() {
+        Corpus::gfxbench_like().subset(&[
+            "flagship_blur9",
+            "ui_blit_00",
+            "texture_combine_00",
+            "forward_lit_00",
+        ])
+    } else {
+        Corpus::gfxbench_like()
+    }
+}
+
+fn stream_spec() -> StreamSpec {
+    if smoke() {
+        StreamSpec::standard(7, 400)
+    } else {
+        StreamSpec::standard(7, 1600)
+    }
+}
+
+fn warmup_len(spec: &StreamSpec) -> usize {
+    spec.requests * 3 / 8
+}
+
+fn serve_load_benchmarks(c: &mut Criterion) {
+    let corpus = serve_corpus();
+    let spec = stream_spec();
+    let stream = request_stream(&corpus, &spec);
+
+    // Timing target 1: the steady-state stream against a pre-warmed service
+    // (the serving hot path — almost entirely memo lookups).
+    let warmed = CompileService::new(ServeConfig::default());
+    run_stream(&warmed, &stream, 0);
+    c.bench_function("serve_steady_state_stream", |b| {
+        b.iter(|| black_box(run_stream(&warmed, &stream, 0)))
+    });
+
+    // Timing target 2: one fully cold boot-and-serve cycle.
+    c.bench_function("serve_cold_boot_stream", |b| {
+        b.iter(|| {
+            let service = CompileService::new(ServeConfig::default());
+            black_box(run_stream(&service, &stream, 0))
+        })
+    });
+
+    smoke_contract(&corpus, &spec, &stream);
+}
+
+/// The checked contract run (printed + hard-asserted, so CI smoke catches
+/// regressions in the serving path itself, not just its latency).
+fn smoke_contract(_corpus: &Corpus, spec: &StreamSpec, stream: &[CompileRequest]) {
+    // Phase 1: steady state. ≥ 90% of post-warm-up requests are free.
+    let dir = std::env::temp_dir().join(format!(
+        "prism-serve-bench-{}-{:p}",
+        std::process::id(),
+        spec
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        warm_start_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let warmup = warmup_len(spec);
+    let cold = CompileService::new(config.clone());
+    let summary = run_stream(&cold, stream, warmup);
+    println!(
+        "\nserve steady state ({} requests, {} measured): p50={} p99={} free={:.1}% memo={} zero_copy={}",
+        summary.requests,
+        summary.measured,
+        summary.p50_latency,
+        summary.p99_latency,
+        100.0 * summary.free_fraction(),
+        summary.memo_served,
+        summary.zero_copy,
+    );
+    assert_eq!(summary.errors, 0, "{summary:?}");
+    assert!(
+        summary.free_fraction() >= 0.9,
+        "steady-state free fraction {:.3} below the 90% acceptance: {summary:?}",
+        summary.free_fraction()
+    );
+    assert_eq!(
+        summary.p50_latency, 0,
+        "the p50 request must be memo-served"
+    );
+
+    // A replayed request must answer with the memo's own allocation.
+    let probe = stream[0].clone();
+    let first = cold.compile(&probe).unwrap();
+    let second = cold.compile(&probe).unwrap();
+    assert!(
+        Arc::ptr_eq(&first.text, &second.text),
+        "replayed response body is not the shared memo handle"
+    );
+
+    // Phase 2: warm boot. Snapshot, boot a new service from disk, replay.
+    let cold_stats = cold.stats();
+    assert!(cold_stats.cache.stage_runs > 0);
+    cold.shutdown().unwrap().expect("snapshot written");
+    let warm = CompileService::new(config);
+    let warm_summary = run_stream(&warm, stream, 0);
+    println!(
+        "serve warm boot: stage_runs={} memo_served={}/{}",
+        warm_summary.stage_runs, warm_summary.memo_served, warm_summary.measured
+    );
+    assert_eq!(
+        warm_summary.stage_runs, 0,
+        "warm-booted service re-ran stages: {warm_summary:?}"
+    );
+    assert_eq!(warm_summary.errors, 0);
+    assert_eq!(warm_summary.memo_served, warm_summary.measured);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 3: hammer. A worker-pool service under concurrent identical
+    // clients must coalesce; the hook holds the leader until every other
+    // client has joined its flight, making `coalesced_requests > 0` a hard
+    // guarantee rather than a race.
+    const CLIENTS: usize = 8;
+    let hammer = Arc::new(CompileService::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    }));
+    hammer.set_compute_hook(Some(Box::new(|probe| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while probe.waiters() < CLIENTS - 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+    })));
+    let request = CompileRequest::new(&stream[0].source, OptFlags::all(), BackendKind::SpirvAsm);
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let texts: Vec<Arc<str>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let hammer = Arc::clone(&hammer);
+                let barrier = Arc::clone(&barrier);
+                let request = request.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    hammer.compile(&request).unwrap().text
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    hammer.set_compute_hook(None);
+    for text in &texts[1..] {
+        assert_eq!(text, &texts[0], "hammered responses diverged");
+    }
+    let hammer_stats = hammer.stats();
+    println!(
+        "serve hammer: coalesced_requests={} routed_requests={}",
+        hammer_stats.cache.coalesced_requests, hammer_stats.cache.routed_requests
+    );
+    assert!(
+        hammer_stats.cache.coalesced_requests > 0,
+        "concurrent identical clients did not coalesce: {hammer_stats:?}"
+    );
+    println!("  contract: OK (>=90% free, warm boot 0 stage runs, coalescing live)");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(if smoke() { 2 } else { 10 });
+    targets = serve_load_benchmarks
+}
+criterion_main!(benches);

@@ -49,7 +49,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
 pub mod persist;
 
@@ -77,10 +77,12 @@ struct Transition {
 }
 
 /// Emission-cache entry: (final-IR exemplar, its owner, the emitted text).
+/// The text is a shared `Arc<str>` so a memo hit hands the caller a
+/// refcount bump, never a copy of the response body.
 struct Emitted {
     owner: SessionId,
     ir: Arc<Shader>,
-    text: Arc<String>,
+    text: Arc<str>,
 }
 
 type TransitionMap = HashMap<(usize, Fingerprint), Vec<Transition>>;
@@ -133,6 +135,13 @@ pub struct CacheStats {
     /// a snapshot written by a *newer* build). Unlike a shard-level problem,
     /// an unknown entry costs only itself: the rest of the shard loads.
     pub warm_entries_skipped: usize,
+    /// Compile-service requests routed to a fingerprint shard after the
+    /// shared front stage (0 outside a serving process).
+    pub routed_requests: usize,
+    /// Subset of `routed_requests` that coalesced onto an identical
+    /// in-flight compile instead of starting their own — the singleflight
+    /// wins of a serving process.
+    pub coalesced_requests: usize,
 }
 
 impl CacheStats {
@@ -178,13 +187,14 @@ pub trait CacheStore {
         output: Snapshot,
     );
 
-    /// Looks up the emitted text of `state` for `backend`.
+    /// Looks up the emitted text of `state` for `backend`. The returned
+    /// handle shares the cached allocation — callers never pay a body copy.
     fn emission(
         &self,
         session: SessionId,
         backend: BackendKind,
         state: &Snapshot,
-    ) -> Option<Arc<String>>;
+    ) -> Option<Arc<str>>;
 
     /// Records the emitted text of `state` for `backend`.
     fn record_emission(
@@ -192,7 +202,7 @@ pub trait CacheStore {
         session: SessionId,
         backend: BackendKind,
         state: &Snapshot,
-        text: Arc<String>,
+        text: Arc<str>,
     );
 
     /// Work/sharing counters accumulated so far.
@@ -210,7 +220,7 @@ fn find_transition(bucket: &[Transition], input: &Snapshot) -> Option<(SessionId
 }
 
 /// Confirms a candidate emission bucket entry and returns its text.
-fn find_emission(bucket: &[Emitted], state: &Snapshot) -> Option<(SessionId, Arc<String>)> {
+fn find_emission(bucket: &[Emitted], state: &Snapshot) -> Option<(SessionId, Arc<str>)> {
     bucket
         .iter()
         .find(|e| Arc::ptr_eq(&e.ir, &state.ir) || e.ir.same_structure(&state.ir))
@@ -280,7 +290,7 @@ impl CacheStore for SessionCache {
         session: SessionId,
         backend: BackendKind,
         state: &Snapshot,
-    ) -> Option<Arc<String>> {
+    ) -> Option<Arc<str>> {
         let found = self
             .emissions
             .borrow()
@@ -300,7 +310,7 @@ impl CacheStore for SessionCache {
         session: SessionId,
         backend: BackendKind,
         state: &Snapshot,
-        text: Arc<String>,
+        text: Arc<str>,
     ) {
         {
             let mut stats = self.stats.borrow_mut();
@@ -327,6 +337,18 @@ impl CacheStore for SessionCache {
 /// fingerprint, so concurrent sessions working on unrelated IR rarely touch
 /// the same lock.
 const SHARDS: usize = 16;
+
+/// The fingerprint-range shard count, public so a serving layer can route
+/// requests with the exact same split the cache (and its persisted snapshot
+/// files) use — one shard owner per `shard-NN.json` without re-keying.
+pub const FINGERPRINT_SHARDS: usize = SHARDS;
+
+/// The shard a fingerprint belongs to, in `0..FINGERPRINT_SHARDS`. This is
+/// the routing function: the cache's lock shards, the persisted snapshot
+/// files and a compile service's shard-owner workers all agree on it.
+pub fn shard_of(fp: Fingerprint) -> usize {
+    (fp.0 as usize) % SHARDS
+}
 
 /// Family label given to sessions registered without one.
 const UNATTRIBUTED: &str = "(unattributed)";
@@ -548,8 +570,12 @@ pub struct CorpusCache {
     shard_budget: Option<usize>,
     /// Monotonic generation clock for LRU stamping.
     clock: AtomicU64,
-    transitions: Vec<Mutex<BoundedMap<(usize, Fingerprint), Transition>>>,
-    emissions: Vec<Mutex<BoundedMap<(Fingerprint, BackendKind), Emitted>>>,
+    /// Shard maps behind `RwLock`s: pure lookups peek under a read lock (the
+    /// serve hot path is almost all hits, and readers must not serialize on
+    /// each other), writers take the exclusive lock once per record — or once
+    /// per confirmed hit for the bounded stores' LRU touch.
+    transitions: Vec<RwLock<BoundedMap<(usize, Fingerprint), Transition>>>,
+    emissions: Vec<RwLock<BoundedMap<(Fingerprint, BackendKind), Emitted>>>,
     families: RwLock<FamilyTable>,
     stage_runs: AtomicUsize,
     stage_hits: AtomicUsize,
@@ -565,6 +591,8 @@ pub struct CorpusCache {
     warm_shards_loaded: AtomicUsize,
     warm_shards_skipped: AtomicUsize,
     pub(crate) warm_entries_skipped: AtomicUsize,
+    routed_requests: AtomicUsize,
+    coalesced_requests: AtomicUsize,
 }
 
 impl Default for CorpusCache {
@@ -601,8 +629,12 @@ impl CorpusCache {
             budget,
             shard_budget: budget.map(|b| (b / (2 * SHARDS)).max(1)),
             clock: AtomicU64::new(0),
-            transitions: (0..SHARDS).map(|_| Mutex::new(BoundedMap::new())).collect(),
-            emissions: (0..SHARDS).map(|_| Mutex::new(BoundedMap::new())).collect(),
+            transitions: (0..SHARDS)
+                .map(|_| RwLock::new(BoundedMap::new()))
+                .collect(),
+            emissions: (0..SHARDS)
+                .map(|_| RwLock::new(BoundedMap::new()))
+                .collect(),
             families: RwLock::new(FamilyTable::default()),
             stage_runs: AtomicUsize::new(0),
             stage_hits: AtomicUsize::new(0),
@@ -618,7 +650,21 @@ impl CorpusCache {
             warm_shards_loaded: AtomicUsize::new(0),
             warm_shards_skipped: AtomicUsize::new(0),
             warm_entries_skipped: AtomicUsize::new(0),
+            routed_requests: AtomicUsize::new(0),
+            coalesced_requests: AtomicUsize::new(0),
         }
+    }
+
+    /// Counts a compile-service request routed to a fingerprint shard. The
+    /// cache owns the counter so serving telemetry travels with the rest of
+    /// [`CacheStats`] through reports and the perf gate.
+    pub fn note_routed_request(&self) {
+        self.routed_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request that coalesced onto an identical in-flight compile.
+    pub fn note_coalesced_request(&self) {
+        self.coalesced_requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The configured entry budget, if this store is bounded.
@@ -633,12 +679,12 @@ impl CorpusCache {
         let transitions: usize = self
             .transitions
             .iter()
-            .map(|s| s.lock().expect("corpus cache poisoned").entries)
+            .map(|s| s.read().expect("corpus cache poisoned").entries)
             .sum();
         let emissions: usize = self
             .emissions
             .iter()
-            .map(|s| s.lock().expect("corpus cache poisoned").entries)
+            .map(|s| s.read().expect("corpus cache poisoned").entries)
             .sum();
         transitions + emissions
     }
@@ -654,7 +700,7 @@ impl CorpusCache {
     }
 
     fn shard(fp: Fingerprint) -> usize {
-        (fp.0 as usize) % SHARDS
+        shard_of(fp)
     }
 
     fn now(&self) -> u64 {
@@ -689,13 +735,14 @@ impl CacheStore for CorpusCache {
     }
 
     fn transition(&self, session: SessionId, stage: usize, input: &Snapshot) -> Option<Snapshot> {
-        // Clone the bucket's candidates (cheap Arc bumps) under the lock and
-        // confirm structural equality *after* dropping it: deep IR compares
-        // must not serialize other workers on this shard.
+        // Clone the bucket's candidates (cheap Arc bumps) under a *read*
+        // lock and confirm structural equality *after* dropping it: a pure
+        // hit never blocks other readers of this shard, and deep IR compares
+        // must not serialize anyone.
         let key = (stage, input.fp);
         let candidates: Vec<(SessionId, Arc<Shader>, Snapshot)> = {
             let shard = self.transitions[Self::shard(input.fp)]
-                .lock()
+                .read()
                 .expect("corpus cache poisoned");
             match shard.peek(&key) {
                 Some(bucket) => bucket
@@ -713,12 +760,13 @@ impl CacheStore for CorpusCache {
                         .then_some((owner, cand_ir, output))
                 })?;
         // LRU touch of exactly the confirmed entry — unconfirmed bucket
-        // neighbours keep their stamps and stay evictable. An unbounded
-        // store never evicts, so it skips the second lock acquisition.
+        // neighbours keep their stamps and stay evictable. Only bounded
+        // stores pay this write-lock acquisition; an unbounded store's hit
+        // path is read-locks only.
         if self.shard_budget.is_some() {
             let now = self.now();
             self.transitions[Self::shard(input.fp)]
-                .lock()
+                .write()
                 .expect("corpus cache poisoned")
                 .refresh(&key, now, |t| Arc::ptr_eq(&t.input.ir, &hit_ir));
         }
@@ -747,7 +795,7 @@ impl CacheStore for CorpusCache {
         });
         let now = self.now();
         let evicted = self.transitions[Self::shard(input.fp)]
-            .lock()
+            .write()
             .expect("corpus cache poisoned")
             .insert(
                 (stage, input.fp),
@@ -767,13 +815,14 @@ impl CacheStore for CorpusCache {
         session: SessionId,
         backend: BackendKind,
         state: &Snapshot,
-    ) -> Option<Arc<String>> {
-        // As with transitions: snapshot the candidates, confirm deep equality
-        // outside the shard lock, then refresh only the confirmed entry.
+    ) -> Option<Arc<str>> {
+        // As with transitions: snapshot the candidates under a read lock,
+        // confirm deep equality outside it, then refresh only the confirmed
+        // entry (bounded stores only).
         let key = (state.fp, backend);
-        let candidates: Vec<(SessionId, Arc<Shader>, Arc<String>)> = {
+        let candidates: Vec<(SessionId, Arc<Shader>, Arc<str>)> = {
             let shard = self.emissions[Self::shard(state.fp)]
-                .lock()
+                .read()
                 .expect("corpus cache poisoned");
             match shard.peek(&key) {
                 Some(bucket) => bucket
@@ -790,7 +839,7 @@ impl CacheStore for CorpusCache {
         if self.shard_budget.is_some() {
             let now = self.now();
             self.emissions[Self::shard(state.fp)]
-                .lock()
+                .write()
                 .expect("corpus cache poisoned")
                 .refresh(&key, now, |e| Arc::ptr_eq(&e.ir, &hit_ir));
         }
@@ -812,7 +861,7 @@ impl CacheStore for CorpusCache {
         session: SessionId,
         backend: BackendKind,
         state: &Snapshot,
-        text: Arc<String>,
+        text: Arc<str>,
     ) {
         self.emissions_done.fetch_add(1, Ordering::Relaxed);
         self.emissions_by_backend[backend.index()].fetch_add(1, Ordering::Relaxed);
@@ -821,7 +870,7 @@ impl CacheStore for CorpusCache {
         });
         let now = self.now();
         let evicted = self.emissions[Self::shard(state.fp)]
-            .lock()
+            .write()
             .expect("corpus cache poisoned")
             .insert(
                 (state.fp, backend),
@@ -855,6 +904,8 @@ impl CacheStore for CorpusCache {
             warm_shards_loaded: self.warm_shards_loaded.load(Ordering::Relaxed),
             warm_shards_skipped: self.warm_shards_skipped.load(Ordering::Relaxed),
             warm_entries_skipped: self.warm_entries_skipped.load(Ordering::Relaxed),
+            routed_requests: self.routed_requests.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -915,13 +966,13 @@ mod tests {
         // A different stage index misses.
         assert!(store.transition(s2, 1, &input).is_none());
 
-        let text = Arc::new("void main() {}".to_string());
+        let text: Arc<str> = Arc::from("void main() {}");
         assert!(store.emission(s1, BackendKind::Gles, &input).is_none());
         store.record_emission(s1, BackendKind::Gles, &input, Arc::clone(&text));
-        assert_eq!(
-            store.emission(s2, BackendKind::Gles, &input).as_deref(),
-            Some(&*text)
-        );
+        let hit = store.emission(s2, BackendKind::Gles, &input).expect("hit");
+        assert_eq!(&*hit, &*text);
+        // The hit is the shared allocation, not a copy of the body.
+        assert!(Arc::ptr_eq(&hit, &text));
         // Backends do not alias each other's entries.
         assert!(store
             .emission(s1, BackendKind::DesktopGlsl, &input)
@@ -1058,7 +1109,7 @@ mod tests {
         assert!(cache.transition(blur2, 0, &input).is_some());
         assert!(cache.transition(ui, 0, &input).is_some());
         assert!(cache.transition(anon, 0, &input).is_some());
-        cache.record_emission(ui, BackendKind::Gles, &input, Arc::new("x".into()));
+        cache.record_emission(ui, BackendKind::Gles, &input, Arc::from("x"));
 
         let families = cache.family_stats();
         let get = |name: &str| {
@@ -1079,6 +1130,79 @@ mod tests {
         let anon_stats = get("(unattributed)");
         assert_eq!(anon_stats.sessions, 1);
         assert_eq!(anon_stats.stage_hits, 1);
+    }
+
+    #[test]
+    fn shard_of_agrees_with_the_cache_lock_split() {
+        for seed in 0..64u32 {
+            let snap = snapshot(seed);
+            assert_eq!(shard_of(snap.fp), CorpusCache::shard(snap.fp));
+            assert!(shard_of(snap.fp) < FINGERPRINT_SHARDS);
+        }
+    }
+
+    /// Satellite regression test for the read-path lock split: many threads
+    /// hammering the emission memo with pure hits (plus a few writers) must
+    /// observe byte-identical text — and the same shared allocation — as a
+    /// sequential reader, on both bounded and unbounded stores.
+    #[test]
+    fn emission_reads_are_byte_identical_under_a_multithreaded_hammer() {
+        for budget in [None, Some(64)] {
+            let cache = Arc::new(match budget {
+                Some(b) => CorpusCache::bounded(b),
+                None => CorpusCache::new(),
+            });
+            let writer = cache.register_session();
+            let states: Vec<Snapshot> = (0..8).map(snapshot).collect();
+            let texts: Vec<Arc<str>> = (0..8)
+                .map(|i| Arc::from(format!("// emission {i}\nvoid main() {{}}").as_str()))
+                .collect();
+            for (state, text) in states.iter().zip(&texts) {
+                cache.record_emission(writer, BackendKind::Msl, state, Arc::clone(text));
+            }
+
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let cache = Arc::clone(&cache);
+                    let states = states.clone();
+                    let texts = texts.clone();
+                    std::thread::spawn(move || {
+                        let id = cache.register_session();
+                        for round in 0..200 {
+                            let i = (t + round) % states.len();
+                            match cache.emission(id, BackendKind::Msl, &states[i]) {
+                                Some(hit) => {
+                                    assert_eq!(&*hit, &*texts[i], "torn read on entry {i}");
+                                }
+                                // Bounded stores may have evicted the entry;
+                                // a miss is recomputed, never wrong.
+                                None => {
+                                    cache.record_emission(
+                                        id,
+                                        BackendKind::Msl,
+                                        &states[i],
+                                        Arc::clone(&texts[i]),
+                                    );
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Sequential replay after the hammer still confirms structurally
+            // and shares the allocation (unbounded case: nothing evicted).
+            if budget.is_none() {
+                for (state, text) in states.iter().zip(&texts) {
+                    let hit = cache
+                        .emission(writer, BackendKind::Msl, state)
+                        .expect("unbounded entries never evict");
+                    assert!(Arc::ptr_eq(&hit, text));
+                }
+            }
+        }
     }
 
     #[test]

@@ -197,10 +197,12 @@ serde::impl_serde_struct!(PersistedTransition {
 });
 
 /// One persisted emission: final-IR exemplar, backend name, emitted text.
+/// The text is a plain `String` on disk (the in-memory `Arc<str>` handle is
+/// not serialisable and would encode identically anyway); load re-wraps it.
 struct PersistedEmission {
     backend: String,
     ir: Arc<Shader>,
-    text: Arc<String>,
+    text: String,
 }
 
 serde::impl_serde_struct!(PersistedEmission { backend, ir, text });
@@ -309,7 +311,7 @@ impl CorpusCache {
     fn shard_payload(&self, shard: usize) -> ShardPayload {
         let mut transitions: Vec<(usize, u128, u64, PersistedTransition)> = {
             let map = self.transitions[shard]
-                .lock()
+                .read()
                 .expect("corpus cache poisoned");
             map.map
                 .iter()
@@ -331,7 +333,7 @@ impl CorpusCache {
         };
         transitions.sort_by_key(|(stage, fp, generation, _)| (*stage, *fp, *generation));
         let mut emissions: Vec<(u128, &'static str, u64, PersistedEmission)> = {
-            let map = self.emissions[shard].lock().expect("corpus cache poisoned");
+            let map = self.emissions[shard].read().expect("corpus cache poisoned");
             map.map
                 .iter()
                 .flat_map(|((fp, backend), bucket)| {
@@ -343,7 +345,7 @@ impl CorpusCache {
                             PersistedEmission {
                                 backend: backend.name().to_string(),
                                 ir: Arc::clone(&e.ir),
-                                text: Arc::clone(&e.text),
+                                text: e.text.to_string(),
                             },
                         )
                     })
@@ -432,7 +434,7 @@ impl CorpusCache {
             if Self::shard(state.fp) != shard {
                 return Err("emission entry in wrong shard".to_string());
             }
-            staged_emissions.push((backend, state, e.text));
+            staged_emissions.push((backend, state, Arc::<str>::from(e.text)));
         }
 
         let mut loaded = 0;
@@ -457,7 +459,7 @@ impl CorpusCache {
         let key = (stage, input.fp);
         let evicted = {
             let mut map = self.transitions[Self::shard(input.fp)]
-                .lock()
+                .write()
                 .expect("corpus cache poisoned");
             if let Some(bucket) = map.peek(&key) {
                 if bucket
@@ -485,16 +487,11 @@ impl CorpusCache {
 
     /// Inserts one restored emission under [`WARM_OWNER`] (see
     /// [`CorpusCache::insert_warm_transition`]).
-    fn insert_warm_emission(
-        &self,
-        backend: BackendKind,
-        state: Snapshot,
-        text: Arc<String>,
-    ) -> bool {
+    fn insert_warm_emission(&self, backend: BackendKind, state: Snapshot, text: Arc<str>) -> bool {
         let key = (state.fp, backend);
         let evicted = {
             let mut map = self.emissions[Self::shard(state.fp)]
-                .lock()
+                .write()
                 .expect("corpus cache poisoned");
             if let Some(bucket) = map.peek(&key) {
                 if bucket.iter().any(|(_, e)| e.ir.same_structure(&state.ir)) {
@@ -590,7 +587,7 @@ mod tests {
                     BackendKind::Gles
                 },
                 &snapshot(seed),
-                Arc::new(format!("void main() {{ /* {seed} */ }}")),
+                Arc::from(format!("void main() {{ /* {seed} */ }}")),
             );
         }
         cache

@@ -27,7 +27,10 @@ pub mod session;
 pub mod variant;
 
 pub use cache::persist::{LoadReport, SaveReport};
-pub use cache::{CacheStats, CacheStore, CorpusCache, FamilyCacheStats, SessionCache};
+pub use cache::{
+    shard_of, CacheStats, CacheStore, CorpusCache, FamilyCacheStats, SessionCache, Snapshot,
+    FINGERPRINT_SHARDS,
+};
 pub use flags::{Flag, OptFlags};
 pub use lower::{lower, LowerError};
 pub use pipeline::{

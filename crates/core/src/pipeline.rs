@@ -63,8 +63,10 @@ pub struct CompiledShader {
     pub flags: OptFlags,
     /// Optimized IR (what the GPU substrate consumes).
     pub ir: Shader,
-    /// Re-emitted desktop GLSL (what a real driver would receive).
-    pub glsl: String,
+    /// Re-emitted desktop GLSL (what a real driver would receive). A shared
+    /// handle: session-compiled shaders point straight into the emission
+    /// memo, so handing the text around never copies the body.
+    pub glsl: std::sync::Arc<str>,
 }
 
 /// One stage of the pass schedule: a group of passes that either always runs
@@ -241,7 +243,7 @@ pub fn compile(
     flags: OptFlags,
 ) -> Result<CompiledShader, CompileError> {
     let ir = compile_ir(source, name, flags)?;
-    let glsl = emit_glsl(&ir);
+    let glsl = emit_glsl(&ir).into();
     Ok(CompiledShader {
         name: name.to_string(),
         flags,

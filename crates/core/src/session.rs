@@ -247,7 +247,9 @@ impl CompileSession {
             name: self.name.clone(),
             flags,
             ir,
-            glsl: (*text).clone(),
+            // The memo's shared handle, not a copy — response bodies are
+            // refcount bumps all the way out.
+            glsl: text,
         })
     }
 
@@ -263,7 +265,7 @@ impl CompileSession {
         &self,
         flags: OptFlags,
         backend: BackendKind,
-    ) -> Result<Arc<String>, CompileError> {
+    ) -> Result<Arc<str>, CompileError> {
         let state = self.optimize(flags)?;
         Ok(self.emit(&state, backend))
     }
@@ -272,7 +274,7 @@ impl CompileSession {
     /// conversion path the paper applies to original shaders before they can
     /// run on a GLES platform at all (§III-C(d)); the SPIR-V and MSL
     /// platforms consume their originals through the same path.
-    pub fn base_text_for(&self, backend: BackendKind) -> Arc<String> {
+    pub fn base_text_for(&self, backend: BackendKind) -> Arc<str> {
         self.emit(&self.base, backend)
     }
 
@@ -307,7 +309,7 @@ impl CompileSession {
     /// any combination (an internal bug).
     pub fn variants(&self) -> Result<VariantSet, CompileError> {
         let mut variants: Vec<Variant> = Vec::new();
-        let mut by_text: HashMap<Arc<String>, usize> = HashMap::new();
+        let mut by_text: HashMap<Arc<str>, usize> = HashMap::new();
         let mut by_flags: HashMap<OptFlags, usize> = HashMap::new();
 
         // Walk combinations in mask order; OptFlags::NONE comes first, so the
@@ -329,7 +331,7 @@ impl CompileSession {
                     ir.name = self.name.clone();
                     variants.push(Variant {
                         index,
-                        glsl: (*glsl).clone(),
+                        glsl: Arc::clone(&glsl),
                         ir,
                         flag_sets: vec![flags],
                     });
@@ -390,13 +392,13 @@ impl CompileSession {
 
     /// Emits text for a final snapshot through `backend`, memoised on
     /// (fingerprint, backend) with structural-equality confirmation.
-    fn emit(&self, state: &Snapshot, backend: BackendKind) -> Arc<String> {
+    fn emit(&self, state: &Snapshot, backend: BackendKind) -> Arc<str> {
         if let Some(text) = self.cache.emission(self.id, backend, state) {
             self.stats.borrow_mut().emission_hits += 1;
             return text;
         }
 
-        let text = Arc::new(backend.backend().emit(&state.ir));
+        let text: Arc<str> = Arc::from(backend.backend().emit(&state.ir));
         self.stats.borrow_mut().emissions += 1;
         self.cache
             .record_emission(self.id, backend, state, Arc::clone(&text));
@@ -534,7 +536,7 @@ mod tests {
         // The desktop text of the same combination is a distinct memo entry.
         let desktop = session.text_for(flags, BackendKind::DesktopGlsl).unwrap();
         assert_ne!(*desktop, *via_session);
-        assert_eq!(*desktop, direct.glsl);
+        assert_eq!(*desktop, *direct.glsl);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use std::collections::HashMap;
 pub struct Variant {
     /// Index of this variant within its [`VariantSet`].
     pub index: usize,
-    /// Emitted GLSL text.
-    pub glsl: String,
+    /// Emitted GLSL text (a handle shared with the emission memo).
+    pub glsl: std::sync::Arc<str>,
     /// Optimized IR.
     pub ir: Shader,
     /// Every flag combination that produced exactly this text.

@@ -92,6 +92,19 @@ impl BackendKind {
             BackendKind::Msl => &Msl,
         }
     }
+
+    /// Request forms this backend can serve *besides* its canonical
+    /// [`BackendKind::name`]: the API/dialect labels a compile request may
+    /// name without there being a dedicated emitter for them. A
+    /// [`BackendChain`] falls through these to pick the emitter.
+    pub fn serves(self) -> &'static [&'static str] {
+        match self {
+            BackendKind::DesktopGlsl => &["glsl", "glsl450", "opengl", "desktop-glsl"],
+            BackendKind::Gles => &["essl", "gles310", "webgl2", "android-glsl"],
+            BackendKind::SpirvAsm => &["spirv-asm", "spv", "vulkan"],
+            BackendKind::Msl => &["metal", "msl-macos", "msl-ios"],
+        }
+    }
 }
 
 impl fmt::Display for BackendKind {
@@ -188,6 +201,76 @@ impl Backend for Msl {
     }
 }
 
+/// An ordered fallback chain over the emission backends, for requests that
+/// name a target *form* rather than a [`BackendKind`] — the
+/// find-compilers-chain idiom: try each link in order and take the first one
+/// that can serve the requested form. Canonical backend names always resolve
+/// directly; everything else falls through [`BackendKind::serves`].
+///
+/// # Examples
+///
+/// ```
+/// use prism_emit::{BackendChain, BackendKind};
+///
+/// let chain = BackendChain::standard();
+/// assert_eq!(chain.resolve("gles"), Some(BackendKind::Gles));
+/// // No dedicated "metal" emitter exists; the chain falls through to MSL.
+/// assert_eq!(chain.resolve("metal"), Some(BackendKind::Msl));
+/// assert_eq!(chain.resolve("dxil"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackendChain {
+    links: Vec<BackendKind>,
+}
+
+impl Default for BackendChain {
+    fn default() -> Self {
+        BackendChain::standard()
+    }
+}
+
+impl BackendChain {
+    /// The full chain, in [`BackendKind::ALL`] order.
+    pub fn standard() -> BackendChain {
+        BackendChain {
+            links: BackendKind::ALL.to_vec(),
+        }
+    }
+
+    /// A chain over an explicit subset/order of backends.
+    pub fn new(links: Vec<BackendKind>) -> BackendChain {
+        BackendChain { links }
+    }
+
+    /// The chain's links, in fall-through order.
+    pub fn links(&self) -> &[BackendKind] {
+        &self.links
+    }
+
+    /// Resolves a requested form to the backend that serves it: an exact
+    /// [`BackendKind::name`] match wins outright (a direct emitter exists),
+    /// otherwise the first link whose [`BackendKind::serves`] list contains
+    /// the form — case-insensitively — is the fallback. `None` means no link
+    /// in the chain can produce the form.
+    pub fn resolve(&self, form: &str) -> Option<BackendKind> {
+        let form = form.trim().to_ascii_lowercase();
+        if let Some(direct) = self.links.iter().find(|b| b.name() == form) {
+            return Some(*direct);
+        }
+        self.links
+            .iter()
+            .find(|b| b.serves().iter().any(|alias| *alias == form))
+            .copied()
+    }
+
+    /// Whether resolving `form` required falling through an alias (no
+    /// direct emitter by that name).
+    pub fn is_fallback(&self, form: &str) -> bool {
+        let form = form.trim().to_ascii_lowercase();
+        BackendKind::from_name(&form).is_none() && self.resolve(&form).is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +320,33 @@ mod tests {
             assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(BackendKind::from_name("webgpu"), None);
+    }
+
+    #[test]
+    fn chain_resolves_direct_names_and_falls_through_aliases() {
+        let chain = BackendChain::standard();
+        assert_eq!(chain.links().len(), BackendKind::COUNT);
+        // Canonical names resolve directly and are not fallbacks.
+        for kind in BackendKind::ALL {
+            assert_eq!(chain.resolve(kind.name()), Some(kind));
+            assert!(!chain.is_fallback(kind.name()));
+        }
+        // Every advertised alias falls through to exactly its backend.
+        for kind in BackendKind::ALL {
+            for alias in kind.serves() {
+                assert_eq!(chain.resolve(alias), Some(kind), "alias {alias}");
+                assert!(chain.is_fallback(alias), "alias {alias}");
+            }
+        }
+        // Case and whitespace are forgiven; unknown forms are refused.
+        assert_eq!(chain.resolve(" Metal "), Some(BackendKind::Msl));
+        assert_eq!(chain.resolve("VULKAN"), Some(BackendKind::SpirvAsm));
+        assert_eq!(chain.resolve("dxil"), None);
+        assert!(!chain.is_fallback("dxil"));
+        // A restricted chain refuses forms its links cannot serve.
+        let gl_only = BackendChain::new(vec![BackendKind::DesktopGlsl, BackendKind::Gles]);
+        assert_eq!(gl_only.resolve("essl"), Some(BackendKind::Gles));
+        assert_eq!(gl_only.resolve("metal"), None);
     }
 
     #[test]

@@ -61,12 +61,10 @@ pub mod msl;
 pub mod names;
 pub mod spirv;
 
+pub use backend::BackendChain;
 pub use backend::{Backend, BackendKind, DesktopGlsl, Gles, Msl, SpirvAsm};
 pub use glsl_backend::{emit_glsl, emit_glsl_with, EmitOptions, Syntax, TempNameStyle};
 pub use interface::{source_interface, SourceInterface};
 pub use mobile::same_interface;
 pub use msl::{emit_msl, msl_to_glsl};
 pub use spirv::{emit_spirv_asm, parse_spirv_asm, ParsedSpirv};
-
-#[allow(deprecated)]
-pub use mobile::emit_gles;

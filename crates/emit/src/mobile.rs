@@ -7,23 +7,9 @@
 //! backend, which writes the ES version header and precision qualifiers and
 //! renames temporaries into SPIRV-Cross's `_NNN` style *during* emission
 //! (directly from the IR, no intermediate shader clone). This module keeps
-//! the historical entry point plus the interface check the harness relies on.
-
-use crate::backend::{Backend, Gles};
-use prism_ir::prelude::*;
-
-/// Emits the OpenGL ES form of a shader (the mobile measurement path).
-///
-/// Equivalent to [`Gles`]`.emit(shader)` — and byte-identical to it on the
-/// whole corpus, asserted by the differential suite before this entry point
-/// was retired.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the Backend trait: BackendKind::Gles.backend().emit(shader)"
-)]
-pub fn emit_gles(shader: &Shader) -> String {
-    Gles.emit(shader)
-}
+//! the interface check the harness relies on; the long-deprecated
+//! `emit_gles` shim is gone — corpus-wide parity between the shim and the
+//! backend was pinned by the differential suite before removal.
 
 /// Structural check that a GLES shader converted from the same IR kept the
 /// same external interface as its desktop counterpart — the invariant that
@@ -45,10 +31,11 @@ pub fn same_interface(desktop: &str, mobile: &str) -> bool {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::backend::{Backend, Gles};
     use crate::glsl_backend::emit_glsl;
+    use prism_ir::prelude::*;
 
     fn shader() -> Shader {
         let mut s = Shader::new("mobile-test");
@@ -82,7 +69,7 @@ mod tests {
     fn gles_output_differs_but_keeps_interface() {
         let s = shader();
         let desktop = emit_glsl(&s);
-        let mobile = emit_gles(&s);
+        let mobile = Gles.emit(&s);
         assert_ne!(desktop, mobile);
         assert!(mobile.contains("#version 310 es"));
         assert!(mobile.contains("precision highp float;"));
@@ -92,7 +79,7 @@ mod tests {
 
     #[test]
     fn gles_output_reparses() {
-        let mobile = emit_gles(&shader());
+        let mobile = Gles.emit(&shader());
         assert!(
             prism_glsl::ShaderSource::preprocess_and_parse(&mobile, &Default::default()).is_ok(),
             "{mobile}"

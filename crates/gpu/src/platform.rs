@@ -184,7 +184,10 @@ mod tests {
         platform: &Platform,
         flags: prism_core::OptFlags,
     ) -> String {
-        (*session.text_for(flags, platform.backend()).unwrap()).clone()
+        session
+            .text_for(flags, platform.backend())
+            .unwrap()
+            .to_string()
     }
 
     #[test]

@@ -344,6 +344,82 @@ pub fn fig_cache(study: &StudyResults) -> String {
     } else {
         let _ = writeln!(out, "  warm start: none (cold run)");
     }
+    if stats.routed_requests > 0 {
+        let _ = writeln!(
+            out,
+            "  serving:   {:>6} routed  {:>6} coalesced ({:>5.1}%)",
+            stats.routed_requests,
+            stats.coalesced_requests,
+            100.0 * stats.coalesced_requests as f64 / stats.routed_requests as f64,
+        );
+    }
+    out
+}
+
+/// One replayed request stream against the compile service, summarised for
+/// [`fig_serve`]. Plain data so the report crate stays independent of the
+/// serve crate: callers (the demo example, the perf gate) copy their
+/// `LoadSummary`/`ServiceStats` counters in.
+#[derive(Debug, Clone, Default)]
+pub struct ServeRow {
+    /// Stream label (e.g. `"cold"`, `"warm boot"`).
+    pub label: String,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Requests in the measured (post-warm-up) window.
+    pub measured: usize,
+    /// p50 work-counter latency (stage runs + emissions) over the window.
+    pub p50_latency: usize,
+    /// p99 work-counter latency over the window.
+    pub p99_latency: usize,
+    /// Measured requests served entirely from the memo.
+    pub memo_served: usize,
+    /// Measured requests coalesced onto an in-flight compile.
+    pub coalesced: usize,
+    /// Responses answered with the emission memo's shared handle.
+    pub zero_copy: usize,
+    /// Stage runs over the whole stream (0 for a warm-booted replay).
+    pub stage_runs: usize,
+}
+
+/// Compile-service load report (beyond the paper): deterministic p50/p99
+/// work-counter latencies and free-serving rates for replayed request
+/// streams — the serving-layer counterpart of [`fig_cache`]'s study-level
+/// sharing report.
+pub fn fig_serve(rows: &[ServeRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Compile service — Zipf request streams, work-counter latency"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>8} {:>8} {:>6} {:>6} {:>8} {:>9} {:>9} {:>10}",
+        "stream",
+        "requests",
+        "measured",
+        "p50",
+        "p99",
+        "memo",
+        "coalesced",
+        "zero-copy",
+        "stage runs"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>8} {:>6} {:>6} {:>8} {:>9} {:>9} {:>10}",
+            row.label,
+            row.requests,
+            row.measured,
+            row.p50_latency,
+            row.p99_latency,
+            row.memo_served,
+            row.coalesced,
+            row.zero_copy,
+            row.stage_runs,
+        );
+    }
     out
 }
 
@@ -600,5 +676,45 @@ mod tests {
         assert!(warm.contains("40 entries from 15 shards"), "{warm}");
         assert!(warm.contains("1 shard(s) skipped"), "{warm}");
         assert!(warm.contains("25 warm-start"), "{warm}");
+
+        // Study sweeps never route requests; the serving line only appears
+        // once a compile service has driven the cache.
+        assert!(!warm.contains("serving:"), "{warm}");
+        study.cache.stats.routed_requests = 200;
+        study.cache.stats.coalesced_requests = 50;
+        let served = fig_cache(&study);
+        assert!(served.contains("200 routed"), "{served}");
+        assert!(served.contains("50 coalesced ( 25.0%)"), "{served}");
+    }
+
+    #[test]
+    fn fig_serve_renders_one_line_per_stream() {
+        let rows = vec![
+            ServeRow {
+                label: "cold".into(),
+                requests: 400,
+                measured: 250,
+                p50_latency: 0,
+                p99_latency: 12,
+                memo_served: 230,
+                coalesced: 0,
+                zero_copy: 231,
+                stage_runs: 597,
+            },
+            ServeRow {
+                label: "warm boot".into(),
+                requests: 400,
+                measured: 400,
+                stage_runs: 0,
+                memo_served: 400,
+                zero_copy: 400,
+                ..ServeRow::default()
+            },
+        ];
+        let text = fig_serve(&rows);
+        assert!(text.contains("Compile service"), "{text}");
+        assert!(text.contains("cold"), "{text}");
+        assert!(text.contains("warm boot"), "{text}");
+        assert!(text.contains("597"), "{text}");
     }
 }

@@ -332,6 +332,14 @@ impl serde::Serialize for CacheRecord {
                 "warm_entries_skipped".to_string(),
                 num(self.stats.warm_entries_skipped),
             ),
+            (
+                "routed_requests".to_string(),
+                num(self.stats.routed_requests),
+            ),
+            (
+                "coalesced_requests".to_string(),
+                num(self.stats.coalesced_requests),
+            ),
         ]);
         serde::Value::Obj(fields)
     }
@@ -388,6 +396,10 @@ impl serde::Deserialize for CacheRecord {
                 warm_shards_loaded: warm_count("warm_shards_loaded")?,
                 warm_shards_skipped: warm_count("warm_shards_skipped")?,
                 warm_entries_skipped: warm_count("warm_entries_skipped")?,
+                // The serving counters postdate the warm-start ones; the
+                // same absent-key-means-0 compatibility applies.
+                routed_requests: warm_count("routed_requests")?,
+                coalesced_requests: warm_count("coalesced_requests")?,
             },
         })
     }
@@ -576,6 +588,8 @@ mod tests {
                     warm_shards_loaded: 15,
                     warm_shards_skipped: 1,
                     warm_entries_skipped: 2,
+                    routed_requests: 9,
+                    coalesced_requests: 4,
                 },
             },
             search: vec![SearchRecord {

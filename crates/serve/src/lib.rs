@@ -1,0 +1,373 @@
+//! # prism-serve — the sharded compile service
+//!
+//! Wraps the prism optimizer in a compile-request API of the kind a driver
+//! vendor's shader-cache daemon or a cloud shader-build farm would expose:
+//! clients submit `(source, flags, backend)` and get back emitted text plus
+//! interface and work counters. The service exists to make the corpus-wide
+//! sharing the paper's übershader study measures (ISPASS'18 §IV) pay off
+//! *across* clients, not just within one study process.
+//!
+//! ## Request lifecycle: route → coalesce → batch → memo
+//!
+//! 1. **route** — a shared *lower-once front stage* parses, lowers and
+//!    verifies the source (memoised per source text), and the base IR's
+//!    structural fingerprint routes the request to its owning shard using
+//!    the cache's own 16-way split ([`prism_core::FINGERPRINT_SHARDS`] /
+//!    [`prism_core::shard_of`]). Warm-start snapshot files use the same
+//!    split, so shard ownership is stable across restarts.
+//! 2. **coalesce** — identical in-flight requests (same fingerprint, flags
+//!    and backend) merge onto one compile via a singleflight table: one
+//!    leader compiles, every waiter receives the same `Arc`'d result.
+//!    Merged requests are counted in
+//!    [`CacheStats::coalesced_requests`](prism_core::CacheStats).
+//! 3. **batch** — shard owners drain their queues in batches, taking the
+//!    queue lock once per batch rather than once per request.
+//! 4. **memo** — the compile replays the pass schedule against the shared
+//!    [`CorpusCache`](prism_core::CorpusCache): stage transitions and
+//!    emitted text that any previous request (or a warm-start snapshot)
+//!    paid for are answered from the memo, and response bodies are the
+//!    memo's shared `Arc<str>` handle — a refcount bump, never a copy.
+//!
+//! With `workers == 0` ([`ServeConfig`]) the submitting thread drives its
+//! own shard inline, making request streams fully deterministic; the
+//! [`load`] harness and the perf gate run this mode. With `workers > 0` a
+//! pool of shard-owner threads serves the queues.
+//!
+//! ```
+//! use prism_serve::{CompileRequest, CompileService, ServeConfig};
+//! use prism_core::OptFlags;
+//! use prism_emit::BackendKind;
+//!
+//! let service = CompileService::new(ServeConfig::default());
+//! let source = "uniform float u_gain;\nin vec2 v_uv;\nout vec4 frag;\nvoid main() {\n    frag = vec4(v_uv * u_gain, 0.0, 1.0);\n}\n";
+//! let request = CompileRequest::new(source, OptFlags::all(), BackendKind::Gles);
+//! let first = service.compile(&request).unwrap();
+//! let second = service.compile(&request).unwrap();
+//! assert_eq!(first.text, second.text);
+//! assert!(second.zero_copy, "the replay is answered by the emission memo");
+//! assert_eq!(second.work.latency(), 0);
+//! ```
+
+pub mod load;
+pub mod service;
+
+pub use load::{percentile, request_stream, run_stream, LoadSummary, StreamSpec};
+pub use service::{
+    CompileRequest, CompileResponse, CompileService, RequestTarget, RequestWork, ServeConfig,
+    ServeError, ServiceStats,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_core::{CacheStore, OptFlags};
+    use prism_emit::BackendKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    const SOURCE: &str = "uniform float u_gain;\nuniform vec4 u_tint;\nin vec2 v_uv;\nout vec4 frag;\nvoid main() {\n    vec2 scaled = v_uv * u_gain;\n    vec4 base = vec4(scaled, 0.5, 1.0);\n    frag = base * u_tint;\n}\n";
+
+    fn request(flags: OptFlags, backend: BackendKind) -> CompileRequest {
+        CompileRequest::new(SOURCE, flags, backend)
+    }
+
+    #[test]
+    fn identical_requests_are_memo_served_and_zero_copy() {
+        let service = CompileService::new(ServeConfig::default());
+        let req = request(OptFlags::all(), BackendKind::Msl);
+        let first = service.compile(&req).unwrap();
+        assert!(!first.zero_copy);
+        assert!(first.work.latency() > 0);
+        let second = service.compile(&req).unwrap();
+        assert_eq!(first.text, second.text);
+        assert!(
+            Arc::ptr_eq(&first.text, &second.text),
+            "the replayed body must be the memo's handle, not a copy"
+        );
+        assert!(second.zero_copy);
+        assert_eq!(second.work.latency(), 0, "{:?}", second.work);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.front_hits, 1);
+        assert_eq!(stats.cache.routed_requests, 2);
+    }
+
+    #[test]
+    fn named_targets_fall_through_the_backend_chain() {
+        let service = CompileService::new(ServeConfig::default());
+        let named = CompileRequest::named(SOURCE, OptFlags::NONE, "metal");
+        let response = service.compile(&named).unwrap();
+        assert_eq!(response.backend, BackendKind::Msl);
+        assert!(response.chain_fallback);
+        assert_eq!(service.stats().chain_fallbacks, 1);
+
+        let direct = CompileRequest::named(SOURCE, OptFlags::NONE, "msl");
+        let response = service.compile(&direct).unwrap();
+        assert!(!response.chain_fallback);
+
+        let err = service
+            .compile(&CompileRequest::named(SOURCE, OptFlags::NONE, "dxbc"))
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownTarget("dxbc".to_string()));
+    }
+
+    #[test]
+    fn front_stage_errors_are_memoised_per_source() {
+        let service = CompileService::new(ServeConfig::default());
+        let bad = CompileRequest::new(
+            "void main() { frag = ; }",
+            OptFlags::NONE,
+            BackendKind::Gles,
+        );
+        assert!(matches!(
+            service.compile(&bad),
+            Err(ServeError::Frontend(_))
+        ));
+        assert!(matches!(
+            service.compile(&bad),
+            Err(ServeError::Frontend(_))
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.front_errors, 1, "the second failure is a memo hit");
+        assert_eq!(stats.front_lowers, 1);
+        assert_eq!(
+            stats.cache.routed_requests, 0,
+            "rejected requests never route"
+        );
+    }
+
+    /// Satellite 3 (coalescing): N threads submit the identical request and
+    /// the whole group costs exactly one compile — one stage-run/emission
+    /// delta — with byte-identical (indeed pointer-identical) responses.
+    #[test]
+    fn n_identical_inflight_requests_cost_exactly_one_compile() {
+        const CLIENTS: usize = 6;
+        let service = Arc::new(CompileService::new(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        }));
+
+        // The hook holds the leader's compile until every other client has
+        // joined the flight as a waiter, making the coalescing deterministic.
+        service.set_compute_hook(Some(Box::new(|probe| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while probe.waiters() < CLIENTS - 1 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "waiters never joined: {}",
+                    probe.waiters()
+                );
+                std::thread::yield_now();
+            }
+        })));
+
+        let baseline = service.cache().stats();
+        let barrier = Arc::new(Barrier::new(CLIENTS));
+        let responses: Vec<CompileResponse> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        service
+                            .compile(&request(OptFlags::all(), BackendKind::SpirvAsm))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        service.set_compute_hook(None);
+
+        let stats = service.cache().stats();
+        assert_eq!(
+            stats.coalesced_requests - baseline.coalesced_requests,
+            CLIENTS - 1,
+            "every non-leader coalesces"
+        );
+        assert_eq!(
+            stats.emissions - baseline.emissions,
+            1,
+            "exactly one emission for the whole group"
+        );
+        let ran = stats.stage_runs - baseline.stage_runs;
+        let schedule_len = prism_core::build_schedule().len();
+        assert!(
+            ran > 0 && ran <= schedule_len,
+            "exactly one schedule's worth of stage runs, got {ran}"
+        );
+        let leader_text = &responses[0].text;
+        let mut coalesced = 0;
+        for response in &responses {
+            assert!(Arc::ptr_eq(&response.text, leader_text));
+            if response.coalesced {
+                coalesced += 1;
+            }
+        }
+        assert_eq!(coalesced, CLIENTS - 1);
+    }
+
+    /// Satellite 3 (torn request): a panic mid-compile does not poison the
+    /// singleflight table — the job retries and every waiter still gets a
+    /// result; nobody hangs.
+    #[test]
+    fn a_panicking_compile_is_retried_and_never_hangs_waiters() {
+        let service = CompileService::new(ServeConfig::default());
+        let crashes = Arc::new(AtomicUsize::new(0));
+        let crashes_hook = Arc::clone(&crashes);
+        service.set_compute_hook(Some(Box::new(move |_| {
+            if crashes_hook.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected torn-request crash");
+            }
+        })));
+        // catch_unwind still prints the panic backtrace by default; silence
+        // it for the injected crash so the test log stays readable.
+        let saved = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = service.compile(&request(OptFlags::all(), BackendKind::DesktopGlsl));
+        std::panic::set_hook(saved);
+        service.set_compute_hook(None);
+
+        let response = result.expect("the retry must serve the request");
+        assert!(response.work.latency() > 0);
+        assert_eq!(crashes.load(Ordering::SeqCst), 2, "one crash + one retry");
+        let stats = service.stats();
+        assert_eq!(stats.compile_panics, 1);
+        assert_eq!(stats.retried_jobs, 1);
+
+        // The flight table is clean: the same request is served again,
+        // from the memo this time.
+        let replay = service
+            .compile(&request(OptFlags::all(), BackendKind::DesktopGlsl))
+            .unwrap();
+        assert_eq!(replay.work.latency(), 0);
+        assert_eq!(replay.text, response.text);
+    }
+
+    /// A compile that panics twice (retry included) reports an error to its
+    /// waiters instead of hanging them, and leaves the service healthy.
+    #[test]
+    fn a_twice_panicking_compile_becomes_an_error_result() {
+        let service = CompileService::new(ServeConfig::default());
+        service.set_compute_hook(Some(Box::new(|_| panic!("always torn"))));
+        let saved = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = service.compile(&request(OptFlags::NONE, BackendKind::Gles));
+        std::panic::set_hook(saved);
+        assert!(matches!(result, Err(ServeError::Panicked(_))));
+        assert_eq!(service.stats().compile_panics, 2);
+
+        service.set_compute_hook(None);
+        let healthy = service
+            .compile(&request(OptFlags::NONE, BackendKind::Gles))
+            .unwrap();
+        assert!(healthy.work.latency() > 0, "the error was not memoised");
+    }
+
+    /// Tentpole acceptance (warm boot): a service booted from the previous
+    /// service's snapshot serves the replayed stream with **zero** stage
+    /// runs and byte-identical responses.
+    #[test]
+    fn warm_booted_service_replays_the_stream_with_zero_stage_runs() {
+        let corpus =
+            prism_corpus::Corpus::gfxbench_like().subset(&["ui_blit_00", "forward_lit_00"]);
+        let spec = StreamSpec::standard(11, 60);
+        let stream = request_stream(&corpus, &spec);
+        let dir = std::env::temp_dir().join(format!(
+            "prism-serve-warm-{}-{:p}",
+            std::process::id(),
+            &spec
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            warm_start_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+
+        let cold = CompileService::new(config.clone());
+        let cold_texts: Vec<_> = stream
+            .iter()
+            .map(|r| cold.compile(r).unwrap().text)
+            .collect();
+        assert!(cold.stats().cache.stage_runs > 0);
+        cold.shutdown().unwrap().expect("snapshot written");
+
+        let warm = CompileService::new(config);
+        let summary = run_stream(&warm, &stream, 0);
+        assert_eq!(
+            summary.stage_runs, 0,
+            "warm boot re-ran stages: {summary:?}"
+        );
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.memo_served, summary.measured, "{summary:?}");
+        let warm_texts: Vec<_> = stream
+            .iter()
+            .map(|r| warm.compile(r).unwrap().text)
+            .collect();
+        for (cold_text, warm_text) in cold_texts.iter().zip(&warm_texts) {
+            assert_eq!(cold_text, warm_text);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tentpole acceptance (skewed stream): after warm-up, coalesced +
+    /// memo-served requests are ≥ 90% of the measured window, and batching
+    /// touches the queue lock less than once per request.
+    #[test]
+    fn zipf_stream_is_mostly_free_after_warmup() {
+        let corpus = prism_corpus::Corpus::gfxbench_like();
+        let spec = StreamSpec::standard(7, 1600);
+        let stream = request_stream(&corpus, &spec);
+        let service = CompileService::new(ServeConfig::default());
+        let warmup = 600;
+        let summary = run_stream(&service, &stream, warmup);
+        assert_eq!(summary.errors, 0);
+        assert!(
+            summary.free_fraction() >= 0.9,
+            "free fraction {:.3} below the 90% acceptance: {summary:?}",
+            summary.free_fraction()
+        );
+        assert_eq!(summary.p50_latency, 0, "the p50 request must be free");
+        let stats = service.stats();
+        assert_eq!(stats.batched_requests, stream.len());
+        assert_eq!(
+            stats.batches, stats.batched_requests,
+            "sequential inline replay drains one job per batch"
+        );
+    }
+
+    /// The stream generator is a pure function of (corpus, spec), and its
+    /// Zipf head is actually hot.
+    #[test]
+    fn request_streams_are_deterministic_and_head_heavy() {
+        let corpus = prism_corpus::Corpus::gfxbench_like().subset(&["ui_blit_00"]);
+        let spec = StreamSpec::standard(3, 200);
+        let a = request_stream(&corpus, &spec);
+        let b = request_stream(&corpus, &spec);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.flags, y.flags);
+            assert_eq!(x.target, y.target);
+        }
+        // The hottest combination must take far more than a uniform share
+        // (200 / 16 combinations = 12.5 requests each if unskewed).
+        let mut counts = std::collections::HashMap::new();
+        for r in &a {
+            *counts.entry((r.flags, r.target.clone())).or_insert(0usize) += 1;
+        }
+        let hottest = counts.values().max().copied().unwrap();
+        assert!(hottest * 4 > a.len(), "Zipf head too cold: {hottest}/200");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let pop: Vec<usize> = (1..=100).collect();
+        assert_eq!(percentile(&pop, 50), 50);
+        assert_eq!(percentile(&pop, 99), 99);
+        assert_eq!(percentile(&pop, 100), 100);
+    }
+}

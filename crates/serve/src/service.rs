@@ -1,0 +1,816 @@
+//! The sharded compile service.
+//!
+//! One [`CompileService`] owns a [`CorpusCache`] and serves
+//! [`CompileRequest`]s through a four-step lifecycle:
+//!
+//! 1. **route** — the source text goes through a shared *lower-once front
+//!    stage* (parse + lower + verify, memoised per source text), and the
+//!    base IR's [`fingerprint`] picks the owning shard with the cache's own
+//!    16-way split ([`prism_core::shard_of`]) — the same split the warm-start
+//!    snapshot files use, so shard ownership survives restarts without
+//!    re-keying;
+//! 2. **coalesce** — a singleflight table keyed `(fingerprint, flags,
+//!    backend)` merges identical in-flight requests: one leader compiles,
+//!    every waiter blocks on the same flight and receives the same `Arc`'d
+//!    result ([`CacheStats::coalesced_requests`] counts the merged ones);
+//! 3. **batch** — the leader's job lands in its shard's queue, and the
+//!    shard's owner drains the queue in batches so the queue lock is taken
+//!    once per batch, not once per request;
+//! 4. **memo** — the compile itself runs against the shared [`CorpusCache`]:
+//!    stage transitions and emitted text are answered from the memo whenever
+//!    an equivalent request (or a warm-start snapshot) already paid for them,
+//!    and the response body is the memo's shared `Arc<str>` handle — a
+//!    refcount bump, never a copy.
+//!
+//! With `workers == 0` the service is *inline*: the submitting thread drives
+//! its own shard, which makes request streams fully deterministic (the load
+//! harness and the perf gate run this mode). With `workers > 0` a pool of
+//! shard-owner threads drains the queues; each worker owns the shards
+//! congruent to its index.
+
+use prism_core::cache::SessionId;
+use prism_core::{
+    build_schedule, shard_of, CacheStats, CacheStore, CorpusCache, OptFlags, Snapshot, Stage,
+    FINGERPRINT_SHARDS,
+};
+use prism_emit::{BackendChain, BackendKind};
+use prism_glsl::ShaderInterface;
+use prism_ir::fingerprint::{fingerprint, Fingerprint};
+use prism_ir::verify::verify;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// The pass schedule, instantiated once per thread: `Stage` holds boxed
+/// passes without `Send + Sync` bounds, so each thread that compiles owns
+/// its own (deterministic) copy instead of sharing one behind a lock.
+fn with_schedule<R>(f: impl FnOnce(&[Stage]) -> R) -> R {
+    thread_local! {
+        static SCHEDULE: Vec<Stage> = build_schedule();
+    }
+    SCHEDULE.with(|s| f(s))
+}
+
+/// FNV-1a 64-bit hash (shader naming for anonymous request sources).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard-owner worker threads. `0` = inline mode: the submitting thread
+    /// drives its own shard (deterministic; what benches and gates use).
+    pub workers: usize,
+    /// Maximum jobs drained from a shard queue per lock acquisition.
+    pub batch_limit: usize,
+    /// Warm-start directory: loaded on boot ([`CorpusCache::load`]) and
+    /// snapshotted on [`CompileService::shutdown`] ([`CorpusCache::save`]).
+    pub warm_start_dir: Option<PathBuf>,
+    /// Entry budget for the underlying cache (`None` = unbounded).
+    pub cache_budget: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            batch_limit: 64,
+            warm_start_dir: None,
+            cache_budget: None,
+        }
+    }
+}
+
+/// What a request asks to be compiled to: a backend identity, or a named
+/// target *form* resolved through the [`BackendChain`] (so a request may say
+/// `"metal"` or `"essl"` without knowing which emitter serves it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RequestTarget {
+    /// A direct backend identity.
+    Kind(BackendKind),
+    /// A named form, resolved by chain fall-through.
+    Named(String),
+}
+
+/// One compile request: source text, flag combination, emission target.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// GLSL source text.
+    pub source: String,
+    /// Optimization flag combination.
+    pub flags: OptFlags,
+    /// Emission target.
+    pub target: RequestTarget,
+}
+
+impl CompileRequest {
+    /// A request for a direct backend.
+    pub fn new(source: impl Into<String>, flags: OptFlags, backend: BackendKind) -> CompileRequest {
+        CompileRequest {
+            source: source.into(),
+            flags,
+            target: RequestTarget::Kind(backend),
+        }
+    }
+
+    /// A request for a named target form (chain-resolved).
+    pub fn named(source: impl Into<String>, flags: OptFlags, form: &str) -> CompileRequest {
+        CompileRequest {
+            source: source.into(),
+            flags,
+            target: RequestTarget::Named(form.to_string()),
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The front stage rejected the source (parse/lower/verify).
+    Frontend(String),
+    /// No backend in the chain serves the requested form.
+    UnknownTarget(String),
+    /// A pass broke IR invariants mid-compile (internal bug).
+    Compile(String),
+    /// The compile panicked twice (once plus one retry); waiters receive
+    /// this error rather than hanging.
+    Panicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Frontend(e) => write!(f, "front stage: {e}"),
+            ServeError::UnknownTarget(t) => write!(f, "no backend serves target `{t}`"),
+            ServeError::Compile(e) => write!(f, "compile: {e}"),
+            ServeError::Panicked(e) => write!(f, "compile panicked: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Deterministic work counters of one served compile — the service's latency
+/// measure (stage runs and emissions are the units of real work; hits are
+/// free). A coalesced waiter reports the leader's work, because that is the
+/// work its response cost the service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestWork {
+    /// Stages actually executed (transition-memo misses).
+    pub stage_runs: usize,
+    /// Stages answered from the transition memo.
+    pub stage_hits: usize,
+    /// Emissions actually performed (emission-memo misses).
+    pub emissions: usize,
+    /// Emissions answered from the emission memo.
+    pub emission_hits: usize,
+}
+
+impl RequestWork {
+    /// The work-counter latency of this request: stage runs + emissions.
+    /// Deterministic (unlike wall-clock), which is what lets the perf gate
+    /// hold p50/p99 to a baseline.
+    pub fn latency(&self) -> usize {
+        self.stage_runs + self.emissions
+    }
+}
+
+/// A served compile.
+#[derive(Debug, Clone)]
+pub struct CompileResponse {
+    /// The emitted text — the emission memo's shared handle (zero-copy).
+    pub text: Arc<str>,
+    /// The backend that produced `text` (after chain resolution).
+    pub backend: BackendKind,
+    /// `true` when the request named a form without a direct emitter and
+    /// fell through the backend chain.
+    pub chain_fallback: bool,
+    /// Structural fingerprint of the optimized IR behind `text`.
+    pub fingerprint: Fingerprint,
+    /// The shader's external interface (from the shared front stage).
+    pub interface: Arc<ShaderInterface>,
+    /// Work-counter latency breakdown.
+    pub work: RequestWork,
+    /// `true` when this response was coalesced onto another in-flight
+    /// request instead of compiling on its own.
+    pub coalesced: bool,
+    /// `true` when the body was answered by the emission memo (no emitter
+    /// ran for this request).
+    pub zero_copy: bool,
+}
+
+/// Singleflight key: requests agreeing on all three coalesce onto one
+/// compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlightKey {
+    fp: Fingerprint,
+    flags: OptFlags,
+    backend: BackendKind,
+}
+
+/// What a completed flight hands every merged request.
+#[derive(Debug, Clone)]
+struct Served {
+    text: Arc<str>,
+    fp: Fingerprint,
+    work: RequestWork,
+    zero_copy: bool,
+}
+
+/// One in-flight compile. `state` moves `None → Some(result)` exactly once;
+/// the condvar wakes every waiter at that moment.
+struct Flight {
+    state: Mutex<Option<Result<Served, ServeError>>>,
+    cv: Condvar,
+    waiters: AtomicUsize,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    fn complete(&self, result: Result<Served, ServeError>) {
+        let mut state = self.state.lock().expect("flight poisoned");
+        if state.is_none() {
+            *state = Some(result);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Served, ServeError> {
+        let mut state = self.state.lock().expect("flight poisoned");
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self.cv.wait(state).expect("flight poisoned");
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("flight poisoned").is_some()
+    }
+}
+
+/// Probe handed to the test-only compute hook: visibility into the flight
+/// being computed, without exposing `Flight` itself.
+#[doc(hidden)]
+pub struct FlightProbe<'a> {
+    flight: &'a Flight,
+}
+
+impl FlightProbe<'_> {
+    /// Requests currently coalesced onto this flight.
+    pub fn waiters(&self) -> usize {
+        self.flight.waiters.load(Ordering::SeqCst)
+    }
+}
+
+#[doc(hidden)]
+pub type ComputeHook = Box<dyn Fn(&FlightProbe<'_>) + Send + Sync>;
+
+/// The cached outcome of the shared front stage for one source text.
+struct FrontEntry {
+    base: Snapshot,
+    interface: Arc<ShaderInterface>,
+}
+
+/// A queued compile job (the leader's, never a waiter's).
+struct Job {
+    key: FlightKey,
+    base: Snapshot,
+    flight: Arc<Flight>,
+}
+
+/// Wake signal for one worker thread.
+struct WorkerSignal {
+    state: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// Monotonic service counters (everything not already owned by the cache).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicUsize,
+    front_hits: AtomicUsize,
+    front_lowers: AtomicUsize,
+    front_errors: AtomicUsize,
+    chain_fallbacks: AtomicUsize,
+    zero_copy_hits: AtomicUsize,
+    compile_panics: AtomicUsize,
+    retried_jobs: AtomicUsize,
+    batches: AtomicUsize,
+    batched_requests: AtomicUsize,
+}
+
+/// A point-in-time snapshot of service telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted (front stage attempted).
+    pub requests: usize,
+    /// Requests whose front stage was answered from the source-text memo.
+    pub front_hits: usize,
+    /// Front-stage lowers actually performed (memo misses).
+    pub front_lowers: usize,
+    /// Requests rejected by the front stage.
+    pub front_errors: usize,
+    /// Requests that named a form and fell through the backend chain.
+    pub chain_fallbacks: usize,
+    /// Response bodies answered by the emission memo's shared handle.
+    pub zero_copy_hits: usize,
+    /// Compile attempts that panicked (each is retried once).
+    pub compile_panics: usize,
+    /// Jobs that succeeded on their post-panic retry.
+    pub retried_jobs: usize,
+    /// Shard-queue batch drains (each takes the queue lock exactly once).
+    pub batches: usize,
+    /// Jobs processed across those batches.
+    pub batched_requests: usize,
+    /// The underlying cache's counters, including `routed_requests` and
+    /// `coalesced_requests`.
+    pub cache: CacheStats,
+}
+
+/// Everything the service and its worker threads share.
+struct Inner {
+    config: ServeConfig,
+    cache: Arc<CorpusCache>,
+    session: SessionId,
+    chain: BackendChain,
+    front: RwLock<HashMap<String, Result<Arc<FrontEntry>, ServeError>>>,
+    flights: Mutex<HashMap<FlightKey, Arc<Flight>>>,
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    signals: Vec<WorkerSignal>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    hook: RwLock<Option<ComputeHook>>,
+}
+
+/// The compile service. See the [module docs](self) for the request
+/// lifecycle; construction is [`CompileService::new`], teardown
+/// [`CompileService::shutdown`] (graceful, snapshots the cache) or `Drop`
+/// (joins workers, no snapshot).
+pub struct CompileService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CompileService {
+    /// Boots a service: builds the cache (bounded if configured), warm-starts
+    /// it from `warm_start_dir` when set, and spawns the worker pool.
+    pub fn new(config: ServeConfig) -> CompileService {
+        let cache = Arc::new(match config.cache_budget {
+            Some(budget) => CorpusCache::bounded(budget),
+            None => CorpusCache::new(),
+        });
+        if let Some(dir) = &config.warm_start_dir {
+            cache.load(dir);
+        }
+        let session = cache.register_session_in("serve");
+        let worker_count = config.workers;
+        let inner = Arc::new(Inner {
+            config,
+            cache,
+            session,
+            chain: BackendChain::standard(),
+            front: RwLock::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+            queues: (0..FINGERPRINT_SHARDS)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            signals: (0..worker_count)
+                .map(|_| WorkerSignal {
+                    state: Mutex::new(0),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            hook: RwLock::new(None),
+        });
+        let workers = (0..worker_count)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("prism-serve-{w}"))
+                    .spawn(move || Inner::worker_loop(&inner, w))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        CompileService { inner, workers }
+    }
+
+    /// The service's shared cache (for telemetry and tests).
+    pub fn cache(&self) -> &Arc<CorpusCache> {
+        &self.inner.cache
+    }
+
+    /// Current service telemetry.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            front_hits: c.front_hits.load(Ordering::Relaxed),
+            front_lowers: c.front_lowers.load(Ordering::Relaxed),
+            front_errors: c.front_errors.load(Ordering::Relaxed),
+            chain_fallbacks: c.chain_fallbacks.load(Ordering::Relaxed),
+            zero_copy_hits: c.zero_copy_hits.load(Ordering::Relaxed),
+            compile_panics: c.compile_panics.load(Ordering::Relaxed),
+            retried_jobs: c.retried_jobs.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Serves one request (blocking). See the [module docs](self) for the
+    /// route → coalesce → batch → memo lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on front-stage rejection, unknown target form, or a
+    /// (twice-)failing compile. Errors are results, never hangs: a panicking
+    /// compile is retried once and then reported to every merged request.
+    pub fn compile(&self, request: &CompileRequest) -> Result<CompileResponse, ServeError> {
+        self.inner.compile(request)
+    }
+
+    /// Graceful shutdown: joins the worker pool, then snapshots the cache to
+    /// the configured warm-start directory (if any) so the next boot serves
+    /// this process's work from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CorpusCache::save`] failures (the workers are already
+    /// joined by then).
+    pub fn shutdown(mut self) -> Result<Option<prism_core::SaveReport>, String> {
+        self.stop_workers();
+        match &self.inner.config.warm_start_dir {
+            Some(dir) => self.inner.cache.save(dir).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Installs the test-only compute hook (runs at the start of every
+    /// leader compile). Used by the coalescing and torn-request suites to
+    /// hold or crash a compile deterministically.
+    #[doc(hidden)]
+    pub fn set_compute_hook(&self, hook: Option<ComputeHook>) {
+        *self.inner.hook.write().expect("hook poisoned") = hook;
+    }
+
+    fn stop_workers(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for signal in &self.inner.signals {
+            let _guard = signal.state.lock().expect("signal poisoned");
+            signal.cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Completes a flight (and unregisters it) exactly once, even if the
+/// processing path unwinds: dropping an unfinished guard reports a panic
+/// error to every waiter instead of leaving them blocked forever.
+struct FlightGuard<'a> {
+    inner: &'a Inner,
+    key: FlightKey,
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    fn finish(mut self, result: Result<Served, ServeError>) {
+        self.done = true;
+        self.flight.complete(result);
+        self.inner.unregister_flight(&self.key, &self.flight);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.flight.complete(Err(ServeError::Panicked(
+                "compile worker unwound without completing its flight".to_string(),
+            )));
+            self.inner.unregister_flight(&self.key, &self.flight);
+        }
+    }
+}
+
+impl Inner {
+    fn compile(&self, request: &CompileRequest) -> Result<CompileResponse, ServeError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (backend, chain_fallback) = self.resolve_target(&request.target)?;
+        if chain_fallback {
+            self.counters
+                .chain_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let front = self.front_entry(&request.source)?;
+        // Routed: the front stage succeeded and the fingerprint picked an
+        // owning shard.
+        self.cache.note_routed_request();
+        let key = FlightKey {
+            fp: front.base.fp,
+            flags: request.flags,
+            backend,
+        };
+
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().expect("flights poisoned");
+            match flights.get(&key) {
+                Some(flight) => {
+                    flight.waiters.fetch_add(1, Ordering::SeqCst);
+                    (Arc::clone(flight), false)
+                }
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    flights.insert(key, Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if leader {
+            let shard = shard_of(key.fp);
+            self.enqueue(
+                shard,
+                Job {
+                    key,
+                    base: front.base.clone(),
+                    flight: Arc::clone(&flight),
+                },
+            );
+            if self.config.workers == 0 {
+                self.drive_shard(shard, &flight);
+            }
+        } else {
+            self.cache.note_coalesced_request();
+        }
+
+        let served = flight.wait()?;
+        Ok(CompileResponse {
+            text: served.text,
+            backend,
+            chain_fallback,
+            fingerprint: served.fp,
+            interface: Arc::clone(&front.interface),
+            work: served.work,
+            coalesced: !leader,
+            zero_copy: served.zero_copy,
+        })
+    }
+
+    fn resolve_target(&self, target: &RequestTarget) -> Result<(BackendKind, bool), ServeError> {
+        match target {
+            RequestTarget::Kind(kind) => Ok((*kind, false)),
+            RequestTarget::Named(form) => match self.chain.resolve(form) {
+                Some(kind) => Ok((kind, self.chain.is_fallback(form))),
+                None => Err(ServeError::UnknownTarget(form.clone())),
+            },
+        }
+    }
+
+    /// The shared lower-once front stage: parse + lower + verify, memoised
+    /// per source text (errors included, so a hostile source costs one
+    /// front-stage failure, not one per request).
+    fn front_entry(&self, source: &str) -> Result<Arc<FrontEntry>, ServeError> {
+        if let Some(entry) = self.front.read().expect("front memo poisoned").get(source) {
+            self.counters.front_hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+        // Lower outside the lock (slow); a racing duplicate lower of the
+        // same text is wasted work but deterministic — the base IR and its
+        // fingerprint are pure functions of the source.
+        let entry = self.lower_front(source);
+        if entry.is_err() {
+            self.counters.front_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.front
+            .write()
+            .expect("front memo poisoned")
+            .entry(source.to_string())
+            .or_insert_with(|| entry.clone());
+        entry
+    }
+
+    fn lower_front(&self, source: &str) -> Result<Arc<FrontEntry>, ServeError> {
+        self.counters.front_lowers.fetch_add(1, Ordering::Relaxed);
+        let parsed = prism_glsl::ShaderSource::parse(source)
+            .map_err(|e| ServeError::Frontend(e.to_string()))?;
+        // Requests are anonymous; name the shader by its source hash so the
+        // IR (and everything memoised from it) is deterministic per text.
+        let name = format!("serve-{:016x}", fnv64(source.as_bytes()));
+        let ir =
+            prism_core::lower(&parsed, &name).map_err(|e| ServeError::Frontend(e.to_string()))?;
+        verify(&ir).map_err(|e| ServeError::Frontend(e.to_string()))?;
+        let fp = fingerprint(&ir);
+        Ok(Arc::new(FrontEntry {
+            base: Snapshot {
+                ir: Arc::new(ir),
+                fp,
+            },
+            interface: Arc::new(parsed.interface),
+        }))
+    }
+
+    fn enqueue(&self, shard: usize, job: Job) {
+        self.queues[shard]
+            .lock()
+            .expect("shard queue poisoned")
+            .push_back(job);
+        if !self.signals.is_empty() {
+            let signal = &self.signals[shard % self.signals.len()];
+            let mut epoch = signal.state.lock().expect("signal poisoned");
+            *epoch += 1;
+            signal.cv.notify_one();
+        }
+    }
+
+    /// Inline mode: the submitting thread drains its own shard until its
+    /// flight completes. Another inline submitter may steal the job in its
+    /// own batch — then this loop simply waits on the flight.
+    fn drive_shard(&self, shard: usize, until: &Flight) {
+        while !until.is_done() {
+            if !self.process_batch(shard) {
+                return; // queue empty: someone else owns our job; wait() blocks.
+            }
+        }
+    }
+
+    /// Drains one batch from a shard queue — the queue lock is taken exactly
+    /// once — and processes every job in it. Returns `false` on an empty
+    /// queue.
+    fn process_batch(&self, shard: usize) -> bool {
+        let batch: Vec<Job> = {
+            let mut queue = self.queues[shard].lock().expect("shard queue poisoned");
+            let take = queue.len().min(self.config.batch_limit.max(1));
+            queue.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return false;
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .batched_requests
+            .fetch_add(batch.len(), Ordering::Relaxed);
+        for job in batch {
+            self.process_job(job);
+        }
+        true
+    }
+
+    /// Runs one job to flight completion. A panicking compile is caught and
+    /// retried once (transient failures — including the test hook — succeed
+    /// on retry); a second panic becomes a [`ServeError::Panicked`] result.
+    /// Either way the flight completes: waiters never hang.
+    fn process_job(&self, job: Job) {
+        let guard = FlightGuard {
+            inner: self,
+            key: job.key,
+            flight: Arc::clone(&job.flight),
+            done: false,
+        };
+        let attempt = || self.compute(&job);
+        let result = match catch_unwind(AssertUnwindSafe(attempt)) {
+            Ok(result) => result,
+            Err(_) => {
+                self.counters.compile_panics.fetch_add(1, Ordering::Relaxed);
+                match catch_unwind(AssertUnwindSafe(attempt)) {
+                    Ok(result) => {
+                        self.counters.retried_jobs.fetch_add(1, Ordering::Relaxed);
+                        result
+                    }
+                    Err(_) => {
+                        self.counters.compile_panics.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::Panicked(
+                            "compile panicked twice; giving up".to_string(),
+                        ))
+                    }
+                }
+            }
+        };
+        guard.finish(result);
+    }
+
+    /// The memo-backed compile: replays the pass schedule against the shared
+    /// cache (stage transitions confirmed structurally, exactly like a
+    /// `CompileSession`), then answers the emission from the memo or runs
+    /// the emitter once and records it.
+    fn compute(&self, job: &Job) -> Result<Served, ServeError> {
+        if let Some(hook) = self.hook.read().expect("hook poisoned").as_ref() {
+            hook(&FlightProbe {
+                flight: &job.flight,
+            });
+        }
+        let mut work = RequestWork::default();
+        let state = with_schedule(|schedule| -> Result<Snapshot, ServeError> {
+            let mut state = job.base.clone();
+            for (stage_idx, stage) in schedule.iter().enumerate() {
+                if !stage.enabled_for(job.key.flags) {
+                    continue;
+                }
+                if let Some(output) = self.cache.transition(self.session, stage_idx, &state) {
+                    work.stage_hits += 1;
+                    state = output;
+                    continue;
+                }
+                let mut ir = (*state.ir).clone();
+                stage.run(&mut ir);
+                verify(&ir).map_err(|e| ServeError::Compile(e.to_string()))?;
+                let output = Snapshot {
+                    fp: fingerprint(&ir),
+                    ir: Arc::new(ir),
+                };
+                work.stage_runs += 1;
+                self.cache
+                    .record_transition(self.session, stage_idx, state, output.clone());
+                state = output;
+            }
+            Ok(state)
+        })?;
+
+        let backend = job.key.backend;
+        let (text, zero_copy) = match self.cache.emission(self.session, backend, &state) {
+            Some(text) => {
+                work.emission_hits += 1;
+                self.counters.zero_copy_hits.fetch_add(1, Ordering::Relaxed);
+                (text, true)
+            }
+            None => {
+                let text: Arc<str> = Arc::from(backend.backend().emit(&state.ir));
+                work.emissions += 1;
+                self.cache
+                    .record_emission(self.session, backend, &state, Arc::clone(&text));
+                (text, false)
+            }
+        };
+        Ok(Served {
+            text,
+            fp: state.fp,
+            work,
+            zero_copy,
+        })
+    }
+
+    fn unregister_flight(&self, key: &FlightKey, flight: &Arc<Flight>) {
+        let mut flights = self.flights.lock().expect("flights poisoned");
+        if let Some(current) = flights.get(key) {
+            if Arc::ptr_eq(current, flight) {
+                flights.remove(key);
+            }
+        }
+    }
+
+    /// Worker `w` owns every shard congruent to `w` modulo the pool size;
+    /// it drains batches until told to shut down, napping briefly when all
+    /// its queues are empty (the nap doubles as the missed-notify backstop).
+    fn worker_loop(inner: &Arc<Inner>, w: usize) {
+        let workers = inner.signals.len();
+        loop {
+            let mut did_work = false;
+            for shard in (w..FINGERPRINT_SHARDS).step_by(workers) {
+                while inner.process_batch(shard) {
+                    did_work = true;
+                }
+            }
+            if inner.shutdown.load(Ordering::SeqCst) {
+                if !did_work {
+                    return; // queues drained after the shutdown signal
+                }
+                continue;
+            }
+            if !did_work {
+                let signal = &inner.signals[w];
+                let epoch = signal.state.lock().expect("signal poisoned");
+                let _ = signal
+                    .cv
+                    .wait_timeout(epoch, Duration::from_millis(20))
+                    .expect("signal poisoned");
+            }
+        }
+    }
+}

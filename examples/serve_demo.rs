@@ -1,0 +1,74 @@
+//! Compile-service demo: boot the sharded service, replay a Zipf-skewed
+//! request stream, snapshot, warm-boot a second service from disk, and show
+//! both streams' work-counter latency profiles side by side.
+//!
+//! ```text
+//! cargo run --example serve_demo
+//! ```
+
+use prism::corpus::Corpus;
+use prism::report::{fig_serve, ServeRow};
+use prism::serve::{request_stream, run_stream, CompileService, ServeConfig, StreamSpec};
+
+fn row(label: &str, summary: &prism::serve::LoadSummary) -> ServeRow {
+    ServeRow {
+        label: label.to_string(),
+        requests: summary.requests,
+        measured: summary.measured,
+        p50_latency: summary.p50_latency,
+        p99_latency: summary.p99_latency,
+        memo_served: summary.memo_served,
+        coalesced: summary.coalesced,
+        zero_copy: summary.zero_copy,
+        stage_runs: summary.stage_runs,
+    }
+}
+
+fn main() {
+    let corpus = Corpus::gfxbench_like();
+    let spec = StreamSpec::standard(42, 800);
+    let stream = request_stream(&corpus, &spec);
+    let dir = std::env::temp_dir().join(format!("prism-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        warm_start_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Cold service: the stream's head pays for its compiles once, then the
+    // Zipf-hot tail rides the memo and the singleflight table.
+    let cold = CompileService::new(config.clone());
+    let warmup = spec.requests / 4;
+    let cold_summary = run_stream(&cold, &stream, warmup);
+    println!(
+        "cold service: {} requests, {:.1}% free after the first {}",
+        cold_summary.requests,
+        100.0 * cold_summary.free_fraction(),
+        warmup
+    );
+    let report = cold.shutdown().expect("snapshot").expect("warm dir set");
+    println!(
+        "snapshot: {} entries across {} shard files\n",
+        report.entries_written, report.shards_written
+    );
+
+    // Warm boot: a fresh process loads the snapshot and serves the same
+    // stream without running a single pass.
+    let warm = CompileService::new(config);
+    let warm_summary = run_stream(&warm, &stream, 0);
+    println!(
+        "warm-booted service: {} requests, {} stage runs",
+        warm_summary.requests, warm_summary.stage_runs
+    );
+    assert_eq!(
+        warm_summary.stage_runs, 0,
+        "warm boot must not re-run stages"
+    );
+    println!();
+
+    println!(
+        "{}",
+        fig_serve(&[row("cold", &cold_summary), row("warm boot", &warm_summary)])
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

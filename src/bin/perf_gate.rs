@@ -25,6 +25,7 @@
 
 use prism::corpus::Corpus;
 use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig};
+use prism::serve::{request_stream, run_stream, CompileService, ServeConfig, StreamSpec};
 use std::process::ExitCode;
 
 /// One gated counter: a deterministic measurement plus the direction in
@@ -142,11 +143,80 @@ fn measure() -> GateReport {
         });
     }
     counters.extend(warm);
+    counters.extend(measure_serve(&corpus));
 
     GateReport {
         schema: 1,
         counters,
     }
+}
+
+/// The compile-service phase: a seeded Zipf request stream replayed against
+/// an inline (deterministic) service, then replayed again by a service
+/// warm-booted from the first one's snapshot. Gates the per-request p50/p99
+/// work-counter latencies and the memo-served volume, and *hard-asserts*
+/// the serving contracts — p50 is free after warm-up, and the warm-booted
+/// replay performs zero stage runs — so those cannot regress even within
+/// baseline slack.
+fn measure_serve(corpus: &Corpus) -> Vec<Counter> {
+    let spec = StreamSpec::standard(7, 400);
+    let stream = request_stream(corpus, &spec);
+    let warmup = stream.len() / 4;
+    let dir = std::env::temp_dir().join(format!("prism-perf-gate-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        warm_start_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let cold = CompileService::new(config.clone());
+    let summary = run_stream(&cold, &stream, warmup);
+    cold.shutdown().expect("serve snapshot");
+    let warm_service = CompileService::new(config);
+    let warm_summary = run_stream(&warm_service, &stream, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(summary.errors, 0, "corpus requests must all serve");
+    assert_eq!(
+        summary.p50_latency, 0,
+        "the median post-warm-up request must be memo-served"
+    );
+    assert_eq!(
+        warm_summary.stage_runs, 0,
+        "a warm-booted service must replay the stream without running a stage"
+    );
+    assert_eq!(
+        warm_summary.memo_served, warm_summary.measured,
+        "every warm-booted request must be memo-served"
+    );
+
+    vec![
+        Counter {
+            name: "serve_p50_request_work".into(),
+            value: summary.p50_latency as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "serve_p99_request_work".into(),
+            value: summary.p99_latency as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "serve_total_work".into(),
+            value: summary.total_work as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "serve_memo_served".into(),
+            value: summary.memo_served as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "serve_warm_replay_stage_runs".into(),
+            value: warm_summary.stage_runs as f64,
+            higher_is_better: false,
+        },
+    ]
 }
 
 /// The warm-start phase: the same smoke sweep run twice against one
@@ -427,6 +497,11 @@ mod tests {
             "warm_emissions",
             "warm_emission_hits",
             "warm_entries_loaded",
+            "serve_p50_request_work",
+            "serve_p99_request_work",
+            "serve_total_work",
+            "serve_memo_served",
+            "serve_warm_replay_stage_runs",
         ] {
             assert!(
                 a.counters.iter().any(|c| c.name == name),

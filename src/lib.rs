@@ -71,6 +71,9 @@ pub use prism_harness as harness;
 /// The exhaustive iterative-compilation search (`prism-search`).
 pub use prism_search as search;
 
+/// The sharded compile service (`prism-serve`).
+pub use prism_serve as serve;
+
 /// Statistics and figure/table renderers (`prism-report`).
 pub use prism_report as report;
 
@@ -83,6 +86,7 @@ mod tests {
         let _ = crate::gpu::Vendor::ALL;
         let _ = crate::corpus::flagship::BLUR9;
         let _ = crate::harness::MeasureConfig::quick();
+        let _ = crate::serve::ServeConfig::default();
         let _ = crate::report::ViolinSummary::of(&[1.0]);
     }
 }

@@ -14,13 +14,13 @@
 //!
 //! It also pins the acceptance property of the warm-start path with the new
 //! backends in play (a second `run_study` performs 0 stage runs and 0
-//! emissions, for every backend), and the retirement contract of the legacy
-//! `mobile::emit_gles` entry point (byte-identical to the `Gles` backend on
-//! the whole corpus).
+//! emissions, for every backend). The legacy `mobile::emit_gles` shim was
+//! removed after this suite pinned corpus-wide parity with the `Gles`
+//! backend.
 
 use prism::core::{CacheStore, CompileSession, CorpusCache, OptFlags};
 use prism::corpus::Corpus;
-use prism::emit::{source_interface, Backend, BackendKind};
+use prism::emit::{source_interface, BackendKind};
 use std::sync::Arc;
 
 /// FNV-1a 64-bit — the deterministic per-shader seed for flag sampling.
@@ -169,31 +169,4 @@ fn warm_start_second_study_does_no_compile_work_for_any_backend() {
         [0; BackendKind::COUNT]
     );
     assert_eq!(warm.measurements, cold.measurements);
-}
-
-/// Retirement contract of the legacy mobile conversion entry point: the
-/// deprecated `emit_gles` free function is byte-identical to the `Gles`
-/// backend over the entire corpus (base lowering and an optimized
-/// combination), so callers can migrate mechanically.
-#[test]
-#[allow(deprecated)]
-fn legacy_emit_gles_matches_the_gles_backend_on_the_whole_corpus() {
-    let corpus = Corpus::gfxbench_like();
-    for case in &corpus.cases {
-        let session = CompileSession::new(&case.source, &case.name).expect("session");
-        let base = session.base_ir();
-        assert_eq!(
-            prism::emit::emit_gles(base),
-            prism::emit::Gles.emit(base),
-            "{}: base lowering",
-            case.name
-        );
-        let optimized = session.compile(OptFlags::all()).unwrap();
-        assert_eq!(
-            prism::emit::emit_gles(&optimized.ir),
-            prism::emit::Gles.emit(&optimized.ir),
-            "{}: optimized",
-            case.name
-        );
-    }
 }

@@ -223,7 +223,7 @@ fn session_variants_are_byte_identical_to_brute_force() {
         let set = session.variants().expect("session variants");
 
         // Brute force: an independent full compile per combination.
-        let mut brute_unique: Vec<String> = Vec::new();
+        let mut brute_unique: Vec<std::sync::Arc<str>> = Vec::new();
         for flags in OptFlags::all_combinations() {
             let direct = compile(&source, &name, flags).expect("brute force compiles");
             assert_eq!(
