@@ -68,24 +68,38 @@ fn corpus_sweep_benchmarks(c: &mut Criterion) {
 /// One checked comparison run: the shared cache must share across shaders,
 /// do strictly less compile work, and change nothing about the results.
 fn consistency_report(corpus: &Corpus) {
+    let ir_before = prism_ir::counters::snapshot();
     let shared = sweep(corpus, true);
+    let ir_mid = prism_ir::counters::snapshot();
     let solo = sweep(corpus, false);
+    let shared_ir = ir_mid.since(&ir_before);
+    let solo_ir = prism_ir::counters::snapshot().since(&ir_mid);
 
     println!(
-        "\ncorpus sweep ({} shaders):\n  shared cache: {} stage runs, {} hits ({} cross-shader), {} emissions\n  per-session:  {} stage runs, {} hits, {} emissions",
+        "\ncorpus sweep ({} shaders):\n  shared cache: {} stage runs, {} hits ({} cross-shader, {} identity), {} emissions\n  per-session:  {} stage runs, {} hits, {} emissions\n  ir work:      shared {} clones / {} fingerprints, per-session {} clones / {} fingerprints",
         corpus.len(),
         shared.cache.stats.stage_runs,
         shared.cache.stats.stage_hits,
         shared.cache.stats.cross_shader_stage_hits,
+        shared.cache.stats.identity_transitions,
         shared.cache.stats.emissions,
         solo.cache.stats.stage_runs,
         solo.cache.stats.stage_hits,
         solo.cache.stats.emissions,
+        shared_ir.ir_clones,
+        shared_ir.fingerprints_computed,
+        solo_ir.ir_clones,
+        solo_ir.fingerprints_computed,
     );
 
     assert!(
         shared.cache.stats.cross_shader_stage_hits > 0,
         "family sweep must share stage work across shaders: {:?}",
+        shared.cache
+    );
+    assert!(
+        shared.cache.stats.identity_transitions > 0,
+        "a sweep over mostly-clean stages must take the identity fast path: {:?}",
         shared.cache
     );
     assert!(

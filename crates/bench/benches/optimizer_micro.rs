@@ -70,6 +70,43 @@ fn optimizer_benchmarks(c: &mut Criterion) {
     });
 
     speedup_report(&blur);
+    ir_work_report(&blur);
+}
+
+/// Measures the zero-copy IR plane over one full 256-combination session
+/// sweep. Every identity transition is a stage application that the
+/// pre-transition-graph snapshot plane paid a from-scratch fingerprint, an
+/// equality confirmation and a snapshot clone for; the fast path must
+/// eliminate at least 30% of that would-be work (in practice it is > 90%).
+fn ir_work_report(blur: &prism_corpus::ShaderCase) {
+    let before = prism_ir::counters::snapshot();
+    black_box(session_variants(&blur.source, &blur.name));
+    let session = prism_ir::counters::snapshot().since(&before);
+    let would_be = session.identity_transitions;
+    println!(
+        "ir work (256 combinations, {}):\n  session  {:>6} clones  {:>6} fingerprints  {:>6} equality confirms\n  identity fast path skipped {} clone+fingerprint pairs",
+        blur.name,
+        session.ir_clones,
+        session.fingerprints_computed,
+        session.equality_confirms,
+        would_be,
+    );
+    assert!(
+        session.identity_transitions > 0,
+        "clean stages must take the identity fast path: {session:?}"
+    );
+    assert!(
+        session.ir_clones * 10 <= (session.ir_clones + would_be) * 7,
+        "identity fast path must avoid >= 30% of snapshot clones ({} done vs {} skipped)",
+        session.ir_clones,
+        would_be
+    );
+    assert!(
+        session.fingerprints_computed * 10 <= (session.fingerprints_computed + would_be) * 7,
+        "identity fast path must avoid >= 30% of fingerprints ({} done vs {} skipped)",
+        session.fingerprints_computed,
+        would_be
+    );
 }
 
 /// Measures and prints the session-vs-brute-force ratio for full

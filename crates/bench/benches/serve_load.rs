@@ -123,6 +123,29 @@ fn smoke_contract(_corpus: &Corpus, spec: &StreamSpec, stream: &[CompileRequest]
         "replayed response body is not the shared memo handle"
     );
 
+    // Zero-copy contract: replaying the whole stream against the now-fully
+    // warmed service is pure memo serving, and a memo-served request must
+    // not deep-clone a single IR shader.
+    let ir_before = prism_ir::counters::snapshot();
+    let replay = run_stream(&cold, stream, 0);
+    let replay_ir = prism_ir::counters::snapshot().since(&ir_before);
+    println!(
+        "serve replay: memo_served={}/{} ir_clones={} fingerprints={}",
+        replay.memo_served, replay.measured, replay_ir.ir_clones, replay_ir.fingerprints_computed
+    );
+    assert_eq!(
+        replay.memo_served, replay.measured,
+        "a fully warmed service must memo-serve the entire stream: {replay:?}"
+    );
+    assert_eq!(
+        replay_ir.ir_clones, 0,
+        "memo-served requests deep-cloned IR: {replay_ir:?}"
+    );
+    assert_eq!(
+        replay.p50_latency, summary.p50_latency,
+        "replay p50 request work regressed from the post-warm-up stream"
+    );
+
     // Phase 2: warm boot. Snapshot, boot a new service from disk, replay.
     let cold_stats = cold.stats();
     assert!(cold_stats.cache.stage_runs > 0);

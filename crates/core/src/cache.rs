@@ -1,10 +1,29 @@
 //! Cache stores for compile sessions: per-session and corpus-wide.
 //!
-//! A [`CompileSession`](crate::CompileSession) memoises two kinds of work:
-//! stage transitions (IR in → IR out, keyed on (stage index, input
-//! fingerprint)) and emission (final IR → source text, keyed on (fingerprint,
-//! [`BackendKind`])). Both memos live behind the [`CacheStore`] trait so the
-//! same session code can run against
+//! Both stores implement one model — a **fingerprint transition graph** with
+//! zero-copy storage:
+//!
+//! * **Exemplars** — one interned `Arc<Shader>` per *distinct IR structure*
+//!   (not per `(stage, fingerprint)` key), held in per-fingerprint chains so
+//!   hash collisions coexist instead of merging. Interning confirms
+//!   structural equality exactly once per distinct `Arc` entering the plane;
+//!   every later lookup resolves by pointer identity, so equality
+//!   confirmation runs once per collision candidate, not once per hit.
+//! * **Edges** — stage transitions recorded as fingerprint → fingerprint
+//!   edges between exemplars (`NodeId` = fingerprint + a never-reused
+//!   generation stamp). Replaying a flag combination is a walk over u64
+//!   edges with zero IR clones until emission.
+//! * **Identity bits** — a stage whose passes report the IR unchanged sets a
+//!   bit in the input exemplar's `clean_stages` mask instead of storing an
+//!   edge. A session reads the mask once per distinct state
+//!   ([`CacheStore::identity_stages`]) and skips every clean stage in O(1):
+//!   no re-fingerprint, no snapshot insert, no equality confirmation.
+//!   Consecutive identity edges collapse into a single mask read.
+//! * **Emissions** — emitted text keyed `(fingerprint, backend)`, entries
+//!   referencing their final-IR exemplar by generation (again: no per-hit
+//!   structural compare).
+//!
+//! The [`CacheStore`] trait lets the same session code run against
 //!
 //! * a private [`SessionCache`] — the classic one-shader session, no locking;
 //! * a shared, thread-safe [`CorpusCache`] — one warm cache for a whole study
@@ -13,39 +32,42 @@
 //!   another shader's session already did ("cross-shader" hits), across
 //!   worker threads.
 //!
-//! Fingerprint matches are only candidates: every lookup confirms the hit
-//! with full structural IR equality before reusing an entry, so a hash
-//! collision can never silently merge different variants. Pointer equality
-//! ([`Arc::ptr_eq`]) is the fast path — shared schedule prefixes hand around
-//! the same allocation.
+//! Fingerprint matches are only candidates: interning (and therefore every
+//! lookup) confirms a candidate with full structural IR equality before it
+//! can answer anything, so a hash collision can never silently merge
+//! different variants. Pointer equality ([`Arc::ptr_eq`]) is the fast path —
+//! shared schedule prefixes hand around the same allocation.
 //!
 //! A [`CorpusCache`] can additionally be **bounded**
-//! ([`CorpusCache::bounded`]): entries carry a last-use generation stamp and
-//! the least-recently-used entry is evicted whenever a shard exceeds its
-//! budget, so a production-scale corpus sweep runs in fixed memory. The LRU
-//! touch refreshes exactly the entry a lookup structurally confirmed — never
-//! its fingerprint-colliding bucket neighbours, which would otherwise be
-//! kept alive forever by hits they never answered. Because the store is a
-//! pure cache (an evicted entry is simply recomputed on the next miss), a
-//! bounded cache produces byte-identical results to an unbounded one — only
-//! the work counters differ. Sessions registered with a family label
-//! ([`CacheStore::register_session_in`]) additionally feed
+//! ([`CorpusCache::bounded`]): edge and emission entries carry a last-use
+//! generation stamp and the least-recently-used entry is evicted whenever a
+//! shard exceeds its budget, so a production-scale corpus sweep runs in
+//! fixed memory. Exemplars are reference-counted from the entries that use
+//! them and dropped when the last entry goes, so eviction reclaims IR
+//! storage too. The LRU touch refreshes exactly the entry a lookup resolved
+//! — never its fingerprint-colliding bucket neighbours, which would
+//! otherwise be kept alive forever by hits they never answered. Because the
+//! store is a pure cache (an evicted entry is simply recomputed on the next
+//! miss), a bounded cache produces byte-identical results to an unbounded
+//! one — only the work counters differ. Sessions registered with a family
+//! label ([`CacheStore::register_session_in`]) additionally feed
 //! per-übershader-family hit-rate telemetry ([`CorpusCache::family_stats`]).
 //!
 //! Finally, a [`CorpusCache`] can be **persisted** (the [`persist`] module):
-//! [`CorpusCache::save`] writes both memos as one versioned, checksummed file
-//! per fingerprint-range shard, and [`CorpusCache::load`] warm-starts a fresh
-//! process from such a snapshot — stale, torn or corrupt shards are skipped
-//! (and counted in [`CacheStats`]), never trusted. Warm entries answer
-//! lookups through the exact same structural-confirmation path as live ones,
-//! so a warm-started sweep produces byte-identical results while performing
-//! strictly less work; hits answered from disk are reported separately
-//! (`warm_*` counters) from hits produced by this process's own sessions.
+//! [`CorpusCache::save`] writes the exemplar store, the transition edges and
+//! the emissions as one versioned, checksummed file per fingerprint-range
+//! shard, and [`CorpusCache::load`] warm-starts a fresh process from such a
+//! snapshot — stale, torn or corrupt shards are skipped (and counted in
+//! [`CacheStats`]), never trusted. Warm entries answer lookups through the
+//! exact same interning path as live ones, so a warm-started sweep produces
+//! byte-identical results while performing strictly less work; hits answered
+//! from disk are reported separately (`warm_*` counters) from hits produced
+//! by this process's own sessions.
 
 use prism_emit::BackendKind;
 use prism_ir::fingerprint::Fingerprint;
 use prism_ir::Shader;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -67,26 +89,78 @@ pub struct Snapshot {
 /// reuse from cross-shader sharing in the statistics.
 pub type SessionId = u64;
 
-/// One memoised stage transition: `input` ran through a stage and produced
-/// `output`. The input exemplar is kept so a fingerprint match can be
-/// confirmed with structural equality before the cached output is reused.
-struct Transition {
-    owner: SessionId,
-    input: Snapshot,
-    output: Snapshot,
+/// Stage indices representable in an exemplar's clean-stage bitmask. The
+/// schedule has far fewer stages; an (impossible today) stage at or past
+/// this index records a self-edge instead of a mask bit — correct, just not
+/// O(1).
+const MASK_STAGES: usize = 64;
+
+/// A node of the fingerprint transition graph: one distinct IR structure.
+///
+/// `gen` is a store-unique, **never reused** stamp, so a `NodeId` held
+/// across a lock release (or inside an edge that outlives its exemplar) can
+/// go stale — a failed fetch, a cache miss — but can never silently alias a
+/// different structure that later landed in the same chain slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeId {
+    fp: Fingerprint,
+    gen: u64,
 }
 
-/// Emission-cache entry: (final-IR exemplar, its owner, the emitted text).
-/// The text is a shared `Arc<str>` so a memo hit hands the caller a
-/// refcount bump, never a copy of the response body.
-struct Emitted {
-    owner: SessionId,
+/// One interned IR exemplar: the single shared `Arc<Shader>` stored for its
+/// structure, plus the graph metadata hung off it.
+struct Exemplar {
+    /// Never-reused identity stamp (see [`NodeId`]).
+    gen: u64,
+    /// The canonical allocation for this structure — the first `Arc` that
+    /// entered the plane wins, and every hit hands it back (zero-copy).
     ir: Arc<Shader>,
+    /// Edges and emissions referencing this node. At 0 (and with no
+    /// identity knowledge) the exemplar is removable.
+    refs: usize,
+    /// Bitmask over stage indices known to map this structure to itself.
+    clean_stages: u64,
+}
+
+/// Per-fingerprint chains of exemplars. A chain longer than one means a real
+/// fingerprint collision: distinct structures coexisting under one hash.
+type ExemplarMap = HashMap<Fingerprint, Vec<Exemplar>>;
+
+/// One stage-transition edge of the graph: `input_gen`'s structure, run
+/// through the keyed stage, becomes `output`. Pure u64 bookkeeping — the IR
+/// itself lives once in the exemplar store.
+struct Edge {
+    owner: SessionId,
+    input_gen: u64,
+    output: NodeId,
+}
+
+/// Emission-cache entry: the final-IR exemplar (by generation) and the
+/// emitted text. The text is a shared `Arc<str>` so a memo hit hands the
+/// caller a refcount bump, never a copy of the response body.
+struct EmitEntry {
+    owner: SessionId,
+    input_gen: u64,
     text: Arc<str>,
 }
 
-type TransitionMap = HashMap<(usize, Fingerprint), Vec<Transition>>;
-type EmissionMap = HashMap<(Fingerprint, BackendKind), Vec<Emitted>>;
+/// Finds `ir` in an exemplar chain: pointer identity first, then structural
+/// equality (once per collision candidate — the chain is almost always a
+/// single entry).
+fn chain_find(chain: &[Exemplar], ir: &Arc<Shader>) -> Option<usize> {
+    if let Some(i) = chain.iter().position(|e| Arc::ptr_eq(&e.ir, ir)) {
+        return Some(i);
+    }
+    chain.iter().position(|e| e.ir.same_structure(ir))
+}
+
+/// Whether a recorded transition is an identity: the stage handed back the
+/// IR it was given (same allocation, or — for direct trait users — the same
+/// structure).
+fn is_identity(input: &Snapshot, output: &Snapshot) -> bool {
+    Arc::ptr_eq(&input.ir, &output.ir)
+        || (input.fp == output.fp && input.ir.same_structure(&output.ir))
+}
 
 /// Counters describing how much work a store performed and how much it
 /// shared. For a [`CorpusCache`] the `cross_shader_*` counters additionally
@@ -98,8 +172,15 @@ pub struct CacheStats {
     pub sessions: usize,
     /// Stage executions that actually ran passes (cache misses).
     pub stage_runs: usize,
-    /// Stage executions answered from the transition cache.
+    /// Stage executions answered from the transition graph — edge hits plus
+    /// `identity_transitions`.
     pub stage_hits: usize,
+    /// Subset of `stage_hits` answered in O(1) by identity knowledge: the
+    /// input's structure is known to pass through the stage unchanged, so no
+    /// pass ran, no fingerprint was computed and no equality was confirmed.
+    /// Identity answers carry no owner and are never counted as
+    /// cross-shader or warm hits.
+    pub identity_transitions: usize,
     /// Subset of `stage_hits` answered by another session's entry.
     pub cross_shader_stage_hits: usize,
     /// Emissions performed (across all backends).
@@ -131,9 +212,10 @@ pub struct CacheStats {
     /// degrades to a cold shard instead of being trusted.
     pub warm_shards_skipped: usize,
     /// Individual entries rejected inside otherwise-valid shards (an
-    /// emission recorded under a [`BackendKind`] this build does not know —
-    /// a snapshot written by a *newer* build). Unlike a shard-level problem,
-    /// an unknown entry costs only itself: the rest of the shard loads.
+    /// emission recorded under a [`BackendKind`] this build does not know, or
+    /// an edge whose endpoint lives in a shard file that was skipped or
+    /// deleted). Unlike a shard-level problem, such an entry costs only
+    /// itself: the rest of the shard loads.
     pub warm_entries_skipped: usize,
     /// Compile-service requests routed to a fingerprint shard after the
     /// shared front stage (0 outside a serving process).
@@ -175,10 +257,36 @@ pub trait CacheStore {
         self.register_session()
     }
 
+    /// Interns `snapshot`'s IR into the exemplar store and returns the
+    /// canonical snapshot for its structure (the first-interned `Arc` wins).
+    /// Sessions intern their base once at construction so every later
+    /// lookup resolves by pointer identity. The default is a pass-through
+    /// for stores without an exemplar plane.
+    fn intern(&self, snapshot: Snapshot) -> Snapshot {
+        snapshot
+    }
+
+    /// Bitmask over stage indices known to map `snapshot`'s structure to
+    /// itself. A session reads this once per distinct state and skips every
+    /// clean stage without any per-stage lookup; 0 when nothing is known.
+    fn identity_stages(&self, snapshot: &Snapshot) -> u64 {
+        let _ = snapshot;
+        0
+    }
+
+    /// Reports that a session took `count` identity transitions straight off
+    /// an [`identity_stages`](CacheStore::identity_stages) mask (counted as
+    /// stage hits; no per-transition lookup happened).
+    fn note_identity_skips(&self, session: SessionId, count: usize) {
+        let _ = (session, count);
+    }
+
     /// Looks up the output of running stage `stage` over `input`.
     fn transition(&self, session: SessionId, stage: usize, input: &Snapshot) -> Option<Snapshot>;
 
-    /// Records that stage `stage` maps `input` to `output`.
+    /// Records that stage `stage` maps `input` to `output`. An identity
+    /// transition (`output` structurally equals `input`) is stored as a bit
+    /// in the input exemplar's clean-stage mask, not as an edge.
     fn record_transition(
         &self,
         session: SessionId,
@@ -209,31 +317,15 @@ pub trait CacheStore {
     fn stats(&self) -> CacheStats;
 }
 
-/// Confirms a candidate transition bucket entry and returns its output.
-/// Structural equality is modulo the shader name (the fingerprint's
-/// relation), so übershader family members confirm against each other.
-fn find_transition(bucket: &[Transition], input: &Snapshot) -> Option<(SessionId, Snapshot)> {
-    bucket
-        .iter()
-        .find(|t| Arc::ptr_eq(&t.input.ir, &input.ir) || t.input.ir.same_structure(&input.ir))
-        .map(|t| (t.owner, t.output.clone()))
-}
-
-/// Confirms a candidate emission bucket entry and returns its text.
-fn find_emission(bucket: &[Emitted], state: &Snapshot) -> Option<(SessionId, Arc<str>)> {
-    bucket
-        .iter()
-        .find(|e| Arc::ptr_eq(&e.ir, &state.ir) || e.ir.same_structure(&state.ir))
-        .map(|e| (e.owner, Arc::clone(&e.text)))
-}
-
 /// The private, single-threaded store behind a standalone
 /// [`CompileSession`](crate::CompileSession): plain `HashMap`s with interior
 /// mutability and no locking.
 #[derive(Default)]
 pub struct SessionCache {
-    transitions: RefCell<TransitionMap>,
-    emissions: RefCell<EmissionMap>,
+    gens: Cell<u64>,
+    exemplars: RefCell<ExemplarMap>,
+    transitions: RefCell<HashMap<(usize, Fingerprint), Vec<Edge>>>,
+    emissions: RefCell<HashMap<(Fingerprint, BackendKind), Vec<EmitEntry>>>,
     stats: RefCell<CacheStats>,
 }
 
@@ -241,6 +333,51 @@ impl SessionCache {
     /// An empty per-session store.
     pub fn new() -> SessionCache {
         SessionCache::default()
+    }
+
+    /// Resolve-or-insert: the node for `snap`'s structure, interning it on
+    /// first sight. Returns (generation, clean mask, canonical `Arc`).
+    fn intern_node(&self, snap: &Snapshot) -> (u64, u64, Arc<Shader>) {
+        let mut map = self.exemplars.borrow_mut();
+        let chain = map.entry(snap.fp).or_default();
+        if let Some(i) = chain_find(chain, &snap.ir) {
+            let e = &chain[i];
+            return (e.gen, e.clean_stages, Arc::clone(&e.ir));
+        }
+        let gen = self.gens.get();
+        self.gens.set(gen + 1);
+        chain.push(Exemplar {
+            gen,
+            ir: Arc::clone(&snap.ir),
+            refs: 0,
+            clean_stages: 0,
+        });
+        (gen, 0, Arc::clone(&snap.ir))
+    }
+
+    /// Resolves `snap` without interning. `None` = structure never seen.
+    fn resolve_node(&self, snap: &Snapshot) -> Option<(u64, u64)> {
+        let map = self.exemplars.borrow();
+        let chain = map.get(&snap.fp)?;
+        chain_find(chain, &snap.ir).map(|i| (chain[i].gen, chain[i].clean_stages))
+    }
+
+    fn fetch_node(&self, node: NodeId) -> Option<Arc<Shader>> {
+        let map = self.exemplars.borrow();
+        map.get(&node.fp)?
+            .iter()
+            .find(|e| e.gen == node.gen)
+            .map(|e| Arc::clone(&e.ir))
+    }
+
+    fn add_ref(&self, node: NodeId) {
+        let mut map = self.exemplars.borrow_mut();
+        if let Some(e) = map
+            .get_mut(&node.fp)
+            .and_then(|c| c.iter_mut().find(|e| e.gen == node.gen))
+        {
+            e.refs += 1;
+        }
     }
 }
 
@@ -251,19 +388,61 @@ impl CacheStore for SessionCache {
         (stats.sessions - 1) as SessionId
     }
 
+    fn intern(&self, snapshot: Snapshot) -> Snapshot {
+        let (_, _, ir) = self.intern_node(&snapshot);
+        Snapshot {
+            ir,
+            fp: snapshot.fp,
+        }
+    }
+
+    fn identity_stages(&self, snapshot: &Snapshot) -> u64 {
+        self.resolve_node(snapshot)
+            .map(|(_, clean)| clean)
+            .unwrap_or(0)
+    }
+
+    fn note_identity_skips(&self, _session: SessionId, count: usize) {
+        let mut stats = self.stats.borrow_mut();
+        stats.stage_hits += count;
+        stats.identity_transitions += count;
+        drop(stats);
+        for _ in 0..count {
+            prism_ir::counters::count_identity_transition();
+        }
+    }
+
     fn transition(&self, session: SessionId, stage: usize, input: &Snapshot) -> Option<Snapshot> {
+        let (gen, clean) = self.resolve_node(input)?;
+        if stage < MASK_STAGES && clean & (1 << stage) != 0 {
+            let mut stats = self.stats.borrow_mut();
+            stats.stage_hits += 1;
+            stats.identity_transitions += 1;
+            drop(stats);
+            prism_ir::counters::count_identity_transition();
+            return Some(input.clone());
+        }
         let found = self
             .transitions
             .borrow()
             .get(&(stage, input.fp))
-            .and_then(|bucket| find_transition(bucket, input));
-        let (owner, output) = found?;
+            .and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|e| e.input_gen == gen)
+                    .map(|e| (e.owner, e.output))
+            });
+        let (owner, out_node) = found?;
+        let out_ir = self.fetch_node(out_node)?;
         let mut stats = self.stats.borrow_mut();
         stats.stage_hits += 1;
         if owner != session {
             stats.cross_shader_stage_hits += 1;
         }
-        Some(output)
+        Some(Snapshot {
+            ir: out_ir,
+            fp: out_node.fp,
+        })
     }
 
     fn record_transition(
@@ -274,14 +453,37 @@ impl CacheStore for SessionCache {
         output: Snapshot,
     ) {
         self.stats.borrow_mut().stage_runs += 1;
+        let identity = is_identity(&input, &output);
+        let (in_gen, _, _) = self.intern_node(&input);
+        if identity && stage < MASK_STAGES {
+            let mut map = self.exemplars.borrow_mut();
+            if let Some(e) = map
+                .get_mut(&input.fp)
+                .and_then(|c| c.iter_mut().find(|e| e.gen == in_gen))
+            {
+                e.clean_stages |= 1 << stage;
+            }
+            return;
+        }
+        let (out_gen, _, _) = self.intern_node(&output);
+        let in_node = NodeId {
+            fp: input.fp,
+            gen: in_gen,
+        };
+        let out_node = NodeId {
+            fp: output.fp,
+            gen: out_gen,
+        };
+        self.add_ref(in_node);
+        self.add_ref(out_node);
         self.transitions
             .borrow_mut()
             .entry((stage, input.fp))
             .or_default()
-            .push(Transition {
+            .push(Edge {
                 owner: session,
-                input,
-                output,
+                input_gen: in_gen,
+                output: out_node,
             });
     }
 
@@ -291,11 +493,17 @@ impl CacheStore for SessionCache {
         backend: BackendKind,
         state: &Snapshot,
     ) -> Option<Arc<str>> {
+        let (gen, _) = self.resolve_node(state)?;
         let found = self
             .emissions
             .borrow()
             .get(&(state.fp, backend))
-            .and_then(|bucket| find_emission(bucket, state));
+            .and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|e| e.input_gen == gen)
+                    .map(|e| (e.owner, Arc::clone(&e.text)))
+            });
         let (owner, text) = found?;
         let mut stats = self.stats.borrow_mut();
         stats.emission_hits += 1;
@@ -317,13 +525,18 @@ impl CacheStore for SessionCache {
             stats.emissions += 1;
             stats.emissions_by_backend[backend.index()] += 1;
         }
+        let (gen, _, _) = self.intern_node(state);
+        self.add_ref(NodeId {
+            fp: state.fp,
+            gen,
+        });
         self.emissions
             .borrow_mut()
             .entry((state.fp, backend))
             .or_default()
-            .push(Emitted {
+            .push(EmitEntry {
                 owner: session,
-                ir: Arc::clone(&state.ir),
+                input_gen: gen,
                 text,
             });
     }
@@ -463,11 +676,11 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
     }
 
     /// The bucket for `key`, *without* refreshing any generation stamp.
-    /// Structural confirmation happens outside the shard lock, so the LRU
-    /// touch is deferred to [`BoundedMap::refresh`] once the true hit is
-    /// known — refreshing the whole bucket here would keep
-    /// fingerprint-colliding neighbours alive on hits they never answered,
-    /// making them unevictable.
+    /// Resolution happens outside the shard lock, so the LRU touch is
+    /// deferred to [`BoundedMap::refresh`] once the true hit is known —
+    /// refreshing the whole bucket here would keep fingerprint-colliding
+    /// neighbours alive on hits they never answered, making them
+    /// unevictable.
     fn peek(&self, key: &K) -> Option<&Vec<(u64, V)>> {
         self.map.get(key)
     }
@@ -487,24 +700,29 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
     }
 
     /// Inserts an entry stamped `now` and evicts least-recently-used entries
-    /// until this shard is back within `budget`. Returns how many entries
-    /// were evicted.
-    fn insert(&mut self, key: K, value: V, now: u64, budget: Option<usize>) -> usize {
+    /// until this shard is back within `budget`. Returns the evicted entries
+    /// with their keys, so the caller can release the exemplar references
+    /// they held.
+    fn insert(&mut self, key: K, value: V, now: u64, budget: Option<usize>) -> Vec<(K, V)> {
         self.map.entry(key).or_default().push((now, value));
         self.entries += 1;
-        let mut evicted = 0;
+        let mut evicted = Vec::new();
         if let Some(budget) = budget {
-            while self.entries > budget.max(1) && self.evict_oldest() {
-                evicted += 1;
+            while self.entries > budget.max(1) {
+                match self.evict_oldest() {
+                    Some(entry) => evicted.push(entry),
+                    None => break,
+                }
             }
         }
         evicted
     }
 
-    /// Removes the entry with the oldest generation stamp. A bounded shard
-    /// stays small, so the linear scan is cheap and keeps eviction free of
-    /// auxiliary index structures that would need their own locking.
-    fn evict_oldest(&mut self) -> bool {
+    /// Removes and returns the entry with the oldest generation stamp. A
+    /// bounded shard stays small, so the linear scan is cheap and keeps
+    /// eviction free of auxiliary index structures that would need their own
+    /// locking.
+    fn evict_oldest(&mut self) -> Option<(K, V)> {
         let mut oldest: Option<(K, usize, u64)> = None;
         for (key, bucket) in &self.map {
             for (idx, (generation, _)) in bucket.iter().enumerate() {
@@ -516,16 +734,14 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
                 }
             }
         }
-        let Some((key, idx, _)) = oldest else {
-            return false;
-        };
+        let (key, idx, _) = oldest?;
         let bucket = self.map.get_mut(&key).expect("oldest key present");
-        bucket.remove(idx);
+        let (_, value) = bucket.remove(idx);
         if bucket.is_empty() {
             self.map.remove(&key);
         }
         self.entries -= 1;
-        true
+        Some((key, value))
     }
 }
 
@@ -533,8 +749,9 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
 ///
 /// The study sweep builds every shader's session against one `CorpusCache`,
 /// so übershader family members reuse each other's stage transitions and
-/// emitted text across worker threads. Both maps are sharded by fingerprint
-/// to keep lock contention off the hot path; counters are atomics.
+/// emitted text across worker threads. The exemplar store, the edge map and
+/// the emission memo are all sharded by fingerprint to keep lock contention
+/// off the hot path; counters are atomics.
 ///
 /// A cache built with [`CorpusCache::bounded`] additionally enforces an
 /// entry budget with per-shard LRU eviction (entries are generation-stamped
@@ -564,21 +781,29 @@ impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
 /// ```
 pub struct CorpusCache {
     sessions: AtomicU64,
-    /// Total entry budget across both memos, or `None` for unbounded growth.
+    /// Total entry budget across edges and emissions, or `None` for
+    /// unbounded growth. Exemplars are not counted — they are storage,
+    /// reference-counted from the entries and reclaimed with them.
     budget: Option<usize>,
     /// The per-shard-map slice of `budget` (there are `2 * SHARDS` maps).
     shard_budget: Option<usize>,
     /// Monotonic generation clock for LRU stamping.
     clock: AtomicU64,
+    /// Monotonic exemplar generation stamps (see [`NodeId`]); never reused.
+    gens: AtomicU64,
+    /// The exemplar store: one interned `Arc<Shader>` per distinct
+    /// structure, sharded by fingerprint.
+    exemplars: Vec<RwLock<ExemplarMap>>,
     /// Shard maps behind `RwLock`s: pure lookups peek under a read lock (the
     /// serve hot path is almost all hits, and readers must not serialize on
     /// each other), writers take the exclusive lock once per record — or once
     /// per confirmed hit for the bounded stores' LRU touch.
-    transitions: Vec<RwLock<BoundedMap<(usize, Fingerprint), Transition>>>,
-    emissions: Vec<RwLock<BoundedMap<(Fingerprint, BackendKind), Emitted>>>,
+    transitions: Vec<RwLock<BoundedMap<(usize, Fingerprint), Edge>>>,
+    emissions: Vec<RwLock<BoundedMap<(Fingerprint, BackendKind), EmitEntry>>>,
     families: RwLock<FamilyTable>,
     stage_runs: AtomicUsize,
     stage_hits: AtomicUsize,
+    identity_transitions: AtomicUsize,
     cross_shader_stage_hits: AtomicUsize,
     emissions_done: AtomicUsize,
     emissions_by_backend: [AtomicUsize; BackendKind::COUNT],
@@ -629,6 +854,8 @@ impl CorpusCache {
             budget,
             shard_budget: budget.map(|b| (b / (2 * SHARDS)).max(1)),
             clock: AtomicU64::new(0),
+            gens: AtomicU64::new(0),
+            exemplars: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             transitions: (0..SHARDS)
                 .map(|_| RwLock::new(BoundedMap::new()))
                 .collect(),
@@ -638,6 +865,7 @@ impl CorpusCache {
             families: RwLock::new(FamilyTable::default()),
             stage_runs: AtomicUsize::new(0),
             stage_hits: AtomicUsize::new(0),
+            identity_transitions: AtomicUsize::new(0),
             cross_shader_stage_hits: AtomicUsize::new(0),
             emissions_done: AtomicUsize::new(0),
             emissions_by_backend: std::array::from_fn(|_| AtomicUsize::new(0)),
@@ -672,9 +900,10 @@ impl CorpusCache {
         self.budget
     }
 
-    /// Entries currently cached across both memos and every shard. A bounded
-    /// store keeps this at or below [`CorpusCache::budget`] (for budgets of
-    /// at least `2 * SHARDS = 32`).
+    /// Entries currently cached across both memos and every shard (exemplars
+    /// are storage, not entries, and are not counted). A bounded store keeps
+    /// this at or below [`CorpusCache::budget`] (for budgets of at least
+    /// `2 * SHARDS = 32`).
     pub fn entry_count(&self) -> usize {
         let transitions: usize = self
             .transitions
@@ -687,6 +916,20 @@ impl CorpusCache {
             .map(|s| s.read().expect("corpus cache poisoned").entries)
             .sum();
         transitions + emissions
+    }
+
+    /// Distinct IR structures currently interned in the exemplar store.
+    pub fn exemplar_count(&self) -> usize {
+        self.exemplars
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("corpus cache poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Per-übershader-family hit-rate telemetry, in family registration
@@ -718,6 +961,145 @@ impl CorpusCache {
             update(counters);
         }
     }
+
+    /// Resolves `snap` against its exemplar shard without interning:
+    /// pointer scan under the read lock (the hot path — session state flows
+    /// out of this store, so the `Arc` is usually the interned one);
+    /// structural confirmation of collision candidates outside it. `None` =
+    /// structure never seen.
+    fn resolve_node(&self, snap: &Snapshot) -> Option<(u64, u64)> {
+        let candidates: Vec<(u64, u64, Arc<Shader>)> = {
+            let map = self.exemplars[Self::shard(snap.fp)]
+                .read()
+                .expect("corpus cache poisoned");
+            let chain = map.get(&snap.fp)?;
+            if let Some(e) = chain.iter().find(|e| Arc::ptr_eq(&e.ir, &snap.ir)) {
+                return Some((e.gen, e.clean_stages));
+            }
+            chain
+                .iter()
+                .map(|e| (e.gen, e.clean_stages, Arc::clone(&e.ir)))
+                .collect()
+        };
+        candidates
+            .into_iter()
+            .find(|(_, _, ir)| ir.same_structure(&snap.ir))
+            .map(|(gen, clean, _)| (gen, clean))
+    }
+
+    /// Resolve-or-insert with a reference taken, in one lock acquisition (so
+    /// the exemplar cannot be reclaimed between interning and the entry that
+    /// references it landing).
+    fn intern_node_ref(&self, snap: &Snapshot) -> NodeId {
+        let mut map = self.exemplars[Self::shard(snap.fp)]
+            .write()
+            .expect("corpus cache poisoned");
+        let chain = map.entry(snap.fp).or_default();
+        if let Some(i) = chain_find(chain, &snap.ir) {
+            chain[i].refs += 1;
+            return NodeId {
+                fp: snap.fp,
+                gen: chain[i].gen,
+            };
+        }
+        let gen = self.gens.fetch_add(1, Ordering::Relaxed);
+        chain.push(Exemplar {
+            gen,
+            ir: Arc::clone(&snap.ir),
+            refs: 1,
+            clean_stages: 0,
+        });
+        NodeId { fp: snap.fp, gen }
+    }
+
+    /// Resolve-or-insert and set clean-stage bits, in one lock acquisition.
+    fn intern_node_clean(&self, snap: &Snapshot, stage_bits: u64) {
+        let mut map = self.exemplars[Self::shard(snap.fp)]
+            .write()
+            .expect("corpus cache poisoned");
+        let chain = map.entry(snap.fp).or_default();
+        if let Some(i) = chain_find(chain, &snap.ir) {
+            chain[i].clean_stages |= stage_bits;
+            return;
+        }
+        let gen = self.gens.fetch_add(1, Ordering::Relaxed);
+        chain.push(Exemplar {
+            gen,
+            ir: Arc::clone(&snap.ir),
+            refs: 0,
+            clean_stages: stage_bits,
+        });
+    }
+
+    fn fetch_node(&self, node: NodeId) -> Option<Arc<Shader>> {
+        let map = self.exemplars[Self::shard(node.fp)]
+            .read()
+            .expect("corpus cache poisoned");
+        map.get(&node.fp)?
+            .iter()
+            .find(|e| e.gen == node.gen)
+            .map(|e| Arc::clone(&e.ir))
+    }
+
+    /// Takes one reference to `node` (a no-op if the node was concurrently
+    /// reclaimed — the caller's entry will then dangle onto a never-reused
+    /// generation and simply miss).
+    fn add_node_ref(&self, node: NodeId) {
+        let mut map = self.exemplars[Self::shard(node.fp)]
+            .write()
+            .expect("corpus cache poisoned");
+        if let Some(e) = map
+            .get_mut(&node.fp)
+            .and_then(|c| c.iter_mut().find(|e| e.gen == node.gen))
+        {
+            e.refs += 1;
+        }
+    }
+
+    /// Drops one reference to `node`, removing the exemplar when nothing
+    /// references it any more and it carries no identity knowledge (a clean
+    /// mask is worth keeping: one bitfield that spares whole stage runs).
+    /// Never called while an edge/emission shard lock is held.
+    fn release_node(&self, node: NodeId) {
+        let mut map = self.exemplars[Self::shard(node.fp)]
+            .write()
+            .expect("corpus cache poisoned");
+        let Some(chain) = map.get_mut(&node.fp) else {
+            return;
+        };
+        let Some(i) = chain.iter().position(|e| e.gen == node.gen) else {
+            return;
+        };
+        chain[i].refs = chain[i].refs.saturating_sub(1);
+        if chain[i].refs == 0 && chain[i].clean_stages == 0 {
+            chain.remove(i);
+            if chain.is_empty() {
+                map.remove(&node.fp);
+            }
+        }
+    }
+
+    /// Releases the exemplar references a batch of evicted entries held.
+    fn release_evicted_edges(&self, evicted: Vec<((usize, Fingerprint), Edge)>) {
+        self.evictions.fetch_add(evicted.len(), Ordering::Relaxed);
+        for ((_, fp), edge) in evicted {
+            self.release_node(NodeId {
+                fp,
+                gen: edge.input_gen,
+            });
+            self.release_node(edge.output);
+        }
+    }
+
+    fn release_evicted_emissions(&self, evicted: Vec<((Fingerprint, BackendKind), EmitEntry)>) {
+        self.evictions.fetch_add(evicted.len(), Ordering::Relaxed);
+        for ((fp, _), entry) in evicted {
+            self.release_node(NodeId {
+                fp,
+                gen: entry.input_gen,
+            });
+        }
+    }
 }
 
 impl CacheStore for CorpusCache {
@@ -734,32 +1116,76 @@ impl CacheStore for CorpusCache {
         id
     }
 
+    fn intern(&self, snapshot: Snapshot) -> Snapshot {
+        let mut map = self.exemplars[Self::shard(snapshot.fp)]
+            .write()
+            .expect("corpus cache poisoned");
+        let chain = map.entry(snapshot.fp).or_default();
+        if let Some(i) = chain_find(chain, &snapshot.ir) {
+            return Snapshot {
+                ir: Arc::clone(&chain[i].ir),
+                fp: snapshot.fp,
+            };
+        }
+        let gen = self.gens.fetch_add(1, Ordering::Relaxed);
+        chain.push(Exemplar {
+            gen,
+            ir: Arc::clone(&snapshot.ir),
+            refs: 0,
+            clean_stages: 0,
+        });
+        snapshot
+    }
+
+    fn identity_stages(&self, snapshot: &Snapshot) -> u64 {
+        self.resolve_node(snapshot)
+            .map(|(_, clean)| clean)
+            .unwrap_or(0)
+    }
+
+    fn note_identity_skips(&self, session: SessionId, count: usize) {
+        self.stage_hits.fetch_add(count, Ordering::Relaxed);
+        self.identity_transitions.fetch_add(count, Ordering::Relaxed);
+        self.bump_family(session, |f| {
+            f.stage_hits.fetch_add(count, Ordering::Relaxed);
+        });
+        for _ in 0..count {
+            prism_ir::counters::count_identity_transition();
+        }
+    }
+
     fn transition(&self, session: SessionId, stage: usize, input: &Snapshot) -> Option<Snapshot> {
-        // Clone the bucket's candidates (cheap Arc bumps) under a *read*
-        // lock and confirm structural equality *after* dropping it: a pure
-        // hit never blocks other readers of this shard, and deep IR compares
-        // must not serialize anyone.
+        let (gen, clean) = self.resolve_node(input)?;
+        if stage < MASK_STAGES && clean & (1 << stage) != 0 {
+            // O(1) identity fast path: the structure is known to pass
+            // through this stage unchanged. No owner, so no cross-shader or
+            // warm attribution.
+            self.stage_hits.fetch_add(1, Ordering::Relaxed);
+            self.identity_transitions.fetch_add(1, Ordering::Relaxed);
+            self.bump_family(session, |f| {
+                f.stage_hits.fetch_add(1, Ordering::Relaxed);
+            });
+            prism_ir::counters::count_identity_transition();
+            return Some(input.clone());
+        }
         let key = (stage, input.fp);
-        let candidates: Vec<(SessionId, Arc<Shader>, Snapshot)> = {
+        let found = {
             let shard = self.transitions[Self::shard(input.fp)]
                 .read()
                 .expect("corpus cache poisoned");
-            match shard.peek(&key) {
-                Some(bucket) => bucket
+            shard.peek(&key).and_then(|bucket| {
+                bucket
                     .iter()
-                    .map(|(_, t)| (t.owner, Arc::clone(&t.input.ir), t.output.clone()))
-                    .collect(),
-                None => return None,
-            }
+                    .find(|(_, e)| e.input_gen == gen)
+                    .map(|(_, e)| (e.owner, e.output))
+            })
         };
-        let (owner, hit_ir, output) =
-            candidates
-                .into_iter()
-                .find_map(|(owner, cand_ir, output)| {
-                    (Arc::ptr_eq(&cand_ir, &input.ir) || cand_ir.same_structure(&input.ir))
-                        .then_some((owner, cand_ir, output))
-                })?;
-        // LRU touch of exactly the confirmed entry — unconfirmed bucket
+        let (owner, out_node) = found?;
+        // A racing eviction may have reclaimed the output exemplar between
+        // the two reads; generations are never reused, so the stale edge can
+        // only miss, never alias. The miss recomputes — pure-cache rules.
+        let out_ir = self.fetch_node(out_node)?;
+        // LRU touch of exactly the resolved entry — unconfirmed bucket
         // neighbours keep their stamps and stay evictable. Only bounded
         // stores pay this write-lock acquisition; an unbounded store's hit
         // path is read-locks only.
@@ -768,7 +1194,7 @@ impl CacheStore for CorpusCache {
             self.transitions[Self::shard(input.fp)]
                 .write()
                 .expect("corpus cache poisoned")
-                .refresh(&key, now, |t| Arc::ptr_eq(&t.input.ir, &hit_ir));
+                .refresh(&key, now, |e| e.input_gen == gen);
         }
         self.stage_hits.fetch_add(1, Ordering::Relaxed);
         if owner == WARM_OWNER {
@@ -779,7 +1205,10 @@ impl CacheStore for CorpusCache {
         self.bump_family(session, |f| {
             f.stage_hits.fetch_add(1, Ordering::Relaxed);
         });
-        Some(output)
+        Some(Snapshot {
+            ir: out_ir,
+            fp: out_node.fp,
+        })
     }
 
     fn record_transition(
@@ -793,21 +1222,31 @@ impl CacheStore for CorpusCache {
         self.bump_family(session, |f| {
             f.stage_runs.fetch_add(1, Ordering::Relaxed);
         });
+        if stage < MASK_STAGES && is_identity(&input, &output) {
+            // One bit instead of an edge: every future replay of this stage
+            // over this structure is a mask read.
+            self.intern_node_clean(&input, 1 << stage);
+            return;
+        }
+        let in_node = self.intern_node_ref(&input);
+        let out_node = self.intern_node_ref(&output);
         let now = self.now();
-        let evicted = self.transitions[Self::shard(input.fp)]
-            .write()
-            .expect("corpus cache poisoned")
-            .insert(
+        let evicted = {
+            let mut map = self.transitions[Self::shard(input.fp)]
+                .write()
+                .expect("corpus cache poisoned");
+            map.insert(
                 (stage, input.fp),
-                Transition {
+                Edge {
                     owner: session,
-                    input,
-                    output,
+                    input_gen: in_node.gen,
+                    output: out_node,
                 },
                 now,
                 self.shard_budget,
-            );
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            )
+        };
+        self.release_evicted_edges(evicted);
     }
 
     fn emission(
@@ -816,32 +1255,26 @@ impl CacheStore for CorpusCache {
         backend: BackendKind,
         state: &Snapshot,
     ) -> Option<Arc<str>> {
-        // As with transitions: snapshot the candidates under a read lock,
-        // confirm deep equality outside it, then refresh only the confirmed
-        // entry (bounded stores only).
+        let (gen, _) = self.resolve_node(state)?;
         let key = (state.fp, backend);
-        let candidates: Vec<(SessionId, Arc<Shader>, Arc<str>)> = {
+        let found = {
             let shard = self.emissions[Self::shard(state.fp)]
                 .read()
                 .expect("corpus cache poisoned");
-            match shard.peek(&key) {
-                Some(bucket) => bucket
+            shard.peek(&key).and_then(|bucket| {
+                bucket
                     .iter()
-                    .map(|(_, e)| (e.owner, Arc::clone(&e.ir), Arc::clone(&e.text)))
-                    .collect(),
-                None => return None,
-            }
+                    .find(|(_, e)| e.input_gen == gen)
+                    .map(|(_, e)| (e.owner, Arc::clone(&e.text)))
+            })
         };
-        let (owner, hit_ir, text) = candidates.into_iter().find_map(|(owner, ir, text)| {
-            (Arc::ptr_eq(&ir, &state.ir) || ir.same_structure(&state.ir))
-                .then_some((owner, ir, text))
-        })?;
+        let (owner, text) = found?;
         if self.shard_budget.is_some() {
             let now = self.now();
             self.emissions[Self::shard(state.fp)]
                 .write()
                 .expect("corpus cache poisoned")
-                .refresh(&key, now, |e| Arc::ptr_eq(&e.ir, &hit_ir));
+                .refresh(&key, now, |e| e.input_gen == gen);
         }
         self.emission_hits.fetch_add(1, Ordering::Relaxed);
         if owner == WARM_OWNER {
@@ -868,21 +1301,24 @@ impl CacheStore for CorpusCache {
         self.bump_family(session, |f| {
             f.emissions.fetch_add(1, Ordering::Relaxed);
         });
+        let node = self.intern_node_ref(state);
         let now = self.now();
-        let evicted = self.emissions[Self::shard(state.fp)]
-            .write()
-            .expect("corpus cache poisoned")
-            .insert(
+        let evicted = {
+            let mut map = self.emissions[Self::shard(state.fp)]
+                .write()
+                .expect("corpus cache poisoned");
+            map.insert(
                 (state.fp, backend),
-                Emitted {
+                EmitEntry {
                     owner: session,
-                    ir: Arc::clone(&state.ir),
+                    input_gen: node.gen,
                     text,
                 },
                 now,
                 self.shard_budget,
-            );
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            )
+        };
+        self.release_evicted_emissions(evicted);
     }
 
     fn stats(&self) -> CacheStats {
@@ -890,6 +1326,7 @@ impl CacheStore for CorpusCache {
             sessions: self.sessions.load(Ordering::Relaxed) as usize,
             stage_runs: self.stage_runs.load(Ordering::Relaxed),
             stage_hits: self.stage_hits.load(Ordering::Relaxed),
+            identity_transitions: self.identity_transitions.load(Ordering::Relaxed),
             cross_shader_stage_hits: self.cross_shader_stage_hits.load(Ordering::Relaxed),
             emissions: self.emissions_done.load(Ordering::Relaxed),
             emissions_by_backend: std::array::from_fn(|i| {
@@ -983,6 +1420,7 @@ mod tests {
         assert_eq!(stats.stage_runs, 1);
         assert_eq!(stats.stage_hits, 2);
         assert_eq!(stats.cross_shader_stage_hits, 1);
+        assert_eq!(stats.identity_transitions, 0);
         assert_eq!(stats.emissions, 1);
         assert_eq!(
             stats.emissions_by_backend[BackendKind::Gles.index()],
@@ -999,6 +1437,45 @@ mod tests {
         assert!(stats.stage_hit_rate() > 0.6);
     }
 
+    /// The identity-transition contract, shared by both stores: a recorded
+    /// identity becomes a mask bit, the mask answers O(1), and the answer is
+    /// the very snapshot asked about (zero-copy, zero confirmation).
+    fn exercise_identity(store: &dyn CacheStore) {
+        let s1 = store.register_session();
+        let input = store.intern(snapshot(7));
+
+        // Unknown structure: no identity knowledge, no transition.
+        assert_eq!(store.identity_stages(&snapshot(8)), 0);
+        assert!(store.transition(s1, 3, &input).is_none());
+
+        // Recording input → input (same Arc) stores a mask bit, not an edge.
+        store.record_transition(s1, 3, input.clone(), input.clone());
+        assert_eq!(store.identity_stages(&input), 1 << 3);
+
+        // The mask answers the lookup with the queried snapshot itself —
+        // same allocation, so zero IR clones by construction. (The global
+        // `prism_ir::counters` are process-wide and other tests run
+        // concurrently, so per-store zero-delta asserts live in the perf
+        // gate, not here.)
+        let hit = store.transition(s1, 3, &input).expect("identity hit");
+        assert!(Arc::ptr_eq(&hit.ir, &input.ir));
+
+        // A structurally-equal but distinct Arc still resolves to the mask.
+        let equal = Snapshot {
+            ir: Arc::new((*input.ir).clone()),
+            fp: input.fp,
+        };
+        assert_eq!(store.identity_stages(&equal), 1 << 3);
+        assert!(store.transition(s1, 3, &equal).is_some());
+
+        // Other stages are unaffected; mask-skip notes land in the stats.
+        assert!(store.transition(s1, 4, &input).is_none());
+        store.note_identity_skips(s1, 2);
+        let stats = store.stats();
+        assert_eq!(stats.identity_transitions, 4);
+        assert!(stats.stage_hits >= stats.identity_transitions);
+    }
+
     #[test]
     fn session_cache_stores_and_confirms() {
         exercise(&SessionCache::new());
@@ -1007,6 +1484,31 @@ mod tests {
     #[test]
     fn corpus_cache_stores_and_confirms() {
         exercise(&CorpusCache::new());
+    }
+
+    #[test]
+    fn session_cache_collapses_identity_transitions() {
+        exercise_identity(&SessionCache::new());
+    }
+
+    #[test]
+    fn corpus_cache_collapses_identity_transitions() {
+        exercise_identity(&CorpusCache::new());
+    }
+
+    #[test]
+    fn interning_returns_the_first_seen_allocation() {
+        let cache = CorpusCache::new();
+        let first = cache.intern(snapshot(1));
+        let second = cache.intern(Snapshot {
+            ir: Arc::new((*first.ir).clone()),
+            fp: first.fp,
+        });
+        assert!(
+            Arc::ptr_eq(&first.ir, &second.ir),
+            "structurally equal snapshots must share one exemplar"
+        );
+        assert_eq!(cache.exemplar_count(), 1);
     }
 
     #[test]
@@ -1032,6 +1534,15 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.evictions > 0, "expected evictions, got {stats:?}");
         assert_eq!(stats.stage_runs, 200);
+
+        // Eviction reclaims the exemplars the evicted edges referenced: the
+        // store cannot hold more structures than live entries can name.
+        assert!(
+            cache.exemplar_count() <= 2 * cache.entry_count(),
+            "{} exemplars outlive {} entries",
+            cache.exemplar_count(),
+            cache.entry_count()
+        );
 
         // Eviction is transparent: an evicted key simply misses and can be
         // recomputed; a key just recorded (most recently used) still hits.

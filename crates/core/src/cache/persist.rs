@@ -2,58 +2,73 @@
 //!
 //! The study sweep amortises compilation *within* a process through the
 //! shared corpus cache; this module amortises it *across* processes: after a
-//! sweep, [`CorpusCache::save`] writes both memos — stage transitions keyed
-//! `(stage, fingerprint)` and emitted text keyed `(fingerprint, backend)` —
-//! to disk, and a later run's [`CorpusCache::load`] warm-starts from them so
-//! the second sweep of the same corpus performs strictly fewer stage runs and
-//! emissions while producing byte-identical results.
+//! sweep, [`CorpusCache::save`] writes the transition graph — the exemplar
+//! store (one IR per distinct structure, with its clean-stage identity
+//! mask), the stage-transition edges and the emitted text — to disk, and a
+//! later run's [`CorpusCache::load`] warm-starts from it so the second sweep
+//! of the same corpus performs strictly fewer stage runs and emissions while
+//! producing byte-identical results.
 //!
-//! # On-disk format
+//! # On-disk format (version 2)
 //!
 //! One file per fingerprint-range shard (`shard-NN.json`, reusing the
-//! cache's 16-way shard split, so a future serving layer can distribute the
-//! shard files across processes without re-keying anything). Each file holds
+//! cache's 16-way shard split, so a serving layer can distribute the shard
+//! files across processes without re-keying anything). Each file holds
 //! exactly two lines:
 //!
 //! 1. a header object carrying the [`FORMAT_VERSION`], the FNV-64 hash of
 //!    the current pass schedule ([`schedule_hash`]), the shard index, the
-//!    entry count and an FNV-64 checksum of the payload line;
-//! 2. the payload: all of the shard's entries, with every IR exemplar
-//!    serialised bit-exactly (`prism_ir::serde_impls`).
+//!    entry count (edges + emissions; exemplars are storage, not entries)
+//!    and an FNV-64 checksum of the payload line;
+//! 2. the payload: the shard's exemplars — each IR serialised bit-exactly
+//!    (`prism_ir::serde_impls`) exactly **once**, with its clean-stage mask —
+//!    followed by its edges and emissions, which reference exemplars by
+//!    file-local index (edges may point at an output exemplar in another
+//!    shard's file: `output_shard` + index there). Version 1 stored one IR
+//!    clone per entry; version 2 stores one per distinct structure, and the
+//!    load path computes each exemplar's fingerprint once (memoised) instead
+//!    of once per entry.
 //!
 //! # Trust policy
 //!
 //! A shard is loaded whole or not at all, and **skipped — never trusted —**
 //! whenever anything disagrees: unreadable or torn file, header/payload
-//! parse error, version or pass-schedule-hash mismatch, checksum mismatch,
-//! entry count mismatch, an entry whose recomputed fingerprint lands in the
-//! wrong shard, or an unknown stage. One exception is entry-local and
+//! parse error, version or pass-schedule-hash mismatch (version-1 snapshots
+//! are rejected here — cold start, never misread), checksum mismatch, entry
+//! count mismatch, an exemplar whose recomputed fingerprint lands in the
+//! wrong shard, an unknown stage, or an entry referencing a file-local
+//! exemplar index out of range. Two exceptions are entry-local and
 //! *forward-compatible*: an emission recorded under a backend name this
 //! build does not know (a snapshot written by a newer build with more
-//! backends) skips just that entry — counted in
-//! `CacheStats::warm_entries_skipped` — because an unknown label is not
-//! corruption, and rejecting the whole shard would punish every old reader
-//! for every new backend. Shard skips are counted
-//! (`CacheStats::warm_shards_skipped`) so a degraded warm start is visible,
-//! and fingerprints are always *recomputed* from the deserialised IR rather
-//! than read from the file, so a corrupted-but-parseable exemplar can never
-//! poison a bucket under a wrong key. Loaded entries answer lookups through
-//! the same structural-equality confirmation as live ones; on top of that,
+//! backends), and an edge whose output exemplar lives in a shard file that
+//! was itself skipped or deleted — both skip just that entry, counted in
+//! `CacheStats::warm_entries_skipped`, because neither is corruption of
+//! *this* shard and rejecting the whole file would punish every neighbour.
+//! Shard skips are counted (`CacheStats::warm_shards_skipped`) so a degraded
+//! warm start is visible, and fingerprints are always *recomputed* from the
+//! deserialised IR rather than read from the file, so a
+//! corrupted-but-parseable exemplar can never poison a bucket under a wrong
+//! key. Loaded entries answer lookups through the same interning and
+//! structural-equality confirmation as live ones; on top of that,
 //! save→load→save is idempotent and the shard files are byte-deterministic
-//! (entries are sorted before writing).
+//! (exemplars and entries are sorted before writing).
 
-use super::{CorpusCache, Emitted, Snapshot, Transition, SHARDS, WARM_OWNER};
+use super::{chain_find, CorpusCache, Edge, EmitEntry, Exemplar, NodeId, Snapshot, SHARDS,
+            WARM_OWNER};
 use crate::pipeline::build_schedule;
 use prism_emit::BackendKind;
-use prism_ir::fingerprint::fingerprint;
+use prism_ir::fingerprint::{fingerprint, Fingerprint};
 use prism_ir::Shader;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Version stamp of the on-disk shard format. Bump on any encoding change;
-/// old snapshots are then skipped (cold start), never misread.
-pub const FORMAT_VERSION: u32 = 1;
+/// old snapshots are then skipped (cold start), never misread. Version 2:
+/// the transition-graph layout (interned exemplars + index-based edges)
+/// replacing version 1's one-IR-clone-per-entry layout.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash — deterministic across processes and platforms (unlike
 /// `DefaultHasher`, whose algorithm is explicitly unspecified), used for both
@@ -149,9 +164,11 @@ pub struct LoadReport {
     pub shards_skipped: usize,
     /// Entries restored across both memos.
     pub entries_loaded: usize,
-    /// Entries inside accepted shards that were individually skipped
-    /// because their backend name is unknown to this build (a snapshot from
-    /// a newer build — forward compatibility, not corruption).
+    /// Entries inside accepted shards that were individually skipped: an
+    /// emission under a backend name unknown to this build (a snapshot from
+    /// a newer build — forward compatibility, not corruption), or an edge
+    /// whose output exemplar lives in a shard file that was skipped or
+    /// deleted.
     pub entries_skipped: usize,
 }
 
@@ -160,7 +177,8 @@ pub struct LoadReport {
 pub struct SaveReport {
     /// Shard files written (always [`SHARDS`](super::SHARDS) on success).
     pub shards_written: usize,
-    /// Entries written across both memos.
+    /// Entries written across both memos (exemplars are storage, not
+    /// entries, and are not counted).
     pub entries_written: usize,
 }
 
@@ -181,42 +199,74 @@ serde::impl_serde_struct!(ShardHeader {
     checksum
 });
 
-/// One persisted stage transition: the input exemplar (for structural
-/// confirmation on lookup) and the output it produced. Fingerprints are
-/// recomputed on load, not stored.
-struct PersistedTransition {
-    stage: usize,
-    input: Arc<Shader>,
-    output: Arc<Shader>,
+/// One persisted exemplar: a distinct IR structure, serialised exactly once,
+/// with its clean-stage identity mask. Fingerprints are recomputed on load
+/// (once per exemplar, memoised), not stored.
+struct PersistedExemplar {
+    clean_stages: usize,
+    ir: Arc<Shader>,
 }
 
-serde::impl_serde_struct!(PersistedTransition {
+serde::impl_serde_struct!(PersistedExemplar { clean_stages, ir });
+
+/// One persisted stage-transition edge. `input` indexes this file's
+/// exemplar list; `output` indexes the exemplar list of the file for shard
+/// `output_shard` (edges cross shard boundaries whenever a stage changes the
+/// fingerprint's shard).
+struct PersistedEdge {
+    stage: usize,
+    input: usize,
+    output_shard: usize,
+    output: usize,
+}
+
+serde::impl_serde_struct!(PersistedEdge {
     stage,
     input,
+    output_shard,
     output
 });
 
-/// One persisted emission: final-IR exemplar, backend name, emitted text.
-/// The text is a plain `String` on disk (the in-memory `Arc<str>` handle is
-/// not serialisable and would encode identically anyway); load re-wraps it.
+/// One persisted emission: file-local index of the final-IR exemplar,
+/// backend name, emitted text. The text is a plain `String` on disk (the
+/// in-memory `Arc<str>` handle is not serialisable and would encode
+/// identically anyway); load re-wraps it.
 struct PersistedEmission {
     backend: String,
-    ir: Arc<Shader>,
+    input: usize,
     text: String,
 }
 
-serde::impl_serde_struct!(PersistedEmission { backend, ir, text });
+serde::impl_serde_struct!(PersistedEmission {
+    backend,
+    input,
+    text
+});
 
-/// The second line of a shard file: every entry of that shard.
+/// The second line of a shard file.
 struct ShardPayload {
-    transitions: Vec<PersistedTransition>,
+    exemplars: Vec<PersistedExemplar>,
+    transitions: Vec<PersistedEdge>,
     emissions: Vec<PersistedEmission>,
 }
 
 serde::impl_serde_struct!(ShardPayload {
+    exemplars,
     transitions,
     emissions
 });
+
+/// A standalone-validated shard file, parsed but not yet interned: the
+/// exemplars with their recomputed fingerprints, and the entries still in
+/// index form. Cross-file references (edge outputs) are resolved against the
+/// other parsed files in a later phase.
+struct ParsedShard {
+    exemplars: Vec<(Snapshot, u64)>,
+    transitions: Vec<(usize, usize, usize, usize)>,
+    emissions: Vec<(BackendKind, usize, Arc<str>)>,
+    /// Unknown-backend emissions dropped during parsing.
+    skipped_entries: usize,
+}
 
 /// The snapshot file for one shard index.
 fn shard_path(dir: &Path, shard: usize) -> PathBuf {
@@ -224,11 +274,11 @@ fn shard_path(dir: &Path, shard: usize) -> PathBuf {
 }
 
 impl CorpusCache {
-    /// Writes this cache's memos to `dir` as one versioned, checksummed file
-    /// per fingerprint-range shard (see the [module docs](self) for the
-    /// format and trust policy). Existing shard files are replaced via a
-    /// temp-file rename, so a crashed writer never leaves a half-written
-    /// shard under the real name.
+    /// Writes this cache's transition graph to `dir` as one versioned,
+    /// checksummed file per fingerprint-range shard (see the
+    /// [module docs](self) for the format and trust policy). Existing shard
+    /// files are replaced via a temp-file rename, so a crashed writer never
+    /// leaves a half-written shard under the real name.
     ///
     /// # Errors
     ///
@@ -238,9 +288,52 @@ impl CorpusCache {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("warm-start dir {}: {e}", dir.display()))?;
         let hash = format!("{:016x}", schedule_hash());
-        let mut report = SaveReport::default();
+
+        // Phase 1: snapshot every shard's persistable exemplars and assign
+        // file-local indices, building one global generation → (shard, index)
+        // map first — edges reference output exemplars across shard files, so
+        // no file can be written until every file's index space is known.
+        // Exemplars nothing references and nothing is known about are dead
+        // weight (e.g. session base states never transitioned) and are not
+        // persisted.
+        let mut shard_exemplars: Vec<Vec<(u64, Exemplar)>> = Vec::with_capacity(SHARDS);
+        let mut index: HashMap<u64, (usize, usize)> = HashMap::new();
         for shard in 0..SHARDS {
-            let payload = self.shard_payload(shard);
+            let mut list: Vec<(u128, u64, Exemplar)> = {
+                let map = self.exemplars[shard].read().expect("corpus cache poisoned");
+                map.iter()
+                    .flat_map(|(fp, chain)| {
+                        chain
+                            .iter()
+                            .filter(|e| e.refs > 0 || e.clean_stages != 0)
+                            .map(move |e| {
+                                (
+                                    fp.0,
+                                    e.gen,
+                                    Exemplar {
+                                        gen: e.gen,
+                                        ir: Arc::clone(&e.ir),
+                                        refs: e.refs,
+                                        clean_stages: e.clean_stages,
+                                    },
+                                )
+                            })
+                    })
+                    .collect()
+            };
+            // Sorted by (fingerprint, generation): load interns in file
+            // order, handing out ascending fresh generations, so this order
+            // reproduces itself across save→load→save — byte determinism.
+            list.sort_by_key(|(fp, gen, _)| (*fp, *gen));
+            for (idx, (_, gen, _)) in list.iter().enumerate() {
+                index.insert(*gen, (shard, idx));
+            }
+            shard_exemplars.push(list.into_iter().map(|(_, gen, e)| (gen, e)).collect());
+        }
+
+        let mut report = SaveReport::default();
+        for (shard, exemplars) in shard_exemplars.iter().enumerate() {
+            let payload = self.shard_payload(shard, exemplars, &index);
             let entries = payload.transitions.len() + payload.emissions.len();
             let payload_json = serde_json::to_string(&payload)
                 .map_err(|e| format!("shard {shard} payload: {e}"))?;
@@ -275,27 +368,75 @@ impl CorpusCache {
         let mut report = LoadReport::default();
         let hash = format!("{:016x}", schedule_hash());
         let stage_count = build_schedule().len();
+
+        // Phase A: read and standalone-validate every shard file. Nothing
+        // touches the cache yet, so a bad file rejects cleanly.
+        let mut parsed: Vec<Option<ParsedShard>> = Vec::with_capacity(SHARDS);
         for shard in 0..SHARDS {
             let text = match std::fs::read_to_string(shard_path(dir, shard)) {
-                Ok(text) => text,
+                Ok(text) => Some(text),
                 // Absent shard file: cold, but not corrupt — not a skip.
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
                 // Present but unreadable (I/O error, permissions, invalid
                 // UTF-8 from a binary-torn write): data was lost — count it.
                 Err(_) => {
                     report.shards_skipped += 1;
-                    continue;
+                    None
                 }
             };
-            match self.load_shard(shard, &text, &hash, stage_count) {
-                Ok((entries, skipped_entries)) => {
-                    report.shards_loaded += 1;
-                    report.entries_loaded += entries;
-                    report.entries_skipped += skipped_entries;
+            parsed.push(text.and_then(|text| {
+                match parse_shard(shard, &text, &hash, stage_count) {
+                    Ok(p) => Some(p),
+                    Err(_reason) => {
+                        report.shards_skipped += 1;
+                        None
+                    }
                 }
-                Err(_reason) => report.shards_skipped += 1,
-            }
+            }));
         }
+
+        // Phase B: intern the accepted files' exemplars, in file order (the
+        // determinism contract with save), recording each file-local index's
+        // node id. A structure already present just merges its clean mask.
+        let nodes: Vec<Vec<NodeId>> = parsed
+            .iter()
+            .map(|p| match p {
+                Some(p) => p
+                    .exemplars
+                    .iter()
+                    .map(|(snap, clean)| self.intern_warm_exemplar(snap, *clean))
+                    .collect(),
+                None => Vec::new(),
+            })
+            .collect();
+
+        // Phase C: insert edges and emissions under [`WARM_OWNER`]. An edge
+        // whose output file was skipped (or whose output index outruns that
+        // file) costs only itself.
+        for shard in 0..SHARDS {
+            let Some(p) = &parsed[shard] else { continue };
+            let mut loaded = 0usize;
+            let mut skipped = p.skipped_entries;
+            for &(stage, input, output_shard, output) in &p.transitions {
+                let input_node = nodes[shard][input];
+                let Some(&output_node) = nodes[output_shard].get(output) else {
+                    skipped += 1;
+                    continue;
+                };
+                if self.insert_warm_edge(stage, input_node, output_node) {
+                    loaded += 1;
+                }
+            }
+            for (backend, input, text) in &p.emissions {
+                if self.insert_warm_emission(*backend, nodes[shard][*input], Arc::clone(text)) {
+                    loaded += 1;
+                }
+            }
+            report.shards_loaded += 1;
+            report.entries_loaded += loaded;
+            report.entries_skipped += skipped;
+        }
+
         self.warm_entries_loaded
             .fetch_add(report.entries_loaded, Ordering::Relaxed);
         self.warm_shards_loaded
@@ -307,212 +448,264 @@ impl CorpusCache {
         report
     }
 
-    /// All entries of one shard, sorted for byte-deterministic output.
-    fn shard_payload(&self, shard: usize) -> ShardPayload {
-        let mut transitions: Vec<(usize, u128, u64, PersistedTransition)> = {
+    /// One shard's payload, with every entry rewritten into file-index form
+    /// against the phase-1 global index. Entries are sorted for byte
+    /// determinism; an entry referencing an exemplar interned after phase 1
+    /// took its snapshot (a save racing live sessions) is dropped — the
+    /// store is a pure cache, so a dropped entry only costs a recompute.
+    fn shard_payload(
+        &self,
+        shard: usize,
+        exemplars: &[(u64, Exemplar)],
+        index: &HashMap<u64, (usize, usize)>,
+    ) -> ShardPayload {
+        let persisted_exemplars = exemplars
+            .iter()
+            .map(|(_, e)| PersistedExemplar {
+                clean_stages: e.clean_stages as usize,
+                ir: Arc::clone(&e.ir),
+            })
+            .collect();
+
+        let mut transitions: Vec<(usize, usize, usize, usize)> = {
             let map = self.transitions[shard]
                 .read()
                 .expect("corpus cache poisoned");
             map.map
                 .iter()
-                .flat_map(|((stage, fp), bucket)| {
-                    bucket.iter().map(move |(generation, t)| {
-                        (
-                            *stage,
-                            fp.0,
-                            *generation,
-                            PersistedTransition {
-                                stage: *stage,
-                                input: Arc::clone(&t.input.ir),
-                                output: Arc::clone(&t.output.ir),
-                            },
-                        )
+                .flat_map(|((stage, _), bucket)| {
+                    bucket.iter().filter_map(move |(_, edge)| {
+                        let (in_shard, input) = *index.get(&edge.input_gen)?;
+                        debug_assert_eq!(in_shard, shard, "edge keyed outside its input's shard");
+                        let (output_shard, output) = *index.get(&edge.output.gen)?;
+                        Some((*stage, input, output_shard, output))
                     })
                 })
                 .collect()
         };
-        transitions.sort_by_key(|(stage, fp, generation, _)| (*stage, *fp, *generation));
-        let mut emissions: Vec<(u128, &'static str, u64, PersistedEmission)> = {
+        // Input indices order by (fingerprint, generation) within the file,
+        // so this sort is stable across save→load→save.
+        transitions.sort_unstable();
+
+        let mut emissions: Vec<(usize, &'static str, String)> = {
             let map = self.emissions[shard].read().expect("corpus cache poisoned");
             map.map
                 .iter()
-                .flat_map(|((fp, backend), bucket)| {
-                    bucket.iter().map(move |(generation, e)| {
-                        (
-                            fp.0,
-                            backend.name(),
-                            *generation,
-                            PersistedEmission {
-                                backend: backend.name().to_string(),
-                                ir: Arc::clone(&e.ir),
-                                text: e.text.to_string(),
-                            },
-                        )
+                .flat_map(|((_, backend), bucket)| {
+                    bucket.iter().filter_map(move |(_, e)| {
+                        let (in_shard, input) = *index.get(&e.input_gen)?;
+                        debug_assert_eq!(in_shard, shard, "emission keyed outside its shard");
+                        Some((input, backend.name(), e.text.to_string()))
                     })
                 })
                 .collect()
         };
-        emissions.sort_by_key(|(fp, backend, generation, _)| (*fp, *backend, *generation));
+        emissions.sort_unstable();
+
         ShardPayload {
-            transitions: transitions.into_iter().map(|(_, _, _, t)| t).collect(),
-            emissions: emissions.into_iter().map(|(_, _, _, e)| e).collect(),
+            exemplars: persisted_exemplars,
+            transitions: transitions
+                .into_iter()
+                .map(|(stage, input, output_shard, output)| PersistedEdge {
+                    stage,
+                    input,
+                    output_shard,
+                    output,
+                })
+                .collect(),
+            emissions: emissions
+                .into_iter()
+                .map(|(input, backend, text)| PersistedEmission {
+                    backend: backend.to_string(),
+                    input,
+                    text,
+                })
+                .collect(),
         }
     }
 
-    /// Validates and restores one shard file. Everything is checked *before*
-    /// any entry touches the cache, so a shard is loaded whole or not at all
-    /// — except emissions under a backend unknown to this build, which are
-    /// individually skipped and counted (see the module's trust policy).
-    /// Returns (entries loaded, unknown entries skipped).
-    fn load_shard(
-        &self,
-        shard: usize,
-        text: &str,
-        expected_hash: &str,
-        stage_count: usize,
-    ) -> Result<(usize, usize), String> {
-        let (header_line, payload_text) = text
-            .split_once('\n')
-            .ok_or_else(|| "missing payload line".to_string())?;
-        let header: ShardHeader =
-            serde_json::from_str(header_line).map_err(|e| format!("header: {e}"))?;
-        if header.version != FORMAT_VERSION as usize {
-            return Err(format!(
-                "format version {} (expected {FORMAT_VERSION})",
-                header.version
-            ));
-        }
-        if header.schedule_hash != expected_hash {
-            return Err("pass-schedule hash mismatch (stale snapshot)".to_string());
-        }
-        if header.shard != shard {
-            return Err(format!("shard index {} under file {shard}", header.shard));
-        }
-        let payload_text = payload_text.strip_suffix('\n').unwrap_or(payload_text);
-        if format!("{:016x}", fnv64(payload_text.as_bytes())) != header.checksum {
-            return Err("payload checksum mismatch (torn or corrupt)".to_string());
-        }
-        let payload: ShardPayload =
-            serde_json::from_str(payload_text).map_err(|e| format!("payload: {e}"))?;
-        if payload.transitions.len() + payload.emissions.len() != header.entries {
-            return Err("entry count mismatch".to_string());
-        }
-
-        let mut staged_transitions = Vec::with_capacity(payload.transitions.len());
-        for t in payload.transitions {
-            if t.stage >= stage_count {
-                return Err(format!("stage index {} out of schedule", t.stage));
-            }
-            let input = Snapshot {
-                fp: fingerprint(&t.input),
-                ir: t.input,
+    /// Interns one restored exemplar (or merges its clean mask into an
+    /// already-present structure). The fingerprint was computed exactly once
+    /// during parsing and rides in `snap`.
+    fn intern_warm_exemplar(&self, snap: &Snapshot, clean_stages: u64) -> NodeId {
+        let mut map = self.exemplars[Self::shard(snap.fp)]
+            .write()
+            .expect("corpus cache poisoned");
+        let chain = map.entry(snap.fp).or_default();
+        if let Some(i) = chain_find(chain, &snap.ir) {
+            chain[i].clean_stages |= clean_stages;
+            return NodeId {
+                fp: snap.fp,
+                gen: chain[i].gen,
             };
-            if Self::shard(input.fp) != shard {
-                return Err("transition entry in wrong shard".to_string());
-            }
-            let output = Snapshot {
-                fp: fingerprint(&t.output),
-                ir: t.output,
-            };
-            staged_transitions.push((t.stage, input, output));
         }
-        let mut staged_emissions = Vec::with_capacity(payload.emissions.len());
-        let mut skipped_entries = 0usize;
-        for e in payload.emissions {
-            // Forward compatibility: a backend this build has never heard of
-            // means a *newer* writer, not corruption — the entry can never
-            // answer a lookup here, so it is dropped alone and counted,
-            // leaving the rest of the shard useful.
-            let Some(backend) = BackendKind::from_name(&e.backend) else {
-                skipped_entries += 1;
-                continue;
-            };
-            let state = Snapshot {
-                fp: fingerprint(&e.ir),
-                ir: e.ir,
-            };
-            if Self::shard(state.fp) != shard {
-                return Err("emission entry in wrong shard".to_string());
-            }
-            staged_emissions.push((backend, state, Arc::<str>::from(e.text)));
-        }
-
-        let mut loaded = 0;
-        for (stage, input, output) in staged_transitions {
-            if self.insert_warm_transition(stage, input, output) {
-                loaded += 1;
-            }
-        }
-        for (backend, state, text) in staged_emissions {
-            if self.insert_warm_emission(backend, state, text) {
-                loaded += 1;
-            }
-        }
-        Ok((loaded, skipped_entries))
+        let gen = self.gens.fetch_add(1, Ordering::Relaxed);
+        chain.push(Exemplar {
+            gen,
+            ir: Arc::clone(&snap.ir),
+            refs: 0,
+            clean_stages,
+        });
+        NodeId { fp: snap.fp, gen }
     }
 
-    /// Inserts one restored transition under [`WARM_OWNER`], deduplicating
-    /// against structurally identical entries already present (loading into
-    /// an already-warm cache is a no-op). Does not bump `stage_runs`: no
+    /// Inserts one restored edge under [`WARM_OWNER`], deduplicating against
+    /// an entry already referencing the same input exemplar (loading into an
+    /// already-warm cache is a no-op). Does not bump `stage_runs`: no
     /// optimization work happened.
-    fn insert_warm_transition(&self, stage: usize, input: Snapshot, output: Snapshot) -> bool {
+    fn insert_warm_edge(&self, stage: usize, input: NodeId, output: NodeId) -> bool {
+        // References are taken before the entry lands so eviction of *other*
+        // entries can never reclaim these nodes out from under it; on the
+        // dedupe path they are handed back.
+        self.add_node_ref(input);
+        self.add_node_ref(output);
         let key = (stage, input.fp);
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let evicted = {
             let mut map = self.transitions[Self::shard(input.fp)]
                 .write()
                 .expect("corpus cache poisoned");
             if let Some(bucket) = map.peek(&key) {
-                if bucket
-                    .iter()
-                    .any(|(_, t)| t.input.ir.same_structure(&input.ir))
-                {
+                if bucket.iter().any(|(_, e)| e.input_gen == input.gen) {
+                    drop(map);
+                    self.release_node(input);
+                    self.release_node(output);
                     return false;
                 }
             }
-            let now = self.clock.fetch_add(1, Ordering::Relaxed);
             map.insert(
                 key,
-                Transition {
+                Edge {
                     owner: WARM_OWNER,
-                    input,
+                    input_gen: input.gen,
                     output,
                 },
                 now,
                 self.shard_budget,
             )
         };
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.release_evicted_edges(evicted);
         true
     }
 
     /// Inserts one restored emission under [`WARM_OWNER`] (see
-    /// [`CorpusCache::insert_warm_transition`]).
-    fn insert_warm_emission(&self, backend: BackendKind, state: Snapshot, text: Arc<str>) -> bool {
-        let key = (state.fp, backend);
+    /// [`CorpusCache::insert_warm_edge`]).
+    fn insert_warm_emission(&self, backend: BackendKind, input: NodeId, text: Arc<str>) -> bool {
+        self.add_node_ref(input);
+        let key = (input.fp, backend);
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let evicted = {
-            let mut map = self.emissions[Self::shard(state.fp)]
+            let mut map = self.emissions[Self::shard(input.fp)]
                 .write()
                 .expect("corpus cache poisoned");
             if let Some(bucket) = map.peek(&key) {
-                if bucket.iter().any(|(_, e)| e.ir.same_structure(&state.ir)) {
+                if bucket.iter().any(|(_, e)| e.input_gen == input.gen) {
+                    drop(map);
+                    self.release_node(input);
                     return false;
                 }
             }
-            let now = self.clock.fetch_add(1, Ordering::Relaxed);
             map.insert(
                 key,
-                Emitted {
+                EmitEntry {
                     owner: WARM_OWNER,
-                    ir: state.ir,
+                    input_gen: input.gen,
                     text,
                 },
                 now,
                 self.shard_budget,
             )
         };
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.release_evicted_emissions(evicted);
         true
     }
+}
+
+/// Validates one shard file standalone — everything short of cross-file edge
+/// targets is checked here, *before* any entry touches the cache. Each
+/// exemplar's fingerprint is recomputed (and memoised into its `Arc`) exactly
+/// once; unknown-backend emissions are dropped individually and counted.
+fn parse_shard(
+    shard: usize,
+    text: &str,
+    expected_hash: &str,
+    stage_count: usize,
+) -> Result<ParsedShard, String> {
+    let (header_line, payload_text) = text
+        .split_once('\n')
+        .ok_or_else(|| "missing payload line".to_string())?;
+    let header: ShardHeader =
+        serde_json::from_str(header_line).map_err(|e| format!("header: {e}"))?;
+    if header.version != FORMAT_VERSION as usize {
+        return Err(format!(
+            "format version {} (expected {FORMAT_VERSION})",
+            header.version
+        ));
+    }
+    if header.schedule_hash != expected_hash {
+        return Err("pass-schedule hash mismatch (stale snapshot)".to_string());
+    }
+    if header.shard != shard {
+        return Err(format!("shard index {} under file {shard}", header.shard));
+    }
+    let payload_text = payload_text.strip_suffix('\n').unwrap_or(payload_text);
+    if format!("{:016x}", fnv64(payload_text.as_bytes())) != header.checksum {
+        return Err("payload checksum mismatch (torn or corrupt)".to_string());
+    }
+    let payload: ShardPayload =
+        serde_json::from_str(payload_text).map_err(|e| format!("payload: {e}"))?;
+    if payload.transitions.len() + payload.emissions.len() != header.entries {
+        return Err("entry count mismatch".to_string());
+    }
+
+    let mut exemplars = Vec::with_capacity(payload.exemplars.len());
+    for e in payload.exemplars {
+        // The one fingerprint computation this exemplar will ever need: it
+        // memoises into the Arc and every later intern/lookup reuses it.
+        let fp: Fingerprint = fingerprint(&e.ir);
+        if super::shard_of(fp) != shard {
+            return Err("exemplar in wrong shard".to_string());
+        }
+        exemplars.push((Snapshot { ir: e.ir, fp }, e.clean_stages as u64));
+    }
+
+    let mut transitions = Vec::with_capacity(payload.transitions.len());
+    for t in payload.transitions {
+        if t.stage >= stage_count {
+            return Err(format!("stage index {} out of schedule", t.stage));
+        }
+        if t.input >= exemplars.len() {
+            return Err("edge input index out of range".to_string());
+        }
+        if t.output_shard >= SHARDS {
+            return Err(format!("edge output shard {} out of range", t.output_shard));
+        }
+        transitions.push((t.stage, t.input, t.output_shard, t.output));
+    }
+
+    let mut emissions = Vec::with_capacity(payload.emissions.len());
+    let mut skipped_entries = 0usize;
+    for e in payload.emissions {
+        // Forward compatibility: a backend this build has never heard of
+        // means a *newer* writer, not corruption — the entry can never
+        // answer a lookup here, so it is dropped alone and counted,
+        // leaving the rest of the shard useful.
+        let Some(backend) = BackendKind::from_name(&e.backend) else {
+            skipped_entries += 1;
+            continue;
+        };
+        if e.input >= exemplars.len() {
+            return Err("emission input index out of range".to_string());
+        }
+        emissions.push((backend, e.input, Arc::<str>::from(e.text)));
+    }
+
+    Ok(ParsedShard {
+        exemplars,
+        transitions,
+        emissions,
+        skipped_entries,
+    })
 }
 
 #[cfg(test)]
@@ -638,6 +831,34 @@ mod tests {
     }
 
     #[test]
+    fn identity_knowledge_round_trips() {
+        // A clean-stage mask is graph knowledge, not an entry: it rides on
+        // its exemplar, and a warm-started cache answers the stage in O(1)
+        // as an identity transition.
+        let dir = ScratchDir::new("identity");
+        let cache = CorpusCache::new();
+        let id = cache.register_session();
+        let state = cache.intern(snapshot(1));
+        cache.record_transition(id, 2, state.clone(), state.clone());
+        assert_eq!(cache.identity_stages(&state), 1 << 2);
+        let saved = cache.save(&dir.0).unwrap();
+        // The mask is storage, not an entry.
+        assert_eq!(saved.entries_written, 0);
+
+        let warm = CorpusCache::new();
+        let report = warm.load(&dir.0);
+        assert_eq!(report.shards_skipped, 0);
+        let probe = snapshot(1);
+        assert_eq!(warm.identity_stages(&probe), 1 << 2);
+        let wid = warm.register_session();
+        let hit = warm.transition(wid, 2, &probe).expect("warm identity hit");
+        assert!(Arc::ptr_eq(&hit.ir, &probe.ir));
+        let stats = warm.stats();
+        assert_eq!(stats.identity_transitions, 1);
+        assert_eq!(stats.stage_runs, 0);
+    }
+
+    #[test]
     fn save_is_byte_deterministic_and_idempotent_under_reload() {
         let dir_a = ScratchDir::new("determinism-a");
         let dir_b = ScratchDir::new("determinism-b");
@@ -654,9 +875,11 @@ mod tests {
         }
         // Loading the same snapshot twice adds nothing (dedup by structure).
         let before = warm.entry_count();
+        let exemplars_before = warm.exemplar_count();
         let report = warm.load(&dir_a.0);
         assert_eq!(report.entries_loaded, 0);
         assert_eq!(warm.entry_count(), before);
+        assert_eq!(warm.exemplar_count(), exemplars_before);
     }
 
     #[test]
@@ -674,7 +897,7 @@ mod tests {
         // Shard 2: valid JSON, wrong format version.
         let path2 = shard_path(&dir.0, 2);
         let text2 = std::fs::read_to_string(&path2).unwrap();
-        std::fs::write(&path2, text2.replace("\"version\":1", "\"version\":999")).unwrap();
+        std::fs::write(&path2, text2.replace("\"version\":2", "\"version\":999")).unwrap();
         // Shard 3: header claims a different pass schedule.
         let path3 = shard_path(&dir.0, 3);
         let text3 = std::fs::read_to_string(&path3).unwrap();
@@ -692,6 +915,77 @@ mod tests {
         let stats = warm.stats();
         assert_eq!(stats.warm_shards_skipped, 5);
         assert_eq!(stats.warm_shards_loaded, SHARDS - 5);
+    }
+
+    #[test]
+    fn version_1_snapshots_are_rejected_whole() {
+        // A pre-transition-graph snapshot (format version 1) stores one IR
+        // clone per entry under a different payload schema. The version check
+        // rejects it before any schema guesswork: cold start, never misread.
+        let dir = ScratchDir::new("v1-reject");
+        populated_cache().save(&dir.0).unwrap();
+        for shard in 0..SHARDS {
+            let path = shard_path(&dir.0, shard);
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, text.replace("\"version\":2", "\"version\":1")).unwrap();
+        }
+        let warm = CorpusCache::new();
+        let report = warm.load(&dir.0);
+        assert_eq!(report.shards_loaded, 0);
+        assert_eq!(report.shards_skipped, SHARDS);
+        assert_eq!(report.entries_loaded, 0);
+        assert_eq!(warm.entry_count(), 0);
+    }
+
+    #[test]
+    fn cross_shard_edge_to_a_skipped_shard_costs_only_the_edge() {
+        // populated_cache's transitions routinely cross shard boundaries
+        // (input and output fingerprints land in different shards). Deleting
+        // one shard file must cold-start that shard *and* skip — not reject —
+        // every other shard's edges whose output lived there.
+        let dir = ScratchDir::new("cross-shard");
+        let cache = populated_cache();
+        cache.save(&dir.0).unwrap();
+
+        // Find a shard that some *other* shard's edge points into.
+        let mut victim = None;
+        'outer: for shard in 0..SHARDS {
+            let text = std::fs::read_to_string(shard_path(&dir.0, shard)).unwrap();
+            let (_, payload) = text.split_once('\n').unwrap();
+            let payload: ShardPayload = serde_json::from_str(payload.trim_end()).unwrap();
+            for t in &payload.transitions {
+                if t.output_shard != shard {
+                    victim = Some(t.output_shard);
+                    break 'outer;
+                }
+            }
+        }
+        let victim = victim.expect("populated cache has cross-shard edges");
+        std::fs::remove_file(shard_path(&dir.0, victim)).unwrap();
+
+        let warm = CorpusCache::new();
+        let report = warm.load(&dir.0);
+        // A missing file is cold, not corrupt.
+        assert_eq!(report.shards_skipped, 0);
+        assert_eq!(report.shards_loaded, SHARDS - 1);
+        assert!(
+            report.entries_skipped > 0,
+            "dangling cross-shard edges must be skipped individually"
+        );
+        assert_eq!(
+            report.entries_loaded + report.entries_skipped,
+            30 - entries_in_shard(&cache, victim),
+            "every surviving shard's entries are either loaded or skipped"
+        );
+    }
+
+    /// Edge + emission count of one shard in a live cache.
+    fn entries_in_shard(cache: &CorpusCache, shard: usize) -> usize {
+        cache.transitions[shard]
+            .read()
+            .unwrap()
+            .entries
+            + cache.emissions[shard].read().unwrap().entries
     }
 
     #[test]

@@ -38,27 +38,27 @@ impl Pass for ConstFold {
 
     fn run(&self, shader: &mut Shader) -> bool {
         let analysis = Analysis::of(shader);
-        let const_arrays = shader.const_arrays.clone();
+        let mut body = std::mem::take(&mut shader.body);
         let mut folder = Folder {
             analysis,
-            const_arrays,
+            const_arrays: &shader.const_arrays,
             changed: false,
         };
-        let mut body = std::mem::take(&mut shader.body);
         let mut env: HashMap<Reg, Known> = HashMap::new();
         folder.fold_body(&mut body, &mut env);
+        let changed = folder.changed;
         shader.body = body;
-        folder.changed
+        changed
     }
 }
 
-struct Folder {
+struct Folder<'a> {
     analysis: Analysis,
-    const_arrays: Vec<ConstArray>,
+    const_arrays: &'a [ConstArray],
     changed: bool,
 }
 
-impl Folder {
+impl Folder<'_> {
     fn fold_body(&mut self, body: &mut Vec<Stmt>, env: &mut HashMap<Reg, Known>) {
         let mut out: Vec<Stmt> = Vec::with_capacity(body.len());
         for mut stmt in body.drain(..) {
@@ -106,13 +106,18 @@ impl Folder {
                         .union(&defined_regs(&else_body))
                         .copied()
                         .collect::<HashSet<_>>();
-                    let mut env_then = env.clone();
+                    // Every register a branch fold inserts or removes is in
+                    // `defined` (it covers nested defs and loop vars), so the
+                    // shared env serves both arms without cloning — reset the
+                    // defined keys between arms and again afterwards.
                     for r in &defined {
-                        env_then.remove(r);
+                        env.remove(r);
                     }
-                    let mut env_else = env_then.clone();
-                    self.fold_body(&mut then_body, &mut env_then);
-                    self.fold_body(&mut else_body, &mut env_else);
+                    self.fold_body(&mut then_body, env);
+                    for r in &defined {
+                        env.remove(r);
+                    }
+                    self.fold_body(&mut else_body, env);
                     for r in &defined {
                         env.remove(r);
                     }
@@ -134,8 +139,7 @@ impl Folder {
                     for r in &defined {
                         env.remove(r);
                     }
-                    let mut env_body = env.clone();
-                    self.fold_body(&mut body, &mut env_body);
+                    self.fold_body(&mut body, env);
                     for r in &defined {
                         env.remove(r);
                     }

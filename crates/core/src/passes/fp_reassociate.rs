@@ -80,12 +80,45 @@ enum Factor {
 }
 
 impl Factor {
-    fn key(&self) -> String {
-        match self {
-            Factor::Const(c) => format!("c:{}", c.key()),
-            Factor::ScalarSplat(o) => format!("s:{}", o.key()),
-            Factor::Other(o) => format!("o:{}", o.key()),
+    /// Equality under the same canonical-text semantics as [`Operand::key`],
+    /// without building the key strings (this runs O(terms²·factors) inside
+    /// [`Ctx::factor_add_chain`]).
+    fn key_eq(&self, other: &Factor) -> bool {
+        match (self, other) {
+            (Factor::Const(a), Factor::Const(b)) => const_key_eq(a, b),
+            (Factor::ScalarSplat(a), Factor::ScalarSplat(b)) => operand_key_eq(a, b),
+            (Factor::Other(a), Factor::Other(b)) => operand_key_eq(a, b),
+            _ => false,
         }
+    }
+}
+
+/// `canonical_f64` prints `-0.0` as `0` and every NaN as `NaN`, so key
+/// equality collapses those beyond plain `==`.
+fn f64_key_eq(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+fn const_key_eq(a: &Constant, b: &Constant) -> bool {
+    match (a, b) {
+        (Constant::Float(x), Constant::Float(y)) => f64_key_eq(*x, *y),
+        (Constant::Int(x), Constant::Int(y)) => x == y,
+        (Constant::Uint(x), Constant::Uint(y)) => x == y,
+        (Constant::Bool(x), Constant::Bool(y)) => x == y,
+        (Constant::FloatVec(x), Constant::FloatVec(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| f64_key_eq(*p, *q))
+        }
+        _ => false,
+    }
+}
+
+fn operand_key_eq(a: &Operand, b: &Operand) -> bool {
+    match (a, b) {
+        (Operand::Reg(x), Operand::Reg(y)) => x == y,
+        (Operand::Const(x), Operand::Const(y)) => const_key_eq(x, y),
+        (Operand::Input(x), Operand::Input(y)) => x == y,
+        (Operand::Uniform(x), Operand::Uniform(y)) => x == y,
+        _ => false,
     }
 }
 
@@ -111,8 +144,7 @@ impl Ctx {
                 }
                 Stmt::Def { dst, op } => {
                     let dst_ty = shader.reg_ty(*dst);
-                    if let Some(new_op) = self.rewrite_def(op, dst_ty, shader) {
-                        *op = new_op;
+                    if self.rewrite_def(op, dst_ty, shader) {
                         self.changed = true;
                     }
                     out.append(&mut self.new_regs);
@@ -124,26 +156,29 @@ impl Ctx {
         *body = out;
     }
 
-    /// Rewrites one float definition, possibly queueing helper definitions in
-    /// `self.new_regs`. Returns the replacement op if anything changed.
-    fn rewrite_def(&mut self, op: &Op, dst_ty: IrType, shader: &mut Shader) -> Option<Op> {
+    /// Rewrites one float definition in place, possibly queueing helper
+    /// definitions in `self.new_regs`. Returns `true` if anything changed.
+    fn rewrite_def(&mut self, op: &mut Op, dst_ty: IrType, shader: &mut Shader) -> bool {
         if !dst_ty.is_float() {
-            return None;
+            return false;
         }
-        if let Some(simplified) = self.identity(op, dst_ty) {
-            return Some(simplified);
+        if self.identity(op, dst_ty) {
+            return true;
         }
         if let Some(rewritten) = self.sub_of_add(op) {
-            return Some(rewritten);
+            *op = rewritten;
+            return true;
         }
         if let Op::Binary(BinaryOp::Mul, ..) = op {
             if let Some(rewritten) = self.group_mul_chain(op, dst_ty, shader) {
-                return Some(rewritten);
+                *op = rewritten;
+                return true;
             }
         }
         if let Op::Binary(BinaryOp::Add, ..) = op {
             if let Some(rewritten) = self.factor_add_chain(op, dst_ty, shader) {
-                return Some(rewritten);
+                *op = rewritten;
+                return true;
             }
         }
         self.canonical_order(op)
@@ -151,53 +186,46 @@ impl Ctx {
 
     // --- identities ----------------------------------------------------------
 
-    fn identity(&self, op: &Op, dst_ty: IrType) -> Option<Op> {
-        let Op::Binary(bop, a, b) = op else {
-            return None;
-        };
-        let ca = self.defs.const_of(a);
-        let cb = self.defs.const_of(b);
-        let one = |c: &Option<Constant>| c.as_ref().is_some_and(|c| c.is_all(1.0));
-        let zero = |c: &Option<Constant>| c.as_ref().is_some_and(|c| c.is_all(0.0));
-        match bop {
-            BinaryOp::Mul => {
-                if one(&cb) {
-                    return Some(Op::Mov(a.clone()));
-                }
-                if one(&ca) {
-                    return Some(Op::Mov(b.clone()));
-                }
-                if zero(&ca) || zero(&cb) {
-                    return Some(Op::Mov(zero_operand(dst_ty)));
-                }
-                None
-            }
-            BinaryOp::Add => {
-                if zero(&cb) {
-                    return Some(Op::Mov(a.clone()));
-                }
-                if zero(&ca) {
-                    return Some(Op::Mov(b.clone()));
-                }
-                None
-            }
-            BinaryOp::Sub => {
-                if zero(&cb) {
-                    return Some(Op::Mov(a.clone()));
-                }
-                None
-            }
-            BinaryOp::Div => {
-                if one(&cb) {
-                    return Some(Op::Mov(a.clone()));
-                }
-                if zero(&ca) {
-                    return Some(Op::Mov(zero_operand(dst_ty)));
-                }
-                None
-            }
-            _ => None,
+    fn identity(&self, op: &mut Op, dst_ty: IrType) -> bool {
+        enum Keep {
+            A,
+            B,
+            Zero,
         }
+        let keep = {
+            let Op::Binary(bop, a, b) = &*op else {
+                return false;
+            };
+            let ca = self.defs.const_of(a);
+            let cb = self.defs.const_of(b);
+            let one = |c: &Option<Constant>| c.as_ref().is_some_and(|c| c.is_all(1.0));
+            let zero = |c: &Option<Constant>| c.as_ref().is_some_and(|c| c.is_all(0.0));
+            match bop {
+                BinaryOp::Mul if one(&cb) => Keep::A,
+                BinaryOp::Mul if one(&ca) => Keep::B,
+                BinaryOp::Mul if zero(&ca) || zero(&cb) => Keep::Zero,
+                BinaryOp::Add if zero(&cb) => Keep::A,
+                BinaryOp::Add if zero(&ca) => Keep::B,
+                BinaryOp::Sub if zero(&cb) => Keep::A,
+                BinaryOp::Div if one(&cb) => Keep::A,
+                BinaryOp::Div if zero(&ca) => Keep::Zero,
+                _ => return false,
+            }
+        };
+        // Move the surviving operand out instead of cloning it; the
+        // placeholder left behind is overwritten immediately.
+        let taken = {
+            let Op::Binary(_, a, b) = op else {
+                unreachable!("matched Binary above")
+            };
+            match keep {
+                Keep::A => std::mem::replace(a, Operand::Input(0)),
+                Keep::B => std::mem::replace(b, Operand::Input(0)),
+                Keep::Zero => zero_operand(dst_ty),
+            }
+        };
+        *op = Op::Mov(taken);
+        true
     }
 
     // --- (a + b) - a → b ------------------------------------------------------
@@ -213,10 +241,10 @@ impl Ctx {
         let Some(Op::Binary(BinaryOp::Add, x, y)) = self.defs.def(*r) else {
             return None;
         };
-        if x.key() == b.key() {
+        if operand_key_eq(x, b) {
             return Some(Op::Mov(y.clone()));
         }
-        if y.key() == b.key() {
+        if operand_key_eq(y, b) {
             return Some(Op::Mov(x.clone()));
         }
         None
@@ -278,12 +306,12 @@ impl Ctx {
         if n_const + n_scalar < 2 || factors.len() < 3 {
             return None;
         }
-        Some(self.rebuild_product(&factors, dst_ty, shader))
+        Some(self.rebuild_product(factors, dst_ty, shader))
     }
 
     /// Rebuilds `∏ factors` with constants folded together, scalars multiplied
     /// in scalar registers, and a single splat for the scalar part.
-    fn rebuild_product(&mut self, factors: &[Factor], dst_ty: IrType, shader: &mut Shader) -> Op {
+    fn rebuild_product(&mut self, factors: Vec<Factor>, dst_ty: IrType, shader: &mut Shader) -> Op {
         // Fold all constants into one.
         let mut const_product: Option<Constant> = None;
         let mut scalars: Vec<Operand> = Vec::new();
@@ -292,12 +320,12 @@ impl Ctx {
             match f {
                 Factor::Const(c) => {
                     const_product = Some(match const_product {
-                        None => c.clone(),
-                        Some(prev) => mul_constants(&prev, c),
+                        None => c,
+                        Some(prev) => mul_constants(&prev, &c),
                     });
                 }
-                Factor::ScalarSplat(s) => scalars.push(s.clone()),
-                Factor::Other(o) => others.push(o.clone()),
+                Factor::ScalarSplat(s) => scalars.push(s),
+                Factor::Other(o) => others.push(o),
             }
         }
 
@@ -360,35 +388,30 @@ impl Ctx {
             vector_factors.push(Operand::Const(broadcast_const(&c, dst_ty)));
         }
 
-        // Chain the remaining factors.
+        // Chain the remaining factors, left to right; only the final multiply
+        // stays in the rewritten op, earlier ones become helper defs.
         match vector_factors.len() {
             0 => Op::Mov(Operand::Const(broadcast_const(
                 &Constant::Float(1.0),
                 dst_ty,
             ))),
-            1 => Op::Mov(vector_factors.pop_first()),
+            1 => Op::Mov(vector_factors.pop().expect("len == 1")),
             _ => {
                 let mut iter = vector_factors.into_iter();
-                let mut acc = iter.next().expect("len >= 2");
-                let mut last_pair: Option<(Operand, Operand)> = None;
+                let mut x = iter.next().expect("len >= 2");
+                let mut y = iter.next().expect("len >= 2");
                 for f in iter {
-                    match last_pair.take() {
-                        None => last_pair = Some((acc.clone(), f)),
-                        Some((x, y)) => {
-                            let r = shader.new_reg(IrType::vec(
-                                prism_ir::types::Scalar::F32,
-                                width_of(&x, shader),
-                            ));
-                            self.new_regs.push(Stmt::Def {
-                                dst: r,
-                                op: Op::Binary(BinaryOp::Mul, x, y),
-                            });
-                            acc = Operand::Reg(r);
-                            last_pair = Some((acc.clone(), f));
-                        }
-                    }
+                    let r = shader.new_reg(IrType::vec(
+                        prism_ir::types::Scalar::F32,
+                        width_of(&x, shader),
+                    ));
+                    self.new_regs.push(Stmt::Def {
+                        dst: r,
+                        op: Op::Binary(BinaryOp::Mul, x, y),
+                    });
+                    x = Operand::Reg(r);
+                    y = f;
                 }
-                let (x, y) = last_pair.expect("at least one pair");
                 Op::Binary(BinaryOp::Mul, x, y)
             }
         }
@@ -436,13 +459,12 @@ impl Ctx {
         // multiplicity one).
         let mut common: Vec<Factor> = Vec::new();
         for candidate in &term_factors[0] {
-            let key = candidate.key();
-            if common.iter().any(|c| c.key() == key) {
+            if common.iter().any(|c| c.key_eq(candidate)) {
                 continue;
             }
             if term_factors
                 .iter()
-                .all(|tf| tf.iter().any(|f| f.key() == key))
+                .all(|tf| tf.iter().any(|f| f.key_eq(candidate)))
             {
                 common.push(candidate.clone());
             }
@@ -456,11 +478,10 @@ impl Ctx {
         // the common factor would be degenerate; require either several terms
         // or a real residue.
         let residues: Vec<Vec<Factor>> = term_factors
-            .iter()
-            .map(|tf| {
-                let mut remaining = tf.clone();
+            .into_iter()
+            .map(|mut remaining| {
                 for c in &common {
-                    if let Some(pos) = remaining.iter().position(|f| f.key() == c.key()) {
+                    if let Some(pos) = remaining.iter().position(|f| f.key_eq(c)) {
                         remaining.remove(pos);
                     }
                 }
@@ -481,35 +502,36 @@ impl Ctx {
                 )));
                 continue;
             }
-            let op = self.rebuild_product(&residue, dst_ty, shader);
+            let op = self.rebuild_product(residue, dst_ty, shader);
             let r = shader.new_reg(dst_ty);
             self.new_regs.push(Stmt::Def { dst: r, op });
             rebuilt_terms.push(Operand::Reg(r));
         }
         // Sum the residues.
-        let mut sum = rebuilt_terms[0].clone();
-        for t in rebuilt_terms.iter().skip(1) {
+        let mut iter = rebuilt_terms.into_iter();
+        let mut sum = iter.next().expect("at least two terms");
+        for t in iter {
             let r = shader.new_reg(dst_ty);
             self.new_regs.push(Stmt::Def {
                 dst: r,
-                op: Op::Binary(BinaryOp::Add, sum, t.clone()),
+                op: Op::Binary(BinaryOp::Add, sum, t),
             });
             sum = Operand::Reg(r);
         }
         // Multiply the sum by the common factors.
         let mut factors = vec![Factor::Other(sum)];
         factors.extend(common);
-        Some(self.rebuild_product(&factors, dst_ty, shader))
+        Some(self.rebuild_product(factors, dst_ty, shader))
     }
 
     // --- canonical operand ordering -------------------------------------------
 
-    fn canonical_order(&self, op: &Op) -> Option<Op> {
+    fn canonical_order(&self, op: &mut Op) -> bool {
         let Op::Binary(bop, a, b) = op else {
-            return None;
+            return false;
         };
         if !bop.is_commutative() || !bop.is_arithmetic() {
-            return None;
+            return false;
         }
         // Constants to the right, otherwise order by key.
         let swap = match (a.is_const(), b.is_const()) {
@@ -518,20 +540,9 @@ impl Ctx {
             _ => b.key() < a.key(),
         };
         if swap {
-            Some(Op::Binary(*bop, b.clone(), a.clone()))
-        } else {
-            None
+            std::mem::swap(a, b);
         }
-    }
-}
-
-trait PopFirst {
-    fn pop_first(&mut self) -> Operand;
-}
-
-impl PopFirst for Vec<Operand> {
-    fn pop_first(&mut self) -> Operand {
-        self.remove(0)
+        swap
     }
 }
 

@@ -61,8 +61,11 @@ pub struct CompiledShader {
     pub name: String,
     /// Flag combination used.
     pub flags: OptFlags,
-    /// Optimized IR (what the GPU substrate consumes).
-    pub ir: Shader,
+    /// Optimized IR (what the GPU substrate consumes). A shared handle into
+    /// the session's exemplar store: a session-compiled shader whose cached
+    /// snapshot already carries this shader's name is returned without
+    /// cloning the IR at all.
+    pub ir: std::sync::Arc<Shader>,
     /// Re-emitted desktop GLSL (what a real driver would receive). A shared
     /// handle: session-compiled shaders point straight into the emission
     /// memo, so handing the text around never copies the body.
@@ -108,10 +111,23 @@ impl Stage {
         self.flag.is_none_or(|f| flags.contains(f))
     }
 
-    /// Runs every pass of this stage over the shader, in order.
-    pub fn run(&self, ir: &mut Shader) {
+    /// Runs every pass of this stage over the shader, in order, returning
+    /// whether any pass reported mutating the IR.
+    ///
+    /// A `false` return is the optimizer's licence for the O(1) identity
+    /// fast path: the caller may keep the pre-stage snapshot (same `Arc`,
+    /// same fingerprint) without re-hashing or re-verifying. The stage
+    /// therefore invalidates the shader's fingerprint memo exactly when a
+    /// pass reports a change, and — in debug builds — convicts passes that
+    /// lie in either direction by re-hashing.
+    pub fn run(&self, ir: &mut Shader) -> bool {
+        #[cfg(debug_assertions)]
+        let fp_before = prism_ir::fingerprint::compute_fingerprint(ir);
+        let mut changed = false;
         for pass in &self.passes {
-            pass.run(ir);
+            if pass.run(ir) {
+                changed = true;
+            }
             debug_assert!(
                 verify(ir).is_ok(),
                 "pass `{}` of stage `{}` produced invalid IR",
@@ -119,6 +135,19 @@ impl Stage {
                 self.label
             );
         }
+        if changed {
+            ir.invalidate_fingerprint();
+        }
+        #[cfg(debug_assertions)]
+        {
+            let fp_after = prism_ir::fingerprint::compute_fingerprint(ir);
+            debug_assert!(
+                changed || fp_after == fp_before,
+                "a pass of stage `{}` mutated the IR but reported clean",
+                self.label
+            );
+        }
+        changed
     }
 }
 
@@ -207,7 +236,9 @@ pub fn compile_ir(
     // the work earlier ones expose (unroll → fold → reassociate → div-to-mul).
     let pipeline = build_pipeline(flags);
     for pass in &pipeline {
-        pass.run(&mut ir);
+        if pass.run(&mut ir) {
+            ir.invalidate_fingerprint();
+        }
         debug_assert!(
             verify(&ir).is_ok(),
             "pass `{}` produced invalid IR for `{name}`",
@@ -247,7 +278,7 @@ pub fn compile(
     Ok(CompiledShader {
         name: name.to_string(),
         flags,
-        ir,
+        ir: std::sync::Arc::new(ir),
         glsl,
     })
 }

@@ -180,13 +180,17 @@ impl CompileSession {
             Some(family) => cache.register_session_in(family),
             None => cache.register_session(),
         };
+        // Intern the base into the store's exemplar plane: family members
+        // with identical lowerings then share one allocation, and every
+        // later lookup resolves this session's states by pointer identity.
+        let base = cache.intern(Snapshot {
+            ir: Arc::new(ir),
+            fp,
+        });
         Ok(CompileSession {
             name: name.to_string(),
             schedule: build_schedule(),
-            base: Snapshot {
-                ir: Arc::new(ir),
-                fp,
-            },
+            base,
             cache,
             id,
             stats: RefCell::new(SessionStats::default()),
@@ -239,14 +243,10 @@ impl CompileSession {
     ) -> Result<CompiledShader, CompileError> {
         let state = self.optimize(flags)?;
         let text = self.emit(&state, backend);
-        // Cached snapshots may have been produced by another session over a
-        // structurally identical family member; restamp this shader's name.
-        let mut ir = (*state.ir).clone();
-        ir.name = self.name.clone();
         Ok(CompiledShader {
             name: self.name.clone(),
             flags,
-            ir,
+            ir: self.restamped(&state),
             // The memo's shared handle, not a copy — response bodies are
             // refcount bumps all the way out.
             glsl: text,
@@ -325,14 +325,10 @@ impl CompileSession {
                 None => {
                     let index = variants.len();
                     by_text.insert(Arc::clone(&glsl), index);
-                    // Restamp the name: the snapshot may come from another
-                    // session's structurally identical family member.
-                    let mut ir = (*state.ir).clone();
-                    ir.name = self.name.clone();
                     variants.push(Variant {
                         index,
                         glsl: Arc::clone(&glsl),
-                        ir,
+                        ir: self.restamped(&state),
                         flag_sets: vec![flags],
                     });
                     index
@@ -350,12 +346,42 @@ impl CompileSession {
 
     /// Runs the enabled stages for `flags` over the base IR (sharing cached
     /// snapshots) and returns the final state.
+    ///
+    /// The walk reads the store's clean-stage mask once per *distinct* state
+    /// (not once per stage): every enabled stage the mask marks as identity
+    /// for the current structure is skipped outright — no lookup, no
+    /// fingerprint, no clone — and consecutive identity stages collapse into
+    /// a single mask read. Only a real transition (new structure) re-reads
+    /// the mask.
     fn optimize(&self, flags: OptFlags) -> Result<Snapshot, CompileError> {
         let mut state = self.base.clone();
+        let mut clean = self.cache.identity_stages(&state);
+        let mut skipped = 0usize;
         for (stage_idx, stage) in self.schedule.iter().enumerate() {
-            if stage.enabled_for(flags) {
-                state = self.apply_stage(stage_idx, stage, state)?;
+            if !stage.enabled_for(flags) {
+                continue;
             }
+            if stage_idx < 64 && clean & (1 << stage_idx) != 0 {
+                skipped += 1;
+                continue;
+            }
+            let next = self.apply_stage(stage_idx, stage, state.clone())?;
+            if Arc::ptr_eq(&next.ir, &state.ir) {
+                // The stage just proved itself clean for this structure;
+                // remember it locally so a later replay in this same walk
+                // (impossible today, stages run once) and the mask stay
+                // coherent without another store read.
+                if stage_idx < 64 {
+                    clean |= 1 << stage_idx;
+                }
+            } else {
+                state = next;
+                clean = self.cache.identity_stages(&state);
+            }
+        }
+        if skipped > 0 {
+            self.stats.borrow_mut().stage_hits += skipped;
+            self.cache.note_identity_skips(self.id, skipped);
         }
         Ok(state)
     }
@@ -374,7 +400,17 @@ impl CompileSession {
         }
 
         let mut ir = (*input.ir).clone();
-        stage.run(&mut ir);
+        let changed = stage.run(&mut ir);
+        if !changed {
+            // Identity fast path: every pass reported the IR untouched, so
+            // the input snapshot *is* the output — no re-verify (the input
+            // was verified when it was produced), no fingerprint, no new
+            // allocation. The store records it as a clean-stage bit.
+            self.stats.borrow_mut().stage_runs += 1;
+            self.cache
+                .record_transition(self.id, stage_idx, input.clone(), input.clone());
+            return Ok(input);
+        }
         // Verified on every cache miss in all build profiles, mirroring the
         // post-pipeline check the per-combination `compile_ir` performs: a
         // pass that corrupts IR must surface as an error, never as silently
@@ -388,6 +424,20 @@ impl CompileSession {
         self.cache
             .record_transition(self.id, stage_idx, input, output.clone());
         Ok(output)
+    }
+
+    /// The snapshot's IR under this session's name. Cached snapshots may
+    /// have been produced by another session over a structurally identical
+    /// family member; only then is a clone (with the name restamped) needed —
+    /// a snapshot that already carries this shader's name is shared as-is,
+    /// which is the common single-session case.
+    fn restamped(&self, state: &Snapshot) -> Arc<Shader> {
+        if state.ir.name == self.name {
+            return Arc::clone(&state.ir);
+        }
+        let mut ir = (*state.ir).clone();
+        ir.name = self.name.clone();
+        Arc::new(ir)
     }
 
     /// Emits text for a final snapshot through `backend`, memoised on

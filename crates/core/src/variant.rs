@@ -21,8 +21,9 @@ pub struct Variant {
     pub index: usize,
     /// Emitted GLSL text (a handle shared with the emission memo).
     pub glsl: std::sync::Arc<str>,
-    /// Optimized IR.
-    pub ir: Shader,
+    /// Optimized IR (a handle shared with the session's exemplar store
+    /// whenever the cached snapshot already carries this shader's name).
+    pub ir: std::sync::Arc<Shader>,
     /// Every flag combination that produced exactly this text.
     pub flag_sets: Vec<OptFlags>,
 }

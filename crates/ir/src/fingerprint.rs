@@ -32,14 +32,32 @@ impl fmt::Display for Fingerprint {
     }
 }
 
-/// Computes the structural fingerprint of a shader.
+/// The (memoised) structural fingerprint of a shader.
 ///
 /// The hash covers everything GLSL emission depends on: the interface
 /// (inputs, uniforms, samplers, outputs), constant arrays, register types and
 /// name hints, and the full statement tree. The shader's `name` is excluded —
 /// two structurally identical shaders with different corpus names fingerprint
 /// equally, which is what cross-variant deduplication wants.
+///
+/// The result is memoised in the shader itself: the first call hashes the
+/// structure (and bumps [`FINGERPRINTS_COMPUTED`]); later calls — including
+/// on clones, which carry the memo — return the stored value. Code that
+/// mutates a shader in place must call [`Shader::invalidate_fingerprint`]
+/// (the optimizer's stage driver does) or the memo goes stale.
+///
+/// [`FINGERPRINTS_COMPUTED`]: crate::counters::FINGERPRINTS_COMPUTED
 pub fn fingerprint(shader: &Shader) -> Fingerprint {
+    *shader
+        .fp_memo
+        .get_or_init(|| compute_fingerprint(shader))
+}
+
+/// Computes the structural fingerprint from scratch, bypassing (and not
+/// populating) the memo. [`fingerprint`] is the memoised entry point; this
+/// exists for it and for stale-memo debug assertions.
+pub fn compute_fingerprint(shader: &Shader) -> Fingerprint {
+    crate::counters::count_fingerprint_computed();
     let mut h = Fnv128::new();
     h.write_usize(shader.inputs.len());
     for input in &shader.inputs {

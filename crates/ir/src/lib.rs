@@ -34,6 +34,7 @@
 //! ```
 
 pub mod analysis;
+pub mod counters;
 pub mod fingerprint;
 pub mod interp;
 pub mod op;

@@ -720,6 +720,9 @@ impl Deserialize for Shader {
             const_arrays: Vec::from_value(field(v, "const_arrays")?)?,
             regs: Vec::from_value(field(v, "regs")?)?,
             body: Vec::from_value(field(v, "body")?)?,
+            // The fingerprint memo is a cache, not part of the value; a
+            // deserialised shader starts with an empty one.
+            fp_memo: Default::default(),
         })
     }
 }

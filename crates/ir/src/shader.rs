@@ -83,7 +83,14 @@ pub struct RegInfo {
 ///
 /// The body is a structured statement list; user functions have been inlined
 /// by the lowering (as LunarGlass does), so there is exactly one body.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// The structural [fingerprint](crate::fingerprint::fingerprint) is memoised
+/// in-line (`fp_memo`): computed once per structure, carried through clones,
+/// and cleared by [`invalidate_fingerprint`](Shader::invalidate_fingerprint)
+/// whenever a transformation mutates the IR. The memo is *not* part of the
+/// value — `==`, [`same_structure`](Shader::same_structure) and
+/// serialisation all ignore it.
+#[derive(Debug, Default)]
 pub struct Shader {
     /// Shader name (corpus identifier).
     pub name: String,
@@ -101,6 +108,34 @@ pub struct Shader {
     pub regs: Vec<RegInfo>,
     /// The shader body.
     pub body: Vec<Stmt>,
+    /// Memoised structural fingerprint; see the type-level docs.
+    pub(crate) fp_memo: std::sync::OnceLock<crate::fingerprint::Fingerprint>,
+}
+
+impl Clone for Shader {
+    fn clone(&self) -> Shader {
+        crate::counters::count_ir_clone();
+        Shader {
+            name: self.name.clone(),
+            inputs: self.inputs.clone(),
+            uniforms: self.uniforms.clone(),
+            samplers: self.samplers.clone(),
+            outputs: self.outputs.clone(),
+            const_arrays: self.const_arrays.clone(),
+            regs: self.regs.clone(),
+            body: self.body.clone(),
+            // The clone has the same structure, so the memo stays valid.
+            fp_memo: self.fp_memo.clone(),
+        }
+    }
+}
+
+impl PartialEq for Shader {
+    /// Value equality: name plus structure. The fingerprint memo is a cache,
+    /// not part of the value, and is excluded.
+    fn eq(&self, other: &Shader) -> bool {
+        self.name == other.name && self.same_structure(other)
+    }
 }
 
 impl Shader {
@@ -118,6 +153,7 @@ impl Shader {
     /// though `==` (which includes the name) says otherwise; corpus-level
     /// caches confirm fingerprint matches with exactly this check.
     pub fn same_structure(&self, other: &Shader) -> bool {
+        crate::counters::count_equality_confirm();
         self.inputs == other.inputs
             && self.uniforms == other.uniforms
             && self.samplers == other.samplers
@@ -125,6 +161,19 @@ impl Shader {
             && self.const_arrays == other.const_arrays
             && self.regs == other.regs
             && self.body == other.body
+    }
+
+    /// Clears the memoised fingerprint. Must be called (and is, by
+    /// `Stage::run` in the optimizer) after any in-place mutation of the
+    /// structural fields; clone-and-rebuild construction paths start with an
+    /// empty memo automatically.
+    pub fn invalidate_fingerprint(&mut self) {
+        self.fp_memo.take();
+    }
+
+    /// The memoised fingerprint, if one has been computed for this structure.
+    pub fn cached_fingerprint(&self) -> Option<crate::fingerprint::Fingerprint> {
+        self.fp_memo.get().copied()
     }
 
     /// Allocates a fresh virtual register of type `ty`.

@@ -290,6 +290,10 @@ impl serde::Serialize for CacheRecord {
             ("stage_runs".to_string(), num(self.stats.stage_runs)),
             ("stage_hits".to_string(), num(self.stats.stage_hits)),
             (
+                "identity_transitions".to_string(),
+                num(self.stats.identity_transitions),
+            ),
+            (
                 "cross_shader_stage_hits".to_string(),
                 num(self.stats.cross_shader_stage_hits),
             ),
@@ -384,6 +388,9 @@ impl serde::Deserialize for CacheRecord {
                 sessions: count("sessions")?,
                 stage_runs: count("stage_runs")?,
                 stage_hits: count("stage_hits")?,
+                // The identity-transition counter postdates the transition
+                // graph refactor; absent means an older report, counter 0.
+                identity_transitions: warm_count("identity_transitions")?,
                 cross_shader_stage_hits: count("cross_shader_stage_hits")?,
                 emissions: count("emissions")?,
                 emissions_by_backend,
@@ -576,6 +583,7 @@ mod tests {
                     sessions: 1,
                     stage_runs: 7,
                     stage_hits: 21,
+                    identity_transitions: 6,
                     cross_shader_stage_hits: 3,
                     emissions: 4,
                     emissions_by_backend: [1, 1, 1, 1],

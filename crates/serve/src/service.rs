@@ -628,11 +628,15 @@ impl Inner {
             prism_core::lower(&parsed, &name).map_err(|e| ServeError::Frontend(e.to_string()))?;
         verify(&ir).map_err(|e| ServeError::Frontend(e.to_string()))?;
         let fp = fingerprint(&ir);
+        // Intern the base into the cache's exemplar plane: repeat requests
+        // (and racing duplicate lowers) of the same source then share one
+        // allocation, and the compute walk resolves it by pointer identity.
+        let base = self.cache.intern(Snapshot {
+            ir: Arc::new(ir),
+            fp,
+        });
         Ok(Arc::new(FrontEntry {
-            base: Snapshot {
-                ir: Arc::new(ir),
-                fp,
-            },
+            base,
             interface: Arc::new(parsed.interface),
         }))
     }
@@ -728,27 +732,65 @@ impl Inner {
         }
         let mut work = RequestWork::default();
         let state = with_schedule(|schedule| -> Result<Snapshot, ServeError> {
+            // The same walk a `CompileSession` performs: read the store's
+            // clean-stage mask once per distinct state, skip every enabled
+            // stage it marks as identity in O(1) (no lookup, no fingerprint,
+            // no clone), and re-read it only after a real transition. A
+            // memo-warm request therefore does zero IR clones end to end.
             let mut state = job.base.clone();
+            let mut clean = self.cache.identity_stages(&state);
+            let mut skipped = 0usize;
             for (stage_idx, stage) in schedule.iter().enumerate() {
                 if !stage.enabled_for(job.key.flags) {
                     continue;
                 }
+                if stage_idx < 64 && clean & (1 << stage_idx) != 0 {
+                    skipped += 1;
+                    work.stage_hits += 1;
+                    continue;
+                }
                 if let Some(output) = self.cache.transition(self.session, stage_idx, &state) {
                     work.stage_hits += 1;
-                    state = output;
+                    if Arc::ptr_eq(&output.ir, &state.ir) {
+                        if stage_idx < 64 {
+                            clean |= 1 << stage_idx;
+                        }
+                    } else {
+                        state = output;
+                        clean = self.cache.identity_stages(&state);
+                    }
                     continue;
                 }
                 let mut ir = (*state.ir).clone();
-                stage.run(&mut ir);
+                let changed = stage.run(&mut ir);
+                work.stage_runs += 1;
+                if !changed {
+                    // Identity fast path: the input snapshot is the output —
+                    // record the clean bit, keep the allocation, skip the
+                    // re-verify and re-fingerprint.
+                    self.cache.record_transition(
+                        self.session,
+                        stage_idx,
+                        state.clone(),
+                        state.clone(),
+                    );
+                    if stage_idx < 64 {
+                        clean |= 1 << stage_idx;
+                    }
+                    continue;
+                }
                 verify(&ir).map_err(|e| ServeError::Compile(e.to_string()))?;
                 let output = Snapshot {
                     fp: fingerprint(&ir),
                     ir: Arc::new(ir),
                 };
-                work.stage_runs += 1;
                 self.cache
                     .record_transition(self.session, stage_idx, state, output.clone());
                 state = output;
+                clean = self.cache.identity_stages(&state);
+            }
+            if skipped > 0 {
+                self.cache.note_identity_skips(self.session, skipped);
             }
             Ok(state)
         })?;

@@ -70,7 +70,9 @@ fn measure() -> GateReport {
         ..StudyConfig::quick()
     };
     let corpus = gate_corpus();
+    let ir_before = prism::ir::counters::snapshot();
     let study = run_study(&corpus, &config);
+    let ir_work = prism::ir::counters::snapshot().since(&ir_before);
     let warm = measure_warm_start(&corpus);
 
     let stats = &study.cache.stats;
@@ -105,6 +107,28 @@ fn measure() -> GateReport {
         Counter {
             name: "variant_dedup_ratio".into(),
             value: exhaustive_combinations / unique_variants.max(1) as f64,
+            higher_is_better: true,
+        },
+        // Zero-copy IR plane: deep-clone / hashing work attributed to the
+        // sequential study sweep via the process-global IR counters.
+        Counter {
+            name: "ir_clones".into(),
+            value: ir_work.ir_clones as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "fingerprints_computed".into(),
+            value: ir_work.fingerprints_computed as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "equality_confirms".into(),
+            value: ir_work.equality_confirms as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "identity_transitions".into(),
+            value: ir_work.identity_transitions as f64,
             higher_is_better: true,
         },
     ];
@@ -492,6 +516,10 @@ mod tests {
         assert_eq!(a, b, "gate counters must be exactly reproducible");
         // The warm-start phase feeds the gate too.
         for name in [
+            "ir_clones",
+            "fingerprints_computed",
+            "equality_confirms",
+            "identity_transitions",
             "warm_stage_runs",
             "warm_stage_hits",
             "warm_emissions",

@@ -125,6 +125,103 @@ fn all_four_backends_agree_for_every_corpus_shader() {
     }
 }
 
+/// Transition-graph replay property: the fingerprint-edge walk that answers
+/// a session — cold, behind a shared warm cache, and warm-booted from a
+/// persisted snapshot — reproduces the private-cache text byte-for-byte for
+/// every corpus shader × FNV-sampled flag combination × all four backends.
+/// The sharing must moreover be structural, not incidental: the populating
+/// sweep records clean stages as identity transitions (mask bits, not
+/// edges), and the warm-booted sweep answers everything by graph walking —
+/// zero stage executions, zero emissions.
+#[test]
+fn transition_graph_replay_is_byte_identical_cold_shared_and_warm_booted() {
+    let corpus = Corpus::gfxbench_like();
+    let dir = std::env::temp_dir().join(format!(
+        "prism-transition-replay-{}-{:p}",
+        std::process::id(),
+        &corpus
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Pass 1 — populate a shared cache, checking it against cold private
+    // sessions, and remember every expected text.
+    let shared_cache = Arc::new(CorpusCache::new());
+    let mut expected: Vec<(String, OptFlags, BackendKind, std::sync::Arc<str>)> = Vec::new();
+    for case in &corpus.cases {
+        let cold = CompileSession::new(&case.source, &case.name).expect("cold session");
+        let shared = CompileSession::with_cache_in_family(
+            &case.source,
+            &case.name,
+            &case.family,
+            shared_cache.clone() as Arc<dyn CacheStore>,
+        )
+        .expect("shared session");
+        for flags in sampled_flags(&case.name) {
+            for backend in BackendKind::ALL {
+                let cold_text = cold.text_for(flags, backend).unwrap();
+                let shared_text = shared.text_for(flags, backend).unwrap();
+                assert_eq!(
+                    *cold_text, *shared_text,
+                    "{}: flags {flags}, backend {backend}: shared replay diverges",
+                    case.name
+                );
+                expected.push((case.name.clone(), flags, backend, cold_text));
+            }
+        }
+    }
+    let stats = shared_cache.stats();
+    assert!(
+        stats.identity_transitions > 0,
+        "clean stages must take the identity fast path: {stats:?}"
+    );
+    shared_cache.save(&dir).unwrap();
+
+    // Pass 2 — boot a fresh cache from the snapshot and replay the same
+    // sweep. Every text must match pass 1, and no stage may execute: the
+    // whole sweep is mask lookups and u64 edge walks.
+    let warm_cache = Arc::new(CorpusCache::new());
+    let report = warm_cache.load(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(report.shards_skipped, 0, "{report:?}");
+    assert!(report.entries_loaded > 0, "{report:?}");
+
+    let mut cursor = expected.iter();
+    for case in &corpus.cases {
+        let warm = CompileSession::with_cache_in_family(
+            &case.source,
+            &case.name,
+            &case.family,
+            warm_cache.clone() as Arc<dyn CacheStore>,
+        )
+        .expect("warm session");
+        for flags in sampled_flags(&case.name) {
+            for backend in BackendKind::ALL {
+                let (name, eflags, ebackend, text) = cursor.next().expect("same sweep shape");
+                assert_eq!((name.as_str(), *eflags, *ebackend), (case.name.as_str(), flags, backend));
+                let warm_text = warm.text_for(flags, backend).unwrap();
+                assert_eq!(
+                    **text, *warm_text,
+                    "{}: flags {flags}, backend {backend}: warm-booted replay diverges",
+                    case.name
+                );
+            }
+        }
+    }
+    let warm_stats = warm_cache.stats();
+    assert_eq!(
+        warm_stats.stage_runs, 0,
+        "warm-booted replay executed a pass: {warm_stats:?}"
+    );
+    assert_eq!(
+        warm_stats.emissions, 0,
+        "warm-booted replay re-emitted: {warm_stats:?}"
+    );
+    assert!(
+        warm_stats.identity_transitions > 0,
+        "persisted clean-stage masks must keep answering: {warm_stats:?}"
+    );
+}
+
 /// Acceptance: a warm-started second study performs **zero** stage runs and
 /// **zero** emissions — including the SPIR-V and MSL backends, whose texts
 /// persist in the same per-backend emission memo.

@@ -317,6 +317,10 @@ fn corpus_cache_shares_across_family_sessions_and_stays_byte_identical() {
         stats.cross_shader_emission_hits > 0,
         "expected cross-shader emission sharing, got {stats:?}"
     );
+    assert!(
+        stats.identity_transitions > 0,
+        "clean stages must be answered by the identity mask, not edges: {stats:?}"
+    );
 }
 
 /// **Eviction property**: a budget-bounded `CorpusCache` must (a) never hold
