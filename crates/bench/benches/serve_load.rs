@@ -11,12 +11,17 @@
 //!    replays the same stream with **zero** stage runs and byte-identical
 //!    responses;
 //! 3. **hammer** — a worker-pool service under concurrent identical clients
-//!    coalesces (`coalesced_requests > 0`) and stays byte-identical.
+//!    coalesces (`coalesced_requests > 0`) and stays byte-identical;
+//! 4. **online tune** — a flag-search tenant on the warm-booted service
+//!    stays under its measurement budget, and the variant it lands on is
+//!    afterwards memo-served to serving traffic at zero work (shared
+//!    cache plane, both directions).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use prism_core::OptFlags;
 use prism_corpus::Corpus;
 use prism_emit::BackendKind;
+use prism_gpu::Vendor;
 use prism_serve::{
     request_stream, run_stream, CompileRequest, CompileService, ServeConfig, StreamSpec,
 };
@@ -86,10 +91,7 @@ fn smoke_contract(_corpus: &Corpus, spec: &StreamSpec, stream: &[CompileRequest]
         spec
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    let config = ServeConfig {
-        warm_start_dir: Some(dir.clone()),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::default().with_warm_start_dir(dir.clone());
     let warmup = warmup_len(spec);
     let cold = CompileService::new(config.clone());
     let summary = run_stream(&cold, stream, warmup);
@@ -169,10 +171,7 @@ fn smoke_contract(_corpus: &Corpus, spec: &StreamSpec, stream: &[CompileRequest]
     // client has joined its flight, making `coalesced_requests > 0` a hard
     // guarantee rather than a race.
     const CLIENTS: usize = 8;
-    let hammer = Arc::new(CompileService::new(ServeConfig {
-        workers: 4,
-        ..ServeConfig::default()
-    }));
+    let hammer = Arc::new(CompileService::new(ServeConfig::default().with_workers(4)));
     hammer.set_compute_hook(Some(Box::new(|probe| {
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
         while probe.waiters() < CLIENTS - 1 && std::time::Instant::now() < deadline {
@@ -208,7 +207,42 @@ fn smoke_contract(_corpus: &Corpus, spec: &StreamSpec, stream: &[CompileRequest]
         hammer_stats.cache.coalesced_requests > 0,
         "concurrent identical clients did not coalesce: {hammer_stats:?}"
     );
-    println!("  contract: OK (>=90% free, warm boot 0 stage runs, coalescing live)");
+
+    // Phase 4: online tune. A flag-search tenant runs on the warm-booted
+    // service, so its candidate compiles land in the same memo plane the
+    // replayed stream populated — and the variant it converges on is
+    // afterwards served back to ordinary traffic for zero work.
+    let tune_budget = 12;
+    let outcome = warm
+        .tune(&stream[0].source, Vendor::Arm, tune_budget)
+        .expect("tune pass on the warm-booted service");
+    let tuned_stats = warm.stats();
+    println!(
+        "serve online tune: measurements={}/{} search_compiles={} best={:?}",
+        outcome.measurements_taken, tune_budget, outcome.search_compiles, outcome.best_flags
+    );
+    assert!(
+        outcome.measurements_taken <= tune_budget,
+        "tune overran its measurement budget: {outcome:?}"
+    );
+    assert_eq!(tuned_stats.tune_requests, 1);
+    assert_eq!(tuned_stats.measurements_taken, outcome.measurements_taken);
+    // Shared plane, tenant → server direction: a serving request for the
+    // combination the tuner just paid for must be answered from the memo
+    // without any fresh work.
+    let tuned_request = CompileRequest::builder(&stream[0].source)
+        .flags(outcome.best_flags)
+        .backend(Vendor::Arm.backend())
+        .build();
+    let served = warm.compile(&tuned_request).unwrap();
+    assert_eq!(
+        served.work.latency(),
+        0,
+        "the tuned variant was not memo-served to serving traffic"
+    );
+    println!(
+        "  contract: OK (>=90% free, warm boot 0 stage runs, coalescing live, tuned variant memo-served)"
+    );
 }
 
 criterion_group! {

@@ -34,5 +34,5 @@ pub use driver::DriverModel;
 pub use isa::IsaStats;
 pub use platform::{Platform, ShaderCost};
 pub use static_analysis::{analyze, StaticCycles};
-pub use timing::{DrawConfig, TimeSample};
-pub use vendor::{AluStyle, DeviceSpec, Vendor};
+pub use timing::{DrawConfig, NoiseState, TimeSample};
+pub use vendor::{AluStyle, DeviceSpec, ThermalDrift, Vendor};

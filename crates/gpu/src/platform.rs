@@ -4,7 +4,10 @@ use crate::cost::FragmentCost;
 use crate::driver::DriverModel;
 use crate::isa::IsaStats;
 use crate::static_analysis::{analyze, StaticCycles};
-use crate::timing::{ideal_frame_time_ns, sample_frame_time_ns, DrawConfig, TimeSample};
+use crate::timing::{
+    ideal_frame_time_ns, sample_frame_time_ns, sample_frame_time_ns_with, DrawConfig, NoiseState,
+    TimeSample,
+};
 use crate::vendor::{DeviceSpec, Vendor};
 use prism_core::CompileError;
 use prism_emit::BackendKind;
@@ -135,6 +138,18 @@ impl Platform {
     /// Samples one noisy timer-query measurement of a frame of this shader.
     pub fn sample_frame(&self, cost: &ShaderCost, rng: &mut impl Rng) -> TimeSample {
         sample_frame_time_ns(&cost.cost, &self.spec, &self.draw, rng)
+    }
+
+    /// Samples one frame while carrying measurement-run noise state (the
+    /// phones' AR(1) thermal drift) across frames. Desktop platforms ignore
+    /// the state and sample exactly as [`Platform::sample_frame`].
+    pub fn sample_frame_with(
+        &self,
+        cost: &ShaderCost,
+        rng: &mut impl Rng,
+        state: &mut NoiseState,
+    ) -> TimeSample {
+        sample_frame_time_ns_with(&cost.cost, &self.spec, &self.draw, rng, state)
     }
 
     /// Runs the ARM-style static analyser on driver-compiled IR (used for the

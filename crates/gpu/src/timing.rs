@@ -84,18 +84,64 @@ pub fn ideal_frame_time_ns(cost: &FragmentCost, spec: &DeviceSpec, config: &Draw
     cycles_total / giga_hz + per_draw_overhead_ns * config.triangles_per_frame as f64 / 100.0
 }
 
+/// Carried noise state across the frames of one measurement run.
+///
+/// Today this is the AR(1) thermal-drift bias of the phone platforms (see
+/// [`ThermalDrift`](crate::vendor::ThermalDrift)); desktops never touch it.
+/// One run — one warm loop of frames on one device — owns one state; a new
+/// run starts cold at zero bias.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NoiseState {
+    /// Current relative thermal bias (fraction of the ideal frame time).
+    pub drift: f64,
+}
+
+impl NoiseState {
+    /// A cold start: the device at nominal clocks, zero accumulated bias.
+    pub fn new() -> NoiseState {
+        NoiseState::default()
+    }
+}
+
 /// Samples one noisy timer-query measurement of a frame.
+///
+/// Stateless convenience wrapper over [`sample_frame_time_ns_with`]: every
+/// call is a cold-start frame, so autocorrelated drift never accumulates.
+/// Timed runs should carry a [`NoiseState`] across frames instead.
 pub fn sample_frame_time_ns(
     cost: &FragmentCost,
     spec: &DeviceSpec,
     config: &DrawConfig,
     rng: &mut impl Rng,
 ) -> TimeSample {
+    sample_frame_time_ns_with(cost, spec, config, rng, &mut NoiseState::new())
+}
+
+/// Samples one noisy timer-query measurement of a frame, evolving the
+/// carried [`NoiseState`].
+///
+/// On platforms with a [`ThermalDrift`](crate::vendor::ThermalDrift) spec
+/// (the two Android phones), the drift bias advances one AR(1) step per
+/// frame — drawing its innovation from the same seeded stream *before* the
+/// white-noise draws. Platforms without drift take nothing from the stream
+/// for it, so desktop sample sequences are bit-identical to the drift-free
+/// model.
+pub fn sample_frame_time_ns_with(
+    cost: &FragmentCost,
+    spec: &DeviceSpec,
+    config: &DrawConfig,
+    rng: &mut impl Rng,
+    state: &mut NoiseState,
+) -> TimeSample {
     let ideal = ideal_frame_time_ns(cost, spec, config);
+    if let Some(drift) = spec.thermal_drift {
+        let step = drift.ar * state.drift + drift.sigma * gaussian(rng);
+        state.drift = step.clamp(-drift.cap, drift.cap);
+    }
     let noise = gaussian(rng) * spec.timer_noise;
     // Timer queries also add a small positive profiling overhead.
     let overhead = rng.gen_range(0.0..0.002);
-    let measured = ideal * (1.0 + noise + overhead);
+    let measured = ideal * (1.0 + state.drift + noise + overhead);
     TimeSample {
         nanoseconds: measured.max(0.0),
         ideal_nanoseconds: ideal,
@@ -179,6 +225,68 @@ mod tests {
         let a = sample_frame_time_ns(&c, &spec, &config, &mut r1);
         let b = sample_frame_time_ns(&c, &spec, &config, &mut r2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thermal_drift_is_seeded_bounded_and_mobile_only() {
+        // Desktops (and Apple) have no drift spec, and the stateful sampler
+        // on them is bit-identical to the stateless one — the drift branch
+        // must not even consume RNG stream.
+        let config = DrawConfig::desktop();
+        for vendor in [Vendor::Intel, Vendor::Amd, Vendor::Nvidia, Vendor::Radv, Vendor::Apple] {
+            let (c, spec) = cost(vendor);
+            assert!(spec.thermal_drift.is_none(), "{vendor}");
+            let mut r1 = StdRng::seed_from_u64(41);
+            let mut r2 = StdRng::seed_from_u64(41);
+            let mut state = NoiseState::new();
+            for _ in 0..32 {
+                let plain = sample_frame_time_ns(&c, &spec, &config, &mut r1);
+                let stateful = sample_frame_time_ns_with(&c, &spec, &config, &mut r2, &mut state);
+                assert_eq!(plain, stateful, "{vendor}");
+                assert_eq!(state.drift, 0.0, "{vendor} accumulated drift");
+            }
+        }
+
+        // The two Android phones drift: seeded (reproducible), bounded by
+        // the cap, and actually autocorrelated (the bias persists across
+        // frames instead of resetting).
+        let mobile_config = DrawConfig::mobile();
+        for vendor in [Vendor::Arm, Vendor::Qualcomm] {
+            let (c, spec) = cost(vendor);
+            let drift = spec.thermal_drift.expect("phones drift");
+            let run = |seed: u64| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut state = NoiseState::new();
+                (0..400)
+                    .map(|_| {
+                        let s =
+                            sample_frame_time_ns_with(&c, &spec, &mobile_config, &mut rng, &mut state);
+                        (s.nanoseconds, state.drift)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let a = run(7);
+            let b = run(7);
+            assert_eq!(a, b, "{vendor} drift not seeded");
+            assert!(run(8) != a, "{vendor} seed is ignored");
+            let drifts: Vec<f64> = a.iter().map(|(_, d)| *d).collect();
+            assert!(
+                drifts.iter().all(|d| d.abs() <= drift.cap),
+                "{vendor} drift escaped the cap"
+            );
+            assert!(
+                drifts.iter().any(|d| d.abs() > drift.sigma),
+                "{vendor} drift never accumulated past one innovation"
+            );
+            // Autocorrelation: consecutive drift values are close (within
+            // one innovation's reach), unlike white noise.
+            for w in drifts.windows(2) {
+                assert!(
+                    (w[1] - w[0]).abs() <= (1.0 - drift.ar) * drift.cap + 8.0 * drift.sigma,
+                    "{vendor} drift jumped like white noise"
+                );
+            }
+        }
     }
 
     #[test]

@@ -133,6 +133,25 @@ pub enum AluStyle {
     Vec4,
 }
 
+/// Seeded AR(1) thermal-drift parameters for a phone's timing stream.
+///
+/// The phones' measurement error is not i.i.d. Gaussian: sustained draw
+/// loops heat the SoC, the governor reacts, and consecutive frames share a
+/// slowly wandering bias. The drift state `d` evolves per frame as
+/// `d ← clamp(ar·d + sigma·ε, ±cap)` with `ε` standard normal from the same
+/// seeded stream as the white noise, so the whole model stays reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalDrift {
+    /// Autoregression coefficient in `[0, 1)` — how much of the previous
+    /// frame's bias carries into this one (thermal inertia).
+    pub ar: f64,
+    /// Standard deviation of the per-frame innovation.
+    pub sigma: f64,
+    /// Hard bound on `|d|` — the governor never lets the clock wander
+    /// further than this fraction from nominal.
+    pub cap: f64,
+}
+
 /// Architectural and measurement parameters of one platform.
 #[derive(Debug, Clone)]
 pub struct DeviceSpec {
@@ -169,6 +188,11 @@ pub struct DeviceSpec {
     /// Relative standard deviation of `GL_TIME_ELAPSED` measurements on this
     /// platform (Intel is the quietest in the paper, the phones the noisiest).
     pub timer_noise: f64,
+    /// Autocorrelated thermal drift in the timing stream. `Some` only for
+    /// the two Android phones (the paper's §IV-B noise caveat is about
+    /// them); the desktops and the actively-cooled bench setups keep pure
+    /// i.i.d. noise, and their RNG streams are untouched by this field.
+    pub thermal_drift: Option<ThermalDrift>,
 }
 
 impl DeviceSpec {
@@ -190,6 +214,7 @@ impl DeviceSpec {
                 clock_mhz: 1150.0,
                 parallel_fragments: 192.0,
                 timer_noise: 0.003,
+                thermal_drift: None,
             },
             Vendor::Amd => DeviceSpec {
                 vendor,
@@ -206,6 +231,7 @@ impl DeviceSpec {
                 clock_mhz: 1266.0,
                 parallel_fragments: 2304.0,
                 timer_noise: 0.012,
+                thermal_drift: None,
             },
             // Calibration note: `alu_per_cycle` is per-fragment issue width,
             // not whole-GPU throughput. The earlier 16.0 made the ALU term so
@@ -231,6 +257,7 @@ impl DeviceSpec {
                 clock_mhz: 1733.0,
                 parallel_fragments: 2560.0,
                 timer_noise: 0.004,
+                thermal_drift: None,
             },
             Vendor::Arm => DeviceSpec {
                 vendor,
@@ -247,6 +274,13 @@ impl DeviceSpec {
                 clock_mhz: 650.0,
                 parallel_fragments: 128.0,
                 timer_noise: 0.022,
+                // Mali-T880 in a passively cooled phone: strong thermal
+                // inertia, tight governor cap.
+                thermal_drift: Some(ThermalDrift {
+                    ar: 0.95,
+                    sigma: 0.004,
+                    cap: 0.03,
+                }),
             },
             Vendor::Qualcomm => DeviceSpec {
                 vendor,
@@ -263,6 +297,13 @@ impl DeviceSpec {
                 clock_mhz: 624.0,
                 parallel_fragments: 256.0,
                 timer_noise: 0.025,
+                // Adreno 530: a twitchier governor — weaker inertia but
+                // larger per-frame innovations and a wider cap.
+                thermal_drift: Some(ThermalDrift {
+                    ar: 0.90,
+                    sigma: 0.005,
+                    cap: 0.035,
+                }),
             },
             // The same Polaris 10 silicon as `Amd`, behind the Vulkan
             // driver: hardware numbers are copied verbatim (the comparison
@@ -285,6 +326,7 @@ impl DeviceSpec {
                 clock_mhz: 1266.0,
                 parallel_fragments: 2304.0,
                 timer_noise: 0.006,
+                thermal_drift: None,
             },
             // Apple A9 (PowerVR GT7600-class): scalar Rogue ALUs, a tiler
             // with cheap per-fragment overhead and strong texture caching,
@@ -305,6 +347,10 @@ impl DeviceSpec {
                 clock_mhz: 650.0,
                 parallel_fragments: 192.0,
                 timer_noise: 0.018,
+                // The iPhone 6s benches with its screen off and a metal
+                // shell: drift is dominated by the Android phones', so the
+                // model keeps Apple's stream i.i.d.
+                thermal_drift: None,
             },
         }
     }

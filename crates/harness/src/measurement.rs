@@ -7,7 +7,7 @@
 //! submitted to the platform's driver once, then the timing model is sampled
 //! frame by frame with seeded noise.
 
-use prism_gpu::{Platform, ShaderCost};
+use prism_gpu::{NoiseState, Platform, ShaderCost};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,12 +82,19 @@ pub fn measure_cost(
 ) -> Measurement {
     let mut samples = Vec::with_capacity(config.total_frames());
     for repeat in 0..config.repeats {
-        // Each repeat gets its own RNG stream, like separate runs of the app.
+        // Each repeat gets its own RNG stream, like separate runs of the app
+        // — and its own cold-start noise state, so the phones' thermal drift
+        // accumulates within a repeat's frame loop but never across repeats.
         let mut rng = StdRng::seed_from_u64(
             config.seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15) ^ (repeat as u64) << 32,
         );
+        let mut noise = NoiseState::new();
         for _ in 0..config.frames {
-            samples.push(platform.sample_frame(cost, &mut rng).nanoseconds);
+            samples.push(
+                platform
+                    .sample_frame_with(cost, &mut rng, &mut noise)
+                    .nanoseconds,
+            );
         }
     }
     summarise(&samples, cost.ideal_frame_ns)

@@ -297,6 +297,47 @@ pub fn fig10_incremental(study: &StudyResults) -> String {
     out
 }
 
+/// Regret-vs-measurements report (beyond the paper): for each platform and
+/// strategy, the mean speedup percentage points left on the table versus the
+/// exhaustive oracle if tuning had stopped after 1, 2, 4, … budget
+/// evaluations — the anytime view of [`fig10_incremental`]'s endpoint
+/// numbers. Strategies without a recorded curve (pre-regret study reports)
+/// are skipped.
+pub fn fig_regret(study: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure R — regret vs measurements (speedup %-points behind the oracle)"
+    );
+    let with_curves: Vec<_> = study
+        .search
+        .iter()
+        .filter(|r| !r.mean_regret.is_empty())
+        .collect();
+    if with_curves.is_empty() {
+        let _ = writeln!(out, "  (study carries no regret curves)");
+        return out;
+    }
+    for vendor in study.platforms() {
+        let rows: Vec<_> = with_curves.iter().filter(|r| r.vendor == vendor).collect();
+        let Some(first) = rows.first() else { continue };
+        let _ = writeln!(out, "  {vendor}");
+        let mut header = format!("    {:<16}", "strategy");
+        for k in &first.regret_checkpoints {
+            let _ = write!(header, " {k:>7}");
+        }
+        let _ = writeln!(out, "{header}  (measurements)");
+        for row in rows {
+            let mut line = format!("    {:<16}", row.strategy);
+            for r in &row.mean_regret {
+                let _ = write!(line, " {r:>7.2}");
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
 /// Corpus-cache work/sharing report of one study run: how much optimization
 /// and emission work the sweep performed, how much was answered warm —
 /// split into hits produced by this run's own sessions (cross-shader
@@ -524,6 +565,8 @@ pub fn render_all(study: &StudyResults, blur_name: &str) -> String {
     if !study.search.is_empty() {
         out.push('\n');
         out.push_str(&fig10_incremental(study));
+        out.push('\n');
+        out.push_str(&fig_regret(study));
     }
     out.push('\n');
     out.push_str(&fig_backends(study));
@@ -629,6 +672,9 @@ mod tests {
                     mean_speedup: 20.0,
                     oracle_mean_speedup: 25.0,
                     default_mean_speedup: 15.0,
+                    regret_checkpoints: vec![1, 2, 4, 8, 16, 32, 63],
+                    mean_regret: vec![6.0, 5.0, 5.0, 3.0, 2.0, 1.0, 1.0],
+                    regret_final: 1.0,
                 });
             }
         }
@@ -638,6 +684,46 @@ mod tests {
         assert!(text.contains("AMD"));
         assert!(text.contains("ARM"));
         assert!(render_all(&study, "blur").contains("Figure 10"));
+    }
+
+    #[test]
+    fn fig_regret_renders_curves_and_skips_rows_without_them() {
+        let mut study = tiny_study();
+        assert!(fig_regret(&study).contains("no regret curves"));
+        study.search.push(prism_search::SearchRecord {
+            vendor: "AMD".into(),
+            strategy: "ucb1".into(),
+            shaders: 1,
+            budget: 63,
+            mean_compiles: 20.0,
+            max_compiles: 20,
+            mean_speedup: 24.0,
+            oracle_mean_speedup: 25.0,
+            default_mean_speedup: 15.0,
+            regret_checkpoints: vec![1, 2, 4, 8, 16, 32, 63],
+            mean_regret: vec![10.0, 6.0, 4.5, 2.0, 1.0, 1.0, 1.0],
+            regret_final: 1.0,
+        });
+        // A pre-regret row (empty curve) must be skipped, not crash.
+        study.search.push(prism_search::SearchRecord {
+            vendor: "AMD".into(),
+            strategy: "legacy".into(),
+            shaders: 1,
+            budget: 63,
+            mean_compiles: 10.0,
+            max_compiles: 10,
+            mean_speedup: 18.0,
+            oracle_mean_speedup: 25.0,
+            default_mean_speedup: 15.0,
+            regret_checkpoints: vec![],
+            mean_regret: vec![],
+            regret_final: 0.0,
+        });
+        let text = fig_regret(&study);
+        assert!(text.contains("ucb1"), "{text}");
+        assert!(!text.contains("legacy"), "{text}");
+        assert!(text.contains("10.00"), "{text}");
+        assert!(render_all(&study, "blur").contains("Figure R"));
     }
 
     #[test]

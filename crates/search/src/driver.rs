@@ -24,15 +24,23 @@
 //!   hill climbing, the strategy that keeps exploring until the budget runs
 //!   dry.
 //!
-//! Evaluation timings come from the exhaustive study's own
-//! [`ShaderPlatformRecord`], so strategy results are directly comparable to
-//! the oracle: both see exactly the same (deterministic, simulated)
-//! measurement for a given variant; the strategies just pay for far fewer
-//! compilations. [`incremental_search_records`] aggregates the comparison
-//! per (platform, strategy) into [`SearchRecord`] rows for
-//! [`StudyResults::search`](crate::results::StudyResults) and the Fig. 10
-//! style report table.
+//! Scoring goes through the [`Evaluator`] seam (see
+//! [`crate::evaluator`]): the [`OracleEvaluator`] replays the exhaustive
+//! study's own deterministic measurement for a given variant — so strategy
+//! results are directly comparable to the oracle while paying for far fewer
+//! compilations — and the [`LiveEvaluator`](crate::evaluator::LiveEvaluator)
+//! measures variants as it searches, no exhaustive record required. The
+//! explore/exploit bandit strategies ([`EpsilonGreedy`](crate::bandit::EpsilonGreedy),
+//! [`Ucb1`](crate::bandit::Ucb1)) live in [`crate::bandit`] alongside the
+//! [`RegretTracker`](crate::bandit::RegretTracker) that scores every
+//! strategy's evaluation log against the oracle.
+//! [`incremental_search_records`] aggregates the comparison per (platform,
+//! strategy) into [`SearchRecord`] rows — regret-vs-measurements curves
+//! included — for [`StudyResults::search`](crate::results::StudyResults)
+//! and the Fig. 10 style report table.
 
+use crate::bandit::RegretTracker;
+use crate::evaluator::{EvalCost, Evaluator, OracleEvaluator};
 use crate::results::{percent_speedup, SearchRecord, ShaderPlatformRecord, StudyResults};
 use crate::sweep::StudyConfig;
 use prism_core::{CacheStore, CompileSession, CorpusCache, Flag, OptFlags};
@@ -44,7 +52,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Configuration of an incremental search run.
+///
+/// Marked `#[non_exhaustive]`: construct with [`SearchConfig::default`] and
+/// the `with_*` setters, so future knobs are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SearchConfig {
     /// Hard cap on distinct flag combinations each strategy may compile per
     /// (shader, platform). The default, 63, keeps every strategy strictly
@@ -67,6 +79,26 @@ impl Default for SearchConfig {
     }
 }
 
+impl SearchConfig {
+    /// This config with a different per-shader compile budget.
+    pub fn with_budget(mut self, budget: usize) -> SearchConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// This config with a different strategy seed.
+    pub fn with_seed(mut self, seed: u64) -> SearchConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// This config with a different hill-climb restart count.
+    pub fn with_restarts(mut self, restarts: usize) -> SearchConfig {
+        self.restarts = restarts;
+        self
+    }
+}
+
 /// The outcome of one strategy run on one (shader, platform).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchOutcome {
@@ -82,51 +114,66 @@ pub struct SearchOutcome {
     pub budget: usize,
 }
 
-/// Pay-as-you-go evaluator for one (shader session, platform) pair.
+/// Budget + memo wrapper around an [`Evaluator`] for one (shader, platform)
+/// search run.
 ///
-/// Each [`SearchDriver::evaluate`] call compiles the requested combination
-/// through the live session — reusing every memoised stage prefix and
-/// emission the session (or its shared corpus cache) already holds — and
-/// returns the platform's frame time for the variant it produces. Distinct
-/// combinations are counted against a hard budget; once it is spent,
-/// `evaluate` returns `None` and the strategy must stop. Re-evaluating an
-/// already-compiled combination is free (answered from the driver's memo).
+/// Each [`SearchDriver::evaluate`] call delegates a distinct combination to
+/// the evaluator — compiling through a live session or service handle, then
+/// scoring offline (oracle) or measuring online (live) — and memoises the
+/// answer. Distinct combinations are counted against a hard budget; once it
+/// is spent, `evaluate` returns `None` and the strategy must stop.
+/// Re-evaluating an already-evaluated combination is free (answered from the
+/// driver's memo). The driver also keeps an ordered evaluation log, which is
+/// what the [`RegretTracker`] replays to score a strategy's
+/// anytime behaviour against the exhaustive oracle.
 pub struct SearchDriver<'a> {
-    session: &'a CompileSession,
-    record: &'a ShaderPlatformRecord,
-    backend: BackendKind,
+    evaluator: Box<dyn Evaluator + 'a>,
     budget: usize,
     evaluated: RefCell<HashMap<OptFlags, f64>>,
+    log: RefCell<Vec<(OptFlags, f64)>>,
 }
 
 impl<'a> SearchDriver<'a> {
+    /// A driver over any [`Evaluator`], with a hard `budget` of distinct
+    /// combinations.
+    pub fn over(evaluator: Box<dyn Evaluator + 'a>, budget: usize) -> SearchDriver<'a> {
+        SearchDriver {
+            evaluator,
+            budget: budget.max(1),
+            evaluated: RefCell::new(HashMap::new()),
+            log: RefCell::new(Vec::new()),
+        }
+    }
+
     /// A driver over `session` scoring against `record`, emitting through
     /// `backend` (the platform's declared backend), with a hard `budget` of
     /// distinct combinations.
+    #[deprecated(
+        since = "0.9.0",
+        note = "construct an evaluator explicitly: \
+                `SearchDriver::over(Box::new(OracleEvaluator::new(session, record, backend)), budget)`"
+    )]
     pub fn new(
         session: &'a CompileSession,
         record: &'a ShaderPlatformRecord,
         backend: BackendKind,
         budget: usize,
     ) -> SearchDriver<'a> {
-        SearchDriver {
-            session,
-            record,
-            backend,
-            budget: budget.max(1),
-            evaluated: RefCell::new(HashMap::new()),
-        }
+        SearchDriver::over(
+            Box::new(OracleEvaluator::new(session, record, backend)),
+            budget,
+        )
     }
 
-    /// Frame time of `flags`, compiling it on demand. `None` once the
-    /// compile budget is exhausted (repeat queries of already-evaluated
-    /// combinations stay free and still answer) — or if the combination
-    /// fails to compile, which stops the strategy the same way. The latter
-    /// cannot happen for shaders that passed the exhaustive sweep
-    /// (compilation is deterministic and all 256 combinations succeeded to
-    /// produce `record` at all); it exists so a driver over a hostile
-    /// session degrades to "search over what compiles" instead of
-    /// panicking.
+    /// Frame time of `flags`, evaluating it on demand. `None` once the
+    /// budget is exhausted (repeat queries of already-evaluated combinations
+    /// stay free and still answer) — or if the combination fails to
+    /// evaluate, which stops the strategy the same way. The latter cannot
+    /// happen for shaders that passed the exhaustive sweep (compilation is
+    /// deterministic and all 256 combinations succeeded to produce the
+    /// record at all); it exists so a driver over a hostile session — or a
+    /// live service losing its platform — degrades to "search over what
+    /// evaluates" instead of panicking.
     pub fn evaluate(&self, flags: OptFlags) -> Option<f64> {
         if let Some(time) = self.evaluated.borrow().get(&flags) {
             return Some(*time);
@@ -134,27 +181,42 @@ impl<'a> SearchDriver<'a> {
         if self.evaluated.borrow().len() >= self.budget {
             return None;
         }
-        // The actual pay-as-you-go compilation: exactly this combination,
-        // through the platform's backend, against the warm session cache.
-        self.session.text_for(flags, self.backend).ok()?;
-        let time = self.record.time_for(flags);
+        let time = self.evaluator.evaluate(flags)?;
         self.evaluated.borrow_mut().insert(flags, time);
+        self.log.borrow_mut().push((flags, time));
         Some(time)
     }
 
-    /// Distinct combinations compiled so far.
+    /// Distinct combinations evaluated so far.
     pub fn compiles(&self) -> usize {
         self.evaluated.borrow().len()
     }
 
-    /// The compile budget this driver enforces.
+    /// The budget this driver enforces.
     pub fn budget(&self) -> usize {
         self.budget
     }
 
-    /// The record being scored against (timing oracle and shader identity).
-    pub fn record(&self) -> &ShaderPlatformRecord {
-        self.record
+    /// The evaluator's cost ledger (compiles, and in live mode the
+    /// measurements and frames actually spent).
+    pub fn cost(&self) -> EvalCost {
+        self.evaluator.cost()
+    }
+
+    /// The combination a warm-started strategy evaluates first: the
+    /// evaluator's best-known prior, or the LunarGlass default when it has
+    /// none.
+    pub fn warm_start(&self) -> OptFlags {
+        self.evaluator
+            .warm_start()
+            .unwrap_or_else(OptFlags::lunarglass_default)
+    }
+
+    /// The ordered evaluation log — every distinct (flags, time) in the
+    /// order it was first evaluated. This is what regret analysis replays:
+    /// entry `k` answers "what would we deploy after `k + 1` evaluations?".
+    pub fn evaluation_log(&self) -> Vec<(OptFlags, f64)> {
+        self.log.borrow().clone()
     }
 
     /// The best (flags, time) among everything evaluated so far.
@@ -190,24 +252,13 @@ impl<'a> SearchDriver<'a> {
         }
     }
 
-    /// A deterministic seed component tied to this driver's (shader,
+    /// A deterministic seed component tied to the evaluator's (shader,
     /// platform) identity, for reproducible randomised strategies. Uses
     /// FNV-1a rather than `DefaultHasher` so the stream — and therefore the
     /// perf gate's committed search counters — is stable across Rust
     /// releases.
     pub fn context_seed(&self) -> u64 {
-        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
-        for byte in self
-            .record
-            .shader
-            .bytes()
-            .chain([0u8])
-            .chain(self.record.vendor.bytes())
-        {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        hash
+        self.evaluator.context_seed()
     }
 }
 
@@ -385,7 +436,8 @@ impl SearchStrategy for RandomRestartHillClimb {
 }
 
 /// The standard strategy set compared in the study's incremental-search
-/// table, in report order.
+/// table, in report order. The classic iterative-compilation four come
+/// first, then the explore/exploit bandits from [`crate::bandit`].
 pub fn standard_strategies(config: &SearchConfig) -> Vec<Box<dyn SearchStrategy>> {
     vec![
         Box::new(GreedyForward),
@@ -395,6 +447,11 @@ pub fn standard_strategies(config: &SearchConfig) -> Vec<Box<dyn SearchStrategy>
             seed: config.seed,
             restarts: config.restarts,
         }),
+        Box::new(crate::bandit::EpsilonGreedy {
+            seed: config.seed,
+            epsilon: 0.2,
+        }),
+        Box::new(crate::bandit::Ucb1 { exploration: 1.5 }),
     ]
 }
 
@@ -416,6 +473,7 @@ pub fn incremental_search_records(
 ) -> Vec<SearchRecord> {
     let cache: Arc<CorpusCache> = Arc::new(config.new_corpus_cache());
     let strategies = standard_strategies(search);
+    let checkpoints = RegretTracker::checkpoints_for(search.budget);
 
     /// Per-(platform, strategy) accumulator.
     #[derive(Default)]
@@ -426,6 +484,7 @@ pub fn incremental_search_records(
         speedup_sum: f64,
         oracle_sum: f64,
         default_sum: f64,
+        regret_sums: Vec<f64>,
     }
     // Keyed (vendor, strategy); insertion order drives the output order.
     let mut order: Vec<(String, String)> = Vec::new();
@@ -447,7 +506,10 @@ pub fn incremental_search_records(
                 continue;
             };
             for strategy in &strategies {
-                let driver = SearchDriver::new(&session, record, backend, search.budget);
+                let driver = SearchDriver::over(
+                    Box::new(OracleEvaluator::new(&session, record, backend)),
+                    search.budget,
+                );
                 strategy.run(&driver);
                 // A strategy whose very first compile failed has nothing to
                 // report; skip the row rather than panic (mirrors how the
@@ -456,6 +518,8 @@ pub fn incremental_search_records(
                     continue;
                 }
                 let outcome = driver.outcome(strategy.name());
+                let regret =
+                    RegretTracker::from_log(&driver.evaluation_log(), record, search.budget);
 
                 let key = (record.vendor.clone(), outcome.strategy.clone());
                 if !accs.contains_key(&key) {
@@ -468,6 +532,12 @@ pub fn incremental_search_records(
                 acc.speedup_sum += percent_speedup(record.original_ns, outcome.best_ns);
                 acc.oracle_sum += record.best_speedup_vs_original();
                 acc.default_sum += record.speedup_vs_original(OptFlags::lunarglass_default());
+                if acc.regret_sums.is_empty() {
+                    acc.regret_sums = vec![0.0; checkpoints.len()];
+                }
+                for (sum, r) in acc.regret_sums.iter_mut().zip(regret.curve()) {
+                    *sum += r;
+                }
             }
         }
     }
@@ -477,6 +547,8 @@ pub fn incremental_search_records(
         .map(|key| {
             let acc = &accs[&key];
             let n = acc.shaders.max(1) as f64;
+            let mean_regret: Vec<f64> = acc.regret_sums.iter().map(|s| s / n).collect();
+            let regret_final = mean_regret.last().copied().unwrap_or(0.0);
             SearchRecord {
                 vendor: key.0,
                 strategy: key.1,
@@ -487,6 +559,9 @@ pub fn incremental_search_records(
                 mean_speedup: acc.speedup_sum / n,
                 oracle_mean_speedup: acc.oracle_sum / n,
                 default_mean_speedup: acc.default_sum / n,
+                regret_checkpoints: checkpoints.clone(),
+                mean_regret,
+                regret_final,
             }
         })
         .collect()
@@ -559,11 +634,22 @@ mod tests {
         CompileSession::new(&ShaderSource::parse(BLURRY).unwrap(), "synthetic").unwrap()
     }
 
+    fn oracle_driver<'a>(
+        session: &'a CompileSession,
+        record: &'a ShaderPlatformRecord,
+        budget: usize,
+    ) -> SearchDriver<'a> {
+        SearchDriver::over(
+            Box::new(OracleEvaluator::new(session, record, BackendKind::DesktopGlsl)),
+            budget,
+        )
+    }
+
     #[test]
     fn driver_enforces_its_budget_and_memoises() {
         let session = session();
         let record = synthetic_record(Flag::Unroll, Flag::Gvn);
-        let driver = SearchDriver::new(&session, &record, BackendKind::DesktopGlsl, 3);
+        let driver = oracle_driver(&session, &record, 3);
         assert!(driver.evaluate(OptFlags::NONE).is_some());
         assert!(driver.evaluate(OptFlags::only(Flag::Unroll)).is_some());
         assert!(driver.evaluate(OptFlags::only(Flag::Gvn)).is_some());
@@ -572,16 +658,36 @@ mod tests {
         assert!(driver.evaluate(OptFlags::all()).is_none());
         assert!(driver.evaluate(OptFlags::NONE).is_some());
         assert_eq!(driver.compiles(), 3);
+        // Memoised repeats do not grow the evaluation log or the ledger.
+        assert_eq!(driver.evaluation_log().len(), 3);
+        assert_eq!(driver.cost().compiles, 3);
+        assert_eq!(driver.cost().measurements, 0);
         let (best, time) = driver.best_evaluated().unwrap();
         assert_eq!(best, OptFlags::only(Flag::Unroll));
         assert_eq!(time, 900.0);
     }
 
     #[test]
-    fn greedy_forward_finds_the_two_flag_optimum() {
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_builds_an_oracle_driver() {
         let session = session();
         let record = synthetic_record(Flag::Unroll, Flag::Gvn);
         let driver = SearchDriver::new(&session, &record, BackendKind::DesktopGlsl, 63);
+        assert_eq!(driver.evaluate(OptFlags::NONE), Some(1010.0));
+        assert_eq!(driver.evaluate(OptFlags::only(Flag::Unroll)), Some(900.0));
+        assert_eq!(driver.warm_start(), OptFlags::lunarglass_default());
+        // Same FNV-1a context seed as the evaluator seam computes directly.
+        assert_eq!(
+            driver.context_seed(),
+            crate::evaluator::context_seed_for("synthetic", "AMD")
+        );
+    }
+
+    #[test]
+    fn greedy_forward_finds_the_two_flag_optimum() {
+        let session = session();
+        let record = synthetic_record(Flag::Unroll, Flag::Gvn);
+        let driver = oracle_driver(&session, &record, 63);
         GreedyForward.run(&driver);
         let outcome = driver.outcome("greedy_forward");
         assert_eq!(outcome.best_ns, 850.0);
@@ -597,7 +703,7 @@ mod tests {
     fn greedy_backward_never_loses_to_the_default() {
         let session = session();
         let record = synthetic_record(Flag::Unroll, Flag::Gvn);
-        let driver = SearchDriver::new(&session, &record, BackendKind::DesktopGlsl, 63);
+        let driver = oracle_driver(&session, &record, 63);
         GreedyBackward.run(&driver);
         let outcome = driver.outcome("greedy_backward");
         let default_time = record.time_for(OptFlags::lunarglass_default());
@@ -614,7 +720,7 @@ mod tests {
     fn ablation_spends_exactly_ten_compiles() {
         let session = session();
         let record = synthetic_record(Flag::Unroll, Flag::FpReassociate);
-        let driver = SearchDriver::new(&session, &record, BackendKind::DesktopGlsl, 63);
+        let driver = oracle_driver(&session, &record, 63);
         Ablation.run(&driver);
         let outcome = driver.outcome("ablation");
         assert!(outcome.compiles <= 10, "{outcome:?}");
@@ -632,7 +738,7 @@ mod tests {
             restarts: 3,
         };
         let run = || {
-            let driver = SearchDriver::new(&session, &record, BackendKind::DesktopGlsl, 20);
+            let driver = oracle_driver(&session, &record, 20);
             climb.run(&driver);
             driver.outcome("hill_climb")
         };
@@ -647,7 +753,7 @@ mod tests {
         let session = session();
         let record = synthetic_record(Flag::Unroll, Flag::Gvn);
         for strategy in standard_strategies(&SearchConfig::default()) {
-            let driver = SearchDriver::new(&session, &record, BackendKind::DesktopGlsl, 2);
+            let driver = oracle_driver(&session, &record, 2);
             strategy.run(&driver);
             let outcome = driver.outcome(strategy.name());
             assert!(

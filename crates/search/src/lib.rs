@@ -16,24 +16,32 @@
 //! The exhaustive sweep is no longer the only driver: [`driver`] adds
 //! **incremental flag search** — pluggable [`SearchStrategy`] policies
 //! (greedy forward-add, greedy backward-drop, per-flag ablation,
-//! random-restart hill climbing) that explore flag *subsets* against a live
-//! [`CompileSession`](prism_core::CompileSession) under a hard compile
-//! budget, and a comparison harness reporting how close each strategy gets
-//! to the exhaustive oracle at what fraction of the compile cost
-//! ([`StudyResults::search`]).
+//! random-restart hill climbing, plus the [`bandit`] explore/exploit
+//! strategies) that explore flag *subsets* under a hard evaluation budget,
+//! and a comparison harness reporting how close each strategy gets to the
+//! exhaustive oracle at what fraction of the compile cost
+//! ([`StudyResults::search`]), regret-vs-measurements curves included.
+//! Scoring goes through the [`evaluator`] seam: [`OracleEvaluator`] replays
+//! a study's recorded timings (offline, exact), [`LiveEvaluator`] compiles
+//! through any shared handle and measures as it searches (online,
+//! measurement-in-the-loop — see `prism_serve::CompileService::tune`).
 
 pub mod applicability;
+pub mod bandit;
 pub mod driver;
+pub mod evaluator;
 pub mod per_flag;
 pub mod policies;
 pub mod results;
 pub mod sweep;
 
 pub use applicability::{flag_applicability, FlagApplicability};
+pub use bandit::{EpsilonGreedy, RegretTracker, Ucb1};
 pub use driver::{
     incremental_search_records, standard_strategies, Ablation, GreedyBackward, GreedyForward,
     RandomRestartHillClimb, SearchConfig, SearchDriver, SearchOutcome, SearchStrategy,
 };
+pub use evaluator::{CompileHandle, EvalCost, Evaluator, LiveEvaluator, OracleEvaluator};
 pub use per_flag::{all_flag_impacts, flag_impact, FlagImpact};
 pub use policies::{
     best_static_flags, mean_speedup, minimal_best_static, per_shader_speedups, platform_summaries,

@@ -226,19 +226,84 @@ pub struct SearchRecord {
     /// Mean speed-up of the LunarGlass default flags (the floor a useful
     /// strategy must clear).
     pub default_mean_speedup: f64,
+    /// The measurement counts the regret curve is sampled at (powers of two
+    /// up to the budget, then the budget; see
+    /// `prism_search::bandit::RegretTracker::checkpoints_for`).
+    pub regret_checkpoints: Vec<usize>,
+    /// Mean regret (speedup percentage points behind the exhaustive oracle)
+    /// of the deploy-now choice after each checkpoint's worth of
+    /// measurements — the Fig.-regret curve, one value per checkpoint.
+    pub mean_regret: Vec<f64>,
+    /// Mean regret at the full budget (the last curve point).
+    pub regret_final: f64,
 }
 
-serde::impl_serde_struct!(SearchRecord {
-    vendor,
-    strategy,
-    shaders,
-    budget,
-    mean_compiles,
-    max_compiles,
-    mean_speedup,
-    oracle_mean_speedup,
-    default_mean_speedup,
-});
+// Hand-written (not `impl_serde_struct!`) because the regret fields postdate
+// the first study-report.json artifacts: new reports serialise them, old
+// reports without them still deserialize (empty curve, zero final regret).
+impl serde::Serialize for SearchRecord {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("vendor".to_string(), self.vendor.to_value()),
+            ("strategy".to_string(), self.strategy.to_value()),
+            ("shaders".to_string(), self.shaders.to_value()),
+            ("budget".to_string(), self.budget.to_value()),
+            ("mean_compiles".to_string(), self.mean_compiles.to_value()),
+            ("max_compiles".to_string(), self.max_compiles.to_value()),
+            ("mean_speedup".to_string(), self.mean_speedup.to_value()),
+            (
+                "oracle_mean_speedup".to_string(),
+                self.oracle_mean_speedup.to_value(),
+            ),
+            (
+                "default_mean_speedup".to_string(),
+                self.default_mean_speedup.to_value(),
+            ),
+            (
+                "regret_checkpoints".to_string(),
+                self.regret_checkpoints.to_value(),
+            ),
+            ("mean_regret".to_string(), self.mean_regret.to_value()),
+            ("regret_final".to_string(), self.regret_final.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SearchRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| format!("missing field `{name}` in SearchRecord"))
+        };
+        // Pre-regret reports have no curve; default rather than fail.
+        let regret_checkpoints = match v.get("regret_checkpoints") {
+            Some(value) => serde::Deserialize::from_value(value)?,
+            None => Vec::new(),
+        };
+        let mean_regret = match v.get("mean_regret") {
+            Some(value) => serde::Deserialize::from_value(value)?,
+            None => Vec::new(),
+        };
+        let regret_final = match v.get("regret_final") {
+            Some(value) => serde::Deserialize::from_value(value)?,
+            None => 0.0,
+        };
+        Ok(SearchRecord {
+            vendor: serde::Deserialize::from_value(field("vendor")?)?,
+            strategy: serde::Deserialize::from_value(field("strategy")?)?,
+            shaders: serde::Deserialize::from_value(field("shaders")?)?,
+            budget: serde::Deserialize::from_value(field("budget")?)?,
+            mean_compiles: serde::Deserialize::from_value(field("mean_compiles")?)?,
+            max_compiles: serde::Deserialize::from_value(field("max_compiles")?)?,
+            mean_speedup: serde::Deserialize::from_value(field("mean_speedup")?)?,
+            oracle_mean_speedup: serde::Deserialize::from_value(field("oracle_mean_speedup")?)?,
+            default_mean_speedup: serde::Deserialize::from_value(field("default_mean_speedup")?)?,
+            regret_checkpoints,
+            mean_regret,
+            regret_final,
+        })
+    }
+}
 
 impl SearchRecord {
     /// Mean fraction of the exhaustive 256 combinations compiled.
@@ -610,6 +675,9 @@ mod tests {
                 mean_speedup: 18.5,
                 oracle_mean_speedup: 20.0,
                 default_mean_speedup: 12.0,
+                regret_checkpoints: vec![1, 2, 4, 8, 16, 32, 63],
+                mean_regret: vec![5.0, 3.0, 2.0, 1.5, 1.5, 0.5, 0.5],
+                regret_final: 0.5,
             }],
             warnings: vec!["warm-start dir was read-only".into()],
         };
@@ -646,6 +714,18 @@ mod tests {
         let legacy = json.replace("driver_source_version", "driver_glsl_version");
         let restored: ShaderPlatformRecord = serde_json::from_str(&legacy).unwrap();
         assert_eq!(restored, record());
+    }
+
+    #[test]
+    fn pre_regret_search_records_still_deserialize() {
+        // Search rows written before the regret curve existed must keep
+        // loading, with an empty curve and zero final regret.
+        let old = r#"{"vendor":"AMD","strategy":"ablation","shaders":5,"budget":63,"mean_compiles":10.0,"max_compiles":10,"mean_speedup":17.0,"oracle_mean_speedup":20.0,"default_mean_speedup":12.0}"#;
+        let record: SearchRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(record.strategy, "ablation");
+        assert!(record.regret_checkpoints.is_empty());
+        assert!(record.mean_regret.is_empty());
+        assert_eq!(record.regret_final, 0.0);
     }
 
     #[test]

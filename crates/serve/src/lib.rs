@@ -33,6 +33,18 @@
 //! [`load`] harness and the perf gate run this mode. With `workers > 0` a
 //! pool of shard-owner threads serves the queues.
 //!
+//! ## The search tenant
+//!
+//! Serving is not the only client of the memo plane: [`CompileService::tune`]
+//! ([`tune`] module) runs an online, measurement-in-the-loop flag search
+//! whose every candidate compile is an ordinary request through the same
+//! route → coalesce → batch → memo lifecycle — so tuning traffic and serving
+//! traffic share one cache, coalesce against each other, and hand each other
+//! zero-copy emissions. Spend and results are visible in
+//! [`ServiceStats::tune_requests`], [`ServiceStats::measurements_taken`],
+//! [`ServiceStats::search_compiles`] and
+//! [`ServiceStats::tune_regret_x1000`].
+//!
 //! ```
 //! use prism_serve::{CompileRequest, CompileService, ServeConfig};
 //! use prism_core::OptFlags;
@@ -50,12 +62,14 @@
 
 pub mod load;
 pub mod service;
+pub mod tune;
 
 pub use load::{percentile, request_stream, run_stream, LoadSummary, StreamSpec};
 pub use service::{
-    CompileRequest, CompileResponse, CompileService, RequestTarget, RequestWork, ServeConfig,
-    ServeError, ServiceStats,
+    CompileRequest, CompileRequestBuilder, CompileResponse, CompileService, RequestTarget,
+    RequestWork, ServeConfig, ServeError, ServiceStats,
 };
+pub use tune::{TuneOutcome, TuneSpec, TuneStrategy};
 
 #[cfg(test)]
 mod tests {

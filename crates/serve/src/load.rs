@@ -57,7 +57,12 @@ pub fn request_stream(corpus: &Corpus, spec: &StreamSpec) -> Vec<CompileRequest>
     for case in &corpus.cases {
         for &flags in &spec.flag_sets {
             for backend in BackendKind::ALL {
-                population.push(CompileRequest::new(&case.source.text, flags, backend));
+                population.push(
+                    CompileRequest::builder(&case.source.text)
+                        .flags(flags)
+                        .backend(backend)
+                        .build(),
+                );
             }
         }
     }

@@ -54,6 +54,12 @@ fn with_schedule<R>(f: impl FnOnce(&[Stage]) -> R) -> R {
     SCHEDULE.with(|s| f(s))
 }
 
+/// The deterministic name the service gives an anonymous source text — used
+/// for the lowered IR and as the tune tenant's measurement identity.
+pub(crate) fn source_name(source: &str) -> String {
+    format!("serve-{:016x}", fnv64(source.as_bytes()))
+}
+
 /// FNV-1a 64-bit hash (shader naming for anonymous request sources).
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -65,7 +71,11 @@ fn fnv64(bytes: &[u8]) -> u64 {
 }
 
 /// Service configuration.
+///
+/// Marked `#[non_exhaustive]`: construct with [`ServeConfig::default`] and
+/// the `with_*` setters, so future knobs are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Shard-owner worker threads. `0` = inline mode: the submitting thread
     /// drives its own shard (deterministic; what benches and gates use).
@@ -87,6 +97,32 @@ impl Default for ServeConfig {
             warm_start_dir: None,
             cache_budget: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// This config with a different worker-pool size (`0` = inline mode).
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// This config with a different per-drain batch limit.
+    pub fn with_batch_limit(mut self, batch_limit: usize) -> ServeConfig {
+        self.batch_limit = batch_limit;
+        self
+    }
+
+    /// This config with a warm-start snapshot directory.
+    pub fn with_warm_start_dir(mut self, dir: impl Into<PathBuf>) -> ServeConfig {
+        self.warm_start_dir = Some(dir.into());
+        self
+    }
+
+    /// This config with a bounded cache-entry budget.
+    pub fn with_cache_budget(mut self, budget: usize) -> ServeConfig {
+        self.cache_budget = Some(budget);
+        self
     }
 }
 
@@ -128,6 +164,54 @@ impl CompileRequest {
             source: source.into(),
             flags,
             target: RequestTarget::Named(form.to_string()),
+        }
+    }
+
+    /// A builder over `source` — the one construction path the tune
+    /// endpoint, the load generator and the demo binary share. Defaults: no
+    /// flags, desktop GLSL.
+    pub fn builder(source: impl Into<String>) -> CompileRequestBuilder {
+        CompileRequestBuilder {
+            source: source.into(),
+            flags: OptFlags::NONE,
+            target: RequestTarget::Kind(BackendKind::DesktopGlsl),
+        }
+    }
+}
+
+/// Builder for [`CompileRequest`]; see [`CompileRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct CompileRequestBuilder {
+    source: String,
+    flags: OptFlags,
+    target: RequestTarget,
+}
+
+impl CompileRequestBuilder {
+    /// Sets the optimization flag combination (default: none).
+    pub fn flags(mut self, flags: OptFlags) -> CompileRequestBuilder {
+        self.flags = flags;
+        self
+    }
+
+    /// Targets a direct backend (default: desktop GLSL).
+    pub fn backend(mut self, backend: BackendKind) -> CompileRequestBuilder {
+        self.target = RequestTarget::Kind(backend);
+        self
+    }
+
+    /// Targets a named form, resolved through the backend chain.
+    pub fn named_target(mut self, form: &str) -> CompileRequestBuilder {
+        self.target = RequestTarget::Named(form.to_string());
+        self
+    }
+
+    /// Finishes the request.
+    pub fn build(self) -> CompileRequest {
+        CompileRequest {
+            source: self.source,
+            flags: self.flags,
+            target: self.target,
         }
     }
 }
@@ -315,6 +399,12 @@ struct Counters {
     retried_jobs: AtomicUsize,
     batches: AtomicUsize,
     batched_requests: AtomicUsize,
+    tune_requests: AtomicUsize,
+    tune_measurements: AtomicUsize,
+    search_compiles: AtomicUsize,
+    // The last completed tune's regret, in milli-percentage-points (an
+    // integer so `ServiceStats` stays `Eq`); not monotonic.
+    tune_regret_x1000: AtomicUsize,
 }
 
 /// A point-in-time snapshot of service telemetry.
@@ -340,6 +430,19 @@ pub struct ServiceStats {
     pub batches: usize,
     /// Jobs processed across those batches.
     pub batched_requests: usize,
+    /// Online-tune passes completed (`CompileService::tune*`).
+    pub tune_requests: usize,
+    /// Timing measurements taken across all tune passes (the online search
+    /// tenant's scarce-resource spend).
+    pub measurements_taken: usize,
+    /// Distinct flag combinations the search tenant compiled across all
+    /// tune passes (each went through route → coalesce → batch → memo like
+    /// any serving request).
+    pub search_compiles: usize,
+    /// The last completed oracle-scored tune's final regret, in
+    /// milli-percentage-points behind the exhaustive best (0 when no
+    /// oracle-scored tune ran). Integer so this snapshot stays `Eq`.
+    pub tune_regret_x1000: usize,
     /// The underlying cache's counters, including `routed_requests` and
     /// `coalesced_requests`.
     pub cache: CacheStats,
@@ -367,6 +470,10 @@ struct Inner {
 pub struct CompileService {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Per-übershader-family best-known flag sets, updated by every
+    /// completed tune pass and used to warm-start the next one. The empty
+    /// key `""` is the global fallback.
+    best_known: Mutex<HashMap<String, OptFlags>>,
 }
 
 impl CompileService {
@@ -411,7 +518,11 @@ impl CompileService {
                     .expect("spawn serve worker")
             })
             .collect();
-        CompileService { inner, workers }
+        CompileService {
+            inner,
+            workers,
+            best_known: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The service's shared cache (for telemetry and tests).
@@ -433,6 +544,10 @@ impl CompileService {
             retried_jobs: c.retried_jobs.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            tune_requests: c.tune_requests.load(Ordering::Relaxed),
+            measurements_taken: c.tune_measurements.load(Ordering::Relaxed),
+            search_compiles: c.search_compiles.load(Ordering::Relaxed),
+            tune_regret_x1000: c.tune_regret_x1000.load(Ordering::Relaxed),
             cache: self.inner.cache.stats(),
         }
     }
@@ -471,6 +586,37 @@ impl CompileService {
     #[doc(hidden)]
     pub fn set_compute_hook(&self, hook: Option<ComputeHook>) {
         *self.inner.hook.write().expect("hook poisoned") = hook;
+    }
+
+    /// The best-known flag set for a family (falling back to the global
+    /// `""` entry), if any tune pass has recorded one.
+    pub(crate) fn tune_warm_hint(&self, family: &str) -> Option<OptFlags> {
+        let map = self.best_known.lock().expect("best-known map poisoned");
+        map.get(family).copied().or_else(|| map.get("").copied())
+    }
+
+    /// Records a completed tune pass: updates the family's (and the global)
+    /// best-known set last-wins, and bumps the tune counters.
+    pub(crate) fn record_tune(
+        &self,
+        family: &str,
+        best_flags: OptFlags,
+        measurements: usize,
+        search_compiles: usize,
+        regret_x1000: Option<usize>,
+    ) {
+        {
+            let mut map = self.best_known.lock().expect("best-known map poisoned");
+            map.insert(family.to_string(), best_flags);
+            map.insert(String::new(), best_flags);
+        }
+        let c = &self.inner.counters;
+        c.tune_requests.fetch_add(1, Ordering::Relaxed);
+        c.tune_measurements.fetch_add(measurements, Ordering::Relaxed);
+        c.search_compiles.fetch_add(search_compiles, Ordering::Relaxed);
+        if let Some(regret) = regret_x1000 {
+            c.tune_regret_x1000.store(regret, Ordering::Relaxed);
+        }
     }
 
     fn stop_workers(&mut self) {
@@ -623,7 +769,7 @@ impl Inner {
             .map_err(|e| ServeError::Frontend(e.to_string()))?;
         // Requests are anonymous; name the shader by its source hash so the
         // IR (and everything memoised from it) is deterministic per text.
-        let name = format!("serve-{:016x}", fnv64(source.as_bytes()));
+        let name = source_name(source);
         let ir =
             prism_core::lower(&parsed, &name).map_err(|e| ServeError::Frontend(e.to_string()))?;
         verify(&ir).map_err(|e| ServeError::Frontend(e.to_string()))?;

@@ -1,12 +1,14 @@
 //! Compile-service demo: boot the sharded service, replay a Zipf-skewed
-//! request stream, snapshot, warm-boot a second service from disk, and show
-//! both streams' work-counter latency profiles side by side.
+//! request stream, snapshot, warm-boot a second service from disk, show
+//! both streams' work-counter latency profiles side by side, then run an
+//! online flag-tune pass as a tenant of the warm service.
 //!
 //! ```text
 //! cargo run --example serve_demo
 //! ```
 
 use prism::corpus::Corpus;
+use prism::gpu::Vendor;
 use prism::report::{fig_serve, ServeRow};
 use prism::serve::{request_stream, run_stream, CompileService, ServeConfig, StreamSpec};
 
@@ -30,10 +32,7 @@ fn main() {
     let stream = request_stream(&corpus, &spec);
     let dir = std::env::temp_dir().join(format!("prism-serve-demo-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let config = ServeConfig {
-        warm_start_dir: Some(dir.clone()),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::default().with_warm_start_dir(dir.clone());
 
     // Cold service: the stream's head pays for its compiles once, then the
     // Zipf-hot tail rides the memo and the singleflight table.
@@ -69,6 +68,28 @@ fn main() {
     println!(
         "{}",
         fig_serve(&[row("cold", &cold_summary), row("warm boot", &warm_summary)])
+    );
+
+    // Search tenant: tune the blur flagship for the Mali phone through the
+    // warm service. Its candidate compiles ride the memo the stream warmed.
+    let flagship = corpus
+        .cases
+        .iter()
+        .find(|c| c.name == "flagship_blur9")
+        .expect("corpus carries the blur flagship");
+    let outcome = warm
+        .tune(&flagship.source.text, Vendor::Arm, 16)
+        .expect("tune pass");
+    let stats = warm.stats();
+    println!(
+        "online tune ({} on {}): best {:?} at {:.0} ns — {} measurements, {} compiles, {} emission memo hits total",
+        flagship.name,
+        outcome.vendor,
+        outcome.best_flags,
+        outcome.best_ns,
+        outcome.measurements_taken,
+        outcome.search_compiles,
+        stats.cache.emission_hits,
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -24,8 +24,11 @@
 //! tiny counters) and can be overridden with `PRISM_GATE_TOLERANCE=0.05`.
 
 use prism::corpus::Corpus;
-use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig};
-use prism::serve::{request_stream, run_stream, CompileService, ServeConfig, StreamSpec};
+use prism::gpu::Vendor;
+use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig, StudyResults};
+use prism::serve::{
+    request_stream, run_stream, CompileService, ServeConfig, StreamSpec, TuneSpec,
+};
 use std::process::ExitCode;
 
 /// One gated counter: a deterministic measurement plus the direction in
@@ -168,6 +171,7 @@ fn measure() -> GateReport {
     }
     counters.extend(warm);
     counters.extend(measure_serve(&corpus));
+    counters.extend(measure_tune(&corpus, &study));
 
     GateReport {
         schema: 1,
@@ -188,10 +192,7 @@ fn measure_serve(corpus: &Corpus) -> Vec<Counter> {
     let warmup = stream.len() / 4;
     let dir = std::env::temp_dir().join(format!("prism-perf-gate-serve-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let config = ServeConfig {
-        warm_start_dir: Some(dir.clone()),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::default().with_warm_start_dir(dir.clone());
 
     let cold = CompileService::new(config.clone());
     let summary = run_stream(&cold, &stream, warmup);
@@ -238,6 +239,68 @@ fn measure_serve(corpus: &Corpus) -> Vec<Counter> {
         Counter {
             name: "serve_warm_replay_stage_runs".into(),
             value: warm_summary.stage_runs as f64,
+            higher_is_better: false,
+        },
+    ]
+}
+
+/// The online-tune phase: a measurement-in-the-loop flag search rides a
+/// service that is already carrying serving traffic, so the search tenant's
+/// compiles hit the same memo plane the servers warmed. Gates the tune cost
+/// counters (`tune_measurements`, `search_compiles`) and the anytime quality
+/// gauge (`tune_regret_x1000`, scored against the smoke study's exhaustive
+/// record for the same shader and platform), and *hard-asserts* the tenancy
+/// contract: the budget holds, and the tuner re-emits strictly less than it
+/// compiles because the serving plane already paid for shared variants.
+fn measure_tune(corpus: &Corpus, study: &StudyResults) -> Vec<Counter> {
+    let service = CompileService::new(ServeConfig::default());
+    let stream = request_stream(corpus, &StreamSpec::standard(11, 160));
+    let serving = run_stream(&service, &stream, 0);
+    assert_eq!(serving.errors, 0, "corpus requests must all serve");
+
+    let case = corpus
+        .cases
+        .iter()
+        .find(|c| c.name == "flagship_blur9")
+        .expect("smoke corpus carries the blur flagship");
+    let oracle = study
+        .measurements
+        .iter()
+        .find(|r| r.shader == case.name && r.vendor == Vendor::Amd.name())
+        .expect("smoke study measured the flagship on AMD");
+    let before = service.stats();
+    let spec = TuneSpec::new(Vendor::Amd).with_family(case.family.as_str());
+    let outcome = service
+        .tune_spec(&case.source.text, &spec, Some(oracle))
+        .expect("flagship tune pass");
+    let stats = service.stats();
+
+    assert!(
+        outcome.measurements_taken <= outcome.budget,
+        "tune must respect its measurement budget ({} > {})",
+        outcome.measurements_taken,
+        outcome.budget
+    );
+    assert!(
+        stats.cache.emissions - before.cache.emissions < outcome.search_compiles,
+        "the tuner must reuse emissions the serving plane already paid for"
+    );
+    assert_eq!(stats.tune_requests, 1);
+
+    vec![
+        Counter {
+            name: "tune_measurements".into(),
+            value: stats.measurements_taken as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "search_compiles".into(),
+            value: stats.search_compiles as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "tune_regret_x1000".into(),
+            value: stats.tune_regret_x1000 as f64,
             higher_is_better: false,
         },
     ]
@@ -530,6 +593,9 @@ mod tests {
             "serve_total_work",
             "serve_memo_served",
             "serve_warm_replay_stage_runs",
+            "tune_measurements",
+            "search_compiles",
+            "tune_regret_x1000",
         ] {
             assert!(
                 a.counters.iter().any(|c| c.name == name),

@@ -1,12 +1,18 @@
 //! End-to-end tests of the incremental flag-search subsystem: strategies
 //! running against live sessions reach the quality bar (≥ the LunarGlass
 //! default policy) at a fraction of the exhaustive compile cost, budgets are
-//! hard, bounded caches change nothing about the measurements, and the new
-//! records survive the JSON round trip.
+//! hard, bounded caches change nothing about the measurements, the new
+//! records survive the JSON round trip, the bandit strategies' regret curves
+//! converge, and the measurement-in-the-loop tune tenant reaches the same
+//! bar through a shared [`CompileService`] without re-emitting variants the
+//! serving plane already paid for.
 
+use prism::core::OptFlags;
 use prism::corpus::Corpus;
+use prism::gpu::Vendor;
 use prism::report;
 use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig, StudyResults};
+use prism::serve::{CompileRequest, CompileService, ServeConfig, TuneSpec};
 
 /// The strategy names the shipped set exposes, derived from the set itself
 /// so a renamed strategy fails here rather than silently testing nothing.
@@ -73,6 +79,150 @@ fn strategies_meet_the_default_policy_below_a_quarter_of_the_compile_cost() {
             }
         }
     }
+}
+
+#[test]
+fn bandit_regret_curves_converge_within_a_quarter_of_the_exhaustive_cost() {
+    let study = run_study(&mini_corpus(), &search_config());
+    for vendor in study.platforms() {
+        for bandit in ["epsilon_greedy", "ucb1"] {
+            let row = study
+                .search
+                .iter()
+                .find(|r| r.vendor == vendor && r.strategy == bandit)
+                .unwrap_or_else(|| panic!("missing bandit row {vendor}/{bandit}"));
+
+            // ≤ 25% of the exhaustive 256 combinations, and ≥ the default
+            // LunarGlass policy — the online strategies must clear the same
+            // bar as the offline ones.
+            assert!(
+                row.max_compiles <= 64,
+                "{vendor}/{bandit} spent over a quarter of the exhaustive cost: {row:?}"
+            );
+            assert!(
+                row.mean_speedup >= row.default_mean_speedup - 1e-9,
+                "{vendor}/{bandit} lost to the default flags: {row:?}"
+            );
+
+            // The regret curve is present, aligned with its checkpoints,
+            // anchored at the budget, non-increasing (each extra measurement
+            // can only improve the anytime deployment in oracle mode), and
+            // consistent with the reported final regret.
+            assert_eq!(row.regret_checkpoints.len(), row.mean_regret.len());
+            assert!(!row.mean_regret.is_empty(), "{vendor}/{bandit}: {row:?}");
+            assert_eq!(*row.regret_checkpoints.last().unwrap(), row.budget);
+            for pair in row.mean_regret.windows(2) {
+                assert!(
+                    pair[1] <= pair[0] + 1e-9,
+                    "{vendor}/{bandit} regret increased along the curve: {row:?}"
+                );
+            }
+            assert!(row.regret_final >= 0.0);
+            assert!((row.regret_final - row.mean_regret.last().unwrap()).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn live_tune_tenant_matches_the_default_policy_on_every_platform() {
+    let corpus = mini_corpus();
+    let study = run_study(&corpus, &search_config());
+
+    // One service carries the whole sweep: every tune pass shares its memo
+    // plane (and its best-known warm starts) with every other.
+    let tune_all = || {
+        let service = CompileService::new(ServeConfig::default());
+        let mut outcomes = Vec::new();
+        for vendor in Vendor::ALL {
+            for case in &corpus.cases {
+                let spec = TuneSpec::new(vendor)
+                    .with_budget(16)
+                    .with_family(format!("{}:{}", case.family, vendor.name()));
+                let outcome = service
+                    .tune_spec(&case.source.text, &spec, None)
+                    .unwrap_or_else(|e| panic!("{:?}/{} tune failed: {e}", vendor, case.name));
+                outcomes.push((vendor.name(), case.name.clone(), outcome));
+            }
+        }
+        outcomes
+    };
+    let outcomes = tune_all();
+    assert_eq!(outcomes, tune_all(), "the tune sweep must be deterministic");
+
+    // Score each live pass's chosen flags on the exhaustive study record for
+    // the same (shader, platform): per platform, the mean tuned speedup must
+    // match or beat the default policy, at ≤ 25% of the exhaustive cost.
+    for vendor in Vendor::ALL {
+        let mut tuned_sum = 0.0;
+        let mut default_sum = 0.0;
+        let mut shaders = 0;
+        for (v, shader, outcome) in &outcomes {
+            if *v != vendor.name() {
+                continue;
+            }
+            assert!(
+                outcome.measurements_taken <= 16,
+                "{vendor:?}/{shader} overran its measurement budget: {outcome:?}"
+            );
+            let record = study
+                .measurements
+                .iter()
+                .find(|r| r.shader == *shader && r.vendor == vendor.name())
+                .unwrap_or_else(|| panic!("study is missing {vendor:?}/{shader}"));
+            tuned_sum += record.speedup_vs_original(outcome.best_flags);
+            default_sum += record.speedup_vs_original(OptFlags::lunarglass_default());
+            shaders += 1;
+        }
+        assert_eq!(shaders, corpus.cases.len());
+        assert!(
+            tuned_sum >= default_sum - 1e-9,
+            "live tuning lost to the default policy on {vendor:?}: tuned {:.3} vs default {:.3}",
+            tuned_sum / shaders as f64,
+            default_sum / shaders as f64
+        );
+    }
+}
+
+#[test]
+fn tune_pass_never_re_emits_a_variant_the_serving_plane_already_paid_for() {
+    let corpus = mini_corpus();
+    let case = corpus
+        .cases
+        .iter()
+        .find(|c| c.name == "flagship_blur9")
+        .expect("mini corpus carries the blur flagship");
+    let service = CompileService::new(ServeConfig::default());
+    let backend = Vendor::Amd.backend();
+
+    // Serving traffic covers the entire flag space for this (shader,
+    // backend): every (fingerprint, flags, backend) triple the tuner could
+    // possibly request is already in the shared memo.
+    for bits in 0..=u8::MAX {
+        let request = CompileRequest::builder(&case.source.text)
+            .flags(OptFlags::from_bits(bits))
+            .backend(backend)
+            .build();
+        service.compile(&request).expect("serving compile");
+    }
+    let before = service.stats();
+    assert!(before.cache.emissions > 0);
+
+    let outcome = service.tune(&case.source.text, Vendor::Amd, 16).unwrap();
+    let after = service.stats();
+    assert!(outcome.measurements_taken <= 16);
+    // The memo-sharing acceptance bar: zero duplicate emissions for
+    // already-served triples — the whole tune pass is answered by the plane
+    // serving traffic warmed.
+    assert_eq!(
+        after.cache.emissions, before.cache.emissions,
+        "the tuner re-emitted an already-served variant"
+    );
+    assert!(
+        after.cache.emission_hits > before.cache.emission_hits,
+        "the tuner's compiles never touched the shared emission memo"
+    );
+    assert_eq!(after.tune_requests, 1);
+    assert_eq!(after.measurements_taken, outcome.measurements_taken);
 }
 
 #[test]
