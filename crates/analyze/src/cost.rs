@@ -1,0 +1,549 @@
+//! Per-platform static cost models.
+//!
+//! One [`CostModel`] per platform personality, derived from the calibrated
+//! [`DeviceSpec`] presets: scalar ALUs charge per lane, the Mali-style vec4
+//! ALU charges per vector slot, transcendentals and divides use the
+//! per-platform factors, and exceeding the register budget applies the
+//! platform's occupancy penalty. Unlike the dynamic model (which costs the
+//! driver-parsed IR after measurement), this walk runs on the optimizer's
+//! own IR and reports **both** the shortest and the longest execution path —
+//! conditionals pick their cheaper/dearer side per platform weighting, and
+//! counted loops multiply their body by the static trip count.
+
+use prism_gpu::{AluStyle, DeviceSpec, Vendor};
+use prism_ir::analysis::Liveness;
+use prism_ir::prelude::*;
+
+/// Cycle totals for the three Mali-style execution pipes, the decomposition
+/// the paper's Fig. 4b plots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipeCycles {
+    /// Arithmetic-pipe cycles (simple ALU, transcendentals, divides,
+    /// selects, branch and loop bookkeeping).
+    pub arithmetic: f64,
+    /// Load/store-pipe cycles (interface reads, moves/shuffles, constant
+    /// array loads, output writes).
+    pub load_store: f64,
+    /// Texture-pipe cycles.
+    pub texture: f64,
+}
+
+serde::impl_serde_struct!(PipeCycles {
+    arithmetic,
+    load_store,
+    texture
+});
+
+impl PipeCycles {
+    /// Sum of the three pipes.
+    pub fn total(&self) -> f64 {
+        self.arithmetic + self.load_store + self.texture
+    }
+
+    /// The dominant pipe (what the shader is bound by on this path).
+    pub fn bound_by(&self) -> &'static str {
+        if self.texture >= self.arithmetic && self.texture >= self.load_store {
+            "texture"
+        } else if self.arithmetic >= self.load_store {
+            "arithmetic"
+        } else {
+            "load_store"
+        }
+    }
+
+    fn add(&mut self, other: &PipeCycles) {
+        self.arithmetic += other.arithmetic;
+        self.load_store += other.load_store;
+        self.texture += other.texture;
+    }
+}
+
+/// Cost-model output for one shader under one personality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSummary {
+    /// Personality name the model was parameterised with.
+    pub personality: String,
+    /// ALU issue style (`"scalar"` or `"vec4"`).
+    pub alu_style: String,
+    /// Per-pipe cycles along the cheapest execution path (every conditional
+    /// takes its cheaper side).
+    pub shortest: PipeCycles,
+    /// Per-pipe cycles along the dearest execution path.
+    pub longest: PipeCycles,
+    /// Estimated peak live scalar register components (liveness-derived,
+    /// plus interpolated inputs which stay resident the whole shader).
+    pub registers_used: f64,
+    /// Occupancy multiplier (≥ 1) once `registers_used` exceeds the
+    /// personality's register budget.
+    pub pressure_factor: f64,
+    /// The single ranking scalar: midpoint of the shortest/longest path
+    /// totals plus per-fragment overhead, scaled by the pressure factor.
+    pub estimated_cycles: f64,
+}
+
+serde::impl_serde_struct!(CostSummary {
+    personality,
+    alu_style,
+    shortest,
+    longest,
+    registers_used,
+    pressure_factor,
+    estimated_cycles
+});
+
+/// A static cost model parameterised by one platform personality.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    spec: DeviceSpec,
+}
+
+impl CostModel {
+    /// The model for one of the seven platform personalities.
+    pub fn for_vendor(vendor: Vendor) -> CostModel {
+        CostModel {
+            spec: DeviceSpec::preset(vendor),
+        }
+    }
+
+    /// A model over an explicit device spec (tests, hypothetical devices).
+    pub fn for_spec(spec: DeviceSpec) -> CostModel {
+        CostModel { spec }
+    }
+
+    /// Evaluates the model for one shader.
+    pub fn cost(&self, shader: &Shader) -> CostSummary {
+        let mut shortest = PipeCycles::default();
+        let mut longest = PipeCycles::default();
+        // Interface traffic is path-independent: every input and uniform is
+        // read at least once through the load/store pipe.
+        let interface = (shader.inputs.len() as f64 * 0.5 + shader.uniforms.len() as f64 * 0.25)
+            / self.spec.alu_per_cycle.max(1.0);
+        shortest.load_store += interface;
+        longest.load_store += interface;
+        self.walk(shader, &shader.body, 1.0, &mut shortest, &mut longest);
+
+        let liveness = Liveness::of(shader);
+        let input_lanes: f64 = shader.inputs.iter().map(|i| i.ty.width as f64).sum();
+        let registers_used = liveness.peak_lanes() as f64 + input_lanes;
+        let over_budget = (registers_used - self.spec.register_budget).max(0.0);
+        let pressure_factor = 1.0 + over_budget * self.spec.pressure_penalty;
+
+        // The expected path sits between the two extremes; adding the fixed
+        // per-fragment overhead keeps ratios comparable with the dynamic
+        // model's totals.
+        let mid = 0.5 * (shortest.total() + longest.total());
+        let estimated_cycles = (mid + self.spec.fragment_overhead) * pressure_factor;
+
+        CostSummary {
+            personality: self.spec.vendor.name().to_string(),
+            alu_style: match self.spec.alu_style {
+                AluStyle::Scalar => "scalar".to_string(),
+                AluStyle::Vec4 => "vec4".to_string(),
+            },
+            shortest,
+            longest,
+            registers_used,
+            pressure_factor,
+            estimated_cycles,
+        }
+    }
+
+    /// Walks one statement list, accumulating shortest- and longest-path
+    /// cycles in lockstep. `scale` is the product of enclosing loop trip
+    /// counts.
+    fn walk(
+        &self,
+        shader: &Shader,
+        body: &[Stmt],
+        scale: f64,
+        shortest: &mut PipeCycles,
+        longest: &mut PipeCycles,
+    ) {
+        for stmt in body {
+            match stmt {
+                Stmt::Def { dst, op } => {
+                    let cycles = self.op_cycles(shader, *dst, op, scale);
+                    shortest.add(&cycles);
+                    longest.add(&cycles);
+                }
+                Stmt::StoreOutput { .. } => {
+                    let c = scale * 0.5 / self.spec.alu_per_cycle.max(1.0);
+                    shortest.load_store += c;
+                    longest.load_store += c;
+                }
+                Stmt::Discard { .. } => {
+                    let c = scale / self.spec.alu_per_cycle.max(1.0);
+                    shortest.arithmetic += c;
+                    longest.arithmetic += c;
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let branch = scale * self.spec.branch_cost;
+                    shortest.arithmetic += branch;
+                    longest.arithmetic += branch;
+                    let mut then_short = PipeCycles::default();
+                    let mut then_long = PipeCycles::default();
+                    self.walk(shader, then_body, scale, &mut then_short, &mut then_long);
+                    let mut else_short = PipeCycles::default();
+                    let mut else_long = PipeCycles::default();
+                    self.walk(shader, else_body, scale, &mut else_short, &mut else_long);
+                    // Cheapest side on the shortest path, dearest on the
+                    // longest — per *this* platform's weighting, which is why
+                    // the walk is parameterised rather than post-weighted.
+                    shortest.add(if then_short.total() <= else_short.total() {
+                        &then_short
+                    } else {
+                        &else_short
+                    });
+                    longest.add(if then_long.total() >= else_long.total() {
+                        &then_long
+                    } else {
+                        &else_long
+                    });
+                }
+                Stmt::Loop {
+                    start,
+                    end,
+                    step,
+                    body: loop_body,
+                    ..
+                } => {
+                    let trips = trip_count(*start, *end, *step);
+                    let overhead = scale * trips * self.spec.loop_overhead;
+                    shortest.arithmetic += overhead;
+                    longest.arithmetic += overhead;
+                    self.walk(shader, loop_body, scale * trips, shortest, longest);
+                }
+            }
+        }
+    }
+
+    /// Cycle cost of one operation, split across the three pipes.
+    fn op_cycles(&self, shader: &Shader, dst: Reg, op: &Op, scale: f64) -> PipeCycles {
+        let mut cycles = PipeCycles::default();
+        let throughput = self.spec.alu_per_cycle.max(1.0);
+        let dst_width = shader.reg_ty(dst).width as f64;
+        // Scalar ALUs pay per lane; the vec4 ALU pays one slot whatever the
+        // width (scalar work wastes the remaining lanes).
+        let lanes = |width: f64| match self.spec.alu_style {
+            AluStyle::Scalar => width.max(1.0),
+            AluStyle::Vec4 => 1.0,
+        };
+        match op {
+            Op::Binary(bop, a, b) => {
+                let width = operand_width(shader, a).max(operand_width(shader, b));
+                let factor = match bop {
+                    BinaryOp::Div | BinaryOp::Mod => self.spec.divide_factor,
+                    _ => 1.0,
+                };
+                cycles.arithmetic += scale * lanes(width) * factor / throughput;
+            }
+            Op::Unary(_, a) => {
+                cycles.arithmetic += scale * lanes(operand_width(shader, a)) / throughput;
+            }
+            Op::Select { .. } => {
+                cycles.arithmetic += scale * lanes(dst_width) / throughput;
+            }
+            Op::Convert { .. } => {
+                cycles.arithmetic += scale * lanes(dst_width) / throughput;
+            }
+            Op::Intrinsic(i, args) => {
+                let width = args
+                    .iter()
+                    .map(|a| operand_width(shader, a))
+                    .fold(1.0, f64::max);
+                let factor = if i.is_transcendental() {
+                    self.spec.transcendental_factor
+                } else {
+                    2.0
+                };
+                cycles.arithmetic += scale * lanes(width) * factor / throughput;
+            }
+            Op::TextureSample { .. } => {
+                cycles.texture += scale * self.spec.texture_cost;
+            }
+            Op::ConstArrayLoad { .. } => {
+                cycles.load_store += scale * lanes(dst_width) / throughput;
+            }
+            Op::Mov(Operand::Uniform(_)) | Op::Mov(Operand::Input(_)) => {
+                cycles.load_store += scale * 0.5 * lanes(dst_width) / throughput;
+            }
+            Op::Mov(_)
+            | Op::Splat { .. }
+            | Op::Construct { .. }
+            | Op::Extract { .. }
+            | Op::Insert { .. }
+            | Op::Swizzle { .. } => {
+                cycles.load_store += scale * 0.5 * lanes(dst_width) / throughput;
+            }
+        }
+        cycles
+    }
+}
+
+fn operand_width(shader: &Shader, operand: &Operand) -> f64 {
+    match operand {
+        Operand::Reg(r) => shader.reg_ty(*r).width as f64,
+        Operand::Const(c) => c.ty().width as f64,
+        Operand::Input(i) => shader
+            .inputs
+            .get(*i)
+            .map(|v| v.ty.width as f64)
+            .unwrap_or(1.0),
+        Operand::Uniform(u) => shader
+            .uniforms
+            .get(*u)
+            .map(|v| v.ty.width as f64)
+            .unwrap_or(1.0),
+    }
+}
+
+fn trip_count(start: i64, end: i64, step: i64) -> f64 {
+    if step > 0 {
+        ((end - start).max(0) as f64 / step as f64).ceil()
+    } else if step < 0 {
+        ((start - end).max(0) as f64 / (-step) as f64).ceil()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn branchy_shader() -> Shader {
+        let mut s = Shader::new("branchy");
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        s.uniforms.push(UniformVar {
+            name: "mode".into(),
+            ty: IrType::F32,
+            slot: 0,
+            original: "float".into(),
+        });
+        let cond = s.new_reg(IrType::BOOL);
+        let a = s.new_reg(IrType::fvec(4));
+        let heavy: Vec<Stmt> = (0..6)
+            .map(|_| Stmt::Def {
+                dst: a,
+                op: Op::Binary(
+                    BinaryOp::Mul,
+                    Operand::fvec(vec![1.5; 4]),
+                    Operand::fvec(vec![0.5; 4]),
+                ),
+            })
+            .collect();
+        s.body = vec![
+            Stmt::Def {
+                dst: a,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::Def {
+                dst: cond,
+                op: Op::Binary(BinaryOp::Gt, Operand::Uniform(0), Operand::float(0.5)),
+            },
+            Stmt::If {
+                cond: Operand::Reg(cond),
+                then_body: heavy,
+                else_body: vec![],
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn shortest_path_is_never_dearer_than_longest() {
+        let s = branchy_shader();
+        for vendor in Vendor::ALL {
+            let c = CostModel::for_vendor(vendor).cost(&s);
+            assert!(
+                c.shortest.total() <= c.longest.total() + 1e-12,
+                "{vendor:?}: shortest {} > longest {}",
+                c.shortest.total(),
+                c.longest.total()
+            );
+        }
+    }
+
+    #[test]
+    fn branchy_shader_splits_its_paths() {
+        // The empty else side makes the shortest path strictly cheaper.
+        let c = CostModel::for_vendor(Vendor::Amd).cost(&branchy_shader());
+        assert!(c.shortest.total() < c.longest.total());
+    }
+
+    #[test]
+    fn vec4_alu_ignores_scalar_narrowing_where_scalar_alus_gain() {
+        // A wide op and a scalar op: the Mali model charges both one slot,
+        // the scalar models charge 4 lanes vs 1.
+        let mut wide = Shader::new("wide");
+        wide.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        let w = wide.new_reg(IrType::fvec(4));
+        wide.body = vec![
+            Stmt::Def {
+                dst: w,
+                op: Op::Binary(
+                    BinaryOp::Add,
+                    Operand::fvec(vec![1.0; 4]),
+                    Operand::fvec(vec![2.0; 4]),
+                ),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(w),
+            },
+        ];
+        let mut narrow = Shader::new("narrow");
+        narrow.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::F32,
+        });
+        let n = narrow.new_reg(IrType::F32);
+        narrow.body = vec![
+            Stmt::Def {
+                dst: n,
+                op: Op::Binary(BinaryOp::Add, Operand::float(1.0), Operand::float(2.0)),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(n),
+            },
+        ];
+        let mali = CostModel::for_vendor(Vendor::Arm);
+        let adreno = CostModel::for_vendor(Vendor::Qualcomm);
+        let mali_wide = mali.cost(&wide).longest.arithmetic;
+        let mali_narrow = mali.cost(&narrow).longest.arithmetic;
+        assert!(
+            (mali_wide - mali_narrow).abs() < 1e-12,
+            "vec4 ALU must not care"
+        );
+        assert!(adreno.cost(&wide).longest.arithmetic > adreno.cost(&narrow).longest.arithmetic);
+    }
+
+    #[test]
+    fn register_pressure_penalises_small_register_files() {
+        // 40 simultaneously live vec4 values: over Mali's budget of 32,
+        // under AMD's 256.
+        let mut s = Shader::new("pressure");
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        let regs: Vec<_> = (0..40).map(|_| s.new_reg(IrType::fvec(4))).collect();
+        let mut body: Vec<Stmt> = regs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Stmt::Def {
+                dst: *r,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(i as f64),
+                },
+            })
+            .collect();
+        let mut acc = regs[0];
+        for r in &regs[1..] {
+            let next = s.new_reg(IrType::fvec(4));
+            body.push(Stmt::Def {
+                dst: next,
+                op: Op::Binary(BinaryOp::Add, Operand::Reg(acc), Operand::Reg(*r)),
+            });
+            acc = next;
+        }
+        body.push(Stmt::StoreOutput {
+            output: 0,
+            components: None,
+            value: Operand::Reg(acc),
+        });
+        s.body = body;
+        let mali = CostModel::for_vendor(Vendor::Arm).cost(&s);
+        let amd = CostModel::for_vendor(Vendor::Amd).cost(&s);
+        assert!(mali.pressure_factor > 1.5, "Mali: {}", mali.pressure_factor);
+        assert!((amd.pressure_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_trips_multiply_the_body() {
+        let mut s = Shader::new("loopy");
+        s.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        let i = s.new_reg(IrType::I32);
+        let a = s.new_reg(IrType::fvec(4));
+        let body_stmt = |dst| Stmt::Def {
+            dst,
+            op: Op::Binary(
+                BinaryOp::Add,
+                Operand::fvec(vec![1.0; 4]),
+                Operand::fvec(vec![1.0; 4]),
+            ),
+        };
+        s.body = vec![
+            Stmt::Def {
+                dst: a,
+                op: Op::Splat {
+                    ty: IrType::fvec(4),
+                    value: Operand::float(0.0),
+                },
+            },
+            Stmt::Loop {
+                var: i,
+                start: 0,
+                end: 8,
+                step: 1,
+                body: vec![body_stmt(a)],
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(a),
+            },
+        ];
+        let mut unrolled = Shader::new("unrolled");
+        unrolled.outputs.push(OutputVar {
+            name: "c".into(),
+            ty: IrType::fvec(4),
+        });
+        let b = unrolled.new_reg(IrType::fvec(4));
+        let mut ub = vec![Stmt::Def {
+            dst: b,
+            op: Op::Splat {
+                ty: IrType::fvec(4),
+                value: Operand::float(0.0),
+            },
+        }];
+        ub.extend((0..8).map(|_| body_stmt(b)));
+        ub.push(Stmt::StoreOutput {
+            output: 0,
+            components: None,
+            value: Operand::Reg(b),
+        });
+        unrolled.body = ub;
+        let model = CostModel::for_vendor(Vendor::Intel);
+        let rolled_cost = model.cost(&s);
+        let unrolled_cost = model.cost(&unrolled);
+        // Same arithmetic work in the body; the rolled form adds 8 loop
+        // overheads on top.
+        assert!(rolled_cost.longest.arithmetic > unrolled_cost.longest.arithmetic);
+    }
+}

@@ -15,7 +15,10 @@
 //! 4. **online tune** — a flag-search tenant on the warm-booted service
 //!    stays under its measurement budget, and the variant it lands on is
 //!    afterwards memo-served to serving traffic at zero work (shared
-//!    cache plane, both directions).
+//!    cache plane, both directions);
+//! 5. **analysis replay** — static reports computed before the snapshot are
+//!    answered by the warm-booted service from the persisted memo with zero
+//!    fresh analysis walks.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use prism_core::OptFlags;
@@ -148,6 +151,13 @@ fn smoke_contract(_corpus: &Corpus, spec: &StreamSpec, stream: &[CompileRequest]
         "replay p50 request work regressed from the post-warm-up stream"
     );
 
+    // Phase 5 setup (before the snapshot is cut): one static analysis on the
+    // cold service, so the report travels to disk with the warm-start state.
+    let analysis_flags = OptFlags::lunarglass_default();
+    let analysis = cold
+        .analyze(&stream[0].source, analysis_flags, Vendor::Arm)
+        .expect("static analysis on the cold service");
+
     // Phase 2: warm boot. Snapshot, boot a new service from disk, replay.
     let cold_stats = cold.stats();
     assert!(cold_stats.cache.stage_runs > 0);
@@ -240,8 +250,30 @@ fn smoke_contract(_corpus: &Corpus, spec: &StreamSpec, stream: &[CompileRequest]
         0,
         "the tuned variant was not memo-served to serving traffic"
     );
+    // Phase 5: analysis replay. The static report the cold service computed
+    // travelled with the snapshot; the warm-booted service must answer the
+    // same analysis from the persisted memo without one fresh walk.
+    let replayed = warm
+        .analyze(&stream[0].source, analysis_flags, Vendor::Arm)
+        .expect("analysis replay on the warm-booted service");
+    assert_eq!(replayed, analysis, "warm-served analysis diverged");
+    let analysis_stats = warm.stats();
     println!(
-        "  contract: OK (>=90% free, warm boot 0 stage runs, coalescing live, tuned variant memo-served)"
+        "serve analysis replay: static_analyses={} warm_analysis_hits={} lints={}",
+        analysis_stats.cache.static_analyses,
+        analysis_stats.cache.warm_analysis_hits,
+        replayed.lints.len(),
+    );
+    assert_eq!(
+        analysis_stats.cache.static_analyses, 0,
+        "warm-booted service re-walked a persisted analysis: {analysis_stats:?}"
+    );
+    assert!(
+        analysis_stats.cache.warm_analysis_hits > 0,
+        "the replayed analysis did not come from the snapshot: {analysis_stats:?}"
+    );
+    println!(
+        "  contract: OK (>=90% free, warm boot 0 stage runs, coalescing live, tuned variant memo-served, analysis replay 0 walks)"
     );
 }
 

@@ -144,6 +144,16 @@ struct EmitEntry {
     text: Arc<str>,
 }
 
+/// Static-analysis memo entry: the analysed exemplar (by generation) and the
+/// serialised `StaticReport` JSON for one platform personality. The cache
+/// stores the report as opaque text — `prism-core` sits below the analyser in
+/// the crate graph, so the memo plane cannot (and need not) name its types.
+struct AnalysisEntry {
+    owner: SessionId,
+    input_gen: u64,
+    text: Arc<str>,
+}
+
 /// Finds `ir` in an exemplar chain: pointer identity first, then structural
 /// equality (once per collision candidate — the chain is almost always a
 /// single entry).
@@ -217,6 +227,20 @@ pub struct CacheStats {
     /// deleted). Unlike a shard-level problem, such an entry costs only
     /// itself: the rest of the shard loads.
     pub warm_entries_skipped: usize,
+    /// Fresh static-analysis walks recorded into the `(fingerprint,
+    /// personality)` memo ([`CorpusCache::record_analysis`]) — each one paid
+    /// a cost-model walk plus a lint pass.
+    pub static_analyses: usize,
+    /// Analysis lookups answered from the memo
+    /// ([`CorpusCache::analysis`]) — no walk ran.
+    pub analysis_memo_hits: usize,
+    /// Subset of `analysis_memo_hits` answered by a warm-start entry.
+    pub warm_analysis_hits: usize,
+    /// Warm-shard exemplars rejected by the IR verifier at load time. A
+    /// persisted IR that no longer verifies (written by a buggy build, or
+    /// bit-rotted in a way the checksum happened to miss) is dropped with
+    /// every entry referencing it, never interned.
+    pub warm_verify_rejects: usize,
     /// Compile-service requests routed to a fingerprint shard after the
     /// shared front stage (0 outside a serving process).
     pub routed_requests: usize,
@@ -526,10 +550,7 @@ impl CacheStore for SessionCache {
             stats.emissions_by_backend[backend.index()] += 1;
         }
         let (gen, _, _) = self.intern_node(state);
-        self.add_ref(NodeId {
-            fp: state.fp,
-            gen,
-        });
+        self.add_ref(NodeId { fp: state.fp, gen });
         self.emissions
             .borrow_mut()
             .entry((state.fp, backend))
@@ -800,6 +821,14 @@ pub struct CorpusCache {
     /// per confirmed hit for the bounded stores' LRU touch.
     transitions: Vec<RwLock<BoundedMap<(usize, Fingerprint), Edge>>>,
     emissions: Vec<RwLock<BoundedMap<(Fingerprint, BackendKind), EmitEntry>>>,
+    /// Static-analysis memo, keyed `(fingerprint, personality name)` —
+    /// the third plane of the graph, mirroring `emissions`.
+    analyses: Vec<RwLock<BoundedMap<(Fingerprint, String), AnalysisEntry>>>,
+    /// Personality names this process can recompute analyses for
+    /// ([`CorpusCache::register_personalities`]). A persisted analysis under
+    /// an unregistered name is skipped at load time — forward compatibility,
+    /// like an unknown backend.
+    personalities: RwLock<Vec<String>>,
     families: RwLock<FamilyTable>,
     stage_runs: AtomicUsize,
     stage_hits: AtomicUsize,
@@ -816,6 +845,10 @@ pub struct CorpusCache {
     warm_shards_loaded: AtomicUsize,
     warm_shards_skipped: AtomicUsize,
     pub(crate) warm_entries_skipped: AtomicUsize,
+    static_analyses: AtomicUsize,
+    analysis_memo_hits: AtomicUsize,
+    warm_analysis_hits: AtomicUsize,
+    pub(crate) warm_verify_rejects: AtomicUsize,
     routed_requests: AtomicUsize,
     coalesced_requests: AtomicUsize,
 }
@@ -862,6 +895,10 @@ impl CorpusCache {
             emissions: (0..SHARDS)
                 .map(|_| RwLock::new(BoundedMap::new()))
                 .collect(),
+            analyses: (0..SHARDS)
+                .map(|_| RwLock::new(BoundedMap::new()))
+                .collect(),
+            personalities: RwLock::new(Vec::new()),
             families: RwLock::new(FamilyTable::default()),
             stage_runs: AtomicUsize::new(0),
             stage_hits: AtomicUsize::new(0),
@@ -878,6 +915,10 @@ impl CorpusCache {
             warm_shards_loaded: AtomicUsize::new(0),
             warm_shards_skipped: AtomicUsize::new(0),
             warm_entries_skipped: AtomicUsize::new(0),
+            static_analyses: AtomicUsize::new(0),
+            analysis_memo_hits: AtomicUsize::new(0),
+            warm_analysis_hits: AtomicUsize::new(0),
+            warm_verify_rejects: AtomicUsize::new(0),
             routed_requests: AtomicUsize::new(0),
             coalesced_requests: AtomicUsize::new(0),
         }
@@ -900,10 +941,11 @@ impl CorpusCache {
         self.budget
     }
 
-    /// Entries currently cached across both memos and every shard (exemplars
-    /// are storage, not entries, and are not counted). A bounded store keeps
-    /// this at or below [`CorpusCache::budget`] (for budgets of at least
-    /// `2 * SHARDS = 32`).
+    /// Entries currently cached across all three memos and every shard
+    /// (exemplars are storage, not entries, and are not counted). A bounded
+    /// store keeps the transition + emission total at or below
+    /// [`CorpusCache::budget`] (for budgets of at least `2 * SHARDS = 32`);
+    /// the analysis memo gets the same per-shard-map slice on top.
     pub fn entry_count(&self) -> usize {
         let transitions: usize = self
             .transitions
@@ -915,7 +957,12 @@ impl CorpusCache {
             .iter()
             .map(|s| s.read().expect("corpus cache poisoned").entries)
             .sum();
-        transitions + emissions
+        let analyses: usize = self
+            .analyses
+            .iter()
+            .map(|s| s.read().expect("corpus cache poisoned").entries)
+            .sum();
+        transitions + emissions + analyses
     }
 
     /// Distinct IR structures currently interned in the exemplar store.
@@ -1100,6 +1147,141 @@ impl CorpusCache {
             });
         }
     }
+
+    fn release_evicted_analyses(&self, evicted: Vec<((Fingerprint, String), AnalysisEntry)>) {
+        self.evictions.fetch_add(evicted.len(), Ordering::Relaxed);
+        for ((fp, _), entry) in evicted {
+            self.release_node(NodeId {
+                fp,
+                gen: entry.input_gen,
+            });
+        }
+    }
+
+    /// Declares the platform-personality names this process can recompute
+    /// static analyses for. A persisted analysis under any other name is
+    /// skipped at load time (counted in `warm_entries_skipped`) — the
+    /// forward-compatibility rule unknown backends already follow. Idempotent
+    /// and additive; call before [`CorpusCache::load`].
+    pub fn register_personalities(&self, names: &[&str]) {
+        let mut known = self.personalities.write().expect("corpus cache poisoned");
+        for name in names {
+            if !known.iter().any(|k| k == name) {
+                known.push((*name).to_string());
+            }
+        }
+    }
+
+    /// Whether `name` was declared through
+    /// [`CorpusCache::register_personalities`].
+    pub(crate) fn known_personality(&self, name: &str) -> bool {
+        self.personalities
+            .read()
+            .expect("corpus cache poisoned")
+            .iter()
+            .any(|k| k == name)
+    }
+
+    /// Looks up the memoised static-analysis report of `state` for
+    /// `personality`. Mirrors [`CacheStore::emission`]: structural
+    /// confirmation through the exemplar plane, shared-allocation handout,
+    /// warm/cross-session attribution, LRU touch on bounded stores.
+    pub fn analysis(
+        &self,
+        session: SessionId,
+        personality: &str,
+        state: &Snapshot,
+    ) -> Option<Arc<str>> {
+        let (gen, _) = self.resolve_node(state)?;
+        let key = (state.fp, personality.to_string());
+        let found = {
+            let shard = self.analyses[Self::shard(state.fp)]
+                .read()
+                .expect("corpus cache poisoned");
+            shard.peek(&key).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(_, e)| e.input_gen == gen)
+                    .map(|(_, e)| (e.owner, Arc::clone(&e.text)))
+            })
+        };
+        let (owner, text) = found?;
+        if self.shard_budget.is_some() {
+            let now = self.now();
+            self.analyses[Self::shard(state.fp)]
+                .write()
+                .expect("corpus cache poisoned")
+                .refresh(&key, now, |e| e.input_gen == gen);
+        }
+        self.analysis_memo_hits.fetch_add(1, Ordering::Relaxed);
+        if owner == WARM_OWNER {
+            self.warm_analysis_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = session;
+        Some(text)
+    }
+
+    /// Records a freshly computed static-analysis report (serialised JSON)
+    /// for `(state, personality)` and counts the walk in `static_analyses`.
+    pub fn record_analysis(
+        &self,
+        session: SessionId,
+        personality: &str,
+        state: &Snapshot,
+        text: Arc<str>,
+    ) {
+        self.static_analyses.fetch_add(1, Ordering::Relaxed);
+        let node = self.intern_node_ref(state);
+        let now = self.now();
+        let evicted = {
+            let mut map = self.analyses[Self::shard(state.fp)]
+                .write()
+                .expect("corpus cache poisoned");
+            map.insert(
+                (state.fp, personality.to_string()),
+                AnalysisEntry {
+                    owner: session,
+                    input_gen: node.gen,
+                    text,
+                },
+                now,
+                self.shard_budget,
+            )
+        };
+        self.release_evicted_analyses(evicted);
+    }
+
+    /// Inserts one restored analysis under [`WARM_OWNER`] (see
+    /// [`CorpusCache::insert_warm_edge`]). Used by the persist module.
+    fn insert_warm_analysis(&self, personality: &str, input: NodeId, text: Arc<str>) -> bool {
+        self.add_node_ref(input);
+        let key = (input.fp, personality.to_string());
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let evicted = {
+            let mut map = self.analyses[Self::shard(input.fp)]
+                .write()
+                .expect("corpus cache poisoned");
+            if let Some(bucket) = map.peek(&key) {
+                if bucket.iter().any(|(_, e)| e.input_gen == input.gen) {
+                    drop(map);
+                    self.release_node(input);
+                    return false;
+                }
+            }
+            map.insert(
+                key,
+                AnalysisEntry {
+                    owner: WARM_OWNER,
+                    input_gen: input.gen,
+                    text,
+                },
+                now,
+                self.shard_budget,
+            )
+        };
+        self.release_evicted_analyses(evicted);
+        true
+    }
 }
 
 impl CacheStore for CorpusCache {
@@ -1145,7 +1327,8 @@ impl CacheStore for CorpusCache {
 
     fn note_identity_skips(&self, session: SessionId, count: usize) {
         self.stage_hits.fetch_add(count, Ordering::Relaxed);
-        self.identity_transitions.fetch_add(count, Ordering::Relaxed);
+        self.identity_transitions
+            .fetch_add(count, Ordering::Relaxed);
         self.bump_family(session, |f| {
             f.stage_hits.fetch_add(count, Ordering::Relaxed);
         });
@@ -1341,6 +1524,10 @@ impl CacheStore for CorpusCache {
             warm_shards_loaded: self.warm_shards_loaded.load(Ordering::Relaxed),
             warm_shards_skipped: self.warm_shards_skipped.load(Ordering::Relaxed),
             warm_entries_skipped: self.warm_entries_skipped.load(Ordering::Relaxed),
+            static_analyses: self.static_analyses.load(Ordering::Relaxed),
+            analysis_memo_hits: self.analysis_memo_hits.load(Ordering::Relaxed),
+            warm_analysis_hits: self.warm_analysis_hits.load(Ordering::Relaxed),
+            warm_verify_rejects: self.warm_verify_rejects.load(Ordering::Relaxed),
             routed_requests: self.routed_requests.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
         }

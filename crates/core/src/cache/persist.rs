@@ -9,7 +9,7 @@
 //! of the same corpus performs strictly fewer stage runs and emissions while
 //! producing byte-identical results.
 //!
-//! # On-disk format (version 2)
+//! # On-disk format (version 3)
 //!
 //! One file per fingerprint-range shard (`shard-NN.json`, reusing the
 //! cache's 16-way shard split, so a serving layer can distribute the shard
@@ -53,11 +53,13 @@
 //! save→load→save is idempotent and the shard files are byte-deterministic
 //! (exemplars and entries are sorted before writing).
 
-use super::{chain_find, CorpusCache, Edge, EmitEntry, Exemplar, NodeId, Snapshot, SHARDS,
-            WARM_OWNER};
+use super::{
+    chain_find, CorpusCache, Edge, EmitEntry, Exemplar, NodeId, Snapshot, SHARDS, WARM_OWNER,
+};
 use crate::pipeline::build_schedule;
 use prism_emit::BackendKind;
 use prism_ir::fingerprint::{fingerprint, Fingerprint};
+use prism_ir::verify::verify;
 use prism_ir::Shader;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -67,8 +69,12 @@ use std::sync::Arc;
 /// Version stamp of the on-disk shard format. Bump on any encoding change;
 /// old snapshots are then skipped (cold start), never misread. Version 2:
 /// the transition-graph layout (interned exemplars + index-based edges)
-/// replacing version 1's one-IR-clone-per-entry layout.
-pub const FORMAT_VERSION: u32 = 2;
+/// replacing version 1's one-IR-clone-per-entry layout. Version 3: the
+/// static-analysis memo joins the payload (`analyses`, keyed by platform
+/// personality), and every exemplar is run through the IR verifier at load
+/// time — a non-verifying exemplar is dropped with its dependent entries
+/// (`LoadReport::verify_rejects`), never interned.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit hash — deterministic across processes and platforms (unlike
 /// `DefaultHasher`, whose algorithm is explicitly unspecified), used for both
@@ -166,10 +172,14 @@ pub struct LoadReport {
     pub entries_loaded: usize,
     /// Entries inside accepted shards that were individually skipped: an
     /// emission under a backend name unknown to this build (a snapshot from
-    /// a newer build — forward compatibility, not corruption), or an edge
-    /// whose output exemplar lives in a shard file that was skipped or
-    /// deleted.
+    /// a newer build — forward compatibility, not corruption), an analysis
+    /// under an unregistered platform personality, an entry referencing a
+    /// verify-rejected exemplar, or an edge whose output exemplar lives in a
+    /// shard file that was skipped or deleted.
     pub entries_skipped: usize,
+    /// Persisted exemplars rejected by the IR verifier (dropped with their
+    /// dependent entries, which are counted in `entries_skipped`).
+    pub verify_rejects: usize,
 }
 
 /// Outcome of a [`CorpusCache::save`].
@@ -243,17 +253,33 @@ serde::impl_serde_struct!(PersistedEmission {
     text
 });
 
+/// One persisted static-analysis memo entry: file-local index of the
+/// analysed exemplar, platform-personality name, serialised report JSON.
+struct PersistedAnalysis {
+    personality: String,
+    input: usize,
+    text: String,
+}
+
+serde::impl_serde_struct!(PersistedAnalysis {
+    personality,
+    input,
+    text
+});
+
 /// The second line of a shard file.
 struct ShardPayload {
     exemplars: Vec<PersistedExemplar>,
     transitions: Vec<PersistedEdge>,
     emissions: Vec<PersistedEmission>,
+    analyses: Vec<PersistedAnalysis>,
 }
 
 serde::impl_serde_struct!(ShardPayload {
     exemplars,
     transitions,
-    emissions
+    emissions,
+    analyses
 });
 
 /// A standalone-validated shard file, parsed but not yet interned: the
@@ -261,11 +287,17 @@ serde::impl_serde_struct!(ShardPayload {
 /// index form. Cross-file references (edge outputs) are resolved against the
 /// other parsed files in a later phase.
 struct ParsedShard {
-    exemplars: Vec<(Snapshot, u64)>,
+    /// `None` slots are verify-rejected exemplars: the file-local index
+    /// space is preserved so surviving entries still resolve, but nothing
+    /// referencing a rejected slot loads.
+    exemplars: Vec<Option<(Snapshot, u64)>>,
     transitions: Vec<(usize, usize, usize, usize)>,
     emissions: Vec<(BackendKind, usize, Arc<str>)>,
+    analyses: Vec<(String, usize, Arc<str>)>,
     /// Unknown-backend emissions dropped during parsing.
     skipped_entries: usize,
+    /// Exemplars the IR verifier rejected.
+    verify_rejects: usize,
 }
 
 /// The snapshot file for one shard index.
@@ -334,7 +366,8 @@ impl CorpusCache {
         let mut report = SaveReport::default();
         for (shard, exemplars) in shard_exemplars.iter().enumerate() {
             let payload = self.shard_payload(shard, exemplars, &index);
-            let entries = payload.transitions.len() + payload.emissions.len();
+            let entries =
+                payload.transitions.len() + payload.emissions.len() + payload.analyses.len();
             let payload_json = serde_json::to_string(&payload)
                 .map_err(|e| format!("shard {shard} payload: {e}"))?;
             let header = ShardHeader {
@@ -397,29 +430,36 @@ impl CorpusCache {
 
         // Phase B: intern the accepted files' exemplars, in file order (the
         // determinism contract with save), recording each file-local index's
-        // node id. A structure already present just merges its clean mask.
-        let nodes: Vec<Vec<NodeId>> = parsed
+        // node id. A structure already present just merges its clean mask; a
+        // verify-rejected slot stays `None` and never touches the cache.
+        let nodes: Vec<Vec<Option<NodeId>>> = parsed
             .iter()
             .map(|p| match p {
                 Some(p) => p
                     .exemplars
                     .iter()
-                    .map(|(snap, clean)| self.intern_warm_exemplar(snap, *clean))
+                    .map(|slot| {
+                        slot.as_ref()
+                            .map(|(snap, clean)| self.intern_warm_exemplar(snap, *clean))
+                    })
                     .collect(),
                 None => Vec::new(),
             })
             .collect();
 
-        // Phase C: insert edges and emissions under [`WARM_OWNER`]. An edge
-        // whose output file was skipped (or whose output index outruns that
-        // file) costs only itself.
+        // Phase C: insert edges, emissions and analyses under
+        // [`WARM_OWNER`]. An entry whose exemplar was verify-rejected, or an
+        // edge whose output file was skipped (or whose output index outruns
+        // that file), costs only itself.
         for shard in 0..SHARDS {
             let Some(p) = &parsed[shard] else { continue };
             let mut loaded = 0usize;
             let mut skipped = p.skipped_entries;
             for &(stage, input, output_shard, output) in &p.transitions {
-                let input_node = nodes[shard][input];
-                let Some(&output_node) = nodes[output_shard].get(output) else {
+                let (Some(input_node), Some(Some(output_node))) = (
+                    nodes[shard][input],
+                    nodes[output_shard].get(output).copied(),
+                ) else {
                     skipped += 1;
                     continue;
                 };
@@ -428,13 +468,34 @@ impl CorpusCache {
                 }
             }
             for (backend, input, text) in &p.emissions {
-                if self.insert_warm_emission(*backend, nodes[shard][*input], Arc::clone(text)) {
+                let Some(input_node) = nodes[shard][*input] else {
+                    skipped += 1;
+                    continue;
+                };
+                if self.insert_warm_emission(*backend, input_node, Arc::clone(text)) {
+                    loaded += 1;
+                }
+            }
+            for (personality, input, text) in &p.analyses {
+                // An analysis under a personality this process cannot
+                // recompute is a newer (or differently configured) writer's
+                // entry — forward compatibility, same as unknown backends.
+                if !self.known_personality(personality) {
+                    skipped += 1;
+                    continue;
+                }
+                let Some(input_node) = nodes[shard][*input] else {
+                    skipped += 1;
+                    continue;
+                };
+                if self.insert_warm_analysis(personality, input_node, Arc::clone(text)) {
                     loaded += 1;
                 }
             }
             report.shards_loaded += 1;
             report.entries_loaded += loaded;
             report.entries_skipped += skipped;
+            report.verify_rejects += p.verify_rejects;
         }
 
         self.warm_entries_loaded
@@ -445,6 +506,8 @@ impl CorpusCache {
             .fetch_add(report.shards_skipped, Ordering::Relaxed);
         self.warm_entries_skipped
             .fetch_add(report.entries_skipped, Ordering::Relaxed);
+        self.warm_verify_rejects
+            .fetch_add(report.verify_rejects, Ordering::Relaxed);
         report
     }
 
@@ -502,6 +565,21 @@ impl CorpusCache {
         };
         emissions.sort_unstable();
 
+        let mut analyses: Vec<(usize, String, String)> = {
+            let map = self.analyses[shard].read().expect("corpus cache poisoned");
+            map.map
+                .iter()
+                .flat_map(|((_, personality), bucket)| {
+                    bucket.iter().filter_map(move |(_, e)| {
+                        let (in_shard, input) = *index.get(&e.input_gen)?;
+                        debug_assert_eq!(in_shard, shard, "analysis keyed outside its shard");
+                        Some((input, personality.clone(), e.text.to_string()))
+                    })
+                })
+                .collect()
+        };
+        analyses.sort_unstable();
+
         ShardPayload {
             exemplars: persisted_exemplars,
             transitions: transitions
@@ -517,6 +595,14 @@ impl CorpusCache {
                 .into_iter()
                 .map(|(input, backend, text)| PersistedEmission {
                     backend: backend.to_string(),
+                    input,
+                    text,
+                })
+                .collect(),
+            analyses: analyses
+                .into_iter()
+                .map(|(input, personality, text)| PersistedAnalysis {
+                    personality,
                     input,
                     text,
                 })
@@ -654,19 +740,32 @@ fn parse_shard(
     }
     let payload: ShardPayload =
         serde_json::from_str(payload_text).map_err(|e| format!("payload: {e}"))?;
-    if payload.transitions.len() + payload.emissions.len() != header.entries {
+    if payload.transitions.len() + payload.emissions.len() + payload.analyses.len()
+        != header.entries
+    {
         return Err("entry count mismatch".to_string());
     }
 
     let mut exemplars = Vec::with_capacity(payload.exemplars.len());
+    let mut verify_rejects = 0usize;
     for e in payload.exemplars {
+        // The verifier runs before anything else: a persisted IR that no
+        // longer satisfies the invariants (a buggy writer, or rot the
+        // checksum happened to miss) is dropped alone — its file-local slot
+        // stays reserved so surviving entries still index correctly, and the
+        // shard check below is moot for IR nothing will ever intern.
+        if verify(&e.ir).is_err() {
+            verify_rejects += 1;
+            exemplars.push(None);
+            continue;
+        }
         // The one fingerprint computation this exemplar will ever need: it
         // memoises into the Arc and every later intern/lookup reuses it.
         let fp: Fingerprint = fingerprint(&e.ir);
         if super::shard_of(fp) != shard {
             return Err("exemplar in wrong shard".to_string());
         }
-        exemplars.push((Snapshot { ir: e.ir, fp }, e.clean_stages as u64));
+        exemplars.push(Some((Snapshot { ir: e.ir, fp }, e.clean_stages as u64)));
     }
 
     let mut transitions = Vec::with_capacity(payload.transitions.len());
@@ -700,11 +799,23 @@ fn parse_shard(
         emissions.push((backend, e.input, Arc::<str>::from(e.text)));
     }
 
+    let mut analyses = Vec::with_capacity(payload.analyses.len());
+    for a in payload.analyses {
+        if a.input >= exemplars.len() {
+            return Err("analysis input index out of range".to_string());
+        }
+        // Personality names are validated against the loading cache's
+        // registered set in phase C (the cache, not the file, knows them).
+        analyses.push((a.personality, a.input, Arc::<str>::from(a.text)));
+    }
+
     Ok(ParsedShard {
         exemplars,
         transitions,
         emissions,
+        analyses,
         skipped_entries,
+        verify_rejects,
     })
 }
 
@@ -897,7 +1008,7 @@ mod tests {
         // Shard 2: valid JSON, wrong format version.
         let path2 = shard_path(&dir.0, 2);
         let text2 = std::fs::read_to_string(&path2).unwrap();
-        std::fs::write(&path2, text2.replace("\"version\":2", "\"version\":999")).unwrap();
+        std::fs::write(&path2, text2.replace("\"version\":3", "\"version\":999")).unwrap();
         // Shard 3: header claims a different pass schedule.
         let path3 = shard_path(&dir.0, 3);
         let text3 = std::fs::read_to_string(&path3).unwrap();
@@ -927,7 +1038,7 @@ mod tests {
         for shard in 0..SHARDS {
             let path = shard_path(&dir.0, shard);
             let text = std::fs::read_to_string(&path).unwrap();
-            std::fs::write(&path, text.replace("\"version\":2", "\"version\":1")).unwrap();
+            std::fs::write(&path, text.replace("\"version\":3", "\"version\":2")).unwrap();
         }
         let warm = CorpusCache::new();
         let report = warm.load(&dir.0);
@@ -981,10 +1092,7 @@ mod tests {
 
     /// Edge + emission count of one shard in a live cache.
     fn entries_in_shard(cache: &CorpusCache, shard: usize) -> usize {
-        cache.transitions[shard]
-            .read()
-            .unwrap()
-            .entries
+        cache.transitions[shard].read().unwrap().entries
             + cache.emissions[shard].read().unwrap().entries
     }
 
@@ -1074,5 +1182,125 @@ mod tests {
     fn schedule_hash_is_stable_within_a_build() {
         assert_eq!(schedule_hash(), schedule_hash());
         assert_ne!(schedule_hash(), 0);
+    }
+
+    #[test]
+    fn analyses_round_trip_and_unknown_personalities_are_skipped() {
+        let dir = ScratchDir::new("analyses");
+        let cache = populated_cache();
+        let id = cache.register_session();
+        // Two personalities' worth of memoised reports on the same exemplars.
+        for seed in 0..4u32 {
+            let state = cache.intern(snapshot(seed));
+            cache.record_analysis(id, "Arm", &state, Arc::from(format!("{{\"arm\":{seed}}}")));
+            cache.record_analysis(
+                id,
+                "NVIDIA",
+                &state,
+                Arc::from(format!("{{\"nv\":{seed}}}")),
+            );
+        }
+        assert_eq!(cache.stats().static_analyses, 8);
+        let saved = cache.save(&dir.0).unwrap();
+        assert_eq!(
+            saved.entries_written, 38,
+            "30 edge/emission entries + 8 analyses"
+        );
+
+        // A loader that only knows the Arm personality: the NVIDIA entries
+        // are individually skipped, everything else warms.
+        let warm = CorpusCache::new();
+        warm.register_personalities(&["Arm"]);
+        let report = warm.load(&dir.0);
+        assert_eq!(report.shards_skipped, 0);
+        assert_eq!(report.verify_rejects, 0);
+        assert_eq!(report.entries_loaded, 34);
+        assert_eq!(report.entries_skipped, 4, "the four NVIDIA analyses");
+
+        // Warm analysis hits serve from the memo: zero fresh walks.
+        let wid = warm.register_session();
+        for seed in 0..4u32 {
+            let state = warm.intern(snapshot(seed));
+            let text = warm
+                .analysis(wid, "Arm", &state)
+                .unwrap_or_else(|| panic!("analysis {seed} must warm-hit"));
+            assert_eq!(*text, format!("{{\"arm\":{seed}}}"));
+            assert!(warm.analysis(wid, "NVIDIA", &state).is_none());
+        }
+        let stats = warm.stats();
+        assert_eq!(stats.analysis_memo_hits, 4);
+        assert_eq!(stats.warm_analysis_hits, 4);
+        assert_eq!(stats.static_analyses, 0, "no fresh walks after warm start");
+
+        // With both personalities registered, save→load→save stays
+        // byte-deterministic including the analysis plane.
+        let full = CorpusCache::new();
+        full.register_personalities(&["Arm", "NVIDIA"]);
+        full.load(&dir.0);
+        let dir_b = ScratchDir::new("analyses-b");
+        full.save(&dir_b.0).unwrap();
+        for shard in 0..SHARDS {
+            let a = std::fs::read_to_string(shard_path(&dir.0, shard)).unwrap();
+            let b = std::fs::read_to_string(shard_path(&dir_b.0, shard)).unwrap();
+            assert_eq!(a, b, "shard {shard} drifted across save→load→save");
+        }
+    }
+
+    #[test]
+    fn verify_rejected_exemplars_are_dropped_with_their_entries() {
+        // An IR that parses and serialises fine but violates the verifier's
+        // invariants: it stores from an input index that does not exist.
+        // Whatever wrote it was buggy; the loader must drop the exemplar and
+        // every entry referencing it, and count the rejection.
+        let bad = {
+            let mut s = Shader::new("persist-bad");
+            s.outputs.push(OutputVar {
+                name: "c".into(),
+                ty: IrType::fvec(4),
+            });
+            s.body = vec![Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Input(7),
+            }];
+            Snapshot {
+                fp: fingerprint(&s),
+                ir: Arc::new(s),
+            }
+        };
+        assert!(
+            prism_ir::verify::verify(&bad.ir).is_err(),
+            "fixture must not verify"
+        );
+
+        let dir = ScratchDir::new("verify-reject");
+        let cache = CorpusCache::new();
+        let id = cache.register_session();
+        // One healthy entry, one edge into the bad exemplar, one emission on
+        // it — the latter two must evaporate at load time.
+        cache.record_transition(id, 0, snapshot(1), snapshot(2));
+        cache.record_transition(id, 1, snapshot(3), bad.clone());
+        cache.record_emission(id, BackendKind::Gles, &bad, Arc::from("bad text"));
+        cache.save(&dir.0).unwrap();
+
+        let warm = CorpusCache::new();
+        let report = warm.load(&dir.0);
+        assert_eq!(
+            report.shards_skipped, 0,
+            "a bad exemplar must not reject its shard"
+        );
+        assert_eq!(report.verify_rejects, 1);
+        assert_eq!(
+            report.entries_skipped, 2,
+            "the edge into it and the emission on it"
+        );
+        assert_eq!(report.entries_loaded, 1, "the healthy edge");
+        let stats = warm.stats();
+        assert_eq!(stats.warm_verify_rejects, 1);
+
+        let wid = warm.register_session();
+        assert!(warm.transition(wid, 0, &snapshot(1)).is_some());
+        assert!(warm.transition(wid, 1, &snapshot(3)).is_none());
+        assert!(warm.emission(wid, BackendKind::Gles, &bad).is_none());
     }
 }

@@ -118,8 +118,10 @@ impl Stage {
     /// fast path: the caller may keep the pre-stage snapshot (same `Arc`,
     /// same fingerprint) without re-hashing or re-verifying. The stage
     /// therefore invalidates the shader's fingerprint memo exactly when a
-    /// pass reports a change, and — in debug builds — convicts passes that
-    /// lie in either direction by re-hashing.
+    /// pass reports a change, and — in debug builds, or in any build with
+    /// `PRISM_VERIFY=1` in the environment — runs the IR verifier after
+    /// every pass and convicts passes that lie in either direction by
+    /// re-hashing.
     pub fn run(&self, ir: &mut Shader) -> bool {
         #[cfg(debug_assertions)]
         let fp_before = prism_ir::fingerprint::compute_fingerprint(ir);
@@ -128,12 +130,14 @@ impl Stage {
             if pass.run(ir) {
                 changed = true;
             }
-            debug_assert!(
-                verify(ir).is_ok(),
-                "pass `{}` of stage `{}` produced invalid IR",
-                pass.name(),
-                self.label
-            );
+            if cfg!(debug_assertions) || verify_every_pass() {
+                assert!(
+                    verify(ir).is_ok(),
+                    "pass `{}` of stage `{}` produced invalid IR",
+                    pass.name(),
+                    self.label
+                );
+            }
         }
         if changed {
             ir.invalidate_fingerprint();
@@ -149,6 +153,20 @@ impl Stage {
         }
         changed
     }
+}
+
+/// Whether `PRISM_VERIFY=1` (or any non-empty value other than `0`) is set:
+/// release builds then run the IR verifier after every pass, exactly as
+/// debug builds always do. The CI release leg sets it so optimizer bugs that
+/// only reproduce under release codegen still fail loudly. Read once per
+/// process — the env var is a boot-time switch, not a live toggle.
+fn verify_every_pass() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("PRISM_VERIFY")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
 }
 
 /// Builds the full pass schedule as inspectable stages.

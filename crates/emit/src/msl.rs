@@ -126,16 +126,77 @@ pub fn msl_to_glsl(text: &str) -> Result<String, String> {
 }
 
 /// `float2 uv [[user(locn0)]];` → `in vec2 uv;`
+///
+/// The interface structs are where a torn or hand-mangled shader shows up
+/// first, so this is a real type check, not a token shuffle: the member must
+/// be a known MSL scalar/vector type, carry an identifier name, end in `;`,
+/// and wear the attribute its struct demands (`[[user(locnN)]]` for
+/// `main0_in`, `[[color(N)]]` for `main0_out`).
 fn struct_member_to_decl(storage: &str, member: &str) -> Result<String, String> {
-    let mut tokens = member.split_whitespace();
+    let unterminated = member
+        .strip_suffix(';')
+        .ok_or_else(|| format!("unterminated struct member `{member}`"))?;
+    let mut tokens = unterminated.split_whitespace();
     let ty = tokens
         .next()
         .ok_or_else(|| format!("empty struct member `{member}`"))?;
+    if !is_msl_interface_type(ty) {
+        return Err(format!("`{ty}` is not an MSL interface type in `{member}`"));
+    }
     let name = tokens
         .next()
-        .ok_or_else(|| format!("unnamed struct member `{member}`"))?
-        .trim_end_matches(';');
+        .ok_or_else(|| format!("unnamed struct member `{member}`"))?;
+    if !is_identifier(name) {
+        return Err(format!("`{name}` is not a member name in `{member}`"));
+    }
+    let attr: Vec<&str> = tokens.collect();
+    let attr = attr.join(" ");
+    let well_attributed = match storage {
+        "in" => attr.starts_with("[[user(locn") && attr.ends_with(")]]"),
+        _ => attr.starts_with("[[color(") && attr.ends_with(")]]"),
+    };
+    if !well_attributed {
+        let wanted = if storage == "in" {
+            "[[user(locnN)]]"
+        } else {
+            "[[color(N)]]"
+        };
+        return Err(format!(
+            "struct main0_{storage} member `{member}` lacks its {wanted} attribute"
+        ));
+    }
     Ok(format!("{storage} {} {name};", rewrite_tokens(ty)))
+}
+
+/// The MSL type spellings legal as interface-struct members.
+fn is_msl_interface_type(ty: &str) -> bool {
+    matches!(
+        ty,
+        "float"
+            | "float2"
+            | "float3"
+            | "float4"
+            | "int"
+            | "int2"
+            | "int3"
+            | "int4"
+            | "uint"
+            | "uint2"
+            | "uint3"
+            | "uint4"
+            | "bool"
+            | "bool2"
+            | "bool3"
+            | "bool4"
+    )
+}
+
+fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 /// One fragment-function parameter → the matching GLSL `uniform` declaration
@@ -457,5 +518,91 @@ mod tests {
     #[test]
     fn non_msl_text_is_rejected() {
         assert!(msl_to_glsl("#version 450\nvoid main() {}").is_err());
+    }
+
+    /// Corrupts one substring of the freshly-emitted MSL (so the negative
+    /// cases track the emitter's real shape) and asserts the front-end
+    /// refuses it with a message naming the construct.
+    fn rejects(from: &str, to: &str, expect: &str) {
+        let msl = emit_msl(&shader());
+        assert!(msl.contains(from), "test premise: emitted MSL has `{from}`");
+        let corrupted = msl.replace(from, to);
+        let err = msl_to_glsl(&corrupted).expect_err("corrupted MSL must not desugar");
+        assert!(
+            err.contains(expect),
+            "error `{err}` does not mention `{expect}`"
+        );
+    }
+
+    #[test]
+    fn malformed_interface_structs_are_type_errors() {
+        // Not an MSL interface type.
+        rejects(
+            "float2 uv [[user(locn0)]];",
+            "half2 uv [[user(locn0)]];",
+            "not an MSL interface type",
+        );
+        // Missing terminator.
+        rejects(
+            "float2 uv [[user(locn0)]];",
+            "float2 uv [[user(locn0)]]",
+            "unterminated struct member",
+        );
+        // Attribute from the wrong struct, both directions.
+        rejects(
+            "float2 uv [[user(locn0)]];",
+            "float2 uv [[color(0)]];",
+            "lacks its [[user(locnN)]] attribute",
+        );
+        rejects(
+            "float4 fragColor [[color(0)]];",
+            "float4 fragColor [[user(locn0)]];",
+            "lacks its [[color(N)]] attribute",
+        );
+        // Member with no name: the attribute lands in the name slot.
+        rejects(
+            "float4 fragColor [[color(0)]];",
+            "float4 [[color(0)]];",
+            "not a member name",
+        );
+    }
+
+    #[test]
+    fn mismatched_sample_arities_are_errors() {
+        // No coordinates at all.
+        rejects(
+            "tex.sample(texSmplr, in.uv)",
+            "tex.sample(texSmplr)",
+            "unsupported sample call shape",
+        );
+        // A bare LOD argument (must be wrapped in `level(...)`).
+        rejects(
+            "tex.sample(texSmplr, in.uv)",
+            "tex.sample(texSmplr, in.uv, 0.5)",
+            "unsupported sample call shape",
+        );
+        // Level plus a trailing extra argument.
+        rejects(
+            "tex.sample(texSmplr, in.uv)",
+            "tex.sample(texSmplr, in.uv, level(0.0), 1.0)",
+            "unsupported sample call shape",
+        );
+        // The sampler pair must be the receiver's own `Smplr` twin.
+        rejects(
+            "tex.sample(texSmplr, in.uv)",
+            "tex.sample(otherSmplr, in.uv)",
+            "sample call without its sampler pair",
+        );
+    }
+
+    #[test]
+    fn source_interface_surfaces_the_front_end_rejection() {
+        let msl = emit_msl(&shader());
+        let corrupted = msl.replace("float2 uv [[user(locn0)]];", "matrix_float2x2 uv;");
+        let err = crate::interface::source_interface(crate::BackendKind::Msl, &corrupted)
+            .expect_err("interface extraction must run the same type checks");
+        assert!(err.contains("not an MSL interface type"), "got `{err}`");
+        // The pristine emission still extracts.
+        assert!(crate::interface::source_interface(crate::BackendKind::Msl, &msl).is_ok());
     }
 }

@@ -233,7 +233,13 @@ mod tests {
         // on them is bit-identical to the stateless one — the drift branch
         // must not even consume RNG stream.
         let config = DrawConfig::desktop();
-        for vendor in [Vendor::Intel, Vendor::Amd, Vendor::Nvidia, Vendor::Radv, Vendor::Apple] {
+        for vendor in [
+            Vendor::Intel,
+            Vendor::Amd,
+            Vendor::Nvidia,
+            Vendor::Radv,
+            Vendor::Apple,
+        ] {
             let (c, spec) = cost(vendor);
             assert!(spec.thermal_drift.is_none(), "{vendor}");
             let mut r1 = StdRng::seed_from_u64(41);
@@ -259,8 +265,13 @@ mod tests {
                 let mut state = NoiseState::new();
                 (0..400)
                     .map(|_| {
-                        let s =
-                            sample_frame_time_ns_with(&c, &spec, &mobile_config, &mut rng, &mut state);
+                        let s = sample_frame_time_ns_with(
+                            &c,
+                            &spec,
+                            &mobile_config,
+                            &mut rng,
+                            &mut state,
+                        );
                         (s.nanoseconds, state.drift)
                     })
                     .collect::<Vec<_>>()

@@ -81,6 +81,12 @@ impl Vendor {
         }
     }
 
+    /// The platform whose [`Vendor::name`] is `name` — the inverse lookup
+    /// record rows and memoised analysis personalities resolve through.
+    pub fn from_name(name: &str) -> Option<Vendor> {
+        Vendor::ALL.into_iter().find(|v| v.name() == name)
+    }
+
     /// The GPU behind this platform.
     pub fn gpu_name(self) -> &'static str {
         match self {

@@ -63,7 +63,9 @@ impl IrCounters {
             fingerprints_computed: self
                 .fingerprints_computed
                 .saturating_sub(earlier.fingerprints_computed),
-            equality_confirms: self.equality_confirms.saturating_sub(earlier.equality_confirms),
+            equality_confirms: self
+                .equality_confirms
+                .saturating_sub(earlier.equality_confirms),
             identity_transitions: self
                 .identity_transitions
                 .saturating_sub(earlier.identity_transitions),

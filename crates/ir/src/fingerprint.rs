@@ -48,9 +48,7 @@ impl fmt::Display for Fingerprint {
 ///
 /// [`FINGERPRINTS_COMPUTED`]: crate::counters::FINGERPRINTS_COMPUTED
 pub fn fingerprint(shader: &Shader) -> Fingerprint {
-    *shader
-        .fp_memo
-        .get_or_init(|| compute_fingerprint(shader))
+    *shader.fp_memo.get_or_init(|| compute_fingerprint(shader))
 }
 
 /// Computes the structural fingerprint from scratch, bypassing (and not

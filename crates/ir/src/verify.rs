@@ -287,8 +287,16 @@ fn verify_op(
                 .iter()
                 .map(|p| operand_ty(shader, p).map(|t| t.width).unwrap_or(1))
                 .sum();
-            if total != ty.width && parts.len() > 1 {
-                return Err(err(format!("construct of {ty} given {total} components")));
+            if parts.len() > 1 {
+                if total != ty.width {
+                    return Err(err(format!("construct of {ty} given {total} components")));
+                }
+            } else if total != ty.width && total != 1 {
+                // A single part is either a same-width copy or a scalar
+                // broadcast — a lone vec2 cannot build a vec4.
+                return Err(err(format!(
+                    "construct of {ty} from a single {total}-component part"
+                )));
             }
         }
         Op::Splat { ty, value } => {
@@ -341,15 +349,142 @@ fn verify_op(
                     return Err(err("select arms must have equal widths"));
                 }
             }
+            // The result is one of the arms, so the destination must carry
+            // whichever arm width is known.
+            if let Some(at) = tt.or(ft) {
+                if dst_ty.width != at.width {
+                    return Err(err(format!(
+                        "select arms have width {} but register {dst} is {dst_ty}",
+                        at.width
+                    )));
+                }
+            }
         }
         Op::Convert { to, .. } => {
             if *to != dst_ty {
                 return Err(err("convert target type must match destination"));
             }
         }
-        Op::Mov(_) | Op::Unary(..) | Op::Intrinsic(..) => {}
+        Op::Mov(src) => {
+            // A move is a bit copy: the destination type must match the
+            // source exactly (a retyped register cannot hide behind a Mov).
+            if let Some(st) = operand_ty(shader, src) {
+                if st != dst_ty {
+                    return Err(err(format!(
+                        "mov of {st} into register {dst} typed {dst_ty}"
+                    )));
+                }
+            }
+        }
+        Op::Unary(uop, a) => {
+            if let Some(at) = operand_ty(shader, a) {
+                if at.width != dst_ty.width {
+                    return Err(err(format!(
+                        "unary {uop:?} operand is {at} but register {dst} is {dst_ty}"
+                    )));
+                }
+                match uop {
+                    crate::op::UnaryOp::Not => {
+                        if !dst_ty.is_bool() || !at.is_bool() {
+                            return Err(err("logical not requires bool operand and result"));
+                        }
+                    }
+                    crate::op::UnaryOp::Neg => {
+                        if dst_ty.is_bool() {
+                            return Err(err("negation result cannot be bool"));
+                        }
+                    }
+                }
+            }
+        }
+        Op::Intrinsic(intr, args) => {
+            let arity = intrinsic_arity(*intr);
+            if args.len() != arity {
+                return Err(err(format!(
+                    "{} takes {arity} arguments, got {}",
+                    intr.glsl_name(),
+                    args.len()
+                )));
+            }
+            use crate::op::Intrinsic as I;
+            match intr {
+                // Reductions produce a scalar whatever the operand width.
+                I::Length | I::Distance | I::Dot if !dst_ty.is_scalar() => {
+                    return Err(err(format!(
+                        "{} result must be scalar, register {dst} is {dst_ty}",
+                        intr.glsl_name()
+                    )));
+                }
+                I::Cross if dst_ty.width != 3 => {
+                    return Err(err(format!(
+                        "cross result must be a 3-vector, register {dst} is {dst_ty}"
+                    )));
+                }
+                I::Length | I::Distance | I::Dot | I::Cross => {}
+                // Componentwise single-argument intrinsics preserve their
+                // operand's width.
+                I::Exp
+                | I::Log
+                | I::Sqrt
+                | I::InverseSqrt
+                | I::Sin
+                | I::Cos
+                | I::Abs
+                | I::Sign
+                | I::Floor
+                | I::Fract
+                | I::Normalize
+                | I::DFdx
+                | I::DFdy
+                | I::Fwidth => {
+                    if let Some(at) = operand_ty(shader, &args[0]) {
+                        if at.width != dst_ty.width {
+                            return Err(err(format!(
+                                "{} of {at} cannot produce register {dst} typed {dst_ty}",
+                                intr.glsl_name()
+                            )));
+                        }
+                    }
+                }
+                // Multi-argument componentwise intrinsics allow scalar
+                // broadcasting in some positions, so only arity is checked.
+                _ => {}
+            }
+        }
     }
     Ok(())
+}
+
+/// Argument count of each intrinsic (the GLSL builtin signature).
+fn intrinsic_arity(intr: crate::op::Intrinsic) -> usize {
+    use crate::op::Intrinsic as I;
+    match intr {
+        I::Exp
+        | I::Log
+        | I::Sqrt
+        | I::InverseSqrt
+        | I::Sin
+        | I::Cos
+        | I::Abs
+        | I::Sign
+        | I::Floor
+        | I::Fract
+        | I::Length
+        | I::Normalize
+        | I::DFdx
+        | I::DFdy
+        | I::Fwidth => 1,
+        I::Pow
+        | I::Mod
+        | I::Min
+        | I::Max
+        | I::Step
+        | I::Distance
+        | I::Dot
+        | I::Cross
+        | I::Reflect => 2,
+        I::Clamp | I::Mix | I::Smoothstep | I::Refract => 3,
+    }
 }
 
 #[cfg(test)]

@@ -464,6 +464,41 @@ pub fn fig_serve(rows: &[ServeRow]) -> String {
     out
 }
 
+/// Static-analysis rank agreement (beyond the paper, but in its spirit:
+/// §III characterises shaders with ARM's offline static analyser): per
+/// platform × shader, how closely the static cost model's variant ranking
+/// tracks the measured ranking, as a normalised Spearman-footrule agreement
+/// in `[0, 1]` (1 = identical order, 0 = reversed). This is the evidence
+/// table behind the search tenant's static prefilter.
+pub fn fig_static(rows: &[prism_search::StaticRankRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Static cost model — rank agreement vs measured frame times"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:<16} {:>8} {:>9} {:>10}",
+        "platform", "shader", "variants", "footrule", "agreement"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<16} {:>8} {:>9.1} {:>9.0}%",
+            row.vendor,
+            row.shader,
+            row.variants,
+            row.footrule,
+            row.agreement * 100.0,
+        );
+    }
+    if !rows.is_empty() {
+        let mean = rows.iter().map(|r| r.agreement).sum::<f64>() / rows.len() as f64;
+        let _ = writeln!(out, "  {:<36} mean agreement {:>5.0}%", "", mean * 100.0);
+    }
+    out
+}
+
 /// Source-form routing report (beyond the paper): which emission backend
 /// each platform's driver consumed and which source-form version token the
 /// driver front-end reported parsing — the end-to-end evidence that one
@@ -669,6 +704,7 @@ mod tests {
                     budget: 63,
                     mean_compiles: 12.0,
                     max_compiles: 12,
+                    candidates_pruned: 0,
                     mean_speedup: 20.0,
                     oracle_mean_speedup: 25.0,
                     default_mean_speedup: 15.0,
@@ -697,6 +733,7 @@ mod tests {
             budget: 63,
             mean_compiles: 20.0,
             max_compiles: 20,
+            candidates_pruned: 0,
             mean_speedup: 24.0,
             oracle_mean_speedup: 25.0,
             default_mean_speedup: 15.0,
@@ -712,6 +749,7 @@ mod tests {
             budget: 63,
             mean_compiles: 10.0,
             max_compiles: 10,
+            candidates_pruned: 0,
             mean_speedup: 18.0,
             oracle_mean_speedup: 25.0,
             default_mean_speedup: 15.0,
@@ -802,5 +840,32 @@ mod tests {
         assert!(text.contains("cold"), "{text}");
         assert!(text.contains("warm boot"), "{text}");
         assert!(text.contains("597"), "{text}");
+    }
+
+    #[test]
+    fn fig_static_renders_agreement_rows_and_their_mean() {
+        let rows = vec![
+            prism_search::StaticRankRow {
+                vendor: "ARM".into(),
+                shader: "blur".into(),
+                variants: 8,
+                footrule: 8.0,
+                agreement: 0.75,
+            },
+            prism_search::StaticRankRow {
+                vendor: "Apple".into(),
+                shader: "blur".into(),
+                variants: 8,
+                footrule: 0.0,
+                agreement: 1.0,
+            },
+        ];
+        let text = fig_static(&rows);
+        assert!(text.contains("Static cost model"), "{text}");
+        assert!(text.contains("ARM"), "{text}");
+        assert!(text.contains("75%"), "{text}");
+        assert!(text.contains("mean agreement"), "{text}");
+        assert!(text.contains("88%"), "{text}");
+        assert_eq!(fig_static(&[]).lines().count(), 2, "header only when empty");
     }
 }

@@ -327,7 +327,11 @@ mod tests {
         budget: usize,
     ) -> SearchDriver<'a> {
         SearchDriver::over(
-            Box::new(OracleEvaluator::new(session, record, BackendKind::DesktopGlsl)),
+            Box::new(OracleEvaluator::new(
+                session,
+                record,
+                BackendKind::DesktopGlsl,
+            )),
             budget,
         )
     }
@@ -378,7 +382,8 @@ mod tests {
             strategy.run(&driver);
             let outcome = driver.outcome(strategy.name());
             assert_eq!(
-                outcome.best_ns, 850.0,
+                outcome.best_ns,
+                850.0,
                 "{} missed the optimum: {outcome:?}",
                 strategy.name()
             );
@@ -405,7 +410,10 @@ mod tests {
 
     #[test]
     fn checkpoints_are_powers_of_two_up_to_the_budget() {
-        assert_eq!(RegretTracker::checkpoints_for(63), vec![1, 2, 4, 8, 16, 32, 63]);
+        assert_eq!(
+            RegretTracker::checkpoints_for(63),
+            vec![1, 2, 4, 8, 16, 32, 63]
+        );
         assert_eq!(RegretTracker::checkpoints_for(8), vec![1, 2, 4, 8]);
         assert_eq!(RegretTracker::checkpoints_for(1), vec![1]);
         assert_eq!(RegretTracker::checkpoints_for(0), vec![1]);

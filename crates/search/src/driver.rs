@@ -67,6 +67,13 @@ pub struct SearchConfig {
     pub seed: u64,
     /// Restart count for [`RandomRestartHillClimb`].
     pub restarts: usize,
+    /// Static-prefilter mode (default off): live evaluators skip the timing
+    /// measurement of candidates whose static cost model estimate is
+    /// strictly dominated by an already-measured arm's. Counter-gated —
+    /// pruned arms are logged in
+    /// [`EvalCost::candidates_pruned`](crate::evaluator::EvalCost) and
+    /// [`SearchRecord::candidates_pruned`] — never silently lossy.
+    pub static_prefilter: bool,
 }
 
 impl Default for SearchConfig {
@@ -75,6 +82,7 @@ impl Default for SearchConfig {
             budget: 63,
             seed: 0x5EED_CAFE,
             restarts: 3,
+            static_prefilter: false,
         }
     }
 }
@@ -95,6 +103,12 @@ impl SearchConfig {
     /// This config with a different hill-climb restart count.
     pub fn with_restarts(mut self, restarts: usize) -> SearchConfig {
         self.restarts = restarts;
+        self
+    }
+
+    /// This config with the static prefilter switched on or off.
+    pub fn with_static_prefilter(mut self, on: bool) -> SearchConfig {
+        self.static_prefilter = on;
         self
     }
 }
@@ -480,6 +494,7 @@ pub fn incremental_search_records(
     struct Acc {
         shaders: usize,
         compiles: usize,
+        pruned: usize,
         max_compiles: usize,
         speedup_sum: f64,
         oracle_sum: f64,
@@ -528,6 +543,10 @@ pub fn incremental_search_records(
                 let acc = accs.entry(key).or_default();
                 acc.shaders += 1;
                 acc.compiles += outcome.compiles;
+                // Always 0 in oracle mode (the prefilter only gates live
+                // measurements), but wired through so live-mode aggregation
+                // reports its pruning honestly.
+                acc.pruned += driver.cost().candidates_pruned;
                 acc.max_compiles = acc.max_compiles.max(outcome.compiles);
                 acc.speedup_sum += percent_speedup(record.original_ns, outcome.best_ns);
                 acc.oracle_sum += record.best_speedup_vs_original();
@@ -555,6 +574,7 @@ pub fn incremental_search_records(
                 shaders: acc.shaders,
                 budget: search.budget,
                 mean_compiles: acc.compiles as f64 / n,
+                candidates_pruned: acc.pruned,
                 max_compiles: acc.max_compiles,
                 mean_speedup: acc.speedup_sum / n,
                 oracle_mean_speedup: acc.oracle_sum / n,
@@ -640,7 +660,11 @@ mod tests {
         budget: usize,
     ) -> SearchDriver<'a> {
         SearchDriver::over(
-            Box::new(OracleEvaluator::new(session, record, BackendKind::DesktopGlsl)),
+            Box::new(OracleEvaluator::new(
+                session,
+                record,
+                BackendKind::DesktopGlsl,
+            )),
             budget,
         )
     }

@@ -44,6 +44,10 @@ pub struct EvalCost {
     pub measurements: usize,
     /// Total frames sampled across those measurements.
     pub measured_frames: usize,
+    /// Candidates whose measurement was skipped because the static cost
+    /// model ranked them strictly behind an already-measured arm (the
+    /// static prefilter; 0 when the prefilter is off or in oracle mode).
+    pub candidates_pruned: usize,
 }
 
 /// A source of frame times for flag combinations — the thing a
@@ -142,6 +146,13 @@ impl Evaluator for OracleEvaluator<'_> {
 /// text the serving plane already emitted costs a refcount bump, not a copy.
 pub type CompileHandle<'a> = Box<dyn Fn(OptFlags) -> Result<Arc<str>, String> + 'a>;
 
+/// The static-cost hook a [`LiveEvaluator`] prefilters through: maps a flag
+/// combination to the static cost model's estimated cycles for the variant
+/// it produces (typically `prism_serve::CompileService::analyze`, so the
+/// walk is memoised per `(fingerprint, personality)` in the corpus cache).
+/// `None` means "no static estimate" — the candidate is measured normally.
+pub type StaticCostHook<'a> = Box<dyn Fn(OptFlags) -> Option<f64> + 'a>;
+
 /// The measurement-in-the-loop evaluator: compile through a shared handle,
 /// submit to the platform's driver, time with the harness. Every evaluation
 /// spends real (simulated) device time, tracked in the ledger — the driver's
@@ -154,6 +165,10 @@ pub struct LiveEvaluator<'a> {
     measure: MeasureConfig,
     stream: u64,
     warm: Option<OptFlags>,
+    static_cost: Option<StaticCostHook<'a>>,
+    /// Best measured arm so far as (measured ns, static cost) — the
+    /// incumbent the prefilter compares candidates against.
+    incumbent: RefCell<Option<(f64, f64)>>,
     ledger: RefCell<EvalCost>,
 }
 
@@ -177,6 +192,8 @@ impl<'a> LiveEvaluator<'a> {
             measure,
             stream,
             warm: None,
+            static_cost: None,
+            incumbent: RefCell::new(None),
             ledger: RefCell::new(EvalCost::default()),
         }
     }
@@ -187,13 +204,27 @@ impl<'a> LiveEvaluator<'a> {
         self.warm = Some(flags);
         self
     }
-}
 
-impl Evaluator for LiveEvaluator<'_> {
-    fn evaluate(&self, flags: OptFlags) -> Option<f64> {
-        let text = (self.compile)(flags).ok()?;
-        self.ledger.borrow_mut().compiles += 1;
-        let cost = self.platform.submit(&text, &self.shader).ok()?;
+    /// Installs the static prefilter: before spending a timing measurement
+    /// on a candidate, ask `hook` for its static cost and — once at least
+    /// one arm has been measured — skip candidates whose static cost is at
+    /// or above the best measured arm's. A pruned candidate
+    /// still compiles (the hook needs the optimized IR) but costs zero
+    /// measurements; it reports a *pessimistic* predicted time, scaled above
+    /// the incumbent by the static-cost ratio, so the deploy-now choice can
+    /// never land on an arm nobody measured. The warm-start set and the
+    /// LunarGlass default are exempt — the quality floor both the search
+    /// table and the tune tenant assert against is always truly measured.
+    pub fn with_static_prefilter(mut self, hook: StaticCostHook<'a>) -> LiveEvaluator<'a> {
+        self.static_cost = Some(hook);
+        self
+    }
+
+    /// Measures `text` under this evaluator's deterministic noise stream and
+    /// updates the ledger (and the prefilter incumbent, when `static_cost`
+    /// carries the candidate's static estimate).
+    fn measure(&self, text: &str, flags: OptFlags, static_cost: Option<f64>) -> Option<f64> {
+        let cost = self.platform.submit(text, &self.shader).ok()?;
         // One stream per flag combination (mirroring the sweep's
         // per-variant streams), so re-tuning reproduces byte-identical
         // measurements.
@@ -202,7 +233,46 @@ impl Evaluator for LiveEvaluator<'_> {
         let mut ledger = self.ledger.borrow_mut();
         ledger.measurements += 1;
         ledger.measured_frames += m.samples;
+        if let Some(s) = static_cost {
+            let mut incumbent = self.incumbent.borrow_mut();
+            if incumbent.is_none_or(|(best_ns, _)| m.mean_ns < best_ns) {
+                *incumbent = Some((m.mean_ns, s));
+            }
+        }
         Some(m.mean_ns)
+    }
+}
+
+impl Evaluator for LiveEvaluator<'_> {
+    fn evaluate(&self, flags: OptFlags) -> Option<f64> {
+        let text = (self.compile)(flags).ok()?;
+        self.ledger.borrow_mut().compiles += 1;
+        let Some(hook) = &self.static_cost else {
+            return self.measure(&text, flags, None);
+        };
+        let Some(s) = hook(flags) else {
+            // No static estimate for this candidate: measure it normally
+            // (but it cannot seed the incumbent without a static cost).
+            return self.measure(&text, flags, None);
+        };
+        let exempt = Some(flags) == self.warm || flags == OptFlags::lunarglass_default();
+        if !exempt {
+            if let Some((best_ns, best_static)) = *self.incumbent.borrow() {
+                if s >= best_static && best_static > 0.0 {
+                    // Statically dominated (at-or-above the incumbent: equal
+                    // static cost almost always means the flags collapsed to
+                    // the incumbent's own optimized variant, and re-timing it
+                    // under a fresh noise stream buys nothing): skip the
+                    // measurement and report a prediction strictly worse
+                    // than the incumbent, so neither the strategy's
+                    // best-seen nor the prefix-best deploy choice can select
+                    // an unmeasured arm.
+                    self.ledger.borrow_mut().candidates_pruned += 1;
+                    return Some(best_ns * (s / best_static) * (1.0 + 1e-9));
+                }
+            }
+        }
+        self.measure(&text, flags, Some(s))
     }
 
     fn context_seed(&self) -> u64 {
@@ -252,7 +322,10 @@ mod tests {
         assert_eq!(a_cost, b_cost);
         assert_eq!(a_cost.compiles, 2);
         assert_eq!(a_cost.measurements, 2);
-        assert_eq!(a_cost.measured_frames, 2 * MeasureConfig::quick().total_frames());
+        assert_eq!(
+            a_cost.measured_frames,
+            2 * MeasureConfig::quick().total_frames()
+        );
         assert!(a_none > 0.0 && a_all > 0.0);
     }
 
@@ -263,6 +336,42 @@ mod tests {
         let eval = LiveEvaluator::new(compile, &platform, "down", MeasureConfig::quick());
         assert!(eval.evaluate(OptFlags::NONE).is_none());
         assert_eq!(eval.cost(), EvalCost::default());
+    }
+
+    #[test]
+    fn static_prefilter_skips_dominated_candidates_but_measures_exempt_arms() {
+        let session = live_session();
+        let platform = Platform::new(Vendor::Amd);
+        let compile: CompileHandle = Box::new(|flags| {
+            session
+                .text_for(flags, BackendKind::DesktopGlsl)
+                .map_err(|e| e.to_string())
+        });
+        // Synthetic static model: every extra flag costs more cycles, so
+        // anything beyond the empty set is statically dominated.
+        let hook: StaticCostHook = Box::new(|flags| Some(1.0 + flags.len() as f64));
+        let eval = LiveEvaluator::new(compile, &platform, "prefilter", MeasureConfig::quick())
+            .with_static_prefilter(hook);
+
+        let t_none = eval.evaluate(OptFlags::NONE).unwrap();
+        // Dominated: pruned with a pessimistic prediction strictly above the
+        // incumbent, and no timing measurement spent.
+        let t_all = eval.evaluate(OptFlags::all()).unwrap();
+        assert!(
+            t_all > t_none,
+            "pruned arm must predict worse: {t_all} vs {t_none}"
+        );
+        // The LunarGlass default is exempt: measured even though dominated.
+        let t_default = eval.evaluate(OptFlags::lunarglass_default()).unwrap();
+        assert!(t_default > 0.0);
+
+        let cost = eval.cost();
+        assert_eq!(cost.compiles, 3, "pruned arms still compile");
+        assert_eq!(
+            cost.measurements, 2,
+            "only the undominated + exempt arms measure"
+        );
+        assert_eq!(cost.candidates_pruned, 1);
     }
 
     #[test]

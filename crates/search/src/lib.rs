@@ -33,6 +33,7 @@ pub mod evaluator;
 pub mod per_flag;
 pub mod policies;
 pub mod results;
+pub mod static_rank;
 pub mod sweep;
 
 pub use applicability::{flag_applicability, FlagApplicability};
@@ -41,12 +42,16 @@ pub use driver::{
     incremental_search_records, standard_strategies, Ablation, GreedyBackward, GreedyForward,
     RandomRestartHillClimb, SearchConfig, SearchDriver, SearchOutcome, SearchStrategy,
 };
-pub use evaluator::{CompileHandle, EvalCost, Evaluator, LiveEvaluator, OracleEvaluator};
+pub use evaluator::{
+    CompileHandle, EvalCost, Evaluator, LiveEvaluator, OracleEvaluator, StaticCostHook,
+};
 pub use per_flag::{all_flag_impacts, flag_impact, FlagImpact};
 pub use policies::{
     best_static_flags, mean_speedup, minimal_best_static, per_shader_speedups, platform_summaries,
     top_n_mean_best, top_n_speedups, PlatformSummary, Policy,
 };
+pub use static_rank::{footrule_agreement, static_agreement_rows, StaticRankRow};
+
 pub use results::{
     percent_speedup, SearchRecord, ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults,
     VariantRecord,

@@ -216,6 +216,10 @@ pub struct SearchRecord {
     /// Mean distinct flag combinations compiled per shader (the exhaustive
     /// study compiles all 256).
     pub mean_compiles: f64,
+    /// Candidates whose measurement the static prefilter skipped, summed
+    /// over shaders (always 0 in oracle mode and with the prefilter off —
+    /// the counter that keeps pruning pinned, never silently lossy).
+    pub candidates_pruned: usize,
     /// The largest per-shader compile count observed (must be ≤ `budget`).
     pub max_compiles: usize,
     /// Mean percentage speed-up (vs the original shader) of the best
@@ -249,6 +253,10 @@ impl serde::Serialize for SearchRecord {
             ("shaders".to_string(), self.shaders.to_value()),
             ("budget".to_string(), self.budget.to_value()),
             ("mean_compiles".to_string(), self.mean_compiles.to_value()),
+            (
+                "candidates_pruned".to_string(),
+                self.candidates_pruned.to_value(),
+            ),
             ("max_compiles".to_string(), self.max_compiles.to_value()),
             ("mean_speedup".to_string(), self.mean_speedup.to_value()),
             (
@@ -288,12 +296,18 @@ impl serde::Deserialize for SearchRecord {
             Some(value) => serde::Deserialize::from_value(value)?,
             None => 0.0,
         };
+        // Pre-prefilter reports never pruned; absent means 0.
+        let candidates_pruned = match v.get("candidates_pruned") {
+            Some(value) => serde::Deserialize::from_value(value)?,
+            None => 0,
+        };
         Ok(SearchRecord {
             vendor: serde::Deserialize::from_value(field("vendor")?)?,
             strategy: serde::Deserialize::from_value(field("strategy")?)?,
             shaders: serde::Deserialize::from_value(field("shaders")?)?,
             budget: serde::Deserialize::from_value(field("budget")?)?,
             mean_compiles: serde::Deserialize::from_value(field("mean_compiles")?)?,
+            candidates_pruned,
             max_compiles: serde::Deserialize::from_value(field("max_compiles")?)?,
             mean_speedup: serde::Deserialize::from_value(field("mean_speedup")?)?,
             oracle_mean_speedup: serde::Deserialize::from_value(field("oracle_mean_speedup")?)?,
@@ -409,6 +423,22 @@ impl serde::Serialize for CacheRecord {
                 "coalesced_requests".to_string(),
                 num(self.stats.coalesced_requests),
             ),
+            (
+                "static_analyses".to_string(),
+                num(self.stats.static_analyses),
+            ),
+            (
+                "analysis_memo_hits".to_string(),
+                num(self.stats.analysis_memo_hits),
+            ),
+            (
+                "warm_analysis_hits".to_string(),
+                num(self.stats.warm_analysis_hits),
+            ),
+            (
+                "warm_verify_rejects".to_string(),
+                num(self.stats.warm_verify_rejects),
+            ),
         ]);
         serde::Value::Obj(fields)
     }
@@ -472,6 +502,11 @@ impl serde::Deserialize for CacheRecord {
                 // same absent-key-means-0 compatibility applies.
                 routed_requests: warm_count("routed_requests")?,
                 coalesced_requests: warm_count("coalesced_requests")?,
+                // The static-analysis plane postdates the serving counters.
+                static_analyses: warm_count("static_analyses")?,
+                analysis_memo_hits: warm_count("analysis_memo_hits")?,
+                warm_analysis_hits: warm_count("warm_analysis_hits")?,
+                warm_verify_rejects: warm_count("warm_verify_rejects")?,
             },
         })
     }
@@ -663,6 +698,10 @@ mod tests {
                     warm_entries_skipped: 2,
                     routed_requests: 9,
                     coalesced_requests: 4,
+                    static_analyses: 7,
+                    analysis_memo_hits: 3,
+                    warm_analysis_hits: 2,
+                    warm_verify_rejects: 1,
                 },
             },
             search: vec![SearchRecord {
@@ -671,6 +710,7 @@ mod tests {
                 shaders: 1,
                 budget: 63,
                 mean_compiles: 19.0,
+                candidates_pruned: 5,
                 max_compiles: 19,
                 mean_speedup: 18.5,
                 oracle_mean_speedup: 20.0,
@@ -726,6 +766,8 @@ mod tests {
         assert!(record.regret_checkpoints.is_empty());
         assert!(record.mean_regret.is_empty());
         assert_eq!(record.regret_final, 0.0);
+        // Ditto the prefilter counter, which postdates the regret curve.
+        assert_eq!(record.candidates_pruned, 0);
     }
 
     #[test]
@@ -737,6 +779,8 @@ mod tests {
         assert_eq!(record.stats.stage_runs, 7);
         assert_eq!(record.stats.warm_stage_hits, 0);
         assert_eq!(record.stats.warm_shards_skipped, 0);
+        assert_eq!(record.stats.static_analyses, 0);
+        assert_eq!(record.stats.warm_verify_rejects, 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 //! assert_eq!(second.work.latency(), 0);
 //! ```
 
+pub mod analyze;
 pub mod load;
 pub mod service;
 pub mod tune;

@@ -35,6 +35,7 @@ use prism_core::{
 };
 use prism_emit::{BackendChain, BackendKind};
 use prism_glsl::ShaderInterface;
+use prism_gpu::Vendor;
 use prism_ir::fingerprint::{fingerprint, Fingerprint};
 use prism_ir::verify::verify;
 use std::collections::{HashMap, VecDeque};
@@ -137,7 +138,8 @@ pub enum RequestTarget {
     Named(String),
 }
 
-/// One compile request: source text, flag combination, emission target.
+/// One compile request: source text, flag combination, emission target, and
+/// an optional static-analysis personality whose report rides the response.
 #[derive(Debug, Clone)]
 pub struct CompileRequest {
     /// GLSL source text.
@@ -146,6 +148,10 @@ pub struct CompileRequest {
     pub flags: OptFlags,
     /// Emission target.
     pub target: RequestTarget,
+    /// When set, the response also carries the platform personality's
+    /// static-analysis report (cost model + lints) for the optimized IR,
+    /// memoised per `(fingerprint, personality)` exactly like emitted text.
+    pub analyze: Option<Vendor>,
 }
 
 impl CompileRequest {
@@ -155,6 +161,7 @@ impl CompileRequest {
             source: source.into(),
             flags,
             target: RequestTarget::Kind(backend),
+            analyze: None,
         }
     }
 
@@ -164,17 +171,19 @@ impl CompileRequest {
             source: source.into(),
             flags,
             target: RequestTarget::Named(form.to_string()),
+            analyze: None,
         }
     }
 
     /// A builder over `source` — the one construction path the tune
     /// endpoint, the load generator and the demo binary share. Defaults: no
-    /// flags, desktop GLSL.
+    /// flags, desktop GLSL, no analysis.
     pub fn builder(source: impl Into<String>) -> CompileRequestBuilder {
         CompileRequestBuilder {
             source: source.into(),
             flags: OptFlags::NONE,
             target: RequestTarget::Kind(BackendKind::DesktopGlsl),
+            analyze: None,
         }
     }
 }
@@ -185,6 +194,7 @@ pub struct CompileRequestBuilder {
     source: String,
     flags: OptFlags,
     target: RequestTarget,
+    analyze: Option<Vendor>,
 }
 
 impl CompileRequestBuilder {
@@ -206,12 +216,20 @@ impl CompileRequestBuilder {
         self
     }
 
+    /// Also requests the platform personality's static-analysis report
+    /// (default: none).
+    pub fn analyze(mut self, vendor: Vendor) -> CompileRequestBuilder {
+        self.analyze = Some(vendor);
+        self
+    }
+
     /// Finishes the request.
     pub fn build(self) -> CompileRequest {
         CompileRequest {
             source: self.source,
             flags: self.flags,
             target: self.target,
+            analyze: self.analyze,
         }
     }
 }
@@ -290,15 +308,21 @@ pub struct CompileResponse {
     /// `true` when the body was answered by the emission memo (no emitter
     /// ran for this request).
     pub zero_copy: bool,
+    /// The requested personality's static-analysis report as machine-
+    /// readable JSON (`prism_analyze::StaticReport::from_json` parses it) —
+    /// the analysis memo's shared handle, present iff the request set
+    /// [`CompileRequest::analyze`].
+    pub analysis: Option<Arc<str>>,
 }
 
-/// Singleflight key: requests agreeing on all three coalesce onto one
+/// Singleflight key: requests agreeing on all four coalesce onto one
 /// compile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct FlightKey {
     fp: Fingerprint,
     flags: OptFlags,
     backend: BackendKind,
+    analyze: Option<Vendor>,
 }
 
 /// What a completed flight hands every merged request.
@@ -308,6 +332,7 @@ struct Served {
     fp: Fingerprint,
     work: RequestWork,
     zero_copy: bool,
+    analysis: Option<Arc<str>>,
 }
 
 /// One in-flight compile. `state` moves `None → Some(result)` exactly once;
@@ -402,6 +427,8 @@ struct Counters {
     tune_requests: AtomicUsize,
     tune_measurements: AtomicUsize,
     search_compiles: AtomicUsize,
+    search_candidates_pruned: AtomicUsize,
+    lints_emitted: AtomicUsize,
     // The last completed tune's regret, in milli-percentage-points (an
     // integer so `ServiceStats` stays `Eq`); not monotonic.
     tune_regret_x1000: AtomicUsize,
@@ -439,6 +466,13 @@ pub struct ServiceStats {
     /// tune passes (each went through route → coalesce → batch → memo like
     /// any serving request).
     pub search_compiles: usize,
+    /// Search candidates whose timing measurement was skipped because the
+    /// static prefilter found their static cost dominated by an already-
+    /// measured arm (across all tune passes).
+    pub search_candidates_pruned: usize,
+    /// Lints produced by fresh static analyses (memo-served reports do not
+    /// re-count their lints — this tracks analysis work, not report reads).
+    pub lints_emitted: usize,
     /// The last completed oracle-scored tune's final regret, in
     /// milli-percentage-points behind the exhaustive best (0 when no
     /// oracle-scored tune ran). Integer so this snapshot stays `Eq`.
@@ -484,6 +518,11 @@ impl CompileService {
             Some(budget) => CorpusCache::bounded(budget),
             None => CorpusCache::new(),
         });
+        // Register the analysis personalities this service can answer for
+        // BEFORE warm-starting: persisted analysis entries keyed by an
+        // unknown personality are skipped (and counted) at load time.
+        let personalities: Vec<&str> = Vendor::ALL.iter().map(|v| v.name()).collect();
+        cache.register_personalities(&personalities);
         if let Some(dir) = &config.warm_start_dir {
             cache.load(dir);
         }
@@ -547,6 +586,8 @@ impl CompileService {
             tune_requests: c.tune_requests.load(Ordering::Relaxed),
             measurements_taken: c.tune_measurements.load(Ordering::Relaxed),
             search_compiles: c.search_compiles.load(Ordering::Relaxed),
+            search_candidates_pruned: c.search_candidates_pruned.load(Ordering::Relaxed),
+            lints_emitted: c.lints_emitted.load(Ordering::Relaxed),
             tune_regret_x1000: c.tune_regret_x1000.load(Ordering::Relaxed),
             cache: self.inner.cache.stats(),
         }
@@ -603,6 +644,7 @@ impl CompileService {
         best_flags: OptFlags,
         measurements: usize,
         search_compiles: usize,
+        candidates_pruned: usize,
         regret_x1000: Option<usize>,
     ) {
         {
@@ -612,8 +654,12 @@ impl CompileService {
         }
         let c = &self.inner.counters;
         c.tune_requests.fetch_add(1, Ordering::Relaxed);
-        c.tune_measurements.fetch_add(measurements, Ordering::Relaxed);
-        c.search_compiles.fetch_add(search_compiles, Ordering::Relaxed);
+        c.tune_measurements
+            .fetch_add(measurements, Ordering::Relaxed);
+        c.search_compiles
+            .fetch_add(search_compiles, Ordering::Relaxed);
+        c.search_candidates_pruned
+            .fetch_add(candidates_pruned, Ordering::Relaxed);
         if let Some(regret) = regret_x1000 {
             c.tune_regret_x1000.store(regret, Ordering::Relaxed);
         }
@@ -683,6 +729,7 @@ impl Inner {
             fp: front.base.fp,
             flags: request.flags,
             backend,
+            analyze: request.analyze,
         };
 
         let (flight, leader) = {
@@ -727,6 +774,7 @@ impl Inner {
             work: served.work,
             coalesced: !leader,
             zero_copy: served.zero_copy,
+            analysis: served.analysis,
         })
     }
 
@@ -956,11 +1004,39 @@ impl Inner {
                 (text, false)
             }
         };
+        // The analysis rides the same memo discipline as emitted text: one
+        // walk of the optimized IR per distinct `(fingerprint, personality)`,
+        // then shared `Arc` handles forever (including across warm restarts).
+        let analysis = match job.key.analyze {
+            None => None,
+            Some(vendor) => {
+                let personality = vendor.name();
+                match self.cache.analysis(self.session, personality, &state) {
+                    Some(json) => Some(json),
+                    None => {
+                        let report = prism_analyze::analyze(&state.ir, vendor);
+                        self.counters
+                            .lints_emitted
+                            .fetch_add(report.lints.len(), Ordering::Relaxed);
+                        let json: Arc<str> =
+                            Arc::from(report.to_json().map_err(ServeError::Compile)?.as_str());
+                        self.cache.record_analysis(
+                            self.session,
+                            personality,
+                            &state,
+                            Arc::clone(&json),
+                        );
+                        Some(json)
+                    }
+                }
+            }
+        };
         Ok(Served {
             text,
             fp: state.fp,
             work,
             zero_copy,
+            analysis,
         })
     }
 

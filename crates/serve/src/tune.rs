@@ -33,7 +33,7 @@ use prism_gpu::{Platform, Vendor};
 use prism_harness::MeasureConfig;
 use prism_search::{
     CompileHandle, EpsilonGreedy, LiveEvaluator, RegretTracker, SearchDriver, SearchStrategy,
-    ShaderPlatformRecord, Ucb1,
+    ShaderPlatformRecord, StaticCostHook, Ucb1,
 };
 
 /// Which bandit drives a tune pass.
@@ -69,6 +69,13 @@ pub struct TuneSpec {
     pub family: Option<String>,
     /// The bandit to run.
     pub strategy: TuneStrategy,
+    /// When `true`, candidates whose static cost
+    /// ([`CompileService::analyze`]) is dominated by an already-measured
+    /// arm skip their timing measurement (the warm start and the LunarGlass
+    /// default are always truly measured). Pruned arms are counted in
+    /// [`TuneOutcome::candidates_pruned`] and
+    /// [`ServiceStats::search_candidates_pruned`](crate::ServiceStats).
+    pub static_prefilter: bool,
 }
 
 impl TuneSpec {
@@ -82,6 +89,7 @@ impl TuneSpec {
             measure: MeasureConfig::quick(),
             family: None,
             strategy: TuneStrategy::Ucb1 { exploration: 1.5 },
+            static_prefilter: false,
         }
     }
 
@@ -114,6 +122,12 @@ impl TuneSpec {
         self.strategy = strategy;
         self
     }
+
+    /// This spec with the static-cost prefilter switched on or off.
+    pub fn with_static_prefilter(mut self, on: bool) -> TuneSpec {
+        self.static_prefilter = on;
+        self
+    }
 }
 
 /// What one tune pass found and spent.
@@ -134,6 +148,9 @@ pub struct TuneOutcome {
     pub measured_frames: usize,
     /// Distinct combinations compiled through the service.
     pub search_compiles: usize,
+    /// Candidates whose timing measurement the static prefilter skipped
+    /// (always 0 with [`TuneSpec::static_prefilter`] off).
+    pub candidates_pruned: usize,
     /// The budget the driver enforced.
     pub budget: usize,
     /// The combination the bandit evaluated first (the family's best-known
@@ -201,8 +218,20 @@ impl CompileService {
         // name the front stage gives the IR — so re-tuning the same text
         // reproduces byte-identical noise streams.
         let shader_name = crate::service::source_name(source);
-        let evaluator = LiveEvaluator::new(compile, &platform, shader_name, spec.measure)
-            .with_warm_start(warm);
+        let mut evaluator =
+            LiveEvaluator::new(compile, &platform, shader_name, spec.measure).with_warm_start(warm);
+        if spec.static_prefilter {
+            // Per-candidate static cost through the service's analysis path:
+            // memoised per (fingerprint, personality), so a candidate that
+            // collapses to an already-analysed optimized form costs a memo
+            // hit, not a walk.
+            let hook: StaticCostHook = Box::new(move |flags| {
+                self.analyze(source, flags, spec.vendor)
+                    .ok()
+                    .map(|report| report.cost.estimated_cycles)
+            });
+            evaluator = evaluator.with_static_prefilter(hook);
+        }
         let driver = SearchDriver::over(Box::new(evaluator), spec.budget);
 
         let strategy: Box<dyn SearchStrategy> = match spec.strategy {
@@ -229,12 +258,19 @@ impl CompileService {
         };
 
         let cost = driver.cost();
-        let regret =
-            oracle.map(|record| RegretTracker::from_log(&driver.evaluation_log(), record, spec.budget));
+        let regret = oracle
+            .map(|record| RegretTracker::from_log(&driver.evaluation_log(), record, spec.budget));
         let regret_x1000 = regret
             .as_ref()
             .map(|r| (r.final_regret().max(0.0) * 1000.0).round() as usize);
-        self.record_tune(&family, best_flags, cost.measurements, cost.compiles, regret_x1000);
+        self.record_tune(
+            &family,
+            best_flags,
+            cost.measurements,
+            cost.compiles,
+            cost.candidates_pruned,
+            regret_x1000,
+        );
 
         Ok(TuneOutcome {
             vendor: spec.vendor.name().to_string(),
@@ -244,6 +280,7 @@ impl CompileService {
             measurements_taken: cost.measurements,
             measured_frames: cost.measured_frames,
             search_compiles: cost.compiles,
+            candidates_pruned: cost.candidates_pruned,
             budget: spec.budget,
             warm_start: warm,
             regret,
@@ -338,6 +375,33 @@ mod tests {
         assert!(matches!(err, ServeError::Frontend(_)), "{err:?}");
         // A failed tune records nothing.
         assert_eq!(service.stats().tune_requests, 0);
+    }
+
+    #[test]
+    fn static_prefilter_accounting_is_deterministic_and_consistent() {
+        let spec = TuneSpec::new(Vendor::Amd)
+            .with_budget(12)
+            .with_static_prefilter(true);
+        let run = || {
+            let service = CompileService::new(ServeConfig::default());
+            let outcome = service.tune_spec(SHADER, &spec, None).unwrap();
+            let stats = service.stats();
+            (outcome, stats)
+        };
+        let (a, a_stats) = run();
+        let (b, b_stats) = run();
+        assert_eq!(a, b, "prefilter tunes must reproduce exactly");
+        assert_eq!(a_stats, b_stats);
+        // Every evaluated arm was either truly measured or statically
+        // pruned; the analysis path never loses one.
+        assert_eq!(
+            a.search_compiles,
+            a.measurements_taken + a.candidates_pruned
+        );
+        assert_eq!(a_stats.search_candidates_pruned, a.candidates_pruned);
+        // The prefilter's analyses went through the shared memo.
+        assert!(a_stats.cache.static_analyses > 0);
+        assert!(a.best_ns > 0.0);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! CI lint artifact: the static-analysis reports for the flagship corpus.
+//!
+//! Compiles every corpus shader to its LunarGLASS-default optimized form,
+//! runs the per-platform static analyser ([`prism::analyze`]) under all
+//! seven platform personalities, and writes the full set of
+//! [`StaticReport`]s as one JSON array. CI uploads the file as a build
+//! artifact so lint drift between commits is diffable without re-running
+//! anything.
+//!
+//! Usage: `lint_corpus [--out lint-report.json]` (defaults to stdout).
+//!
+//! [`StaticReport`]: prism::analyze::StaticReport
+
+use prism::analyze::{analyze, Severity};
+use prism::core::{CompileSession, OptFlags};
+use prism::corpus::Corpus;
+use prism::gpu::Vendor;
+use std::process::ExitCode;
+
+/// Every (shader × personality) report for the corpus, as JSON objects.
+fn corpus_reports(corpus: &Corpus) -> Result<(Vec<String>, [usize; 2]), String> {
+    let mut reports = Vec::new();
+    // info / warning tallies for the console summary.
+    let mut by_severity = [0usize; 2];
+    for case in &corpus.cases {
+        let session = CompileSession::new(&case.source, &case.name)
+            .map_err(|e| format!("{}: front-end rejected corpus shader: {e}", case.name))?;
+        let compiled = session
+            .compile(OptFlags::lunarglass_default())
+            .map_err(|e| format!("{}: optimization failed: {e}", case.name))?;
+        for vendor in Vendor::ALL {
+            let report = analyze(&compiled.ir, vendor);
+            for lint in &report.lints {
+                let bucket = match lint.severity {
+                    Severity::Info => 0,
+                    Severity::Warning => 1,
+                };
+                by_severity[bucket] += 1;
+            }
+            reports.push(report.to_json().map_err(|e| {
+                format!(
+                    "{}/{}: report serialisation failed: {e}",
+                    case.name,
+                    vendor.name()
+                )
+            })?);
+        }
+    }
+    Ok((reports, by_severity))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(iter.next().expect("--out needs a path").clone()),
+            other => {
+                eprintln!("unknown argument `{other}` (expected --out)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let corpus = Corpus::gfxbench_like();
+    let (reports, by_severity) = match corpus_reports(&corpus) {
+        Ok(r) => r,
+        Err(message) => {
+            eprintln!("lint_corpus: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = format!("[\n{}\n]\n", reports.join(",\n"));
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("lint_corpus: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "lint_corpus: wrote {} reports ({} shaders x {} personalities) to {path}",
+                reports.len(),
+                corpus.cases.len(),
+                Vendor::ALL.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "lint_corpus: lints by severity — info={} warning={}",
+        by_severity[0], by_severity[1]
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism::analyze::StaticReport;
+
+    #[test]
+    fn corpus_reports_cover_every_shader_and_personality() {
+        let corpus = Corpus::family_mix();
+        let (reports, _) = corpus_reports(&corpus).expect("corpus lints");
+        assert_eq!(reports.len(), corpus.cases.len() * Vendor::ALL.len());
+        for json in &reports {
+            let report = StaticReport::from_json(json).expect("artifact entries parse back");
+            assert!(report.cost.estimated_cycles > 0.0);
+            assert!(Vendor::from_name(&report.personality).is_some());
+        }
+    }
+}

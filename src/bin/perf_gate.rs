@@ -26,9 +26,7 @@
 use prism::corpus::Corpus;
 use prism::gpu::Vendor;
 use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig, StudyResults};
-use prism::serve::{
-    request_stream, run_stream, CompileService, ServeConfig, StreamSpec, TuneSpec,
-};
+use prism::serve::{request_stream, run_stream, CompileService, ServeConfig, StreamSpec, TuneSpec};
 use std::process::ExitCode;
 
 /// One gated counter: a deterministic measurement plus the direction in
@@ -287,6 +285,32 @@ fn measure_tune(corpus: &Corpus, study: &StudyResults) -> Vec<Counter> {
     );
     assert_eq!(stats.tune_requests, 1);
 
+    // Second pass with the static prefilter on: the analysis plane (fresh
+    // walks, memo hits, lints) and the pruning ledger become gated work
+    // counters of their own. Hard-assert the prefilter contract first — it
+    // must actually skip measurements, and every analysis it consumed must
+    // have gone through the per-(fingerprint, personality) memo.
+    let filtered_spec = TuneSpec::new(Vendor::Amd)
+        .with_family(case.family.as_str())
+        .with_static_prefilter(true);
+    let filtered = service
+        .tune_spec(&case.source.text, &filtered_spec, Some(oracle))
+        .expect("prefiltered flagship tune pass");
+    let stats = service.stats();
+    assert!(
+        filtered.candidates_pruned > 0,
+        "the static prefilter must prune at least one candidate"
+    );
+    assert_eq!(
+        filtered.search_compiles,
+        filtered.measurements_taken + filtered.candidates_pruned,
+        "every evaluated candidate is either measured or pruned"
+    );
+    assert!(
+        stats.cache.static_analyses > 0,
+        "the prefilter must have walked fresh analyses"
+    );
+
     vec![
         Counter {
             name: "tune_measurements".into(),
@@ -302,6 +326,26 @@ fn measure_tune(corpus: &Corpus, study: &StudyResults) -> Vec<Counter> {
             name: "tune_regret_x1000".into(),
             value: stats.tune_regret_x1000 as f64,
             higher_is_better: false,
+        },
+        Counter {
+            name: "static_analyses".into(),
+            value: stats.cache.static_analyses as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "analysis_memo_hits".into(),
+            value: stats.cache.analysis_memo_hits as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "lints_emitted".into(),
+            value: stats.lints_emitted as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "search_candidates_pruned".into(),
+            value: stats.search_candidates_pruned as f64,
+            higher_is_better: true,
         },
     ]
 }
@@ -596,6 +640,10 @@ mod tests {
             "tune_measurements",
             "search_compiles",
             "tune_regret_x1000",
+            "static_analyses",
+            "analysis_memo_hits",
+            "lints_emitted",
+            "search_candidates_pruned",
         ] {
             assert!(
                 a.counters.iter().any(|c| c.name == name),

@@ -62,6 +62,9 @@ pub use prism_emit as emit;
 /// The seven-vendor GPU substrate (`prism-gpu`).
 pub use prism_gpu as gpu;
 
+/// The static analysis layer — cost models and lints (`prism-analyze`).
+pub use prism_analyze as analyze;
+
 /// The GFXBench-like shader corpus (`prism-corpus`).
 pub use prism_corpus as corpus;
 
@@ -84,6 +87,7 @@ mod tests {
         // One symbol per layer, to catch broken re-exports early.
         let _ = crate::core::OptFlags::all();
         let _ = crate::gpu::Vendor::ALL;
+        let _ = crate::analyze::lint::ids::DEAD_OUTPUT;
         let _ = crate::corpus::flagship::BLUR9;
         let _ = crate::harness::MeasureConfig::quick();
         let _ = crate::serve::ServeConfig::default();

@@ -197,7 +197,10 @@ fn transition_graph_replay_is_byte_identical_cold_shared_and_warm_booted() {
         for flags in sampled_flags(&case.name) {
             for backend in BackendKind::ALL {
                 let (name, eflags, ebackend, text) = cursor.next().expect("same sweep shape");
-                assert_eq!((name.as_str(), *eflags, *ebackend), (case.name.as_str(), flags, backend));
+                assert_eq!(
+                    (name.as_str(), *eflags, *ebackend),
+                    (case.name.as_str(), flags, backend)
+                );
                 let warm_text = warm.text_for(flags, backend).unwrap();
                 assert_eq!(
                     **text, *warm_text,

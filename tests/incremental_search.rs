@@ -11,7 +11,9 @@ use prism::core::OptFlags;
 use prism::corpus::Corpus;
 use prism::gpu::Vendor;
 use prism::report;
-use prism::search::{run_study, standard_strategies, SearchConfig, StudyConfig, StudyResults};
+use prism::search::{
+    run_study, standard_strategies, static_agreement_rows, SearchConfig, StudyConfig, StudyResults,
+};
 use prism::serve::{CompileRequest, CompileService, ServeConfig, TuneSpec};
 
 /// The strategy names the shipped set exposes, derived from the set itself
@@ -135,9 +137,11 @@ fn live_tune_tenant_matches_the_default_policy_on_every_platform() {
         let mut outcomes = Vec::new();
         for vendor in Vendor::ALL {
             for case in &corpus.cases {
-                let spec = TuneSpec::new(vendor)
-                    .with_budget(16)
-                    .with_family(format!("{}:{}", case.family, vendor.name()));
+                let spec = TuneSpec::new(vendor).with_budget(16).with_family(format!(
+                    "{}:{}",
+                    case.family,
+                    vendor.name()
+                ));
                 let outcome = service
                     .tune_spec(&case.source.text, &spec, None)
                     .unwrap_or_else(|e| panic!("{:?}/{} tune failed: {e}", vendor, case.name));
@@ -223,6 +227,109 @@ fn tune_pass_never_re_emits_a_variant_the_serving_plane_already_paid_for() {
     );
     assert_eq!(after.tune_requests, 1);
     assert_eq!(after.measurements_taken, outcome.measurements_taken);
+}
+
+/// Tentpole acceptance: on the flagship blur tune, the static prefilter cuts
+/// the scarce resource — timing measurements — by at least a quarter across
+/// the 7 platforms, and the flags it deploys still match or beat the default
+/// LunarGlass policy on every platform's exhaustive record (the warm-start
+/// and default arms are always truly measured, so the quality floor cannot
+/// be pruned away).
+#[test]
+fn static_prefilter_cuts_flagship_measurements_by_a_quarter_without_losing_quality() {
+    let corpus = mini_corpus();
+    let case = corpus
+        .cases
+        .iter()
+        .find(|c| c.name == "flagship_blur9")
+        .expect("mini corpus carries the blur flagship");
+    let study = run_study(&corpus, &StudyConfig::quick());
+
+    let mut baseline_measurements = 0usize;
+    let mut prefilter_measurements = 0usize;
+    for vendor in Vendor::ALL {
+        // Fresh services so both modes tune from the same cold start.
+        let baseline = CompileService::new(ServeConfig::default())
+            .tune_spec(
+                &case.source.text,
+                &TuneSpec::new(vendor).with_budget(16),
+                None,
+            )
+            .unwrap();
+        let service = CompileService::new(ServeConfig::default());
+        let filtered = service
+            .tune_spec(
+                &case.source.text,
+                &TuneSpec::new(vendor)
+                    .with_budget(16)
+                    .with_static_prefilter(true),
+                None,
+            )
+            .unwrap();
+        assert_eq!(baseline.candidates_pruned, 0);
+        assert_eq!(
+            filtered.search_compiles,
+            filtered.measurements_taken + filtered.candidates_pruned,
+            "{vendor:?}: every evaluated arm is measured or pruned: {filtered:?}"
+        );
+        assert_eq!(
+            service.stats().search_candidates_pruned,
+            filtered.candidates_pruned
+        );
+        baseline_measurements += baseline.measurements_taken;
+        prefilter_measurements += filtered.measurements_taken;
+
+        // Quality: scored on the exhaustive record, the prefiltered tune
+        // still matches or beats the default policy on this platform.
+        let record = study
+            .measurements
+            .iter()
+            .find(|r| r.shader == case.name && r.vendor == vendor.name())
+            .unwrap_or_else(|| panic!("study is missing {vendor:?}/{}", case.name));
+        let tuned = record.speedup_vs_original(filtered.best_flags);
+        let default = record.speedup_vs_original(OptFlags::lunarglass_default());
+        assert!(
+            tuned >= default - 1e-9,
+            "{vendor:?}: prefiltered tune lost to the default policy: tuned {tuned:.3} vs default {default:.3}"
+        );
+    }
+    assert!(
+        (prefilter_measurements as f64) <= 0.75 * baseline_measurements as f64,
+        "prefilter saved too little: {prefilter_measurements} of {baseline_measurements} measurements"
+    );
+}
+
+/// The `fig_static` table covers every platform for the measured corpus, its
+/// agreements are well-formed, and the static model's ranking is better than
+/// antagonistic on average (otherwise the prefilter would be unsafe).
+#[test]
+fn fig_static_scores_rank_agreement_on_all_seven_platforms() {
+    let corpus = mini_corpus();
+    let study = run_study(&corpus, &StudyConfig::quick());
+    let rows = static_agreement_rows(&corpus, &study);
+    assert!(!rows.is_empty());
+    for vendor in Vendor::ALL {
+        assert!(
+            rows.iter().any(|r| r.vendor == vendor.name()),
+            "fig_static is missing platform {vendor:?}"
+        );
+    }
+    for row in &rows {
+        assert!(row.variants >= 2, "{row:?}");
+        assert!((0.0..=1.0).contains(&row.agreement), "{row:?}");
+        assert!(row.footrule >= 0.0, "{row:?}");
+    }
+    let mean = rows.iter().map(|r| r.agreement).sum::<f64>() / rows.len() as f64;
+    assert!(
+        mean > 0.5,
+        "static ranking is worse than a coin flip on average: {mean:.3}"
+    );
+
+    let text = report::fig_static(&rows);
+    assert!(text.contains("Static cost model"), "{text}");
+    for vendor in Vendor::ALL {
+        assert!(text.contains(vendor.name()), "{text}");
+    }
 }
 
 #[test]
