@@ -24,6 +24,7 @@ pub mod lower;
 pub mod passes;
 pub mod pipeline;
 pub mod session;
+pub mod specialize;
 pub mod variant;
 
 pub use cache::persist::{LoadReport, SaveReport};
@@ -37,4 +38,8 @@ pub use pipeline::{
     build_pipeline, build_schedule, compile, compile_ir, CompileError, CompiledShader, Stage,
 };
 pub use session::{CompileSession, SessionStats};
+pub use specialize::{
+    candidate_keys, spec_counters, specialize_shader, verify_specialization, GuardedDispatch,
+    SpecAssumption, SpecCounters, SpecDivergence, SpecError, SpecKey, SpecValue, SpecVerification,
+};
 pub use variant::{unique_variants, Variant, VariantSet};

@@ -28,6 +28,9 @@ pub enum CompileError {
     Lower(LowerError),
     /// A pass produced structurally invalid IR (an internal bug).
     Verify(VerifyError),
+    /// The requested uniform-value specialization does not apply to this
+    /// shader (unknown slot, unsupported uniform type).
+    Specialize(crate::specialize::SpecError),
 }
 
 impl fmt::Display for CompileError {
@@ -36,6 +39,7 @@ impl fmt::Display for CompileError {
             CompileError::Front(e) => write!(f, "{e}"),
             CompileError::Lower(e) => write!(f, "{e}"),
             CompileError::Verify(e) => write!(f, "{e}"),
+            CompileError::Specialize(e) => write!(f, "{e}"),
         }
     }
 }
@@ -90,7 +94,7 @@ pub struct Stage {
 }
 
 impl Stage {
-    fn always(label: &'static str, passes: Vec<Box<dyn Pass>>) -> Stage {
+    pub(crate) fn always(label: &'static str, passes: Vec<Box<dyn Pass>>) -> Stage {
         Stage {
             label,
             flag: None,
@@ -141,6 +145,21 @@ impl Stage {
         }
         if changed {
             ir.invalidate_fingerprint();
+            if cfg!(debug_assertions) || verify_every_pass() {
+                // Tripwire for the memo/mutation contract: `Clone` carries
+                // the fingerprint memo (the clone has the same structure), so
+                // a mutating stage MUST drop it — a surviving memo that no
+                // longer matches a from-scratch hash means some rewrite path
+                // mutated shared IR without invalidating.
+                if let Some(stale) = ir.cached_fingerprint() {
+                    assert_eq!(
+                        stale,
+                        prism_ir::fingerprint::compute_fingerprint(ir),
+                        "stage `{}` mutated the IR but a stale fingerprint memo survived",
+                        self.label
+                    );
+                }
+            }
         }
         #[cfg(debug_assertions)]
         {

@@ -41,6 +41,7 @@ use crate::cache::{CacheStore, SessionCache, SessionId, Snapshot};
 use crate::flags::OptFlags;
 use crate::lower::lower;
 use crate::pipeline::{build_schedule, CompileError, CompiledShader, Stage};
+use crate::specialize::{specialize_shader, GuardedDispatch, SpecKey};
 use crate::variant::{Variant, VariantSet};
 use prism_emit::BackendKind;
 use prism_glsl::ShaderSource;
@@ -114,6 +115,12 @@ pub struct CompileSession {
     /// cross-shader hits).
     id: SessionId,
     stats: RefCell<SessionStats>,
+    /// Specialized-base memo: the substituted-and-folded IR each [`SpecKey`]
+    /// starts its flag walk from, derived once per key. The snapshots are
+    /// interned into the store's exemplar plane like any other, so two keys
+    /// whose folds collapse to the same structure share one allocation —
+    /// and every downstream transition/emission dedups by fingerprint.
+    spec_bases: RefCell<HashMap<SpecKey, Snapshot>>,
 }
 
 impl CompileSession {
@@ -194,6 +201,7 @@ impl CompileSession {
             cache,
             id,
             stats: RefCell::new(SessionStats::default()),
+            spec_bases: RefCell::new(HashMap::new()),
         })
     }
 
@@ -344,8 +352,120 @@ impl CompileSession {
         })
     }
 
+    /// The snapshot every variant of `spec` starts from: the base IR for the
+    /// general key, else the substituted-and-folded specialized base —
+    /// derived once per key, verified, fingerprinted and interned into the
+    /// store's exemplar plane so it dedups like any other structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Specialize`] when the key does not apply to
+    /// this shader, [`CompileError::Verify`] if the fold breaks IR
+    /// invariants (an internal bug).
+    pub fn specialized_base(&self, spec: &SpecKey) -> Result<Snapshot, CompileError> {
+        if spec.is_general() {
+            return Ok(self.base.clone());
+        }
+        if let Some(snap) = self.spec_bases.borrow().get(spec) {
+            return Ok(snap.clone());
+        }
+        let ir = specialize_shader(&self.base.ir, spec).map_err(CompileError::Specialize)?;
+        verify(&ir).map_err(CompileError::Verify)?;
+        let snap = self.cache.intern(Snapshot {
+            fp: fingerprint(&ir),
+            ir: Arc::new(ir),
+        });
+        self.spec_bases
+            .borrow_mut()
+            .insert(spec.clone(), snap.clone());
+        Ok(snap)
+    }
+
+    /// Compiles one `(flags, spec)` variant pair into a [`GuardedDispatch`]:
+    /// the general program of `flags`, the specialized program of the same
+    /// flags under `spec`, and the runtime guard between them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Specialize`] when the key does not apply,
+    /// [`CompileError::Verify`] if a pass breaks IR invariants.
+    pub fn dispatch_for(
+        &self,
+        flags: OptFlags,
+        spec: &SpecKey,
+        backend: BackendKind,
+    ) -> Result<GuardedDispatch, CompileError> {
+        Ok(GuardedDispatch {
+            spec: spec.clone(),
+            general: self.compile_spec(flags, &SpecKey::general(), backend)?,
+            specialized: self.compile_spec(flags, spec, backend)?,
+        })
+    }
+
+    /// Compiles one `(flags, spec)` combination and emits it through
+    /// `backend` — the specialized analogue of [`CompileSession::compile_for`].
+    /// The general key reduces to exactly `compile_for`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Specialize`] when the key does not apply,
+    /// [`CompileError::Verify`] if a pass breaks IR invariants.
+    pub fn compile_spec(
+        &self,
+        flags: OptFlags,
+        spec: &SpecKey,
+        backend: BackendKind,
+    ) -> Result<CompiledShader, CompileError> {
+        let state = self.optimize_from(self.specialized_base(spec)?, flags)?;
+        let text = self.emit(&state, backend);
+        Ok(CompiledShader {
+            name: self.name.clone(),
+            flags,
+            ir: self.restamped(&state),
+            glsl: text,
+        })
+    }
+
+    /// The emitted text of one `(flags, spec)` combination for one backend —
+    /// the specialized analogue of [`CompileSession::text_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Specialize`] when the key does not apply,
+    /// [`CompileError::Verify`] if a pass breaks IR invariants.
+    pub fn text_for_spec(
+        &self,
+        flags: OptFlags,
+        spec: &SpecKey,
+        backend: BackendKind,
+    ) -> Result<Arc<str>, CompileError> {
+        let state = self.optimize_from(self.specialized_base(spec)?, flags)?;
+        Ok(self.emit(&state, backend))
+    }
+
+    /// The structural fingerprint of the optimized IR `(flags, spec)`
+    /// produces — the emission-memo key of the specialized variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Specialize`] when the key does not apply,
+    /// [`CompileError::Verify`] if a pass breaks IR invariants.
+    pub fn specialized_fingerprint(
+        &self,
+        flags: OptFlags,
+        spec: &SpecKey,
+    ) -> Result<prism_ir::fingerprint::Fingerprint, CompileError> {
+        Ok(self.optimize_from(self.specialized_base(spec)?, flags)?.fp)
+    }
+
     /// Runs the enabled stages for `flags` over the base IR (sharing cached
     /// snapshots) and returns the final state.
+    fn optimize(&self, flags: OptFlags) -> Result<Snapshot, CompileError> {
+        self.optimize_from(self.base.clone(), flags)
+    }
+
+    /// Runs the enabled stages for `flags` from an arbitrary starting
+    /// snapshot — the base IR, or a specialized base.
     ///
     /// The walk reads the store's clean-stage mask once per *distinct* state
     /// (not once per stage): every enabled stage the mask marks as identity
@@ -353,8 +473,8 @@ impl CompileSession {
     /// fingerprint, no clone — and consecutive identity stages collapse into
     /// a single mask read. Only a real transition (new structure) re-reads
     /// the mask.
-    fn optimize(&self, flags: OptFlags) -> Result<Snapshot, CompileError> {
-        let mut state = self.base.clone();
+    fn optimize_from(&self, start: Snapshot, flags: OptFlags) -> Result<Snapshot, CompileError> {
+        let mut state = start;
         let mut clean = self.cache.identity_stages(&state);
         let mut skipped = 0usize;
         for (stage_idx, stage) in self.schedule.iter().enumerate() {

@@ -231,7 +231,7 @@ impl<'a> State<'a> {
                     Some(comps) => {
                         for (src, dst_idx) in comps.iter().enumerate() {
                             if let Some(slot) = out.get_mut(*dst_idx as usize) {
-                                *slot = v.get(src).copied().unwrap_or(v[0]);
+                                *slot = v.get(src).copied().unwrap_or(*v.first().unwrap_or(&0.0));
                             }
                         }
                     }
@@ -358,7 +358,8 @@ impl<'a> State<'a> {
             }
             Op::Splat { ty, value } => {
                 let v = self.eval(value)?.lanes();
-                Ok(Val::Num(vec![v[0]; ty.width as usize]))
+                let x = v.first().copied().unwrap_or(0.0);
+                Ok(Val::Num(vec![x; ty.width as usize]))
             }
             Op::Extract { vector, index } => {
                 let v = self.eval(vector)?.lanes();
@@ -372,7 +373,7 @@ impl<'a> State<'a> {
                 value,
             } => {
                 let mut v = self.eval(vector)?.lanes();
-                let x = self.eval(value)?.lanes()[0];
+                let x = self.eval(value)?.lanes().first().copied().unwrap_or(0.0);
                 if (*index as usize) < v.len() {
                     v[*index as usize] = x;
                 }
@@ -404,7 +405,10 @@ impl<'a> State<'a> {
                     .const_arrays
                     .get(*array)
                     .ok_or_else(|| err("const array out of range"))?;
-                let idx = self.eval(index)?.lanes()[0];
+                if arr.elements.is_empty() {
+                    return Err(err("const array load from empty array"));
+                }
+                let idx = self.eval(index)?.lanes().first().copied().unwrap_or(0.0);
                 let idx = (idx.round() as i64).clamp(0, arr.len() as i64 - 1) as usize;
                 Ok(Val::Num(arr.elements[idx].clone()))
             }
@@ -459,8 +463,8 @@ fn eval_binary(op: BinaryOp, a: &Val, b: &Val) -> Result<Val, InterpError> {
     }
     let (x, y) = broadcast(&a.lanes(), &b.lanes());
     if op.is_comparison() {
-        let l = x[0];
-        let r = y[0];
+        let l = x.first().copied().unwrap_or(0.0);
+        let r = y.first().copied().unwrap_or(0.0);
         return Ok(Val::Bool(match op {
             BinaryOp::Eq => (l - r).abs() < f64::EPSILON,
             BinaryOp::Ne => (l - r).abs() >= f64::EPSILON,
@@ -496,6 +500,14 @@ fn eval_binary(op: BinaryOp, a: &Val, b: &Val) -> Result<Val, InterpError> {
         })
         .collect();
     Ok(Val::Num(lanes))
+}
+
+/// Lane lookup that saturates at the last lane and falls back to `0.0` for an
+/// empty vector value, so no intrinsic can index-panic on degenerate input.
+fn lane_at(v: &[f64], idx: usize) -> f64 {
+    v.get(idx.min(v.len().saturating_sub(1)))
+        .copied()
+        .unwrap_or(0.0)
 }
 
 fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
@@ -546,10 +558,7 @@ fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
             Val::Num(
                 x.iter()
                     .enumerate()
-                    .map(|(idx, v)| {
-                        v.max(lo[idx.min(lo.len() - 1)])
-                            .min(hi[idx.min(hi.len() - 1)])
-                    })
+                    .map(|(idx, v)| v.max(lane_at(&lo, idx)).min(lane_at(&hi, idx)))
                     .collect(),
             )
         }
@@ -562,7 +571,7 @@ fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
                     .zip(&b)
                     .enumerate()
                     .map(|(idx, (x, y))| {
-                        let tt = t[idx.min(t.len() - 1)];
+                        let tt = lane_at(&t, idx);
                         x * (1.0 - tt) + y * tt
                     })
                     .collect(),
@@ -585,8 +594,8 @@ fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
                 x.iter()
                     .enumerate()
                     .map(|(idx, v)| {
-                        let a = e0[idx.min(e0.len() - 1)];
-                        let b = e1[idx.min(e1.len() - 1)];
+                        let a = lane_at(&e0, idx);
+                        let b = lane_at(&e1, idx);
                         let t = ((v - a) / (b - a).max(1e-12)).clamp(0.0, 1.0);
                         t * t * (3.0 - 2.0 * t)
                     })
@@ -651,6 +660,31 @@ fn eval_intrinsic(i: Intrinsic, args: &[Val]) -> Result<Val, InterpError> {
         Intrinsic::DFdx | Intrinsic::DFdy => Val::Num(vec![0.0; lanes(0).len()]),
         Intrinsic::Fwidth => Val::Num(vec![0.0; lanes(0).len()]),
     })
+}
+
+/// Compares two fragment results for exact equality — every output lane must
+/// agree bit-for-bit (`f64::to_bits`), with one deliberate canonicalisation:
+/// the two zeros compare equal. Folding `x·0 → 0` legitimately turns a `-0.0`
+/// into `+0.0`, and no framebuffer consumer can observe the sign of zero; any
+/// other bit of drift (including NaN payloads) is a real semantic change.
+/// This is the oracle the specialization differential uses: a substituted-
+/// and-folded variant performs the same exact arithmetic as the general one,
+/// so nothing beyond zero-sign may move.
+pub fn results_exactly_equal(a: &FragmentResult, b: &FragmentResult) -> bool {
+    if a.discarded != b.discarded || a.outputs.len() != b.outputs.len() {
+        return false;
+    }
+    let canon = |v: f64| {
+        if v == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            v.to_bits()
+        }
+    };
+    a.outputs
+        .iter()
+        .zip(&b.outputs)
+        .all(|(x, y)| x.len() == y.len() && x.iter().zip(y).all(|(l, r)| canon(*l) == canon(*r)))
 }
 
 /// Compares two fragment results with a relative/absolute tolerance, which is
@@ -894,5 +928,121 @@ mod tests {
     fn division_by_zero_is_guarded() {
         let v = eval_binary(BinaryOp::Div, &Val::scalar(1.0), &Val::scalar(0.0)).unwrap();
         assert_eq!(v, Val::scalar(0.0));
+    }
+
+    #[test]
+    fn zero_lane_shuffle_stores_do_not_panic() {
+        // Regression: a zero-lane swizzle produces an empty vector value; a
+        // component store of that value used to fall back to `v[0]` when the
+        // source lane was missing, which panics on the empty vector. The
+        // fallback must be 0.0, like the full-store path one match arm up.
+        let mut s = shader_with_output();
+        let wide = s.new_reg(IrType::fvec(4));
+        let empty = s.new_reg(IrType::F32);
+        s.body = vec![
+            Stmt::Def {
+                dst: wide,
+                op: Op::Mov(Operand::fvec(vec![1.0, 2.0, 3.0, 4.0])),
+            },
+            Stmt::Def {
+                dst: empty,
+                op: Op::Swizzle {
+                    vector: Operand::Reg(wide),
+                    lanes: vec![],
+                },
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: Some(vec![1]),
+                value: Operand::Reg(empty),
+            },
+        ];
+        let r = run_fragment(&s, &FragmentContext::with_defaults(&s, 0.25, 0.75)).unwrap();
+        assert_eq!(r.outputs[0][1], 0.0);
+    }
+
+    #[test]
+    fn empty_vector_values_do_not_panic_in_ops() {
+        // Splat / Insert / comparisons / Clamp-family intrinsics over empty
+        // vector values all take the 0.0 fallback instead of indexing.
+        let mut s = shader_with_output();
+        let wide = s.new_reg(IrType::fvec(2));
+        let empty = s.new_reg(IrType::F32);
+        let splat = s.new_reg(IrType::fvec(3));
+        let ins = s.new_reg(IrType::fvec(2));
+        let cmp = s.new_reg(IrType::BOOL);
+        let sel = s.new_reg(IrType::F32);
+        s.body = vec![
+            Stmt::Def {
+                dst: wide,
+                op: Op::Mov(Operand::fvec(vec![5.0, 6.0])),
+            },
+            Stmt::Def {
+                dst: empty,
+                op: Op::Swizzle {
+                    vector: Operand::Reg(wide),
+                    lanes: vec![],
+                },
+            },
+            Stmt::Def {
+                dst: splat,
+                op: Op::Splat {
+                    ty: IrType::fvec(3),
+                    value: Operand::Reg(empty),
+                },
+            },
+            Stmt::Def {
+                dst: ins,
+                op: Op::Insert {
+                    vector: Operand::Reg(wide),
+                    index: 0,
+                    value: Operand::Reg(empty),
+                },
+            },
+            Stmt::Def {
+                dst: cmp,
+                op: Op::Binary(BinaryOp::Lt, Operand::Reg(empty), Operand::Reg(empty)),
+            },
+            Stmt::Def {
+                dst: sel,
+                op: Op::Intrinsic(
+                    Intrinsic::Clamp,
+                    vec![Operand::Reg(wide), Operand::Reg(empty), Operand::Reg(empty)],
+                ),
+            },
+            Stmt::StoreOutput {
+                output: 0,
+                components: None,
+                value: Operand::Reg(splat),
+            },
+        ];
+        let r = run_fragment(&s, &FragmentContext::with_defaults(&s, 0.25, 0.75)).unwrap();
+        // The empty-splat broadcast falls back to 0.0 in every written lane.
+        assert_eq!(r.outputs[0], vec![0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn exact_equality_is_bitwise() {
+        let a = FragmentResult {
+            outputs: vec![vec![1.0, 0.0]],
+            discarded: false,
+        };
+        let same = FragmentResult {
+            outputs: vec![vec![1.0, 0.0]],
+            discarded: false,
+        };
+        let neg_zero = FragmentResult {
+            outputs: vec![vec![1.0, -0.0]],
+            discarded: false,
+        };
+        let off = FragmentResult {
+            outputs: vec![vec![1.0 + f64::EPSILON, 0.0]],
+            discarded: false,
+        };
+        assert!(results_exactly_equal(&a, &same));
+        // The one canonicalisation: signed zeros compare equal (x·0 folds
+        // flip the sign of zero, which no output consumer observes).
+        assert!(results_exactly_equal(&a, &neg_zero));
+        assert!(!results_exactly_equal(&a, &off));
     }
 }

@@ -135,6 +135,7 @@ mod tests {
             cache: Default::default(),
             search: vec![],
             warnings: vec![],
+            specializations: vec![],
         }
     }
 

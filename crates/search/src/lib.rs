@@ -53,7 +53,7 @@ pub use policies::{
 pub use static_rank::{footrule_agreement, static_agreement_rows, StaticRankRow};
 
 pub use results::{
-    percent_speedup, SearchRecord, ShaderPlatformRecord, ShaderRecord, SkippedShader, StudyResults,
-    VariantRecord,
+    percent_speedup, SearchRecord, ShaderPlatformRecord, ShaderRecord, SkippedShader,
+    SpecializationRecord, StudyResults, VariantRecord,
 };
 pub use sweep::{run_study, StudyConfig};

@@ -132,6 +132,7 @@ mod tests {
             cache: Default::default(),
             search: vec![],
             warnings: vec![],
+            specializations: vec![],
         }
     }
 

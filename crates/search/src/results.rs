@@ -342,6 +342,67 @@ impl SearchRecord {
     }
 }
 
+/// One measured `(shader, platform, specialization)` arm of the
+/// uniform-value specialization study: the AZP axis, where a shader is
+/// cloned under an assumption about a uniform's dynamic value (zero, one, an
+/// exact constant), folded, and deployed behind a runtime guard. The record
+/// captures both sides of the bargain — the win when the assumption holds
+/// and the guard cost every draw pays whether it holds or not.
+///
+/// Every recorded arm was differentially interp-verified against the
+/// general program (both guard directions, bit-for-bit) before measurement;
+/// `interp_confirms` pins how many comparisons backed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecializationRecord {
+    /// Corpus shader name.
+    pub shader: String,
+    /// Platform name (`Vendor::name()`).
+    pub vendor: String,
+    /// Canonical specialization key display (`u0=0`, `u1=1,u3=0`, ...).
+    pub spec: String,
+    /// The flag combination both sides were compiled under (raw 8-bit mask).
+    pub flag_bits: u8,
+    /// Mean frame time of the general program at those flags (ns).
+    pub general_ns: f64,
+    /// Mean frame time of the specialized program, valid only while the
+    /// assumption holds (ns).
+    pub specialized_ns: f64,
+    /// Modelled host-side guard evaluation cost per draw (ns) — the
+    /// per-lane uniform compares run before binding either program, paid on
+    /// every draw, winning or not.
+    pub guard_ns: f64,
+    /// Differential interpreter comparisons that confirmed this arm
+    /// bit-for-bit before it was measured.
+    pub interp_confirms: usize,
+}
+
+serde::impl_serde_struct!(SpecializationRecord {
+    shader,
+    vendor,
+    spec,
+    flag_bits,
+    general_ns,
+    specialized_ns,
+    guard_ns,
+    interp_confirms
+});
+
+impl SpecializationRecord {
+    /// Percentage speed-up of the guarded dispatch when the assumption
+    /// holds (specialized program + guard vs general program). Positive
+    /// means the specialization pays for its guard.
+    pub fn win_when_holds(&self) -> f64 {
+        percent_speedup(self.general_ns, self.specialized_ns + self.guard_ns)
+    }
+
+    /// Percentage overhead of the guarded dispatch when the assumption does
+    /// NOT hold (general program + guard vs general program alone) — the
+    /// cost of being wrong about a batch. Always ≥ 0.
+    pub fn overhead_when_violated(&self) -> f64 {
+        -percent_speedup(self.general_ns, self.general_ns + self.guard_ns)
+    }
+}
+
 /// Corpus-level compile-cache statistics of one study run: how much
 /// optimization and emission work the sweep performed, and how much was
 /// shared — within a shader's 256 combinations and, with the shared
@@ -530,16 +591,56 @@ pub struct StudyResults {
     /// not be written) — the measurements are still valid, but the operator
     /// should know.
     pub warnings: Vec<String>,
+    /// Uniform-value specialization arms (the AZP axis), when the study ran
+    /// with specialization enabled. Empty for flag-only studies.
+    pub specializations: Vec<SpecializationRecord>,
 }
 
-serde::impl_serde_struct!(StudyResults {
-    shaders,
-    measurements,
-    skipped,
-    cache,
-    search,
-    warnings
-});
+impl serde::Serialize for StudyResults {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("shaders".to_string(), self.shaders.to_value()),
+            ("measurements".to_string(), self.measurements.to_value()),
+            ("skipped".to_string(), self.skipped.to_value()),
+            ("cache".to_string(), self.cache.to_value()),
+            ("search".to_string(), self.search.to_value()),
+            ("warnings".to_string(), self.warnings.to_value()),
+            (
+                "specializations".to_string(),
+                self.specializations.to_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for StudyResults {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| format!("missing field `{name}` in StudyResults"))
+        };
+        // Reports written before the warning channel / the specialization
+        // axis landed simply omit those keys; absent means empty, not
+        // malformed.
+        let warnings = match v.get("warnings") {
+            Some(value) => serde::Deserialize::from_value(value)?,
+            None => Vec::new(),
+        };
+        let specializations = match v.get("specializations") {
+            Some(value) => serde::Deserialize::from_value(value)?,
+            None => Vec::new(),
+        };
+        Ok(StudyResults {
+            shaders: serde::Deserialize::from_value(field("shaders")?)?,
+            measurements: serde::Deserialize::from_value(field("measurements")?)?,
+            skipped: serde::Deserialize::from_value(field("skipped")?)?,
+            cache: serde::Deserialize::from_value(field("cache")?)?,
+            search: serde::Deserialize::from_value(field("search")?)?,
+            warnings,
+            specializations,
+        })
+    }
+}
 
 impl StudyResults {
     /// All measurements for one platform, in shader order.
@@ -720,6 +821,16 @@ mod tests {
                 regret_final: 0.5,
             }],
             warnings: vec!["warm-start dir was read-only".into()],
+            specializations: vec![SpecializationRecord {
+                shader: "s".into(),
+                vendor: "AMD".into(),
+                spec: "u1=0".into(),
+                flag_bits: 0b0110_0001,
+                general_ns: 1000.0,
+                specialized_ns: 850.0,
+                guard_ns: 4.0,
+                interp_confirms: 10,
+            }],
         };
         let json = study.to_json().unwrap();
         let restored = StudyResults::from_json(&json).unwrap();
@@ -729,6 +840,7 @@ mod tests {
         assert_eq!(restored.cache, study.cache);
         assert_eq!(restored.search, study.search);
         assert_eq!(restored.warnings, study.warnings);
+        assert_eq!(restored.specializations, study.specializations);
         assert_eq!(restored.cache.stats.evictions, 5);
         assert_eq!(restored.cache.stats.warm_stage_hits, 6);
         assert_eq!(restored.cache.stats.warm_shards_skipped, 1);
@@ -781,6 +893,36 @@ mod tests {
         assert_eq!(record.stats.warm_shards_skipped, 0);
         assert_eq!(record.stats.static_analyses, 0);
         assert_eq!(record.stats.warm_verify_rejects, 0);
+    }
+
+    #[test]
+    fn pre_specialization_reports_still_deserialize() {
+        // study-report.json artifacts written before the specialization axis
+        // (and before the warning channel) omit those keys entirely; they
+        // must load with both defaulted to empty.
+        let old = r#"{"shaders":[],"measurements":[],"skipped":[],"cache":{"shared":false,"sessions":0,"stage_runs":0,"stage_hits":0,"cross_shader_stage_hits":0,"emissions":0,"emission_hits":0,"cross_shader_emission_hits":0,"evictions":0},"search":[]}"#;
+        let restored = StudyResults::from_json(old).unwrap();
+        assert!(restored.warnings.is_empty());
+        assert!(restored.specializations.is_empty());
+    }
+
+    #[test]
+    fn specialization_records_report_both_sides_of_the_guard() {
+        let rec = SpecializationRecord {
+            shader: "s".into(),
+            vendor: "AMD".into(),
+            spec: "u0=0".into(),
+            flag_bits: 0,
+            general_ns: 1000.0,
+            specialized_ns: 750.0,
+            guard_ns: 10.0,
+            interp_confirms: 10,
+        };
+        // Holding: (1000 - 760) / 1000 = 24% win, guard included.
+        assert!((rec.win_when_holds() - 24.0).abs() < 1e-9);
+        // Violated: the guard is pure overhead, 10/1000 = 1%.
+        assert!((rec.overhead_when_violated() - 1.0).abs() < 1e-9);
+        assert!(rec.overhead_when_violated() >= 0.0);
     }
 
     #[test]

@@ -376,6 +376,65 @@ mod tests {
         assert!(hottest * 4 > a.len(), "Zipf head too cold: {hottest}/200");
     }
 
+    /// A specialized request rides the whole lifecycle: substituted and
+    /// folded once per `(fingerprint, spec)`, interp-verified against the
+    /// general base, then memo-served (zero-copy) on replay like any other
+    /// variant.
+    #[test]
+    fn specialized_requests_fold_verify_and_memoise() {
+        use prism_core::{spec_counters, SpecKey, SpecValue};
+        let service = CompileService::new(ServeConfig::default());
+        let general = service
+            .compile(&request(OptFlags::all(), BackendKind::DesktopGlsl))
+            .unwrap();
+
+        // `u_tint` is uniform slot 1; assuming it zero folds `base * u_tint`
+        // (and everything feeding `base`) away.
+        let spec = SpecKey::single(1, SpecValue::Zero);
+        let specialized_request = CompileRequest::builder(SOURCE)
+            .flags(OptFlags::all())
+            .specialize(spec.clone())
+            .build();
+        let before = spec_counters();
+        let first = service.compile(&specialized_request).unwrap();
+        assert_ne!(first.text, general.text, "the fold must change the text");
+        assert_ne!(first.fingerprint, general.fingerprint);
+        assert_eq!(
+            spec_counters().since(&before).specializations_generated,
+            1,
+            "one derivation for the new (fingerprint, spec) pair"
+        );
+
+        // Replay: the specialized base comes from the memo (no re-derivation)
+        // and the response is the emission memo's handle.
+        let replay = service.compile(&specialized_request).unwrap();
+        assert!(Arc::ptr_eq(&first.text, &replay.text));
+        assert!(replay.zero_copy);
+        assert_eq!(replay.work.latency(), 0, "{:?}", replay.work);
+        assert_eq!(
+            spec_counters().since(&before).specializations_generated,
+            1,
+            "the replay must not re-specialize"
+        );
+    }
+
+    /// An inapplicable specialization key is a request error, not a panic —
+    /// and it does not poison the flight table for the general request.
+    #[test]
+    fn inapplicable_specializations_error_cleanly() {
+        use prism_core::{SpecKey, SpecValue};
+        let service = CompileService::new(ServeConfig::default());
+        let bad = CompileRequest::builder(SOURCE)
+            .specialize(SpecKey::single(42, SpecValue::Zero))
+            .build();
+        let err = service.compile(&bad).unwrap_err();
+        assert!(matches!(err, ServeError::Specialize(_)), "{err:?}");
+        let healthy = service
+            .compile(&request(OptFlags::NONE, BackendKind::DesktopGlsl))
+            .unwrap();
+        assert!(healthy.work.latency() > 0);
+    }
+
     #[test]
     fn percentiles_use_nearest_rank() {
         assert_eq!(percentile(&[], 99), 0);

@@ -29,14 +29,16 @@
 //! congruent to its index.
 
 use prism_core::cache::SessionId;
+use prism_core::specialize::default_probe_points;
 use prism_core::{
-    build_schedule, shard_of, CacheStats, CacheStore, CorpusCache, OptFlags, Snapshot, Stage,
-    FINGERPRINT_SHARDS,
+    build_schedule, shard_of, specialize_shader, CacheStats, CacheStore, CorpusCache, OptFlags,
+    Snapshot, SpecKey, Stage, FINGERPRINT_SHARDS,
 };
 use prism_emit::{BackendChain, BackendKind};
 use prism_glsl::ShaderInterface;
 use prism_gpu::Vendor;
 use prism_ir::fingerprint::{fingerprint, Fingerprint};
+use prism_ir::interp::{results_exactly_equal, run_fragment};
 use prism_ir::verify::verify;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,8 +63,9 @@ pub(crate) fn source_name(source: &str) -> String {
     format!("serve-{:016x}", fnv64(source.as_bytes()))
 }
 
-/// FNV-1a 64-bit hash (shader naming for anonymous request sources).
-fn fnv64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash (shader naming for anonymous request sources; the
+/// tune tenant's specialization-arm stream derivation).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in bytes {
         hash ^= *b as u64;
@@ -152,6 +155,14 @@ pub struct CompileRequest {
     /// static-analysis report (cost model + lints) for the optimized IR,
     /// memoised per `(fingerprint, personality)` exactly like emitted text.
     pub analyze: Option<Vendor>,
+    /// Uniform-value assumptions to compile under (the `(flags, spec)`
+    /// variant axis). The general key — the default — is the ordinary
+    /// unspecialized compile; a non-general key substitutes the assumed
+    /// constants into the base IR, folds, interp-verifies the fold against
+    /// the general base, and runs the flag schedule from the specialized
+    /// base. The response's `text` is then only valid while the assumptions
+    /// hold — callers pair it with a general compile behind a guard.
+    pub specialize: SpecKey,
 }
 
 impl CompileRequest {
@@ -162,6 +173,7 @@ impl CompileRequest {
             flags,
             target: RequestTarget::Kind(backend),
             analyze: None,
+            specialize: SpecKey::general(),
         }
     }
 
@@ -172,18 +184,20 @@ impl CompileRequest {
             flags,
             target: RequestTarget::Named(form.to_string()),
             analyze: None,
+            specialize: SpecKey::general(),
         }
     }
 
     /// A builder over `source` — the one construction path the tune
     /// endpoint, the load generator and the demo binary share. Defaults: no
-    /// flags, desktop GLSL, no analysis.
+    /// flags, desktop GLSL, no analysis, general (unspecialized).
     pub fn builder(source: impl Into<String>) -> CompileRequestBuilder {
         CompileRequestBuilder {
             source: source.into(),
             flags: OptFlags::NONE,
             target: RequestTarget::Kind(BackendKind::DesktopGlsl),
             analyze: None,
+            specialize: SpecKey::general(),
         }
     }
 }
@@ -195,12 +209,19 @@ pub struct CompileRequestBuilder {
     flags: OptFlags,
     target: RequestTarget,
     analyze: Option<Vendor>,
+    specialize: SpecKey,
 }
 
 impl CompileRequestBuilder {
     /// Sets the optimization flag combination (default: none).
     pub fn flags(mut self, flags: OptFlags) -> CompileRequestBuilder {
         self.flags = flags;
+        self
+    }
+
+    /// Compiles under uniform-value assumptions (default: general).
+    pub fn specialize(mut self, spec: SpecKey) -> CompileRequestBuilder {
+        self.specialize = spec;
         self
     }
 
@@ -230,6 +251,7 @@ impl CompileRequestBuilder {
             flags: self.flags,
             target: self.target,
             analyze: self.analyze,
+            specialize: self.specialize,
         }
     }
 }
@@ -243,6 +265,10 @@ pub enum ServeError {
     UnknownTarget(String),
     /// A pass broke IR invariants mid-compile (internal bug).
     Compile(String),
+    /// The request's specialization key does not apply to the source (bad
+    /// slot / unsupported type), or the specialized fold failed its
+    /// differential interp verification against the general base.
+    Specialize(String),
     /// The compile panicked twice (once plus one retry); waiters receive
     /// this error rather than hanging.
     Panicked(String),
@@ -254,6 +280,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Frontend(e) => write!(f, "front stage: {e}"),
             ServeError::UnknownTarget(t) => write!(f, "no backend serves target `{t}`"),
             ServeError::Compile(e) => write!(f, "compile: {e}"),
+            ServeError::Specialize(e) => write!(f, "specialize: {e}"),
             ServeError::Panicked(e) => write!(f, "compile panicked: {e}"),
         }
     }
@@ -315,14 +342,16 @@ pub struct CompileResponse {
     pub analysis: Option<Arc<str>>,
 }
 
-/// Singleflight key: requests agreeing on all four coalesce onto one
-/// compile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Singleflight key: requests agreeing on all five coalesce onto one
+/// compile. (`SpecKey` is `Arc`-backed, so the key is `Clone`-cheap but no
+/// longer `Copy`.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct FlightKey {
     fp: Fingerprint,
     flags: OptFlags,
     backend: BackendKind,
     analyze: Option<Vendor>,
+    spec: SpecKey,
 }
 
 /// What a completed flight hands every merged request.
@@ -489,6 +518,11 @@ struct Inner {
     session: SessionId,
     chain: BackendChain,
     front: RwLock<HashMap<String, Result<Arc<FrontEntry>, ServeError>>>,
+    /// Specialized-base memo: the substituted-folded-verified snapshot each
+    /// `(base fingerprint, spec key)` pair starts its flag walk from —
+    /// derived (and interp-verified against the general base) once, then a
+    /// refcount bump for every later request.
+    spec_bases: RwLock<HashMap<(Fingerprint, SpecKey), Snapshot>>,
     flights: Mutex<HashMap<FlightKey, Arc<Flight>>>,
     queues: Vec<Mutex<VecDeque<Job>>>,
     signals: Vec<WorkerSignal>,
@@ -534,6 +568,7 @@ impl CompileService {
             session,
             chain: BackendChain::standard(),
             front: RwLock::new(HashMap::new()),
+            spec_bases: RwLock::new(HashMap::new()),
             flights: Mutex::new(HashMap::new()),
             queues: (0..FINGERPRINT_SHARDS)
                 .map(|_| Mutex::new(VecDeque::new()))
@@ -730,6 +765,7 @@ impl Inner {
             flags: request.flags,
             backend,
             analyze: request.analyze,
+            spec: request.specialize.clone(),
         };
 
         let (flight, leader) = {
@@ -741,7 +777,7 @@ impl Inner {
                 }
                 None => {
                     let flight = Arc::new(Flight::new());
-                    flights.insert(key, Arc::clone(&flight));
+                    flights.insert(key.clone(), Arc::clone(&flight));
                     (flight, true)
                 }
             }
@@ -888,7 +924,7 @@ impl Inner {
     fn process_job(&self, job: Job) {
         let guard = FlightGuard {
             inner: self,
-            key: job.key,
+            key: job.key.clone(),
             flight: Arc::clone(&job.flight),
             done: false,
         };
@@ -924,6 +960,12 @@ impl Inner {
                 flight: &job.flight,
             });
         }
+        // A specialized request runs the ordinary flag schedule, just from a
+        // different starting snapshot: the substituted-and-folded base. That
+        // base is another IR structure, so everything downstream (transition
+        // memo, emission memo, analysis memo) dedups by fingerprint with no
+        // special cases.
+        let base = self.spec_base(job)?;
         let mut work = RequestWork::default();
         let state = with_schedule(|schedule| -> Result<Snapshot, ServeError> {
             // The same walk a `CompileSession` performs: read the store's
@@ -931,7 +973,7 @@ impl Inner {
             // stage it marks as identity in O(1) (no lookup, no fingerprint,
             // no clone), and re-read it only after a real transition. A
             // memo-warm request therefore does zero IR clones end to end.
-            let mut state = job.base.clone();
+            let mut state = base.clone();
             let mut clean = self.cache.identity_stages(&state);
             let mut skipped = 0usize;
             for (stage_idx, stage) in schedule.iter().enumerate() {
@@ -1038,6 +1080,59 @@ impl Inner {
             zero_copy,
             analysis,
         })
+    }
+
+    /// The snapshot a job's flag walk starts from: the front-stage base for
+    /// a general request, else the memoised specialized base for this
+    /// `(fingerprint, spec)` pair.
+    ///
+    /// On a memo miss the derivation substitutes the assumed constants,
+    /// folds, checks IR invariants, and then differentially executes the
+    /// specialized base against the general base through the interpreter on
+    /// assumption-holding contexts at the standard probe points — the fold
+    /// must be bit-for-bit exact or the request fails rather than serve a
+    /// miscompile. The verified snapshot is interned into the cache's
+    /// exemplar plane so it dedups like any other structure.
+    fn spec_base(&self, job: &Job) -> Result<Snapshot, ServeError> {
+        let spec = &job.key.spec;
+        if spec.is_general() {
+            return Ok(job.base.clone());
+        }
+        let memo_key = (job.base.fp, spec.clone());
+        if let Some(snap) = self
+            .spec_bases
+            .read()
+            .expect("spec-base memo poisoned")
+            .get(&memo_key)
+        {
+            return Ok(snap.clone());
+        }
+        let ir = specialize_shader(&job.base.ir, spec)
+            .map_err(|e| ServeError::Specialize(e.to_string()))?;
+        verify(&ir).map_err(|e| ServeError::Compile(e.to_string()))?;
+        for (fx, fy) in default_probe_points() {
+            let ctx = spec.holding_context(&job.base.ir, fx, fy);
+            let fast = run_fragment(&ir, &ctx)
+                .map_err(|e| ServeError::Specialize(format!("specialized base faulted: {e}")))?;
+            let slow = run_fragment(&job.base.ir, &ctx)
+                .map_err(|e| ServeError::Specialize(format!("general base faulted: {e}")))?;
+            if !results_exactly_equal(&fast, &slow) {
+                return Err(ServeError::Specialize(format!(
+                    "fold diverges from the general program under [{spec}] at ({fx},{fy})"
+                )));
+            }
+        }
+        let snap = self.cache.intern(Snapshot {
+            fp: fingerprint(&ir),
+            ir: Arc::new(ir),
+        });
+        // A racing duplicate derivation of the same pair is wasted but
+        // deterministic work; last write wins with an identical snapshot.
+        self.spec_bases
+            .write()
+            .expect("spec-base memo poisoned")
+            .insert(memo_key, snap.clone());
+        Ok(snap)
     }
 
     fn unregister_flight(&self, key: &FlightKey, flight: &Arc<Flight>) {

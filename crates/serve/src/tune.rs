@@ -28,9 +28,9 @@
 //! [`ServiceStats::tune_regret_x1000`](crate::ServiceStats).
 
 use crate::service::{CompileRequest, CompileService, ServeError};
-use prism_core::OptFlags;
+use prism_core::{OptFlags, SpecKey};
 use prism_gpu::{Platform, Vendor};
-use prism_harness::MeasureConfig;
+use prism_harness::{measure_cost, MeasureConfig};
 use prism_search::{
     CompileHandle, EpsilonGreedy, LiveEvaluator, RegretTracker, SearchDriver, SearchStrategy,
     ShaderPlatformRecord, StaticCostHook, Ucb1,
@@ -76,6 +76,16 @@ pub struct TuneSpec {
     /// [`TuneOutcome::candidates_pruned`] and
     /// [`ServiceStats::search_candidates_pruned`](crate::ServiceStats).
     pub static_prefilter: bool,
+    /// Uniform-value specialization arms to evaluate after the flag bandit
+    /// settles: each key is compiled as `(best_flags, key)` through the
+    /// service (substituted, folded and interp-verified like any specialized
+    /// request) and measured once under its own deterministic noise stream.
+    /// These measurements are *in addition to* the flag budget — the caller
+    /// opted into exactly this many extra arms. Keys that do not apply to
+    /// the source, or whose specialized text is identical to the general
+    /// one, are skipped without spending a measurement. Empty (the default)
+    /// skips the phase entirely.
+    pub spec_candidates: Vec<SpecKey>,
 }
 
 impl TuneSpec {
@@ -90,6 +100,7 @@ impl TuneSpec {
             family: None,
             strategy: TuneStrategy::Ucb1 { exploration: 1.5 },
             static_prefilter: false,
+            spec_candidates: Vec::new(),
         }
     }
 
@@ -128,6 +139,13 @@ impl TuneSpec {
         self.static_prefilter = on;
         self
     }
+
+    /// This spec with uniform-value specialization arms to evaluate after
+    /// the flag bandit (see [`TuneSpec::spec_candidates`]).
+    pub fn with_spec_candidates(mut self, candidates: Vec<SpecKey>) -> TuneSpec {
+        self.spec_candidates = candidates;
+        self
+    }
 }
 
 /// What one tune pass found and spent.
@@ -156,6 +174,17 @@ pub struct TuneOutcome {
     /// The combination the bandit evaluated first (the family's best-known
     /// set, or the LunarGlass default on a cold service).
     pub warm_start: OptFlags,
+    /// The winning specialization key among the evaluated
+    /// [`TuneSpec::spec_candidates`] — general when none was tried or none
+    /// beat the general program at `best_flags`. A non-general winner is a
+    /// deploy recommendation for a *guarded dispatch*: bind its program when
+    /// the assumptions hold, the general `best_flags` program otherwise.
+    pub best_spec: SpecKey,
+    /// Measured mean frame time (ns) of the `(best_flags, best_spec)`
+    /// program; equals `best_ns` when `best_spec` is general.
+    pub best_spec_ns: f64,
+    /// Specialization arms actually measured (applicable, effective keys).
+    pub spec_arms_measured: usize,
     /// Regret-vs-measurements curve against the exhaustive oracle — only
     /// when [`CompileService::tune_spec`] was given a record to score
     /// against.
@@ -219,7 +248,8 @@ impl CompileService {
         // reproduces byte-identical noise streams.
         let shader_name = crate::service::source_name(source);
         let mut evaluator =
-            LiveEvaluator::new(compile, &platform, shader_name, spec.measure).with_warm_start(warm);
+            LiveEvaluator::new(compile, &platform, shader_name.clone(), spec.measure)
+                .with_warm_start(warm);
         if spec.static_prefilter {
             // Per-candidate static cost through the service's analysis path:
             // memoised per (fingerprint, personality), so a candidate that
@@ -258,6 +288,67 @@ impl CompileService {
         };
 
         let cost = driver.cost();
+
+        // Specialization phase: with the flag bandit settled on `best_flags`,
+        // evaluate each requested `(best_flags, spec)` arm. The compile walks
+        // the ordinary service lifecycle — substituted, folded and
+        // interp-verified against the general base before anything is served
+        // — so an arm that reaches measurement is already known to be exact.
+        let mut best_spec = SpecKey::general();
+        let mut best_spec_ns = best_ns;
+        let mut spec_arms_measured = 0usize;
+        let mut spec_compiles = 0usize;
+        let mut spec_frames = 0usize;
+        if !spec.spec_candidates.is_empty() {
+            let general_text = CompileRequest::builder(source)
+                .flags(best_flags)
+                .backend(backend)
+                .build();
+            let general_text = self.compile(&general_text).ok().map(|r| r.text);
+            for key in &spec.spec_candidates {
+                if key.is_general() {
+                    continue;
+                }
+                let request = CompileRequest::builder(source)
+                    .flags(best_flags)
+                    .backend(backend)
+                    .specialize(key.clone())
+                    .build();
+                // Inapplicable keys (unknown slot, unsupported type) are
+                // skipped arms, not tune failures.
+                let Ok(response) = self.compile(&request) else {
+                    continue;
+                };
+                spec_compiles += 1;
+                // An ineffective specialization (text identical to the
+                // general program) would measure the same code under a
+                // different noise stream — skip it.
+                if general_text.as_deref() == Some(&*response.text) {
+                    continue;
+                }
+                let Ok(shader_cost) = platform.submit(&response.text, &shader_name) else {
+                    continue;
+                };
+                // One deterministic stream per (shader, platform, flags,
+                // spec) arm, disjoint from the flag streams by the key hash.
+                let stream = crate::service::fnv64(
+                    format!(
+                        "{shader_name}\0{}\0{}\0{key}",
+                        spec.vendor.name(),
+                        best_flags
+                    )
+                    .as_bytes(),
+                );
+                let m = measure_cost(&platform, &shader_cost, &spec.measure, stream);
+                spec_arms_measured += 1;
+                spec_frames += m.samples;
+                if m.mean_ns < best_spec_ns {
+                    best_spec_ns = m.mean_ns;
+                    best_spec = key.clone();
+                }
+            }
+        }
+
         let regret = oracle
             .map(|record| RegretTracker::from_log(&driver.evaluation_log(), record, spec.budget));
         let regret_x1000 = regret
@@ -266,8 +357,8 @@ impl CompileService {
         self.record_tune(
             &family,
             best_flags,
-            cost.measurements,
-            cost.compiles,
+            cost.measurements + spec_arms_measured,
+            cost.compiles + spec_compiles,
             cost.candidates_pruned,
             regret_x1000,
         );
@@ -277,12 +368,15 @@ impl CompileService {
             strategy: strategy.name().to_string(),
             best_flags,
             best_ns,
-            measurements_taken: cost.measurements,
-            measured_frames: cost.measured_frames,
-            search_compiles: cost.compiles,
+            measurements_taken: cost.measurements + spec_arms_measured,
+            measured_frames: cost.measured_frames + spec_frames,
+            search_compiles: cost.compiles + spec_compiles,
             candidates_pruned: cost.candidates_pruned,
             budget: spec.budget,
             warm_start: warm,
+            best_spec,
+            best_spec_ns,
+            spec_arms_measured,
             regret,
         })
     }
@@ -402,6 +496,49 @@ mod tests {
         // The prefilter's analyses went through the shared memo.
         assert!(a_stats.cache.static_analyses > 0);
         assert!(a.best_ns > 0.0);
+    }
+
+    #[test]
+    fn spec_candidate_arms_ride_the_tune_and_deploy_a_guarded_winner() {
+        use prism_core::SpecValue;
+        // `ambient` is the shader's only non-sampler uniform: slot 0.
+        let zero_ambient = SpecKey::single(0, SpecValue::Zero);
+        let spec = TuneSpec::new(Vendor::Amd)
+            .with_budget(10)
+            .with_spec_candidates(vec![
+                SpecKey::general(), // ignored: not an arm
+                zero_ambient.clone(),
+                SpecKey::single(99, SpecValue::One), // inapplicable: skipped
+            ]);
+        let run = || {
+            let service = CompileService::new(ServeConfig::default());
+            let outcome = service.tune_spec(SHADER, &spec, None).unwrap();
+            let stats = service.stats();
+            (outcome, stats)
+        };
+        let (a, a_stats) = run();
+        let (b, b_stats) = run();
+        assert_eq!(a, b, "spec-arm tunes must reproduce exactly");
+        assert_eq!(a_stats, b_stats);
+        // Exactly the applicable, effective arm was measured, on top of the
+        // flag budget, and both ledgers agree.
+        assert_eq!(a.spec_arms_measured, 1);
+        assert!(a.measurements_taken <= 10 + 1);
+        assert_eq!(a_stats.measurements_taken, a.measurements_taken);
+        // Zeroing `ambient` folds the whole accumulation loop away — the
+        // specialized program must win, and the outcome recommends the
+        // guarded dispatch.
+        assert_eq!(a.best_spec, zero_ambient);
+        assert!(a.best_spec_ns < a.best_ns, "{a:?}");
+    }
+
+    #[test]
+    fn tunes_without_spec_candidates_report_a_general_winner() {
+        let service = CompileService::new(ServeConfig::default());
+        let outcome = service.tune(SHADER, Vendor::Amd, 8).unwrap();
+        assert!(outcome.best_spec.is_general());
+        assert_eq!(outcome.best_spec_ns, outcome.best_ns);
+        assert_eq!(outcome.spec_arms_measured, 0);
     }
 
     #[test]

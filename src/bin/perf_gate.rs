@@ -170,11 +170,85 @@ fn measure() -> GateReport {
     counters.extend(warm);
     counters.extend(measure_serve(&corpus));
     counters.extend(measure_tune(&corpus, &study));
+    counters.extend(measure_specialize(&corpus));
 
     GateReport {
         schema: 1,
         counters,
     }
+}
+
+/// The specialization phase: a flags × assumptions sweep over the smoke
+/// corpus against one shared cache — every candidate zero/one assumption is
+/// folded into a guarded dispatch at two flag sets and differentially
+/// interp-verified in both guard directions. Gates the specialization work
+/// counters and *hard-asserts* the dedup contract: the fingerprint
+/// transition graph must absorb at least half of the specialized stage work
+/// (hits ≥ runs), because specialized bases intern into the same planes the
+/// flag axis already warmed.
+fn measure_specialize(corpus: &Corpus) -> Vec<Counter> {
+    use prism::core::specialize::{candidate_keys, default_probe_points, verify_specialization};
+    use prism::core::{spec_counters, CacheStore, CompileSession, CorpusCache, OptFlags};
+    use std::sync::Arc;
+
+    let before = spec_counters();
+    let cache = Arc::new(CorpusCache::new());
+    let probes = default_probe_points();
+    for case in &corpus.cases {
+        let session = CompileSession::with_cache_in_family(
+            &case.source,
+            &case.name,
+            &case.family,
+            cache.clone() as Arc<dyn CacheStore>,
+        )
+        .expect("smoke corpus session");
+        for key in candidate_keys(session.base_ir(), 4) {
+            for flags in [OptFlags::NONE, OptFlags::lunarglass_default()] {
+                let dispatch = match session.dispatch_for(
+                    flags,
+                    &key,
+                    prism::emit::BackendKind::DesktopGlsl,
+                ) {
+                    Ok(dispatch) => dispatch,
+                    Err(_) => continue,
+                };
+                verify_specialization(&dispatch, &probes).unwrap_or_else(|d| {
+                    panic!("specialization miscompile in the gate sweep: {}", d.message)
+                });
+            }
+        }
+    }
+    let stats = cache.stats();
+    let delta = spec_counters().since(&before);
+    assert!(
+        delta.specializations_generated > 0,
+        "the smoke corpus must admit specializations"
+    );
+    assert!(
+        stats.stage_hits >= stats.stage_runs,
+        "fingerprint dedup must absorb at least half the specialized stage work \
+         ({} hits vs {} runs)",
+        stats.stage_hits,
+        stats.stage_runs
+    );
+
+    vec![
+        Counter {
+            name: "specializations_generated".into(),
+            value: delta.specializations_generated as f64,
+            higher_is_better: false,
+        },
+        Counter {
+            name: "spec_guard_dispatches".into(),
+            value: delta.spec_guard_dispatches as f64,
+            higher_is_better: true,
+        },
+        Counter {
+            name: "spec_interp_confirms".into(),
+            value: delta.spec_interp_confirms as f64,
+            higher_is_better: true,
+        },
+    ]
 }
 
 /// The compile-service phase: a seeded Zipf request stream replayed against
@@ -644,6 +718,9 @@ mod tests {
             "analysis_memo_hits",
             "lints_emitted",
             "search_candidates_pruned",
+            "specializations_generated",
+            "spec_guard_dispatches",
+            "spec_interp_confirms",
         ] {
             assert!(
                 a.counters.iter().any(|c| c.name == name),

@@ -225,6 +225,47 @@ fn transition_graph_replay_is_byte_identical_cold_shared_and_warm_booted() {
     );
 }
 
+/// Specialization axis joins the cross-backend contract: for a sample of
+/// corpus shaders × FNV-sampled flags × candidate uniform-value assumptions,
+/// the guarded dispatch must agree with the general program bit-for-bit on
+/// assumption-violating inputs (the interp check is IR-level, shared by all
+/// backends), and the specialized text of every backend must parse with that
+/// backend's own consuming front-end.
+#[test]
+fn specialized_variants_verify_differentially_and_emit_through_all_backends() {
+    use prism::core::specialize::{candidate_keys, default_probe_points, verify_specialization};
+    let corpus =
+        Corpus::gfxbench_like().subset(&["flagship_blur9", "ui_blit_00", "color_grade_01"]);
+    let probes = default_probe_points();
+    for case in &corpus.cases {
+        let session = CompileSession::new(&case.source, &case.name).expect("session");
+        for flags in sampled_flags(&case.name) {
+            for key in candidate_keys(session.base_ir(), 4) {
+                let dispatch = match session.dispatch_for(flags, &key, BackendKind::DesktopGlsl) {
+                    Ok(dispatch) => dispatch,
+                    Err(_) => continue,
+                };
+                verify_specialization(&dispatch, &probes).unwrap_or_else(|d| {
+                    panic!(
+                        "{}: flags {flags}: specialization diverges: {}",
+                        case.name, d.message
+                    )
+                });
+                for backend in BackendKind::ALL {
+                    let text = session.text_for_spec(flags, &key, backend).unwrap();
+                    source_interface(backend, &text).unwrap_or_else(|e| {
+                        panic!(
+                            "{}: flags {flags}, [{key}], backend {backend}: \
+                             specialized text does not parse: {e}",
+                            case.name
+                        )
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Acceptance: a warm-started second study performs **zero** stage runs and
 /// **zero** emissions — including the SPIR-V and MSL backends, whose texts
 /// persist in the same per-backend emission memo.
